@@ -1,0 +1,101 @@
+"""Extension experiment: label *corruption* (not just removal).
+
+The paper's noise model removes properties and strips labels; integration
+practice also produces *wrong* labels (stale taxonomies, mismapped
+sources).  This extension swaps a fraction of node labels to a different
+type's label and measures all systems.  Expected behaviour:
+
+* label-driven systems (SchemI) inherit every corrupted label as truth,
+  so their error tracks the corruption rate roughly 1:1;
+* PG-HIVE's hybrid clustering separates corrupted nodes from the genuine
+  carriers of the label (their structures differ), so it degrades more
+  slowly -- but cannot fully win, since a corrupted label actively lies.
+
+This is an extension beyond the paper's figures; the table documents the
+measured behaviour, and only the ordering claims are asserted.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets import GeneratedDataset, get_dataset
+from repro.datasets.synthetic import GroundTruth
+from repro.evaluation.harness import run_system
+from repro.graph.model import Node, PropertyGraph
+from repro.util.tables import render_table
+
+DATASETS = ("POLE", "CORD19")
+CORRUPTION_RATES = (0.0, 0.1, 0.2, 0.3)
+METHODS = ("PG-HIVE-ELSH", "SchemI")
+
+
+def corrupt_labels(
+    dataset: GeneratedDataset, rate: float, seed: int
+) -> GeneratedDataset:
+    """Swap each node's label set, with probability ``rate``, for the
+    label set of a random different node (a realistic mislabeling)."""
+    if rate <= 0.0:
+        return dataset
+    rng = random.Random(seed)
+    label_pool = list({
+        node.labels for node in dataset.graph.nodes() if node.labels
+    })
+    corrupted = PropertyGraph(dataset.graph.name)
+    for node in dataset.graph.nodes():
+        labels = node.labels
+        if labels and rng.random() < rate:
+            alternatives = [l for l in label_pool if l != labels]
+            if alternatives:
+                labels = rng.choice(alternatives)
+        corrupted.add_node(Node(node.id, labels, dict(node.properties)))
+    for edge in dataset.graph.edges():
+        corrupted.add_edge(edge)
+    return GeneratedDataset(
+        graph=corrupted,
+        truth=GroundTruth(
+            dict(dataset.truth.node_types), dict(dataset.truth.edge_types)
+        ),
+        spec=dataset.spec,
+    )
+
+
+def test_ext_label_corruption(benchmark, scale):
+    def sweep():
+        outcome = {}
+        for name in DATASETS:
+            clean = get_dataset(name, scale=scale, seed=1)
+            for rate in CORRUPTION_RATES:
+                corrupted = corrupt_labels(clean, rate, seed=2)
+                for method in METHODS:
+                    m = run_system(method, corrupted)
+                    outcome[(name, rate, method)] = m.node_f1
+        return outcome
+
+    outcome = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for name in DATASETS:
+        for method in METHODS:
+            rows.append([
+                name, method,
+                *(f"{outcome[(name, rate, method)]:.3f}"
+                  for rate in CORRUPTION_RATES),
+            ])
+    print()
+    print(render_table(
+        ["dataset", "method",
+         *(f"corrupt={int(r*100)}%" for r in CORRUPTION_RATES)],
+        rows,
+        "Extension: F1* under label corruption (wrong labels, "
+        "full availability)",
+    ))
+
+    for name in DATASETS:
+        for rate in CORRUPTION_RATES[1:]:
+            pghive = outcome[(name, rate, "PG-HIVE-ELSH")]
+            schemi = outcome[(name, rate, "SchemI")]
+            # SchemI has no defense: its error tracks the corruption rate.
+            assert schemi <= 1.0 - rate * 0.8 + 0.03, (name, rate, schemi)
+            # PG-HIVE's structural signal keeps it at least as accurate.
+            assert pghive >= schemi - 0.02, (name, rate, pghive, schemi)

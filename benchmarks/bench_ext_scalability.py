@@ -1,0 +1,65 @@
+"""Extension experiment: scalability in the number of elements.
+
+Section 4.7 argues PG-HIVE is O(N (P + T D)) + O(C^2) where the cluster
+count C is small, i.e. effectively linear in the data size.  This bench
+measures discovery time over a geometric size sweep and checks near-linear
+growth: doubling the data must grow the runtime by clearly less than the
+quadratic factor (4x), with slack for constant overheads.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import PGHiveConfig
+from repro.core.pipeline import PGHive
+from repro.datasets import get_dataset
+from repro.graph.store import GraphStore
+from repro.util.tables import render_table
+from repro.util.timing import Timer
+
+SIZES = (0.5, 1.0, 2.0, 4.0)
+REPEATS = 3
+DATASET = "LDBC"
+
+
+def test_ext_scalability(benchmark, scale):
+    def sweep():
+        points = []
+        for size in SIZES:
+            dataset = get_dataset(DATASET, scale=size * scale, seed=1)
+            store = GraphStore(dataset.graph)
+            elements = dataset.graph.num_nodes + dataset.graph.num_edges
+            best = float("inf")
+            for _ in range(REPEATS):
+                pipeline = PGHive(PGHiveConfig(post_processing=False))
+                with Timer() as timer:
+                    pipeline.discover(store)
+                best = min(best, timer.elapsed)
+            points.append((elements, best))
+        return points
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        [f"{elements:,}", f"{seconds * 1000:.0f} ms",
+         f"{seconds / elements * 1e6:.1f} us/elem"]
+        for elements, seconds in points
+    ]
+    print()
+    print(render_table(
+        ["elements", "discovery time", "per element"],
+        rows,
+        f"Extension: scalability on {DATASET} (paper claims O(N))",
+    ))
+
+    # Near-linear: time ratio grows at most ~1.8x the size ratio between
+    # consecutive points (generous slack for fixed costs and cache noise).
+    for (n1, t1), (n2, t2) in zip(points, points[1:]):
+        size_ratio = n2 / n1
+        time_ratio = t2 / max(t1, 1e-9)
+        assert time_ratio <= 1.8 * size_ratio, (
+            n1, n2, time_ratio, size_ratio,
+        )
+    # And the largest run must be meaningfully sub-quadratic overall.
+    n_first, t_first = points[0]
+    n_last, t_last = points[-1]
+    assert (t_last / t_first) <= (n_last / n_first) ** 1.5

@@ -1,0 +1,89 @@
+"""Figure 3: statistical significance analysis of F1* ranks.
+
+Runs all four methods over every dataset x noise level at 100 % label
+availability (the paper's 8 x 5 = 40 test cases), computes average ranks
+with the Friedman/Nemenyi procedure, and checks the paper's conclusions:
+
+* the two PG-HIVE variants form one group (not significantly different);
+* both significantly outrank GMMSchema and SchemI on nodes;
+* PG-HIVE significantly outranks SchemI on edges (GMM has no edge types).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation.harness import (
+    ALL_METHODS,
+    METHOD_ELSH,
+    METHOD_GMM,
+    METHOD_MINHASH,
+    METHOD_SCHEMI,
+    ExperimentGrid,
+    run_grid,
+)
+from repro.evaluation.nemenyi import nemenyi_test
+from repro.util.tables import render_table
+
+NOISE_LEVELS = (0.0, 0.1, 0.2, 0.3, 0.4)
+
+
+def _score_matrix(measurements, methods, attribute):
+    by_case = {}
+    for m in measurements:
+        by_case.setdefault((m.dataset, m.noise), {})[m.method] = m
+    cases = sorted(by_case)
+    matrix = np.array([
+        [getattr(by_case[case][method], attribute) for method in methods]
+        for case in cases
+    ])
+    return matrix
+
+
+def test_fig3_nemenyi_ranks(benchmark, scale, datasets):
+    grid = ExperimentGrid(
+        datasets=datasets,
+        methods=ALL_METHODS,
+        noise_levels=NOISE_LEVELS,
+        label_availabilities=(1.0,),
+        scale=scale,
+    )
+    measurements = benchmark.pedantic(
+        lambda: run_grid(grid), rounds=1, iterations=1
+    )
+
+    # --- nodes: all four methods -------------------------------------
+    node_matrix = _score_matrix(measurements, ALL_METHODS, "node_f1")
+    node_result = nemenyi_test(node_matrix, ALL_METHODS)
+
+    # --- edges: GMM produces no edge types ----------------------------
+    edge_methods = (METHOD_ELSH, METHOD_MINHASH, METHOD_SCHEMI)
+    edge_matrix = _score_matrix(measurements, edge_methods, "edge_f1")
+    edge_result = nemenyi_test(edge_matrix, edge_methods)
+
+    print()
+    rows = [
+        [name, f"{rank:.2f}"] for name, rank in node_result.ranking()
+    ]
+    print(render_table(
+        ["method", "avg rank (nodes)"], rows,
+        f"Figure 3 (nodes): Friedman chi2={node_result.friedman_chi2:.1f} "
+        f"p={node_result.friedman_p:.2e} CD={node_result.critical_distance:.2f} "
+        f"over {node_result.num_cases} cases",
+    ))
+    rows = [
+        [name, f"{rank:.2f}"] for name, rank in edge_result.ranking()
+    ]
+    print(render_table(
+        ["method", "avg rank (edges)"], rows,
+        f"Figure 3 (edges): CD={edge_result.critical_distance:.2f}",
+    ))
+
+    # Paper conclusions (shape checks).
+    assert not node_result.significantly_different(METHOD_ELSH, METHOD_MINHASH)
+    assert node_result.significantly_different(METHOD_ELSH, METHOD_SCHEMI)
+    assert node_result.significantly_different(METHOD_MINHASH, METHOD_SCHEMI)
+    assert node_result.significantly_different(METHOD_ELSH, METHOD_GMM)
+    assert edge_result.significantly_different(METHOD_ELSH, METHOD_SCHEMI)
+    best_two = {name for name, _ in node_result.ranking()[:2]}
+    assert best_two == {METHOD_ELSH, METHOD_MINHASH}

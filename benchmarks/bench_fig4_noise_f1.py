@@ -1,0 +1,102 @@
+"""Figure 4: F1* across noise levels (0-40 %) and label availability.
+
+Regenerates the full grid: 8 datasets x 5 noise levels x 3 label
+availability scenarios x 4 methods, printing one F1* series per
+(dataset, method, availability) -- the same lines the paper's figure
+plots -- and checking the headline shape claims:
+
+* PG-HIVE stays accurate under noise with full labels, and keeps working
+  (>= ~0.65, typically >= 0.9) with 50 % and 0 % labels where the
+  baselines produce nothing;
+* GMMSchema degrades as noise grows;
+* SchemI's label-driven score is flat in noise but trails PG-HIVE on the
+  multi-labeled datasets.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.evaluation.harness import (
+    ALL_METHODS,
+    METHOD_ELSH,
+    METHOD_GMM,
+    METHOD_MINHASH,
+    METHOD_SCHEMI,
+    ExperimentGrid,
+    run_grid,
+)
+from repro.evaluation.reporting import f1_series_table
+
+NOISE_LEVELS = (0.0, 0.1, 0.2, 0.3, 0.4)
+AVAILABILITIES = (1.0, 0.5, 0.0)
+
+
+def test_fig4_noise_and_label_availability(benchmark, scale, datasets):
+    grid = ExperimentGrid(
+        datasets=datasets,
+        methods=ALL_METHODS,
+        noise_levels=NOISE_LEVELS,
+        label_availabilities=AVAILABILITIES,
+        scale=scale,
+    )
+    measurements = benchmark.pedantic(
+        lambda: run_grid(grid), rounds=1, iterations=1
+    )
+
+    print()
+    print(f1_series_table(
+        measurements, "node_f1",
+        f"Figure 4 (nodes), scale={scale}",
+    ))
+    print()
+    print(f1_series_table(
+        measurements, "edge_f1",
+        f"Figure 4 (edges), scale={scale}",
+    ))
+
+    by_key = defaultdict(dict)
+    for m in measurements:
+        by_key[(m.dataset, m.method, m.label_availability)][m.noise] = m
+
+    for dataset in datasets:
+        # Baselines only run at 100 % label availability.
+        for method in (METHOD_GMM, METHOD_SCHEMI):
+            for availability in (0.5, 0.0):
+                series = by_key[(dataset, method, availability)]
+                assert all(m.skipped for m in series.values()), (
+                    dataset, method, availability,
+                )
+        # PG-HIVE runs everywhere and stays useful.  IYP is the paper's
+        # hardest dataset (86 types, many sharing labels and structure),
+        # where PG-HIVE "slightly declines" -- it gets a lower floor.
+        for method in (METHOD_ELSH, METHOD_MINHASH):
+            for availability in AVAILABILITIES:
+                series = by_key[(dataset, method, availability)]
+                assert all(not m.skipped for m in series.values())
+                if availability == 1.0:
+                    floor = 0.95
+                elif dataset == "IYP":
+                    floor = 0.40
+                else:
+                    floor = 0.55
+                for m in series.values():
+                    assert m.node_f1 >= floor, (
+                        dataset, method, availability, m.noise, m.node_f1,
+                    )
+
+    # GMM degrades with noise on average; PG-HIVE-ELSH does not (full
+    # labels).  Averaged across datasets to absorb per-dataset jitter.
+    def avg(method, noise, availability=1.0):
+        values = [
+            by_key[(d, method, availability)][noise].node_f1
+            for d in datasets
+            if not by_key[(d, method, availability)][noise].skipped
+        ]
+        return sum(values) / len(values)
+
+    assert avg(METHOD_GMM, 0.4) < avg(METHOD_GMM, 0.0) - 0.05
+    assert avg(METHOD_ELSH, 0.4) > avg(METHOD_GMM, 0.4)
+    assert avg(METHOD_ELSH, 0.4) >= avg(METHOD_ELSH, 0.0) - 0.02
+    # SchemI trails PG-HIVE overall (multi-label datasets drag it down).
+    assert avg(METHOD_SCHEMI, 0.0) < avg(METHOD_ELSH, 0.0)

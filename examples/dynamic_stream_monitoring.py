@@ -1,0 +1,97 @@
+"""Operating PG-HIVE as a long-running schema monitor.
+
+Simulates a production deployment over a *dynamic* graph (the paper's
+motivating scenario): a stream of batches in which two node types and two
+edge types only start appearing mid-stream (schema drift).  The monitor
+
+* processes each batch incrementally with the memoization fast path,
+* tracks schema evolution and reports when the schema changed,
+* persists the running schema after every batch (crash-safe resume),
+* detects stabilization and runs the constraint post-processing then.
+
+Run with:  python examples/dynamic_stream_monitoring.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import PGHiveConfig
+from repro.core.incremental import IncrementalDiscovery
+from repro.core.postprocess import (
+    compute_cardinalities,
+    infer_datatypes,
+    infer_property_constraints,
+)
+from repro.datasets.registry import dataset_spec
+from repro.datasets.stream import GraphStream, StreamBatchPlan
+from repro.graph.store import GraphStore
+from repro.schema.evolution import SchemaEvolutionTracker
+from repro.schema.persist import load_schema, save_schema
+from repro.schema.report import render_schema_report
+from repro.util.tables import render_table
+
+
+def main():
+    drift = {
+        "Vehicle": 4, "PhoneCall": 4,        # node types appearing late
+        "CALLER": 4, "CALLED": 4,            # their edge types
+    }
+    stream = GraphStream(
+        dataset_spec("POLE"),
+        num_batches=8,
+        plan=StreamBatchPlan(nodes_per_batch=150, edges_per_batch=220),
+        drift=drift,
+        seed=11,
+    )
+    checkpoint = Path(tempfile.gettempdir()) / "pghive_running_schema.json"
+
+    engine = IncrementalDiscovery(PGHiveConfig(memoize_patterns=True))
+    tracker = SchemaEvolutionTracker(stability_window=2)
+
+    rows = []
+    for batch in stream:
+        report = engine.process_batch(
+            batch.nodes, batch.edges, batch.endpoint_labels
+        )
+        step = tracker.observe(engine.schema)
+        save_schema(engine.schema, checkpoint)  # crash-safe checkpoint
+        new_types = (
+            len(step.diff.added_node_types) + len(step.diff.added_edge_types)
+        )
+        rows.append([
+            str(batch.index),
+            f"{report.seconds * 1000:.0f} ms",
+            f"{report.memo_node_hits + report.memo_edge_hits}"
+            f"/{report.num_nodes + report.num_edges}",
+            str(step.num_node_types),
+            str(step.num_edge_types),
+            (f"+{new_types} new types" if new_types else
+             ("stable" if tracker.is_stable else "-")),
+        ])
+    print(render_table(
+        ["batch", "time", "memo hits", "node types", "edge types", "event"],
+        rows,
+        "Streaming schema monitor (drift arrives at batch 4)",
+    ))
+
+    # Simulated restart: resume from the checkpoint file.
+    resumed = IncrementalDiscovery(schema=load_schema(checkpoint))
+    print(
+        f"\nResumed from {checkpoint}: "
+        f"{len(resumed.schema.node_types)} node types, "
+        f"{len(resumed.schema.edge_types)} edge types intact."
+    )
+
+    # The schema stabilized: run the constraint passes against the full
+    # accumulated graph and print the operator report.
+    store = GraphStore(stream.graph)
+    infer_property_constraints(resumed.schema)
+    infer_datatypes(resumed.schema, store)
+    compute_cardinalities(resumed.schema, store)
+    print()
+    print(render_schema_report(resumed.schema, max_types=12))
+    checkpoint.unlink(missing_ok=True)
+
+
+if __name__ == "__main__":
+    main()

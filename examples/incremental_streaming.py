@@ -1,0 +1,71 @@
+"""Incremental schema discovery over a stream of graph batches.
+
+Streams the CORD19-like dataset in 10 batches through the incremental
+engine (paper section 4.6), printing how the schema grows monotonically
+batch by batch and how the per-batch processing time stays flat -- no full
+recomputation as data accumulates.
+
+Run with:  python examples/incremental_streaming.py
+"""
+
+from repro.core.incremental import IncrementalDiscovery
+from repro.core.postprocess import (
+    compute_cardinalities,
+    infer_datatypes,
+    infer_property_constraints,
+)
+from repro.datasets import get_dataset
+from repro.graph.store import GraphStore
+from repro.schema import serialize_pg_schema
+from repro.schema.diff import diff_schemas
+from repro.util.tables import render_table
+
+
+def main():
+    dataset = get_dataset("CORD19", scale=1.0, seed=7)
+    store = GraphStore(dataset.graph)
+    engine = IncrementalDiscovery(name="cord19-stream")
+
+    import copy
+
+    rows = []
+    previous = copy.deepcopy(engine.schema)
+    for batch in store.batches(num_batches=10, seed=1):
+        report = engine.process_batch(
+            batch.nodes, batch.edges, batch.endpoint_labels
+        )
+        diff = diff_schemas(previous, engine.schema)
+        assert diff.is_monotone_extension, "schema must only grow"
+        new_types = len(diff.added_node_types) + len(diff.added_edge_types)
+        rows.append([
+            str(report.index),
+            str(report.num_nodes),
+            str(report.num_edges),
+            f"{report.seconds * 1000:.0f} ms",
+            str(len(engine.schema.node_types)),
+            str(len(engine.schema.edge_types)),
+            f"+{new_types}" if new_types else "-",
+        ])
+        previous = copy.deepcopy(engine.schema)
+
+    print(render_table(
+        ["batch", "nodes", "edges", "time", "node types so far",
+         "edge types so far", "new types"],
+        rows,
+        "Incremental discovery over 10 batches (schema grows "
+        "monotonically, per-batch time stays flat)",
+    ))
+
+    # Final post-processing pass (Algorithm 1 runs it on the last batch).
+    infer_property_constraints(engine.schema)
+    infer_datatypes(engine.schema, store)
+    compute_cardinalities(engine.schema, store)
+
+    print("\nFinal schema (first 20 lines):")
+    print("\n".join(
+        serialize_pg_schema(engine.schema, "STRICT").splitlines()[:20]
+    ))
+
+
+if __name__ == "__main__":
+    main()

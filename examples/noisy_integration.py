@@ -1,0 +1,73 @@
+"""Schema discovery on noisy, partially-labeled integrated data.
+
+The ICIJ offshore-leaks scenario from the paper's motivation: data merged
+from heterogeneous sources, with 30 % of properties missing and half the
+elements carrying no labels at all.  The label-dependent baselines
+(GMMSchema, SchemI) cannot run here; PG-HIVE still recovers the types.
+
+Run with:  python examples/noisy_integration.py
+"""
+
+from repro import GraphStore, PGHive
+from repro.baselines import GMMSchema, SchemI, UnsupportedDataError
+from repro.datasets import get_dataset, inject_noise
+from repro.evaluation.f1star import majority_f1
+from repro.util.tables import render_table
+
+
+def main():
+    clean = get_dataset("ICIJ", scale=1.0, seed=11)
+    noisy = inject_noise(
+        clean, property_noise=0.3, label_availability=0.5, seed=12
+    )
+    unlabeled_nodes = sum(1 for n in noisy.graph.nodes() if not n.labels)
+    print(
+        f"ICIJ-like graph: {noisy.graph.num_nodes:,} nodes "
+        f"({unlabeled_nodes:,} unlabeled), "
+        f"{noisy.graph.num_edges:,} edges, 30% of properties removed\n"
+    )
+
+    store = GraphStore(noisy.graph)
+    rows = []
+
+    for name, system in (
+        ("GMMSchema", GMMSchema()),
+        ("SchemI", SchemI()),
+    ):
+        try:
+            system.discover(store)
+            status = "ran (unexpected!)"
+        except UnsupportedDataError as error:
+            status = f"cannot run: {error}"
+        rows.append([name, status, "-", "-"])
+
+    result = PGHive().discover(store)
+    node_scores = majority_f1(result.node_assignment, noisy.truth.node_types)
+    edge_scores = majority_f1(result.edge_assignment, noisy.truth.edge_types)
+    rows.append([
+        "PG-HIVE",
+        f"discovered {result.num_node_types} node / "
+        f"{result.num_edge_types} edge types",
+        f"{node_scores.headline:.3f}",
+        f"{edge_scores.headline:.3f}",
+    ])
+    print(render_table(["system", "outcome", "node F1*", "edge F1*"], rows))
+
+    # How were the unlabeled Officers recovered?  Via structural merging:
+    officer_type = result.schema.node_types.get("Officer")
+    if officer_type is not None:
+        unlabeled_members = sum(
+            1
+            for node_id in officer_type.members
+            if not noisy.graph.node(node_id).labels
+        )
+        print(
+            f"\nThe Officer type absorbed {unlabeled_members} unlabeled "
+            f"nodes out of {officer_type.instance_count} instances "
+            f"(Jaccard merging of structurally identical clusters, "
+            f"paper section 4.3)."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Using the discovered schema: planning, hierarchy, and diagnostics.
+
+Once PG-HIVE has discovered a schema, it becomes infrastructure for the
+tasks the paper's introduction motivates:
+
+1. **query optimization** -- the schema-aware planner picks evaluation
+   strategies by estimated selectivity (anchor on 2 organisations instead
+   of scanning 7,000 edges);
+2. **exploration** -- the inferred subtype hierarchy and per-type pattern
+   breakdown show how the data is actually structured;
+3. **quality diagnostics** -- under noise, the confusion report names
+   exactly which types the clustering mixed.
+
+Run with:  python examples/schema_aware_analysis.py
+"""
+
+from repro import GraphStore, PGHive
+from repro.datasets import get_dataset, inject_noise
+from repro.evaluation.confusion import confusion_pairs, render_confusions
+from repro.graph.planner import execute_plan, plan_pattern
+from repro.schema.hierarchy import infer_hierarchy, render_hierarchy
+from repro.schema.patterns_report import (
+    pattern_breakdown,
+    render_pattern_breakdown,
+)
+
+
+def main():
+    dataset = get_dataset("LDBC", scale=1.0, seed=9)
+    store = GraphStore(dataset.graph)
+    result = PGHive().discover(store)
+    schema = result.schema
+    print(f"Discovered {result.num_node_types} node types and "
+          f"{result.num_edge_types} edge types from "
+          f"{dataset.graph.num_nodes:,} nodes / "
+          f"{dataset.graph.num_edges:,} edges.\n")
+
+    # 1. Schema-aware query planning -----------------------------------
+    print("1) Query planning: who moderates forums?  (Forum "
+          "-HAS_MODERATOR-> Person)\n")
+    plan = plan_pattern(
+        schema, source_label="Forum", edge_label="HAS_MODERATOR",
+        target_label="Person",
+    )
+    triples = execute_plan(plan, dataset.graph)
+    print(f"   chosen strategy : {plan.strategy}")
+    print(f"   estimates       : {plan.estimate.matching_edge_instances} "
+          f"matching edges, {plan.estimate.source_instances} sources, "
+          f"{plan.estimate.target_instances} targets")
+    print(f"   result          : {len(triples)} moderator assignments\n")
+
+    # 2. Hierarchy + pattern structure ----------------------------------
+    print("2) Inferred type hierarchy (LDBC's Message refinements):\n")
+    relations = infer_hierarchy(schema)
+    print(render_hierarchy(schema, relations))
+    print()
+    breakdowns = pattern_breakdown(schema, store)
+    interesting = {
+        name: breakdowns[name]
+        for name in ("Message&Post", "Person")
+        if name in breakdowns
+    }
+    print(render_pattern_breakdown(interesting))
+
+    # 3. Confusion diagnostics under stress ------------------------------
+    print("\n3) Diagnostics: discovery at 40% noise / 0% labels -- "
+          "what gets mixed?\n")
+    stressed = inject_noise(dataset, 0.4, 0.0, seed=10)
+    stressed_result = PGHive().discover(GraphStore(stressed.graph))
+    pairs = confusion_pairs(
+        stressed_result.node_assignment, stressed.truth.node_types
+    )
+    print(render_confusions(pairs, limit=5))
+    print("\n(Post and Comment share content/creationDate/length -- "
+          "without labels they are genuinely ambiguous, which is exactly "
+          "what the confusion report surfaces.)")
+
+
+if __name__ == "__main__":
+    main()

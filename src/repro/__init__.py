@@ -1,0 +1,43 @@
+"""PG-HIVE: hybrid incremental schema discovery for property graphs.
+
+A from-scratch reproduction of "PG-HIVE: Hybrid Incremental Schema
+Discovery for Property Graphs" (EDBT 2026).  The public API:
+
+* :class:`repro.PGHive` / :class:`repro.PGHiveConfig` -- the discovery
+  pipeline and its configuration;
+* :mod:`repro.graph` -- the property graph data model, store and I/O;
+* :mod:`repro.schema` -- the schema model, serializers and validator;
+* :mod:`repro.datasets` -- synthetic versions of the paper's eight
+  datasets plus noise injection;
+* :mod:`repro.baselines` -- the GMMSchema and SchemI comparison systems;
+* :mod:`repro.evaluation` -- F1*, Nemenyi ranks, and the experiment
+  harness that regenerates every table and figure.
+"""
+
+from repro.core.config import LSHMethod, PGHiveConfig
+from repro.core.pipeline import PGHive
+from repro.core.result import DiscoveryResult
+from repro.graph.builder import GraphBuilder
+from repro.graph.model import Edge, Node, PropertyGraph
+from repro.graph.store import GraphStore
+from repro.schema.model import SchemaGraph
+from repro.schema.serialize_pgschema import serialize_pg_schema
+from repro.schema.serialize_xsd import serialize_xsd
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DiscoveryResult",
+    "Edge",
+    "GraphBuilder",
+    "GraphStore",
+    "LSHMethod",
+    "Node",
+    "PGHive",
+    "PGHiveConfig",
+    "PropertyGraph",
+    "SchemaGraph",
+    "__version__",
+    "serialize_pg_schema",
+    "serialize_xsd",
+]

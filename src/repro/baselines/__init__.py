@@ -1,0 +1,32 @@
+"""Reimplementations of the comparison systems.
+
+* :class:`GMMSchema` -- hierarchical GMM-based node type discovery
+  (Bonifati, Dumbrava, Mir; EDBT 2022).  Fits a BIC-selected Gaussian
+  mixture on a *sample* of low-dimensional node features (label code +
+  property indicators) and assigns every node to its most likely component.
+  Nodes only; requires labeled data.
+* :class:`SchemI` -- label-driven schema inference (Lbath, Bonifati,
+  Harmer; EDBT 2021).  Types are distinct label sets, related types are
+  merged by label-set containment, and edges are typed by label plus
+  endpoint label sets.  Requires fully labeled data.
+
+Both return the same :class:`~repro.core.result.DiscoveryResult` shape as
+PG-HIVE so the evaluation harness treats all systems uniformly, and both
+raise :class:`UnsupportedDataError` when the input violates their
+full-labeling assumption (the paper's Figures 3-5 show them only at 100 %
+label availability for this reason).
+"""
+
+from repro.baselines.errors import UnsupportedDataError
+from repro.baselines.gmmschema import GMMSchema, GMMSchemaConfig
+from repro.baselines.patterngroup import PatternGroup
+from repro.baselines.schemi import SchemI, SchemIConfig
+
+__all__ = [
+    "GMMSchema",
+    "GMMSchemaConfig",
+    "PatternGroup",
+    "SchemI",
+    "SchemIConfig",
+    "UnsupportedDataError",
+]

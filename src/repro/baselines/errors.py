@@ -1,0 +1,11 @@
+"""Errors raised by baseline systems."""
+
+
+class UnsupportedDataError(ValueError):
+    """Raised when a baseline's input assumptions are violated.
+
+    GMMSchema and SchemI both assume fully labeled data; feeding them a
+    graph with unlabeled elements raises this error, mirroring the paper's
+    evaluation where neither produces results at 50 % or 0 % label
+    availability.
+    """

@@ -1,0 +1,101 @@
+"""Naive exact-pattern grouping: the no-LSH, no-merging reference point.
+
+Not one of the paper's published competitors, but the natural strawman its
+design argues against: treat every distinct *pattern* (label set +
+property key set, Definitions 3.5/3.6) as its own type, with no clustering
+and no merging.  On clean data this is perfect by construction; under
+property noise the pattern space explodes (every random property subset
+becomes a "type"), and with missing labels structurally identical
+patterns from different types collapse.  The ablation benchmark uses it
+to quantify how much of PG-HIVE's behaviour comes from the LSH + merge
+machinery rather than from the data being easy.
+
+Unlike GMMSchema/SchemI it runs on unlabeled data (patterns do not need
+labels), which also makes it the only baseline comparable to PG-HIVE in
+the 0 % label scenarios.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+
+from repro.core.result import BatchReport, DiscoveryResult
+from repro.graph.model import canonical_label
+from repro.graph.store import GraphStore
+from repro.schema.model import EdgeType, NodeType, SchemaGraph
+
+
+class PatternGroup:
+    """One type per distinct structural pattern."""
+
+    def discover(self, store: GraphStore) -> DiscoveryResult:
+        """Group elements by exact pattern."""
+        started = time.perf_counter()
+        schema = SchemaGraph("patterngroup")
+        node_groups: dict[tuple, list] = {}
+        for node in store.scan_nodes():
+            key = (node.labels, node.property_keys)
+            node_groups.setdefault(key, []).append(node)
+        for index, ((labels, keys), members) in enumerate(
+            sorted(node_groups.items(), key=lambda kv: repr(kv[0]))
+        ):
+            name = canonical_label(labels) or "UNLABELED"
+            name = f"{name}#{index}"
+            node_type = NodeType(
+                name=name,
+                labels=labels,
+                abstract=not labels,
+                instance_count=len(members),
+                property_counts=Counter(
+                    key for m in members for key in m.properties
+                ),
+                members=[m.id for m in members],
+            )
+            for key in keys:
+                node_type.ensure_property(key)
+            schema.add_node_type(node_type)
+        edge_groups: dict[tuple, list] = {}
+        for edge in store.scan_edges():
+            source, target = store.endpoints(edge)
+            key = (
+                edge.labels, edge.property_keys,
+                source.labels, target.labels,
+            )
+            edge_groups.setdefault(key, []).append(edge)
+        for index, ((labels, keys, src, tgt), members) in enumerate(
+            sorted(edge_groups.items(), key=lambda kv: repr(kv[0]))
+        ):
+            name = canonical_label(labels) or "UNLABELED"
+            name = f"{name}#{index}"
+            edge_type = EdgeType(
+                name=name,
+                labels=labels,
+                abstract=not labels,
+                source_labels=src,
+                target_labels=tgt,
+                instance_count=len(members),
+                property_counts=Counter(
+                    key for m in members for key in m.properties
+                ),
+                members=[m.id for m in members],
+            )
+            for key in keys:
+                edge_type.ensure_property(key)
+            schema.add_edge_type(edge_type)
+        elapsed = time.perf_counter() - started
+        result = DiscoveryResult(
+            schema=schema,
+            batches=[BatchReport(
+                index=0,
+                num_nodes=store.count_nodes(),
+                num_edges=store.count_edges(),
+                node_clusters=len(node_groups),
+                edge_clusters=len(edge_groups),
+                seconds=elapsed,
+            )],
+            discovery_seconds=elapsed,
+            total_seconds=elapsed,
+        )
+        result.refresh_assignments()
+        return result

@@ -1,0 +1,262 @@
+"""Command-line interface: ``pghive`` (or ``python -m repro``).
+
+Subcommands:
+
+* ``discover`` -- run PG-HIVE on a graph (JSONL file or named synthetic
+  dataset) and print/write the schema as PG-Schema or XSD;
+* ``datasets`` -- list the bundled synthetic datasets with their Table 2
+  statistics;
+* ``generate`` -- materialize a synthetic dataset to JSONL (optionally
+  with noise);
+* ``evaluate`` -- run the method grid on one dataset and print F1* rows;
+* ``inspect`` -- discover a graph's schema and print the operator-facing
+  summary report (per-type statistics, constraints, cardinalities).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.config import LSHMethod, PGHiveConfig
+from repro.core.pipeline import PGHive
+from repro.datasets import get_dataset, inject_noise, list_datasets
+from repro.datasets.registry import dataset_spec
+from repro.evaluation.harness import ALL_METHODS, run_system
+from repro.graph.io import load_graph_jsonl, save_graph_jsonl
+from repro.graph.stats import compute_statistics
+from repro.graph.store import GraphStore
+from repro.schema.serialize_cypher import serialize_cypher
+from repro.schema.serialize_graphql import serialize_graphql
+from repro.schema.serialize_pgschema import serialize_pg_schema
+from repro.schema.serialize_xsd import serialize_xsd
+from repro.util.tables import render_table
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handler = {
+        "discover": _cmd_discover,
+        "datasets": _cmd_datasets,
+        "generate": _cmd_generate,
+        "evaluate": _cmd_evaluate,
+        "inspect": _cmd_inspect,
+    }.get(args.command)
+    if handler is None:
+        parser.print_help()
+        return 2
+    return handler(args)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pghive",
+        description="PG-HIVE: hybrid incremental schema discovery "
+                    "for property graphs",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    discover = sub.add_parser("discover", help="discover a graph's schema")
+    discover.add_argument(
+        "input",
+        help="path to a JSONL graph, or a bundled dataset name "
+             "(see `pghive datasets`)",
+    )
+    discover.add_argument("--method", choices=["elsh", "minhash"],
+                          default="elsh")
+    discover.add_argument(
+        "--format",
+        choices=["pgschema", "xsd", "cypher", "graphql"],
+        default="pgschema",
+    )
+    discover.add_argument("--mode", choices=["STRICT", "LOOSE"],
+                          default="STRICT",
+                          help="PG-Schema strictness (pgschema format only)")
+    discover.add_argument("--batches", type=int, default=1,
+                          help="process incrementally in N batches")
+    discover.add_argument("--scale", type=float, default=1.0,
+                          help="scale factor for bundled datasets")
+    discover.add_argument("--seed", type=int, default=7)
+    discover.add_argument("--output", help="write schema to a file")
+    discover.add_argument("--profiles", action="store_true",
+                          help="infer value profiles (enums, ranges)")
+    discover.add_argument("--bounds", action="store_true",
+                          help="compute exact cardinality bounds")
+    discover.add_argument("--memoize", action="store_true",
+                          help="enable the incremental memoization fast "
+                               "path (with --batches)")
+
+    datasets = sub.add_parser("datasets", help="list bundled datasets")
+    datasets.add_argument("--scale", type=float, default=1.0)
+    datasets.add_argument("--seed", type=int, default=0)
+
+    generate = sub.add_parser("generate", help="materialize a dataset")
+    generate.add_argument("name")
+    generate.add_argument("output", help="target JSONL path")
+    generate.add_argument("--scale", type=float, default=1.0)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--noise", type=float, default=0.0,
+                          help="property removal probability")
+    generate.add_argument("--label-availability", type=float, default=1.0)
+
+    evaluate = sub.add_parser("evaluate", help="score methods on a dataset")
+    evaluate.add_argument("name")
+    evaluate.add_argument("--noise", type=float, default=0.0)
+    evaluate.add_argument("--label-availability", type=float, default=1.0)
+    evaluate.add_argument("--scale", type=float, default=1.0)
+    evaluate.add_argument("--seed", type=int, default=1)
+
+    inspect = sub.add_parser(
+        "inspect", help="discover and summarize a graph's schema"
+    )
+    inspect.add_argument("input", help="JSONL path or bundled dataset name")
+    inspect.add_argument("--scale", type=float, default=1.0)
+    inspect.add_argument("--seed", type=int, default=7)
+    inspect.add_argument("--max-types", type=int, default=40)
+    inspect.add_argument("--hierarchy", action="store_true",
+                         help="also print the inferred subtype hierarchy")
+    return parser
+
+
+def _load_input(args) -> GraphStore:
+    """Resolve the discover input: file path or bundled dataset name."""
+    path = Path(args.input)
+    if path.exists():
+        return GraphStore(load_graph_jsonl(path))
+    try:
+        dataset = get_dataset(args.input, scale=args.scale, seed=args.seed)
+    except KeyError:
+        print(
+            f"error: {args.input!r} is neither a file nor a known dataset",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    return GraphStore(dataset.graph)
+
+
+def _cmd_discover(args) -> int:
+    store = _load_input(args)
+    config = PGHiveConfig(
+        method=LSHMethod(args.method),
+        seed=args.seed,
+        infer_value_profiles=args.profiles,
+        exact_cardinality_bounds=args.bounds,
+        memoize_patterns=args.memoize,
+    )
+    pipeline = PGHive(config)
+    if args.batches > 1:
+        result = pipeline.discover_incremental(store, args.batches)
+    else:
+        result = pipeline.discover(store)
+    if args.format == "xsd":
+        rendered = serialize_xsd(result.schema)
+    elif args.format == "cypher":
+        rendered = serialize_cypher(result.schema)
+    elif args.format == "graphql":
+        rendered = serialize_graphql(result.schema)
+    else:
+        rendered = serialize_pg_schema(result.schema, args.mode)
+    if args.output:
+        Path(args.output).write_text(rendered, encoding="utf-8")
+        print(f"schema written to {args.output}")
+    else:
+        print(rendered)
+    print(
+        f"\n-- {result.num_node_types} node types, "
+        f"{result.num_edge_types} edge types in "
+        f"{result.total_seconds:.2f}s",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_datasets(args) -> int:
+    rows = []
+    for name in list_datasets():
+        dataset = get_dataset(name, scale=args.scale, seed=args.seed)
+        stats = compute_statistics(
+            dataset.graph,
+            dataset.truth.node_types,
+            dataset.truth.edge_types,
+        )
+        row = stats.as_row()
+        row.append("R" if dataset_spec(name).real else "S")
+        rows.append(row)
+    headers = [
+        "Dataset", "Nodes", "Edges", "NodeT", "EdgeT",
+        "NodeL", "EdgeL", "NodeP", "EdgeP", "R/S",
+    ]
+    print(render_table(headers, rows, "Bundled datasets (Table 2 shape)"))
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    dataset = get_dataset(args.name, scale=args.scale, seed=args.seed)
+    if args.noise > 0 or args.label_availability < 1.0:
+        dataset = inject_noise(
+            dataset,
+            property_noise=args.noise,
+            label_availability=args.label_availability,
+            seed=args.seed + 1,
+        )
+    save_graph_jsonl(dataset.graph, args.output)
+    print(
+        f"wrote {dataset.graph.num_nodes} nodes / "
+        f"{dataset.graph.num_edges} edges to {args.output}"
+    )
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    clean = get_dataset(args.name, scale=args.scale, seed=args.seed)
+    noisy = inject_noise(
+        clean,
+        property_noise=args.noise,
+        label_availability=args.label_availability,
+        seed=args.seed + 1,
+    )
+    rows = []
+    for method in ALL_METHODS:
+        m = run_system(
+            method, noisy,
+            noise=args.noise,
+            label_availability=args.label_availability,
+        )
+        if m.skipped:
+            rows.append([method, "-", "-", "-", "-"])
+        else:
+            rows.append([
+                method,
+                f"{m.node_f1:.3f}",
+                "-" if m.edge_f1 is None else f"{m.edge_f1:.3f}",
+                str(m.num_node_types),
+                f"{m.seconds:.2f}s",
+            ])
+    headers = ["method", "node F1*", "edge F1*", "#node types", "time"]
+    print(render_table(
+        headers, rows,
+        f"{args.name} @ noise={args.noise} labels={args.label_availability}",
+    ))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())
+
+
+def _cmd_inspect(args) -> int:
+    from repro.schema.report import render_schema_report
+
+    store = _load_input(args)
+    result = PGHive(PGHiveConfig(seed=args.seed)).discover(store)
+    print(render_schema_report(result.schema, max_types=args.max_types))
+    if args.hierarchy:
+        from repro.schema.hierarchy import infer_hierarchy, render_hierarchy
+
+        relations = infer_hierarchy(result.schema)
+        print("\nInferred type hierarchy:")
+        print(render_hierarchy(result.schema, relations))
+    return 0

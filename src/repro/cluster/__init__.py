@@ -1,0 +1,30 @@
+"""Clustering substrate.
+
+Contains the generic clustering machinery that both PG-HIVE and the
+baselines build on:
+
+* :class:`GaussianMixture` -- diagonal-covariance GMM fitted with EM, with
+  BIC-based model selection (:func:`select_components_bic`) and a divisive
+  hierarchical wrapper (:class:`DivisiveGMM`).  This is the substrate the
+  GMMSchema baseline [15] runs on.
+* :func:`agglomerative_cluster` -- average-linkage agglomerative clustering
+  with a distance threshold, used for small representative sets.
+* Cluster quality metrics (purity, pairwise precision/recall/F1).
+"""
+
+from repro.cluster.gmm import (
+    DivisiveGMM,
+    GaussianMixture,
+    select_components_bic,
+)
+from repro.cluster.hierarchical import agglomerative_cluster
+from repro.cluster.quality import pairwise_f1, purity
+
+__all__ = [
+    "DivisiveGMM",
+    "GaussianMixture",
+    "agglomerative_cluster",
+    "pairwise_f1",
+    "purity",
+    "select_components_bic",
+]

@@ -1,0 +1,361 @@
+"""Gaussian Mixture Model with EM, BIC model selection, divisive wrapper.
+
+The GMMSchema baseline [15] clusters node feature vectors with hierarchical
+GMM clustering.  scikit-learn is not available in this environment, so this
+module implements the required pieces from scratch in numpy:
+
+* :class:`GaussianMixture` -- diagonal covariance, k-means++-style
+  initialization, EM until log-likelihood convergence;
+* :func:`select_components_bic` -- scan component counts and keep the model
+  with the lowest Bayesian information criterion;
+* :class:`DivisiveGMM` -- hierarchical top-down clustering: recursively
+  split a cluster into two with a 2-component GMM while the split improves
+  BIC, producing a tree of clusters whose leaves are the final assignment.
+
+Diagonal covariances are the right model here: the feature vectors are
+embeddings concatenated with binary property indicators, and GMMSchema's
+documented failure mode (misclustering once noise widens the per-property
+distributions) emerges naturally from this formulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+_MIN_VARIANCE = 1e-4
+_LOG_2PI = float(np.log(2.0 * np.pi))
+
+
+@dataclass
+class GMMFitResult:
+    """Outcome of one EM fit."""
+
+    weights: np.ndarray
+    means: np.ndarray
+    variances: np.ndarray
+    log_likelihood: float
+    iterations: int
+    converged: bool
+
+
+class GaussianMixture:
+    """Diagonal-covariance Gaussian mixture fitted with EM.
+
+    Args:
+        n_components: Number of mixture components ``k``.
+        max_iter: EM iteration cap.
+        tol: Convergence threshold on mean log-likelihood improvement.
+        seed: RNG seed for initialization.
+    """
+
+    def __init__(
+        self,
+        n_components: int,
+        max_iter: int = 100,
+        tol: float = 1e-4,
+        seed: int = 0,
+    ) -> None:
+        if n_components < 1:
+            raise ValueError("n_components must be >= 1")
+        self.n_components = int(n_components)
+        self.max_iter = int(max_iter)
+        self.tol = float(tol)
+        self.seed = int(seed)
+        self._result: GMMFitResult | None = None
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+    def fit(self, data: np.ndarray) -> "GaussianMixture":
+        """Run EM on an (n, d) matrix; raises if n < n_components."""
+        data = np.atleast_2d(np.asarray(data, dtype=np.float64))
+        n, d = data.shape
+        if n < self.n_components:
+            raise ValueError(
+                f"need at least {self.n_components} points, got {n}"
+            )
+        means = self._init_means(data)
+        means, variances, weights = self._kmeans_warmup(data, means)
+        previous = -np.inf
+        converged = False
+        iteration = 0
+        for iteration in range(1, self.max_iter + 1):
+            log_resp, log_likelihood = self._e_step(data, weights, means, variances)
+            weights, means, variances = self._m_step(data, log_resp)
+            if abs(log_likelihood - previous) < self.tol * max(1.0, abs(previous)):
+                converged = True
+                previous = log_likelihood
+                break
+            previous = log_likelihood
+        self._result = GMMFitResult(
+            weights, means, variances, previous, iteration, converged
+        )
+        return self
+
+    def _init_means(self, data: np.ndarray) -> np.ndarray:
+        """k-means++-style seeding: spread initial means apart."""
+        rng = np.random.default_rng(self.seed)
+        n = data.shape[0]
+        chosen = [int(rng.integers(n))]
+        while len(chosen) < self.n_components:
+            diffs = data[:, None, :] - data[chosen][None, :, :]
+            d2 = np.square(diffs).sum(axis=2).min(axis=1)
+            total = float(d2.sum())
+            if total <= 0:
+                chosen.append(int(rng.integers(n)))
+                continue
+            chosen.append(int(rng.choice(n, p=d2 / total)))
+        return data[chosen].copy()
+
+    def _kmeans_warmup(
+        self, data: np.ndarray, means: np.ndarray, iterations: int = 5
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """A few Lloyd iterations to harden the initialization.
+
+        Soft EM from wide spherical variances collapses nearby seeds (e.g.
+        components that differ in a single scalar dimension); hard k-means
+        assignment keeps them apart and yields per-component, per-dimension
+        starting variances.
+        """
+        k = means.shape[0]
+        assignment = np.zeros(data.shape[0], dtype=np.int64)
+        for _ in range(iterations):
+            d2 = (
+                np.square(data).sum(axis=1)[:, None]
+                - 2.0 * data @ means.T
+                + np.square(means).sum(axis=1)[None, :]
+            )
+            assignment = np.argmin(d2, axis=1)
+            for component in range(k):
+                mask = assignment == component
+                if mask.any():
+                    means[component] = data[mask].mean(axis=0)
+        variances = np.empty_like(means)
+        weights = np.empty(k)
+        for component in range(k):
+            mask = assignment == component
+            if mask.any():
+                variances[component] = np.maximum(
+                    data[mask].var(axis=0), _MIN_VARIANCE
+                )
+                weights[component] = mask.mean()
+            else:
+                variances[component] = np.maximum(
+                    data.var(axis=0), _MIN_VARIANCE
+                )
+                weights[component] = 1.0 / data.shape[0]
+        weights = weights / weights.sum()
+        return means, variances, weights
+
+    def _e_step(
+        self,
+        data: np.ndarray,
+        weights: np.ndarray,
+        means: np.ndarray,
+        variances: np.ndarray,
+    ) -> tuple[np.ndarray, float]:
+        """Log responsibilities and total mean log-likelihood."""
+        log_prob = self._log_component_densities(data, means, variances)
+        weighted = log_prob + np.log(weights)[None, :]
+        norm = _logsumexp(weighted, axis=1)
+        log_resp = weighted - norm[:, None]
+        return log_resp, float(norm.mean())
+
+    @staticmethod
+    def _m_step(
+        data: np.ndarray, log_resp: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Re-estimate weights, means and diagonal variances."""
+        resp = np.exp(log_resp)
+        counts = resp.sum(axis=0) + 1e-12
+        weights = counts / counts.sum()
+        means = (resp.T @ data) / counts[:, None]
+        second_moment = (resp.T @ np.square(data)) / counts[:, None]
+        variances = np.maximum(second_moment - np.square(means), _MIN_VARIANCE)
+        return weights, means, variances
+
+    @staticmethod
+    def _log_component_densities(
+        data: np.ndarray, means: np.ndarray, variances: np.ndarray
+    ) -> np.ndarray:
+        """(n, k) matrix of per-component log densities."""
+        n, d = data.shape
+        k = means.shape[0]
+        out = np.empty((n, k))
+        for component in range(k):
+            diff = data - means[component]
+            var = variances[component]
+            out[:, component] = -0.5 * (
+                d * _LOG_2PI
+                + np.log(var).sum()
+                + (np.square(diff) / var).sum(axis=1)
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def predict(self, data: np.ndarray) -> np.ndarray:
+        """Hard component assignment for each row."""
+        result = self._require_fit()
+        data = np.atleast_2d(np.asarray(data, dtype=np.float64))
+        log_prob = self._log_component_densities(
+            data, result.means, result.variances
+        )
+        weighted = log_prob + np.log(result.weights)[None, :]
+        return np.argmax(weighted, axis=1)
+
+    def score(self, data: np.ndarray) -> float:
+        """Mean log-likelihood of the data under the fitted model."""
+        result = self._require_fit()
+        data = np.atleast_2d(np.asarray(data, dtype=np.float64))
+        log_prob = self._log_component_densities(
+            data, result.means, result.variances
+        )
+        weighted = log_prob + np.log(result.weights)[None, :]
+        return float(_logsumexp(weighted, axis=1).mean())
+
+    def bic(self, data: np.ndarray) -> float:
+        """Bayesian information criterion (lower is better)."""
+        data = np.atleast_2d(np.asarray(data, dtype=np.float64))
+        n, d = data.shape
+        # weights (k-1) + means (k*d) + diagonal variances (k*d)
+        n_params = (self.n_components - 1) + 2 * self.n_components * d
+        return -2.0 * self.score(data) * n + n_params * float(np.log(max(n, 2)))
+
+    @property
+    def result(self) -> GMMFitResult:
+        """The fit result (raises if not yet fitted)."""
+        return self._require_fit()
+
+    def _require_fit(self) -> GMMFitResult:
+        if self._result is None:
+            raise RuntimeError("GaussianMixture has not been fitted")
+        return self._result
+
+
+def select_components_bic(
+    data: np.ndarray,
+    k_min: int = 1,
+    k_max: int = 10,
+    seed: int = 0,
+    max_iter: int = 100,
+) -> tuple[GaussianMixture, list[float]]:
+    """Fit GMMs for k in [k_min, k_max] and keep the lowest-BIC model.
+
+    Returns:
+        ``(best_model, bic_scores)`` where ``bic_scores[i]`` is the BIC of
+        ``k = k_min + i`` (``inf`` for k values that could not be fitted).
+    """
+    data = np.atleast_2d(np.asarray(data, dtype=np.float64))
+    best: GaussianMixture | None = None
+    best_bic = np.inf
+    scores: list[float] = []
+    for k in range(k_min, k_max + 1):
+        if k > data.shape[0]:
+            scores.append(float("inf"))
+            continue
+        model = GaussianMixture(k, max_iter=max_iter, seed=seed + k).fit(data)
+        bic = model.bic(data)
+        scores.append(bic)
+        if bic < best_bic:
+            best, best_bic = model, bic
+    if best is None:
+        raise ValueError("no GMM could be fitted (empty data?)")
+    return best, scores
+
+
+class DivisiveGMM:
+    """Hierarchical top-down GMM clustering.
+
+    Starting from one cluster containing everything, repeatedly fit a
+    2-component GMM to each leaf and keep the split when it lowers BIC
+    relative to the unsplit model.  This reproduces the "hierarchical
+    clustering based on Gaussian Mixture Models" of GMMSchema [15].
+
+    Args:
+        min_cluster_size: Leaves smaller than this are never split.
+        max_depth: Recursion cap (protects against pathological data).
+        seed: RNG seed.
+    """
+
+    def __init__(
+        self,
+        min_cluster_size: int = 4,
+        max_depth: int = 12,
+        seed: int = 0,
+        max_iter: int = 60,
+    ) -> None:
+        self.min_cluster_size = int(min_cluster_size)
+        self.max_depth = int(max_depth)
+        self.seed = int(seed)
+        self.max_iter = int(max_iter)
+        self.num_em_fits = 0
+
+    def fit_predict(self, data: np.ndarray) -> np.ndarray:
+        """Cluster an (n, d) matrix; returns dense cluster ids."""
+        data = np.atleast_2d(np.asarray(data, dtype=np.float64))
+        n = data.shape[0]
+        assignment = np.zeros(n, dtype=np.int64)
+        if n == 0:
+            return assignment
+        self.num_em_fits = 0
+        next_id = [1]
+        self._split(data, np.arange(n), assignment, next_id, depth=0)
+        return _dense_ids(assignment)
+
+    def _split(
+        self,
+        data: np.ndarray,
+        indices: np.ndarray,
+        assignment: np.ndarray,
+        next_id: list[int],
+        depth: int,
+    ) -> None:
+        """Recursively attempt to split one leaf."""
+        if depth >= self.max_depth or indices.size < 2 * self.min_cluster_size:
+            return
+        subset = data[indices]
+        if _is_degenerate(subset):
+            return
+        one = GaussianMixture(1, max_iter=self.max_iter, seed=self.seed).fit(subset)
+        two = GaussianMixture(
+            2, max_iter=self.max_iter, seed=self.seed + depth + 1
+        ).fit(subset)
+        self.num_em_fits += 2
+        if two.bic(subset) >= one.bic(subset):
+            return
+        halves = two.predict(subset)
+        left = indices[halves == 0]
+        right = indices[halves == 1]
+        if left.size < self.min_cluster_size or right.size < self.min_cluster_size:
+            return
+        new_cluster = next_id[0]
+        next_id[0] += 1
+        assignment[right] = new_cluster
+        self._split(data, left, assignment, next_id, depth + 1)
+        self._split(data, right, assignment, next_id, depth + 1)
+
+
+def _is_degenerate(data: np.ndarray) -> bool:
+    """True when all rows are (numerically) identical."""
+    return bool(np.allclose(data, data[0], atol=1e-12))
+
+
+def _dense_ids(assignment: np.ndarray) -> np.ndarray:
+    """Renumber cluster ids densely in first-appearance order."""
+    remap: dict[int, int] = {}
+    out = np.empty_like(assignment)
+    for index, value in enumerate(assignment.tolist()):
+        out[index] = remap.setdefault(int(value), len(remap))
+    return out
+
+
+def _logsumexp(matrix: np.ndarray, axis: int) -> np.ndarray:
+    """Stable log-sum-exp along an axis."""
+    peak = matrix.max(axis=axis, keepdims=True)
+    return (
+        np.log(np.exp(matrix - peak).sum(axis=axis)) + peak.squeeze(axis)
+    )

@@ -1,0 +1,59 @@
+"""Average-linkage agglomerative clustering with a distance threshold.
+
+Used on small collections (cluster representatives, baseline merge steps)
+where the quadratic cost is acceptable.  The implementation maintains an
+explicit distance matrix and merges the closest pair until the minimum
+pairwise distance exceeds the threshold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def agglomerative_cluster(
+    data: np.ndarray, threshold: float
+) -> np.ndarray:
+    """Cluster rows of an (n, d) matrix by average-linkage agglomeration.
+
+    Args:
+        data: Points to cluster.
+        threshold: Stop merging once the closest pair of clusters is farther
+            apart (Euclidean, average linkage) than this.
+
+    Returns:
+        Dense cluster ids aligned with the input rows.
+    """
+    data = np.atleast_2d(np.asarray(data, dtype=np.float64))
+    n = data.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    members: dict[int, list[int]] = {i: [i] for i in range(n)}
+    centroids: dict[int, np.ndarray] = {i: data[i].copy() for i in range(n)}
+    active = set(range(n))
+    while len(active) > 1:
+        best_pair: tuple[int, int] | None = None
+        best_distance = threshold
+        items = sorted(active)
+        for pos, a in enumerate(items):
+            ca = centroids[a]
+            for b in items[pos + 1:]:
+                distance = float(np.linalg.norm(ca - centroids[b]))
+                if distance <= best_distance:
+                    best_pair = (a, b)
+                    best_distance = distance
+        if best_pair is None:
+            break
+        a, b = best_pair
+        size_a, size_b = len(members[a]), len(members[b])
+        centroids[a] = (
+            centroids[a] * size_a + centroids[b] * size_b
+        ) / (size_a + size_b)
+        members[a].extend(members[b])
+        del members[b], centroids[b]
+        active.discard(b)
+    assignment = np.empty(n, dtype=np.int64)
+    for cluster_id, root in enumerate(sorted(active)):
+        for index in members[root]:
+            assignment[index] = cluster_id
+    return assignment

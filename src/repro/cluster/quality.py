@@ -1,0 +1,80 @@
+"""Cluster quality metrics.
+
+These are internal diagnostics used by tests and ablations.  The paper's
+headline metric (majority-based F1*) lives in :mod:`repro.evaluation.f1star`
+because it needs type-level bookkeeping; the functions here operate directly
+on assignment arrays.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Hashable, Sequence
+
+import numpy as np
+
+
+def purity(assignment: Sequence[int], truth: Sequence[Hashable]) -> float:
+    """Fraction of elements whose cluster's majority truth label matches.
+
+    Equivalently the accuracy of predicting each element's class as its
+    cluster majority.  Returns 1.0 for empty input (vacuously pure).
+    """
+    if len(assignment) != len(truth):
+        raise ValueError("assignment and truth must align")
+    if not len(assignment):
+        return 1.0
+    by_cluster: dict[int, Counter[Hashable]] = defaultdict(Counter)
+    for cluster, label in zip(assignment, truth):
+        by_cluster[int(cluster)][label] += 1
+    correct = sum(counts.most_common(1)[0][1] for counts in by_cluster.values())
+    return correct / len(assignment)
+
+
+def pairwise_f1(
+    assignment: Sequence[int], truth: Sequence[Hashable]
+) -> tuple[float, float, float]:
+    """Pairwise precision, recall and F1 of a clustering.
+
+    A pair of elements is a true positive when they share both a cluster and
+    a ground-truth class.  Computed from per-group counts rather than
+    explicit pair enumeration, so it is O(n + g^2) not O(n^2).
+    """
+    if len(assignment) != len(truth):
+        raise ValueError("assignment and truth must align")
+    n = len(assignment)
+    if n == 0:
+        return 1.0, 1.0, 1.0
+    cluster_sizes: Counter[int] = Counter()
+    class_sizes: Counter[Hashable] = Counter()
+    joint: Counter[tuple[int, Hashable]] = Counter()
+    for cluster, label in zip(assignment, truth):
+        cluster_sizes[int(cluster)] += 1
+        class_sizes[label] += 1
+        joint[(int(cluster), label)] += 1
+    pairs_same_cluster = sum(_choose2(v) for v in cluster_sizes.values())
+    pairs_same_class = sum(_choose2(v) for v in class_sizes.values())
+    pairs_both = sum(_choose2(v) for v in joint.values())
+    precision = pairs_both / pairs_same_cluster if pairs_same_cluster else 1.0
+    recall = pairs_both / pairs_same_class if pairs_same_class else 1.0
+    if precision + recall == 0:
+        return precision, recall, 0.0
+    f1 = 2 * precision * recall / (precision + recall)
+    return precision, recall, f1
+
+
+def cluster_size_histogram(assignment: Sequence[int]) -> dict[int, int]:
+    """Map cluster size -> how many clusters have that size."""
+    sizes = Counter(int(c) for c in assignment)
+    histogram: Counter[int] = Counter(sizes.values())
+    return dict(sorted(histogram.items()))
+
+
+def num_clusters(assignment: Sequence[int] | np.ndarray) -> int:
+    """Number of distinct cluster ids in an assignment."""
+    return len({int(c) for c in assignment})
+
+
+def _choose2(count: int) -> int:
+    """Binomial coefficient C(count, 2)."""
+    return count * (count - 1) // 2

@@ -1,0 +1,41 @@
+"""PG-HIVE core: the paper's primary contribution.
+
+Contains the full schema discovery pipeline of Algorithm 1 --
+vectorization (section 4.1), adaptive LSH clustering (section 4.2), type
+extraction and merging (Algorithm 2 / section 4.3), constraint, datatype
+and cardinality inference (section 4.4), and the incremental engine
+(section 4.6).  The entry point is :class:`PGHive`.
+"""
+
+from repro.core.config import LSHMethod, PGHiveConfig
+from repro.core.pipeline import PGHive
+from repro.core.result import DiscoveryResult
+from repro.core.adaptive import AdaptiveParameters, choose_parameters
+from repro.core.datatypes import (
+    infer_datatype,
+    infer_datatype_sampled,
+    infer_value_type,
+    is_value_compatible,
+)
+from repro.core.cardinality_bounds import (
+    CardinalityBounds,
+    compute_cardinality_bounds,
+)
+from repro.core.value_profiles import ValueProfile, profile_values
+
+__all__ = [
+    "AdaptiveParameters",
+    "CardinalityBounds",
+    "DiscoveryResult",
+    "LSHMethod",
+    "PGHive",
+    "PGHiveConfig",
+    "ValueProfile",
+    "choose_parameters",
+    "compute_cardinality_bounds",
+    "infer_datatype",
+    "infer_datatype_sampled",
+    "infer_value_type",
+    "is_value_compatible",
+    "profile_values",
+]

@@ -1,0 +1,119 @@
+"""Exact cardinality bounds with participation analysis.
+
+Section 4.4 of the paper computes only the *upper* bounds of edge
+cardinalities (max in/out degree) and leaves the lower bounds as future
+work: "We cannot determine whether the source's lower bound is exactly 0
+or 1, as we query only the edges.  This requires to examine if all nodes
+are connected to the respective edge."
+
+This module implements that missing analysis.  For every edge type it
+checks whether *all* instances of its source node type(s) participate in
+at least one edge of the type (total participation => lower bound 1) and
+likewise for targets, yielding interval cardinalities such as
+``(1..1, 0..N)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.store import GraphStore
+from repro.schema.model import EdgeType, SchemaGraph
+
+
+@dataclass(frozen=True, slots=True)
+class CardinalityBounds:
+    """Interval cardinality of one edge type.
+
+    ``source_min``/``source_max`` bound how many edges of the type a
+    single source-type node participates in; likewise for targets.
+    ``max`` values of 0 mean "no observation"; ``None`` renders as N.
+    """
+
+    source_min: int
+    source_max: int | None  # None = N (unbounded / > 1)
+    target_min: int
+    target_max: int | None
+
+    def render(self) -> str:
+        """Interval notation, e.g. ``(1..N, 0..1)``."""
+        return (
+            f"({self.source_min}..{_bound(self.source_max)}, "
+            f"{self.target_min}..{_bound(self.target_max)})"
+        )
+
+
+def _bound(value: int | None) -> str:
+    return "N" if value is None else str(value)
+
+
+def compute_cardinality_bounds(
+    schema: SchemaGraph, store: GraphStore
+) -> dict[str, CardinalityBounds]:
+    """Exact interval cardinalities for every edge type of a schema.
+
+    Requires the schema's node and edge types to still carry their member
+    ids (i.e. run before ``SchemaGraph.detach_members``).
+
+    Returns:
+        edge type name -> :class:`CardinalityBounds`.
+    """
+    bounds: dict[str, CardinalityBounds] = {}
+    for edge_type in schema.edge_types.values():
+        bounds[edge_type.name] = _bounds_for_edge_type(
+            schema, store, edge_type
+        )
+    return bounds
+
+
+def _bounds_for_edge_type(
+    schema: SchemaGraph, store: GraphStore, edge_type: EdgeType
+) -> CardinalityBounds:
+    """Participation analysis for one edge type."""
+    participating_sources: set[int] = set()
+    participating_targets: set[int] = set()
+    out_degree: dict[int, int] = {}
+    in_degree: dict[int, int] = {}
+    for edge_id in edge_type.members:
+        edge = store.graph.edge(edge_id)
+        participating_sources.add(edge.source)
+        participating_targets.add(edge.target)
+        out_degree[edge.source] = out_degree.get(edge.source, 0) + 1
+        in_degree[edge.target] = in_degree.get(edge.target, 0) + 1
+    source_population = _population(schema, edge_type.source_types)
+    target_population = _population(schema, edge_type.target_types)
+    source_min = _participation_min(
+        source_population, participating_sources
+    )
+    target_min = _participation_min(
+        target_population, participating_targets
+    )
+    max_out = max(out_degree.values(), default=0)
+    max_in = max(in_degree.values(), default=0)
+    return CardinalityBounds(
+        source_min=source_min,
+        source_max=1 if max_out <= 1 else None,
+        target_min=target_min,
+        target_max=1 if max_in <= 1 else None,
+    )
+
+
+def _population(schema: SchemaGraph, type_names: set[str]) -> set[int]:
+    """All node ids belonging to the given node types."""
+    population: set[int] = set()
+    for name in type_names:
+        node_type = schema.node_types.get(name)
+        if node_type is not None:
+            population.update(node_type.members)
+    return population
+
+
+def _participation_min(population: set[int], participating: set[int]) -> int:
+    """Lower bound: 1 iff every node of the endpoint type participates.
+
+    An empty population (endpoint types unresolved) conservatively yields
+    a lower bound of 0 -- the sound default the paper also uses.
+    """
+    if not population:
+        return 0
+    return 1 if population <= participating else 0

@@ -1,0 +1,96 @@
+"""Configuration for the PG-HIVE pipeline."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.embeddings.word2vec import Word2VecConfig
+
+
+class LSHMethod(enum.Enum):
+    """Which LSH family drives the clustering (section 4.2)."""
+
+    ELSH = "elsh"
+    MINHASH = "minhash"
+
+
+@dataclass
+class PGHiveConfig:
+    """All knobs of the PG-HIVE pipeline.
+
+    Attributes:
+        method: ELSH (p-stable projections over the hybrid vectors) or
+            MinHash (Jaccard over label+property feature sets).
+        word2vec: Label embedding hyperparameters (dimension ``d`` etc.).
+        label_weight: Scale applied to the (unit-normalized) label
+            embedding block of the hybrid vector so the semantic part stays
+            comparable to the binary property block under heavy noise.
+        jaccard_threshold: Theta of Algorithm 2 (default 0.9 as in the
+            paper; lowering it raises recall but mixes types).
+        endpoint_jaccard_threshold: Minimum Jaccard similarity between
+            endpoint label sets for two same-label edge clusters to merge
+            into one edge type (Definition 3.3 keeps the endpoint pair as
+            part of the type).
+        bucket_length: Manual ELSH bucket length ``b``; ``None`` (default)
+            enables the adaptive strategy of section 4.2.
+        num_tables: Manual number of hash tables ``T``; ``None`` adapts.
+        alpha: Manual label-diversity factor; ``None`` adapts from L.
+        adaptive_sample_size: Minimum sample used to estimate the distance
+            scale mu (the paper uses max(1 % of the graph, 10k); scaled
+            datasets use a smaller floor).
+        adaptive_sample_fraction: Fraction of the graph sampled for mu.
+        minhash_rows_per_band: Band width for MinHash banding.
+        post_processing: Run constraint/datatype/cardinality inference.
+        memoize_patterns: Incremental fast path in the spirit of DiscoPG's
+            memorization: elements whose labels match an existing type and
+            whose structure adds nothing new are absorbed directly,
+            skipping vectorization and clustering.  Output-equivalent on
+            such elements; off by default.
+        infer_value_profiles: Additionally profile value domains
+            (enumerations, numeric/temporal ranges -- the paper's "future
+            work" refinement of section 4.4).
+        exact_cardinality_bounds: Additionally compute exact lower-bound
+            cardinalities via endpoint participation analysis (also left
+            as future work in section 4.4).
+        infer_datatypes_by_sampling: Use the sampled datatype mode.
+        datatype_sample_fraction / datatype_sample_minimum: Its parameters
+            (paper: 10 % of the properties, at least 1000).
+        seed: Master RNG seed; every random component derives from it.
+    """
+
+    method: LSHMethod = LSHMethod.ELSH
+    word2vec: Word2VecConfig = field(default_factory=Word2VecConfig)
+    label_weight: float = 3.0
+    jaccard_threshold: float = 0.9
+    endpoint_jaccard_threshold: float = 0.5
+    bucket_length: float | None = None
+    num_tables: int | None = None
+    alpha: float | None = None
+    adaptive_sample_size: int = 500
+    adaptive_sample_fraction: float = 0.01
+    minhash_rows_per_band: int = 6
+    post_processing: bool = True
+    memoize_patterns: bool = False
+    infer_value_profiles: bool = False
+    exact_cardinality_bounds: bool = False
+    infer_datatypes_by_sampling: bool = False
+    datatype_sample_fraction: float = 0.1
+    datatype_sample_minimum: int = 1000
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if isinstance(self.method, str):
+            self.method = LSHMethod(self.method.lower())
+        if not 0.0 <= self.jaccard_threshold <= 1.0:
+            raise ValueError("jaccard_threshold must be in [0, 1]")
+        if not 0.0 <= self.endpoint_jaccard_threshold <= 1.0:
+            raise ValueError("endpoint_jaccard_threshold must be in [0, 1]")
+        if self.bucket_length is not None and self.bucket_length <= 0:
+            raise ValueError("bucket_length must be positive when given")
+        if self.num_tables is not None and self.num_tables < 1:
+            raise ValueError("num_tables must be >= 1 when given")
+        if self.label_weight < 0:
+            raise ValueError("label_weight must be non-negative")
+        if self.minhash_rows_per_band < 1:
+            raise ValueError("minhash_rows_per_band must be >= 1")

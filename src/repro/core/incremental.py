@@ -1,0 +1,401 @@
+"""The incremental discovery engine (paper section 4.6).
+
+Each batch of nodes and edges goes through the same pipeline as a static
+run -- embed labels, vectorize, LSH-cluster, extract types (Algorithm 2) --
+and the resulting batch schema is merged into the running schema with the
+monotone rules of :func:`repro.schema.merge.merge_schemas`.  The running
+schema therefore forms the monotone chain S_1 <= S_2 <= ... of the paper.
+
+The engine is deliberately independent of :class:`PGHive` so it can be
+driven directly by streaming code (see ``examples/incremental_streaming``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.adaptive import choose_parameters
+from repro.core.config import LSHMethod, PGHiveConfig
+from repro.core.result import BatchReport
+from repro.core.type_extraction import (
+    build_edge_clusters,
+    build_node_clusters,
+    extract_edge_types,
+    extract_node_types,
+    resolve_edge_endpoints,
+)
+from repro.core.vectorize import EdgeVectorizer, FeatureInterner, NodeVectorizer
+from repro.embeddings.embedder import LabelEmbedder
+from repro.graph.model import Edge, Node, canonical_label
+from repro.lsh.buckets import cluster_by_band_union, cluster_by_full_signature
+from repro.lsh.elsh import EuclideanLSH
+from repro.lsh.minhash import MinHashLSH
+from repro.schema.merge import merge_schemas
+from repro.schema.model import SchemaGraph
+
+
+def _refine_by_labels(elements: Sequence, assignment: np.ndarray) -> np.ndarray:
+    """Split each LSH cluster by canonical label token.
+
+    Per Definitions 3.2/3.3, elements with different label sets belong to
+    different types; an (unlikely) LSH collision between them must not
+    survive into type extraction, where merging is union-only.  Unlabeled
+    elements (empty token) keep their structural cluster, so the
+    Jaccard-based merging of section 4.3 still sees them whole.
+    """
+    if assignment.size == 0:
+        return assignment
+    # Keyed on the label *frozenset* (not the concatenated token), so a
+    # literal "A&B" label never aliases the {A, B} label set.
+    refined: dict[tuple[int, frozenset], int] = {}
+    out = np.empty_like(assignment)
+    for index, (element, cluster_id) in enumerate(
+        zip(elements, assignment.tolist())
+    ):
+        key = (int(cluster_id), element.labels)
+        out[index] = refined.setdefault(key, len(refined))
+    return out
+
+
+class IncrementalDiscovery:
+    """Stateful schema discovery over a stream of graph batches."""
+
+    def __init__(
+        self,
+        config: PGHiveConfig | None = None,
+        name: str = "stream",
+        schema: SchemaGraph | None = None,
+    ) -> None:
+        """Create an engine, optionally resuming a persisted schema.
+
+        Args:
+            config: Pipeline configuration.
+            name: Name for a freshly created schema.
+            schema: A previously discovered schema (e.g. loaded with
+                :func:`repro.schema.persist.load_schema`) to keep
+                extending; batches merge into it monotonically.
+        """
+        self.config = config or PGHiveConfig()
+        self.schema = schema if schema is not None else SchemaGraph(name)
+        self.reports: list[BatchReport] = []
+        self.parameters: dict[str, str] = {}
+        self._batch_counter = 0
+
+    def process_batch(
+        self,
+        nodes: Sequence[Node],
+        edges: Sequence[Edge],
+        endpoint_labels: dict[int, frozenset[str]] | None = None,
+    ) -> BatchReport:
+        """Cluster one batch and merge its types into the running schema.
+
+        Args:
+            nodes: Batch nodes.
+            edges: Batch edges (sources/targets may live in other batches).
+            endpoint_labels: node id -> label set for every endpoint the
+                edges reference; defaults to the labels of the batch's own
+                nodes.
+
+        Returns:
+            A :class:`BatchReport` with timings and cluster counts.
+        """
+        started = time.perf_counter()
+        if endpoint_labels is None:
+            endpoint_labels = {node.id: node.labels for node in nodes}
+        memo_node_hits = memo_edge_hits = 0
+        if self.config.memoize_patterns:
+            nodes, edges, memo_node_hits, memo_edge_hits = (
+                self._absorb_known_patterns(nodes, edges, endpoint_labels)
+            )
+        embedder = self._fit_embedder(nodes, edges, endpoint_labels)
+        # Nodes first: cluster, then extract node types so the edge stage
+        # can reuse them.  Clusters are refined by label token: Definition
+        # 3.2 makes distinct label sets distinct types, so a rare LSH
+        # collision between differently-labeled elements must not merge
+        # them (unlabeled elements keep their structural cluster).
+        node_assignment = _refine_by_labels(nodes, self._cluster_nodes(nodes, embedder))
+        node_clusters = build_node_clusters(nodes, node_assignment)
+        batch_schema = SchemaGraph(f"batch{self._batch_counter}")
+        extract_node_types(
+            batch_schema, node_clusters, self.config.jaccard_threshold
+        )
+        # Hybrid step: endpoints whose labels are missing are typed by the
+        # node *type* they were extracted into, so edge vectors and edge-type
+        # merging still see structural endpoint identity at 0 % label
+        # availability.
+        effective_labels = self._effective_endpoint_labels(
+            batch_schema, nodes, endpoint_labels
+        )
+        edge_assignment = _refine_by_labels(
+            edges, self._cluster_edges(edges, effective_labels, embedder)
+        )
+        edge_clusters = build_edge_clusters(
+            edges, edge_assignment, effective_labels
+        )
+        extract_edge_types(
+            batch_schema,
+            edge_clusters,
+            self.config.jaccard_threshold,
+            self.config.endpoint_jaccard_threshold,
+        )
+        resolve_edge_endpoints(batch_schema)
+        merge_schemas(
+            self.schema,
+            batch_schema,
+            self.config.jaccard_threshold,
+            self.config.endpoint_jaccard_threshold,
+        )
+        resolve_edge_endpoints(self.schema)
+        elapsed = time.perf_counter() - started
+        report = BatchReport(
+            index=self._batch_counter,
+            num_nodes=len(nodes) + memo_node_hits,
+            num_edges=len(edges) + memo_edge_hits,
+            node_clusters=len(node_clusters),
+            edge_clusters=len(edge_clusters),
+            seconds=elapsed,
+            memo_node_hits=memo_node_hits,
+            memo_edge_hits=memo_edge_hits,
+        )
+        self.reports.append(report)
+        self._batch_counter += 1
+        return report
+
+    # ------------------------------------------------------------------
+    # Pipeline stages
+    # ------------------------------------------------------------------
+    def _absorb_known_patterns(
+        self,
+        nodes: Sequence[Node],
+        edges: Sequence[Edge],
+        endpoint_labels: dict[int, frozenset[str]],
+    ) -> tuple[list[Node], list[Edge], int, int]:
+        """DiscoPG-style fast path: absorb elements matching known types.
+
+        A labeled node whose label set names an existing type and whose
+        property keys are a subset of that type's keys would end up merged
+        into it anyway; absorb it directly (update counts and membership)
+        and leave it out of the expensive pipeline.  Likewise for labeled
+        edges whose label, keys and endpoint labels all match an existing
+        edge type.  Returns the remaining elements and the hit counts.
+        """
+        from repro.schema.merge import endpoints_compatible
+        from repro.schema.model import EdgeType
+
+        node_types_by_labels = {
+            t.labels: t for t in self.schema.node_types.values() if t.labels
+        }
+        remaining_nodes: list[Node] = []
+        node_hits = 0
+        for node in nodes:
+            host = node_types_by_labels.get(node.labels)
+            if host is not None and node.property_keys <= host.property_keys:
+                host.instance_count += 1
+                host.property_counts.update(node.properties.keys())
+                host.members.append(node.id)
+                node_hits += 1
+            else:
+                remaining_nodes.append(node)
+        empty: frozenset[str] = frozenset()
+        remaining_edges: list[Edge] = []
+        edge_hits = 0
+        for edge in edges:
+            host = None
+            if edge.labels:
+                probe = EdgeType(
+                    "?", edge.labels,
+                    source_labels=endpoint_labels.get(edge.source, empty),
+                    target_labels=endpoint_labels.get(edge.target, empty),
+                )
+                for edge_type in self.schema.edge_types_for_labels(edge.labels):
+                    if (
+                        edge.property_keys <= edge_type.property_keys
+                        and probe.source_labels <= edge_type.source_labels
+                        and probe.target_labels <= edge_type.target_labels
+                        and endpoints_compatible(
+                            edge_type, probe,
+                            self.config.endpoint_jaccard_threshold,
+                        )
+                    ):
+                        host = edge_type
+                        break
+            if host is not None:
+                host.instance_count += 1
+                host.property_counts.update(edge.properties.keys())
+                host.members.append(edge.id)
+                edge_hits += 1
+            else:
+                remaining_edges.append(edge)
+        return remaining_nodes, remaining_edges, node_hits, edge_hits
+
+    def _effective_endpoint_labels(
+        self,
+        batch_schema: SchemaGraph,
+        nodes: Sequence[Node],
+        endpoint_labels: dict[int, frozenset[str]],
+    ) -> dict[int, frozenset[str]]:
+        """Endpoint labels with type-derived pseudo-labels for unlabeled nodes.
+
+        An unlabeled node that was merged into a *labeled* node type (the
+        paper's Example 5: Alice joins the Person type) adopts that type's
+        labels as its effective endpoint identity.  Unlabeled nodes in
+        ABSTRACT types get the type's pseudo cluster token instead, so edges
+        still see structural endpoint identity at 0 % label availability.
+        Endpoints outside this batch (possible for cross-batch edges) keep
+        whatever labels the stream reported for them.
+        """
+        from repro.core.type_extraction import PSEUDO_PREFIX
+
+        batch_tag = f"b{self._batch_counter}"
+        node_token: dict[int, frozenset[str]] = {}
+        for node_type in batch_schema.node_types.values():
+            if node_type.labels:
+                token_set = node_type.labels
+            else:
+                token = f"{PSEUDO_PREFIX}{batch_tag}:{node_type.name}"
+                node_type.cluster_tokens.add(token)
+                token_set = frozenset({token})
+            for member in node_type.members:
+                node_token[member] = token_set
+        effective = dict(endpoint_labels)
+        for node in nodes:
+            if not node.labels and node.id in node_token:
+                effective[node.id] = node_token[node.id]
+        return effective
+
+    def _fit_embedder(
+        self,
+        nodes: Sequence[Node],
+        edges: Sequence[Edge],
+        endpoint_labels: dict[int, frozenset[str]],
+    ) -> LabelEmbedder:
+        """Train Word2Vec on this batch's label co-occurrences.
+
+        Sentences are deduplicated: thousands of edges share the handful of
+        distinct (src, edge, tgt) label-token triples, and training once per
+        distinct triple preserves the co-occurrence structure at a fraction
+        of the cost.
+        """
+        token_cache: dict[frozenset, str] = {}
+        empty: frozenset[str] = frozenset()
+
+        def token_of(labels: frozenset) -> str:
+            cached = token_cache.get(labels)
+            if cached is None:
+                cached = canonical_label(labels)
+                token_cache[labels] = cached
+            return cached
+
+        sentences: set[tuple[str, ...]] = set()
+        for edge in edges:
+            sentence = tuple(
+                token
+                for token in (
+                    token_of(endpoint_labels.get(edge.source, empty)),
+                    token_of(edge.labels),
+                    token_of(endpoint_labels.get(edge.target, empty)),
+                )
+                if token
+            )
+            if sentence:
+                sentences.add(sentence)
+        for node in nodes:
+            token = token_of(node.labels)
+            if token:
+                sentences.add((token,))
+        embedder = LabelEmbedder(self.config.word2vec)
+        embedder.fit_tokens([list(s) for s in sorted(sentences)])
+        return embedder
+
+    def _cluster_nodes(
+        self, nodes: Sequence[Node], embedder: LabelEmbedder
+    ) -> np.ndarray:
+        """LSH-cluster the batch's nodes; returns dense cluster ids."""
+        if not nodes:
+            return np.empty(0, dtype=np.int64)
+        property_keys = sorted({k for n in nodes for k in n.properties})
+        num_labels = len({label for n in nodes for label in n.labels})
+        if self.config.method is LSHMethod.ELSH:
+            vectorizer = NodeVectorizer(
+                property_keys, embedder, self.config.label_weight
+            )
+            vectors = vectorizer.vectorize(nodes)
+            return self._elsh_assign(vectors, num_labels, kind="node")
+        vectorizer = NodeVectorizer(
+            property_keys, embedder, self.config.label_weight
+        )
+        interner = FeatureInterner()
+        feature_sets = vectorizer.feature_sets(nodes, interner)
+        return self._minhash_assign(feature_sets, len(nodes), kind="node")
+
+    def _cluster_edges(
+        self,
+        edges: Sequence[Edge],
+        endpoint_labels: dict[int, frozenset[str]],
+        embedder: LabelEmbedder,
+    ) -> np.ndarray:
+        """LSH-cluster the batch's edges; returns dense cluster ids."""
+        if not edges:
+            return np.empty(0, dtype=np.int64)
+        property_keys = sorted({k for e in edges for k in e.properties})
+        num_labels = len({label for e in edges for label in e.labels})
+        if self.config.method is LSHMethod.ELSH:
+            vectorizer = EdgeVectorizer(
+                property_keys, embedder, self.config.label_weight
+            )
+            vectors = vectorizer.vectorize(edges, endpoint_labels)
+            return self._elsh_assign(vectors, num_labels, kind="edge")
+        vectorizer = EdgeVectorizer(
+            property_keys, embedder, self.config.label_weight
+        )
+        interner = FeatureInterner()
+        feature_sets = vectorizer.feature_sets(
+            edges, endpoint_labels, interner
+        )
+        return self._minhash_assign(feature_sets, len(edges), kind="edge")
+
+    def _elsh_assign(
+        self, vectors: np.ndarray, num_labels: int, kind: str
+    ) -> np.ndarray:
+        """Adaptive ELSH clustering by full-signature grouping."""
+        params = choose_parameters(
+            vectors,
+            num_labels,
+            kind=kind,
+            sample_size=self.config.adaptive_sample_size,
+            sample_fraction=self.config.adaptive_sample_fraction,
+            seed=self.config.seed,
+            bucket_length=self.config.bucket_length,
+            num_tables=self.config.num_tables,
+            alpha=self.config.alpha,
+        )
+        self.parameters[f"batch{self._batch_counter}/{kind}s"] = params.describe()
+        lsh = EuclideanLSH(
+            dimension=vectors.shape[1],
+            bucket_length=params.bucket_length,
+            num_tables=params.num_tables,
+            seed=self.config.seed,
+        )
+        return cluster_by_full_signature(lsh.signatures(vectors))
+
+    def _minhash_assign(
+        self, feature_sets: list[set[int]], count: int, kind: str
+    ) -> np.ndarray:
+        """MinHash clustering with banding."""
+        if self.config.num_tables is not None:
+            num_hashes = self.config.num_tables
+        else:
+            # Same spirit as the ELSH heuristic: more hashes for larger
+            # batches, inside the practical range.
+            num_hashes = int(min(35, max(15, 5 * np.log10(max(count, 10)))))
+        self.parameters[f"batch{self._batch_counter}/{kind}s"] = (
+            f"minhash T={num_hashes} r={self.config.minhash_rows_per_band}"
+        )
+        lsh = MinHashLSH(num_hashes=num_hashes, seed=self.config.seed)
+        signatures = lsh.signatures(feature_sets)
+        return cluster_by_band_union(
+            signatures, self.config.minhash_rows_per_band
+        )

@@ -1,0 +1,99 @@
+"""PG-HIVE: the end-to-end schema discovery pipeline (Algorithm 1).
+
+:class:`PGHive` ties the substrates together.  A *static* run processes the
+whole graph as a single batch; an *incremental* run streams the store in
+batches through the same engine.  Both end with the optional post-processing
+passes (property constraints, datatypes, cardinalities) and produce a
+:class:`~repro.core.result.DiscoveryResult` whose ``schema`` can be
+serialized with :func:`repro.schema.serialize_pg_schema` /
+:func:`repro.schema.serialize_xsd`.
+
+Example:
+    >>> from repro.graph import GraphBuilder, GraphStore
+    >>> builder = GraphBuilder()
+    >>> a = builder.node(["Person"], {"name": "Ada"})
+    >>> b = builder.node(["Person"], {"name": "Bob"})
+    >>> _ = builder.edge(a, b, ["KNOWS"], {"since": 2021})
+    >>> result = PGHive().discover(GraphStore(builder.build()))
+    >>> sorted(result.schema.node_types)
+    ['Person']
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.config import PGHiveConfig
+from repro.core.incremental import IncrementalDiscovery
+from repro.core.postprocess import (
+    compute_cardinalities,
+    infer_datatypes,
+    infer_property_constraints,
+)
+from repro.core.result import DiscoveryResult
+from repro.graph.store import GraphStore
+
+
+class PGHive:
+    """Hybrid incremental schema discovery for property graphs."""
+
+    def __init__(self, config: PGHiveConfig | None = None) -> None:
+        self.config = config or PGHiveConfig()
+
+    def discover(self, store: GraphStore) -> DiscoveryResult:
+        """Run static discovery over an entire graph store."""
+        return self.discover_incremental(store, num_batches=1)
+
+    def discover_incremental(
+        self,
+        store: GraphStore,
+        num_batches: int,
+        post_process_each_batch: bool = False,
+    ) -> DiscoveryResult:
+        """Run discovery over ``num_batches`` random batches of the store.
+
+        Args:
+            store: The graph store to discover.
+            num_batches: How many batches to stream (1 = static run).
+            post_process_each_batch: Run the post-processing passes after
+                every batch instead of only at the end (Algorithm 1's
+                ``postProcessing`` flag).  The final schema is identical;
+                intermediate schemas are then always fully annotated.
+        """
+        started = time.perf_counter()
+        engine = IncrementalDiscovery(self.config, name=store.graph.name)
+        discovery_seconds = 0.0
+        for batch in store.batches(num_batches, seed=self.config.seed):
+            report = engine.process_batch(
+                batch.nodes, batch.edges, batch.endpoint_labels
+            )
+            discovery_seconds += report.seconds
+            if post_process_each_batch and self.config.post_processing:
+                self._post_process(engine, store)
+        if self.config.post_processing and not post_process_each_batch:
+            self._post_process(engine, store)
+        result = DiscoveryResult(
+            schema=engine.schema,
+            batches=engine.reports,
+            parameters=dict(engine.parameters),
+            discovery_seconds=discovery_seconds,
+            total_seconds=time.perf_counter() - started,
+        )
+        result.refresh_assignments()
+        return result
+
+    def _post_process(
+        self, engine: IncrementalDiscovery, store: GraphStore
+    ) -> None:
+        """Constraints, datatypes, cardinalities (section 4.4)."""
+        infer_property_constraints(engine.schema)
+        infer_datatypes(engine.schema, store, self.config)
+        compute_cardinalities(engine.schema, store)
+        if self.config.exact_cardinality_bounds:
+            from repro.core.cardinality_bounds import (
+                compute_cardinality_bounds,
+            )
+
+            bounds = compute_cardinality_bounds(engine.schema, store)
+            for name, edge_bounds in bounds.items():
+                engine.schema.edge_types[name].bounds = edge_bounds

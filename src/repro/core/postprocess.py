@@ -1,0 +1,122 @@
+"""Post-processing passes (paper section 4.4).
+
+Three optional enrichment passes over a discovered schema:
+
+* :func:`infer_property_constraints` -- a property is MANDATORY for a type
+  when it occurs in every instance (f_T(p) = 1), OPTIONAL otherwise.
+  Computed from the per-type occurrence counters that the merge steps keep
+  exact across batches, so the answer is identical in static and
+  incremental mode.
+* :func:`infer_datatypes` -- assign each property the most specific
+  datatype compatible with its observed values, via a full scan or the
+  paper's sampled mode (10 % of values, at least 1000).
+* :func:`compute_cardinalities` -- classify each edge type from its degree
+  extremes: max out-degree and max in-degree over its member edges.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.config import PGHiveConfig
+from repro.core.datatypes import infer_datatype, infer_datatype_sampled
+from repro.graph.store import GraphStore
+from repro.schema.model import (
+    Cardinality,
+    EdgeType,
+    NodeType,
+    PropertyStatus,
+    SchemaGraph,
+)
+
+
+def infer_property_constraints(schema: SchemaGraph) -> None:
+    """Mark every property of every type MANDATORY or OPTIONAL in place."""
+    for type_record in _all_types(schema):
+        for key, spec in type_record.properties.items():
+            if (
+                type_record.instance_count > 0
+                and type_record.property_counts.get(key, 0)
+                == type_record.instance_count
+            ):
+                spec.status = PropertyStatus.MANDATORY
+            else:
+                spec.status = PropertyStatus.OPTIONAL
+
+
+def infer_datatypes(
+    schema: SchemaGraph,
+    store: GraphStore,
+    config: PGHiveConfig | None = None,
+) -> None:
+    """Assign datatypes to every property of every type in place.
+
+    Uses the member ids recorded on each type to pull values back out of
+    the store.  Honors the config's sampling mode.
+    """
+    config = config or PGHiveConfig()
+    for node_type in schema.node_types.values():
+        values_by_key = _collect_values(
+            (store.graph.node(nid) for nid in node_type.members),
+            node_type.property_keys,
+        )
+        _assign_datatypes(node_type, values_by_key, config)
+    for edge_type in schema.edge_types.values():
+        values_by_key = _collect_values(
+            (store.graph.edge(eid) for eid in edge_type.members),
+            edge_type.property_keys,
+        )
+        _assign_datatypes(edge_type, values_by_key, config)
+
+
+def compute_cardinalities(schema: SchemaGraph, store: GraphStore) -> None:
+    """Classify every edge type's cardinality from degree extremes."""
+    for edge_type in schema.edge_types.values():
+        max_out, max_in = store.degree_extremes(edge_type.members)
+        edge_type.max_out = max(edge_type.max_out, max_out)
+        edge_type.max_in = max(edge_type.max_in, max_in)
+        edge_type.cardinality = Cardinality.from_degrees(
+            edge_type.max_out, edge_type.max_in
+        )
+
+
+def _collect_values(elements, keys) -> dict[str, list[Any]]:
+    """Property key -> list of observed values over the given elements."""
+    values: dict[str, list[Any]] = {key: [] for key in keys}
+    for element in elements:
+        for key, value in element.properties.items():
+            bucket = values.get(key)
+            if bucket is not None:
+                bucket.append(value)
+    return values
+
+
+def _assign_datatypes(
+    type_record: NodeType | EdgeType,
+    values_by_key: dict[str, list[Any]],
+    config: PGHiveConfig,
+) -> None:
+    """Set the datatype (and optionally the value profile) of each spec."""
+    from repro.core.value_profiles import profile_values
+
+    for key, values in values_by_key.items():
+        spec = type_record.ensure_property(key)
+        if not values:
+            continue
+        if config.infer_datatypes_by_sampling:
+            spec.datatype = infer_datatype_sampled(
+                values,
+                fraction=config.datatype_sample_fraction,
+                minimum=config.datatype_sample_minimum,
+                seed=config.seed,
+            )
+        else:
+            spec.datatype = infer_datatype(values)
+        if config.infer_value_profiles:
+            spec.profile = profile_values(values, datatype=spec.datatype)
+
+
+def _all_types(schema: SchemaGraph):
+    """Iterate node types then edge types."""
+    yield from schema.node_types.values()
+    yield from schema.edge_types.values()

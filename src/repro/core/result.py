@@ -1,0 +1,75 @@
+"""Discovery results returned by the pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.schema.model import SchemaGraph
+
+
+@dataclass
+class BatchReport:
+    """Per-batch diagnostics of an incremental run.
+
+    ``memo_node_hits``/``memo_edge_hits`` count elements absorbed by the
+    DiscoPG-style known-pattern fast path (only nonzero when
+    ``PGHiveConfig.memoize_patterns`` is on).
+    """
+
+    index: int
+    num_nodes: int
+    num_edges: int
+    node_clusters: int
+    edge_clusters: int
+    seconds: float
+    memo_node_hits: int = 0
+    memo_edge_hits: int = 0
+
+
+@dataclass
+class DiscoveryResult:
+    """Outcome of a schema discovery run.
+
+    Attributes:
+        schema: The inferred schema graph.
+        node_assignment: node id -> discovered type name.
+        edge_assignment: edge id -> discovered type name.
+        batches: Per-batch reports (a static run has exactly one).
+        parameters: Human-readable record of the LSH parameters used per
+            batch and element kind, e.g. ``{"batch0/nodes": "mu=... b=..."}``.
+        total_seconds: End-to-end wall-clock time of discovery (excluding
+            optional post-processing unless it ran inside the pipeline).
+        discovery_seconds: Time until type discovery only (the quantity
+            Figure 5 plots), i.e. load + preprocess + cluster + extract.
+    """
+
+    schema: SchemaGraph
+    node_assignment: dict[int, str] = field(default_factory=dict)
+    edge_assignment: dict[int, str] = field(default_factory=dict)
+    batches: list[BatchReport] = field(default_factory=list)
+    parameters: dict[str, str] = field(default_factory=dict)
+    total_seconds: float = 0.0
+    discovery_seconds: float = 0.0
+
+    @property
+    def num_node_types(self) -> int:
+        """Number of discovered node types."""
+        return len(self.schema.node_types)
+
+    @property
+    def num_edge_types(self) -> int:
+        """Number of discovered edge types."""
+        return len(self.schema.edge_types)
+
+    def refresh_assignments(self) -> None:
+        """Rebuild the id -> type-name maps from the schema's members."""
+        self.node_assignment = {
+            member: node_type.name
+            for node_type in self.schema.node_types.values()
+            for member in node_type.members
+        }
+        self.edge_assignment = {
+            member: edge_type.name
+            for edge_type in self.schema.edge_types.values()
+            for member in edge_type.members
+        }

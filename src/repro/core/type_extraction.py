@@ -1,0 +1,418 @@
+"""Type extraction and merging (paper Algorithm 2 / section 4.3).
+
+The LSH assignment partitions a batch's nodes and edges into clusters.
+Each cluster is summarized by its *representative pattern*: the union of
+member label sets, the union of member property key sets, and (for edges)
+the unions of endpoint label sets.  These candidate types are then refined:
+
+1. labeled clusters with identical label sets merge directly (Lemma 1/2 --
+   unions only, nothing is lost);
+2. each unlabeled cluster merges into the labeled type with the highest
+   property-set Jaccard similarity >= theta;
+3. remaining unlabeled clusters merge among themselves by the same rule;
+4. whatever is left becomes an ABSTRACT type;
+5. edge clusters merge by label only, accumulating endpoint label sets.
+
+The output is a batch-level :class:`~repro.schema.model.SchemaGraph` that
+:func:`~repro.schema.merge.merge_schemas` folds into the running schema.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.graph.model import Edge, Node, canonical_label
+from repro.schema.merge import (
+    EdgeTypeIndex,
+    NodeTypeIndex,
+    find_labeled_edge_host,
+    merge_edge_types,
+    merge_node_types,
+)
+from repro.schema.model import EdgeType, NodeType, SchemaGraph
+from repro.util.similarity import jaccard
+
+
+# Prefix marking pseudo-labels derived from node cluster identity (used to
+# type edge endpoints when real labels are missing); never serialized.
+PSEUDO_PREFIX = "~"
+
+
+@dataclass
+class CandidateCluster:
+    """Representative pattern of one LSH cluster (node or edge)."""
+
+    kind: str  # "node" | "edge"
+    labels: frozenset[str] = frozenset()
+    property_keys: frozenset[str] = frozenset()
+    members: list[int] = field(default_factory=list)
+    property_counts: Counter = field(default_factory=Counter)
+    source_labels: frozenset[str] = frozenset()
+    target_labels: frozenset[str] = frozenset()
+    cluster_tokens: frozenset[str] = frozenset()
+    source_tokens: frozenset[str] = frozenset()
+    target_tokens: frozenset[str] = frozenset()
+
+    @property
+    def is_labeled(self) -> bool:
+        """True when at least one member carried a label."""
+        return bool(self.labels)
+
+    @property
+    def size(self) -> int:
+        """Number of member instances."""
+        return len(self.members)
+
+
+def build_node_clusters(
+    nodes: Sequence[Node],
+    assignment: np.ndarray,
+    pseudo_tag: str = "",
+) -> list[CandidateCluster]:
+    """Summarize an LSH node assignment into candidate clusters.
+
+    Args:
+        nodes: The clustered nodes.
+        assignment: Dense cluster ids aligned with ``nodes``.
+        pseudo_tag: When non-empty, clusters whose members are all unlabeled
+            receive the internal pseudo-label ``~{pseudo_tag}{cluster_id}``
+            as their cluster token, which the edge stage uses to type
+            endpoints structurally.
+    """
+    clusters: dict[int, CandidateCluster] = {}
+    for node, cluster_id in zip(nodes, assignment.tolist()):
+        cluster = clusters.get(int(cluster_id))
+        if cluster is None:
+            cluster = CandidateCluster(kind="node")
+            clusters[int(cluster_id)] = cluster
+        cluster.labels = cluster.labels | node.labels
+        cluster.property_keys = cluster.property_keys | node.property_keys
+        cluster.members.append(node.id)
+        cluster.property_counts.update(node.properties.keys())
+    if pseudo_tag:
+        for cluster_id, cluster in clusters.items():
+            if not cluster.labels:
+                cluster.cluster_tokens = frozenset(
+                    {f"{PSEUDO_PREFIX}{pseudo_tag}{cluster_id}"}
+                )
+    return [clusters[cid] for cid in sorted(clusters)]
+
+
+def build_edge_clusters(
+    edges: Sequence[Edge],
+    assignment: np.ndarray,
+    endpoint_labels: dict[int, frozenset[str]],
+) -> list[CandidateCluster]:
+    """Summarize an LSH edge assignment into candidate clusters.
+
+    ``endpoint_labels`` may contain pseudo-labels (``~``-prefixed cluster
+    tokens) for unlabeled endpoints; they are separated into the clusters'
+    token sets so they inform endpoint compatibility without polluting the
+    schema's label sets.
+    """
+    clusters: dict[int, CandidateCluster] = {}
+    empty: frozenset[str] = frozenset()
+    split_cache: dict[frozenset, tuple[frozenset, frozenset]] = {}
+
+    def split(labels: frozenset) -> tuple[frozenset, frozenset]:
+        cached = split_cache.get(labels)
+        if cached is None:
+            cached = _split_pseudo(labels)
+            split_cache[labels] = cached
+        return cached
+
+    for edge, cluster_id in zip(edges, assignment.tolist()):
+        cluster = clusters.get(int(cluster_id))
+        if cluster is None:
+            cluster = CandidateCluster(kind="edge")
+            clusters[int(cluster_id)] = cluster
+        if not edge.labels <= cluster.labels:
+            cluster.labels = cluster.labels | edge.labels
+        keys = edge.property_keys
+        if not keys <= cluster.property_keys:
+            cluster.property_keys = cluster.property_keys | keys
+        cluster.members.append(edge.id)
+        cluster.property_counts.update(edge.properties.keys())
+        src_labels, src_tokens = split(endpoint_labels.get(edge.source, empty))
+        tgt_labels, tgt_tokens = split(endpoint_labels.get(edge.target, empty))
+        if not src_labels <= cluster.source_labels:
+            cluster.source_labels = cluster.source_labels | src_labels
+        if not tgt_labels <= cluster.target_labels:
+            cluster.target_labels = cluster.target_labels | tgt_labels
+        if not src_tokens <= cluster.source_tokens:
+            cluster.source_tokens = cluster.source_tokens | src_tokens
+        if not tgt_tokens <= cluster.target_tokens:
+            cluster.target_tokens = cluster.target_tokens | tgt_tokens
+    return [clusters[cid] for cid in sorted(clusters)]
+
+
+def _split_pseudo(
+    labels: frozenset[str],
+) -> tuple[frozenset[str], frozenset[str]]:
+    """Separate real labels from pseudo cluster tokens."""
+    real = frozenset(l for l in labels if not l.startswith(PSEUDO_PREFIX))
+    pseudo = labels - real
+    return real, pseudo
+
+
+def extract_types(
+    node_clusters: Sequence[CandidateCluster],
+    edge_clusters: Sequence[CandidateCluster],
+    theta: float = 0.9,
+    schema_name: str = "batch",
+    endpoint_theta: float = 0.5,
+) -> SchemaGraph:
+    """Algorithm 2: refine candidate clusters into a schema graph.
+
+    Args:
+        node_clusters / edge_clusters: LSH cluster summaries.
+        theta: Jaccard threshold for merging unlabeled clusters.
+        schema_name: Name of the produced schema graph.
+        endpoint_theta: Endpoint-label Jaccard threshold below which two
+            same-label edge clusters are treated as different edge types
+            (Definition 3.3's endpoint pair).
+    """
+    schema = SchemaGraph(schema_name)
+    extract_node_types(schema, node_clusters, theta)
+    extract_edge_types(schema, edge_clusters, theta, endpoint_theta)
+    resolve_edge_endpoints(schema)
+    return schema
+
+
+def extract_node_types(
+    schema: SchemaGraph,
+    clusters: Sequence[CandidateCluster],
+    theta: float,
+) -> None:
+    """Node half of Algorithm 2."""
+    unlabeled: list[NodeType] = []
+    for cluster in clusters:
+        node_type = _node_type_from_cluster(cluster)
+        if cluster.is_labeled:
+            existing = schema.node_type_for_labels(node_type.labels)
+            if existing is not None:
+                merge_node_types(existing, node_type)
+            else:
+                _add_node_unique(schema, node_type)
+        else:
+            unlabeled.append(node_type)
+    # Unlabeled clusters: labeled hosts first, ...
+    labeled_index = NodeTypeIndex(schema, labeled_only=True)
+    still_unlabeled: list[NodeType] = []
+    for node_type in unlabeled:
+        host = _best_labeled_host(labeled_index, node_type, theta)
+        if host is not None:
+            merge_node_types(host, node_type)
+            labeled_index.add(host)
+        else:
+            still_unlabeled.append(node_type)
+    # ... then each other (pairwise, in first-appearance order; the
+    # inverted key index keeps this near-linear when noisy unlabeled data
+    # fragments into thousands of candidate clusters), ...
+    merged_pool: list[NodeType] = []
+    pool_by_key: dict[str, set[int]] = {}
+    pool_empty: set[int] = set()
+    for node_type in still_unlabeled:
+        keys = node_type.property_keys
+        if keys:
+            candidate_ids: set[int] = set()
+            for key in keys:
+                candidate_ids |= pool_by_key.get(key, set())
+        else:
+            candidate_ids = set(pool_empty)
+        host = None
+        for pool_id in sorted(candidate_ids):
+            candidate = merged_pool[pool_id]
+            if jaccard(keys, candidate.property_keys) >= theta:
+                host = candidate
+                host_id = pool_id
+                break
+        if host is not None:
+            merge_node_types(host, node_type)
+            for key in host.property_keys:
+                pool_by_key.setdefault(key, set()).add(host_id)
+        else:
+            pool_id = len(merged_pool)
+            merged_pool.append(node_type)
+            if keys:
+                for key in keys:
+                    pool_by_key.setdefault(key, set()).add(pool_id)
+            else:
+                pool_empty.add(pool_id)
+    # ... and whatever remains becomes an ABSTRACT type.
+    for node_type in merged_pool:
+        node_type.name = schema.next_abstract_name("NODE")
+        node_type.abstract = True
+        schema.add_node_type(node_type)
+
+
+def extract_edge_types(
+    schema: SchemaGraph,
+    clusters: Sequence[CandidateCluster],
+    theta: float,
+    endpoint_theta: float = 0.5,
+) -> None:
+    """Edge half: merge by label + endpoint compatibility (section 4.3)."""
+    unlabeled: list[EdgeType] = []
+    for cluster in clusters:
+        edge_type = _edge_type_from_cluster(cluster)
+        if cluster.is_labeled:
+            existing = find_labeled_edge_host(
+                schema, edge_type, endpoint_theta
+            )
+            if existing is not None:
+                merge_edge_types(existing, edge_type)
+            else:
+                _add_edge_unique(schema, edge_type)
+        else:
+            unlabeled.append(edge_type)
+    # Unlabeled edge clusters follow the same Jaccard fallback as nodes,
+    # additionally requiring endpoint-label compatibility.  The inverted
+    # index keeps the host search near-linear even when unlabeled noisy
+    # data fragments into thousands of candidate clusters.
+    index = EdgeTypeIndex(schema)
+    for edge_type in unlabeled:
+        host = _best_edge_host(index, edge_type, theta, endpoint_theta)
+        if host is not None:
+            merge_edge_types(host, edge_type)
+            index.add(host)
+        else:
+            edge_type.name = schema.next_abstract_name("EDGE")
+            edge_type.abstract = True
+            schema.add_edge_type(edge_type)
+            index.add(edge_type)
+
+
+def _add_node_unique(schema: SchemaGraph, node_type: NodeType) -> None:
+    """Insert a node type, suffixing on (rare) canonical-name collisions.
+
+    Two distinct label sets can share a canonical token when a label
+    literally contains the '&' join character; the types stay separate
+    and the later one gets a disambiguating suffix.
+    """
+    name = node_type.name
+    suffix = 1
+    while name in schema.node_types:
+        suffix += 1
+        name = f"{node_type.name}@{suffix}"
+    node_type.name = name
+    schema.add_node_type(node_type)
+
+
+def _add_edge_unique(schema: SchemaGraph, edge_type: EdgeType) -> None:
+    """Insert an edge type, suffixing the name when the label is reused."""
+    name = edge_type.name
+    suffix = 1
+    while name in schema.edge_types:
+        suffix += 1
+        name = f"{edge_type.name}@{suffix}"
+    edge_type.name = name
+    schema.add_edge_type(edge_type)
+
+
+def resolve_edge_endpoints(schema: SchemaGraph) -> None:
+    """Fill rho_s: map each edge type's endpoint labels to node type names.
+
+    Labeled endpoints match node types by label intersection; unlabeled
+    endpoints match ABSTRACT node types through the shared cluster tokens.
+    """
+    for edge_type in schema.edge_types.values():
+        edge_type.source_types = _matching_node_types(
+            schema, edge_type.source_labels, edge_type.source_tokens
+        )
+        edge_type.target_types = _matching_node_types(
+            schema, edge_type.target_labels, edge_type.target_tokens
+        )
+
+
+def _matching_node_types(
+    schema: SchemaGraph,
+    labels: frozenset[str],
+    tokens: set[str] | frozenset[str] = frozenset(),
+) -> set[str]:
+    """Node types whose labels or cluster tokens match the endpoint."""
+    if not labels and not tokens:
+        return set()
+    matched = set()
+    for node_type in schema.node_types.values():
+        if node_type.labels & labels:
+            matched.add(node_type.name)
+        elif tokens and node_type.cluster_tokens & set(tokens):
+            matched.add(node_type.name)
+    return matched
+
+
+def _node_type_from_cluster(cluster: CandidateCluster) -> NodeType:
+    """Candidate node type carrying the cluster's bookkeeping."""
+    name = canonical_label(cluster.labels) or "__UNLABELED__"
+    node_type = NodeType(
+        name=name,
+        labels=cluster.labels,
+        abstract=not cluster.is_labeled,
+        instance_count=cluster.size,
+        property_counts=Counter(cluster.property_counts),
+        members=list(cluster.members),
+        cluster_tokens=set(cluster.cluster_tokens),
+    )
+    for key in cluster.property_keys:
+        node_type.ensure_property(key)
+    return node_type
+
+
+def _edge_type_from_cluster(cluster: CandidateCluster) -> EdgeType:
+    """Candidate edge type carrying the cluster's bookkeeping."""
+    name = canonical_label(cluster.labels) or "__UNLABELED__"
+    edge_type = EdgeType(
+        name=name,
+        labels=cluster.labels,
+        abstract=not cluster.is_labeled,
+        source_labels=cluster.source_labels,
+        target_labels=cluster.target_labels,
+        instance_count=cluster.size,
+        property_counts=Counter(cluster.property_counts),
+        members=list(cluster.members),
+        source_tokens=set(cluster.source_tokens),
+        target_tokens=set(cluster.target_tokens),
+    )
+    for key in cluster.property_keys:
+        edge_type.ensure_property(key)
+    return edge_type
+
+
+def _best_labeled_host(
+    index: NodeTypeIndex, candidate: NodeType, theta: float
+) -> NodeType | None:
+    """Labeled node type with the highest Jaccard >= theta, if any."""
+    best: NodeType | None = None
+    best_score = theta
+    candidate_keys = candidate.property_keys
+    for node_type in index.candidates(candidate):
+        score = jaccard(candidate_keys, node_type.property_keys)
+        if score >= best_score:
+            best, best_score = node_type, score
+    return best
+
+
+def _best_edge_host(
+    index: EdgeTypeIndex,
+    candidate: EdgeType,
+    theta: float,
+    endpoint_theta: float = 0.5,
+) -> EdgeType | None:
+    """Host for an unlabeled edge cluster: Jaccard + endpoint compatibility."""
+    from repro.schema.merge import endpoints_compatible
+
+    best: EdgeType | None = None
+    best_score = theta
+    candidate_keys = candidate.property_keys
+    for edge_type in index.candidates(candidate):
+        score = jaccard(candidate_keys, edge_type.property_keys)
+        if score >= best_score and endpoints_compatible(
+            edge_type, candidate, endpoint_theta
+        ):
+            best, best_score = edge_type, score
+    return best

@@ -1,0 +1,130 @@
+"""Value profiles: enumerations and bounded ranges (paper future work).
+
+Section 4.4 leaves "the identification of more detailed datatypes, such as
+enumerated types or bounded ranges" for future work.  This module
+implements both:
+
+* **enumerations** -- a property whose observed values come from a small
+  closed set (at most ``enum_cap`` distinct values and no more than
+  ``enum_ratio`` of the observation count) is profiled as an ENUM of those
+  values;
+* **bounded ranges** -- numeric properties get (min, max) bounds, and
+  temporal properties get (earliest, latest) bounds.
+
+Profiles attach to :class:`~repro.schema.model.PropertySpec` and render in
+the STRICT PG-Schema output, e.g. ``status STRING /* enum {open, closed}
+*/`` or ``age INT /* range 0..120 */``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.core.datatypes import infer_datatype
+from repro.schema.model import DataType
+
+_DEFAULT_ENUM_CAP = 12
+_DEFAULT_ENUM_RATIO = 0.5
+_NUMERIC = (DataType.INTEGER, DataType.FLOAT)
+_TEMPORAL = (DataType.DATE, DataType.TIMESTAMP)
+
+
+@dataclass(frozen=True, slots=True)
+class ValueProfile:
+    """Refined description of a property's value domain.
+
+    Attributes:
+        is_enum: True when the value domain is a small closed set.
+        enum_values: The sorted enum members (empty unless ``is_enum``).
+        minimum / maximum: Range bounds for numeric or temporal properties
+            (``None`` when not applicable).
+        distinct_count: Number of distinct observed values.
+        observation_count: Number of observed values.
+    """
+
+    is_enum: bool = False
+    enum_values: tuple = ()
+    minimum: Any = None
+    maximum: Any = None
+    distinct_count: int = 0
+    observation_count: int = 0
+
+    def render(self) -> str:
+        """Annotation text for serializers; empty when nothing applies."""
+        if self.is_enum:
+            members = ", ".join(str(v) for v in self.enum_values)
+            return f"enum {{{members}}}"
+        if self.minimum is not None and self.maximum is not None:
+            return f"range {self.minimum}..{self.maximum}"
+        return ""
+
+
+def profile_values(
+    values: Sequence[Any],
+    enum_cap: int = _DEFAULT_ENUM_CAP,
+    enum_ratio: float = _DEFAULT_ENUM_RATIO,
+    datatype: DataType | None = None,
+) -> ValueProfile:
+    """Analyze a property's observed values.
+
+    Args:
+        values: All (or sampled) values of one property.
+        enum_cap: Maximum distinct values for an enumeration.
+        enum_ratio: Distinct/observed ratio ceiling -- a property with ten
+            values, all distinct, is not an enum; one with three distinct
+            values over a thousand observations is.
+        datatype: The property's inferred datatype (computed if omitted).
+    """
+    if not values:
+        return ValueProfile()
+    if datatype is None or datatype is DataType.UNKNOWN:
+        datatype = infer_datatype(values)
+    hashable = [_freeze(v) for v in values]
+    distinct = set(hashable)
+    is_enum = (
+        len(distinct) <= enum_cap
+        and len(distinct) <= max(1, int(enum_ratio * len(values)))
+        and datatype in (DataType.STRING, DataType.BOOLEAN, DataType.INTEGER)
+    )
+    enum_values: tuple = ()
+    if is_enum:
+        enum_values = tuple(sorted(distinct, key=repr))
+    minimum = maximum = None
+    if datatype in _NUMERIC:
+        numeric = [v for v in values if isinstance(v, (int, float))
+                   and not isinstance(v, bool)]
+        numeric += [
+            _parse_number(v) for v in values if isinstance(v, str)
+        ]
+        numeric = [v for v in numeric if v is not None]
+        if numeric:
+            minimum, maximum = min(numeric), max(numeric)
+    elif datatype in _TEMPORAL:
+        temporal = sorted(str(v) for v in values)
+        minimum, maximum = temporal[0], temporal[-1]
+    return ValueProfile(
+        is_enum=is_enum,
+        enum_values=enum_values,
+        minimum=minimum,
+        maximum=maximum,
+        distinct_count=len(distinct),
+        observation_count=len(values),
+    )
+
+
+def _freeze(value: Any):
+    """Hashable stand-in for a value (lists/dicts become their repr)."""
+    try:
+        hash(value)
+        return value
+    except TypeError:
+        return repr(value)
+
+
+def _parse_number(text: str) -> float | None:
+    """Numeric value of a string, if it is one."""
+    try:
+        return float(text)
+    except ValueError:
+        return None

@@ -1,0 +1,210 @@
+"""Element vectorization (paper section 4.1).
+
+Every node becomes ``f_v in R^{d+K}``: the Word2Vec embedding of its
+(sorted, concatenated) label set followed by a binary indicator over the
+``K`` distinct node property keys of the dataset.  Every edge becomes
+``f_e in R^{3d+Q}``: embeddings of the edge label, the source labels and
+the target labels, followed by the binary indicator over the ``Q`` distinct
+edge property keys.  Missing labels embed as the zero vector.
+
+Label embeddings are unit-normalized and scaled by ``label_weight`` so the
+semantic block stays comparable in magnitude to the structural block even
+when property noise dominates -- this is what keeps semantically different
+but structurally similar elements apart (the paper's stated motivation for
+the hybrid vectors).
+
+For the MinHash variant, elements are instead modeled as *feature sets*:
+interned ids for each property key plus role-tagged ids for the label
+tokens (``label:``, ``src:``, ``tgt:`` prefixes), so Jaccard similarity
+sees both structure and semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.embeddings.embedder import LabelEmbedder
+from repro.graph.model import Edge, Node, canonical_label
+
+
+class FeatureInterner:
+    """Stable string-feature -> integer-id mapping for MinHash sets."""
+
+    def __init__(self) -> None:
+        self._ids: dict[str, int] = {}
+
+    def intern(self, feature: str) -> int:
+        """Id for a feature string, assigning the next id when new."""
+        existing = self._ids.get(feature)
+        if existing is not None:
+            return existing
+        new_id = len(self._ids)
+        self._ids[feature] = new_id
+        return new_id
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+
+class NodeVectorizer:
+    """Vectorizes nodes against a fixed property-key universe."""
+
+    def __init__(
+        self,
+        property_keys: Sequence[str],
+        embedder: LabelEmbedder,
+        label_weight: float = 3.0,
+    ) -> None:
+        self.property_keys = list(property_keys)
+        self._key_index = {key: i for i, key in enumerate(self.property_keys)}
+        self.embedder = embedder
+        self.label_weight = float(label_weight)
+
+    @property
+    def dimension(self) -> int:
+        """Total vector dimension d + K."""
+        return self.embedder.dimension + len(self.property_keys)
+
+    def vectorize(self, nodes: Sequence[Node]) -> np.ndarray:
+        """(n, d+K) hybrid feature matrix for a batch of nodes."""
+        d = self.embedder.dimension
+        out = np.zeros((len(nodes), self.dimension))
+        embedding_cache = _EmbeddingCache(self.embedder, self.label_weight)
+        key_index = self._key_index
+        for row, node in enumerate(nodes):
+            out[row, :d] = embedding_cache.for_labels(node.labels)
+            for key in node.properties:
+                index = key_index.get(key)
+                if index is not None:
+                    out[row, d + index] = 1.0
+        return out
+
+    def feature_sets(
+        self, nodes: Sequence[Node], interner: FeatureInterner
+    ) -> list[set[int]]:
+        """MinHash feature sets: property keys plus the label token."""
+        sets: list[set[int]] = []
+        for node in nodes:
+            features = {
+                interner.intern(f"nk:{key}") for key in node.properties
+            }
+            token = node.label_token()
+            if token:
+                features.add(interner.intern(f"label:{token}"))
+            sets.append(features)
+        return sets
+
+
+class EdgeVectorizer:
+    """Vectorizes edges (with endpoint label context) per section 4.1."""
+
+    def __init__(
+        self,
+        property_keys: Sequence[str],
+        embedder: LabelEmbedder,
+        label_weight: float = 3.0,
+    ) -> None:
+        self.property_keys = list(property_keys)
+        self._key_index = {key: i for i, key in enumerate(self.property_keys)}
+        self.embedder = embedder
+        self.label_weight = float(label_weight)
+
+    @property
+    def dimension(self) -> int:
+        """Total vector dimension 3d + Q."""
+        return 3 * self.embedder.dimension + len(self.property_keys)
+
+    def vectorize(
+        self,
+        edges: Sequence[Edge],
+        endpoint_labels: dict[int, frozenset[str]],
+    ) -> np.ndarray:
+        """(m, 3d+Q) hybrid feature matrix for a batch of edges.
+
+        Args:
+            edges: The edges to vectorize.
+            endpoint_labels: node id -> label set for every endpoint
+                referenced by ``edges`` (missing entries count as unlabeled).
+        """
+        d = self.embedder.dimension
+        out = np.zeros((len(edges), self.dimension))
+        embedding_cache = _EmbeddingCache(self.embedder, self.label_weight)
+        empty = frozenset()
+        key_index = self._key_index
+        for row, edge in enumerate(edges):
+            out[row, :d] = embedding_cache.for_labels(edge.labels)
+            out[row, d:2 * d] = embedding_cache.for_labels(
+                endpoint_labels.get(edge.source, empty)
+            )
+            out[row, 2 * d:3 * d] = embedding_cache.for_labels(
+                endpoint_labels.get(edge.target, empty)
+            )
+            for key in edge.properties:
+                index = key_index.get(key)
+                if index is not None:
+                    out[row, 3 * d + index] = 1.0
+        return out
+
+    def feature_sets(
+        self,
+        edges: Sequence[Edge],
+        endpoint_labels: dict[int, frozenset[str]],
+        interner: FeatureInterner,
+    ) -> list[set[int]]:
+        """MinHash feature sets: keys, edge label, and endpoint labels."""
+        sets: list[set[int]] = []
+        for edge in edges:
+            features = {
+                interner.intern(f"ek:{key}") for key in edge.properties
+            }
+            token = edge.label_token()
+            if token:
+                features.add(interner.intern(f"label:{token}"))
+            src_token = canonical_label(
+                endpoint_labels.get(edge.source, frozenset())
+            )
+            if src_token:
+                features.add(interner.intern(f"src:{src_token}"))
+            tgt_token = canonical_label(
+                endpoint_labels.get(edge.target, frozenset())
+            )
+            if tgt_token:
+                features.add(interner.intern(f"tgt:{tgt_token}"))
+            sets.append(features)
+        return sets
+
+
+class _EmbeddingCache:
+    """Memoized unit-normalized, weight-scaled embeddings per label set.
+
+    Batches contain thousands of elements but only a handful of distinct
+    label sets, so caching by frozenset removes the per-element embedding
+    and normalization cost from the hot path.
+    """
+
+    def __init__(self, embedder: LabelEmbedder, weight: float) -> None:
+        self._embedder = embedder
+        self._weight = weight
+        self._by_labels: dict[frozenset[str], np.ndarray] = {}
+
+    def for_labels(self, labels: frozenset[str]) -> np.ndarray:
+        cached = self._by_labels.get(labels)
+        if cached is None:
+            cached = _scaled_embedding(
+                self._embedder, canonical_label(labels), self._weight
+            )
+            self._by_labels[labels] = cached
+        return cached
+
+
+def _scaled_embedding(
+    embedder: LabelEmbedder, token: str, weight: float
+) -> np.ndarray:
+    """Unit-normalized, weight-scaled embedding; zeros for no label."""
+    vector = embedder.embed_token(token)
+    norm = float(np.linalg.norm(vector))
+    if norm == 0.0:
+        return vector
+    return vector / norm * weight

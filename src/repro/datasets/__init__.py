@@ -1,0 +1,39 @@
+"""Synthetic reproductions of the paper's eight evaluation datasets.
+
+The originals (POLE, MB6, HET.IO, FIB25, ICIJ, CORD19, LDBC, IYP -- Table 2
+of the paper) range up to 44.5M nodes and are distributed as Neo4j dumps.
+This package replaces them with parameterized generators that replicate the
+*structural* characteristics F1* depends on -- node/edge type counts, label
+sets (including multi-label variants), pattern diversity via optional
+properties, heterogeneity and dirty values -- at laptop scale.
+
+Use :func:`get_dataset` / :func:`list_datasets` to obtain them, and
+:func:`inject_noise` for the noise/label-availability scenarios of the
+evaluation.
+"""
+
+from repro.datasets.spec import (
+    DatasetSpec,
+    EdgeTypeSpec,
+    LabelVariant,
+    NodeTypeSpec,
+    PropertyGen,
+)
+from repro.datasets.synthetic import GeneratedDataset, GroundTruth, generate
+from repro.datasets.noise import inject_noise
+from repro.datasets.registry import dataset_spec, get_dataset, list_datasets
+
+__all__ = [
+    "DatasetSpec",
+    "EdgeTypeSpec",
+    "GeneratedDataset",
+    "GroundTruth",
+    "LabelVariant",
+    "NodeTypeSpec",
+    "PropertyGen",
+    "dataset_spec",
+    "generate",
+    "get_dataset",
+    "inject_noise",
+    "list_datasets",
+]

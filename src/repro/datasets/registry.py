@@ -1,0 +1,36 @@
+"""Dataset registry: lookup and generation by name."""
+
+from __future__ import annotations
+
+from repro.datasets.iyp import IYP
+from repro.datasets.spec import DatasetSpec
+from repro.datasets.specs import CORD19, FIB25, HETIO, ICIJ, LDBC, MB6, POLE
+from repro.datasets.synthetic import GeneratedDataset, generate
+
+_SPECS: dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in (POLE, MB6, HETIO, FIB25, ICIJ, CORD19, LDBC, IYP)
+}
+
+
+def list_datasets() -> list[str]:
+    """Dataset names in the paper's Table 2 order."""
+    return list(_SPECS)
+
+
+def dataset_spec(name: str) -> DatasetSpec:
+    """The spec for a dataset name (case-insensitive; '.' optional)."""
+    key = name.upper().replace("HETIO", "HET.IO")
+    spec = _SPECS.get(key) or _SPECS.get(name.upper())
+    if spec is None:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {', '.join(_SPECS)}"
+        )
+    return spec
+
+
+def get_dataset(
+    name: str, scale: float = 1.0, seed: int = 0
+) -> GeneratedDataset:
+    """Generate a dataset by name at the given scale."""
+    return generate(dataset_spec(name), scale=scale, seed=seed)

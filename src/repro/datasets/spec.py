@@ -1,0 +1,138 @@
+"""Declarative dataset specifications.
+
+A :class:`DatasetSpec` describes one synthetic dataset: its node types
+(each with weighted label variants, mandatory and optional properties),
+its edge types (with endpoint types, cardinality style and properties),
+and the target node/edge counts at scale 1.0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class PropertyGen:
+    """Generator spec for one property.
+
+    Attributes:
+        key: Property name.
+        kind: Value generator kind -- one of ``int``, ``float``, ``bool``,
+            ``date``, ``timestamp``, ``string``, ``name``, ``text``,
+            ``url``, ``code``.
+        presence: Probability the property is present on an instance
+            (1.0 = mandatory, < 1.0 creates additional patterns).
+        dirty_rate: Probability a value is generated as a free-form string
+            instead of its nominal kind.  Nonzero rates model the
+            heterogeneous real datasets (ICIJ, CORD19, IYP) whose outlier
+            values drive the Figure 8 sampling errors.
+    """
+
+    key: str
+    kind: str = "string"
+    presence: float = 1.0
+    dirty_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.presence <= 1.0:
+            raise ValueError("presence must be in (0, 1]")
+        if not 0.0 <= self.dirty_rate <= 1.0:
+            raise ValueError("dirty_rate must be in [0, 1]")
+
+
+@dataclass(frozen=True, slots=True)
+class LabelVariant:
+    """One label-set variant of a type with a relative weight.
+
+    Ground-truth types keep a single name while instances may carry
+    different label sets (multi-label datasets such as MB6/FIB25/IYP).
+    """
+
+    labels: tuple[str, ...]
+    weight: float = 1.0
+
+
+@dataclass(frozen=True, slots=True)
+class NodeTypeSpec:
+    """One ground-truth node type."""
+
+    name: str
+    variants: tuple[LabelVariant, ...]
+    properties: tuple[PropertyGen, ...] = ()
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.variants:
+            raise ValueError(f"node type {self.name}: needs >= 1 variant")
+        if self.weight <= 0:
+            raise ValueError(f"node type {self.name}: weight must be > 0")
+
+
+@dataclass(frozen=True, slots=True)
+class EdgeTypeSpec:
+    """One ground-truth edge type.
+
+    Attributes:
+        name: Ground-truth type name (unique within the dataset).
+        labels: Edge label set (may be shared across types, matching the
+            paper's datasets where #edge types > #edge labels).
+        source / target: Node type *names* the edge connects.
+        cardinality: ``"M:N"``, ``"N:1"``, ``"1:N"`` or ``"1:1"`` -- shapes
+            the generated degree distribution so cardinality inference has
+            ground truth to recover.
+        properties: Property generators.
+        weight: Relative share of the dataset's edges.
+    """
+
+    name: str
+    labels: tuple[str, ...]
+    source: str
+    target: str
+    cardinality: str = "M:N"
+    properties: tuple[PropertyGen, ...] = ()
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.cardinality not in {"M:N", "N:1", "1:N", "1:1"}:
+            raise ValueError(
+                f"edge type {self.name}: bad cardinality {self.cardinality!r}"
+            )
+        if self.weight <= 0:
+            raise ValueError(f"edge type {self.name}: weight must be > 0")
+
+
+@dataclass(frozen=True, slots=True)
+class DatasetSpec:
+    """A whole dataset: types plus target sizes at scale 1.0."""
+
+    name: str
+    node_types: tuple[NodeTypeSpec, ...]
+    edge_types: tuple[EdgeTypeSpec, ...]
+    num_nodes: int
+    num_edges: int
+    description: str = ""
+    real: bool = False  # R/S column of Table 2
+
+    def __post_init__(self) -> None:
+        names = [t.name for t in self.node_types]
+        if len(names) != len(set(names)):
+            raise ValueError(f"{self.name}: duplicate node type names")
+        edge_names = [t.name for t in self.edge_types]
+        if len(edge_names) != len(set(edge_names)):
+            raise ValueError(f"{self.name}: duplicate edge type names")
+        known = set(names)
+        for edge_type in self.edge_types:
+            if edge_type.source not in known or edge_type.target not in known:
+                raise ValueError(
+                    f"{self.name}/{edge_type.name}: unknown endpoint type"
+                )
+
+    @property
+    def node_type_names(self) -> list[str]:
+        """Ground-truth node type names."""
+        return [t.name for t in self.node_types]
+
+    @property
+    def edge_type_names(self) -> list[str]:
+        """Ground-truth edge type names."""
+        return [t.name for t in self.edge_types]

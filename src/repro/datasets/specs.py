@@ -1,0 +1,635 @@
+"""Specifications of seven of the paper's eight datasets (IYP is built
+programmatically in :mod:`repro.datasets.iyp`).
+
+Each spec mirrors the corresponding Table 2 row structurally: the same
+number of ground-truth node/edge types, the same distinct label counts
+(including multi-label variants and integration labels such as HET.IO's
+shared ``HetionetNode``), pattern diversity via optional properties, and
+per-edge-type cardinality styles.  Sizes are scaled to laptop budgets while
+preserving the node:edge ratios of the originals.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.spec import (
+    DatasetSpec,
+    EdgeTypeSpec,
+    LabelVariant,
+    NodeTypeSpec,
+    PropertyGen,
+)
+
+
+def _single(name: str, *labels: str) -> tuple[LabelVariant, ...]:
+    """A type with exactly one label variant."""
+    return (LabelVariant(labels or (name,)),)
+
+
+# ---------------------------------------------------------------------------
+# POLE -- crime investigation (11 node types / 17 edge types,
+#         11 / 16 labels, synthetic in the paper)
+# ---------------------------------------------------------------------------
+
+POLE = DatasetSpec(
+    name="POLE",
+    description="Person-Object-Location-Event crime investigation graph",
+    real=False,
+    num_nodes=1200,
+    num_edges=2100,
+    node_types=(
+        NodeTypeSpec("Person", _single("Person"), (
+            PropertyGen("name", "name"),
+            PropertyGen("surname", "name"),
+            PropertyGen("nhs_no", "code"),
+            PropertyGen("age", "int", presence=0.85),
+        ), weight=5.0),
+        NodeTypeSpec("Officer", _single("Officer"), (
+            PropertyGen("badge_no", "code"),
+            PropertyGen("rank", "string"),
+            PropertyGen("name", "name"),
+        ), weight=1.0),
+        NodeTypeSpec("Crime", _single("Crime"), (
+            PropertyGen("crime_id", "int"),
+            PropertyGen("crime_type", "string"),
+            PropertyGen("date", "date"),
+            PropertyGen("charge", "string", presence=0.6),
+            PropertyGen("last_outcome", "string", presence=0.7),
+        ), weight=3.0),
+        NodeTypeSpec("Location", _single("Location"), (
+            PropertyGen("address", "text"),
+            PropertyGen("postcode", "code"),
+            PropertyGen("latitude", "float"),
+            PropertyGen("longitude", "float"),
+        ), weight=3.0),
+        NodeTypeSpec("Object", _single("Object"), (
+            PropertyGen("description", "text"),
+            PropertyGen("object_type", "string"),
+        ), weight=1.0),
+        NodeTypeSpec("Vehicle", _single("Vehicle"), (
+            PropertyGen("reg", "code"),
+            PropertyGen("make", "string"),
+            PropertyGen("model", "string"),
+            PropertyGen("year", "int", presence=0.8),
+        ), weight=1.0),
+        NodeTypeSpec("Phone", _single("Phone"), (
+            PropertyGen("phoneNo", "code"),
+        ), weight=2.0),
+        NodeTypeSpec("PhoneCall", _single("PhoneCall"), (
+            PropertyGen("call_date", "date"),
+            PropertyGen("call_time", "string"),
+            PropertyGen("call_duration", "int"),
+            PropertyGen("call_type", "string"),
+        ), weight=3.0),
+        NodeTypeSpec("Email", _single("Email"), (
+            PropertyGen("email_address", "string"),
+        ), weight=1.0),
+        NodeTypeSpec("Area", _single("Area"), (
+            PropertyGen("areaCode", "code"),
+        ), weight=0.5),
+        NodeTypeSpec("PostCode", _single("PostCode"), (
+            PropertyGen("code", "code"),
+        ), weight=0.5),
+    ),
+    edge_types=(
+        EdgeTypeSpec("KNOWS", ("KNOWS",), "Person", "Person",
+                     "M:N", (), weight=3.0),
+        EdgeTypeSpec("KNOWS_LW", ("KNOWS_LW",), "Person", "Person",
+                     "M:N", (), weight=1.0),
+        EdgeTypeSpec("KNOWS_SN", ("KNOWS_SN",), "Person", "Person",
+                     "M:N", (), weight=1.0),
+        EdgeTypeSpec("FAMILY_REL", ("FAMILY_REL",), "Person", "Person",
+                     "M:N", (PropertyGen("rel_type", "string"),), weight=1.0),
+        EdgeTypeSpec("CURRENT_ADDRESS", ("CURRENT_ADDRESS",), "Person",
+                     "Location", "N:1", (), weight=2.0),
+        EdgeTypeSpec("HAS_PHONE", ("HAS_PHONE",), "Person", "Phone",
+                     "N:1", (), weight=1.5),
+        EdgeTypeSpec("HAS_EMAIL", ("HAS_EMAIL",), "Person", "Email",
+                     "N:1", (), weight=1.0),
+        EdgeTypeSpec("PARTY_TO", ("PARTY_TO",), "Person", "Crime",
+                     "M:N", (), weight=2.0),
+        EdgeTypeSpec("INVESTIGATED_BY", ("INVESTIGATED_BY",), "Crime",
+                     "Officer", "N:1", (), weight=1.5),
+        EdgeTypeSpec("OCCURRED_AT", ("OCCURRED_AT",), "Crime", "Location",
+                     "N:1", (), weight=1.5),
+        # Same label, two endpoint pairs: 17 edge types over 16 labels.
+        EdgeTypeSpec("INVOLVED_IN_obj", ("INVOLVED_IN",), "Object", "Crime",
+                     "M:N", (), weight=1.0),
+        EdgeTypeSpec("INVOLVED_IN_veh", ("INVOLVED_IN",), "Vehicle", "Crime",
+                     "M:N", (), weight=1.0),
+        EdgeTypeSpec("CALLER", ("CALLER",), "PhoneCall", "Phone",
+                     "N:1", (), weight=1.5),
+        EdgeTypeSpec("CALLED", ("CALLED",), "PhoneCall", "Phone",
+                     "N:1", (), weight=1.5),
+        EdgeTypeSpec("LOCATION_IN_AREA", ("LOCATION_IN_AREA",), "Location",
+                     "Area", "N:1", (), weight=1.0),
+        EdgeTypeSpec("AREA_HAS_POSTCODE", ("AREA_HAS_POSTCODE",), "Area",
+                     "PostCode", "1:N", (), weight=0.5),
+        EdgeTypeSpec("POSTCODE_IN_AREA", ("POSTCODE_IN_AREA",), "PostCode",
+                     "Area", "N:1", (), weight=0.5),
+    ),
+)
+
+
+# ---------------------------------------------------------------------------
+# MB6 -- mushroom body connectome (4 node types / 5 edge types,
+#        10 / 3 labels, heavily multi-labeled, 52 node patterns)
+# ---------------------------------------------------------------------------
+
+# In the neuPrint data model every Neuron node is also a Segment, so the
+# ground-truth types Neuron and Segment have containment-related label sets.
+# Label-driven approaches that merge types by shared labels (SchemI) mix the
+# two; approaches keyed on exact label sets keep them apart.
+_NEURON_PROPS_MB6 = (
+    PropertyGen("bodyId", "int"),
+    PropertyGen("name", "string", presence=0.8),
+    PropertyGen("status", "string", presence=0.7),
+    PropertyGen("cropped", "bool", presence=0.45),
+)
+
+MB6 = DatasetSpec(
+    name="MB6",
+    description="Drosophila mushroom-body connectome (neuPrint model)",
+    real=False,
+    num_nodes=1600,
+    num_edges=3200,
+    node_types=(
+        NodeTypeSpec("Neuron", (
+            LabelVariant(("Neuron", "Segment", "mb6"), 4.0),
+            LabelVariant(("Cell", "Neuron", "Segment", "mb6"), 1.0),
+            LabelVariant(("KC", "Neuron", "Segment", "mb6"), 1.5),
+            LabelVariant(("MBON", "Neuron", "Segment", "mb6"), 1.0),
+        ), _NEURON_PROPS_MB6, weight=2.5),
+        NodeTypeSpec("Segment", _single("Segment", "Segment", "mb6"), (
+            PropertyGen("bodyId", "int"),
+            PropertyGen("status", "string", presence=0.6),
+            PropertyGen("instance", "string", presence=0.4),
+        ), weight=1.5),
+        NodeTypeSpec("Synapse", (
+            LabelVariant(("Synapse", "mb6"), 2.0),
+            LabelVariant(("PreSyn", "Synapse", "mb6"), 1.0),
+            LabelVariant(("PostSyn", "Synapse", "mb6"), 1.0),
+        ), (
+            PropertyGen("location", "string"),
+            PropertyGen("confidence", "float", presence=0.9),
+        ), weight=4.0),
+        NodeTypeSpec("SynapseSet", _single("SynapseSet", "SynapseSet", "mb6"), (
+            PropertyGen("setId", "int"),
+        ), weight=1.0),
+    ),
+    edge_types=(
+        EdgeTypeSpec("ConnectsTo", ("ConnectsTo",), "Neuron", "Neuron",
+                     "M:N", (PropertyGen("weight", "int"),), weight=2.5),
+        EdgeTypeSpec("ConnectsTo_seg", ("ConnectsTo",), "Segment", "Segment",
+                     "M:N", (), weight=1.0),
+        EdgeTypeSpec("SynapsesTo", ("SynapsesTo",), "Synapse", "Synapse",
+                     "M:N", (), weight=3.0),
+        EdgeTypeSpec("Contains_nss", ("Contains",), "Neuron", "SynapseSet",
+                     "1:N", (), weight=1.5),
+        EdgeTypeSpec("Contains_sss", ("Contains",), "SynapseSet", "Synapse",
+                     "M:N", (), weight=2.0),
+    ),
+)
+
+
+# ---------------------------------------------------------------------------
+# FIB25 -- medulla connectome: same shape as MB6 with its own label space
+#          (4 / 5 types, 10 / 3 labels, 31 node patterns)
+# ---------------------------------------------------------------------------
+
+_NEURON_PROPS_FIB25 = (
+    PropertyGen("bodyId", "int"),
+    PropertyGen("name", "string", presence=0.8),
+    PropertyGen("status", "string", presence=0.65),
+)
+
+FIB25 = DatasetSpec(
+    name="FIB25",
+    description="Drosophila medulla connectome (neuPrint model)",
+    real=False,
+    num_nodes=1600,
+    num_edges=3200,
+    node_types=(
+        NodeTypeSpec("Neuron", (
+            LabelVariant(("Neuron", "Segment", "fib25"), 4.0),
+            LabelVariant(("Neuron", "Segment", "Tm", "fib25"), 1.0),
+            LabelVariant(("Mi", "Neuron", "Segment", "fib25"), 1.0),
+        ), _NEURON_PROPS_FIB25, weight=2.5),
+        NodeTypeSpec("Segment", _single("Segment", "Segment", "fib25"), (
+            PropertyGen("bodyId", "int"),
+            PropertyGen("size", "int", presence=0.5),
+        ), weight=1.5),
+        NodeTypeSpec("Synapse", (
+            LabelVariant(("Synapse", "fib25"), 2.0),
+            LabelVariant(("PreSyn", "Synapse", "fib25"), 1.0),
+            LabelVariant(("PostSyn", "Synapse", "fib25"), 1.0),
+        ), (
+            PropertyGen("location", "string"),
+            PropertyGen("confidence", "float", presence=0.9),
+        ), weight=4.0),
+        NodeTypeSpec("SynapseSet", _single("SynapseSet", "SynapseSet", "fib25"), (
+            PropertyGen("setId", "int"),
+        ), weight=1.0),
+    ),
+    edge_types=(
+        EdgeTypeSpec("ConnectsTo", ("ConnectsTo",), "Neuron", "Neuron",
+                     "M:N", (PropertyGen("weight", "int"),), weight=2.5),
+        EdgeTypeSpec("ConnectsTo_seg", ("ConnectsTo",), "Segment", "Segment",
+                     "M:N", (), weight=1.0),
+        EdgeTypeSpec("SynapsesTo", ("SynapsesTo",), "Synapse", "Synapse",
+                     "M:N", (), weight=3.0),
+        EdgeTypeSpec("Contains_nss", ("Contains",), "Neuron", "SynapseSet",
+                     "1:N", (), weight=1.5),
+        EdgeTypeSpec("Contains_sss", ("Contains",), "SynapseSet", "Synapse",
+                     "M:N", (), weight=2.0),
+    ),
+)
+
+
+# ---------------------------------------------------------------------------
+# HET.IO -- integrated biomedical knowledge graph (11 / 24 types,
+#           12 / 24 labels: every node carries the shared HetionetNode
+#           label, the integration scenario the paper calls out)
+# ---------------------------------------------------------------------------
+
+def _hetio_node(name: str, *props: PropertyGen, weight: float = 1.0) -> NodeTypeSpec:
+    """A HET.IO node type: its own label plus the shared integration label."""
+    return NodeTypeSpec(
+        name,
+        (LabelVariant((name, "HetionetNode")),),
+        tuple(props) or (
+            PropertyGen("identifier", "code"),
+            PropertyGen("name", "string"),
+        ),
+        weight=weight,
+    )
+
+
+HETIO = DatasetSpec(
+    name="HET.IO",
+    description="Hetionet: genes, diseases, drugs and their relations",
+    real=True,
+    num_nodes=900,
+    num_edges=5400,
+    node_types=(
+        _hetio_node("Gene",
+                    PropertyGen("identifier", "int"),
+                    PropertyGen("name", "string"),
+                    PropertyGen("chromosome", "string", presence=0.9),
+                    weight=4.0),
+        _hetio_node("Disease",
+                    PropertyGen("identifier", "code"),
+                    PropertyGen("name", "string"), weight=1.0),
+        _hetio_node("Compound",
+                    PropertyGen("identifier", "code"),
+                    PropertyGen("name", "string"),
+                    PropertyGen("inchikey", "code", presence=0.95),
+                    weight=2.0),
+        # Each integrated source contributes its own identifier scheme
+        # (UBERON, GO, Reactome, NDF-RT, UMLS, MeSH), so types remain
+        # structurally distinguishable even without labels -- the paper
+        # counts HET.IO among the datasets that stay easy at 0 % labels.
+        _hetio_node("Anatomy",
+                    PropertyGen("uberon_id", "code"),
+                    PropertyGen("name", "string"),
+                    PropertyGen("mesh_id", "code", presence=0.6),
+                    weight=1.0),
+        _hetio_node("BiologicalProcess",
+                    PropertyGen("go_id", "code"),
+                    PropertyGen("name", "string"),
+                    weight=2.0),
+        _hetio_node("CellularComponent",
+                    PropertyGen("go_id", "code"),
+                    PropertyGen("name", "string"),
+                    PropertyGen("synonyms", "text", presence=0.9),
+                    weight=1.0),
+        _hetio_node("MolecularFunction",
+                    PropertyGen("go_id", "code"),
+                    PropertyGen("name", "string"),
+                    PropertyGen("ec_number", "code", presence=0.9),
+                    weight=1.0),
+        _hetio_node("Pathway",
+                    PropertyGen("reactome_id", "code"),
+                    PropertyGen("name", "string"),
+                    PropertyGen("n_genes", "int"),
+                    weight=1.0),
+        _hetio_node("PharmacologicClass",
+                    PropertyGen("ndfrt_id", "code"),
+                    PropertyGen("name", "string"),
+                    PropertyGen("class_type", "string"),
+                    weight=0.5),
+        _hetio_node("SideEffect",
+                    PropertyGen("umls_id", "code"),
+                    PropertyGen("name", "string"),
+                    weight=1.5),
+        _hetio_node("Symptom",
+                    PropertyGen("mesh_id", "code"),
+                    PropertyGen("name", "string"),
+                    weight=0.5),
+    ),
+    edge_types=tuple(
+        EdgeTypeSpec(label, (label,), source, target, card, props, weight=w)
+        for label, source, target, card, props, w in (
+            ("BINDS_CbG", "Compound", "Gene", "M:N",
+             (PropertyGen("affinity", "float", presence=0.5),), 2.0),
+            ("TREATS_CtD", "Compound", "Disease", "M:N", (), 1.0),
+            ("PALLIATES_CpD", "Compound", "Disease", "M:N", (), 0.5),
+            ("CAUSES_CcSE", "Compound", "SideEffect", "M:N", (), 2.0),
+            ("RESEMBLES_CrC", "Compound", "Compound", "M:N", (), 1.0),
+            ("ASSOCIATES_DaG", "Disease", "Gene", "M:N", (), 2.0),
+            ("UPREGULATES_DuG", "Disease", "Gene", "M:N", (), 1.0),
+            ("DOWNREGULATES_DdG", "Disease", "Gene", "M:N", (), 1.0),
+            ("LOCALIZES_DlA", "Disease", "Anatomy", "M:N", (), 1.0),
+            ("PRESENTS_DpS", "Disease", "Symptom", "M:N", (), 1.0),
+            ("RESEMBLES_DrD", "Disease", "Disease", "M:N", (), 0.5),
+            ("EXPRESSES_AeG", "Anatomy", "Gene", "M:N", (), 2.0),
+            ("UPREGULATES_AuG", "Anatomy", "Gene", "M:N", (), 1.0),
+            ("DOWNREGULATES_AdG", "Anatomy", "Gene", "M:N", (), 1.0),
+            ("PARTICIPATES_GpBP", "Gene", "BiologicalProcess", "M:N", (), 2.0),
+            ("PARTICIPATES_GpCC", "Gene", "CellularComponent", "M:N", (), 1.0),
+            ("PARTICIPATES_GpMF", "Gene", "MolecularFunction", "M:N", (), 1.0),
+            ("PARTICIPATES_GpPW", "Gene", "Pathway", "M:N", (), 1.0),
+            ("INTERACTS_GiG", "Gene", "Gene", "M:N", (), 2.0),
+            ("COVARIES_GcG", "Gene", "Gene", "M:N", (), 1.0),
+            ("REGULATES_GrG", "Gene", "Gene", "M:N", (), 1.0),
+            ("INCLUDES_PCiC", "PharmacologicClass", "Compound", "1:N", (), 0.5),
+            ("UPREGULATES_CuG", "Compound", "Gene", "M:N", (), 1.0),
+            ("DOWNREGULATES_CdG", "Compound", "Gene", "M:N", (), 1.0),
+        )
+    ),
+)
+
+
+# ---------------------------------------------------------------------------
+# ICIJ -- offshore leaks (5 / 14 types, 6 / 14 labels, 208 node patterns:
+#         very heterogeneous optional + dirty properties)
+# ---------------------------------------------------------------------------
+
+ICIJ = DatasetSpec(
+    name="ICIJ",
+    description="ICIJ offshore leaks (Panama Papers et al.)",
+    real=True,
+    num_nodes=2000,
+    num_edges=3300,
+    node_types=(
+        NodeTypeSpec("Entity", (
+            LabelVariant(("Entity",), 3.0),
+            LabelVariant(("Entity", "Leak"), 1.0),
+        ), (
+            PropertyGen("name", "string"),
+            PropertyGen("jurisdiction", "code", presence=0.8),
+            PropertyGen("incorporation_date", "date", presence=0.6,
+                        dirty_rate=0.04),
+            PropertyGen("inactivation_date", "date", presence=0.3,
+                        dirty_rate=0.04),
+            PropertyGen("status", "string_with_dates", presence=0.7),
+            PropertyGen("company_type", "string_with_ints", presence=0.4),
+            PropertyGen("ibcRUC", "code", presence=0.5, dirty_rate=0.03),
+            PropertyGen("service_provider", "string", presence=0.45),
+        ), weight=4.0),
+        NodeTypeSpec("Officer", (
+            LabelVariant(("Officer",), 3.0),
+            LabelVariant(("Leak", "Officer"), 1.0),
+        ), (
+            PropertyGen("name", "name"),
+            PropertyGen("countries", "string", presence=0.7),
+            PropertyGen("country_codes", "string_list", presence=0.6),
+            PropertyGen("valid_until", "date", presence=0.4, dirty_rate=0.05),
+        ), weight=3.0),
+        NodeTypeSpec("Intermediary", _single("Intermediary"), (
+            PropertyGen("name", "string"),
+            PropertyGen("address", "text", presence=0.6),
+            PropertyGen("status", "string_with_ints", presence=0.5),
+            PropertyGen("internal_id", "int", presence=0.7, dirty_rate=0.05),
+        ), weight=1.0),
+        NodeTypeSpec("Address", _single("Address"), (
+            PropertyGen("address", "text"),
+            PropertyGen("country_codes", "string_list", presence=0.8),
+            PropertyGen("valid_until", "date", presence=0.3, dirty_rate=0.06),
+        ), weight=1.5),
+        NodeTypeSpec("Other", _single("Other"), (
+            PropertyGen("name", "string"),
+            PropertyGen("note", "text", presence=0.4),
+        ), weight=0.5),
+    ),
+    edge_types=tuple(
+        EdgeTypeSpec(label, (label,), source, target, card, props, weight=w)
+        for label, source, target, card, props, w in (
+            ("registered_address", "Entity", "Address", "N:1", (), 2.5),
+            ("officer_of", "Officer", "Entity", "M:N",
+             (PropertyGen("link", "string", presence=0.6),), 3.0),
+            ("intermediary_of", "Intermediary", "Entity", "M:N", (), 2.0),
+            ("similar", "Entity", "Entity", "M:N", (), 0.7),
+            ("connected_to", "Entity", "Other", "M:N", (), 0.5),
+            ("probably_same_officer_as", "Officer", "Officer", "M:N", (), 0.7),
+            ("same_name_as", "Entity", "Entity", "M:N", (), 0.7),
+            ("same_id_as", "Entity", "Entity", "M:N", (), 0.3),
+            ("underlying", "Intermediary", "Officer", "M:N", (), 0.4),
+            ("shareholder_of", "Officer", "Entity", "M:N",
+             (PropertyGen("shares", "string", presence=0.5),), 1.0),
+            ("director_of", "Officer", "Entity", "M:N", (), 1.0),
+            ("beneficiary_of", "Officer", "Entity", "M:N", (), 0.6),
+            ("secretary_of", "Officer", "Entity", "M:N", (), 0.4),
+            ("same_as", "Officer", "Officer", "M:N", (), 0.2),
+        )
+    ),
+)
+
+
+# ---------------------------------------------------------------------------
+# CORD19 -- COVID-19 knowledge graph (16 / 16 types, 16 / 16 labels,
+#           89 node patterns)
+# ---------------------------------------------------------------------------
+
+def _cord_node(name: str, props: tuple[PropertyGen, ...], weight: float) -> NodeTypeSpec:
+    return NodeTypeSpec(name, _single(name), props, weight=weight)
+
+
+CORD19 = DatasetSpec(
+    name="CORD19",
+    description="CovidGraph: papers, authors, genes and clinical data",
+    real=True,
+    num_nodes=2200,
+    num_edges=2300,
+    node_types=(
+        _cord_node("Paper", (
+            PropertyGen("cord_uid", "code"),
+            PropertyGen("title", "text"),
+            PropertyGen("publish_time", "date", presence=0.8, dirty_rate=0.05),
+            PropertyGen("journal", "string_with_ints", presence=0.7),
+            PropertyGen("doi", "code", presence=0.75),
+            PropertyGen("url", "url", presence=0.5),
+        ), 4.0),
+        _cord_node("Author", (
+            PropertyGen("first", "name"),
+            PropertyGen("last", "name"),
+            PropertyGen("email", "string", presence=0.3),
+        ), 4.0),
+        _cord_node("Affiliation", (
+            PropertyGen("institution", "string"),
+            PropertyGen("laboratory", "string", presence=0.4),
+        ), 1.5),
+        _cord_node("PaperID", (
+            PropertyGen("id_type", "string"),
+            PropertyGen("id_value", "code"),
+        ), 2.0),
+        _cord_node("Abstract", (
+            PropertyGen("text", "text"),
+        ), 2.0),
+        _cord_node("BodyText", (
+            PropertyGen("text", "text"),
+            PropertyGen("section", "string", presence=0.8),
+        ), 3.0),
+        _cord_node("Citation", (
+            PropertyGen("ref_id", "code"),
+            PropertyGen("title", "text", presence=0.9),
+        ), 2.0),
+        _cord_node("Gene", (
+            PropertyGen("sid", "code"),
+            PropertyGen("name", "string"),
+            PropertyGen("taxid", "int", presence=0.9, dirty_rate=0.03),
+        ), 1.5),
+        _cord_node("Protein", (
+            PropertyGen("sid", "code"),
+            PropertyGen("name", "string"),
+            PropertyGen("mass", "float_with_ints", presence=0.6),
+        ), 1.5),
+        _cord_node("Disease", (
+            PropertyGen("doid", "code"),
+            PropertyGen("name", "string"),
+            PropertyGen("definition", "text", presence=0.6),
+        ), 1.0),
+        _cord_node("Pathway", (
+            PropertyGen("sid", "code"),
+            PropertyGen("name", "string"),
+            PropertyGen("org", "string", presence=0.7),
+        ), 0.8),
+        _cord_node("GeneSymbol", (
+            PropertyGen("sid", "code"),
+            PropertyGen("status", "string", presence=0.5),
+        ), 1.0),
+        _cord_node("Transcript", (
+            PropertyGen("sid", "code"),
+        ), 0.8),
+        _cord_node("ClinicalTrial", (
+            PropertyGen("nct_id", "code"),
+            PropertyGen("phase", "string", presence=0.6),
+            PropertyGen("start_date", "date", presence=0.7, dirty_rate=0.04),
+        ), 0.6),
+        _cord_node("Patent", (
+            PropertyGen("publication_number", "code"),
+            PropertyGen("filing_date", "date", presence=0.8, dirty_rate=0.04),
+        ), 0.5),
+        _cord_node("Fragment", (
+            PropertyGen("kind", "string"),
+            PropertyGen("text", "text"),
+        ), 0.8),
+    ),
+    edge_types=tuple(
+        EdgeTypeSpec(label, (label,), source, target, card, (), weight=w)
+        for label, source, target, card, w in (
+            ("PAPER_HAS_AUTHOR", "Paper", "Author", "M:N", 3.0),
+            ("AUTHOR_HAS_AFFILIATION", "Author", "Affiliation", "N:1", 2.0),
+            ("PAPER_HAS_PAPERID", "Paper", "PaperID", "1:N", 2.0),
+            ("PAPER_HAS_ABSTRACT", "Paper", "Abstract", "1:1", 1.5),
+            ("PAPER_HAS_BODYTEXT", "Paper", "BodyText", "1:N", 2.0),
+            ("PAPER_HAS_CITATION", "Paper", "Citation", "1:N", 2.0),
+            ("MENTIONS_GENE", "BodyText", "Gene", "M:N", 1.5),
+            ("MENTIONS_DISEASE", "BodyText", "Disease", "M:N", 1.0),
+            ("CODES_FOR", "Gene", "Protein", "1:N", 1.0),
+            ("MEMBER_OF_PATHWAY", "Protein", "Pathway", "M:N", 1.0),
+            ("MAPS_TO", "Gene", "GeneSymbol", "N:1", 1.0),
+            ("HAS_TRANSCRIPT", "Gene", "Transcript", "1:N", 0.8),
+            ("ASSOCIATED_WITH", "Disease", "Gene", "M:N", 0.8),
+            ("INVESTIGATES", "ClinicalTrial", "Disease", "M:N", 0.6),
+            ("PROTECTS", "Patent", "Protein", "M:N", 0.4),
+            ("HAS_FRAGMENT", "Abstract", "Fragment", "1:N", 0.8),
+        )
+    ),
+)
+
+
+# ---------------------------------------------------------------------------
+# LDBC -- social network benchmark (7 / 17 types, 8 / 15 labels:
+#         Post and Comment share the Message label; LIKES and HAS_CREATOR
+#         and HAS_TAG span two endpoint pairs each)
+# ---------------------------------------------------------------------------
+
+LDBC = DatasetSpec(
+    name="LDBC",
+    description="LDBC Social Network Benchmark interactive schema",
+    real=False,
+    num_nodes=1800,
+    num_edges=7000,
+    node_types=(
+        NodeTypeSpec("Person", _single("Person"), (
+            PropertyGen("firstName", "name"),
+            PropertyGen("lastName", "name"),
+            PropertyGen("gender", "string"),
+            PropertyGen("birthday", "date"),
+            PropertyGen("creationDate", "timestamp"),
+            PropertyGen("locationIP", "string", presence=0.9),
+            PropertyGen("browserUsed", "string", presence=0.9),
+        ), weight=2.0),
+        NodeTypeSpec("Forum", _single("Forum"), (
+            PropertyGen("title", "text"),
+            PropertyGen("creationDate", "timestamp"),
+        ), weight=1.0),
+        NodeTypeSpec("Post", (LabelVariant(("Message", "Post")),), (
+            PropertyGen("content", "text", presence=0.7),
+            PropertyGen("imageFile", "string", presence=0.3),
+            PropertyGen("creationDate", "timestamp"),
+            PropertyGen("length", "int"),
+        ), weight=3.0),
+        NodeTypeSpec("Comment", (LabelVariant(("Comment", "Message")),), (
+            PropertyGen("content", "text"),
+            PropertyGen("creationDate", "timestamp"),
+            PropertyGen("length", "int"),
+        ), weight=3.0),
+        NodeTypeSpec("Tag", _single("Tag"), (
+            PropertyGen("name", "string"),
+            PropertyGen("url", "url"),
+        ), weight=0.8),
+        NodeTypeSpec("TagClass", _single("TagClass"), (
+            PropertyGen("name", "string"),
+            PropertyGen("url", "url"),
+        ), weight=0.3),
+        NodeTypeSpec("Place", _single("Place"), (
+            PropertyGen("name", "string"),
+            PropertyGen("url", "url"),
+            PropertyGen("placeType", "string"),
+        ), weight=0.5),
+    ),
+    edge_types=tuple(
+        EdgeTypeSpec(name, (label,), source, target, card, props, weight=w)
+        for name, label, source, target, card, props, w in (
+            ("KNOWS", "KNOWS", "Person", "Person", "M:N",
+             (PropertyGen("creationDate", "timestamp"),), 2.0),
+            ("HAS_INTEREST", "HAS_INTEREST", "Person", "Tag", "M:N", (), 1.0),
+            ("LIKES_post", "LIKES", "Person", "Post", "M:N",
+             (PropertyGen("creationDate", "timestamp"),), 1.5),
+            ("LIKES_comment", "LIKES", "Person", "Comment", "M:N",
+             (PropertyGen("creationDate", "timestamp"),), 1.5),
+            ("HAS_CREATOR_post", "HAS_CREATOR", "Post", "Person", "N:1",
+             (), 1.5),
+            ("HAS_CREATOR_comment", "HAS_CREATOR", "Comment", "Person", "N:1",
+             (), 1.5),
+            ("CONTAINER_OF", "CONTAINER_OF", "Forum", "Post", "1:N", (), 1.5),
+            ("HAS_MEMBER", "HAS_MEMBER", "Forum", "Person", "M:N",
+             (PropertyGen("joinDate", "timestamp"),), 1.5),
+            ("HAS_MODERATOR", "HAS_MODERATOR", "Forum", "Person", "N:1",
+             (), 0.5),
+            ("HAS_TAG", "HAS_TAG", "Post", "Tag", "M:N", (), 1.0),
+            ("STUDY_AT", "STUDY_AT", "Person", "Place", "M:N",
+             (PropertyGen("classYear", "int"),), 0.5),
+            ("REPLY_OF", "REPLY_OF", "Comment", "Post", "N:1", (), 1.5),
+            ("IS_LOCATED_IN", "IS_LOCATED_IN", "Person", "Place", "N:1",
+             (), 1.0),
+            ("IS_PART_OF", "IS_PART_OF", "Place", "Place", "N:1", (), 0.3),
+            ("HAS_TYPE", "HAS_TYPE", "Tag", "TagClass", "N:1", (), 0.5),
+            ("IS_SUBCLASS_OF", "IS_SUBCLASS_OF", "TagClass", "TagClass",
+             "N:1", (), 0.2),
+            ("WORK_AT", "WORK_AT", "Person", "Place", "M:N",
+             (PropertyGen("workFrom", "int"),), 0.5),
+        )
+    ),
+)

@@ -1,0 +1,156 @@
+"""Property value generators.
+
+Each kind produces values whose inferred datatype is predictable, so the
+datatype-inference experiments have ground truth.  ``dirty_rate`` in the
+property spec replaces a fraction of values with free-form strings; a full
+scan then generalizes the property to STRING while a small sample may miss
+the outliers -- exactly the sampling error Figure 8 measures.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+_FIRST_NAMES = [
+    "Alice", "Bob", "Carol", "Dave", "Eve", "Frank", "Grace", "Heidi",
+    "Ivan", "Judy", "Mallory", "Niaj", "Olivia", "Peggy", "Rupert", "Sybil",
+]
+_WORDS = [
+    "alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta",
+    "iota", "kappa", "lambda", "sigma", "omega", "nova", "lumen", "terra",
+]
+
+
+def generate_value(kind: str, rng: random.Random, dirty_rate: float = 0.0) -> Any:
+    """One value of the given kind (possibly dirty)."""
+    if dirty_rate > 0.0 and rng.random() < dirty_rate:
+        return _dirty_string(rng)
+    generator = _GENERATORS.get(kind)
+    if generator is None:
+        raise ValueError(f"unknown value kind {kind!r}")
+    return generator(rng)
+
+
+def _dirty_string(rng: random.Random) -> str:
+    """A free-form string outlier (forces STRING on full scan)."""
+    return f"{rng.choice(_WORDS)}-{rng.choice(_WORDS)}/{rng.randrange(10, 99)}?"
+
+
+def _gen_int(rng: random.Random) -> int:
+    return rng.randrange(0, 100_000)
+
+
+def _gen_float(rng: random.Random) -> float:
+    # Avoid integer-valued floats, which would legitimately infer INTEGER.
+    return round(rng.uniform(0.0, 1000.0), 4) + 0.0001
+
+
+def _gen_bool(rng: random.Random) -> bool:
+    return rng.random() < 0.5
+
+
+def _gen_date(rng: random.Random) -> str:
+    year = rng.randrange(1950, 2026)
+    month = rng.randrange(1, 13)
+    day = rng.randrange(1, 29)
+    return f"{year:04d}-{month:02d}-{day:02d}"
+
+
+def _gen_timestamp(rng: random.Random) -> str:
+    return (
+        f"{_gen_date(rng)}T{rng.randrange(24):02d}:"
+        f"{rng.randrange(60):02d}:{rng.randrange(60):02d}Z"
+    )
+
+
+def _gen_string(rng: random.Random) -> str:
+    return f"{rng.choice(_WORDS)} {rng.choice(_WORDS)}"
+
+
+def _gen_name(rng: random.Random) -> str:
+    return f"{rng.choice(_FIRST_NAMES)} {rng.choice(_WORDS).title()}son"
+
+
+def _gen_text(rng: random.Random) -> str:
+    return " ".join(rng.choice(_WORDS) for _ in range(rng.randrange(4, 12)))
+
+
+def _gen_url(rng: random.Random) -> str:
+    return f"https://{rng.choice(_WORDS)}.example.org/{rng.randrange(10_000)}"
+
+
+def _gen_code(rng: random.Random) -> str:
+    return f"{rng.choice('ABCDEFGH')}{rng.randrange(100, 999)}-{rng.randrange(10)}"
+
+
+def _gen_string_list(rng: random.Random) -> list[str]:
+    """A list-valued property (Neo4j array), e.g. country code lists."""
+    return [
+        rng.choice(["GR", "FR", "DE", "US", "JP", "BR"])
+        for _ in range(rng.randint(1, 3))
+    ]
+
+
+def _gen_float_with_ints(rng: random.Random) -> float | int:
+    """Mostly floats with a minority of ints.
+
+    The full scan generalizes the property to DOUBLE; a sampled int's
+    individual type (INT) disagrees, so these properties land in the
+    low-but-nonzero sampling-error bins of Figure 8.
+    """
+    if rng.random() < 0.12:
+        return _gen_int(rng)
+    return _gen_float(rng)
+
+
+def _gen_string_with_dates(rng: random.Random) -> str:
+    """Mostly free-form strings with a minority of date-shaped values."""
+    if rng.random() < 0.1:
+        return _gen_date(rng)
+    return _gen_string(rng)
+
+
+def _gen_string_with_ints(rng: random.Random) -> str:
+    """Mostly strings with a minority of numeric strings."""
+    if rng.random() < 0.15:
+        return str(_gen_int(rng))
+    return _gen_text(rng)
+
+
+_GENERATORS = {
+    "int": _gen_int,
+    "float": _gen_float,
+    "bool": _gen_bool,
+    "date": _gen_date,
+    "timestamp": _gen_timestamp,
+    "string": _gen_string,
+    "name": _gen_name,
+    "text": _gen_text,
+    "url": _gen_url,
+    "code": _gen_code,
+    "string_list": _gen_string_list,
+    "float_with_ints": _gen_float_with_ints,
+    "string_with_dates": _gen_string_with_dates,
+    "string_with_ints": _gen_string_with_ints,
+}
+
+KNOWN_KINDS = frozenset(_GENERATORS)
+
+# What a full scan over clean (dirty_rate = 0) values of each kind infers.
+EXPECTED_DATATYPE = {
+    "int": "INT",
+    "float": "DOUBLE",
+    "bool": "BOOLEAN",
+    "date": "DATE",
+    "timestamp": "TIMESTAMP",
+    "string": "STRING",
+    "name": "STRING",
+    "text": "STRING",
+    "url": "STRING",
+    "code": "STRING",
+    "string_list": "LIST",
+    "float_with_ints": "DOUBLE",
+    "string_with_dates": "STRING",
+    "string_with_ints": "STRING",
+}

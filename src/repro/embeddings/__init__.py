@@ -1,0 +1,21 @@
+"""Label embedding substrate.
+
+The paper trains a Word2Vec model on the node and edge labels observed in
+the dataset so identical label sets map to identical vectors and labels that
+co-occur on connected elements land near each other.  This subpackage
+implements that from scratch: a vocabulary over canonical label tokens, a
+skip-gram Word2Vec trained with negative sampling (pure numpy), and the
+:class:`LabelEmbedder` facade the pipeline uses.
+"""
+
+from repro.embeddings.vocab import Vocabulary, build_label_corpus
+from repro.embeddings.word2vec import Word2Vec, Word2VecConfig
+from repro.embeddings.embedder import LabelEmbedder
+
+__all__ = [
+    "LabelEmbedder",
+    "Vocabulary",
+    "Word2Vec",
+    "Word2VecConfig",
+    "build_label_corpus",
+]

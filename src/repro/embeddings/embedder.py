@@ -1,0 +1,155 @@
+"""The label-embedding facade used by the PG-HIVE pipeline.
+
+:class:`LabelEmbedder` wires the vocabulary, corpus builder and Word2Vec
+model together and answers the only question the vectorizer asks: *what is
+the d-dimensional vector for this label set?*  Per section 4.1, a missing
+label maps to the zero vector and a multi-label set maps to the embedding of
+its sorted-concatenated token.
+
+Tokens that were never seen during fitting (possible in incremental mode
+when a later batch introduces a new label) receive a deterministic
+pseudo-random unit vector derived from the token text, so the same unseen
+label always maps to the same point and distinct labels stay separated.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+import numpy as np
+
+from repro.embeddings.vocab import Vocabulary, build_label_corpus
+from repro.embeddings.word2vec import Word2Vec, Word2VecConfig
+from repro.graph.model import PropertyGraph, canonical_label
+
+
+class LabelEmbedder:
+    """Maps label sets to fixed-dimensional vectors."""
+
+    def __init__(self, config: Word2VecConfig | None = None) -> None:
+        self.config = config or Word2VecConfig()
+        self._vocabulary = Vocabulary()
+        self._model: Word2Vec | None = None
+        self._fallback_cache: dict[str, np.ndarray] = {}
+
+    @property
+    def dimension(self) -> int:
+        """Embedding dimensionality ``d``."""
+        return self.config.dimension
+
+    @property
+    def vocabulary(self) -> Vocabulary:
+        """The fitted label vocabulary."""
+        return self._vocabulary
+
+    def fit(self, graph: PropertyGraph) -> "LabelEmbedder":
+        """Train the Word2Vec model on a graph's label co-occurrences."""
+        self._vocabulary, sentences = build_label_corpus(graph)
+        self._model = Word2Vec(len(self._vocabulary), self.config)
+        self._model.train(sentences, self._vocabulary.counts_in_index_order())
+        return self
+
+    def fit_tokens(self, sentences: list[list[str]]) -> "LabelEmbedder":
+        """Train directly from token sentences (used by incremental mode)."""
+        self._vocabulary = Vocabulary()
+        indexed: list[list[int]] = []
+        for sentence in sentences:
+            indices = [self._vocabulary.add(tok) for tok in sentence if tok]
+            if len(indices) >= 2:
+                indexed.append(indices)
+        self._model = Word2Vec(len(self._vocabulary), self.config)
+        self._model.train(indexed, self._vocabulary.counts_in_index_order())
+        return self
+
+    def embed(self, labels: Iterable[str]) -> np.ndarray:
+        """Vector for a label set; the zero vector when it is empty."""
+        token = canonical_label(labels)
+        return self.embed_token(token)
+
+    def embed_token(self, token: str) -> np.ndarray:
+        """Vector for a canonical label token ('' means unlabeled)."""
+        if not token:
+            return np.zeros(self.dimension)
+        if self._model is not None and token in self._vocabulary:
+            return self._model.vector(self._vocabulary.index(token))
+        return self._fallback_vector(token)
+
+    def most_similar(
+        self, token: str, k: int = 5
+    ) -> list[tuple[str, float]]:
+        """The k vocabulary tokens closest to ``token`` by cosine.
+
+        Useful for diagnosing what the contextual signal of the label
+        aligner "sees".  The query token itself is excluded.
+        """
+        if self._model is None or len(self._vocabulary) == 0:
+            return []
+        query = self.embed_token(token)
+        query_norm = float(np.linalg.norm(query))
+        if query_norm == 0.0:
+            return []
+        matrix = self._model.vectors
+        norms = np.linalg.norm(matrix, axis=1)
+        norms[norms == 0.0] = 1.0
+        scores = (matrix @ query) / (norms * query_norm)
+        ranked = np.argsort(-scores)
+        results = []
+        for index in ranked:
+            candidate = self._vocabulary.token(int(index))
+            if candidate == token:
+                continue
+            results.append((candidate, float(scores[index])))
+            if len(results) == k:
+                break
+        return results
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Serializable snapshot of the fitted embedder."""
+        if self._model is None:
+            raise RuntimeError("embedder has not been fitted")
+        return {
+            "dimension": self.config.dimension,
+            "tokens": list(self._vocabulary.tokens()),
+            "counts": self._vocabulary.counts_in_index_order(),
+            "vectors": self._model.vectors.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LabelEmbedder":
+        """Rebuild a fitted embedder from :meth:`to_dict` output."""
+        from repro.embeddings.vocab import Vocabulary
+        from repro.embeddings.word2vec import Word2Vec
+
+        config = Word2VecConfig(dimension=int(data["dimension"]))
+        embedder = cls(config)
+        vocabulary = Vocabulary()
+        for token, count in zip(data["tokens"], data["counts"]):
+            vocabulary.add(token, count)
+        model = Word2Vec(len(vocabulary), config)
+        vectors = np.asarray(data["vectors"], dtype=np.float64)
+        if vectors.shape != (len(vocabulary), config.dimension):
+            raise ValueError("vector matrix does not match vocabulary")
+        model._center = vectors
+        model._trained = True
+        embedder._vocabulary = vocabulary
+        embedder._model = model
+        return embedder
+
+    def _fallback_vector(self, token: str) -> np.ndarray:
+        """Deterministic unit vector for tokens unseen at fit time."""
+        cached = self._fallback_cache.get(token)
+        if cached is not None:
+            return cached.copy()
+        digest = hashlib.sha256(token.encode("utf-8")).digest()
+        seed = int.from_bytes(digest[:8], "little")
+        rng = np.random.default_rng(seed)
+        vector = rng.standard_normal(self.dimension)
+        norm = float(np.linalg.norm(vector))
+        if norm > 0:
+            vector = vector / norm * 0.5
+        self._fallback_cache[token] = vector
+        return vector.copy()

@@ -1,0 +1,65 @@
+"""Evaluation: metrics, statistical tests, and the experiment harness.
+
+* :mod:`repro.evaluation.f1star` -- the paper's majority-based F1* score;
+* :mod:`repro.evaluation.nemenyi` -- Friedman test, average ranks, and the
+  Nemenyi critical distance (Figure 3);
+* :mod:`repro.evaluation.sampling_error` -- per-property datatype sampling
+  error (Figure 8);
+* :mod:`repro.evaluation.harness` -- runs systems over datasets x noise x
+  label-availability grids and collects measurements;
+* :mod:`repro.evaluation.reporting` -- text rendering of tables/series.
+"""
+
+from repro.evaluation.f1star import F1Result, f1_star, majority_f1
+from repro.evaluation.nemenyi import (
+    NemenyiResult,
+    average_ranks,
+    friedman_statistic,
+    nemenyi_critical_distance,
+    nemenyi_test,
+)
+from repro.evaluation.sampling_error import (
+    datatype_sampling_errors,
+    sampling_error,
+)
+from repro.evaluation.confusion import (
+    Confusion,
+    confusion_pairs,
+    render_confusions,
+)
+from repro.evaluation.export import (
+    measurements_from_csv,
+    measurements_from_json,
+    measurements_to_csv,
+    measurements_to_json,
+)
+from repro.evaluation.harness import (
+    ExperimentGrid,
+    Measurement,
+    run_grid,
+    run_system,
+)
+
+__all__ = [
+    "Confusion",
+    "ExperimentGrid",
+    "F1Result",
+    "Measurement",
+    "NemenyiResult",
+    "average_ranks",
+    "datatype_sampling_errors",
+    "f1_star",
+    "friedman_statistic",
+    "majority_f1",
+    "confusion_pairs",
+    "measurements_from_csv",
+    "measurements_from_json",
+    "measurements_to_csv",
+    "measurements_to_json",
+    "nemenyi_critical_distance",
+    "nemenyi_test",
+    "render_confusions",
+    "run_grid",
+    "run_system",
+    "sampling_error",
+]

@@ -1,0 +1,71 @@
+"""Type confusion analysis: which types get mixed, and with what.
+
+The majority-based F1* says *how much* went wrong; this module says
+*what*: for every misplaced element it records the (true type, majority
+type of its cluster) pair, producing the ranked confusion list that makes
+clustering failures diagnosable (e.g. "Segment absorbed into Neuron" on
+MB6, or "Email <-> Phone at 0 % labels: both are single-string-property
+nodes").
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Hashable, Mapping
+
+from repro.util.tables import render_table
+
+
+@dataclass(frozen=True, slots=True)
+class Confusion:
+    """Elements of ``true_type`` placed in clusters dominated by
+    ``predicted_type``."""
+
+    true_type: Hashable
+    predicted_type: Hashable
+    count: int
+
+
+def confusion_pairs(
+    assignment: Mapping[int, Hashable],
+    truth: Mapping[int, Hashable],
+) -> list[Confusion]:
+    """Ranked confusion list (largest first).
+
+    Mirrors the majority logic of :func:`repro.evaluation.f1star.majority_f1`:
+    each cluster gets its majority true type; every member whose true type
+    differs contributes one confusion.
+    """
+    clusters: dict[Hashable, list[int]] = defaultdict(list)
+    for element_id, cluster in assignment.items():
+        if element_id in truth:
+            clusters[cluster].append(element_id)
+    counts: Counter[tuple[Hashable, Hashable]] = Counter()
+    for members in clusters.values():
+        votes = Counter(truth[m] for m in members)
+        majority = votes.most_common(1)[0][0]
+        for member in members:
+            true_type = truth[member]
+            if true_type != majority:
+                counts[(true_type, majority)] += 1
+    return [
+        Confusion(true_type, predicted_type, count)
+        for (true_type, predicted_type), count in counts.most_common()
+    ]
+
+
+def render_confusions(
+    confusions: list[Confusion], limit: int = 10, title: str | None = None
+) -> str:
+    """Text table of the top confusions."""
+    rows = [
+        [str(c.true_type), str(c.predicted_type), str(c.count)]
+        for c in confusions[:limit]
+    ]
+    if not rows:
+        rows = [["-", "-", "0"]]
+    return render_table(
+        ["true type", "placed with", "elements"], rows,
+        title or "Top type confusions",
+    )

@@ -1,0 +1,73 @@
+"""Exporting harness measurements for downstream plotting.
+
+The benchmark harness keeps measurements as dataclass records; these
+helpers serialize a run to CSV or JSON so figures can be regenerated with
+external tooling without re-running the experiments.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import asdict, fields
+from pathlib import Path
+from typing import Sequence
+
+from repro.evaluation.harness import Measurement
+
+
+def measurements_to_json(
+    measurements: Sequence[Measurement], path: str | Path
+) -> None:
+    """Write measurements as a JSON array of objects."""
+    records = [asdict(m) for m in measurements]
+    Path(path).write_text(
+        json.dumps(records, indent=2, sort_keys=True), encoding="utf-8"
+    )
+
+
+def measurements_from_json(path: str | Path) -> list[Measurement]:
+    """Load measurements previously written by :func:`measurements_to_json`."""
+    records = json.loads(Path(path).read_text(encoding="utf-8"))
+    return [Measurement(**record) for record in records]
+
+
+def measurements_to_csv(
+    measurements: Sequence[Measurement], path: str | Path
+) -> None:
+    """Write measurements as CSV with one row per measurement."""
+    column_names = [f.name for f in fields(Measurement)]
+    with Path(path).open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=column_names)
+        writer.writeheader()
+        for measurement in measurements:
+            writer.writerow(asdict(measurement))
+
+
+def measurements_from_csv(path: str | Path) -> list[Measurement]:
+    """Load measurements previously written by :func:`measurements_to_csv`."""
+    converters = {
+        "dataset": str, "method": str,
+        "noise": float, "label_availability": float,
+        "skipped": lambda v: v == "True",
+        "node_f1": float, "node_f1_macro": float,
+        "edge_f1": _optional_float, "edge_f1_macro": _optional_float,
+        "seconds": float,
+        "num_node_types": int, "num_edge_types": int,
+    }
+    measurements: list[Measurement] = []
+    with Path(path).open("r", encoding="utf-8", newline="") as handle:
+        for row in csv.DictReader(handle):
+            kwargs = {
+                key: converters[key](value)
+                for key, value in row.items()
+                if key in converters
+            }
+            measurements.append(Measurement(**kwargs))
+    return measurements
+
+
+def _optional_float(value: str) -> float | None:
+    if value in ("", "None"):
+        return None
+    return float(value)

@@ -1,0 +1,95 @@
+"""Datatype-inference sampling error (Figure 8).
+
+For a property p, let D_p be all of its values and S_p a sample.  The
+paper defines
+
+    error(p) = (1 / |S_p|) * sum_{v in S_p} 1( f(v) != f(D_p) )
+
+i.e. the fraction of sampled values whose *individual* inferred type
+disagrees with the type a full scan assigns to the property.  Clean
+homogeneous properties score 0; properties whose full-scan type was forced
+to STRING by rare dirty values score the fraction of clean values in the
+sample, which lands them in the higher error bins.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Sequence
+
+from repro.core.datatypes import infer_datatype, infer_value_type
+from repro.graph.model import PropertyGraph
+
+
+def sampling_error(
+    values: Sequence[Any],
+    fraction: float = 0.1,
+    minimum: int = 1000,
+    seed: int = 0,
+) -> float:
+    """The paper's error(p) for one property's values."""
+    if not values:
+        return 0.0
+    full_scan_type = infer_datatype(values)
+    target = max(minimum, int(round(fraction * len(values))))
+    if target >= len(values):
+        sample: Sequence[Any] = values
+    else:
+        sample = random.Random(seed).sample(list(values), target)
+    disagreements = sum(
+        1 for value in sample if infer_value_type(value) is not full_scan_type
+    )
+    return disagreements / len(sample)
+
+
+def datatype_sampling_errors(
+    graph: PropertyGraph,
+    fraction: float = 0.1,
+    minimum: int = 1000,
+    seed: int = 0,
+) -> dict[str, float]:
+    """error(p) for every node and edge property of a graph.
+
+    Node and edge properties sharing a key are kept separate (prefixed
+    ``n:`` / ``e:``), since the schema tracks them separately.
+    """
+    node_values: dict[str, list[Any]] = {}
+    for node in graph.nodes():
+        for key, value in node.properties.items():
+            node_values.setdefault(key, []).append(value)
+    edge_values: dict[str, list[Any]] = {}
+    for edge in graph.edges():
+        for key, value in edge.properties.items():
+            edge_values.setdefault(key, []).append(value)
+    errors: dict[str, float] = {}
+    for key, values in node_values.items():
+        errors[f"n:{key}"] = sampling_error(values, fraction, minimum, seed)
+    for key, values in edge_values.items():
+        errors[f"e:{key}"] = sampling_error(values, fraction, minimum, seed)
+    return errors
+
+
+def bin_errors(
+    errors: dict[str, float],
+    bins: Sequence[float] = (0.05, 0.10, 0.20),
+) -> dict[str, float]:
+    """Histogram of errors into the paper's bins, normalized to fractions.
+
+    Default bins: [0, 0.05), [0.05, 0.10), [0.10, 0.20), [0.20, inf).
+    """
+    edges = list(bins)
+    labels = (
+        [f"<{edges[0]:.2f}"]
+        + [f"{lo:.2f}-{hi:.2f}" for lo, hi in zip(edges, edges[1:])]
+        + [f">={edges[-1]:.2f}"]
+    )
+    counts = [0] * (len(edges) + 1)
+    for error in errors.values():
+        slot = len(edges)
+        for index, edge in enumerate(edges):
+            if error < edge:
+                slot = index
+                break
+        counts[slot] += 1
+    total = max(1, len(errors))
+    return {label: count / total for label, count in zip(labels, counts)}

@@ -1,0 +1,58 @@
+"""Property graph substrate.
+
+This subpackage implements the property graph data model of the paper
+(Definition 3.1): a directed multigraph whose nodes and edges carry label
+sets and key-value properties.  It replaces the Neo4j storage layer used by
+the original PG-HIVE implementation with an in-memory :class:`GraphStore`
+that exposes the same contract the algorithm needs -- streaming batches of
+(labels, properties, endpoints) records.
+"""
+
+from repro.graph.model import Edge, Node, PropertyGraph
+from repro.graph.builder import GraphBuilder
+from repro.graph.store import GraphStore
+from repro.graph.patterns import (
+    EdgePattern,
+    NodePattern,
+    edge_pattern_of,
+    extract_patterns,
+    node_pattern_of,
+)
+from repro.graph.stats import GraphStatistics, compute_statistics
+from repro.graph.io import (
+    load_graph_apoc_jsonl,
+    load_graph_csv,
+    load_graph_jsonl,
+    save_graph_csv,
+    save_graph_jsonl,
+)
+from repro.graph.query import Traversal, match_edges, match_nodes, match_pattern
+
+# NOTE: repro.graph.planner is intentionally NOT imported here -- it layers
+# on repro.schema (for statistics), and importing it at package level would
+# create a cycle.  Import it explicitly: ``from repro.graph.planner import
+# plan_pattern``.
+
+__all__ = [
+    "Edge",
+    "EdgePattern",
+    "GraphBuilder",
+    "GraphStatistics",
+    "GraphStore",
+    "Node",
+    "NodePattern",
+    "PropertyGraph",
+    "compute_statistics",
+    "edge_pattern_of",
+    "extract_patterns",
+    "Traversal",
+    "load_graph_apoc_jsonl",
+    "load_graph_csv",
+    "load_graph_jsonl",
+    "match_edges",
+    "match_nodes",
+    "match_pattern",
+    "node_pattern_of",
+    "save_graph_csv",
+    "save_graph_jsonl",
+]

@@ -1,0 +1,194 @@
+"""Graph serialization: JSON-lines and Neo4j-style CSV.
+
+JSONL is the native interchange format (one record per line, explicit
+``kind`` discriminator).  The CSV flavour mirrors the ``neo4j-admin import``
+layout used by several of the paper's dataset distributions: a node file
+with ``id``/``labels`` columns and an edge file with ``start``/``end``/
+``type`` columns, property columns alongside.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.graph.model import Edge, Node, PropertyGraph
+
+
+def save_graph_jsonl(graph: PropertyGraph, path: str | Path) -> None:
+    """Write a graph as JSON lines (nodes first, then edges)."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        for node in graph.nodes():
+            record = {
+                "kind": "node",
+                "id": node.id,
+                "labels": sorted(node.labels),
+                "properties": dict(node.properties),
+            }
+            handle.write(json.dumps(record, default=str) + "\n")
+        for edge in graph.edges():
+            record = {
+                "kind": "edge",
+                "id": edge.id,
+                "source": edge.source,
+                "target": edge.target,
+                "labels": sorted(edge.labels),
+                "properties": dict(edge.properties),
+            }
+            handle.write(json.dumps(record, default=str) + "\n")
+
+
+def load_graph_jsonl(path: str | Path, name: str | None = None) -> PropertyGraph:
+    """Read a graph previously written by :func:`save_graph_jsonl`."""
+    path = Path(path)
+    graph = PropertyGraph(name or path.stem)
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.get("kind")
+            if kind == "node":
+                graph.add_node(Node(
+                    id=int(record["id"]),
+                    labels=frozenset(record.get("labels", ())),
+                    properties=dict(record.get("properties", {})),
+                ))
+            elif kind == "edge":
+                graph.add_edge(Edge(
+                    id=int(record["id"]),
+                    source=int(record["source"]),
+                    target=int(record["target"]),
+                    labels=frozenset(record.get("labels", ())),
+                    properties=dict(record.get("properties", {})),
+                ))
+            else:
+                raise ValueError(
+                    f"{path}:{line_number}: unknown record kind {kind!r}"
+                )
+    return graph
+
+
+def save_graph_csv(graph: PropertyGraph, nodes_path: str | Path,
+                   edges_path: str | Path) -> None:
+    """Write a graph as a node CSV and an edge CSV (Neo4j import layout).
+
+    Property values are JSON-encoded so they round-trip with their types.
+    Labels are ``;``-joined in a single column, as in Neo4j's bulk format.
+    """
+    node_keys = sorted(graph.node_property_keys())
+    edge_keys = sorted(graph.edge_property_keys())
+    with Path(nodes_path).open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["id", "labels", *node_keys])
+        for node in graph.nodes():
+            row: list[str] = [str(node.id), ";".join(sorted(node.labels))]
+            for key in node_keys:
+                row.append(_encode_cell(node.properties.get(key)))
+            writer.writerow(row)
+    with Path(edges_path).open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["id", "start", "end", "type", *edge_keys])
+        for edge in graph.edges():
+            row = [
+                str(edge.id), str(edge.source), str(edge.target),
+                ";".join(sorted(edge.labels)),
+            ]
+            for key in edge_keys:
+                row.append(_encode_cell(edge.properties.get(key)))
+            writer.writerow(row)
+
+
+def load_graph_csv(nodes_path: str | Path, edges_path: str | Path,
+                   name: str = "graph") -> PropertyGraph:
+    """Read a graph previously written by :func:`save_graph_csv`."""
+    graph = PropertyGraph(name)
+    with Path(nodes_path).open("r", encoding="utf-8", newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        keys = header[2:]
+        for row in reader:
+            labels = frozenset(part for part in row[1].split(";") if part)
+            properties = _decode_cells(keys, row[2:])
+            graph.add_node(Node(int(row[0]), labels, properties))
+    with Path(edges_path).open("r", encoding="utf-8", newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        keys = header[4:]
+        for row in reader:
+            labels = frozenset(part for part in row[3].split(";") if part)
+            properties = _decode_cells(keys, row[4:])
+            graph.add_edge(Edge(
+                int(row[0]), int(row[1]), int(row[2]), labels, properties,
+            ))
+    return graph
+
+
+def load_graph_apoc_jsonl(
+    path: str | Path, name: str | None = None
+) -> PropertyGraph:
+    """Read a Neo4j ``apoc.export.json`` JSONL dump.
+
+    APOC emits one JSON object per line with ``"type": "node"`` records
+    (``id``, ``labels``, ``properties``) followed by
+    ``"type": "relationship"`` records whose ``start``/``end`` are nested
+    node references and whose relationship type is the ``label`` field.
+    Node ids in the dump are strings; they are remapped to dense ints.
+    """
+    path = Path(path)
+    graph = PropertyGraph(name or path.stem)
+    node_ids: dict[str, int] = {}
+    next_edge_id = 0
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.get("type")
+            if kind == "node":
+                raw_id = str(record["id"])
+                node_id = node_ids.setdefault(raw_id, len(node_ids))
+                graph.add_node(Node(
+                    id=node_id,
+                    labels=frozenset(record.get("labels", ())),
+                    properties=dict(record.get("properties", {})),
+                ))
+            elif kind == "relationship":
+                source = node_ids[str(record["start"]["id"])]
+                target = node_ids[str(record["end"]["id"])]
+                label = record.get("label")
+                graph.add_edge(Edge(
+                    id=next_edge_id,
+                    source=source,
+                    target=target,
+                    labels=frozenset([label] if label else ()),
+                    properties=dict(record.get("properties", {})),
+                ))
+                next_edge_id += 1
+            else:
+                raise ValueError(
+                    f"{path}:{line_number}: unknown APOC record type {kind!r}"
+                )
+    return graph
+
+
+def _encode_cell(value: Any) -> str:
+    """JSON-encode one CSV cell; absent properties become empty cells."""
+    if value is None:
+        return ""
+    return json.dumps(value, default=str)
+
+
+def _decode_cells(keys: list[str], cells: list[str]) -> dict[str, Any]:
+    """Inverse of :func:`_encode_cell` over a property row."""
+    properties: dict[str, Any] = {}
+    for key, cell in zip(keys, cells):
+        if cell == "":
+            continue
+        properties[key] = json.loads(cell)
+    return properties

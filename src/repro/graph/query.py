@@ -1,0 +1,183 @@
+"""A small query and traversal API over property graphs.
+
+Schema discovery is motivated by making graphs *queryable*; this module
+provides the query surface the examples and tests use: label/property
+node and edge selection, one-hop traversal with direction, and simple
+triple-pattern matching (source label, edge label, target label) --
+the Cypher-lite subset the paper's motivating scenarios need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.graph.model import Edge, Node, PropertyGraph
+
+NodePredicate = Callable[[Node], bool]
+EdgePredicate = Callable[[Edge], bool]
+
+
+def match_nodes(
+    graph: PropertyGraph,
+    label: str | None = None,
+    labels: Iterable[str] | None = None,
+    properties: dict[str, Any] | None = None,
+    where: NodePredicate | None = None,
+) -> list[Node]:
+    """Nodes matching all given criteria.
+
+    Args:
+        graph: The graph to query.
+        label: Required single label (the node may carry more).
+        labels: Required label set (all must be present).
+        properties: Exact-match property constraints.
+        where: Arbitrary extra predicate.
+    """
+    required = set(labels or ())
+    if label is not None:
+        required.add(label)
+    matched = []
+    for node in graph.nodes():
+        if required and not required <= node.labels:
+            continue
+        if properties and not _properties_match(node, properties):
+            continue
+        if where is not None and not where(node):
+            continue
+        matched.append(node)
+    return matched
+
+
+def match_edges(
+    graph: PropertyGraph,
+    label: str | None = None,
+    properties: dict[str, Any] | None = None,
+    where: EdgePredicate | None = None,
+) -> list[Edge]:
+    """Edges matching all given criteria."""
+    matched = []
+    for edge in graph.edges():
+        if label is not None and label not in edge.labels:
+            continue
+        if properties and not _properties_match(edge, properties):
+            continue
+        if where is not None and not where(edge):
+            continue
+        matched.append(edge)
+    return matched
+
+
+@dataclass(frozen=True, slots=True)
+class Triple:
+    """One match of a (source, edge, target) pattern."""
+
+    source: Node
+    edge: Edge
+    target: Node
+
+
+def match_pattern(
+    graph: PropertyGraph,
+    source_label: str | None = None,
+    edge_label: str | None = None,
+    target_label: str | None = None,
+) -> list[Triple]:
+    """Triple-pattern matching: ``(:A)-[:R]->(:B)`` with optional parts."""
+    matches = []
+    for edge in graph.edges():
+        if edge_label is not None and edge_label not in edge.labels:
+            continue
+        source, target = graph.endpoints(edge.id)
+        if source_label is not None and source_label not in source.labels:
+            continue
+        if target_label is not None and target_label not in target.labels:
+            continue
+        matches.append(Triple(source, edge, target))
+    return matches
+
+
+class Traversal:
+    """Fluent one-hop-at-a-time traversal.
+
+    Example:
+        >>> # colleagues = people working at Bob's organizations
+        >>> # Traversal(graph).start(bob).out("WORKS_AT").in_("WORKS_AT")
+    """
+
+    def __init__(self, graph: PropertyGraph) -> None:
+        self._graph = graph
+        self._frontier: list[Node] = []
+
+    def start(self, *nodes: Node | int) -> "Traversal":
+        """Seed the frontier with nodes or node ids."""
+        self._frontier = [
+            node if isinstance(node, Node) else self._graph.node(node)
+            for node in nodes
+        ]
+        return self
+
+    def start_matching(self, **criteria: Any) -> "Traversal":
+        """Seed the frontier via :func:`match_nodes` keyword criteria."""
+        self._frontier = match_nodes(self._graph, **criteria)
+        return self
+
+    def out(self, edge_label: str | None = None) -> "Traversal":
+        """Follow outgoing edges (optionally restricted by label)."""
+        self._frontier = self._step(outgoing=True, edge_label=edge_label)
+        return self
+
+    def in_(self, edge_label: str | None = None) -> "Traversal":
+        """Follow incoming edges backwards."""
+        self._frontier = self._step(outgoing=False, edge_label=edge_label)
+        return self
+
+    def where(self, predicate: NodePredicate) -> "Traversal":
+        """Filter the current frontier."""
+        self._frontier = [n for n in self._frontier if predicate(n)]
+        return self
+
+    def with_label(self, label: str) -> "Traversal":
+        """Keep only frontier nodes carrying the label."""
+        return self.where(lambda node: label in node.labels)
+
+    def nodes(self) -> list[Node]:
+        """The current frontier, deduplicated, in first-visit order."""
+        seen: set[int] = set()
+        unique = []
+        for node in self._frontier:
+            if node.id not in seen:
+                seen.add(node.id)
+                unique.append(node)
+        return unique
+
+    def ids(self) -> list[int]:
+        """Frontier node ids."""
+        return [node.id for node in self.nodes()]
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self.nodes())
+
+    def _step(self, outgoing: bool, edge_label: str | None) -> list[Node]:
+        next_frontier: list[Node] = []
+        for node in self._frontier:
+            edges = (
+                self._graph.out_edges(node.id)
+                if outgoing
+                else self._graph.in_edges(node.id)
+            )
+            for edge in edges:
+                if edge_label is not None and edge_label not in edge.labels:
+                    continue
+                neighbor_id = edge.target if outgoing else edge.source
+                next_frontier.append(self._graph.node(neighbor_id))
+        return next_frontier
+
+
+def _properties_match(
+    element: Node | Edge, required: dict[str, Any]
+) -> bool:
+    return all(
+        key in element.properties and element.properties[key] == value
+        for key, value in required.items()
+    )

@@ -1,0 +1,194 @@
+"""In-memory graph store standing in for the Neo4j backend.
+
+The original PG-HIVE loads nodes and edges from Neo4j "using a single query
+to ensure similar structure" and streams the data in batches for the
+incremental mode.  :class:`GraphStore` reproduces exactly that contract:
+
+* ``scan_nodes()`` / ``scan_edges()`` stream every element,
+* ``batches(batch_size)`` yields subgraph streams for incremental runs,
+* degree aggregation queries back the cardinality inference of section 4.4,
+* ``sample_nodes`` / ``sample_property_values`` support the adaptive
+  parameterization and sampled datatype inference.
+
+All randomness is seeded so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.graph.model import Edge, Node, PropertyGraph
+
+
+class GraphStore:
+    """Query facade over a :class:`PropertyGraph`.
+
+    The algorithmic layers (vectorization, clustering, post-processing)
+    depend only on this class, never on the concrete graph, so a real
+    database driver could be swapped in by implementing the same methods.
+    """
+
+    def __init__(self, graph: PropertyGraph) -> None:
+        self._graph = graph
+
+    @property
+    def graph(self) -> PropertyGraph:
+        """The wrapped graph."""
+        return self._graph
+
+    # ------------------------------------------------------------------
+    # Streaming scans (the "single query" of section 4.1)
+    # ------------------------------------------------------------------
+    def scan_nodes(self) -> Iterator[Node]:
+        """Stream all nodes."""
+        return self._graph.nodes()
+
+    def scan_edges(self) -> Iterator[Edge]:
+        """Stream all edges."""
+        return self._graph.edges()
+
+    def count_nodes(self) -> int:
+        """Total number of nodes."""
+        return self._graph.num_nodes
+
+    def count_edges(self) -> int:
+        """Total number of edges."""
+        return self._graph.num_edges
+
+    def node(self, node_id: int) -> Node:
+        """Point lookup of a node."""
+        return self._graph.node(node_id)
+
+    def endpoints(self, edge: Edge) -> tuple[Node, Node]:
+        """Source and target node of an edge."""
+        return self._graph.endpoints(edge.id)
+
+    # ------------------------------------------------------------------
+    # Batch streaming for the incremental mode (section 4.6)
+    # ------------------------------------------------------------------
+    def batches(
+        self,
+        num_batches: int,
+        seed: int = 0,
+        shuffle: bool = True,
+    ) -> Iterator["GraphBatch"]:
+        """Split the graph into ``num_batches`` node-partitioned batches.
+
+        Mirrors the paper's evaluation setup ("we randomly separate the graph
+        into 10 batches").  Nodes are partitioned; an edge is assigned to the
+        batch of its source node, and the batch record carries the endpoint
+        label information an edge needs for vectorization even when the other
+        endpoint lives in an earlier or later batch.
+        """
+        if num_batches < 1:
+            raise ValueError("num_batches must be >= 1")
+        node_ids = [node.id for node in self._graph.nodes()]
+        if shuffle:
+            random.Random(seed).shuffle(node_ids)
+        assignment: dict[int, int] = {}
+        for index, node_id in enumerate(node_ids):
+            assignment[node_id] = index % num_batches
+        edges_by_batch: dict[int, list[Edge]] = defaultdict(list)
+        for edge in self._graph.edges():
+            edges_by_batch[assignment[edge.source]].append(edge)
+        for batch_index in range(num_batches):
+            nodes = [
+                self._graph.node(nid)
+                for nid in node_ids
+                if assignment[nid] == batch_index
+            ]
+            edges = edges_by_batch.get(batch_index, [])
+            endpoint_labels = {
+                nid: self._graph.node(nid).labels
+                for edge in edges
+                for nid in (edge.source, edge.target)
+            }
+            yield GraphBatch(batch_index, nodes, edges, endpoint_labels)
+
+    # ------------------------------------------------------------------
+    # Aggregations used by post-processing
+    # ------------------------------------------------------------------
+    def degree_extremes(self, edge_ids: Iterable[int]) -> tuple[int, int]:
+        """Max out-degree and max in-degree over a set of edges.
+
+        For an edge type rho this computes ``max_out(rho)`` (the largest
+        number of the given edges leaving any single source node) and
+        ``max_in(rho)`` (the largest number arriving at any single target).
+        """
+        out_degree: dict[int, int] = defaultdict(int)
+        in_degree: dict[int, int] = defaultdict(int)
+        for edge_id in edge_ids:
+            edge = self._graph.edge(edge_id)
+            out_degree[edge.source] += 1
+            in_degree[edge.target] += 1
+        max_out = max(out_degree.values(), default=0)
+        max_in = max(in_degree.values(), default=0)
+        return max_out, max_in
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def sample_nodes(self, size: int, seed: int = 0) -> list[Node]:
+        """Uniform random sample of at most ``size`` nodes."""
+        nodes = list(self._graph.nodes())
+        if size >= len(nodes):
+            return nodes
+        return random.Random(seed).sample(nodes, size)
+
+    def sample_property_values(
+        self,
+        elements: Sequence[Node] | Sequence[Edge],
+        key: str,
+        fraction: float,
+        minimum: int,
+        seed: int = 0,
+    ) -> list[Any]:
+        """Sample values of one property key over a set of elements.
+
+        Implements the paper's sampled datatype inference: take ``fraction``
+        of the available values but at least ``minimum`` (or all of them when
+        fewer exist).
+        """
+        values = [
+            element.properties[key]
+            for element in elements
+            if key in element.properties
+        ]
+        target = max(minimum, int(round(fraction * len(values))))
+        if target >= len(values):
+            return values
+        return random.Random(seed).sample(values, target)
+
+
+class GraphBatch:
+    """One increment of streamed data: nodes, edges, and endpoint labels.
+
+    ``endpoint_labels`` maps the node ids referenced by this batch's edges to
+    their label sets, because edge vectorization (section 4.1) embeds the
+    source and target labels and an endpoint may not belong to this batch.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        nodes: Sequence[Node],
+        edges: Sequence[Edge],
+        endpoint_labels: dict[int, frozenset[str]],
+    ) -> None:
+        self.index = index
+        self.nodes = list(nodes)
+        self.edges = list(edges)
+        self.endpoint_labels = dict(endpoint_labels)
+
+    @property
+    def size(self) -> int:
+        """Total number of elements (nodes plus edges) in the batch."""
+        return len(self.nodes) + len(self.edges)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"GraphBatch(index={self.index}, nodes={len(self.nodes)}, "
+            f"edges={len(self.edges)})"
+        )

@@ -1,0 +1,35 @@
+"""Locality-sensitive hashing substrate.
+
+Two hash families from the paper:
+
+* :class:`EuclideanLSH` -- p-stable random projections ("bucketed random
+  projections", the ELSH of section 4.2) with bucket length ``b`` and
+  ``T`` hash tables, and
+* :class:`MinHashLSH` -- min-wise independent permutations approximating
+  Jaccard similarity over sets, with ``T`` hash functions and banding.
+
+Cluster formation utilities turn signatures into disjoint groups either by
+grouping on the full signature (AND-composition; more tables = more
+selective, matching the paper's discussion) or by unioning per-table bucket
+collisions (OR-composition; more tables = higher recall).
+"""
+
+from repro.lsh.unionfind import UnionFind
+from repro.lsh.elsh import EuclideanLSH
+from repro.lsh.minhash import MinHashLSH
+from repro.lsh.buckets import (
+    cluster_by_band_union,
+    cluster_by_full_signature,
+    cluster_by_table_union,
+    groups_from_assignment,
+)
+
+__all__ = [
+    "EuclideanLSH",
+    "MinHashLSH",
+    "UnionFind",
+    "cluster_by_band_union",
+    "cluster_by_full_signature",
+    "cluster_by_table_union",
+    "groups_from_assignment",
+]

@@ -1,0 +1,181 @@
+"""Approximate nearest-neighbor indexes on top of the LSH families.
+
+Clustering is PG-HIVE's primary use of LSH, but the classic use --
+"give me the most similar items without pairwise scans" -- is needed too
+(e.g. finding the closest existing type for a new pattern, powering label
+alignment at scale).  Two indexes:
+
+* :class:`EuclideanIndex` -- buckets vectors per table; a query gathers
+  candidates colliding in any table (OR-composition for recall) and
+  re-ranks them exactly by Euclidean distance;
+* :class:`MinHashIndex` -- bands signatures; candidates share a band
+  bucket and are re-ranked by exact Jaccard similarity.
+
+Both return exact distances/similarities over the candidate set, so
+results are correct up to LSH recall (a near neighbor can be missed, a
+false neighbor cannot be returned).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+import numpy as np
+
+from repro.lsh.elsh import EuclideanLSH
+from repro.lsh.minhash import MinHashLSH
+from repro.util.similarity import jaccard
+
+
+class EuclideanIndex:
+    """ANN index over real vectors using p-stable LSH buckets."""
+
+    def __init__(
+        self,
+        dimension: int,
+        bucket_length: float,
+        num_tables: int = 16,
+        seed: int = 0,
+    ) -> None:
+        self._lsh = EuclideanLSH(dimension, bucket_length, num_tables, seed)
+        self._tables: list[dict[int, list[Hashable]]] = [
+            {} for _ in range(num_tables)
+        ]
+        self._vectors: dict[Hashable, np.ndarray] = {}
+
+    def __len__(self) -> int:
+        return len(self._vectors)
+
+    def add(self, key: Hashable, vector: np.ndarray) -> None:
+        """Insert (or replace) one item."""
+        vector = np.asarray(vector, dtype=np.float64)
+        if key in self._vectors:
+            self.remove(key)
+        self._vectors[key] = vector
+        signature = self._lsh.signature(vector)
+        for table, bucket in zip(self._tables, signature.tolist()):
+            table.setdefault(int(bucket), []).append(key)
+
+    def add_batch(
+        self, keys: Sequence[Hashable], vectors: np.ndarray
+    ) -> None:
+        """Insert many items at once."""
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        if len(keys) != vectors.shape[0]:
+            raise ValueError("keys and vectors must align")
+        signatures = self._lsh.signatures(vectors)
+        for row, key in enumerate(keys):
+            if key in self._vectors:
+                self.remove(key)
+            self._vectors[key] = vectors[row]
+            for table, bucket in zip(self._tables, signatures[row].tolist()):
+                table.setdefault(int(bucket), []).append(key)
+
+    def remove(self, key: Hashable) -> None:
+        """Delete one item (no-op if absent)."""
+        vector = self._vectors.pop(key, None)
+        if vector is None:
+            return
+        signature = self._lsh.signature(vector)
+        for table, bucket in zip(self._tables, signature.tolist()):
+            members = table.get(int(bucket))
+            if members is not None and key in members:
+                members.remove(key)
+
+    def candidates(self, vector: np.ndarray) -> set[Hashable]:
+        """Keys colliding with the query in at least one table."""
+        signature = self._lsh.signature(np.asarray(vector, dtype=np.float64))
+        found: set[Hashable] = set()
+        for table, bucket in zip(self._tables, signature.tolist()):
+            found.update(table.get(int(bucket), ()))
+        return found
+
+    def query(
+        self, vector: np.ndarray, k: int = 5
+    ) -> list[tuple[Hashable, float]]:
+        """The (up to) k nearest candidates as (key, distance), closest
+        first.  Exact distances over the LSH candidate set."""
+        vector = np.asarray(vector, dtype=np.float64)
+        scored = [
+            (key, float(np.linalg.norm(self._vectors[key] - vector)))
+            for key in self.candidates(vector)
+        ]
+        scored.sort(key=lambda pair: pair[1])
+        return scored[:k]
+
+
+class MinHashIndex:
+    """ANN index over sets using banded MinHash signatures."""
+
+    def __init__(
+        self,
+        num_hashes: int = 64,
+        rows_per_band: int = 4,
+        seed: int = 0,
+    ) -> None:
+        if rows_per_band < 1 or rows_per_band > num_hashes:
+            raise ValueError("rows_per_band must be in [1, num_hashes]")
+        self._lsh = MinHashLSH(num_hashes, seed)
+        self._rows_per_band = rows_per_band
+        self._num_bands = max(1, num_hashes // rows_per_band)
+        self._bands: list[dict[tuple, list[Hashable]]] = [
+            {} for _ in range(self._num_bands)
+        ]
+        self._sets: dict[Hashable, frozenset] = {}
+
+    def __len__(self) -> int:
+        return len(self._sets)
+
+    def add(self, key: Hashable, feature_set: Iterable[int]) -> None:
+        """Insert (or replace) one set."""
+        features = frozenset(int(f) for f in feature_set)
+        if key in self._sets:
+            self.remove(key)
+        self._sets[key] = features
+        for band_index, band_key in enumerate(self._band_keys(features)):
+            self._bands[band_index].setdefault(band_key, []).append(key)
+
+    def remove(self, key: Hashable) -> None:
+        """Delete one set (no-op if absent)."""
+        features = self._sets.pop(key, None)
+        if features is None:
+            return
+        for band_index, band_key in enumerate(self._band_keys(features)):
+            members = self._bands[band_index].get(band_key)
+            if members is not None and key in members:
+                members.remove(key)
+
+    def candidates(self, feature_set: Iterable[int]) -> set[Hashable]:
+        """Keys sharing at least one band bucket with the query."""
+        features = frozenset(int(f) for f in feature_set)
+        found: set[Hashable] = set()
+        for band_index, band_key in enumerate(self._band_keys(features)):
+            found.update(self._bands[band_index].get(band_key, ()))
+        return found
+
+    def query(
+        self, feature_set: Iterable[int], k: int = 5
+    ) -> list[tuple[Hashable, float]]:
+        """The (up to) k most similar candidates as (key, jaccard),
+        most similar first."""
+        features = frozenset(int(f) for f in feature_set)
+        scored = [
+            (key, jaccard(features, self._sets[key]))
+            for key in self.candidates(features)
+        ]
+        scored.sort(key=lambda pair: (-pair[1], repr(pair[0])))
+        return scored[:k]
+
+    def _band_keys(self, features: frozenset) -> list[tuple]:
+        signature = self._lsh.signature(features)
+        keys = []
+        width = self._rows_per_band
+        for band in range(self._num_bands):
+            start = band * width
+            stop = (
+                start + width
+                if band < self._num_bands - 1
+                else signature.size
+            )
+            keys.append(tuple(int(v) for v in signature[start:stop]))
+        return keys

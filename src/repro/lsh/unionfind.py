@@ -1,0 +1,54 @@
+"""Disjoint-set (union-find) with path compression and union by size."""
+
+from __future__ import annotations
+
+
+class UnionFind:
+    """Classic disjoint-set forest over the integers ``0..n-1``."""
+
+    def __init__(self, size: int) -> None:
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        self._parent = list(range(size))
+        self._size = [1] * size
+        self._components = size
+
+    def find(self, item: int) -> int:
+        """Representative of ``item``'s component (with path compression)."""
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the components of ``a`` and ``b``; True if they were distinct."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        self._components -= 1
+        return True
+
+    def connected(self, a: int, b: int) -> bool:
+        """True when ``a`` and ``b`` share a component."""
+        return self.find(a) == self.find(b)
+
+    @property
+    def num_components(self) -> int:
+        """Current number of disjoint components."""
+        return self._components
+
+    def components(self) -> dict[int, list[int]]:
+        """Map of representative -> sorted member list."""
+        groups: dict[int, list[int]] = {}
+        for item in range(len(self._parent)):
+            groups.setdefault(self.find(item), []).append(item)
+        return groups
+
+    def __len__(self) -> int:
+        return len(self._parent)

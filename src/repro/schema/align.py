@@ -1,0 +1,181 @@
+"""Semantic label alignment across integrated schemas (paper future work).
+
+The paper's conclusion lists "support integration scenarios when label
+semantics are not consistent (e.g., labels in different languages)" as
+future work, proposing LLM-based alignment.  This module implements a
+self-contained variant on the same signal PG-HIVE already has: two labels
+denote the same concept when their *types* look alike from inside the
+graph --
+
+* **structural similarity**: Jaccard of the types' property key sets
+  (an ``Organization`` and a ``Company`` carry the same keys);
+* **contextual similarity**: cosine similarity of the labels' Word2Vec
+  embeddings, which encode how the labels co-occur with edge labels and
+  neighbour types (an Organization and a Company are both the target of
+  WORKS_AT edges from Person);
+* **lexical similarity**: normalized edit-distance similarity of the
+  label strings themselves (catches ``Organisation``/``Organization``).
+
+Pairs of node types scoring above a combined threshold are proposed as
+*alias groups*; :func:`apply_alignment` merges each group into one type
+(monotone union merging, so no information is lost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.embeddings.embedder import LabelEmbedder
+from repro.lsh.unionfind import UnionFind
+from repro.schema.merge import merge_node_types
+from repro.schema.model import NodeType, SchemaGraph
+from repro.util.similarity import jaccard
+
+
+@dataclass(frozen=True, slots=True)
+class AliasCandidate:
+    """A proposed label/type alias pair with its evidence scores."""
+
+    first: str
+    second: str
+    structural: float
+    contextual: float
+    lexical: float
+
+    @property
+    def combined(self) -> float:
+        """Weighted evidence: structure dominates, context and lexical
+        similarity act as tie-breakers."""
+        return (
+            0.5 * self.structural
+            + 0.3 * self.contextual
+            + 0.2 * self.lexical
+        )
+
+
+def propose_alignments(
+    schema: SchemaGraph,
+    embedder: LabelEmbedder | None = None,
+    threshold: float = 0.75,
+    structural_floor: float = 0.5,
+) -> list[AliasCandidate]:
+    """Score all labeled node-type pairs and return likely aliases.
+
+    Args:
+        schema: The (possibly merged multi-source) schema to inspect.
+        embedder: A label embedder fitted on the combined data; omitted,
+            contextual similarity is treated as neutral (0.5).
+        threshold: Minimum combined score for a pair to be proposed.
+        structural_floor: Pairs below this structural similarity are never
+            proposed, whatever the other signals say -- merging types with
+            different shapes would violate the user's data expectations.
+    """
+    labeled = [
+        node_type
+        for node_type in schema.node_types.values()
+        if node_type.labels
+    ]
+    candidates: list[AliasCandidate] = []
+    for index, first in enumerate(labeled):
+        for second in labeled[index + 1:]:
+            if first.labels & second.labels:
+                continue  # sharing a label already; not an alias question
+            structural = jaccard(first.property_keys, second.property_keys)
+            if structural < structural_floor:
+                continue
+            contextual = _context_similarity(first, second, embedder)
+            lexical = _lexical_similarity(first.labels, second.labels)
+            candidate = AliasCandidate(
+                first=first.name,
+                second=second.name,
+                structural=structural,
+                contextual=contextual,
+                lexical=lexical,
+            )
+            if candidate.combined >= threshold:
+                candidates.append(candidate)
+    candidates.sort(key=lambda c: c.combined, reverse=True)
+    return candidates
+
+
+def apply_alignment(
+    schema: SchemaGraph, candidates: Sequence[AliasCandidate]
+) -> dict[str, str]:
+    """Merge each alias group into one node type (mutates the schema).
+
+    Groups are the connected components over the accepted pairs.  Within a
+    group, the type with the most instances hosts the merge (its name
+    survives).
+
+    Returns:
+        Mapping of absorbed type name -> surviving type name.
+    """
+    names = sorted(schema.node_types)
+    index = {name: i for i, name in enumerate(names)}
+    uf = UnionFind(len(names))
+    for candidate in candidates:
+        if candidate.first in index and candidate.second in index:
+            uf.union(index[candidate.first], index[candidate.second])
+    renames: dict[str, str] = {}
+    for component in uf.components().values():
+        if len(component) < 2:
+            continue
+        members = [schema.node_types[names[i]] for i in component]
+        host = max(members, key=lambda t: t.instance_count)
+        for member in members:
+            if member is host:
+                continue
+            merge_node_types(host, member)
+            schema.remove_node_type(member.name)
+            renames[member.name] = host.name
+    return renames
+
+
+def _context_similarity(
+    first: NodeType, second: NodeType, embedder: LabelEmbedder | None
+) -> float:
+    """Cosine similarity of the types' label embeddings, mapped to [0,1]."""
+    if embedder is None:
+        return 0.5
+    a = embedder.embed(first.labels)
+    b = embedder.embed(second.labels)
+    denom = float(np.linalg.norm(a) * np.linalg.norm(b))
+    if denom == 0.0:
+        return 0.5
+    cosine = float(a @ b / denom)
+    return (cosine + 1.0) / 2.0
+
+
+def _lexical_similarity(
+    first: frozenset[str], second: frozenset[str]
+) -> float:
+    """Best normalized edit similarity over the label-pair cross product."""
+    best = 0.0
+    for a in first:
+        for b in second:
+            best = max(best, _edit_similarity(a.lower(), b.lower()))
+    return best
+
+
+def _edit_similarity(a: str, b: str) -> float:
+    """1 - normalized Levenshtein distance."""
+    if not a and not b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    previous = list(range(len(b) + 1))
+    for i, char_a in enumerate(a, start=1):
+        current = [i]
+        for j, char_b in enumerate(b, start=1):
+            cost = 0 if char_a == char_b else 1
+            current.append(min(
+                previous[j] + 1,        # deletion
+                current[j - 1] + 1,     # insertion
+                previous[j - 1] + cost  # substitution
+            ))
+        previous = current
+    distance = previous[-1]
+    return 1.0 - distance / max(len(a), len(b))

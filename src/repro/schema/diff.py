@@ -1,0 +1,157 @@
+"""Structural diff between two schema graphs.
+
+Used by the incremental tests (to verify the monotone chain S_i <= S_{i+1})
+and generally useful to inspect how a schema evolved between batches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.schema.model import SchemaGraph
+
+
+@dataclass
+class SchemaDiff:
+    """Differences from an ``old`` schema to a ``new`` one."""
+
+    added_node_types: list[str] = field(default_factory=list)
+    removed_node_types: list[str] = field(default_factory=list)
+    added_edge_types: list[str] = field(default_factory=list)
+    removed_edge_types: list[str] = field(default_factory=list)
+    # type name -> property keys that appeared / disappeared
+    node_property_additions: dict[str, set[str]] = field(default_factory=dict)
+    node_property_removals: dict[str, set[str]] = field(default_factory=dict)
+    edge_property_additions: dict[str, set[str]] = field(default_factory=dict)
+    edge_property_removals: dict[str, set[str]] = field(default_factory=dict)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the two schemas are structurally identical."""
+        return not (
+            self.added_node_types
+            or self.removed_node_types
+            or self.added_edge_types
+            or self.removed_edge_types
+            or self.node_property_additions
+            or self.node_property_removals
+            or self.edge_property_additions
+            or self.edge_property_removals
+        )
+
+    @property
+    def is_monotone_extension(self) -> bool:
+        """True when ``new`` only *adds* information relative to ``old``.
+
+        This is the paper's S_old is-subsumed-by S_new relation: no types or
+        properties may disappear.
+        """
+        return not (
+            self.removed_node_types
+            or self.removed_edge_types
+            or self.node_property_removals
+            or self.edge_property_removals
+        )
+
+
+def diff_schemas(old: SchemaGraph, new: SchemaGraph) -> SchemaDiff:
+    """Compute the structural diff from ``old`` to ``new``.
+
+    Types are matched by label set when labeled (names of abstract types are
+    generated and unstable across runs); abstract types match by property
+    key set.
+    """
+    diff = SchemaDiff()
+    _diff_kind(
+        {t.name: t for t in old.node_types.values()},
+        {t.name: t for t in new.node_types.values()},
+        diff.added_node_types,
+        diff.removed_node_types,
+        diff.node_property_additions,
+        diff.node_property_removals,
+    )
+    _diff_kind(
+        {t.name: t for t in old.edge_types.values()},
+        {t.name: t for t in new.edge_types.values()},
+        diff.added_edge_types,
+        diff.removed_edge_types,
+        diff.edge_property_additions,
+        diff.edge_property_removals,
+    )
+    return diff
+
+
+def _diff_kind(old_types, new_types, added, removed, prop_add, prop_del):
+    """Shared node/edge diff logic.
+
+    Several types may share a label set (endpoint-aware edge types, e.g.
+    two LIKES types over different targets), so labeled types are compared
+    as *label groups*: the union of property keys over every type carrying
+    that label set.  A label group shrinking is what breaks monotonicity,
+    not key differences between sibling types.
+    """
+    old_groups = _label_groups(old_types)
+    new_groups = _label_groups(new_types)
+    for labels, (old_names, old_keys) in old_groups.items():
+        match = new_groups.get(labels) or _covering_group(new_groups, labels)
+        if match is None:
+            removed.extend(old_names)
+            continue
+        match_names, match_keys = match
+        gained = match_keys - old_keys
+        lost = old_keys - match_keys
+        if gained:
+            prop_add[match_names[0]] = gained
+        if lost:
+            prop_del[old_names[0]] = lost
+    for labels, (new_names, _) in new_groups.items():
+        covered = labels in old_groups or (
+            _covering_group(old_groups, labels) is not None
+        )
+        if not covered:
+            added.extend(new_names)
+    # Abstract (unlabeled) types: match by property key set.
+    old_abstract = {
+        t.property_keys for t in old_types.values() if not t.labels
+    }
+    for new_type in new_types.values():
+        if new_type.labels:
+            continue
+        if new_type.property_keys not in old_abstract and not any(
+            keys <= new_type.property_keys for keys in old_abstract
+        ):
+            added.append(new_type.name)
+    new_abstract_keys = [
+        t.property_keys for t in new_types.values() if not t.labels
+    ]
+    all_new_keys = [t.property_keys for t in new_types.values()]
+    for old_type in old_types.values():
+        if old_type.labels:
+            continue
+        survives = any(
+            old_type.property_keys <= keys for keys in all_new_keys
+        ) or old_type.property_keys in new_abstract_keys
+        if not survives:
+            removed.append(old_type.name)
+
+
+def _label_groups(types) -> dict:
+    """labels -> (type names, union of property keys) for labeled types."""
+    groups: dict = {}
+    for type_record in types.values():
+        if not type_record.labels:
+            continue
+        names, keys = groups.get(type_record.labels, ([], frozenset()))
+        groups[type_record.labels] = (
+            names + [type_record.name],
+            keys | type_record.property_keys,
+        )
+    return groups
+
+
+def _covering_group(groups: dict, labels: frozenset):
+    """A label group whose labels subsume ``labels``, if any."""
+    for other_labels, group in groups.items():
+        if labels <= other_labels:
+            return group
+    return None

@@ -1,0 +1,172 @@
+"""Schema evolution tracking and deletion handling.
+
+Two pieces the paper defers:
+
+* **Evolution tracking** -- the incremental mode produces a monotone chain
+  of schemas; :class:`SchemaEvolutionTracker` records the chain, exposes
+  the per-step diffs, and detects *stabilization* (no structural change
+  for k consecutive batches), the operational signal that the schema has
+  converged and post-processing can run.
+* **Deletion handling** -- section 4.6: "Handling updates and deletions is
+  left for future work."  :func:`refresh_schema` re-grounds a schema
+  against the current store after elements were deleted: membership lists
+  are filtered to live elements, instance and property counts are
+  recomputed exactly, constraints are re-derived, and types whose
+  instances all disappeared are dropped (with the removals reported).
+  This intentionally breaks monotonicity -- deletions must -- but keeps
+  every surviving type's statistics exact.
+"""
+
+from __future__ import annotations
+
+import copy
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.core.postprocess import infer_property_constraints
+from repro.graph.store import GraphStore
+from repro.schema.diff import SchemaDiff, diff_schemas
+from repro.schema.model import SchemaGraph
+
+
+@dataclass
+class EvolutionStep:
+    """One recorded schema transition."""
+
+    index: int
+    diff: SchemaDiff
+    num_node_types: int
+    num_edge_types: int
+
+    @property
+    def changed(self) -> bool:
+        """True when this step altered the schema structurally."""
+        return not self.diff.is_empty
+
+
+class SchemaEvolutionTracker:
+    """Records schema snapshots across incremental batches."""
+
+    def __init__(self, stability_window: int = 3) -> None:
+        if stability_window < 1:
+            raise ValueError("stability_window must be >= 1")
+        self.stability_window = stability_window
+        self.steps: list[EvolutionStep] = []
+        self._previous: SchemaGraph | None = None
+
+    def observe(self, schema: SchemaGraph) -> EvolutionStep:
+        """Record the schema after a batch; returns the step's diff."""
+        if self._previous is None:
+            baseline = SchemaGraph(schema.name)
+        else:
+            baseline = self._previous
+        diff = diff_schemas(baseline, schema)
+        step = EvolutionStep(
+            index=len(self.steps),
+            diff=diff,
+            num_node_types=len(schema.node_types),
+            num_edge_types=len(schema.edge_types),
+        )
+        self.steps.append(step)
+        self._previous = copy.deepcopy(schema)
+        return step
+
+    @property
+    def is_stable(self) -> bool:
+        """True when the last ``stability_window`` steps changed nothing."""
+        if len(self.steps) < self.stability_window:
+            return False
+        return all(
+            not step.changed
+            for step in self.steps[-self.stability_window:]
+        )
+
+    @property
+    def steps_since_change(self) -> int:
+        """Consecutive trailing steps without structural change."""
+        count = 0
+        for step in reversed(self.steps):
+            if step.changed:
+                break
+            count += 1
+        return count
+
+    def violations_of_monotonicity(self) -> list[int]:
+        """Indices of steps that removed schema information (none, for a
+        correct incremental run without deletions)."""
+        return [
+            step.index
+            for step in self.steps
+            if not step.diff.is_monotone_extension
+        ]
+
+
+@dataclass
+class RefreshReport:
+    """Outcome of re-grounding a schema after deletions."""
+
+    removed_node_types: list[str] = field(default_factory=list)
+    removed_edge_types: list[str] = field(default_factory=list)
+    pruned_members: int = 0
+    constraint_changes: int = 0
+
+
+def refresh_schema(schema: SchemaGraph, store: GraphStore) -> RefreshReport:
+    """Re-ground a schema against a store after deletions (mutates it).
+
+    Every type's membership is filtered to elements that still exist;
+    counts and MANDATORY/OPTIONAL constraints are recomputed from the
+    survivors; empty types are removed.
+    """
+    report = RefreshReport()
+    graph = store.graph
+    before_status = {
+        (kind, type_name, key): spec.status
+        for kind, types in (
+            ("node", schema.node_types), ("edge", schema.edge_types)
+        )
+        for type_name, type_record in types.items()
+        for key, spec in type_record.properties.items()
+    }
+    for name in list(schema.node_types):
+        node_type = schema.node_types[name]
+        live = [m for m in node_type.members if graph.has_node(m)]
+        report.pruned_members += len(node_type.members) - len(live)
+        if not live:
+            schema.remove_node_type(name)
+            report.removed_node_types.append(name)
+            continue
+        node_type.members = live
+        node_type.instance_count = len(live)
+        node_type.property_counts = Counter(
+            key for m in live for key in graph.node(m).properties
+        )
+    for name in list(schema.edge_types):
+        edge_type = schema.edge_types[name]
+        live = [m for m in edge_type.members if graph.has_edge(m)]
+        report.pruned_members += len(edge_type.members) - len(live)
+        if not live:
+            schema.remove_edge_type(name)
+            report.removed_edge_types.append(name)
+            continue
+        edge_type.members = live
+        edge_type.instance_count = len(live)
+        edge_type.property_counts = Counter(
+            key for m in live for key in graph.edge(m).properties
+        )
+    infer_property_constraints(schema)
+    after_status = {
+        (kind, type_name, key): spec.status
+        for kind, types in (
+            ("node", schema.node_types), ("edge", schema.edge_types)
+        )
+        for type_name, type_record in types.items()
+        for key, spec in type_record.properties.items()
+    }
+    report.constraint_changes = sum(
+        1
+        for key, status in after_status.items()
+        if before_status.get(key) is not None
+        and before_status[key] is not status
+    )
+    return report

@@ -1,0 +1,143 @@
+"""Type hierarchy inference: subtype relations between discovered types.
+
+The paper's challenge list includes semantic relations that "structural
+similarity alone cannot capture... (e.g., Intern as a subtype of
+Employee)".  While full semantic subtyping needs external knowledge, a
+large and useful subset is inferable from the discovered schema itself:
+
+``A`` is a *structural subtype* of ``B`` when
+
+1. **label refinement** -- A's label set strictly contains B's
+   ({Intern, Employee} refines {Employee}), or
+2. **property refinement** -- A and B share B's entire (nonempty)
+   mandatory property set while A adds mandatory properties of its own,
+   and their label sets do not conflict (one of them is unlabeled or
+   they overlap).
+
+The result is a DAG of :class:`SubtypeRelation` edges (transitively
+reduced), renderable as an indented forest -- the "hierarchical dataset"
+view the paper's CIDOC-CRM discussion motivates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.schema.model import NodeType, PropertyStatus, SchemaGraph
+
+
+@dataclass(frozen=True, slots=True)
+class SubtypeRelation:
+    """``subtype`` IS-A ``supertype`` with the evidence kind."""
+
+    subtype: str
+    supertype: str
+    evidence: str  # "labels" | "properties"
+
+
+def infer_hierarchy(
+    schema: SchemaGraph, use_properties: bool = True
+) -> list[SubtypeRelation]:
+    """Infer the transitively-reduced subtype DAG over node types."""
+    types = list(schema.node_types.values())
+    relations: set[tuple[str, str, str]] = set()
+    for child in types:
+        for parent in types:
+            if child.name == parent.name:
+                continue
+            if _label_refines(child, parent):
+                relations.add((child.name, parent.name, "labels"))
+            elif use_properties and _property_refines(child, parent):
+                relations.add((child.name, parent.name, "properties"))
+    reduced = _transitive_reduction(relations)
+    return sorted(
+        (SubtypeRelation(*r) for r in reduced),
+        key=lambda r: (r.supertype, r.subtype),
+    )
+
+
+def render_hierarchy(
+    schema: SchemaGraph, relations: list[SubtypeRelation]
+) -> str:
+    """Indented forest view of the hierarchy (roots first)."""
+    children: dict[str, list[str]] = {}
+    has_parent: set[str] = set()
+    for relation in relations:
+        children.setdefault(relation.supertype, []).append(relation.subtype)
+        has_parent.add(relation.subtype)
+    lines: list[str] = []
+
+    def _walk(name: str, depth: int) -> None:
+        node_type = schema.node_types.get(name)
+        count = node_type.instance_count if node_type else 0
+        lines.append(f"{'  ' * depth}{name} ({count} instances)")
+        for child in sorted(children.get(name, ())):
+            _walk(child, depth + 1)
+
+    roots = [
+        t.name for t in schema.node_types.values()
+        if t.name not in has_parent
+    ]
+    for root in sorted(roots):
+        _walk(root, 0)
+    return "\n".join(lines)
+
+
+def _label_refines(child: NodeType, parent: NodeType) -> bool:
+    """Child's labels strictly contain the parent's (nonempty) labels."""
+    return bool(parent.labels) and parent.labels < child.labels
+
+
+def _mandatory_keys(node_type: NodeType) -> frozenset[str]:
+    return frozenset(
+        key
+        for key, spec in node_type.properties.items()
+        if spec.status is PropertyStatus.MANDATORY
+    )
+
+
+def _property_refines(child: NodeType, parent: NodeType) -> bool:
+    """Child strictly extends the parent's mandatory property contract."""
+    parent_mandatory = _mandatory_keys(parent)
+    child_mandatory = _mandatory_keys(child)
+    if not parent_mandatory or not parent_mandatory < child_mandatory:
+        return False
+    # Label compatibility: disjoint nonempty label sets are different
+    # concepts, not a hierarchy.
+    if child.labels and parent.labels and not (child.labels & parent.labels):
+        return False
+    # Avoid double-reporting pairs already related by labels.
+    if _label_refines(child, parent) or _label_refines(parent, child):
+        return False
+    return True
+
+
+def _transitive_reduction(
+    relations: set[tuple[str, str, str]]
+) -> set[tuple[str, str, str]]:
+    """Drop (a, c) when (a, b) and (b, c) are present."""
+    parents: dict[str, set[str]] = {}
+    for child, parent, _ in relations:
+        parents.setdefault(child, set()).add(parent)
+
+    def reachable(start: str, target: str, skip_direct: bool) -> bool:
+        stack = [
+            p for p in parents.get(start, ())
+            if not (skip_direct and p == target)
+        ]
+        seen: set[str] = set()
+        while stack:
+            current = stack.pop()
+            if current == target:
+                return True
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(parents.get(current, ()))
+        return False
+
+    return {
+        (child, parent, evidence)
+        for child, parent, evidence in relations
+        if not reachable(child, parent, skip_direct=True)
+    }

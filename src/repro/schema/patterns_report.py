@@ -1,0 +1,100 @@
+"""Per-type pattern breakdown: how a type's instances vary structurally.
+
+Table 2 of the paper counts patterns (Defs 3.5/3.6) separately from types
+because one type typically covers many patterns -- optional properties and
+label variants multiply them.  This module recovers that view from a
+discovered schema: for every type, the distinct (label set, property key
+set) patterns among its member instances with their frequencies, plus a
+*coverage* number (how many instances exhibit the type's full property
+set).  It is the operator's tool for judging whether a noisy type is one
+coherent concept or an accidental merge.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.graph.store import GraphStore
+from repro.schema.model import NodeType, SchemaGraph
+from repro.util.tables import render_table
+
+
+@dataclass(frozen=True, slots=True)
+class TypePatternBreakdown:
+    """Structural variation within one discovered type."""
+
+    type_name: str
+    num_patterns: int
+    # (labels, property keys) -> instance count, most frequent first.
+    patterns: tuple[tuple[tuple[frozenset, frozenset], int], ...]
+    full_coverage: float  # fraction of instances carrying every type key
+
+    @property
+    def dominant_share(self) -> float:
+        """Fraction of instances in the most frequent pattern."""
+        total = sum(count for _, count in self.patterns)
+        if total == 0:
+            return 1.0
+        return self.patterns[0][1] / total
+
+
+def pattern_breakdown(
+    schema: SchemaGraph, store: GraphStore
+) -> dict[str, TypePatternBreakdown]:
+    """Breakdowns for every node type (requires member ids)."""
+    breakdowns: dict[str, TypePatternBreakdown] = {}
+    for node_type in schema.node_types.values():
+        breakdowns[node_type.name] = _breakdown_for(node_type, store)
+    return breakdowns
+
+
+def _breakdown_for(
+    node_type: NodeType, store: GraphStore
+) -> TypePatternBreakdown:
+    counts: Counter = Counter()
+    full = 0
+    type_keys = node_type.property_keys
+    for member in node_type.members:
+        node = store.graph.node(member)
+        keys = node.property_keys
+        counts[(node.labels, keys)] += 1
+        if keys == type_keys:
+            full += 1
+    total = max(1, len(node_type.members))
+    ordered = tuple(sorted(
+        counts.items(), key=lambda kv: (-kv[1], repr(kv[0]))
+    ))
+    return TypePatternBreakdown(
+        type_name=node_type.name,
+        num_patterns=len(counts),
+        patterns=ordered,
+        full_coverage=full / total,
+    )
+
+
+def render_pattern_breakdown(
+    breakdowns: dict[str, TypePatternBreakdown],
+    max_patterns: int = 3,
+) -> str:
+    """Text table: one row per type, dominant patterns inline."""
+    rows = []
+    for name in sorted(breakdowns):
+        breakdown = breakdowns[name]
+        examples = []
+        for (labels, keys), count in breakdown.patterns[:max_patterns]:
+            label_text = "&".join(sorted(labels)) or "(unlabeled)"
+            key_text = ",".join(sorted(keys)) or "(no properties)"
+            examples.append(f"{label_text}{{{key_text}}} x{count}")
+        rows.append([
+            name,
+            str(breakdown.num_patterns),
+            f"{breakdown.dominant_share:.0%}",
+            f"{breakdown.full_coverage:.0%}",
+            " | ".join(examples),
+        ])
+    return render_table(
+        ["type", "#patterns", "dominant", "full keys", "top patterns"],
+        rows,
+        "Per-type pattern breakdown",
+    )

@@ -1,0 +1,181 @@
+"""Schema persistence: save and resume discovered schemas as JSON.
+
+Incremental discovery is only useful in practice if the running schema
+survives process restarts: a nightly job loads yesterday's schema,
+processes the day's batches, and stores the result.  This module
+round-trips a :class:`~repro.schema.model.SchemaGraph` through a stable
+JSON document, including the bookkeeping the incremental engine needs
+(instance counts, per-property occurrence counters, cluster tokens) --
+with or without the raw member id lists.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Any
+
+from repro.schema.model import (
+    Cardinality,
+    DataType,
+    EdgeType,
+    NodeType,
+    PropertySpec,
+    PropertyStatus,
+    SchemaGraph,
+)
+
+_FORMAT_VERSION = 1
+
+
+def schema_to_dict(
+    schema: SchemaGraph, include_members: bool = True
+) -> dict[str, Any]:
+    """Serializable dict form of a schema graph."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "name": schema.name,
+        "node_types": [
+            _node_type_to_dict(t, include_members)
+            for t in schema.node_types.values()
+        ],
+        "edge_types": [
+            _edge_type_to_dict(t, include_members)
+            for t in schema.edge_types.values()
+        ],
+    }
+
+
+def schema_from_dict(data: dict[str, Any]) -> SchemaGraph:
+    """Rebuild a schema graph from :func:`schema_to_dict` output."""
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported schema format version {version!r}"
+        )
+    schema = SchemaGraph(data.get("name", "schema"))
+    for record in data.get("node_types", ()):
+        schema.add_node_type(_node_type_from_dict(record))
+    for record in data.get("edge_types", ()):
+        schema.add_edge_type(_edge_type_from_dict(record))
+    return schema
+
+
+def save_schema(
+    schema: SchemaGraph, path: str | Path, include_members: bool = True
+) -> None:
+    """Write a schema to a JSON file."""
+    Path(path).write_text(
+        json.dumps(schema_to_dict(schema, include_members), indent=2),
+        encoding="utf-8",
+    )
+
+
+def load_schema(path: str | Path) -> SchemaGraph:
+    """Read a schema previously written by :func:`save_schema`."""
+    return schema_from_dict(
+        json.loads(Path(path).read_text(encoding="utf-8"))
+    )
+
+
+# ---------------------------------------------------------------------------
+# Record conversion
+# ---------------------------------------------------------------------------
+
+def _spec_to_dict(spec: PropertySpec) -> dict[str, Any]:
+    return {
+        "key": spec.key,
+        "datatype": spec.datatype.name,
+        "status": spec.status.name,
+    }
+
+
+def _spec_from_dict(record: dict[str, Any]) -> PropertySpec:
+    return PropertySpec(
+        key=record["key"],
+        datatype=DataType[record.get("datatype", "UNKNOWN")],
+        status=PropertyStatus[record.get("status", "OPTIONAL")],
+    )
+
+
+def _node_type_to_dict(
+    node_type: NodeType, include_members: bool
+) -> dict[str, Any]:
+    return {
+        "name": node_type.name,
+        "labels": sorted(node_type.labels),
+        "abstract": node_type.abstract,
+        "properties": [
+            _spec_to_dict(s) for _, s in sorted(node_type.properties.items())
+        ],
+        "instance_count": node_type.instance_count,
+        "property_counts": dict(node_type.property_counts),
+        "cluster_tokens": sorted(node_type.cluster_tokens),
+        "members": list(node_type.members) if include_members else [],
+    }
+
+
+def _node_type_from_dict(record: dict[str, Any]) -> NodeType:
+    node_type = NodeType(
+        name=record["name"],
+        labels=frozenset(record.get("labels", ())),
+        abstract=bool(record.get("abstract", False)),
+        instance_count=int(record.get("instance_count", 0)),
+        property_counts=Counter(record.get("property_counts", {})),
+        members=list(record.get("members", ())),
+        cluster_tokens=set(record.get("cluster_tokens", ())),
+    )
+    for spec_record in record.get("properties", ()):
+        spec = _spec_from_dict(spec_record)
+        node_type.properties[spec.key] = spec
+    return node_type
+
+
+def _edge_type_to_dict(
+    edge_type: EdgeType, include_members: bool
+) -> dict[str, Any]:
+    return {
+        "name": edge_type.name,
+        "labels": sorted(edge_type.labels),
+        "abstract": edge_type.abstract,
+        "properties": [
+            _spec_to_dict(s) for _, s in sorted(edge_type.properties.items())
+        ],
+        "source_labels": sorted(edge_type.source_labels),
+        "target_labels": sorted(edge_type.target_labels),
+        "source_types": sorted(edge_type.source_types),
+        "target_types": sorted(edge_type.target_types),
+        "source_tokens": sorted(edge_type.source_tokens),
+        "target_tokens": sorted(edge_type.target_tokens),
+        "cardinality": edge_type.cardinality.name,
+        "max_out": edge_type.max_out,
+        "max_in": edge_type.max_in,
+        "instance_count": edge_type.instance_count,
+        "property_counts": dict(edge_type.property_counts),
+        "members": list(edge_type.members) if include_members else [],
+    }
+
+
+def _edge_type_from_dict(record: dict[str, Any]) -> EdgeType:
+    edge_type = EdgeType(
+        name=record["name"],
+        labels=frozenset(record.get("labels", ())),
+        abstract=bool(record.get("abstract", False)),
+        source_labels=frozenset(record.get("source_labels", ())),
+        target_labels=frozenset(record.get("target_labels", ())),
+        source_types=set(record.get("source_types", ())),
+        target_types=set(record.get("target_types", ())),
+        source_tokens=set(record.get("source_tokens", ())),
+        target_tokens=set(record.get("target_tokens", ())),
+        cardinality=Cardinality[record.get("cardinality", "UNKNOWN")],
+        max_out=int(record.get("max_out", 0)),
+        max_in=int(record.get("max_in", 0)),
+        instance_count=int(record.get("instance_count", 0)),
+        property_counts=Counter(record.get("property_counts", {})),
+        members=list(record.get("members", ())),
+    )
+    for spec_record in record.get("properties", ()):
+        spec = _spec_from_dict(spec_record)
+        edge_type.properties[spec.key] = spec
+    return edge_type

@@ -1,0 +1,149 @@
+"""Human-readable schema summary reports.
+
+Renders a discovered schema as the overview a database operator wants on
+one screen: per-type instance counts, property coverage, constraint and
+datatype summaries, endpoint wiring and cardinalities, plus aggregate
+figures (how much of the graph is covered by labeled vs ABSTRACT types).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.schema.model import (
+    EdgeType,
+    NodeType,
+    PropertyStatus,
+    SchemaGraph,
+)
+from repro.util.tables import render_table
+
+
+@dataclass(frozen=True, slots=True)
+class SchemaSummary:
+    """Aggregate facts about a schema."""
+
+    num_node_types: int
+    num_edge_types: int
+    num_abstract_node_types: int
+    num_abstract_edge_types: int
+    node_instances: int
+    edge_instances: int
+    abstract_node_instances: int
+    mandatory_properties: int
+    optional_properties: int
+
+    @property
+    def labeled_node_coverage(self) -> float:
+        """Fraction of node instances covered by labeled (non-ABSTRACT)
+        types -- a quick health indicator for noisy discovery runs."""
+        if self.node_instances == 0:
+            return 1.0
+        return 1.0 - self.abstract_node_instances / self.node_instances
+
+
+def summarize_schema(schema: SchemaGraph) -> SchemaSummary:
+    """Compute aggregate statistics for a schema."""
+    node_types = list(schema.node_types.values())
+    edge_types = list(schema.edge_types.values())
+    mandatory = optional = 0
+    for type_record in node_types + edge_types:
+        for spec in type_record.properties.values():
+            if spec.status is PropertyStatus.MANDATORY:
+                mandatory += 1
+            else:
+                optional += 1
+    return SchemaSummary(
+        num_node_types=len(node_types),
+        num_edge_types=len(edge_types),
+        num_abstract_node_types=sum(1 for t in node_types if t.abstract),
+        num_abstract_edge_types=sum(1 for t in edge_types if t.abstract),
+        node_instances=sum(t.instance_count for t in node_types),
+        edge_instances=sum(t.instance_count for t in edge_types),
+        abstract_node_instances=sum(
+            t.instance_count for t in node_types if t.abstract
+        ),
+        mandatory_properties=mandatory,
+        optional_properties=optional,
+    )
+
+
+def render_schema_report(schema: SchemaGraph, max_types: int = 40) -> str:
+    """Full text report: summary header plus per-type tables."""
+    summary = summarize_schema(schema)
+    lines = [
+        f"Schema report: {schema.name}",
+        f"  node types : {summary.num_node_types} "
+        f"({summary.num_abstract_node_types} abstract), "
+        f"{summary.node_instances:,} instances, "
+        f"labeled coverage {summary.labeled_node_coverage:.1%}",
+        f"  edge types : {summary.num_edge_types} "
+        f"({summary.num_abstract_edge_types} abstract), "
+        f"{summary.edge_instances:,} instances",
+        f"  properties : {summary.mandatory_properties} mandatory, "
+        f"{summary.optional_properties} optional",
+        "",
+    ]
+    node_rows = [
+        _node_row(t)
+        for t in sorted(
+            schema.node_types.values(),
+            key=lambda t: t.instance_count,
+            reverse=True,
+        )[:max_types]
+    ]
+    lines.append(render_table(
+        ["node type", "instances", "labels", "properties (M=mandatory)"],
+        node_rows,
+    ))
+    lines.append("")
+    edge_rows = [
+        _edge_row(t)
+        for t in sorted(
+            schema.edge_types.values(),
+            key=lambda t: t.instance_count,
+            reverse=True,
+        )[:max_types]
+    ]
+    lines.append(render_table(
+        ["edge type", "instances", "endpoints", "card.", "properties"],
+        edge_rows,
+    ))
+    hidden = (
+        max(0, len(schema.node_types) - max_types)
+        + max(0, len(schema.edge_types) - max_types)
+    )
+    if hidden:
+        lines.append(f"\n({hidden} additional types not shown)")
+    return "\n".join(lines)
+
+
+def _node_row(node_type: NodeType) -> list[str]:
+    return [
+        node_type.name if not node_type.abstract
+        else f"{node_type.name} (abstract)",
+        f"{node_type.instance_count:,}",
+        "&".join(sorted(node_type.labels)) or "-",
+        _property_summary(node_type),
+    ]
+
+
+def _edge_row(edge_type: EdgeType) -> list[str]:
+    sources = "|".join(sorted(edge_type.source_types)) or "?"
+    targets = "|".join(sorted(edge_type.target_types)) or "?"
+    return [
+        edge_type.name if not edge_type.abstract
+        else f"{edge_type.name} (abstract)",
+        f"{edge_type.instance_count:,}",
+        f"{sources}->{targets}",
+        edge_type.cardinality.value,
+        _property_summary(edge_type),
+    ]
+
+
+def _property_summary(type_record: NodeType | EdgeType) -> str:
+    parts = []
+    for key, spec in sorted(type_record.properties.items()):
+        marker = "M" if spec.status is PropertyStatus.MANDATORY else "o"
+        parts.append(f"{key}[{marker}:{spec.datatype.value}]")
+    return " ".join(parts) or "-"

@@ -1,0 +1,127 @@
+"""Neo4j Cypher export of a discovered schema.
+
+Emits the DDL a Neo4j operator would actually run to enforce the
+discovered schema on the live database:
+
+* ``CREATE CONSTRAINT ... REQUIRE n.prop IS NOT NULL`` for every MANDATORY
+  node/edge property (existence constraints);
+* ``CREATE CONSTRAINT ... REQUIRE n.prop IS :: TYPE`` property type
+  constraints for properties with a concrete inferred datatype;
+* a commented summary block describing each type, its optional properties
+  and edge cardinalities (Neo4j has no native cardinality constraint).
+
+The output targets the Neo4j 5 constraint syntax.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.schema.model import (
+    DataType,
+    EdgeType,
+    NodeType,
+    PropertyStatus,
+    SchemaGraph,
+)
+
+_CYPHER_TYPES = {
+    DataType.INTEGER: "INTEGER",
+    DataType.FLOAT: "FLOAT",
+    DataType.BOOLEAN: "BOOLEAN",
+    DataType.DATE: "DATE",
+    DataType.TIMESTAMP: "ZONED DATETIME",
+    DataType.STRING: "STRING",
+    DataType.LIST: "LIST<ANY>",
+}
+
+
+def serialize_cypher(schema: SchemaGraph) -> str:
+    """Render a schema as Neo4j constraint DDL plus a summary comment."""
+    lines: list[str] = [
+        f"// Schema discovered by PG-HIVE for graph {schema.name!r}",
+        f"// {len(schema.node_types)} node types, "
+        f"{len(schema.edge_types)} edge types",
+        "",
+    ]
+    for node_type in schema.node_types.values():
+        lines.extend(_node_type_statements(node_type))
+    for edge_type in schema.edge_types.values():
+        lines.extend(_edge_type_statements(edge_type))
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def _node_type_statements(node_type: NodeType) -> list[str]:
+    """Constraint statements for one node type."""
+    lines = [f"// node type {node_type.name}"]
+    if node_type.abstract:
+        lines = [f"// abstract node type {node_type.name} "
+                 f"(no label to constrain)"]
+        return lines + [""]
+    label = _primary_label(node_type)
+    for key, spec in sorted(node_type.properties.items()):
+        constraint_base = _identifier(f"{node_type.name}_{key}")
+        if spec.status is PropertyStatus.MANDATORY:
+            lines.append(
+                f"CREATE CONSTRAINT {constraint_base}_exists "
+                f"IF NOT EXISTS FOR (n:{_escape(label)}) "
+                f"REQUIRE n.{_escape(key)} IS NOT NULL;"
+            )
+        cypher_type = _CYPHER_TYPES.get(spec.datatype)
+        if cypher_type is not None:
+            lines.append(
+                f"CREATE CONSTRAINT {constraint_base}_type "
+                f"IF NOT EXISTS FOR (n:{_escape(label)}) "
+                f"REQUIRE n.{_escape(key)} IS :: {cypher_type};"
+            )
+    lines.append("")
+    return lines
+
+
+def _edge_type_statements(edge_type: EdgeType) -> list[str]:
+    """Constraint statements for one edge type."""
+    endpoints = (
+        f"{'|'.join(sorted(edge_type.source_types)) or '?'} -> "
+        f"{'|'.join(sorted(edge_type.target_types)) or '?'}"
+    )
+    lines = [
+        f"// edge type {edge_type.name}: {endpoints}, "
+        f"cardinality {edge_type.cardinality.value}",
+    ]
+    if edge_type.abstract:
+        return lines + [""]
+    label = _primary_label(edge_type)
+    for key, spec in sorted(edge_type.properties.items()):
+        constraint_base = _identifier(f"{edge_type.name}_{key}")
+        if spec.status is PropertyStatus.MANDATORY:
+            lines.append(
+                f"CREATE CONSTRAINT {constraint_base}_exists "
+                f"IF NOT EXISTS FOR ()-[r:{_escape(label)}]-() "
+                f"REQUIRE r.{_escape(key)} IS NOT NULL;"
+            )
+        cypher_type = _CYPHER_TYPES.get(spec.datatype)
+        if cypher_type is not None:
+            lines.append(
+                f"CREATE CONSTRAINT {constraint_base}_type "
+                f"IF NOT EXISTS FOR ()-[r:{_escape(label)}]-() "
+                f"REQUIRE r.{_escape(key)} IS :: {cypher_type};"
+            )
+    lines.append("")
+    return lines
+
+
+def _primary_label(type_record: NodeType | EdgeType) -> str:
+    """The most specific label to constrain on (alphabetical first)."""
+    return sorted(type_record.labels)[0]
+
+
+def _escape(name: str) -> str:
+    """Backtick-quote identifiers that are not plain Cypher names."""
+    if re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", name):
+        return name
+    return "`" + name.replace("`", "``") + "`"
+
+
+def _identifier(text: str) -> str:
+    """Sanitized constraint name."""
+    return re.sub(r"[^0-9A-Za-z_]", "_", text).lower()

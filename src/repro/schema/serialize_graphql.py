@@ -1,0 +1,112 @@
+"""GraphQL SDL export of a discovered schema.
+
+Hartig & Hidders ("Defining schemas for property graphs by using the
+GraphQL schema definition language", cited by the paper) show that the
+GraphQL SDL is a practical schema language for property graphs.  This
+serializer renders each discovered node type as an SDL ``type`` whose
+scalar fields are its properties (``!`` for MANDATORY) and whose
+relationship fields follow the discovered edge types and cardinalities
+(list-valued unless the edge type's out-degree bound is 1).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.schema.model import (
+    DataType,
+    EdgeType,
+    NodeType,
+    PropertyStatus,
+    SchemaGraph,
+)
+
+_GRAPHQL_SCALARS = {
+    DataType.INTEGER: "Int",
+    DataType.FLOAT: "Float",
+    DataType.BOOLEAN: "Boolean",
+    DataType.DATE: "Date",
+    DataType.TIMESTAMP: "DateTime",
+    DataType.STRING: "String",
+    DataType.LIST: "[String]",
+    DataType.UNKNOWN: "String",
+}
+
+
+def serialize_graphql(schema: SchemaGraph) -> str:
+    """Render a schema graph as a GraphQL SDL document."""
+    lines: list[str] = [
+        f'"""Schema discovered by PG-HIVE for graph {schema.name!r}."""',
+        "scalar Date",
+        "scalar DateTime",
+        "",
+    ]
+    outgoing = _outgoing_edges(schema)
+    for node_type in schema.node_types.values():
+        lines.extend(_node_type_sdl(node_type, outgoing))
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def _outgoing_edges(schema: SchemaGraph) -> dict[str, list[EdgeType]]:
+    """Node type name -> edge types leaving it."""
+    outgoing: dict[str, list[EdgeType]] = {}
+    for edge_type in schema.edge_types.values():
+        for source in edge_type.source_types:
+            outgoing.setdefault(source, []).append(edge_type)
+    return outgoing
+
+
+def _node_type_sdl(
+    node_type: NodeType, outgoing: dict[str, list[EdgeType]]
+) -> list[str]:
+    """The SDL type block for one node type."""
+    name = _type_name(node_type.name)
+    header = f"type {name}"
+    if node_type.abstract:
+        header = f'"""ABSTRACT (unlabeled) type."""\n{header}'
+    lines = [header + " {"]
+    for key, spec in sorted(node_type.properties.items()):
+        scalar = _GRAPHQL_SCALARS[spec.datatype]
+        bang = "!" if spec.status is PropertyStatus.MANDATORY else ""
+        lines.append(f"  {_field_name(key)}: {scalar}{bang}")
+    for edge_type in sorted(
+        outgoing.get(node_type.name, []), key=lambda e: e.name
+    ):
+        lines.extend(_relationship_field(edge_type))
+    lines.append("}")
+    return lines
+
+
+def _relationship_field(edge_type: EdgeType) -> list[str]:
+    """One relationship field per target type of the edge type."""
+    fields = []
+    targets = sorted(edge_type.target_types) or ["Node"]
+    single_valued = edge_type.max_out == 1
+    for target in targets:
+        target_name = _type_name(target)
+        field = _field_name(edge_type.name.lower())
+        if len(targets) > 1:
+            field = _field_name(f"{edge_type.name.lower()}_{target.lower()}")
+        rendered = target_name if single_valued else f"[{target_name}]"
+        fields.append(
+            f"  {field}: {rendered} "
+            f"# {edge_type.cardinality.value}"
+        )
+    return fields
+
+
+def _type_name(text: str) -> str:
+    """SDL type identifier."""
+    cleaned = re.sub(r"[^0-9A-Za-z_]", "_", text)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "T_" + cleaned
+    return cleaned
+
+
+def _field_name(text: str) -> str:
+    """SDL field identifier."""
+    cleaned = re.sub(r"[^0-9A-Za-z_]", "_", text)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "f_" + cleaned
+    return cleaned

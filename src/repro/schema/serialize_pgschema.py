@@ -1,0 +1,132 @@
+"""PG-Schema serialization (paper section 4.5).
+
+Emits ``CREATE GRAPH TYPE ... { ... }`` declarations in the PG-Schema
+grammar of Angles et al., in either LOOSE or STRICT mode:
+
+* LOOSE declares the discovered node and edge types but allows data to
+  deviate (extra properties, unlisted types);
+* STRICT additionally renders data types, MANDATORY/OPTIONAL constraints
+  and cardinality annotations, and closes the content model.
+
+ABSTRACT types are emitted with the ``ABSTRACT`` keyword, matching how
+PG-HIVE classifies unmerged unlabeled clusters.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.schema.model import (
+    Cardinality,
+    EdgeType,
+    NodeType,
+    PropertyStatus,
+    SchemaGraph,
+)
+
+
+def serialize_pg_schema(
+    schema: SchemaGraph, mode: str = "STRICT"
+) -> str:
+    """Render a schema graph as a PG-Schema document.
+
+    Args:
+        schema: The schema to serialize.
+        mode: ``"STRICT"`` or ``"LOOSE"``.
+    """
+    mode = mode.upper()
+    if mode not in {"STRICT", "LOOSE"}:
+        raise ValueError(f"mode must be STRICT or LOOSE, got {mode!r}")
+    strict = mode == "STRICT"
+    lines: list[str] = [
+        f"CREATE GRAPH TYPE {_identifier(schema.name)}GraphType {mode} {{"
+    ]
+    body: list[str] = []
+    for node_type in schema.node_types.values():
+        body.append("  " + _render_node_type(node_type, strict))
+    for edge_type in schema.edge_types.values():
+        body.append("  " + _render_edge_type(edge_type, strict))
+    lines.append(",\n".join(body))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _render_node_type(node_type: NodeType, strict: bool) -> str:
+    """One node type element, e.g. ``(PersonType: Person {name STRING})``."""
+    keyword = "ABSTRACT " if node_type.abstract else ""
+    label_part = _label_conjunction(node_type.labels)
+    head = f"{keyword}{_type_name(node_type.name)}"
+    if label_part:
+        head = f"{head}: {label_part}"
+    props = _render_properties(node_type, strict)
+    return f"({head}{props})"
+
+
+def _render_edge_type(edge_type: EdgeType, strict: bool) -> str:
+    """One edge type element with endpoint references and cardinality."""
+    keyword = "ABSTRACT " if edge_type.abstract else ""
+    label_part = _label_conjunction(edge_type.labels)
+    head = f"{keyword}{_type_name(edge_type.name)}"
+    if label_part:
+        head = f"{head}: {label_part}"
+    props = _render_properties(edge_type, strict)
+    source = _endpoint_reference(edge_type.source_types, edge_type.source_labels)
+    target = _endpoint_reference(edge_type.target_types, edge_type.target_labels)
+    rendered = f"(:{source})-[{head}{props}]->(:{target})"
+    if strict and edge_type.cardinality is not Cardinality.UNKNOWN:
+        annotation = f"cardinality {edge_type.cardinality.value}"
+        if edge_type.bounds is not None:
+            annotation += f" {edge_type.bounds.render()}"
+        rendered += f"  /* {annotation} */"
+    return rendered
+
+
+def _render_properties(
+    type_record: NodeType | EdgeType, strict: bool
+) -> str:
+    """Property block; LOOSE mode renders ``OPEN`` key lists only."""
+    if not type_record.properties:
+        return ""
+    if strict:
+        parts = [
+            spec.render()
+            for _, spec in sorted(type_record.properties.items())
+        ]
+    else:
+        parts = [
+            f"OPTIONAL {key} ANY"
+            if type_record.properties[key].status is PropertyStatus.OPTIONAL
+            else f"{key} ANY"
+            for key in sorted(type_record.properties)
+        ]
+        parts.append("OPEN")
+    return " {" + ", ".join(parts) + "}"
+
+
+def _endpoint_reference(
+    type_names: set[str], labels: frozenset[str]
+) -> str:
+    """Reference for an edge endpoint: type names if known, else labels."""
+    if type_names:
+        return " | ".join(_type_name(n) for n in sorted(type_names))
+    if labels:
+        return _label_conjunction(labels)
+    return "ANY"
+
+
+def _label_conjunction(labels: frozenset[str]) -> str:
+    """Render a label set as a PG-Schema label conjunction (``A & B``)."""
+    return " & ".join(_identifier(label) for label in sorted(labels))
+
+
+def _type_name(name: str) -> str:
+    """Type-name identifier with a ``Type`` suffix."""
+    return _identifier(name) + "Type"
+
+
+def _identifier(text: str) -> str:
+    """Sanitize arbitrary label text into a PG-Schema identifier."""
+    cleaned = re.sub(r"[^0-9A-Za-z_]", "_", text)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned

@@ -1,0 +1,100 @@
+"""XSD serialization of a discovered schema (paper section 4.5).
+
+Each node and edge type becomes an ``xs:complexType``; properties map to
+``xs:element`` children with XSD primitive types and ``minOccurs`` encoding
+the MANDATORY/OPTIONAL constraint.  Edge types carry ``source``/``target``
+attributes referencing their endpoint types.  The output is a complete,
+well-formed XML Schema document built with :mod:`xml.etree.ElementTree`.
+"""
+
+from __future__ import annotations
+
+import re
+import xml.etree.ElementTree as ET
+
+from repro.schema.model import (
+    DataType,
+    EdgeType,
+    NodeType,
+    PropertyStatus,
+    SchemaGraph,
+)
+
+_XS = "http://www.w3.org/2001/XMLSchema"
+
+_XSD_TYPES = {
+    DataType.INTEGER: "xs:integer",
+    DataType.FLOAT: "xs:double",
+    DataType.BOOLEAN: "xs:boolean",
+    DataType.DATE: "xs:date",
+    DataType.TIMESTAMP: "xs:dateTime",
+    DataType.STRING: "xs:string",
+    DataType.LIST: "xs:anyType",
+    DataType.UNKNOWN: "xs:anyType",
+}
+
+
+def serialize_xsd(schema: SchemaGraph) -> str:
+    """Render a schema graph as an XML Schema document string."""
+    ET.register_namespace("xs", _XS)
+    root = ET.Element(f"{{{_XS}}}schema")
+    root.set("targetNamespace", "urn:pghive:schema")
+    root.set("elementFormDefault", "qualified")
+    for node_type in schema.node_types.values():
+        root.append(_complex_type(node_type, kind="node"))
+    for edge_type in schema.edge_types.values():
+        element = _complex_type(edge_type, kind="edge")
+        _append_endpoint_attribute(element, "source", edge_type)
+        _append_endpoint_attribute(element, "target", edge_type)
+        root.append(element)
+    ET.indent(root)
+    body = ET.tostring(root, encoding="unicode")
+    return '<?xml version="1.0" encoding="UTF-8"?>\n' + body
+
+
+def _complex_type(type_record: NodeType | EdgeType, kind: str) -> ET.Element:
+    """Build the ``xs:complexType`` element for one schema type."""
+    complex_type = ET.Element(f"{{{_XS}}}complexType")
+    complex_type.set("name", _xml_name(type_record.name))
+    annotation = ET.SubElement(complex_type, f"{{{_XS}}}annotation")
+    doc = ET.SubElement(annotation, f"{{{_XS}}}documentation")
+    labels = ", ".join(sorted(type_record.labels)) or "(abstract)"
+    doc.text = (
+        f"{kind} type; labels: {labels}; "
+        f"instances merged: {type_record.instance_count}"
+    )
+    if type_record.properties:
+        sequence = ET.SubElement(complex_type, f"{{{_XS}}}sequence")
+        for key, spec in sorted(type_record.properties.items()):
+            element = ET.SubElement(sequence, f"{{{_XS}}}element")
+            element.set("name", _xml_name(key))
+            element.set("type", _XSD_TYPES[spec.datatype])
+            if spec.status is PropertyStatus.OPTIONAL:
+                element.set("minOccurs", "0")
+    return complex_type
+
+
+def _append_endpoint_attribute(
+    element: ET.Element, which: str, edge_type: EdgeType
+) -> None:
+    """Add a source/target attribute documenting endpoint types."""
+    attr = ET.SubElement(element, f"{{{_XS}}}attribute")
+    attr.set("name", which)
+    attr.set("type", "xs:string")
+    names = (
+        edge_type.source_types if which == "source" else edge_type.target_types
+    )
+    labels = (
+        edge_type.source_labels if which == "source" else edge_type.target_labels
+    )
+    value = sorted(names) or sorted(labels)
+    if value:
+        attr.set("fixed", "|".join(_xml_name(v) for v in value))
+
+
+def _xml_name(text: str) -> str:
+    """Sanitize arbitrary text into an XML NCName."""
+    cleaned = re.sub(r"[^0-9A-Za-z_.-]", "_", text)
+    if not cleaned or not (cleaned[0].isalpha() or cleaned[0] == "_"):
+        cleaned = "_" + cleaned
+    return cleaned

@@ -1,0 +1,244 @@
+"""Validating a property graph against a discovered schema.
+
+The paper motivates constraint inference with "validation processes"; this
+module closes that loop.  Validation runs in two modes mirroring PG-Schema:
+
+* LOOSE -- every element must be *covered* by some type (labels a subset of
+  a type's labels, properties a subset of its keys); extra types of data are
+  reported but mandatory constraints are not enforced.
+* STRICT -- additionally enforces MANDATORY properties, datatype
+  compatibility of values, and (for edges) endpoint label compatibility.
+
+The validator returns a structured report rather than raising, because
+noisy real datasets are expected to violate STRICT schemas (section 4.5).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.datatypes import infer_value_type, is_value_compatible
+from repro.graph.model import Edge, Node, PropertyGraph
+from repro.schema.model import (
+    DataType,
+    EdgeType,
+    NodeType,
+    PropertyStatus,
+    SchemaGraph,
+)
+
+
+class ValidationMode(enum.Enum):
+    """Conformance strictness."""
+
+    LOOSE = "LOOSE"
+    STRICT = "STRICT"
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One conformance failure."""
+
+    element_kind: str  # "node" | "edge"
+    element_id: int
+    rule: str
+    detail: str
+
+
+@dataclass
+class ValidationReport:
+    """Aggregate validation outcome."""
+
+    mode: ValidationMode
+    checked: int = 0
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def is_valid(self) -> bool:
+        """True when no violations were recorded."""
+        return not self.violations
+
+    @property
+    def violation_rate(self) -> float:
+        """Violations per checked element."""
+        if self.checked == 0:
+            return 0.0
+        return len(self.violations) / self.checked
+
+
+def validate_graph(
+    graph: PropertyGraph,
+    schema: SchemaGraph,
+    mode: ValidationMode = ValidationMode.STRICT,
+) -> ValidationReport:
+    """Check every node and edge of ``graph`` against ``schema``."""
+    report = ValidationReport(mode=mode)
+    for node in graph.nodes():
+        report.checked += 1
+        _validate_node(node, schema, mode, report)
+    for edge in graph.edges():
+        report.checked += 1
+        _validate_edge(edge, graph, schema, mode, report)
+    return report
+
+
+def _validate_node(
+    node: Node,
+    schema: SchemaGraph,
+    mode: ValidationMode,
+    report: ValidationReport,
+) -> None:
+    """An element conforms when *some* covering type accepts it.
+
+    When every covering type rejects the node, the violations of the
+    least-violating candidate are reported (the most informative failure).
+    """
+    candidates = _covering_node_types(node, schema)
+    if not candidates:
+        report.violations.append(Violation(
+            "node", node.id, "no-type",
+            f"no schema type covers labels={sorted(node.labels)} "
+            f"keys={sorted(node.property_keys)}",
+        ))
+        return
+    if mode is not ValidationMode.STRICT:
+        return
+    best_failures: list[Violation] | None = None
+    for node_type in candidates:
+        failures = ValidationReport(mode=mode)
+        _check_mandatory(node, node_type, "node", failures)
+        _check_datatypes(node, node_type, "node", failures)
+        if not failures.violations:
+            return
+        if best_failures is None or len(failures.violations) < len(best_failures):
+            best_failures = failures.violations
+    report.violations.extend(best_failures or [])
+
+
+def _validate_edge(
+    edge: Edge,
+    graph: PropertyGraph,
+    schema: SchemaGraph,
+    mode: ValidationMode,
+    report: ValidationReport,
+) -> None:
+    """Find a covering edge type accepting the edge, or report failures."""
+    candidates = _covering_edge_types(edge, schema)
+    if not candidates:
+        report.violations.append(Violation(
+            "edge", edge.id, "no-type",
+            f"no schema type covers labels={sorted(edge.labels)}",
+        ))
+        return
+    if mode is not ValidationMode.STRICT:
+        return
+    source, target = graph.endpoints(edge.id)
+    best_failures: list[Violation] | None = None
+    for edge_type in candidates:
+        failures = ValidationReport(mode=mode)
+        _check_mandatory(edge, edge_type, "edge", failures)
+        _check_datatypes(edge, edge_type, "edge", failures)
+        _check_endpoints(edge, edge_type, source, target, failures)
+        if not failures.violations:
+            return
+        if best_failures is None or len(failures.violations) < len(best_failures):
+            best_failures = failures.violations
+    report.violations.extend(best_failures or [])
+
+
+def _check_endpoints(
+    edge: Edge,
+    edge_type: EdgeType,
+    source: Node,
+    target: Node,
+    report: ValidationReport,
+) -> None:
+    """Endpoint labels must intersect the type's endpoint label sets."""
+    if (
+        edge_type.source_labels
+        and source.labels
+        and not (source.labels & edge_type.source_labels)
+    ):
+        report.violations.append(Violation(
+            "edge", edge.id, "endpoint",
+            f"source labels {sorted(source.labels)} not among "
+            f"{sorted(edge_type.source_labels)}",
+        ))
+    if (
+        edge_type.target_labels
+        and target.labels
+        and not (target.labels & edge_type.target_labels)
+    ):
+        report.violations.append(Violation(
+            "edge", edge.id, "endpoint",
+            f"target labels {sorted(target.labels)} not among "
+            f"{sorted(edge_type.target_labels)}",
+        ))
+
+
+def _covering_node_types(node: Node, schema: SchemaGraph) -> list[NodeType]:
+    """Covering node types, best label match first."""
+    covering = [
+        node_type
+        for node_type in schema.node_types.values()
+        if (not node.labels or node.labels <= node_type.labels)
+        and node.property_keys <= node_type.property_keys
+    ]
+    covering.sort(
+        key=lambda t: (
+            t.labels == node.labels,
+            len(node.labels & t.labels),
+        ),
+        reverse=True,
+    )
+    return covering
+
+
+def _covering_edge_types(edge: Edge, schema: SchemaGraph) -> list[EdgeType]:
+    """Covering edge types, best label match first."""
+    covering = [
+        edge_type
+        for edge_type in schema.edge_types.values()
+        if (not edge.labels or edge.labels <= edge_type.labels)
+        and edge.property_keys <= edge_type.property_keys
+    ]
+    covering.sort(
+        key=lambda t: len(edge.labels & t.labels), reverse=True
+    )
+    return covering
+
+
+def _check_mandatory(
+    element: Node | Edge,
+    type_record: NodeType | EdgeType,
+    kind: str,
+    report: ValidationReport,
+) -> None:
+    """Every MANDATORY property must be present on the instance."""
+    for key, spec in type_record.properties.items():
+        if spec.status is PropertyStatus.MANDATORY and key not in element.properties:
+            report.violations.append(Violation(
+                kind, element.id, "mandatory",
+                f"missing mandatory property {key!r} of type "
+                f"{type_record.name!r}",
+            ))
+
+
+def _check_datatypes(
+    element: Node | Edge,
+    type_record: NodeType | EdgeType,
+    kind: str,
+    report: ValidationReport,
+) -> None:
+    """Property values must be compatible with the declared datatypes."""
+    for key, value in element.properties.items():
+        spec = type_record.properties.get(key)
+        if spec is None or spec.datatype in (DataType.UNKNOWN, DataType.STRING):
+            continue
+        if not is_value_compatible(value, spec.datatype):
+            report.violations.append(Violation(
+                kind, element.id, "datatype",
+                f"property {key!r}={value!r} is {infer_value_type(value).value},"
+                f" schema declares {spec.datatype.value}",
+            ))

@@ -1,0 +1,7 @@
+"""Shared small utilities: set similarity, timing, table rendering."""
+
+from repro.util.similarity import jaccard, overlap_coefficient
+from repro.util.timing import Timer
+from repro.util.tables import render_table
+
+__all__ = ["Timer", "jaccard", "overlap_coefficient", "render_table"]

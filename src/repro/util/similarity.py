@@ -1,0 +1,28 @@
+"""Set similarity measures used throughout the merging steps."""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Hashable
+
+
+def jaccard(a: AbstractSet[Hashable], b: AbstractSet[Hashable]) -> float:
+    """Jaccard similarity |A n B| / |A u B|; two empty sets count as 1.0.
+
+    The empty/empty convention matters for unlabeled clusters with no
+    properties: they should be considered identical, not dissimilar.
+    """
+    if not a and not b:
+        return 1.0
+    union = len(a | b)
+    if union == 0:
+        return 1.0
+    return len(a & b) / union
+
+
+def overlap_coefficient(
+    a: AbstractSet[Hashable], b: AbstractSet[Hashable]
+) -> float:
+    """Szymkiewicz-Simpson overlap |A n B| / min(|A|, |B|)."""
+    if not a or not b:
+        return 1.0 if not a and not b else 0.0
+    return len(a & b) / min(len(a), len(b))

@@ -1,0 +1,42 @@
+"""Plain-text table rendering for benchmark reports.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; this module keeps the formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Args:
+        headers: Column names.
+        rows: Row cells (each row must have ``len(headers)`` entries).
+        title: Optional title printed above the table.
+    """
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError("row width does not match header width")
+    widths = [len(str(h)) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(str(cell)))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    rule = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append(rule)
+    for row in rows:
+        lines.append(
+            " | ".join(str(cell).ljust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)

@@ -1,0 +1,152 @@
+"""Tests for semantic label alignment across integrated schemas."""
+
+from collections import Counter
+
+from repro.embeddings.embedder import LabelEmbedder
+from repro.graph.builder import GraphBuilder
+from repro.graph.store import GraphStore
+from repro.core.pipeline import PGHive
+from repro.schema.align import (
+    AliasCandidate,
+    apply_alignment,
+    propose_alignments,
+    _edit_similarity,
+)
+from repro.schema.model import NodeType, SchemaGraph
+
+
+def _type(name, labels, keys, count=10):
+    node_type = NodeType(
+        name, frozenset(labels), instance_count=count,
+        property_counts=Counter({k: count for k in keys}),
+    )
+    for key in keys:
+        node_type.ensure_property(key)
+    return node_type
+
+
+def _integration_graph():
+    """Two sources: one says Organization, the other Organisation."""
+    b = GraphBuilder("merged")
+    people = [
+        b.node(["Person"], {"name": f"p{i}", "email": f"p{i}@x"})
+        for i in range(20)
+    ]
+    orgs_a = [
+        b.node(["Organization"], {"name": f"org{i}", "country": "GR"})
+        for i in range(8)
+    ]
+    orgs_b = [
+        b.node(["Organisation"], {"name": f"org{i}", "country": "FR"})
+        for i in range(6)
+    ]
+    for i, person in enumerate(people):
+        target = (orgs_a + orgs_b)[i % (len(orgs_a) + len(orgs_b))]
+        b.edge(person, target, ["WORKS_AT"], {"since": 2000 + i})
+    return b.build()
+
+
+class TestEditSimilarity:
+    def test_identical(self):
+        assert _edit_similarity("abc", "abc") == 1.0
+
+    def test_one_substitution(self):
+        assert _edit_similarity("organization", "organisation") > 0.9
+
+    def test_disjoint(self):
+        assert _edit_similarity("cat", "dog") == 0.0
+
+    def test_empty(self):
+        assert _edit_similarity("", "") == 1.0
+        assert _edit_similarity("a", "") == 0.0
+
+
+class TestProposeAlignments:
+    def test_spelling_variants_proposed(self):
+        schema = SchemaGraph()
+        schema.add_node_type(_type("Organization", ["Organization"],
+                                   ["name", "country"]))
+        schema.add_node_type(_type("Organisation", ["Organisation"],
+                                   ["name", "country"]))
+        schema.add_node_type(_type("Person", ["Person"],
+                                   ["name", "email"]))
+        candidates = propose_alignments(schema)
+        pairs = {(c.first, c.second) for c in candidates}
+        assert ("Organisation", "Organization") in pairs or (
+            "Organization", "Organisation"
+        ) in pairs
+        # Person must not be aliased with either organization type.
+        assert not any("Person" in pair for pair in pairs)
+
+    def test_structural_floor_blocks_different_shapes(self):
+        schema = SchemaGraph()
+        schema.add_node_type(_type("Organization", ["Organization"],
+                                   ["name", "country"]))
+        schema.add_node_type(_type("Organigram", ["Organigram"],
+                                   ["levels", "depth"]))
+        candidates = propose_alignments(schema)
+        assert candidates == []
+
+    def test_synonyms_via_context(self):
+        """Company/Organization: no lexical overlap, but both are
+        WORKS_AT targets -> contextual similarity carries the pair."""
+        b = GraphBuilder()
+        people = [b.node(["Person"], {"name": f"p{i}"}) for i in range(30)]
+        hosts = [
+            b.node([("Company" if i % 2 else "Organization")],
+                   {"name": f"o{i}", "country": "GR"})
+            for i in range(10)
+        ]
+        for i, person in enumerate(people):
+            b.edge(person, hosts[i % 10], ["WORKS_AT"], {})
+        graph = b.build()
+        result = PGHive().discover(GraphStore(graph))
+        embedder = LabelEmbedder().fit(graph)
+        candidates = propose_alignments(
+            result.schema, embedder, threshold=0.7
+        )
+        pairs = {frozenset((c.first, c.second)) for c in candidates}
+        assert frozenset(("Company", "Organization")) in pairs
+
+    def test_combined_score_weighting(self):
+        candidate = AliasCandidate("a", "b", 1.0, 1.0, 1.0)
+        assert candidate.combined == 1.0
+        candidate = AliasCandidate("a", "b", 1.0, 0.0, 0.0)
+        assert candidate.combined == 0.5
+
+
+class TestApplyAlignment:
+    def test_merges_alias_group(self):
+        graph = _integration_graph()
+        result = PGHive().discover(GraphStore(graph))
+        embedder = LabelEmbedder().fit(graph)
+        candidates = propose_alignments(result.schema, embedder)
+        renames = apply_alignment(result.schema, candidates)
+        assert renames  # something merged
+        # The surviving org type holds both sources' instances and labels.
+        survivor_name = next(iter(set(renames.values())))
+        survivor = result.schema.node_types[survivor_name]
+        assert survivor.labels == frozenset({"Organization", "Organisation"})
+        assert survivor.instance_count == 14
+
+    def test_merge_is_monotone(self):
+        graph = _integration_graph()
+        result = PGHive().discover(GraphStore(graph))
+        before_keys = set()
+        for t in result.schema.node_types.values():
+            before_keys |= t.property_keys
+        embedder = LabelEmbedder().fit(graph)
+        apply_alignment(
+            result.schema, propose_alignments(result.schema, embedder)
+        )
+        after_keys = set()
+        for t in result.schema.node_types.values():
+            after_keys |= t.property_keys
+        assert before_keys <= after_keys
+
+    def test_no_candidates_no_change(self, figure1_store):
+        result = PGHive().discover(figure1_store)
+        names_before = set(result.schema.node_types)
+        renames = apply_alignment(result.schema, [])
+        assert renames == {}
+        assert set(result.schema.node_types) == names_before

@@ -1,0 +1,132 @@
+"""Tests for the GMMSchema and SchemI baselines."""
+
+import pytest
+
+from repro.baselines import GMMSchema, SchemI, UnsupportedDataError
+from repro.baselines.gmmschema import GMMSchemaConfig
+from repro.baselines.schemi import SchemIConfig
+from repro.datasets import get_dataset, inject_noise
+from repro.evaluation.f1star import majority_f1
+from repro.graph.builder import GraphBuilder
+from repro.graph.store import GraphStore
+
+
+class TestGMMSchema:
+    def test_perfect_on_clean_labeled_data(self):
+        dataset = get_dataset("POLE", scale=0.4, seed=3)
+        result = GMMSchema().discover(GraphStore(dataset.graph))
+        scores = majority_f1(result.node_assignment, dataset.truth.node_types)
+        assert scores.headline >= 0.99
+
+    def test_no_edge_types(self):
+        """Limitation (i): GMMSchema only discovers node types."""
+        dataset = get_dataset("POLE", scale=0.3, seed=3)
+        result = GMMSchema().discover(GraphStore(dataset.graph))
+        assert result.schema.edge_types == {}
+        assert result.edge_assignment == {}
+
+    def test_rejects_unlabeled_nodes(self):
+        """Limitation (ii): fully labeled data is assumed."""
+        dataset = inject_noise(
+            get_dataset("POLE", scale=0.3, seed=3), 0.0, 0.5, seed=5
+        )
+        with pytest.raises(UnsupportedDataError):
+            GMMSchema().discover(GraphStore(dataset.graph))
+
+    def test_noise_degrades_accuracy(self):
+        """Limitation (iii): accuracy decays as property noise grows."""
+        clean = get_dataset("LDBC", scale=0.5, seed=3)
+        noisy = inject_noise(clean, 0.4, 1.0, seed=5)
+        clean_f1 = majority_f1(
+            GMMSchema().discover(GraphStore(clean.graph)).node_assignment,
+            clean.truth.node_types,
+        ).headline
+        noisy_f1 = majority_f1(
+            GMMSchema().discover(GraphStore(noisy.graph)).node_assignment,
+            noisy.truth.node_types,
+        ).headline
+        assert noisy_f1 < clean_f1
+
+    def test_sampling_config(self):
+        dataset = get_dataset("POLE", scale=0.4, seed=3)
+        config = GMMSchemaConfig(sample_size=100)
+        result = GMMSchema(config).discover(GraphStore(dataset.graph))
+        assert result.num_node_types >= 1
+
+    def test_empty_graph(self):
+        from repro.graph.model import PropertyGraph
+
+        result = GMMSchema().discover(GraphStore(PropertyGraph()))
+        assert result.num_node_types == 0
+
+
+class TestSchemI:
+    def test_perfect_on_flat_labeled_data(self):
+        dataset = get_dataset("POLE", scale=0.4, seed=3)
+        result = SchemI().discover(GraphStore(dataset.graph))
+        scores = majority_f1(result.node_assignment, dataset.truth.node_types)
+        assert scores.headline >= 0.99
+
+    def test_discovers_edge_types(self):
+        dataset = get_dataset("POLE", scale=0.3, seed=3)
+        result = SchemI().discover(GraphStore(dataset.graph))
+        assert result.num_edge_types > 0
+
+    def test_rejects_unlabeled_nodes(self):
+        dataset = inject_noise(
+            get_dataset("POLE", scale=0.3, seed=3), 0.0, 0.5, seed=5
+        )
+        with pytest.raises(UnsupportedDataError):
+            SchemI().discover(GraphStore(dataset.graph))
+
+    def test_rejects_unlabeled_edges(self):
+        b = GraphBuilder()
+        x = b.node(["A"], {})
+        y = b.node(["B"], {})
+        b.edge(x, y, [], {})
+        with pytest.raises(UnsupportedDataError):
+            SchemI().discover(GraphStore(b.build()))
+
+    def test_containment_merging_mixes_refined_types(self):
+        """Shared-label grouping: {Neuron,Segment} nodes merge into
+        {Segment} -- the documented SchemI accuracy gap on MB6-style data."""
+        b = GraphBuilder()
+        for i in range(6):
+            b.node(["Segment"], {"bodyId": i})
+        for i in range(4):
+            b.node(["Neuron", "Segment"], {"bodyId": i, "name": "n"})
+        result = SchemI().discover(GraphStore(b.build()))
+        assert result.num_node_types == 1
+
+    def test_containment_merging_can_be_disabled(self):
+        b = GraphBuilder()
+        b.node(["Segment"], {"bodyId": 1})
+        b.node(["Neuron", "Segment"], {"bodyId": 2})
+        config = SchemIConfig(merge_shared_labels=False)
+        result = SchemI(config).discover(GraphStore(b.build()))
+        assert result.num_node_types == 2
+
+    def test_edges_typed_by_label_only(self):
+        """Same-label edges over different endpoints collapse (unlike
+        PG-HIVE's endpoint-aware edge types)."""
+        b = GraphBuilder()
+        p = b.node(["Person"], {})
+        post = b.node(["Post"], {})
+        comment = b.node(["Comment"], {})
+        b.edge(p, post, ["LIKES"], {})
+        b.edge(p, comment, ["LIKES"], {})
+        result = SchemI().discover(GraphStore(b.build()))
+        assert result.num_edge_types == 1
+
+    def test_noise_does_not_affect_label_driven_f1(self):
+        clean = get_dataset("POLE", scale=0.3, seed=3)
+        noisy = inject_noise(clean, 0.4, 1.0, seed=5)
+        f1_clean = majority_f1(
+            SchemI().discover(GraphStore(clean.graph)).node_assignment,
+            clean.truth.node_types,
+        ).headline
+        f1_noisy = majority_f1(
+            SchemI().discover(GraphStore(noisy.graph)).node_assignment,
+            noisy.truth.node_types,
+        ).headline
+        assert f1_noisy == pytest.approx(f1_clean)

@@ -1,0 +1,79 @@
+"""Tests for exact cardinality bounds (participation analysis)."""
+
+from repro.core.cardinality_bounds import (
+    CardinalityBounds,
+    compute_cardinality_bounds,
+)
+from repro.core.config import PGHiveConfig
+from repro.core.pipeline import PGHive
+from repro.graph.builder import GraphBuilder
+from repro.graph.store import GraphStore
+
+
+def _discover(graph):
+    store = GraphStore(graph)
+    result = PGHive().discover(store)
+    return result, store
+
+
+class TestCardinalityBounds:
+    def test_total_participation_gives_lower_bound_one(self):
+        """Every Person works somewhere -> source lower bound 1."""
+        b = GraphBuilder()
+        people = [b.node(["Person"], {"n": i}) for i in range(5)]
+        org = b.node(["Org"], {"name": "x"})
+        for person in people:
+            b.edge(person, org, ["WORKS_AT"])
+        result, store = _discover(b.build())
+        bounds = compute_cardinality_bounds(result.schema, store)
+        works_at = bounds["WORKS_AT"]
+        assert works_at.source_min == 1
+        assert works_at.source_max == 1  # each person once
+        assert works_at.target_min == 1  # the single org participates
+        assert works_at.target_max is None  # org has many employees
+
+    def test_partial_participation_gives_lower_bound_zero(self):
+        """Some Persons have no phone -> source lower bound 0."""
+        b = GraphBuilder()
+        people = [b.node(["Person"], {"n": i}) for i in range(5)]
+        phones = [b.node(["Phone"], {"no": i}) for i in range(3)]
+        for person, phone in zip(people[:3], phones):
+            b.edge(person, phone, ["HAS_PHONE"])
+        result, store = _discover(b.build())
+        bounds = compute_cardinality_bounds(result.schema, store)
+        has_phone = bounds["HAS_PHONE"]
+        assert has_phone.source_min == 0
+        assert has_phone.target_min == 1  # every phone is owned
+
+    def test_render_interval_notation(self):
+        bounds = CardinalityBounds(1, 1, 0, None)
+        assert bounds.render() == "(1..1, 0..N)"
+
+    def test_pipeline_flag_attaches_bounds(self):
+        b = GraphBuilder()
+        a = b.node(["A"], {"k": 1})
+        c = b.node(["B"], {"k": 2})
+        b.edge(a, c, ["R"])
+        config = PGHiveConfig(exact_cardinality_bounds=True)
+        result = PGHive(config).discover(GraphStore(b.build()))
+        edge_type = result.schema.edge_types["R"]
+        assert edge_type.bounds is not None
+        assert edge_type.bounds.source_min == 1
+
+    def test_bounds_render_in_pg_schema(self):
+        from repro.schema.serialize_pgschema import serialize_pg_schema
+
+        b = GraphBuilder()
+        a = b.node(["A"], {"k": 1})
+        c = b.node(["B"], {"k": 2})
+        b.edge(a, c, ["R"])
+        config = PGHiveConfig(exact_cardinality_bounds=True)
+        result = PGHive(config).discover(GraphStore(b.build()))
+        text = serialize_pg_schema(result.schema, "STRICT")
+        assert "(1..1, 1..1)" in text
+
+    def test_unresolved_endpoints_default_to_zero(self):
+        """Abstract endpoints (no node type match) get the sound 0 bound."""
+        bounds = CardinalityBounds(0, None, 0, None)
+        assert bounds.source_min == 0
+        assert "0..N" in bounds.render()

@@ -1,0 +1,106 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.datasets import get_dataset
+from repro.graph.io import save_graph_jsonl
+
+
+class TestCli:
+    def test_no_command_shows_help(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().out.lower()
+
+    def test_datasets_listing(self, capsys):
+        assert main(["datasets", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "POLE" in out and "IYP" in out
+
+    def test_discover_bundled_dataset(self, capsys):
+        assert main(["discover", "POLE", "--scale", "0.15"]) == 0
+        out = capsys.readouterr().out
+        assert "CREATE GRAPH TYPE" in out
+        assert "PersonType" in out
+
+    def test_discover_jsonl_file(self, tmp_path, capsys, figure1_graph):
+        path = tmp_path / "g.jsonl"
+        save_graph_jsonl(figure1_graph, path)
+        assert main(["discover", str(path)]) == 0
+        assert "Person" in capsys.readouterr().out
+
+    def test_discover_xsd_output_file(self, tmp_path, capsys):
+        out_path = tmp_path / "schema.xsd"
+        assert main([
+            "discover", "POLE", "--scale", "0.15",
+            "--format", "xsd", "--output", str(out_path),
+        ]) == 0
+        assert out_path.read_text().startswith("<?xml")
+
+    def test_discover_loose_mode(self, capsys):
+        assert main([
+            "discover", "POLE", "--scale", "0.15", "--mode", "LOOSE",
+        ]) == 0
+        assert "LOOSE" in capsys.readouterr().out
+
+    def test_discover_incremental_batches(self, capsys):
+        assert main([
+            "discover", "POLE", "--scale", "0.15", "--batches", "3",
+        ]) == 0
+
+    def test_discover_unknown_input(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["discover", "definitely-not-a-thing"])
+
+    def test_generate_with_noise(self, tmp_path, capsys):
+        out = tmp_path / "noisy.jsonl"
+        assert main([
+            "generate", "POLE", str(out), "--scale", "0.1",
+            "--noise", "0.3", "--label-availability", "0.5",
+        ]) == 0
+        assert out.exists()
+        from repro.graph.io import load_graph_jsonl
+
+        graph = load_graph_jsonl(out)
+        assert any(not n.labels for n in graph.nodes())
+
+    def test_evaluate(self, capsys):
+        assert main(["evaluate", "POLE", "--scale", "0.15"]) == 0
+        out = capsys.readouterr().out
+        assert "PG-HIVE-ELSH" in out and "SchemI" in out
+
+    def test_inspect(self, capsys):
+        assert main(["inspect", "POLE", "--scale", "0.15"]) == 0
+        out = capsys.readouterr().out
+        assert "Schema report" in out
+        assert "labeled coverage" in out
+
+    def test_discover_with_profiles_and_bounds(self, capsys):
+        assert main([
+            "discover", "POLE", "--scale", "0.15",
+            "--profiles", "--bounds",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "range" in out or "enum" in out
+        assert ".." in out  # interval cardinality bounds
+
+    def test_discover_cypher_format(self, capsys):
+        assert main([
+            "discover", "POLE", "--scale", "0.15", "--format", "cypher",
+        ]) == 0
+        assert "CREATE CONSTRAINT" in capsys.readouterr().out
+
+    def test_discover_graphql_format(self, capsys):
+        assert main([
+            "discover", "POLE", "--scale", "0.15", "--format", "graphql",
+        ]) == 0
+        assert "type Person {" in capsys.readouterr().out
+
+    def test_evaluate_unlabeled_marks_baselines_skipped(self, capsys):
+        assert main([
+            "evaluate", "POLE", "--scale", "0.15",
+            "--label-availability", "0.0",
+        ]) == 0
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines() if l.startswith("SchemI")]
+        assert lines and "-" in lines[0]

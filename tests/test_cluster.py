@@ -1,0 +1,152 @@
+"""Tests for the clustering substrate (GMM, agglomerative, quality)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.gmm import (
+    DivisiveGMM,
+    GaussianMixture,
+    select_components_bic,
+)
+from repro.cluster.hierarchical import agglomerative_cluster
+from repro.cluster.quality import (
+    cluster_size_histogram,
+    num_clusters,
+    pairwise_f1,
+    purity,
+)
+
+
+def _two_blobs(n=60, separation=8.0, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(0.0, 0.5, size=(n // 2, 3))
+    b = rng.normal(separation, 0.5, size=(n // 2, 3))
+    data = np.vstack([a, b])
+    labels = np.array([0] * (n // 2) + [1] * (n // 2))
+    return data, labels
+
+
+class TestGaussianMixture:
+    def test_separates_two_blobs(self):
+        data, labels = _two_blobs()
+        model = GaussianMixture(2, seed=1).fit(data)
+        pred = model.predict(data)
+        # Perfect separation up to label permutation.
+        assert purity(pred.tolist(), labels.tolist()) == 1.0
+
+    def test_score_improves_with_correct_k(self):
+        data, _ = _two_blobs()
+        one = GaussianMixture(1, seed=1).fit(data)
+        two = GaussianMixture(2, seed=1).fit(data)
+        assert two.score(data) > one.score(data)
+
+    def test_bic_prefers_true_component_count(self):
+        data, _ = _two_blobs(n=120)
+        best, scores = select_components_bic(data, k_min=1, k_max=4, seed=2)
+        assert best.n_components == 2
+        assert len(scores) == 4
+
+    def test_requires_enough_points(self):
+        with pytest.raises(ValueError):
+            GaussianMixture(5).fit(np.zeros((3, 2)))
+
+    def test_invalid_component_count(self):
+        with pytest.raises(ValueError):
+            GaussianMixture(0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GaussianMixture(2).predict(np.zeros((2, 2)))
+
+    def test_deterministic_given_seed(self):
+        data, _ = _two_blobs()
+        a = GaussianMixture(2, seed=5).fit(data).predict(data)
+        b = GaussianMixture(2, seed=5).fit(data).predict(data)
+        assert np.array_equal(a, b)
+
+    def test_handles_duplicate_rows(self):
+        data = np.vstack([np.zeros((20, 2)), np.ones((20, 2))])
+        model = GaussianMixture(2, seed=0).fit(data)
+        pred = model.predict(data)
+        assert len(set(pred[:20].tolist())) == 1
+        assert pred[0] != pred[-1]
+
+
+class TestDivisiveGMM:
+    def test_splits_two_blobs(self):
+        data, labels = _two_blobs(n=80)
+        assignment = DivisiveGMM(seed=1).fit_predict(data)
+        assert num_clusters(assignment) >= 2
+        assert purity(assignment.tolist(), labels.tolist()) == 1.0
+
+    def test_does_not_split_single_blob(self):
+        rng = np.random.default_rng(3)
+        data = rng.normal(0, 0.3, size=(50, 3))
+        assignment = DivisiveGMM(seed=1).fit_predict(data)
+        assert num_clusters(assignment) <= 2
+
+    def test_degenerate_identical_rows(self):
+        data = np.ones((30, 4))
+        assignment = DivisiveGMM(seed=0).fit_predict(data)
+        assert num_clusters(assignment) == 1
+
+    def test_empty_input(self):
+        assert DivisiveGMM().fit_predict(np.zeros((0, 3))).size == 0
+
+
+class TestAgglomerative:
+    def test_merges_below_threshold(self):
+        data = np.array([[0.0], [0.1], [5.0], [5.1]])
+        assignment = agglomerative_cluster(data, threshold=1.0)
+        assert assignment[0] == assignment[1]
+        assert assignment[2] == assignment[3]
+        assert assignment[0] != assignment[2]
+
+    def test_threshold_zero_keeps_distinct_points_apart(self):
+        data = np.array([[0.0], [1.0], [2.0]])
+        assignment = agglomerative_cluster(data, threshold=0.5)
+        assert num_clusters(assignment) == 3
+
+    def test_empty(self):
+        assert agglomerative_cluster(np.zeros((0, 2)), 1.0).size == 0
+
+
+class TestQuality:
+    def test_purity_perfect(self):
+        assert purity([0, 0, 1, 1], ["a", "a", "b", "b"]) == 1.0
+
+    def test_purity_mixed(self):
+        assert purity([0, 0, 0, 0], ["a", "a", "a", "b"]) == 0.75
+
+    def test_purity_empty(self):
+        assert purity([], []) == 1.0
+
+    def test_purity_alignment_check(self):
+        with pytest.raises(ValueError):
+            purity([0], ["a", "b"])
+
+    def test_pairwise_f1_perfect(self):
+        p, r, f1 = pairwise_f1([0, 0, 1], ["x", "x", "y"])
+        assert (p, r, f1) == (1.0, 1.0, 1.0)
+
+    def test_pairwise_f1_overmerged_hurts_precision(self):
+        p, r, _ = pairwise_f1([0, 0, 0, 0], ["x", "x", "y", "y"])
+        assert r == 1.0 and p < 1.0
+
+    def test_pairwise_f1_fragmented_hurts_recall(self):
+        p, r, _ = pairwise_f1([0, 1, 2, 3], ["x", "x", "y", "y"])
+        assert p == 1.0 and r == 0.0
+
+    @given(st.lists(st.integers(0, 4), min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_pairwise_f1_bounds(self, truth):
+        """Scores stay in [0, 1] and self-clustering is perfect."""
+        p, r, f1 = pairwise_f1(truth, truth)
+        assert (p, r, f1) == (1.0, 1.0, 1.0)
+        p2, r2, f2 = pairwise_f1([0] * len(truth), truth)
+        assert 0.0 <= p2 <= 1.0 and 0.0 <= r2 <= 1.0 and 0.0 <= f2 <= 1.0
+
+    def test_cluster_size_histogram(self):
+        assert cluster_size_histogram([0, 0, 1, 2, 2, 2]) == {1: 1, 2: 1, 3: 1}

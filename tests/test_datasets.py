@@ -1,0 +1,216 @@
+"""Tests for the synthetic dataset generators and noise injection."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import (
+    generate,
+    get_dataset,
+    inject_noise,
+    list_datasets,
+)
+from repro.datasets.registry import dataset_spec
+from repro.datasets.spec import (
+    DatasetSpec,
+    EdgeTypeSpec,
+    LabelVariant,
+    NodeTypeSpec,
+    PropertyGen,
+)
+from repro.graph.stats import compute_statistics
+
+# Table 2 structural targets: (node types, edge types).
+_TYPE_COUNTS = {
+    "POLE": (11, 17),
+    "MB6": (4, 5),
+    "HET.IO": (11, 24),
+    "FIB25": (4, 5),
+    "ICIJ": (5, 14),
+    "CORD19": (16, 16),
+    "LDBC": (7, 17),
+    "IYP": (86, 25),
+}
+
+
+class TestRegistry:
+    def test_all_eight_datasets_present(self):
+        assert list_datasets() == [
+            "POLE", "MB6", "HET.IO", "FIB25", "ICIJ", "CORD19", "LDBC", "IYP",
+        ]
+
+    def test_lookup_case_insensitive(self):
+        assert dataset_spec("pole").name == "POLE"
+        assert dataset_spec("het.io").name == "HET.IO"
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            dataset_spec("NOPE")
+
+    @pytest.mark.parametrize("name", list(_TYPE_COUNTS))
+    def test_type_counts_match_table2(self, name):
+        spec = dataset_spec(name)
+        expected_nodes, expected_edges = _TYPE_COUNTS[name]
+        assert len(spec.node_types) == expected_nodes
+        assert len(spec.edge_types) == expected_edges
+
+    @pytest.mark.parametrize("name", list(_TYPE_COUNTS))
+    def test_label_counts_close_to_table2(self, name):
+        """Distinct label counts stay within 2 of the paper's Table 2."""
+        targets = {
+            "POLE": (11, 16), "MB6": (10, 3), "HET.IO": (12, 24),
+            "FIB25": (10, 3), "ICIJ": (6, 14), "CORD19": (16, 16),
+            "LDBC": (8, 15), "IYP": (33, 25),
+        }
+        dataset = get_dataset(name, scale=0.3, seed=0)
+        stats = compute_statistics(
+            dataset.graph, dataset.truth.node_types, dataset.truth.edge_types
+        )
+        node_target, edge_target = targets[name]
+        assert abs(stats.node_labels - node_target) <= 2
+        assert abs(stats.edge_labels - edge_target) <= 2
+
+
+class TestGeneration:
+    def test_scale_controls_size(self):
+        small = get_dataset("POLE", scale=0.2, seed=1)
+        large = get_dataset("POLE", scale=0.6, seed=1)
+        assert large.graph.num_nodes > 2 * small.graph.num_nodes
+
+    def test_ground_truth_covers_every_element(self):
+        dataset = get_dataset("MB6", scale=0.2, seed=1)
+        node_ids = {n.id for n in dataset.graph.nodes()}
+        edge_ids = {e.id for e in dataset.graph.edges()}
+        assert set(dataset.truth.node_types) == node_ids
+        assert set(dataset.truth.edge_types) == edge_ids
+
+    def test_deterministic_per_seed(self):
+        a = get_dataset("POLE", scale=0.2, seed=7)
+        b = get_dataset("POLE", scale=0.2, seed=7)
+        assert a.graph.num_nodes == b.graph.num_nodes
+        assert dict(a.graph.node(0).properties) == dict(b.graph.node(0).properties)
+
+    def test_different_seeds_differ(self):
+        a = get_dataset("POLE", scale=0.2, seed=7)
+        b = get_dataset("POLE", scale=0.2, seed=8)
+        assert any(
+            dict(a.graph.node(i).properties) != dict(b.graph.node(i).properties)
+            for i in range(10)
+        )
+
+    def test_every_type_has_instances(self):
+        dataset = get_dataset("IYP", scale=0.3, seed=1)
+        produced = set(dataset.truth.node_types.values())
+        assert produced == set(dataset.spec.node_type_names)
+        produced_edges = set(dataset.truth.edge_types.values())
+        assert produced_edges == set(dataset.spec.edge_type_names)
+
+    def test_cardinality_styles_respected(self):
+        spec = DatasetSpec(
+            name="card",
+            num_nodes=40,
+            num_edges=40,
+            node_types=(
+                NodeTypeSpec("A", (LabelVariant(("A",)),), (), 1.0),
+                NodeTypeSpec("B", (LabelVariant(("B",)),), (), 1.0),
+            ),
+            edge_types=(
+                EdgeTypeSpec("R", ("R",), "A", "B", "N:1"),
+            ),
+        )
+        dataset = generate(spec, seed=2)
+        out_degree = {}
+        for edge in dataset.graph.edges():
+            out_degree[edge.source] = out_degree.get(edge.source, 0) + 1
+        assert max(out_degree.values()) == 1  # N:1: each source once
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            get_dataset("POLE", scale=0.0)
+
+    def test_spec_validation_unknown_endpoint(self):
+        with pytest.raises(ValueError, match="unknown endpoint"):
+            DatasetSpec(
+                name="bad", num_nodes=10, num_edges=10,
+                node_types=(
+                    NodeTypeSpec("A", (LabelVariant(("A",)),)),
+                ),
+                edge_types=(
+                    EdgeTypeSpec("R", ("R",), "A", "MISSING"),
+                ),
+            )
+
+    def test_property_gen_validation(self):
+        with pytest.raises(ValueError):
+            PropertyGen("k", presence=0.0)
+        with pytest.raises(ValueError):
+            PropertyGen("k", dirty_rate=1.5)
+
+
+class TestNoise:
+    def test_zero_noise_returns_same_object(self):
+        dataset = get_dataset("POLE", scale=0.2, seed=1)
+        assert inject_noise(dataset, 0.0, 1.0) is dataset
+
+    def test_property_noise_removes_roughly_the_right_fraction(self):
+        dataset = get_dataset("POLE", scale=0.5, seed=1)
+        noisy = inject_noise(dataset, 0.4, 1.0, seed=2)
+        before = sum(len(n.properties) for n in dataset.graph.nodes())
+        after = sum(len(n.properties) for n in noisy.graph.nodes())
+        assert after == pytest.approx(before * 0.6, rel=0.08)
+
+    def test_label_availability_strips_elements_entirely(self):
+        dataset = get_dataset("POLE", scale=0.5, seed=1)
+        noisy = inject_noise(dataset, 0.0, 0.5, seed=2)
+        unlabeled = sum(1 for n in noisy.graph.nodes() if not n.labels)
+        total = noisy.graph.num_nodes
+        assert 0.4 <= unlabeled / total <= 0.6
+        # Elements keep either all or none of their labels.
+        for node in noisy.graph.nodes():
+            original = dataset.graph.node(node.id)
+            assert node.labels in (original.labels, frozenset())
+
+    def test_zero_availability_strips_everything(self):
+        dataset = get_dataset("POLE", scale=0.2, seed=1)
+        noisy = inject_noise(dataset, 0.0, 0.0, seed=2)
+        assert all(not n.labels for n in noisy.graph.nodes())
+        assert all(not e.labels for e in noisy.graph.edges())
+
+    def test_ground_truth_preserved(self):
+        dataset = get_dataset("POLE", scale=0.2, seed=1)
+        noisy = inject_noise(dataset, 0.3, 0.5, seed=2)
+        assert noisy.truth.node_types == dataset.truth.node_types
+        assert noisy.truth.edge_types == dataset.truth.edge_types
+
+    def test_structure_preserved(self):
+        dataset = get_dataset("POLE", scale=0.2, seed=1)
+        noisy = inject_noise(dataset, 0.3, 0.5, seed=2)
+        assert noisy.graph.num_nodes == dataset.graph.num_nodes
+        assert noisy.graph.num_edges == dataset.graph.num_edges
+        for edge in noisy.graph.edges():
+            original = dataset.graph.edge(edge.id)
+            assert (edge.source, edge.target) == (
+                original.source, original.target
+            )
+
+    @given(
+        st.floats(0.0, 1.0),
+        st.floats(0.0, 1.0),
+        st.integers(0, 10),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_noise_never_adds_information(self, noise, availability, seed):
+        """Property test: noisy elements carry subsets of the originals."""
+        dataset = get_dataset("POLE", scale=0.1, seed=1)
+        noisy = inject_noise(dataset, noise, availability, seed=seed)
+        for node in noisy.graph.nodes():
+            original = dataset.graph.node(node.id)
+            assert node.labels <= original.labels
+            assert node.property_keys <= original.property_keys
+
+    def test_parameter_validation(self):
+        dataset = get_dataset("POLE", scale=0.1, seed=1)
+        with pytest.raises(ValueError):
+            inject_noise(dataset, -0.1, 1.0)
+        with pytest.raises(ValueError):
+            inject_noise(dataset, 0.0, 1.1)

@@ -1,0 +1,171 @@
+"""Tests for datatype inference (section 4.4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.datatypes import (
+    infer_datatype,
+    infer_datatype_sampled,
+    infer_value_type,
+    is_value_compatible,
+    join_types,
+)
+from repro.schema.model import DataType
+
+
+class TestValueTypes:
+    @pytest.mark.parametrize("value,expected", [
+        (5, DataType.INTEGER),
+        (-3, DataType.INTEGER),
+        ("42", DataType.INTEGER),
+        ("+7", DataType.INTEGER),
+        (3.5, DataType.FLOAT),
+        ("3.5", DataType.FLOAT),
+        ("1e-3", DataType.FLOAT),
+        (True, DataType.BOOLEAN),
+        (False, DataType.BOOLEAN),
+        ("true", DataType.BOOLEAN),
+        ("FALSE", DataType.BOOLEAN),
+        ("2024-01-31", DataType.DATE),
+        ("19/12/1999", DataType.DATE),
+        ("2024-01-31T10:30:00Z", DataType.TIMESTAMP),
+        ("2024-01-31 10:30", DataType.TIMESTAMP),
+        ("hello", DataType.STRING),
+        ("2024-13-99-junk", DataType.STRING),
+        (None, DataType.STRING),
+    ])
+    def test_individual_values(self, value, expected):
+        assert infer_value_type(value) is expected
+
+    def test_bool_checked_before_int(self):
+        """bool is an int subclass; it must classify as BOOLEAN."""
+        assert infer_value_type(True) is DataType.BOOLEAN
+
+    def test_integer_valued_float_is_integer(self):
+        """Paper: v in R \\ Z is float; 2.0 is in Z."""
+        assert infer_value_type(2.0) is DataType.INTEGER
+
+
+class TestJoin:
+    def test_int_float_joins_to_float(self):
+        assert join_types(DataType.INTEGER, DataType.FLOAT) is DataType.FLOAT
+
+    def test_date_timestamp_joins_to_timestamp(self):
+        assert join_types(DataType.DATE, DataType.TIMESTAMP) is DataType.TIMESTAMP
+
+    def test_incomparable_join_to_string(self):
+        assert join_types(DataType.BOOLEAN, DataType.DATE) is DataType.STRING
+        assert join_types(DataType.INTEGER, DataType.DATE) is DataType.STRING
+
+    def test_unknown_is_identity(self):
+        assert join_types(DataType.UNKNOWN, DataType.DATE) is DataType.DATE
+        assert join_types(DataType.DATE, DataType.UNKNOWN) is DataType.DATE
+
+    def test_join_idempotent(self):
+        for datatype in DataType:
+            if datatype is DataType.UNKNOWN:
+                continue
+            assert join_types(datatype, datatype) is datatype
+
+    @given(st.sampled_from(list(DataType)), st.sampled_from(list(DataType)))
+    def test_join_commutative(self, a, b):
+        assert join_types(a, b) is join_types(b, a)
+
+
+class TestInferDatatype:
+    def test_homogeneous_ints(self):
+        assert infer_datatype([1, 2, 3]) is DataType.INTEGER
+
+    def test_mixed_numeric_generalizes(self):
+        assert infer_datatype([1, 2.5]) is DataType.FLOAT
+
+    def test_outlier_string_forces_string(self):
+        assert infer_datatype([1, 2, "oops"]) is DataType.STRING
+
+    def test_empty_is_unknown(self):
+        assert infer_datatype([]) is DataType.UNKNOWN
+
+    def test_dates(self):
+        assert infer_datatype(["2020-01-01", "1999-12-19"]) is DataType.DATE
+
+    @given(st.lists(st.one_of(
+        st.integers(), st.floats(allow_nan=False, allow_infinity=False),
+        st.booleans(), st.text(max_size=12),
+    ), min_size=1, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_inferred_type_compatible_with_every_value(self, values):
+        """Soundness guarantee of section 4.7: all values conform."""
+        inferred = infer_datatype(values)
+        assert all(is_value_compatible(v, inferred) for v in values)
+
+
+class TestSampledInference:
+    def test_small_data_equals_full_scan(self):
+        values = [1, 2, 3, "x"]
+        assert infer_datatype_sampled(values, minimum=10) is infer_datatype(values)
+
+    def test_sampling_can_miss_outliers(self):
+        # 10,000 ints with a single trailing string outlier; a 100-value
+        # sample will usually miss it.
+        values = list(range(10_000)) + ["outlier"]
+        sampled = infer_datatype_sampled(
+            values, fraction=0.01, minimum=100, seed=3
+        )
+        full = infer_datatype(values)
+        assert full is DataType.STRING
+        assert sampled is DataType.INTEGER
+
+    def test_empty(self):
+        assert infer_datatype_sampled([]) is DataType.UNKNOWN
+
+
+class TestCompatibility:
+    def test_string_accepts_anything(self):
+        assert is_value_compatible(object(), DataType.STRING)
+
+    def test_int_value_compatible_with_float(self):
+        assert is_value_compatible(3, DataType.FLOAT)
+
+    def test_float_not_compatible_with_int(self):
+        assert not is_value_compatible(3.7, DataType.INTEGER)
+
+    def test_date_compatible_with_timestamp(self):
+        assert is_value_compatible("2020-01-01", DataType.TIMESTAMP)
+
+
+class TestListValues:
+    def test_list_value_type(self):
+        from repro.schema.model import DataType
+
+        assert infer_value_type(["a", "b"]) is DataType.LIST
+        assert infer_value_type(()) is DataType.LIST
+
+    def test_homogeneous_lists(self):
+        from repro.schema.model import DataType
+
+        assert infer_datatype([["GR"], ["FR", "DE"]]) is DataType.LIST
+
+    def test_list_mixed_with_scalar_generalizes(self):
+        from repro.schema.model import DataType
+
+        assert infer_datatype([["GR"], "plain"]) is DataType.STRING
+
+    def test_list_compatibility(self):
+        from repro.schema.model import DataType
+
+        assert is_value_compatible(["x"], DataType.LIST)
+        assert not is_value_compatible("x", DataType.LIST)
+
+    def test_list_discovered_end_to_end(self):
+        from repro.core.pipeline import PGHive
+        from repro.graph.builder import GraphBuilder
+        from repro.graph.store import GraphStore
+        from repro.schema.model import DataType
+
+        b = GraphBuilder()
+        for i in range(5):
+            b.node(["Officer"], {"country_codes": ["GR", "FR"][: 1 + i % 2]})
+        result = PGHive().discover(GraphStore(b.build()))
+        officer = result.schema.node_types["Officer"]
+        assert officer.properties["country_codes"].datatype is DataType.LIST

@@ -1,0 +1,279 @@
+"""Tests for the evaluation layer: F1*, Nemenyi, sampling error, harness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation.f1star import f1_star, majority_f1
+from repro.evaluation.harness import (
+    ALL_METHODS,
+    ExperimentGrid,
+    make_system,
+    run_grid,
+    run_system,
+)
+from repro.evaluation.nemenyi import (
+    average_ranks,
+    friedman_statistic,
+    nemenyi_critical_distance,
+    nemenyi_test,
+)
+from repro.evaluation.reporting import f1_series_table, feature_matrix_table
+from repro.evaluation.sampling_error import (
+    bin_errors,
+    datatype_sampling_errors,
+    sampling_error,
+)
+from repro.datasets import get_dataset, inject_noise
+
+
+class TestMajorityF1:
+    def test_perfect_clustering(self):
+        truth = {1: "A", 2: "A", 3: "B"}
+        assignment = {1: "c1", 2: "c1", 3: "c2"}
+        result = majority_f1(assignment, truth)
+        assert result.micro_f1 == 1.0
+        assert result.macro_f1 == 1.0
+        assert result.num_clusters == 2
+
+    def test_mixed_cluster_counts_minority_as_errors(self):
+        truth = {1: "A", 2: "A", 3: "A", 4: "B"}
+        assignment = {i: "one" for i in truth}
+        result = majority_f1(assignment, truth)
+        assert result.micro_f1 == 0.75  # B element misplaced
+        assert result.per_type_f1["B"] == 0.0
+
+    def test_fragmentation_is_free_for_micro(self):
+        """Pure but fragmented clusters keep micro F1 at 1.0."""
+        truth = {i: "A" for i in range(6)}
+        assignment = {i: f"frag{i}" for i in range(6)}
+        result = majority_f1(assignment, truth)
+        assert result.micro_f1 == 1.0
+
+    def test_unassigned_elements_hurt(self):
+        truth = {1: "A", 2: "A"}
+        assignment = {1: "c"}
+        result = majority_f1(assignment, truth)
+        assert result.micro_f1 == 0.5
+
+    def test_assignment_ids_outside_truth_ignored(self):
+        truth = {1: "A"}
+        assignment = {1: "c", 99: "c"}
+        assert majority_f1(assignment, truth).micro_f1 == 1.0
+
+    def test_empty_truth(self):
+        result = majority_f1({}, {})
+        assert result.micro_f1 == 1.0 and result.macro_f1 == 1.0
+
+    def test_headline_is_micro(self):
+        truth = {1: "A", 2: "B"}
+        assignment = {1: "c", 2: "c"}
+        result = majority_f1(assignment, truth)
+        assert result.headline == result.micro_f1
+
+    @given(st.dictionaries(
+        st.integers(0, 30), st.sampled_from(["A", "B", "C"]),
+        min_size=1, max_size=30,
+    ))
+    @settings(max_examples=40, deadline=None)
+    def test_scores_bounded_and_self_consistent(self, truth):
+        """Truth-as-assignment is perfect; one-cluster is bounded."""
+        assert f1_star(dict(truth), truth) == 1.0
+        lumped = {k: "all" for k in truth}
+        result = majority_f1(lumped, truth)
+        assert 0.0 < result.micro_f1 <= 1.0
+        assert 0.0 <= result.macro_f1 <= 1.0
+
+
+class TestNemenyi:
+    def test_average_ranks_order(self):
+        scores = np.array([
+            [0.9, 0.8, 0.1],
+            [0.95, 0.7, 0.2],
+            [0.99, 0.6, 0.3],
+        ])
+        ranks = average_ranks(scores)
+        assert ranks[0] == 1.0 and ranks[1] == 2.0 and ranks[2] == 3.0
+
+    def test_ties_share_rank(self):
+        ranks = average_ranks(np.array([[0.5, 0.5, 0.1]]))
+        assert ranks[0] == ranks[1] == 1.5
+
+    def test_friedman_detects_consistent_winner(self):
+        rng = np.random.default_rng(0)
+        best = rng.uniform(0.8, 1.0, size=20)
+        worst = rng.uniform(0.0, 0.2, size=20)
+        mid = rng.uniform(0.4, 0.6, size=20)
+        scores = np.column_stack([best, mid, worst])
+        _, p_value = friedman_statistic(scores)
+        assert p_value < 0.001
+
+    def test_critical_distance_formula(self):
+        cd = nemenyi_critical_distance(4, 40)
+        assert cd == pytest.approx(2.569 * np.sqrt(4 * 5 / (6 * 40)))
+
+    def test_untabulated_k(self):
+        with pytest.raises(ValueError):
+            nemenyi_critical_distance(42, 10)
+
+    def test_full_test_significance_decisions(self):
+        rng = np.random.default_rng(1)
+        n = 40
+        a = rng.uniform(0.9, 1.0, size=n)
+        b = rng.uniform(0.88, 1.0, size=n)   # statistically close to a
+        c = rng.uniform(0.3, 0.5, size=n)    # clearly worse
+        result = nemenyi_test(
+            np.column_stack([a, b, c]), ["A", "B", "C"]
+        )
+        assert result.significantly_different("A", "C")
+        assert not result.significantly_different("A", "B")
+        assert result.ranking()[0][0] in {"A", "B"}
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            nemenyi_test(np.zeros((3, 2)), ["only-one"])
+
+
+class TestSamplingError:
+    def test_homogeneous_property_has_zero_error(self):
+        assert sampling_error([1, 2, 3] * 100, minimum=50) == 0.0
+
+    def test_dirty_property_error_matches_clean_fraction(self):
+        # Full scan says STRING (outliers); each sampled int disagrees.
+        values = [1] * 95 + ["x"] * 5
+        error = sampling_error(values, fraction=1.0, minimum=1)
+        assert error == pytest.approx(0.95)
+
+    def test_empty(self):
+        assert sampling_error([]) == 0.0
+
+    def test_graph_level_errors(self, figure1_graph):
+        errors = datatype_sampling_errors(figure1_graph, minimum=10)
+        assert "n:name" in errors
+        assert "e:since" in errors
+        assert all(0.0 <= v <= 1.0 for v in errors.values())
+
+    def test_binning(self):
+        errors = {"a": 0.0, "b": 0.07, "c": 0.15, "d": 0.9}
+        bins = bin_errors(errors)
+        assert bins["<0.05"] == 0.25
+        assert bins["0.05-0.10"] == 0.25
+        assert bins["0.10-0.20"] == 0.25
+        assert bins[">=0.20"] == 0.25
+        assert sum(bins.values()) == pytest.approx(1.0)
+
+
+class TestHarness:
+    def test_make_system_all_methods(self):
+        for method in ALL_METHODS:
+            assert make_system(method) is not None
+        with pytest.raises(ValueError):
+            make_system("Oracle")
+
+    def test_run_system_records_scores(self):
+        dataset = get_dataset("POLE", scale=0.2, seed=1)
+        m = run_system("PG-HIVE-ELSH", dataset)
+        assert not m.skipped
+        assert m.node_f1 == pytest.approx(1.0)
+        assert m.edge_f1 == pytest.approx(1.0)
+        assert m.seconds > 0
+
+    def test_baselines_skip_unlabeled(self):
+        dataset = inject_noise(
+            get_dataset("POLE", scale=0.2, seed=1), 0.0, 0.0, seed=2
+        )
+        m = run_system("SchemI", dataset, label_availability=0.0)
+        assert m.skipped
+
+    def test_gmm_has_no_edge_score(self):
+        dataset = get_dataset("POLE", scale=0.2, seed=1)
+        m = run_system("GMMSchema", dataset)
+        assert m.edge_f1 is None
+
+    def test_run_grid_produces_full_cartesian(self):
+        grid = ExperimentGrid(
+            datasets=("POLE",),
+            methods=("PG-HIVE-ELSH", "SchemI"),
+            noise_levels=(0.0, 0.2),
+            label_availabilities=(1.0, 0.0),
+            scale=0.15,
+        )
+        measurements = run_grid(grid)
+        assert len(measurements) == 2 * 2 * 2
+        skipped = [m for m in measurements if m.skipped]
+        assert all(m.method == "SchemI" for m in skipped)
+
+
+class TestReporting:
+    def test_series_table_renders(self):
+        grid = ExperimentGrid(
+            datasets=("POLE",),
+            methods=("PG-HIVE-ELSH",),
+            noise_levels=(0.0,),
+            label_availabilities=(1.0,),
+            scale=0.15,
+        )
+        table = f1_series_table(run_grid(grid), "node_f1", "title")
+        assert "title" in table and "noise=0%" in table
+
+    def test_feature_matrix(self):
+        table = feature_matrix_table()
+        assert "PG-HIVE" in table and "Incremental" in table
+
+
+class TestConfusion:
+    def test_no_confusion_on_perfect_clustering(self):
+        from repro.evaluation.confusion import confusion_pairs
+
+        truth = {1: "A", 2: "A", 3: "B"}
+        assignment = {1: "x", 2: "x", 3: "y"}
+        assert confusion_pairs(assignment, truth) == []
+
+    def test_minority_members_reported(self):
+        from repro.evaluation.confusion import confusion_pairs
+
+        truth = {1: "A", 2: "A", 3: "B", 4: "B", 5: "C"}
+        assignment = {1: "x", 2: "x", 3: "x", 4: "y", 5: "y"}
+        pairs = confusion_pairs(assignment, truth)
+        as_tuples = {(c.true_type, c.predicted_type, c.count) for c in pairs}
+        assert ("B", "A", 1) in as_tuples
+        assert ("C", "B", 1) in as_tuples
+
+    def test_ranked_by_count(self):
+        from repro.evaluation.confusion import confusion_pairs
+
+        truth = {i: ("A" if i < 6 else "B") for i in range(9)}
+        assignment = {i: "one" for i in range(9)}  # majority A
+        pairs = confusion_pairs(assignment, truth)
+        assert pairs[0].true_type == "B" and pairs[0].count == 3
+
+    def test_render(self):
+        from repro.evaluation.confusion import (
+            Confusion,
+            render_confusions,
+        )
+
+        text = render_confusions([Confusion("A", "B", 7)])
+        assert "A" in text and "7" in text
+        assert "Top type confusions" in text
+
+    def test_render_empty(self):
+        from repro.evaluation.confusion import render_confusions
+
+        assert "0" in render_confusions([])
+
+    def test_diagnoses_schemi_on_mb6(self):
+        """The MB6 story: SchemI's shared-label merge confuses the
+        connectome types -- the confusion list names them."""
+        from repro.datasets import get_dataset
+        from repro.evaluation.confusion import confusion_pairs
+        from repro.graph.store import GraphStore
+        from repro.baselines import SchemI
+
+        dataset = get_dataset("MB6", scale=0.3, seed=1)
+        result = SchemI().discover(GraphStore(dataset.graph))
+        pairs = confusion_pairs(result.node_assignment, dataset.truth.node_types)
+        assert pairs, "SchemI must confuse something on MB6"
+        involved = {pairs[0].true_type, pairs[0].predicted_type}
+        assert involved <= {"Neuron", "Segment", "Synapse", "SynapseSet"}

@@ -1,0 +1,147 @@
+"""Tests for schema evolution tracking and deletion handling."""
+
+import pytest
+
+from repro.core.incremental import IncrementalDiscovery
+from repro.core.pipeline import PGHive
+from repro.datasets import get_dataset
+from repro.graph.builder import GraphBuilder
+from repro.graph.store import GraphStore
+from repro.schema.evolution import (
+    SchemaEvolutionTracker,
+    refresh_schema,
+)
+from repro.schema.model import PropertyStatus, SchemaGraph
+
+
+class TestEvolutionTracker:
+    def test_tracks_growth_then_stability(self):
+        dataset = get_dataset("POLE", scale=0.5, seed=3)
+        store = GraphStore(dataset.graph)
+        engine = IncrementalDiscovery()
+        tracker = SchemaEvolutionTracker(stability_window=2)
+        for batch in store.batches(8, seed=1):
+            engine.process_batch(
+                batch.nodes, batch.edges, batch.endpoint_labels
+            )
+            tracker.observe(engine.schema)
+        # First batch creates everything; later clean batches add nothing.
+        assert tracker.steps[0].changed
+        assert tracker.is_stable
+        assert tracker.steps_since_change >= 2
+        assert tracker.violations_of_monotonicity() == []
+
+    def test_first_observation_diffs_against_empty(self):
+        tracker = SchemaEvolutionTracker()
+        schema = SchemaGraph()
+        from repro.schema.model import NodeType
+
+        schema.add_node_type(NodeType("A", frozenset({"A"})))
+        step = tracker.observe(schema)
+        assert step.changed
+        assert step.diff.added_node_types == ["A"]
+
+    def test_stability_requires_window(self):
+        tracker = SchemaEvolutionTracker(stability_window=3)
+        schema = SchemaGraph()
+        tracker.observe(schema)
+        tracker.observe(schema)
+        assert not tracker.is_stable  # only two unchanged steps
+        tracker.observe(schema)
+        assert tracker.is_stable
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            SchemaEvolutionTracker(stability_window=0)
+
+
+class TestRefreshAfterDeletions:
+    def _discovered(self):
+        b = GraphBuilder()
+        people = [
+            b.node(["Person"], {"name": f"p{i}", "age": i}) for i in range(6)
+        ]
+        cities = [b.node(["City"], {"name": f"c{i}"}) for i in range(2)]
+        for person in people:
+            b.edge(person, cities[0], ["LIVES_IN"])
+        graph = b.build()
+        store = GraphStore(graph)
+        result = PGHive().discover(store)
+        return graph, store, result.schema
+
+    def test_counts_recomputed_after_node_deletions(self):
+        graph, store, schema = self._discovered()
+        graph.remove_node(0)
+        graph.remove_node(1)
+        report = refresh_schema(schema, store)
+        assert schema.node_types["Person"].instance_count == 4
+        assert report.pruned_members >= 2
+
+    def test_empty_type_removed(self):
+        graph, store, schema = self._discovered()
+        for node_id in [6, 7]:  # both City nodes
+            graph.remove_node(node_id)
+        report = refresh_schema(schema, store)
+        assert "City" not in schema.node_types
+        assert report.removed_node_types == ["City"]
+        # Edges died with their endpoint.
+        assert "LIVES_IN" not in schema.edge_types
+        assert "LIVES_IN" in report.removed_edge_types
+
+    def test_constraints_rederived(self):
+        """Deleting the only instances missing a property flips it back
+        to MANDATORY."""
+        b = GraphBuilder()
+        full = [
+            b.node(["T"], {"a": 1, "b": 2}) for _ in range(4)
+        ]
+        partial = b.node(["T"], {"a": 1})  # makes 'b' optional
+        graph = b.build()
+        store = GraphStore(graph)
+        schema = PGHive().discover(store).schema
+        assert (
+            schema.node_types["T"].properties["b"].status
+            is PropertyStatus.OPTIONAL
+        )
+        graph.remove_node(partial)
+        report = refresh_schema(schema, store)
+        assert (
+            schema.node_types["T"].properties["b"].status
+            is PropertyStatus.MANDATORY
+        )
+        assert report.constraint_changes >= 1
+
+    def test_refresh_without_deletions_is_noop(self):
+        _, store, schema = self._discovered()
+        before = {
+            name: t.instance_count for name, t in schema.node_types.items()
+        }
+        report = refresh_schema(schema, store)
+        after = {
+            name: t.instance_count for name, t in schema.node_types.items()
+        }
+        assert before == after
+        assert report.pruned_members == 0
+        assert report.removed_node_types == []
+
+
+class TestGraphDeletionPrimitives:
+    def test_remove_edge(self, figure1_graph):
+        removed = figure1_graph.remove_edge(0)
+        assert removed.id == 0
+        assert not figure1_graph.has_edge(0)
+        assert figure1_graph.num_edges == 5
+
+    def test_remove_node_cascades(self, figure1_graph):
+        # Node 2 (Alice) has three incident edges.
+        figure1_graph.remove_node(2)
+        assert not figure1_graph.has_node(2)
+        assert figure1_graph.num_edges == 3
+        for edge in figure1_graph.edges():
+            assert 2 not in (edge.source, edge.target)
+
+    def test_remove_missing_raises(self, figure1_graph):
+        with pytest.raises(KeyError):
+            figure1_graph.remove_node(999)
+        with pytest.raises(KeyError):
+            figure1_graph.remove_edge(999)

@@ -1,0 +1,49 @@
+"""Smoke tests: the fast example scripts must run cleanly.
+
+Examples are documentation that executes; these tests keep the two
+quickest ones green as the API evolves.  (The remaining examples are
+exercised by the benchmark/CI pipeline and run in seconds each; they are
+left out here only to keep the unit suite fast.)
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+_EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(_EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+class TestExampleScripts:
+    def test_quickstart(self):
+        result = _run("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "CREATE GRAPH TYPE" in result.stdout
+        assert "Person" in result.stdout
+        # Alice is recovered structurally.
+        assert "was assigned to: Person" in result.stdout
+
+    def test_schema_validation(self):
+        result = _run("schema_validation.py")
+        assert result.returncode == 0, result.stderr
+        assert "valid=True" in result.stdout
+        assert "valid=False" in result.stdout
+        assert "[mandatory]" in result.stdout
+
+    def test_all_examples_present_and_documented(self):
+        scripts = sorted(p.name for p in _EXAMPLES.glob("*.py"))
+        assert len(scripts) >= 8
+        for script in scripts:
+            text = (_EXAMPLES / script).read_text(encoding="utf-8")
+            assert text.startswith('"""'), f"{script} must have a docstring"
+            assert "Run with:" in text, f"{script} must say how to run it"

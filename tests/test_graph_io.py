@@ -1,0 +1,78 @@
+"""Round-trip tests for JSONL and CSV graph serialization."""
+
+import pytest
+
+from repro.graph.io import (
+    load_graph_csv,
+    load_graph_jsonl,
+    save_graph_csv,
+    save_graph_jsonl,
+)
+
+
+def _assert_graphs_equal(a, b):
+    assert a.num_nodes == b.num_nodes
+    assert a.num_edges == b.num_edges
+    for node in a.nodes():
+        other = b.node(node.id)
+        assert other.labels == node.labels
+        assert dict(other.properties) == dict(node.properties)
+    for edge in a.edges():
+        other = b.edge(edge.id)
+        assert (other.source, other.target) == (edge.source, edge.target)
+        assert other.labels == edge.labels
+        assert dict(other.properties) == dict(edge.properties)
+
+
+class TestJsonl:
+    def test_round_trip(self, figure1_graph, tmp_path):
+        path = tmp_path / "g.jsonl"
+        save_graph_jsonl(figure1_graph, path)
+        loaded = load_graph_jsonl(path)
+        _assert_graphs_equal(figure1_graph, loaded)
+
+    def test_name_defaults_to_stem(self, figure1_graph, tmp_path):
+        path = tmp_path / "mygraph.jsonl"
+        save_graph_jsonl(figure1_graph, path)
+        assert load_graph_jsonl(path).name == "mygraph"
+
+    def test_blank_lines_ignored(self, figure1_graph, tmp_path):
+        path = tmp_path / "g.jsonl"
+        save_graph_jsonl(figure1_graph, path)
+        path.write_text(path.read_text() + "\n\n", encoding="utf-8")
+        _assert_graphs_equal(figure1_graph, load_graph_jsonl(path))
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "hyperedge", "id": 1}\n', encoding="utf-8")
+        with pytest.raises(ValueError, match="unknown record kind"):
+            load_graph_jsonl(path)
+
+
+class TestCsv:
+    def test_round_trip(self, figure1_graph, tmp_path):
+        nodes_path = tmp_path / "nodes.csv"
+        edges_path = tmp_path / "edges.csv"
+        save_graph_csv(figure1_graph, nodes_path, edges_path)
+        loaded = load_graph_csv(nodes_path, edges_path)
+        _assert_graphs_equal(figure1_graph, loaded)
+
+    def test_value_types_survive(self, figure1_graph, tmp_path):
+        nodes_path = tmp_path / "nodes.csv"
+        edges_path = tmp_path / "edges.csv"
+        save_graph_csv(figure1_graph, nodes_path, edges_path)
+        loaded = load_graph_csv(nodes_path, edges_path)
+        # "since" was written as an int and must come back as an int.
+        knows = [e for e in loaded.edges() if "since" in e.properties]
+        assert knows and isinstance(knows[0].properties["since"], int)
+
+    def test_multi_label_column(self, tmp_path):
+        from repro.graph.builder import GraphBuilder
+
+        b = GraphBuilder()
+        b.node(["Person", "Student"], {"name": "x"})
+        nodes_path = tmp_path / "n.csv"
+        edges_path = tmp_path / "e.csv"
+        save_graph_csv(b.build(), nodes_path, edges_path)
+        loaded = load_graph_csv(nodes_path, edges_path)
+        assert loaded.node(0).labels == frozenset({"Person", "Student"})

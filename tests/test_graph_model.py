@@ -1,0 +1,151 @@
+"""Unit tests for the property graph data model (Definition 3.1)."""
+
+import pytest
+
+from repro.graph.model import Edge, Node, PropertyGraph, canonical_label
+
+
+class TestNode:
+    def test_defaults_are_empty(self):
+        node = Node(1)
+        assert node.labels == frozenset()
+        assert dict(node.properties) == {}
+        assert not node.is_labeled
+
+    def test_property_keys(self):
+        node = Node(1, frozenset({"Person"}), {"name": "x", "age": 3})
+        assert node.property_keys == frozenset({"name", "age"})
+
+    def test_label_token_sorts_and_joins(self):
+        node = Node(1, frozenset({"Student", "Person"}))
+        assert node.label_token() == "Person&Student"
+
+    def test_label_token_empty_for_unlabeled(self):
+        assert Node(1).label_token() == ""
+
+    def test_with_labels_replaces(self):
+        node = Node(1, frozenset({"A"}), {"k": 1})
+        relabeled = node.with_labels(["B", "C"])
+        assert relabeled.labels == frozenset({"B", "C"})
+        assert relabeled.properties == {"k": 1}
+        assert node.labels == frozenset({"A"})  # original untouched
+
+    def test_without_properties(self):
+        node = Node(1, frozenset(), {"a": 1, "b": 2, "c": 3})
+        pruned = node.without_properties(["a", "c"])
+        assert pruned.property_keys == frozenset({"b"})
+
+    def test_equality_by_value(self):
+        assert Node(1, frozenset({"A"})) == Node(1, frozenset({"A"}))
+        assert Node(1, frozenset({"A"})) != Node(1, frozenset({"B"}))
+
+
+class TestEdge:
+    def test_endpoints_and_labels(self):
+        edge = Edge(0, 1, 2, frozenset({"KNOWS"}), {"since": 2020})
+        assert (edge.source, edge.target) == (1, 2)
+        assert edge.is_labeled
+        assert edge.label_token() == "KNOWS"
+
+    def test_without_properties(self):
+        edge = Edge(0, 1, 2, frozenset(), {"a": 1, "b": 2})
+        assert edge.without_properties(["b"]).property_keys == frozenset({"a"})
+
+
+class TestCanonicalLabel:
+    def test_empty(self):
+        assert canonical_label([]) == ""
+
+    def test_single(self):
+        assert canonical_label(["Person"]) == "Person"
+
+    def test_sorted_concatenation(self):
+        assert canonical_label(["Zed", "Alpha"]) == "Alpha&Zed"
+
+
+class TestPropertyGraph:
+    def test_add_and_lookup(self):
+        graph = PropertyGraph()
+        graph.add_node(Node(1, frozenset({"A"})))
+        assert graph.has_node(1)
+        assert graph.node(1).labels == frozenset({"A"})
+
+    def test_duplicate_node_rejected(self):
+        graph = PropertyGraph()
+        graph.add_node(Node(1))
+        with pytest.raises(ValueError, match="duplicate node"):
+            graph.add_node(Node(1))
+
+    def test_edge_requires_endpoints(self):
+        graph = PropertyGraph()
+        graph.add_node(Node(1))
+        with pytest.raises(ValueError, match="unknown target"):
+            graph.add_edge(Edge(0, 1, 99))
+        with pytest.raises(ValueError, match="unknown source"):
+            graph.add_edge(Edge(0, 99, 1))
+
+    def test_duplicate_edge_rejected(self):
+        graph = PropertyGraph()
+        graph.add_node(Node(1))
+        graph.add_node(Node(2))
+        graph.add_edge(Edge(0, 1, 2))
+        with pytest.raises(ValueError, match="duplicate edge"):
+            graph.add_edge(Edge(0, 2, 1))
+
+    def test_in_out_edges(self):
+        graph = PropertyGraph()
+        for i in range(3):
+            graph.add_node(Node(i))
+        graph.add_edge(Edge(0, 0, 1))
+        graph.add_edge(Edge(1, 0, 2))
+        graph.add_edge(Edge(2, 1, 2))
+        assert [e.id for e in graph.out_edges(0)] == [0, 1]
+        assert [e.id for e in graph.in_edges(2)] == [1, 2]
+        assert graph.out_edges(2) == []
+
+    def test_endpoints(self):
+        graph = PropertyGraph()
+        graph.add_node(Node(5, frozenset({"A"})))
+        graph.add_node(Node(6, frozenset({"B"})))
+        graph.add_edge(Edge(0, 5, 6))
+        source, target = graph.endpoints(0)
+        assert source.id == 5 and target.id == 6
+
+    def test_global_key_and_label_sets(self, figure1_graph):
+        assert "name" in figure1_graph.node_property_keys()
+        assert "since" in figure1_graph.edge_property_keys()
+        assert "Person" in figure1_graph.node_labels()
+        assert "KNOWS" in figure1_graph.edge_labels()
+
+    def test_replace_node(self):
+        graph = PropertyGraph()
+        graph.add_node(Node(1, frozenset({"A"})))
+        graph.replace_node(Node(1, frozenset({"B"})))
+        assert graph.node(1).labels == frozenset({"B"})
+        with pytest.raises(KeyError):
+            graph.replace_node(Node(99))
+
+    def test_replace_edge_keeps_endpoints(self):
+        graph = PropertyGraph()
+        graph.add_node(Node(1))
+        graph.add_node(Node(2))
+        graph.add_edge(Edge(0, 1, 2, frozenset({"X"})))
+        graph.replace_edge(Edge(0, 1, 2, frozenset({"Y"})))
+        assert graph.edge(0).labels == frozenset({"Y"})
+        with pytest.raises(ValueError, match="endpoints"):
+            graph.replace_edge(Edge(0, 2, 1))
+
+    def test_subgraph_keeps_internal_edges_only(self, figure1_graph):
+        sub = figure1_graph.subgraph([0, 1])  # Bob and John
+        assert sub.num_nodes == 2
+        # Only the Bob->John KNOWS edge is internal.
+        assert sub.num_edges == 1
+
+    def test_copy_is_independent(self, figure1_graph):
+        dup = figure1_graph.copy()
+        assert dup.num_nodes == figure1_graph.num_nodes
+        dup.add_node(Node(999))
+        assert not figure1_graph.has_node(999)
+
+    def test_len_is_node_count(self, figure1_graph):
+        assert len(figure1_graph) == figure1_graph.num_nodes == 7

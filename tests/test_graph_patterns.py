@@ -1,0 +1,70 @@
+"""Tests for pattern extraction (Definitions 3.5/3.6) and statistics."""
+
+from repro.graph.patterns import (
+    EdgePattern,
+    NodePattern,
+    edge_pattern_of,
+    extract_patterns,
+    node_pattern_of,
+)
+from repro.graph.stats import compute_statistics
+
+
+class TestPatterns:
+    def test_figure1_node_patterns(self, figure1_graph):
+        node_patterns, _ = extract_patterns(figure1_graph)
+        # Paper's Example 2 lists six node patterns for Figure 1.
+        assert len(node_patterns) == 6
+        assert NodePattern(
+            frozenset({"Person"}), frozenset({"name", "gender", "bday"})
+        ) in node_patterns
+
+    def test_figure1_edge_patterns(self, figure1_graph):
+        _, edge_patterns = extract_patterns(figure1_graph)
+        # Example 2 lists six edge patterns (LIKES appears twice with
+        # different source label sets: labeled vs unlabeled Person).
+        assert len(edge_patterns) == 6
+        knows_with_since = EdgePattern(
+            labels=frozenset({"KNOWS"}),
+            property_keys=frozenset({"since"}),
+            source_labels=frozenset(),
+            target_labels=frozenset({"Person"}),
+        )
+        assert knows_with_since in edge_patterns
+
+    def test_pattern_counts_sum_to_elements(self, figure1_graph):
+        node_patterns, edge_patterns = extract_patterns(figure1_graph)
+        assert sum(node_patterns.values()) == figure1_graph.num_nodes
+        assert sum(edge_patterns.values()) == figure1_graph.num_edges
+
+    def test_node_pattern_of(self, figure1_graph):
+        pattern = node_pattern_of(figure1_graph.node(0))
+        assert pattern.labels == frozenset({"Person"})
+        assert pattern.is_labeled()
+
+    def test_edge_pattern_of_uses_endpoints(self, figure1_graph):
+        edge = figure1_graph.edge(4)  # WORKS_AT Bob -> Org
+        pattern = edge_pattern_of(edge, figure1_graph)
+        assert pattern.labels == frozenset({"WORKS_AT"})
+        assert pattern.source_labels == frozenset({"Person"})
+        assert pattern.target_labels == frozenset({"Organization"})
+
+
+class TestStatistics:
+    def test_with_ground_truth(self, figure1_graph):
+        truth_nodes = {i: "T" for i in range(7)}
+        truth_edges = {i: ("A" if i < 3 else "B") for i in range(6)}
+        stats = compute_statistics(figure1_graph, truth_nodes, truth_edges)
+        assert stats.node_types == 1
+        assert stats.edge_types == 2
+        assert stats.nodes == 7 and stats.edges == 6
+
+    def test_without_ground_truth_counts_label_sets(self, figure1_graph):
+        stats = compute_statistics(figure1_graph)
+        # Label sets: Person, {}, Organization, Post, Place -> 5
+        assert stats.node_types == 5
+        assert stats.node_labels == 4  # Person, Organization, Post, Place
+
+    def test_as_row_width(self, figure1_graph):
+        stats = compute_statistics(figure1_graph)
+        assert len(stats.as_row()) == 9

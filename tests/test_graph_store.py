@@ -1,0 +1,107 @@
+"""Unit tests for the GraphStore facade (the Neo4j substitute)."""
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.store import GraphStore
+
+
+class TestScans:
+    def test_counts_match_graph(self, figure1_store):
+        assert figure1_store.count_nodes() == 7
+        assert figure1_store.count_edges() == 6
+        assert len(list(figure1_store.scan_nodes())) == 7
+        assert len(list(figure1_store.scan_edges())) == 6
+
+    def test_endpoints(self, figure1_store):
+        edge = next(figure1_store.scan_edges())
+        source, target = figure1_store.endpoints(edge)
+        assert source.id == edge.source and target.id == edge.target
+
+
+class TestBatches:
+    def test_batches_partition_nodes(self, figure1_store):
+        batches = list(figure1_store.batches(3, seed=1))
+        assert len(batches) == 3
+        seen = [n.id for b in batches for n in b.nodes]
+        assert sorted(seen) == list(range(7))
+
+    def test_batches_partition_edges_by_source(self, figure1_store):
+        batches = list(figure1_store.batches(2, seed=1))
+        edge_ids = sorted(e.id for b in batches for e in b.edges)
+        assert edge_ids == list(range(6))
+        # Each edge must live in the batch of its source node.
+        for batch in batches:
+            node_ids = {n.id for n in batch.nodes}
+            for edge in batch.edges:
+                assert edge.source in node_ids
+
+    def test_batch_endpoint_labels_cover_cross_batch_targets(self, figure1_store):
+        for batch in figure1_store.batches(3, seed=1):
+            for edge in batch.edges:
+                assert edge.source in batch.endpoint_labels
+                assert edge.target in batch.endpoint_labels
+
+    def test_single_batch_is_whole_graph(self, figure1_store):
+        (batch,) = figure1_store.batches(1)
+        assert len(batch.nodes) == 7
+        assert len(batch.edges) == 6
+        assert batch.size == 13
+
+    def test_invalid_batch_count(self, figure1_store):
+        with pytest.raises(ValueError):
+            list(figure1_store.batches(0))
+
+    def test_batching_is_seed_deterministic(self, figure1_store):
+        first = [
+            [n.id for n in b.nodes] for b in figure1_store.batches(3, seed=5)
+        ]
+        second = [
+            [n.id for n in b.nodes] for b in figure1_store.batches(3, seed=5)
+        ]
+        assert first == second
+
+
+class TestDegreeExtremes:
+    def test_fan_out(self):
+        b = GraphBuilder()
+        hub = b.node(["Hub"])
+        leaves = [b.node(["Leaf"]) for _ in range(4)]
+        edge_ids = [b.edge(hub, leaf, ["HAS"]) for leaf in leaves]
+        store = GraphStore(b.build())
+        max_out, max_in = store.degree_extremes(edge_ids)
+        assert (max_out, max_in) == (4, 1)
+
+    def test_fan_in(self):
+        b = GraphBuilder()
+        sink = b.node(["Sink"])
+        sources = [b.node(["Src"]) for _ in range(3)]
+        edge_ids = [b.edge(s, sink, ["TO"]) for s in sources]
+        store = GraphStore(b.build())
+        assert store.degree_extremes(edge_ids) == (1, 3)
+
+    def test_empty_edge_set(self, figure1_store):
+        assert figure1_store.degree_extremes([]) == (0, 0)
+
+
+class TestSampling:
+    def test_sample_nodes_bounded(self, figure1_store):
+        sample = figure1_store.sample_nodes(3, seed=0)
+        assert len(sample) == 3
+
+    def test_sample_nodes_all_when_large(self, figure1_store):
+        assert len(figure1_store.sample_nodes(100)) == 7
+
+    def test_sample_property_values_minimum(self, figure1_store):
+        nodes = list(figure1_store.scan_nodes())
+        values = figure1_store.sample_property_values(
+            nodes, "name", fraction=0.1, minimum=2, seed=0
+        )
+        assert 2 <= len(values) <= 6  # six nodes carry "name"
+
+    def test_sample_property_values_returns_all_when_few(self, figure1_store):
+        nodes = list(figure1_store.scan_nodes())
+        values = figure1_store.sample_property_values(
+            nodes, "url", fraction=0.1, minimum=10
+        )
+        assert values == ["https://ics.example"]

@@ -1,0 +1,170 @@
+"""The paper's section 4.7 guarantees as executable properties.
+
+Each guarantee is checked over randomly generated property graphs
+(hypothesis): type completeness, constraint soundness, datatype
+compatibility, cardinality upper bounds, schema-merge coverage, and
+incremental monotonicity.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import PGHiveConfig
+from repro.core.pipeline import PGHive
+from repro.core.datatypes import is_value_compatible
+from repro.graph.builder import GraphBuilder
+from repro.graph.store import GraphStore
+from repro.schema.model import PropertyStatus
+
+_LABEL_POOL = ["Person", "Org", "Post", "Tag", ""]
+_KEY_POOL = ["name", "age", "url", "score", "flag", "when"]
+_VALUE_POOL = [
+    "text", 42, 3.5, True, "2020-01-02", "2020-01-02T10:00:00Z", "x1",
+]
+
+
+@st.composite
+def small_graphs(draw):
+    """Random small property graphs (some unlabeled, arbitrary props)."""
+    num_nodes = draw(st.integers(2, 14))
+    builder = GraphBuilder("random")
+    for _ in range(num_nodes):
+        label = draw(st.sampled_from(_LABEL_POOL))
+        keys = draw(st.sets(st.sampled_from(_KEY_POOL), max_size=4))
+        properties = {
+            key: draw(st.sampled_from(_VALUE_POOL)) for key in keys
+        }
+        builder.node([label] if label else [], properties)
+    num_edges = draw(st.integers(0, 20))
+    for _ in range(num_edges):
+        source = draw(st.integers(0, num_nodes - 1))
+        target = draw(st.integers(0, num_nodes - 1))
+        label = draw(st.sampled_from(["KNOWS", "LIKES", ""]))
+        keys = draw(st.sets(st.sampled_from(["since", "w"]), max_size=2))
+        builder.edge(
+            source, target, [label] if label else [],
+            {key: draw(st.sampled_from(_VALUE_POOL)) for key in keys},
+        )
+    return builder.build()
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_graphs())
+def test_type_completeness(graph):
+    """Guarantee (i): no label or property of any node is lost -- some
+    type carries the node's labels and all of its property keys."""
+    result = PGHive().discover(GraphStore(graph))
+    for node in graph.nodes():
+        type_name = result.node_assignment[node.id]
+        node_type = result.schema.node_types[type_name]
+        assert node.labels <= node_type.labels
+        assert node.property_keys <= node_type.property_keys
+    for edge in graph.edges():
+        type_name = result.edge_assignment[edge.id]
+        edge_type = result.schema.edge_types[type_name]
+        assert edge.labels <= edge_type.labels
+        assert edge.property_keys <= edge_type.property_keys
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_graphs())
+def test_mandatory_soundness(graph):
+    """Guarantee (ii): a property marked MANDATORY is present on every
+    instance of its type."""
+    result = PGHive().discover(GraphStore(graph))
+    for node_type in result.schema.node_types.values():
+        mandatory = {
+            key
+            for key, spec in node_type.properties.items()
+            if spec.status is PropertyStatus.MANDATORY
+        }
+        for member in node_type.members:
+            assert mandatory <= graph.node(member).property_keys
+    for edge_type in result.schema.edge_types.values():
+        mandatory = {
+            key
+            for key, spec in edge_type.properties.items()
+            if spec.status is PropertyStatus.MANDATORY
+        }
+        for member in edge_type.members:
+            assert mandatory <= graph.edge(member).property_keys
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_graphs())
+def test_datatype_compatibility(graph):
+    """Guarantee (iii): every observed value conforms to the inferred
+    datatype of its property."""
+    result = PGHive().discover(GraphStore(graph))
+    for node_type in result.schema.node_types.values():
+        for member in node_type.members:
+            for key, value in graph.node(member).properties.items():
+                spec = node_type.properties[key]
+                assert is_value_compatible(value, spec.datatype), (
+                    key, value, spec.datatype,
+                )
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_graphs())
+def test_cardinality_upper_bounds(graph):
+    """Guarantee (iv): recorded degree extremes really are maxima over
+    the type's member edges."""
+    result = PGHive().discover(GraphStore(graph))
+    for edge_type in result.schema.edge_types.values():
+        out_degree: dict[int, int] = {}
+        in_degree: dict[int, int] = {}
+        for member in edge_type.members:
+            edge = graph.edge(member)
+            out_degree[edge.source] = out_degree.get(edge.source, 0) + 1
+            in_degree[edge.target] = in_degree.get(edge.target, 0) + 1
+        assert edge_type.max_out == max(out_degree.values(), default=0)
+        assert edge_type.max_in == max(in_degree.values(), default=0)
+
+
+@settings(max_examples=15, deadline=None)
+@given(small_graphs(), st.integers(2, 4))
+def test_incremental_monotonicity(graph, num_batches):
+    """Guarantee (v): the incremental schema chain only ever grows."""
+    import copy
+
+    from repro.core.incremental import IncrementalDiscovery
+    from repro.schema.diff import diff_schemas
+
+    store = GraphStore(graph)
+    engine = IncrementalDiscovery()
+    previous = copy.deepcopy(engine.schema)
+    for batch in store.batches(num_batches, seed=0):
+        engine.process_batch(batch.nodes, batch.edges, batch.endpoint_labels)
+        diff = diff_schemas(previous, engine.schema)
+        assert diff.is_monotone_extension
+        previous = copy.deepcopy(engine.schema)
+
+
+@settings(max_examples=15, deadline=None)
+@given(small_graphs())
+def test_every_element_assigned_exactly_once(graph):
+    """Bookkeeping invariant: type memberships partition the elements."""
+    result = PGHive().discover(GraphStore(graph))
+    node_members = [
+        m for t in result.schema.node_types.values() for m in t.members
+    ]
+    assert sorted(node_members) == sorted(n.id for n in graph.nodes())
+    edge_members = [
+        m for t in result.schema.edge_types.values() for m in t.members
+    ]
+    assert sorted(edge_members) == sorted(e.id for e in graph.edges())
+
+
+@settings(max_examples=10, deadline=None)
+@given(small_graphs())
+def test_discovered_schema_validates_its_graph_loose(graph):
+    """A schema discovered from G must cover G in LOOSE mode."""
+    from repro.schema.validate import ValidationMode, validate_graph
+
+    result = PGHive().discover(GraphStore(graph))
+    report = validate_graph(graph, result.schema, ValidationMode.LOOSE)
+    assert report.is_valid, [v.detail for v in report.violations]

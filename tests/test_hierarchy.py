@@ -1,0 +1,125 @@
+"""Tests for type hierarchy inference."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.pipeline import PGHive
+from repro.graph.builder import GraphBuilder
+from repro.graph.store import GraphStore
+from repro.schema.hierarchy import (
+    SubtypeRelation,
+    infer_hierarchy,
+    render_hierarchy,
+)
+from repro.schema.model import NodeType, PropertyStatus, SchemaGraph
+
+
+def _type(name, labels, mandatory=(), optional=(), count=5):
+    node_type = NodeType(
+        name, frozenset(labels), instance_count=count,
+        property_counts=Counter({k: count for k in mandatory}),
+    )
+    for key in mandatory:
+        spec = node_type.ensure_property(key)
+        spec.status = PropertyStatus.MANDATORY
+    for key in optional:
+        node_type.ensure_property(key)
+    return node_type
+
+
+class TestLabelRefinement:
+    def test_strict_label_superset_is_subtype(self):
+        schema = SchemaGraph()
+        schema.add_node_type(_type("Employee", ["Employee"], ["name"]))
+        schema.add_node_type(
+            _type("Employee&Intern", ["Employee", "Intern"], ["name"])
+        )
+        relations = infer_hierarchy(schema)
+        assert SubtypeRelation(
+            "Employee&Intern", "Employee", "labels"
+        ) in relations
+
+    def test_disjoint_labels_unrelated(self):
+        schema = SchemaGraph()
+        schema.add_node_type(_type("A", ["A"], ["k"]))
+        schema.add_node_type(_type("B", ["B"], ["k"]))
+        assert infer_hierarchy(schema) == []
+
+    def test_transitive_reduction(self):
+        schema = SchemaGraph()
+        schema.add_node_type(_type("X", ["X"], ["k"]))
+        schema.add_node_type(_type("X&Y", ["X", "Y"], ["k"]))
+        schema.add_node_type(_type("X&Y&Z", ["X", "Y", "Z"], ["k"]))
+        relations = infer_hierarchy(schema)
+        pairs = {(r.subtype, r.supertype) for r in relations}
+        assert ("X&Y", "X") in pairs
+        assert ("X&Y&Z", "X&Y") in pairs
+        assert ("X&Y&Z", "X") not in pairs  # reduced away
+
+
+class TestPropertyRefinement:
+    def test_mandatory_superset_with_shared_label(self):
+        schema = SchemaGraph()
+        schema.add_node_type(_type("Person", ["Person"], ["name"]))
+        schema.add_node_type(
+            _type("Person2", ["Person"], ["name", "badge_no"])
+        )
+        relations = infer_hierarchy(schema)
+        assert SubtypeRelation("Person2", "Person", "properties") in relations
+
+    def test_unlabeled_child_can_refine(self):
+        schema = SchemaGraph()
+        schema.add_node_type(_type("Person", ["Person"], ["name"]))
+        schema.add_node_type(_type("ABSTRACT_NODE_1", [], ["name", "ssn"]))
+        relations = infer_hierarchy(schema)
+        assert any(
+            r.subtype == "ABSTRACT_NODE_1" and r.supertype == "Person"
+            for r in relations
+        )
+
+    def test_disjoint_labels_block_property_refinement(self):
+        schema = SchemaGraph()
+        schema.add_node_type(_type("Person", ["Person"], ["name"]))
+        schema.add_node_type(_type("City", ["City"], ["name", "lat"]))
+        assert infer_hierarchy(schema) == []
+
+    def test_property_inference_can_be_disabled(self):
+        schema = SchemaGraph()
+        schema.add_node_type(_type("Person", ["Person"], ["name"]))
+        schema.add_node_type(
+            _type("Person2", ["Person"], ["name", "badge_no"])
+        )
+        assert infer_hierarchy(schema, use_properties=False) == []
+
+    def test_empty_mandatory_parent_not_a_supertype(self):
+        """Everything would 'refine' a type with no mandatory props."""
+        schema = SchemaGraph()
+        schema.add_node_type(_type("Bare", ["Thing"], mandatory=()))
+        schema.add_node_type(_type("Rich", ["Thing"], ["a", "b"]))
+        assert infer_hierarchy(schema) == []
+
+
+class TestEndToEnd:
+    def test_mb6_segment_neuron_hierarchy(self):
+        """Discovered MB6 types: {Neuron,Segment,mb6} refines {Segment,mb6}."""
+        from repro.datasets import get_dataset
+
+        dataset = get_dataset("MB6", scale=0.3, seed=1)
+        result = PGHive().discover(GraphStore(dataset.graph))
+        relations = infer_hierarchy(result.schema)
+        assert any(
+            r.supertype == "Segment&mb6"
+            and "Neuron" in r.subtype
+            and r.evidence == "labels"
+            for r in relations
+        )
+
+    def test_render_forest(self):
+        schema = SchemaGraph()
+        schema.add_node_type(_type("X", ["X"], ["k"], count=9))
+        schema.add_node_type(_type("X&Y", ["X", "Y"], ["k"], count=4))
+        text = render_hierarchy(schema, infer_hierarchy(schema))
+        lines = text.splitlines()
+        assert lines[0] == "X (9 instances)"
+        assert lines[1] == "  X&Y (4 instances)"

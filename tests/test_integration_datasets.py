@@ -1,0 +1,91 @@
+"""Integration tests: the full pipeline over every bundled dataset.
+
+These are the end-to-end checks a release gate would run: every dataset
+discovers cleanly, scores perfectly (or near-perfectly for IYP) on clean
+data, serializes to every format without errors, and validates its own
+graph in LOOSE mode.
+"""
+
+import pytest
+
+from repro.core.pipeline import PGHive
+from repro.datasets import get_dataset, list_datasets
+from repro.evaluation.f1star import majority_f1
+from repro.graph.store import GraphStore
+from repro.schema.serialize_cypher import serialize_cypher
+from repro.schema.serialize_graphql import serialize_graphql
+from repro.schema.serialize_pgschema import serialize_pg_schema
+from repro.schema.serialize_xsd import serialize_xsd
+from repro.schema.validate import ValidationMode, validate_graph
+
+_SCALE = 0.25
+
+
+@pytest.fixture(scope="module")
+def discoveries():
+    """Discover every dataset once (module-scoped: ~2 s total)."""
+    results = {}
+    for name in list_datasets():
+        dataset = get_dataset(name, scale=_SCALE, seed=5)
+        result = PGHive().discover(GraphStore(dataset.graph))
+        results[name] = (dataset, result)
+    return results
+
+
+@pytest.mark.parametrize("name", [
+    "POLE", "MB6", "HET.IO", "FIB25", "ICIJ", "CORD19", "LDBC", "IYP",
+])
+class TestEveryDataset:
+    def test_node_f1_on_clean_data(self, discoveries, name):
+        dataset, result = discoveries[name]
+        score = majority_f1(result.node_assignment, dataset.truth.node_types)
+        floor = 0.95 if name != "IYP" else 0.90
+        assert score.headline >= floor, (name, score.headline)
+
+    def test_edge_f1_on_clean_data(self, discoveries, name):
+        dataset, result = discoveries[name]
+        score = majority_f1(result.edge_assignment, dataset.truth.edge_types)
+        assert score.headline >= 0.95, (name, score.headline)
+
+    def test_every_element_assigned(self, discoveries, name):
+        dataset, result = discoveries[name]
+        assert set(result.node_assignment) == set(dataset.truth.node_types)
+        assert set(result.edge_assignment) == set(dataset.truth.edge_types)
+
+    def test_all_serializers_run(self, discoveries, name):
+        _, result = discoveries[name]
+        assert "CREATE GRAPH TYPE" in serialize_pg_schema(result.schema)
+        assert serialize_pg_schema(result.schema, "LOOSE")
+        assert serialize_xsd(result.schema).startswith("<?xml")
+        assert "//" in serialize_cypher(result.schema)
+        assert "type " in serialize_graphql(result.schema)
+
+    def test_schema_covers_its_graph_loose(self, discoveries, name):
+        dataset, result = discoveries[name]
+        report = validate_graph(
+            dataset.graph, result.schema, ValidationMode.LOOSE
+        )
+        assert report.is_valid, (
+            name, [v.detail for v in report.violations[:3]],
+        )
+
+    def test_cardinalities_assigned_to_every_edge_type(
+        self, discoveries, name
+    ):
+        from repro.schema.model import Cardinality
+
+        _, result = discoveries[name]
+        for edge_type in result.schema.edge_types.values():
+            assert edge_type.cardinality is not Cardinality.UNKNOWN, (
+                name, edge_type.name,
+            )
+
+    def test_datatypes_assigned_to_every_property(self, discoveries, name):
+        from repro.schema.model import DataType
+
+        _, result = discoveries[name]
+        for node_type in result.schema.node_types.values():
+            for key, spec in node_type.properties.items():
+                assert spec.datatype is not DataType.UNKNOWN, (
+                    name, node_type.name, key,
+                )

@@ -1,0 +1,127 @@
+"""Tests for the approximate nearest-neighbor LSH indexes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lsh.index import EuclideanIndex, MinHashIndex
+
+
+class TestEuclideanIndex:
+    def _populated(self):
+        rng = np.random.default_rng(0)
+        index = EuclideanIndex(dimension=8, bucket_length=4.0,
+                               num_tables=12, seed=1)
+        centers = {"a": 0.0, "b": 10.0, "c": 20.0}
+        vectors = {}
+        for name, center in centers.items():
+            for i in range(10):
+                key = f"{name}{i}"
+                vectors[key] = center + rng.normal(0, 0.3, size=8)
+                index.add(key, vectors[key])
+        return index, vectors
+
+    def test_query_finds_cluster_mates(self):
+        index, vectors = self._populated()
+        results = index.query(vectors["a0"], k=5)
+        assert results, "near-duplicates must collide"
+        assert all(key.startswith("a") for key, _ in results)
+        assert results[0][0] == "a0" and results[0][1] == pytest.approx(0.0)
+
+    def test_distances_sorted(self):
+        index, vectors = self._populated()
+        distances = [d for _, d in index.query(vectors["b3"], k=10)]
+        assert distances == sorted(distances)
+
+    def test_remove(self):
+        index, vectors = self._populated()
+        index.remove("a0")
+        assert len(index) == 29
+        results = index.query(vectors["a0"], k=30)
+        assert all(key != "a0" for key, _ in results)
+        index.remove("a0")  # idempotent
+
+    def test_replace_on_duplicate_key(self):
+        index = EuclideanIndex(4, 1.0, 4)
+        index.add("x", np.zeros(4))
+        index.add("x", np.ones(4))
+        assert len(index) == 1
+        (top,) = index.query(np.ones(4), k=1)
+        assert top == ("x", pytest.approx(0.0))
+
+    def test_add_batch(self):
+        index = EuclideanIndex(3, 2.0, 8, seed=2)
+        keys = [f"k{i}" for i in range(20)]
+        vectors = np.random.default_rng(1).normal(size=(20, 3))
+        index.add_batch(keys, vectors)
+        assert len(index) == 20
+        (top, distance) = index.query(vectors[7], k=1)[0]
+        assert top == "k7" and distance == pytest.approx(0.0)
+
+    def test_batch_shape_validation(self):
+        index = EuclideanIndex(3, 2.0, 8)
+        with pytest.raises(ValueError):
+            index.add_batch(["a"], np.zeros((2, 3)))
+
+    def test_no_false_results_outside_candidates(self):
+        """Query results always carry exact distances."""
+        index, vectors = self._populated()
+        for key, distance in index.query(vectors["c2"], k=8):
+            assert distance == pytest.approx(
+                float(np.linalg.norm(vectors[key] - vectors["c2"]))
+            )
+
+
+class TestMinHashIndex:
+    def _populated(self):
+        index = MinHashIndex(num_hashes=48, rows_per_band=4, seed=3)
+        families = {
+            "x": set(range(0, 30)),
+            "y": set(range(100, 130)),
+        }
+        sets = {}
+        for name, base in families.items():
+            for i in range(8):
+                key = f"{name}{i}"
+                # Each member drops a few elements: high intra-family J.
+                sets[key] = set(list(base)[i:]) | {999 + i}
+                index.add(key, sets[key])
+        return index, sets
+
+    def test_query_prefers_same_family(self):
+        index, sets = self._populated()
+        results = index.query(sets["x0"], k=4)
+        assert results[0][0] == "x0"
+        assert all(key.startswith("x") for key, _ in results)
+
+    def test_similarities_are_exact_jaccard(self):
+        from repro.util.similarity import jaccard
+
+        index, sets = self._populated()
+        for key, similarity in index.query(sets["y1"], k=5):
+            assert similarity == pytest.approx(
+                jaccard(frozenset(sets["y1"]), frozenset(sets[key]))
+            )
+
+    def test_remove(self):
+        index, sets = self._populated()
+        index.remove("x0")
+        results = index.query(sets["x0"], k=20)
+        assert all(key != "x0" for key, _ in results)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            MinHashIndex(num_hashes=8, rows_per_band=0)
+        with pytest.raises(ValueError):
+            MinHashIndex(num_hashes=8, rows_per_band=9)
+
+    @given(st.sets(st.integers(0, 200), min_size=5, max_size=40))
+    @settings(max_examples=25, deadline=None)
+    def test_self_query_returns_self_first(self, features):
+        index = MinHashIndex(num_hashes=32, rows_per_band=4, seed=5)
+        index.add("self", features)
+        index.add("other", set(range(1000, 1020)))
+        results = index.query(features, k=1)
+        assert results and results[0][0] == "self"
+        assert results[0][1] == 1.0

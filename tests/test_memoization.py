@@ -1,0 +1,61 @@
+"""Tests for the DiscoPG-style incremental memoization fast path."""
+
+from repro.core.config import PGHiveConfig
+from repro.core.pipeline import PGHive
+from repro.datasets import get_dataset
+from repro.evaluation.f1star import majority_f1
+from repro.graph.store import GraphStore
+
+
+class TestMemoization:
+    def _run_both(self, num_batches=6):
+        dataset = get_dataset("POLE", scale=0.5, seed=3)
+        store = GraphStore(dataset.graph)
+        plain = PGHive().discover_incremental(store, num_batches)
+        memoized = PGHive(
+            PGHiveConfig(memoize_patterns=True)
+        ).discover_incremental(store, num_batches)
+        return dataset, plain, memoized
+
+    def test_same_types_discovered(self):
+        _, plain, memoized = self._run_both()
+        assert set(plain.schema.node_types) == set(memoized.schema.node_types)
+        assert set(plain.schema.edge_types) == set(memoized.schema.edge_types)
+
+    def test_same_instance_counts_and_constraints(self):
+        _, plain, memoized = self._run_both()
+        for name, plain_type in plain.schema.node_types.items():
+            memo_type = memoized.schema.node_types[name]
+            assert memo_type.instance_count == plain_type.instance_count
+            for key, spec in plain_type.properties.items():
+                assert memo_type.properties[key].status is spec.status
+
+    def test_same_f1(self):
+        dataset, plain, memoized = self._run_both()
+        plain_f1 = majority_f1(
+            plain.node_assignment, dataset.truth.node_types
+        ).headline
+        memo_f1 = majority_f1(
+            memoized.node_assignment, dataset.truth.node_types
+        ).headline
+        assert memo_f1 == plain_f1
+
+    def test_later_batches_hit_the_memo(self):
+        _, _, memoized = self._run_both()
+        # Batch 0 builds the schema; subsequent batches of clean POLE data
+        # consist almost entirely of already-known patterns.
+        later = memoized.batches[1:]
+        total_elements = sum(r.num_nodes + r.num_edges for r in later)
+        total_hits = sum(r.memo_node_hits + r.memo_edge_hits for r in later)
+        assert total_hits >= 0.6 * total_elements
+
+    def test_first_batch_has_no_hits(self):
+        _, _, memoized = self._run_both()
+        first = memoized.batches[0]
+        assert first.memo_node_hits == 0
+        assert first.memo_edge_hits == 0
+
+    def test_assignments_cover_everything(self):
+        dataset, _, memoized = self._run_both()
+        assert set(memoized.node_assignment) == set(dataset.truth.node_types)
+        assert set(memoized.edge_assignment) == set(dataset.truth.edge_types)

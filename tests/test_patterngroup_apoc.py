@@ -1,0 +1,95 @@
+"""Tests for the PatternGroup baseline and the APOC JSONL importer."""
+
+import json
+
+import pytest
+
+from repro.baselines import PatternGroup
+from repro.datasets import get_dataset, inject_noise
+from repro.evaluation.f1star import majority_f1
+from repro.graph.io import load_graph_apoc_jsonl
+from repro.graph.store import GraphStore
+
+
+class TestPatternGroup:
+    def test_perfect_on_clean_data(self, figure1_store):
+        result = PatternGroup().discover(figure1_store)
+        truth = {i: "n" for i in range(7)}  # placement sanity only
+        assert set(result.node_assignment) == set(truth)
+
+    def test_one_type_per_pattern(self, figure1_store):
+        result = PatternGroup().discover(figure1_store)
+        # Figure 1 has 6 node patterns and 6 edge patterns (Example 2).
+        assert result.num_node_types == 6
+        assert result.num_edge_types == 6
+
+    def test_runs_on_unlabeled_data(self):
+        dataset = inject_noise(
+            get_dataset("POLE", scale=0.2, seed=1), 0.0, 0.0, seed=2
+        )
+        result = PatternGroup().discover(GraphStore(dataset.graph))
+        score = majority_f1(result.node_assignment, dataset.truth.node_types)
+        assert score.headline > 0.8
+
+    def test_noise_explodes_type_count(self):
+        clean = get_dataset("POLE", scale=0.4, seed=1)
+        noisy = inject_noise(clean, 0.4, 1.0, seed=2)
+        clean_types = PatternGroup().discover(
+            GraphStore(clean.graph)
+        ).num_node_types
+        noisy_types = PatternGroup().discover(
+            GraphStore(noisy.graph)
+        ).num_node_types
+        assert noisy_types > 3 * clean_types
+
+
+class TestApocImport:
+    def _write_dump(self, tmp_path):
+        lines = [
+            {"type": "node", "id": "100", "labels": ["Person"],
+             "properties": {"name": "Ada", "born": 1815}},
+            {"type": "node", "id": "101", "labels": ["Person"],
+             "properties": {"name": "Charles"}},
+            {"type": "node", "id": "200", "labels": ["Machine"],
+             "properties": {"name": "Analytical Engine"}},
+            {"type": "relationship", "id": "9000", "label": "KNOWS",
+             "start": {"id": "100", "labels": ["Person"]},
+             "end": {"id": "101", "labels": ["Person"]},
+             "properties": {"since": 1833}},
+            {"type": "relationship", "id": "9001", "label": "DESIGNED",
+             "start": {"id": "101", "labels": ["Person"]},
+             "end": {"id": "200", "labels": ["Machine"]},
+             "properties": {}},
+        ]
+        path = tmp_path / "dump.jsonl"
+        path.write_text(
+            "\n".join(json.dumps(line) for line in lines), encoding="utf-8"
+        )
+        return path
+
+    def test_import_structure(self, tmp_path):
+        graph = load_graph_apoc_jsonl(self._write_dump(tmp_path))
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 2
+        assert graph.node(0).labels == frozenset({"Person"})
+        assert graph.node(0).properties["born"] == 1815
+
+    def test_relationships_remapped(self, tmp_path):
+        graph = load_graph_apoc_jsonl(self._write_dump(tmp_path))
+        knows = next(e for e in graph.edges() if "KNOWS" in e.labels)
+        source, target = graph.endpoints(knows.id)
+        assert source.properties["name"] == "Ada"
+        assert target.properties["name"] == "Charles"
+
+    def test_discovery_over_import(self, tmp_path):
+        from repro.core.pipeline import PGHive
+
+        graph = load_graph_apoc_jsonl(self._write_dump(tmp_path))
+        result = PGHive().discover(GraphStore(graph))
+        assert {"Person", "Machine"} <= set(result.schema.node_types)
+
+    def test_unknown_record_type(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "hypergraph"}', encoding="utf-8")
+        with pytest.raises(ValueError, match="unknown APOC record"):
+            load_graph_apoc_jsonl(path)

@@ -1,0 +1,68 @@
+"""Tests for the per-type pattern breakdown."""
+
+import pytest
+
+from repro.core.pipeline import PGHive
+from repro.datasets import get_dataset, inject_noise
+from repro.graph.store import GraphStore
+from repro.schema.patterns_report import (
+    pattern_breakdown,
+    render_pattern_breakdown,
+)
+
+
+class TestPatternBreakdown:
+    def test_figure1_post_type_has_two_patterns(self, figure1_store):
+        result = PGHive().discover(figure1_store)
+        breakdowns = pattern_breakdown(result.schema, figure1_store)
+        post = breakdowns["Post"]
+        # One Post has imgFile, the other content: two patterns, neither
+        # instance carries the type's full (merged) key set.
+        assert post.num_patterns == 2
+        assert post.full_coverage == 0.0
+        assert post.dominant_share == 0.5
+
+    def test_uniform_type_single_pattern(self, figure1_store):
+        result = PGHive().discover(figure1_store)
+        breakdowns = pattern_breakdown(result.schema, figure1_store)
+        person = breakdowns["Person"]
+        # Bob, John, Alice: same keys, but Alice is unlabeled -> two
+        # patterns (labels differ), full key coverage 100%.
+        assert person.num_patterns == 2
+        assert person.full_coverage == 1.0
+
+    def test_noise_multiplies_patterns(self):
+        clean = get_dataset("POLE", scale=0.4, seed=1)
+        noisy = inject_noise(clean, 0.4, 1.0, seed=2)
+        store_clean = GraphStore(clean.graph)
+        store_noisy = GraphStore(noisy.graph)
+        clean_b = pattern_breakdown(
+            PGHive().discover(store_clean).schema, store_clean
+        )
+        noisy_b = pattern_breakdown(
+            PGHive().discover(store_noisy).schema, store_noisy
+        )
+        assert (
+            noisy_b["Crime"].num_patterns > clean_b["Crime"].num_patterns
+        )
+
+    def test_render(self, figure1_store):
+        result = PGHive().discover(figure1_store)
+        text = render_pattern_breakdown(
+            pattern_breakdown(result.schema, figure1_store)
+        )
+        assert "Per-type pattern breakdown" in text
+        assert "Post" in text
+        assert "(unlabeled)" in text  # Alice's pattern under Person
+
+    def test_empty_type_is_safe(self):
+        from repro.schema.model import NodeType, SchemaGraph
+        from repro.graph.model import PropertyGraph
+
+        schema = SchemaGraph()
+        schema.add_node_type(NodeType("Ghost", frozenset({"Ghost"})))
+        breakdowns = pattern_breakdown(
+            schema, GraphStore(PropertyGraph())
+        )
+        assert breakdowns["Ghost"].num_patterns == 0
+        assert breakdowns["Ghost"].dominant_share == 1.0

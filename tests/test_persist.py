@@ -1,0 +1,124 @@
+"""Tests for schema persistence and resumed incremental discovery."""
+
+import pytest
+
+from repro.core.incremental import IncrementalDiscovery
+from repro.core.pipeline import PGHive
+from repro.datasets import get_dataset
+from repro.graph.store import GraphStore
+from repro.schema.diff import diff_schemas
+from repro.schema.persist import (
+    load_schema,
+    save_schema,
+    schema_from_dict,
+    schema_to_dict,
+)
+
+
+@pytest.fixture
+def discovered_schema(figure1_store):
+    return PGHive().discover(figure1_store).schema
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_is_structurally_identical(self, discovered_schema):
+        rebuilt = schema_from_dict(schema_to_dict(discovered_schema))
+        diff = diff_schemas(discovered_schema, rebuilt)
+        assert diff.is_empty
+
+    def test_file_round_trip(self, discovered_schema, tmp_path):
+        path = tmp_path / "schema.json"
+        save_schema(discovered_schema, path)
+        loaded = load_schema(path)
+        assert set(loaded.node_types) == set(discovered_schema.node_types)
+        assert set(loaded.edge_types) == set(discovered_schema.edge_types)
+
+    def test_bookkeeping_survives(self, discovered_schema, tmp_path):
+        path = tmp_path / "schema.json"
+        save_schema(discovered_schema, path)
+        loaded = load_schema(path)
+        for name, original in discovered_schema.node_types.items():
+            rebuilt = loaded.node_types[name]
+            assert rebuilt.instance_count == original.instance_count
+            assert rebuilt.property_counts == original.property_counts
+            assert rebuilt.members == original.members
+            for key, spec in original.properties.items():
+                assert rebuilt.properties[key].datatype is spec.datatype
+                assert rebuilt.properties[key].status is spec.status
+
+    def test_edge_details_survive(self, discovered_schema, tmp_path):
+        path = tmp_path / "schema.json"
+        save_schema(discovered_schema, path)
+        loaded = load_schema(path)
+        knows = loaded.edge_types["KNOWS"]
+        original = discovered_schema.edge_types["KNOWS"]
+        assert knows.source_labels == original.source_labels
+        assert knows.cardinality is original.cardinality
+        assert knows.max_out == original.max_out
+
+    def test_members_can_be_dropped(self, discovered_schema, tmp_path):
+        path = tmp_path / "schema.json"
+        save_schema(discovered_schema, path, include_members=False)
+        loaded = load_schema(path)
+        assert all(t.members == [] for t in loaded.node_types.values())
+        # Counts still survive for constraint math.
+        assert (
+            loaded.node_types["Person"].instance_count
+            == discovered_schema.node_types["Person"].instance_count
+        )
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(ValueError, match="format version"):
+            schema_from_dict({"format_version": 999})
+
+
+class TestResume:
+    def test_resumed_engine_extends_saved_schema(self, tmp_path):
+        dataset = get_dataset("POLE", scale=0.4, seed=3)
+        store = GraphStore(dataset.graph)
+        batches = list(store.batches(4, seed=1))
+
+        # Session 1: process half the stream, save.
+        first = IncrementalDiscovery()
+        for batch in batches[:2]:
+            first.process_batch(batch.nodes, batch.edges, batch.endpoint_labels)
+        path = tmp_path / "running.json"
+        save_schema(first.schema, path)
+
+        # Session 2: load and continue.
+        resumed = IncrementalDiscovery(schema=load_schema(path))
+        for batch in batches[2:]:
+            resumed.process_batch(
+                batch.nodes, batch.edges, batch.endpoint_labels
+            )
+
+        # Single-session reference run.
+        reference = IncrementalDiscovery()
+        for batch in batches:
+            reference.process_batch(
+                batch.nodes, batch.edges, batch.endpoint_labels
+            )
+
+        assert set(resumed.schema.node_types) == set(
+            reference.schema.node_types
+        )
+        for name, ref_type in reference.schema.node_types.items():
+            assert (
+                resumed.schema.node_types[name].instance_count
+                == ref_type.instance_count
+            )
+
+    def test_resume_is_monotone_over_saved(self, tmp_path, figure1_store):
+        saved = PGHive().discover(figure1_store).schema
+        path = tmp_path / "s.json"
+        save_schema(saved, path)
+        resumed = IncrementalDiscovery(schema=load_schema(path))
+        from repro.graph.builder import GraphBuilder
+
+        b = GraphBuilder()
+        b.node(["Spaceship"], {"name": "HoG"})
+        graph = b.build()
+        resumed.process_batch(list(graph.nodes()), [], None)
+        diff = diff_schemas(saved, resumed.schema)
+        assert diff.is_monotone_extension
+        assert "Spaceship" in resumed.schema.node_types

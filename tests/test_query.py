@@ -1,0 +1,131 @@
+"""Tests for the query/traversal facility."""
+
+import pytest
+
+from repro.graph.query import (
+    Traversal,
+    match_edges,
+    match_nodes,
+    match_pattern,
+)
+
+
+class TestMatchNodes:
+    def test_by_label(self, figure1_graph):
+        people = match_nodes(figure1_graph, label="Person")
+        assert {n.id for n in people} == {0, 1}
+
+    def test_by_property(self, figure1_graph):
+        bobs = match_nodes(figure1_graph, properties={"name": "Bob"})
+        assert len(bobs) == 1 and bobs[0].id == 0
+
+    def test_by_label_and_property(self, figure1_graph):
+        assert match_nodes(
+            figure1_graph, label="Person", properties={"name": "Alice"}
+        ) == []  # Alice is unlabeled
+
+    def test_where_predicate(self, figure1_graph):
+        with_gender = match_nodes(
+            figure1_graph, where=lambda n: "gender" in n.properties
+        )
+        assert len(with_gender) == 3
+
+    def test_multiple_labels_required(self):
+        from repro.graph.builder import GraphBuilder
+
+        b = GraphBuilder()
+        b.node(["A", "B"], {})
+        b.node(["A"], {})
+        graph = b.build()
+        assert len(match_nodes(graph, labels=["A", "B"])) == 1
+        assert len(match_nodes(graph, labels=["A"])) == 2
+
+
+class TestMatchEdges:
+    def test_by_label(self, figure1_graph):
+        knows = match_edges(figure1_graph, label="KNOWS")
+        assert len(knows) == 2
+
+    def test_by_property(self, figure1_graph):
+        since = match_edges(figure1_graph, properties={"since": 2015})
+        assert len(since) == 1
+
+    def test_where(self, figure1_graph):
+        assert len(match_edges(
+            figure1_graph, where=lambda e: not e.properties
+        )) == 4
+
+
+class TestMatchPattern:
+    def test_full_triple(self, figure1_graph):
+        triples = match_pattern(
+            figure1_graph, "Person", "WORKS_AT", "Organization"
+        )
+        assert len(triples) == 1
+        assert triples[0].source.properties["name"] == "Bob"
+
+    def test_partial_pattern(self, figure1_graph):
+        likes = match_pattern(figure1_graph, edge_label="LIKES")
+        assert len(likes) == 2
+        to_posts = match_pattern(figure1_graph, target_label="Post")
+        assert len(to_posts) == 2
+
+    def test_no_match(self, figure1_graph):
+        assert match_pattern(figure1_graph, "Post", "KNOWS", "Post") == []
+
+
+class TestTraversal:
+    def test_out_traversal(self, figure1_graph):
+        # Bob -> WORKS_AT -> Organization
+        result = (
+            Traversal(figure1_graph)
+            .start(0)
+            .out("WORKS_AT")
+            .nodes()
+        )
+        assert len(result) == 1
+        assert "Organization" in result[0].labels
+
+    def test_in_traversal(self, figure1_graph):
+        # Who knows John (id 1)?
+        knowers = Traversal(figure1_graph).start(1).in_("KNOWS").ids()
+        assert sorted(knowers) == [0, 2]
+
+    def test_chained_hops(self, figure1_graph):
+        # People who like the same posts Alice likes: Alice -> LIKES ->
+        # post -> (in) LIKES -> person.
+        result = (
+            Traversal(figure1_graph)
+            .start(2)
+            .out("LIKES")
+            .in_("LIKES")
+            .ids()
+        )
+        assert result == [2]  # nobody else liked Alice's post
+
+    def test_start_matching_and_filter(self, figure1_graph):
+        result = (
+            Traversal(figure1_graph)
+            .start_matching(label="Person")
+            .out("KNOWS")
+            .with_label("Person")
+            .ids()
+        )
+        assert result == [1]
+
+    def test_deduplication(self, figure1_graph):
+        # Both Alice and Bob know John: frontier dedupes to one John.
+        result = (
+            Traversal(figure1_graph)
+            .start(0, 2)
+            .out("KNOWS")
+            .nodes()
+        )
+        assert len(result) == 1
+
+    def test_iteration(self, figure1_graph):
+        traversal = Traversal(figure1_graph).start(0).out()
+        assert all(hasattr(node, "labels") for node in traversal)
+
+    def test_empty_frontier_stays_empty(self, figure1_graph):
+        assert Traversal(figure1_graph).out("KNOWS").nodes() == []

@@ -1,0 +1,109 @@
+"""Tests for the schema report and measurement export modules."""
+
+import pytest
+
+from repro.core.pipeline import PGHive
+from repro.evaluation.export import (
+    measurements_from_csv,
+    measurements_from_json,
+    measurements_to_csv,
+    measurements_to_json,
+)
+from repro.evaluation.harness import Measurement
+from repro.schema.report import render_schema_report, summarize_schema
+
+
+@pytest.fixture
+def schema(figure1_store):
+    return PGHive().discover(figure1_store).schema
+
+
+class TestSchemaReport:
+    def test_summary_counts(self, schema):
+        summary = summarize_schema(schema)
+        assert summary.num_node_types == 4  # Person, Org, Post, Place
+        assert summary.node_instances == 7
+        assert summary.num_abstract_node_types == 0
+        assert summary.labeled_node_coverage == 1.0
+        assert summary.mandatory_properties > 0
+
+    def test_report_renders_types(self, schema):
+        report = render_schema_report(schema)
+        assert "Schema report" in report
+        assert "Person" in report
+        assert "KNOWS" in report
+        assert "name[M:STRING]" in report
+
+    def test_report_truncation_note(self, schema):
+        report = render_schema_report(schema, max_types=1)
+        assert "additional types not shown" in report
+
+    def test_abstract_coverage(self):
+        from repro.datasets import get_dataset, inject_noise
+        from repro.graph.store import GraphStore
+
+        dataset = inject_noise(
+            get_dataset("POLE", scale=0.2, seed=1), 0.0, 0.0, seed=2
+        )
+        result = PGHive().discover(GraphStore(dataset.graph))
+        summary = summarize_schema(result.schema)
+        assert summary.labeled_node_coverage == 0.0  # everything abstract
+        report = render_schema_report(result.schema)
+        assert "(abstract)" in report
+
+    def test_empty_schema(self):
+        from repro.schema.model import SchemaGraph
+
+        summary = summarize_schema(SchemaGraph())
+        assert summary.labeled_node_coverage == 1.0
+        assert "node types : 0" in render_schema_report(SchemaGraph())
+
+
+def _sample_measurements():
+    return [
+        Measurement(
+            dataset="POLE", method="PG-HIVE-ELSH", noise=0.2,
+            label_availability=1.0, node_f1=0.98, edge_f1=0.91,
+            node_f1_macro=0.95, edge_f1_macro=0.89, seconds=0.12,
+            num_node_types=11, num_edge_types=17,
+        ),
+        Measurement(
+            dataset="POLE", method="SchemI", noise=0.2,
+            label_availability=0.0, skipped=True,
+        ),
+        Measurement(
+            dataset="MB6", method="GMMSchema", noise=0.0,
+            label_availability=1.0, node_f1=1.0, edge_f1=None,
+            node_f1_macro=1.0, edge_f1_macro=None, seconds=0.3,
+            num_node_types=4, num_edge_types=0,
+        ),
+    ]
+
+
+class TestExport:
+    def test_json_round_trip(self, tmp_path):
+        measurements = _sample_measurements()
+        path = tmp_path / "m.json"
+        measurements_to_json(measurements, path)
+        loaded = measurements_from_json(path)
+        assert loaded == measurements
+
+    def test_csv_round_trip(self, tmp_path):
+        measurements = _sample_measurements()
+        path = tmp_path / "m.csv"
+        measurements_to_csv(measurements, path)
+        loaded = measurements_from_csv(path)
+        assert loaded == measurements
+
+    def test_csv_preserves_none_edge_f1(self, tmp_path):
+        path = tmp_path / "m.csv"
+        measurements_to_csv(_sample_measurements(), path)
+        loaded = measurements_from_csv(path)
+        assert loaded[2].edge_f1 is None
+
+    def test_csv_preserves_skipped_flag(self, tmp_path):
+        path = tmp_path / "m.csv"
+        measurements_to_csv(_sample_measurements(), path)
+        loaded = measurements_from_csv(path)
+        assert loaded[1].skipped is True
+        assert loaded[0].skipped is False

@@ -1,0 +1,146 @@
+"""Robustness tests: adversarial and degenerate inputs end to end.
+
+Real graph dumps contain nulls, unicode labels, enormous values, nested
+structures and pathological shapes; the pipeline must survive all of them
+without crashing or producing inconsistent bookkeeping.
+"""
+
+import pytest
+
+from repro.core.config import LSHMethod, PGHiveConfig
+from repro.core.pipeline import PGHive
+from repro.graph.builder import GraphBuilder
+from repro.graph.store import GraphStore
+from repro.schema.serialize_pgschema import serialize_pg_schema
+from repro.schema.serialize_xsd import serialize_xsd
+
+
+def _discover(graph, **kwargs):
+    return PGHive(PGHiveConfig(**kwargs)).discover(GraphStore(graph))
+
+
+class TestWeirdValues:
+    def test_none_values(self):
+        b = GraphBuilder()
+        b.node(["T"], {"maybe": None, "name": "x"})
+        b.node(["T"], {"maybe": None, "name": "y"})
+        result = _discover(b.build())
+        assert result.num_node_types == 1
+
+    def test_nested_structures(self):
+        b = GraphBuilder()
+        b.node(["T"], {"blob": {"deeply": ["nested", {"stuff": 1}]}})
+        b.node(["T"], {"blob": {"other": 2}})
+        result = _discover(b.build())
+        from repro.schema.model import DataType
+
+        blob = result.schema.node_types["T"].properties["blob"]
+        assert blob.datatype is DataType.STRING  # safely generalized
+
+    def test_huge_string_values(self):
+        b = GraphBuilder()
+        b.node(["T"], {"text": "x" * 100_000})
+        result = _discover(b.build())
+        assert result.num_node_types == 1
+
+    def test_unicode_labels_and_keys(self):
+        b = GraphBuilder()
+        a = b.node(["Πρόσωπο"], {"όνομα": "Αλίκη"})
+        c = b.node(["Πρόσωπο"], {"όνομα": "Βασίλης"})
+        b.edge(a, c, ["ΓΝΩΡΙΖΕΙ"], {"από": 2001})
+        result = _discover(b.build())
+        assert "Πρόσωπο" in result.schema.node_types
+        # Serializers sanitize without crashing.
+        assert serialize_pg_schema(result.schema)
+        assert serialize_xsd(result.schema)
+
+    def test_empty_string_property_values(self):
+        b = GraphBuilder()
+        b.node(["T"], {"s": ""})
+        b.node(["T"], {"s": "nonempty"})
+        result = _discover(b.build())
+        assert result.schema.node_types["T"].property_counts["s"] == 2
+
+
+class TestPathologicalShapes:
+    def test_self_loops(self):
+        b = GraphBuilder()
+        node = b.node(["N"], {"k": 1})
+        b.edge(node, node, ["SELF"], {})
+        result = _discover(b.build())
+        assert "SELF" in result.schema.edge_types
+        from repro.schema.model import Cardinality
+
+        assert result.schema.edge_types["SELF"].cardinality is (
+            Cardinality.ONE_TO_ONE
+        )
+
+    def test_parallel_edges(self):
+        b = GraphBuilder()
+        a = b.node(["A"], {"k": 1})
+        c = b.node(["B"], {"k": 2})
+        for _ in range(5):
+            b.edge(a, c, ["R"], {})
+        result = _discover(b.build())
+        r = result.schema.edge_types["R"]
+        assert r.instance_count == 5
+        assert r.max_out == 5
+
+    def test_single_node_graph(self):
+        b = GraphBuilder()
+        b.node(["Lonely"], {"k": 1})
+        result = _discover(b.build())
+        assert result.num_node_types == 1
+        assert result.num_edge_types == 0
+
+    def test_star_graph(self):
+        b = GraphBuilder()
+        hub = b.node(["Hub"], {})
+        for i in range(50):
+            leaf = b.node(["Leaf"], {"i": i})
+            b.edge(hub, leaf, ["SPOKE"], {})
+        result = _discover(b.build())
+        assert result.schema.edge_types["SPOKE"].max_out == 50
+
+    def test_all_nodes_identical(self):
+        b = GraphBuilder()
+        for _ in range(40):
+            b.node(["Clone"], {"k": 1})
+        result = _discover(b.build())
+        assert result.num_node_types == 1
+        assert result.schema.node_types["Clone"].instance_count == 40
+
+    def test_every_node_unique_label(self):
+        b = GraphBuilder()
+        for i in range(30):
+            b.node([f"Type{i}"], {"k": i})
+        result = _discover(b.build())
+        assert result.num_node_types == 30
+
+    def test_hundreds_of_property_keys(self):
+        b = GraphBuilder()
+        for i in range(10):
+            b.node(["Wide"], {f"k{j}": j for j in range(200)})
+        result = _discover(b.build())
+        wide = result.schema.node_types["Wide"]
+        assert len(wide.property_keys) == 200
+
+    def test_minhash_on_pathological_shapes(self):
+        b = GraphBuilder()
+        node = b.node(["N"], {})
+        b.edge(node, node, ["SELF"], {})
+        result = _discover(b.build(), method=LSHMethod.MINHASH)
+        assert result.num_node_types == 1
+
+    def test_label_with_ampersand_separator(self):
+        """Labels containing the '&' join character must not alias a
+        genuine multi-label set at the type-name level."""
+        b = GraphBuilder()
+        b.node(["A&B"], {"k": 1})
+        b.node(["A", "B"], {"k": 2})
+        result = _discover(b.build())
+        # Same canonical token, but distinct label sets -> distinct types
+        # (one of them renamed for uniqueness).
+        label_sets = {t.labels for t in result.schema.node_types.values()}
+        assert frozenset({"A&B"}) in label_sets
+        assert frozenset({"A", "B"}) in label_sets

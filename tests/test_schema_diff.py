@@ -1,0 +1,79 @@
+"""Tests for the structural schema diff."""
+
+from repro.schema.diff import diff_schemas
+from repro.schema.model import EdgeType, NodeType, SchemaGraph
+
+
+def _schema(node_specs, edge_specs=()):
+    schema = SchemaGraph()
+    for name, labels, keys in node_specs:
+        node_type = NodeType(name, frozenset(labels))
+        for key in keys:
+            node_type.ensure_property(key)
+        schema.add_node_type(node_type)
+    for name, labels, keys in edge_specs:
+        edge_type = EdgeType(name, frozenset(labels))
+        for key in keys:
+            edge_type.ensure_property(key)
+        schema.add_edge_type(edge_type)
+    return schema
+
+
+class TestDiff:
+    def test_identical_schemas_empty_diff(self):
+        a = _schema([("P", {"Person"}, {"name"})])
+        b = _schema([("P", {"Person"}, {"name"})])
+        diff = diff_schemas(a, b)
+        assert diff.is_empty
+        assert diff.is_monotone_extension
+
+    def test_added_type_detected(self):
+        old = _schema([("P", {"Person"}, set())])
+        new = _schema([("P", {"Person"}, set()), ("C", {"City"}, set())])
+        diff = diff_schemas(old, new)
+        assert diff.added_node_types == ["C"]
+        assert diff.is_monotone_extension
+
+    def test_removed_type_breaks_monotonicity(self):
+        old = _schema([("P", {"Person"}, set()), ("C", {"City"}, set())])
+        new = _schema([("P", {"Person"}, set())])
+        diff = diff_schemas(old, new)
+        assert diff.removed_node_types == ["C"]
+        assert not diff.is_monotone_extension
+
+    def test_property_addition_is_monotone(self):
+        old = _schema([("P", {"Person"}, {"name"})])
+        new = _schema([("P", {"Person"}, {"name", "age"})])
+        diff = diff_schemas(old, new)
+        assert diff.node_property_additions == {"P": {"age"}}
+        assert diff.is_monotone_extension
+
+    def test_property_removal_detected(self):
+        old = _schema([("P", {"Person"}, {"name", "age"})])
+        new = _schema([("P", {"Person"}, {"name"})])
+        diff = diff_schemas(old, new)
+        assert diff.node_property_removals == {"P": {"age"}}
+        assert not diff.is_monotone_extension
+
+    def test_label_growth_covers_old_type(self):
+        """A new type with a superset label set covers the old type."""
+        old = _schema([("P", {"Person"}, {"name"})])
+        new = _schema([("PS", {"Person", "Student"}, {"name"})])
+        diff = diff_schemas(old, new)
+        assert diff.removed_node_types == []
+
+    def test_edge_types_diffed(self):
+        old = _schema([], [("K", {"KNOWS"}, set())])
+        new = _schema(
+            [], [("K", {"KNOWS"}, {"since"}), ("L", {"LIKES"}, set())]
+        )
+        diff = diff_schemas(old, new)
+        assert diff.added_edge_types == ["L"]
+        assert diff.edge_property_additions == {"K": {"since"}}
+
+    def test_abstract_types_matched_by_keys(self):
+        old = _schema([("ABSTRACT_NODE_1", set(), {"a", "b"})])
+        new = _schema([("ABSTRACT_NODE_7", set(), {"a", "b"})])
+        diff = diff_schemas(old, new)
+        assert diff.added_node_types == []
+        assert diff.removed_node_types == []

@@ -1,0 +1,116 @@
+"""Tests for the schema model (Definitions 3.2-3.4)."""
+
+import pytest
+
+from repro.schema.model import (
+    Cardinality,
+    DataType,
+    EdgeType,
+    NodeType,
+    PropertySpec,
+    PropertyStatus,
+    SchemaGraph,
+)
+
+
+class TestCardinality:
+    def test_one_to_one(self):
+        assert Cardinality.from_degrees(1, 1) is Cardinality.ONE_TO_ONE
+
+    def test_many_sources_one_target_each(self):
+        # Every source has one outgoing edge; targets accumulate many:
+        # WORKS_AT-style N:1 (paper Example 8).
+        assert Cardinality.from_degrees(1, 5) is Cardinality.N_TO_ONE
+
+    def test_one_source_many_targets(self):
+        assert Cardinality.from_degrees(5, 1) is Cardinality.ONE_TO_N
+
+    def test_many_to_many(self):
+        assert Cardinality.from_degrees(3, 4) is Cardinality.M_TO_N
+
+    def test_unknown_without_observations(self):
+        assert Cardinality.from_degrees(0, 0) is Cardinality.UNKNOWN
+
+
+class TestPropertySpec:
+    def test_render_mandatory(self):
+        spec = PropertySpec("age", DataType.INTEGER, PropertyStatus.MANDATORY)
+        assert spec.render() == "age INT"
+
+    def test_render_optional(self):
+        spec = PropertySpec("age", DataType.FLOAT, PropertyStatus.OPTIONAL)
+        assert spec.render() == "OPTIONAL age DOUBLE"
+
+
+class TestNodeType:
+    def test_ensure_property_idempotent(self):
+        node_type = NodeType("T")
+        first = node_type.ensure_property("k")
+        second = node_type.ensure_property("k")
+        assert first is second
+        assert node_type.property_keys == frozenset({"k"})
+
+    def test_property_frequency(self):
+        node_type = NodeType("T", instance_count=4)
+        node_type.property_counts["k"] = 3
+        assert node_type.property_frequency("k") == 0.75
+        assert node_type.property_frequency("missing") == 0.0
+
+    def test_frequency_with_no_instances(self):
+        assert NodeType("T").property_frequency("k") == 0.0
+
+
+class TestSchemaGraph:
+    def test_add_and_lookup_by_labels(self):
+        schema = SchemaGraph()
+        schema.add_node_type(NodeType("P", frozenset({"Person"})))
+        found = schema.node_type_for_labels({"Person"})
+        assert found is not None and found.name == "P"
+        assert schema.node_type_for_labels({"Nope"}) is None
+
+    def test_duplicate_names_rejected(self):
+        schema = SchemaGraph()
+        schema.add_node_type(NodeType("P"))
+        with pytest.raises(ValueError):
+            schema.add_node_type(NodeType("P"))
+        schema.add_edge_type(EdgeType("E"))
+        with pytest.raises(ValueError):
+            schema.add_edge_type(EdgeType("E"))
+
+    def test_edge_types_for_labels_returns_all(self):
+        schema = SchemaGraph()
+        schema.add_edge_type(EdgeType(
+            "LIKES", frozenset({"LIKES"}),
+            source_labels=frozenset({"Person"}),
+        ))
+        schema.add_edge_type(EdgeType(
+            "LIKES@2", frozenset({"LIKES"}),
+            source_labels=frozenset({"Bot"}),
+        ))
+        assert len(schema.edge_types_for_labels({"LIKES"})) == 2
+
+    def test_abstract_names_unique(self):
+        schema = SchemaGraph()
+        names = {schema.next_abstract_name("NODE") for _ in range(5)}
+        assert len(names) == 5
+
+    def test_detach_members(self):
+        schema = SchemaGraph()
+        schema.add_node_type(NodeType("P", members=[1, 2]))
+        schema.add_edge_type(EdgeType("E", members=[3]))
+        schema.detach_members()
+        assert schema.node_types["P"].members == []
+        assert schema.edge_types["E"].members == []
+
+    def test_num_types(self):
+        schema = SchemaGraph()
+        schema.add_node_type(NodeType("A"))
+        schema.add_edge_type(EdgeType("B"))
+        assert schema.num_types == 2
+
+    def test_remove(self):
+        schema = SchemaGraph()
+        schema.add_node_type(NodeType("A"))
+        removed = schema.remove_node_type("A")
+        assert removed.name == "A"
+        assert schema.num_types == 0

@@ -1,0 +1,141 @@
+"""Property tests over randomly generated schemas.
+
+Serializers and persistence must handle *any* schema the discovery
+pipeline could produce -- arbitrary label text, empty property sets,
+abstract types, multi-endpoint edge types -- without crashing, and the
+persistence round trip must be structurally lossless.
+"""
+
+import xml.etree.ElementTree as ET
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schema.diff import diff_schemas
+from repro.schema.model import (
+    Cardinality,
+    DataType,
+    EdgeType,
+    NodeType,
+    PropertyStatus,
+    SchemaGraph,
+)
+from repro.schema.persist import schema_from_dict, schema_to_dict
+from repro.schema.serialize_cypher import serialize_cypher
+from repro.schema.serialize_graphql import serialize_graphql
+from repro.schema.serialize_pgschema import serialize_pg_schema
+from repro.schema.serialize_xsd import serialize_xsd
+
+_LABELS = st.sampled_from(
+    ["Person", "Org", "my label!", "Ω", "x&y", "123start", "_ok"]
+)
+_KEYS = st.sampled_from(["name", "weird key", "ns:qualified", "ßeta", "k1"])
+_DATATYPES = st.sampled_from(list(DataType))
+_STATUS = st.sampled_from(list(PropertyStatus))
+
+
+@st.composite
+def schemas(draw):
+    schema = SchemaGraph(draw(st.sampled_from(["g", "my graph", "Ωmega"])))
+    node_names = []
+    for index in range(draw(st.integers(1, 5))):
+        labels = draw(st.frozensets(_LABELS, max_size=3))
+        name = f"N{index}"
+        node_type = NodeType(
+            name,
+            labels,
+            abstract=not labels,
+            instance_count=draw(st.integers(0, 100)),
+        )
+        for key in draw(st.sets(_KEYS, max_size=4)):
+            spec = node_type.ensure_property(key)
+            spec.datatype = draw(_DATATYPES)
+            spec.status = draw(_STATUS)
+            node_type.property_counts[key] = draw(st.integers(0, 100))
+        schema.add_node_type(node_type)
+        node_names.append(name)
+    for index in range(draw(st.integers(0, 4))):
+        labels = draw(st.frozensets(_LABELS, max_size=2))
+        edge_type = EdgeType(
+            f"E{index}",
+            labels,
+            abstract=not labels,
+            source_labels=draw(st.frozensets(_LABELS, max_size=2)),
+            target_labels=draw(st.frozensets(_LABELS, max_size=2)),
+            source_types=set(draw(st.sets(
+                st.sampled_from(node_names), max_size=2
+            ))),
+            target_types=set(draw(st.sets(
+                st.sampled_from(node_names), max_size=2
+            ))),
+            cardinality=draw(st.sampled_from(list(Cardinality))),
+            max_out=draw(st.integers(0, 9)),
+            max_in=draw(st.integers(0, 9)),
+            instance_count=draw(st.integers(0, 100)),
+        )
+        for key in draw(st.sets(_KEYS, max_size=3)):
+            spec = edge_type.ensure_property(key)
+            spec.datatype = draw(_DATATYPES)
+            spec.status = draw(_STATUS)
+        schema.add_edge_type(edge_type)
+    return schema
+
+
+@settings(max_examples=40, deadline=None)
+@given(schemas())
+def test_persistence_round_trip_is_lossless(schema):
+    rebuilt = schema_from_dict(schema_to_dict(schema))
+    assert diff_schemas(schema, rebuilt).is_empty
+    assert diff_schemas(rebuilt, schema).is_empty
+    # Bookkeeping survives too.
+    for name, original in schema.node_types.items():
+        clone = rebuilt.node_types[name]
+        assert clone.instance_count == original.instance_count
+        assert Counter(clone.property_counts) == Counter(
+            original.property_counts
+        )
+    for name, original in schema.edge_types.items():
+        clone = rebuilt.edge_types[name]
+        assert clone.cardinality is original.cardinality
+        assert clone.source_types == original.source_types
+
+
+@settings(max_examples=40, deadline=None)
+@given(schemas(), st.sampled_from(["STRICT", "LOOSE"]))
+def test_pg_schema_serializer_never_crashes(schema, mode):
+    text = serialize_pg_schema(schema, mode)
+    assert text.startswith("CREATE GRAPH TYPE")
+    assert text.rstrip().endswith("}")
+    # One element per type.
+    body = text.split("{", 1)[1]
+    assert body.count("(") >= len(schema.node_types)
+
+
+@settings(max_examples=40, deadline=None)
+@given(schemas())
+def test_xsd_serializer_emits_well_formed_xml(schema):
+    root = ET.fromstring(serialize_xsd(schema))
+    complex_types = [
+        el for el in root if el.tag.endswith("complexType")
+    ]
+    assert len(complex_types) == schema.num_types
+
+
+@settings(max_examples=40, deadline=None)
+@given(schemas())
+def test_cypher_serializer_never_crashes(schema):
+    text = serialize_cypher(schema)
+    assert text.startswith("// Schema discovered by PG-HIVE")
+    # Every emitted constraint line is syntactically terminated.
+    for line in text.splitlines():
+        if line.startswith("CREATE CONSTRAINT"):
+            assert line.endswith(";")
+
+
+@settings(max_examples=40, deadline=None)
+@given(schemas())
+def test_graphql_serializer_balanced_blocks(schema):
+    text = serialize_graphql(schema)
+    assert text.count("{") == text.count("}")
+    assert text.count("type ") >= len(schema.node_types)

@@ -1,0 +1,130 @@
+"""Tests for PG-Schema and XSD serialization."""
+
+import xml.etree.ElementTree as ET
+from collections import Counter
+
+import pytest
+
+from repro.schema.model import (
+    Cardinality,
+    DataType,
+    EdgeType,
+    NodeType,
+    PropertyStatus,
+    SchemaGraph,
+)
+from repro.schema.serialize_pgschema import serialize_pg_schema
+from repro.schema.serialize_xsd import serialize_xsd
+
+
+@pytest.fixture
+def small_schema() -> SchemaGraph:
+    schema = SchemaGraph("social")
+    person = NodeType("Person", frozenset({"Person"}), instance_count=3)
+    spec = person.ensure_property("name")
+    spec.datatype = DataType.STRING
+    spec.status = PropertyStatus.MANDATORY
+    age = person.ensure_property("age")
+    age.datatype = DataType.INTEGER
+    age.status = PropertyStatus.OPTIONAL
+    schema.add_node_type(person)
+    ghost = NodeType("ABSTRACT_NODE_1", abstract=True, instance_count=1)
+    ghost.ensure_property("blob").datatype = DataType.STRING
+    schema.add_node_type(ghost)
+    knows = EdgeType(
+        "KNOWS",
+        frozenset({"KNOWS"}),
+        source_labels=frozenset({"Person"}),
+        target_labels=frozenset({"Person"}),
+        source_types={"Person"},
+        target_types={"Person"},
+        cardinality=Cardinality.M_TO_N,
+    )
+    since = knows.ensure_property("since")
+    since.datatype = DataType.DATE
+    since.status = PropertyStatus.OPTIONAL
+    schema.add_edge_type(knows)
+    return schema
+
+
+class TestPGSchema:
+    def test_strict_mode_renders_datatypes_and_constraints(self, small_schema):
+        text = serialize_pg_schema(small_schema, "STRICT")
+        assert "CREATE GRAPH TYPE socialGraphType STRICT {" in text
+        assert "(PersonType: Person {OPTIONAL age INT, name STRING})" in text
+        assert "OPTIONAL since DATE" in text
+        assert "/* cardinality M:N */" in text
+
+    def test_loose_mode_is_open(self, small_schema):
+        text = serialize_pg_schema(small_schema, "LOOSE")
+        assert "LOOSE" in text
+        assert "OPEN" in text
+        assert "INT" not in text.replace("POINT", "")  # no datatypes
+
+    def test_abstract_types_marked(self, small_schema):
+        text = serialize_pg_schema(small_schema, "STRICT")
+        assert "ABSTRACT ABSTRACT_NODE_1Type" in text
+
+    def test_edge_references_endpoint_types(self, small_schema):
+        text = serialize_pg_schema(small_schema, "STRICT")
+        assert "(:PersonType)-[KNOWSType: KNOWS" in text
+        assert "]->(:PersonType)" in text
+
+    def test_invalid_mode_rejected(self, small_schema):
+        with pytest.raises(ValueError):
+            serialize_pg_schema(small_schema, "MEDIUM")
+
+    def test_special_characters_sanitized(self):
+        schema = SchemaGraph("weird name!")
+        schema.add_node_type(NodeType("My Type", frozenset({"My-Label 2"})))
+        text = serialize_pg_schema(schema)
+        assert "My_Type" in text and "My_Label_2" in text
+
+    def test_multilabel_conjunction(self):
+        schema = SchemaGraph()
+        schema.add_node_type(NodeType(
+            "Person&Student", frozenset({"Person", "Student"})
+        ))
+        assert "Person & Student" in serialize_pg_schema(schema)
+
+
+class TestXSD:
+    def test_output_is_well_formed_xml(self, small_schema):
+        text = serialize_xsd(small_schema)
+        root = ET.fromstring(text)
+        assert root.tag.endswith("schema")
+
+    def test_complex_types_per_schema_type(self, small_schema):
+        root = ET.fromstring(serialize_xsd(small_schema))
+        names = {
+            el.get("name")
+            for el in root
+            if el.tag.endswith("complexType")
+        }
+        assert {"Person", "ABSTRACT_NODE_1", "KNOWS"} <= names
+
+    def test_optional_becomes_min_occurs_zero(self, small_schema):
+        text = serialize_xsd(small_schema)
+        root = ET.fromstring(text)
+        xs = "{http://www.w3.org/2001/XMLSchema}"
+        person = next(
+            el for el in root
+            if el.tag.endswith("complexType") and el.get("name") == "Person"
+        )
+        elements = {
+            e.get("name"): e for e in person.iter(f"{xs}element")
+        }
+        assert elements["age"].get("minOccurs") == "0"
+        assert elements["name"].get("minOccurs") is None
+        assert elements["age"].get("type") == "xs:integer"
+
+    def test_edge_endpoint_attributes(self, small_schema):
+        root = ET.fromstring(serialize_xsd(small_schema))
+        xs = "{http://www.w3.org/2001/XMLSchema}"
+        knows = next(
+            el for el in root
+            if el.tag.endswith("complexType") and el.get("name") == "KNOWS"
+        )
+        attrs = {a.get("name"): a for a in knows.iter(f"{xs}attribute")}
+        assert attrs["source"].get("fixed") == "Person"
+        assert attrs["target"].get("fixed") == "Person"

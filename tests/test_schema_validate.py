@@ -1,0 +1,104 @@
+"""Tests for graph-against-schema validation (STRICT / LOOSE)."""
+
+import pytest
+
+from repro.core.pipeline import PGHive
+from repro.graph.builder import GraphBuilder
+from repro.graph.store import GraphStore
+from repro.schema.model import (
+    DataType,
+    EdgeType,
+    NodeType,
+    PropertyStatus,
+    SchemaGraph,
+)
+from repro.schema.validate import ValidationMode, validate_graph
+
+
+@pytest.fixture
+def person_schema() -> SchemaGraph:
+    schema = SchemaGraph()
+    person = NodeType("Person", frozenset({"Person"}))
+    name = person.ensure_property("name")
+    name.datatype = DataType.STRING
+    name.status = PropertyStatus.MANDATORY
+    age = person.ensure_property("age")
+    age.datatype = DataType.INTEGER
+    age.status = PropertyStatus.OPTIONAL
+    schema.add_node_type(person)
+    knows = EdgeType(
+        "KNOWS", frozenset({"KNOWS"}),
+        source_labels=frozenset({"Person"}),
+        target_labels=frozenset({"Person"}),
+    )
+    knows.ensure_property("since").datatype = DataType.INTEGER
+    schema.add_edge_type(knows)
+    return schema
+
+
+def _graph(node_props, labels=("Person",)):
+    b = GraphBuilder()
+    a = b.node(labels, node_props)
+    c = b.node(labels, {"name": "other"})
+    b.edge(a, c, ["KNOWS"], {"since": 2021})
+    return b.build()
+
+
+class TestValidation:
+    def test_conforming_graph_passes_strict(self, person_schema):
+        graph = _graph({"name": "x", "age": 4})
+        report = validate_graph(graph, person_schema)
+        assert report.is_valid
+        assert report.checked == 3
+
+    def test_missing_mandatory_property(self, person_schema):
+        graph = _graph({"age": 4})
+        report = validate_graph(graph, person_schema)
+        assert any(v.rule == "mandatory" for v in report.violations)
+
+    def test_datatype_violation(self, person_schema):
+        graph = _graph({"name": "x", "age": "not a number"})
+        report = validate_graph(graph, person_schema)
+        assert any(v.rule == "datatype" for v in report.violations)
+
+    def test_unknown_label_has_no_type(self, person_schema):
+        graph = _graph({"name": "x"}, labels=("Alien",))
+        report = validate_graph(graph, person_schema)
+        assert any(v.rule == "no-type" for v in report.violations)
+
+    def test_extra_property_fails_coverage(self, person_schema):
+        graph = _graph({"name": "x", "shoe_size": 42})
+        report = validate_graph(graph, person_schema)
+        assert any(
+            v.rule == "no-type" and v.element_kind == "node"
+            for v in report.violations
+        )
+
+    def test_loose_mode_skips_mandatory(self, person_schema):
+        graph = _graph({"age": 4})
+        report = validate_graph(
+            graph, person_schema, ValidationMode.LOOSE
+        )
+        assert report.is_valid
+
+    def test_endpoint_violation(self, person_schema):
+        b = GraphBuilder()
+        person_schema.add_node_type(
+            NodeType("City", frozenset({"City"}))
+        )
+        p = b.node(["Person"], {"name": "x"})
+        c = b.node(["City"], {})
+        b.edge(p, c, ["KNOWS"], {})
+        report = validate_graph(b.build(), person_schema)
+        assert any(v.rule == "endpoint" for v in report.violations)
+
+    def test_violation_rate(self, person_schema):
+        graph = _graph({"age": 4})  # one mandatory violation over 3 elements
+        report = validate_graph(graph, person_schema)
+        assert report.violation_rate == pytest.approx(1 / 3)
+
+    def test_discovered_schema_validates_its_own_graph(self, figure1_store):
+        """Round trip: a schema discovered from G validates G in STRICT."""
+        result = PGHive().discover(figure1_store)
+        report = validate_graph(figure1_store.graph, result.schema)
+        assert report.is_valid, [v.detail for v in report.violations]

@@ -1,0 +1,82 @@
+"""Tests for the Cypher and GraphQL SDL exporters."""
+
+import pytest
+
+from repro.core.pipeline import PGHive
+from repro.schema.serialize_cypher import serialize_cypher
+from repro.schema.serialize_graphql import serialize_graphql
+
+
+@pytest.fixture
+def discovered(figure1_store):
+    return PGHive().discover(figure1_store).schema
+
+
+class TestCypherExport:
+    def test_existence_constraints_for_mandatory(self, discovered):
+        text = serialize_cypher(discovered)
+        assert (
+            "CREATE CONSTRAINT person_name_exists IF NOT EXISTS "
+            "FOR (n:Person) REQUIRE n.name IS NOT NULL;" in text
+        )
+
+    def test_no_existence_constraint_for_optional(self, discovered):
+        text = serialize_cypher(discovered)
+        # imgFile is optional on Post: no existence constraint.
+        assert "post_imgfile_exists" not in text
+
+    def test_type_constraints(self, discovered):
+        text = serialize_cypher(discovered)
+        assert "REQUIRE n.bday IS :: DATE;" in text
+        assert "REQUIRE r.since IS :: INTEGER;" in text
+
+    def test_edge_summary_includes_cardinality(self, discovered):
+        text = serialize_cypher(discovered)
+        assert "// edge type KNOWS" in text
+        assert "cardinality" in text
+
+    def test_weird_labels_escaped(self):
+        from repro.schema.model import NodeType, PropertyStatus, SchemaGraph
+
+        schema = SchemaGraph()
+        node_type = NodeType("My Label", frozenset({"My Label"}),
+                             instance_count=1)
+        spec = node_type.ensure_property("a key")
+        spec.status = PropertyStatus.MANDATORY
+        text = serialize_cypher(schema if schema.node_types else _add(schema, node_type))
+        assert "`My Label`" in text
+        assert "`a key`" in text
+
+
+def _add(schema, node_type):
+    schema.add_node_type(node_type)
+    return schema
+
+
+class TestGraphQLExport:
+    def test_types_rendered(self, discovered):
+        text = serialize_graphql(discovered)
+        assert "type Person {" in text
+        assert "type Organization {" in text
+
+    def test_mandatory_gets_bang(self, discovered):
+        text = serialize_graphql(discovered)
+        person_block = text.split("type Person {")[1].split("}")[0]
+        assert "name: String!" in person_block
+        assert "bday: Date!" in person_block
+
+    def test_relationship_fields(self, discovered):
+        text = serialize_graphql(discovered)
+        person_block = text.split("type Person {")[1].split("}")[0]
+        assert "works_at:" in person_block
+        assert "Organization" in person_block
+
+    def test_scalars_declared(self, discovered):
+        text = serialize_graphql(discovered)
+        assert "scalar Date" in text
+        assert "scalar DateTime" in text
+
+    def test_optional_field_no_bang(self, discovered):
+        text = serialize_graphql(discovered)
+        post_block = text.split("type Post {")[1].split("}")[0]
+        assert "imgFile: String\n" in post_block

@@ -1,0 +1,90 @@
+"""Tests for the shared utilities (similarity, tables, timing)."""
+
+import time
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.similarity import jaccard, overlap_coefficient
+from repro.util.tables import render_table
+from repro.util.timing import Timer
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard({1, 2}, {1, 2}) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard({1}, {2}) == 0.0
+
+    def test_partial(self):
+        assert jaccard({1, 2, 3}, {2, 3, 4}) == pytest.approx(0.5)
+
+    def test_both_empty_is_one(self):
+        """Unlabeled, property-less clusters must count as identical."""
+        assert jaccard(set(), set()) == 1.0
+
+    def test_one_empty_is_zero(self):
+        assert jaccard({1}, set()) == 0.0
+
+    @given(
+        st.frozensets(st.integers(0, 20), max_size=10),
+        st.frozensets(st.integers(0, 20), max_size=10),
+    )
+    def test_symmetric_and_bounded(self, a, b):
+        assert jaccard(a, b) == jaccard(b, a)
+        assert 0.0 <= jaccard(a, b) <= 1.0
+
+    @given(st.frozensets(st.integers(0, 20), min_size=1, max_size=10))
+    def test_self_similarity(self, a):
+        assert jaccard(a, a) == 1.0
+
+
+class TestOverlapCoefficient:
+    def test_subset_is_one(self):
+        assert overlap_coefficient({1}, {1, 2, 3}) == 1.0
+
+    def test_partial(self):
+        assert overlap_coefficient({1, 2}, {2, 3}) == pytest.approx(0.5)
+
+    def test_empty_cases(self):
+        assert overlap_coefficient(set(), set()) == 1.0
+        assert overlap_coefficient({1}, set()) == 0.0
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        table = render_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = table.splitlines()
+        assert lines[0] == "a   | bb"
+        assert lines[1] == "----+---"
+        assert lines[2] == "1   | 2 "
+
+    def test_title(self):
+        table = render_table(["x"], [["1"]], title="hello")
+        assert table.splitlines()[0] == "hello"
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only one"]])
+
+    def test_empty_rows(self):
+        table = render_table(["col"], [])
+        assert "col" in table
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.009
+
+    def test_reusable(self):
+        timer = Timer()
+        with timer:
+            pass
+        first = timer.elapsed
+        with timer:
+            time.sleep(0.005)
+        assert timer.elapsed >= first

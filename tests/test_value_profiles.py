@@ -1,0 +1,114 @@
+"""Tests for value profiling: enumerations and bounded ranges."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import PGHiveConfig
+from repro.core.pipeline import PGHive
+from repro.core.value_profiles import ValueProfile, profile_values
+from repro.graph.builder import GraphBuilder
+from repro.graph.store import GraphStore
+from repro.schema.model import DataType
+
+
+class TestEnumDetection:
+    def test_small_closed_string_set_is_enum(self):
+        values = ["open", "closed", "open", "pending"] * 25
+        profile = profile_values(values)
+        assert profile.is_enum
+        assert profile.enum_values == ("closed", "open", "pending")
+
+    def test_all_distinct_values_not_enum(self):
+        values = [f"id-{i}" for i in range(10)]
+        profile = profile_values(values)
+        assert not profile.is_enum
+
+    def test_booleans_are_enums(self):
+        profile = profile_values([True, False] * 20)
+        assert profile.is_enum
+        assert set(profile.enum_values) == {True, False}
+
+    def test_enum_cap_respected(self):
+        values = [f"v{i % 30}" for i in range(300)]
+        assert not profile_values(values, enum_cap=12).is_enum
+        assert profile_values(values, enum_cap=40).is_enum
+
+    def test_floats_never_enum(self):
+        profile = profile_values([1.5, 2.5] * 50)
+        assert not profile.is_enum
+
+
+class TestRanges:
+    def test_integer_range(self):
+        profile = profile_values(list(range(18, 66)) * 3)
+        assert profile.minimum == 18
+        assert profile.maximum == 65
+
+    def test_float_range(self):
+        profile = profile_values([0.5, 9.25, 3.0])
+        assert profile.minimum == 0.5
+        assert profile.maximum == 9.25
+
+    def test_date_range(self):
+        profile = profile_values(["2020-05-01", "2019-01-31", "2021-12-01"])
+        assert profile.minimum == "2019-01-31"
+        assert profile.maximum == "2021-12-01"
+
+    def test_string_has_no_range(self):
+        profile = profile_values([f"word{i}" for i in range(20)])
+        assert profile.minimum is None and profile.maximum is None
+
+    def test_render(self):
+        assert "range 18..65" in profile_values(
+            list(range(18, 66)) * 3
+        ).render()
+        assert "enum {a, b}" == profile_values(["a", "b"] * 10).render()
+        assert ValueProfile().render() == ""
+
+    def test_empty_values(self):
+        profile = profile_values([])
+        assert not profile.is_enum
+        assert profile.observation_count == 0
+
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=50))
+    @settings(max_examples=40, deadline=None)
+    def test_range_bounds_are_sound(self, values):
+        """Every observed value lies inside the inferred range."""
+        profile = profile_values(values)
+        assert profile.minimum <= min(values)
+        assert profile.maximum >= max(values)
+        assert profile.observation_count == len(values)
+
+
+class TestPipelineIntegration:
+    def test_profiles_attached_when_enabled(self):
+        b = GraphBuilder()
+        for i in range(60):
+            b.node(["Account"], {
+                "status": ["open", "closed", "frozen"][i % 3],
+                "balance_age_days": i % 20,
+            })
+        config = PGHiveConfig(infer_value_profiles=True)
+        result = PGHive(config).discover(GraphStore(b.build()))
+        account = result.schema.node_types["Account"]
+        status = account.properties["status"]
+        assert status.profile is not None and status.profile.is_enum
+        age = account.properties["balance_age_days"]
+        assert age.profile.minimum == 0 and age.profile.maximum == 19
+
+    def test_profiles_render_in_pg_schema(self):
+        from repro.schema.serialize_pgschema import serialize_pg_schema
+
+        b = GraphBuilder()
+        for i in range(40):
+            b.node(["T"], {"state": ["on", "off"][i % 2]})
+        config = PGHiveConfig(infer_value_profiles=True)
+        result = PGHive(config).discover(GraphStore(b.build()))
+        text = serialize_pg_schema(result.schema, "STRICT")
+        assert "enum {off, on}" in text
+
+    def test_profiles_absent_by_default(self, figure1_store):
+        result = PGHive().discover(figure1_store)
+        person = result.schema.node_types["Person"]
+        assert person.properties["name"].profile is None

@@ -1,0 +1,126 @@
+"""Tests for element vectorization (section 4.1)."""
+
+import numpy as np
+from pytest import approx as pytest_approx
+
+from repro.core.vectorize import EdgeVectorizer, FeatureInterner, NodeVectorizer
+from repro.embeddings.embedder import LabelEmbedder
+from repro.graph.model import Edge, Node
+
+
+def _embedder():
+    embedder = LabelEmbedder()
+    embedder.fit_tokens([["Person", "KNOWS", "Person"], ["Org", "AT", "Person"]])
+    return embedder
+
+
+class TestFeatureInterner:
+    def test_stable_ids(self):
+        interner = FeatureInterner()
+        a = interner.intern("x")
+        b = interner.intern("y")
+        assert a != b
+        assert interner.intern("x") == a
+        assert len(interner) == 2
+
+
+class TestNodeVectorizer:
+    def test_dimension_is_d_plus_k(self):
+        vectorizer = NodeVectorizer(["a", "b", "c"], _embedder())
+        assert vectorizer.dimension == _embedder().dimension + 3
+
+    def test_binary_block_marks_present_keys(self):
+        embedder = _embedder()
+        vectorizer = NodeVectorizer(["a", "b", "c"], embedder)
+        node = Node(0, frozenset({"Person"}), {"a": 1, "c": 2})
+        matrix = vectorizer.vectorize([node])
+        d = embedder.dimension
+        assert matrix[0, d:].tolist() == [1.0, 0.0, 1.0]
+
+    def test_unlabeled_node_has_zero_embedding_block(self):
+        embedder = _embedder()
+        vectorizer = NodeVectorizer(["a"], embedder)
+        node = Node(0, frozenset(), {"a": 1})
+        matrix = vectorizer.vectorize([node])
+        assert np.all(matrix[0, :embedder.dimension] == 0.0)
+
+    def test_label_block_norm_equals_label_weight(self):
+        embedder = _embedder()
+        vectorizer = NodeVectorizer([], embedder, label_weight=2.5)
+        node = Node(0, frozenset({"Person"}), {})
+        matrix = vectorizer.vectorize([node])
+        norm = float(np.linalg.norm(matrix[0, :embedder.dimension]))
+        assert norm == pytest_approx(2.5)
+
+    def test_unknown_keys_ignored(self):
+        vectorizer = NodeVectorizer(["a"], _embedder())
+        node = Node(0, frozenset(), {"zz": 1})
+        matrix = vectorizer.vectorize([node])
+        assert np.all(matrix[0] == 0.0)
+
+    def test_same_structure_same_vector(self):
+        vectorizer = NodeVectorizer(["a", "b"], _embedder())
+        n1 = Node(0, frozenset({"Person"}), {"a": "x"})
+        n2 = Node(1, frozenset({"Person"}), {"a": "totally different value"})
+        matrix = vectorizer.vectorize([n1, n2])
+        assert np.allclose(matrix[0], matrix[1])
+
+    def test_feature_sets_include_label_token(self):
+        interner = FeatureInterner()
+        vectorizer = NodeVectorizer(["a"], _embedder())
+        node = Node(0, frozenset({"Person"}), {"a": 1})
+        (features,) = vectorizer.feature_sets([node], interner)
+        assert len(features) == 2  # key + label
+
+    def test_feature_sets_unlabeled(self):
+        interner = FeatureInterner()
+        vectorizer = NodeVectorizer(["a"], _embedder())
+        (features,) = vectorizer.feature_sets(
+            [Node(0, frozenset(), {"a": 1})], interner
+        )
+        assert len(features) == 1
+
+
+class TestEdgeVectorizer:
+    def test_dimension_is_3d_plus_q(self):
+        vectorizer = EdgeVectorizer(["p", "q"], _embedder())
+        assert vectorizer.dimension == 3 * _embedder().dimension + 2
+
+    def test_three_embedding_blocks(self):
+        embedder = _embedder()
+        vectorizer = EdgeVectorizer(["p"], embedder)
+        edge = Edge(0, 1, 2, frozenset({"KNOWS"}), {"p": 1})
+        labels = {1: frozenset({"Person"}), 2: frozenset({"Org"})}
+        matrix = vectorizer.vectorize([edge], labels)
+        d = embedder.dimension
+        assert np.any(matrix[0, :d] != 0)        # edge label
+        assert np.any(matrix[0, d:2 * d] != 0)   # source labels
+        assert np.any(matrix[0, 2 * d:3 * d] != 0)  # target labels
+        assert matrix[0, 3 * d] == 1.0           # property bit
+
+    def test_missing_endpoint_labels_are_zero(self):
+        embedder = _embedder()
+        vectorizer = EdgeVectorizer([], embedder)
+        edge = Edge(0, 1, 2, frozenset({"KNOWS"}), {})
+        matrix = vectorizer.vectorize([edge], {})
+        d = embedder.dimension
+        assert np.all(matrix[0, d:3 * d] == 0.0)
+
+    def test_different_targets_different_vectors(self):
+        embedder = _embedder()
+        vectorizer = EdgeVectorizer([], embedder)
+        edge = Edge(0, 1, 2, frozenset({"KNOWS"}), {})
+        m1 = vectorizer.vectorize([edge], {1: frozenset({"Person"}),
+                                           2: frozenset({"Person"})})
+        m2 = vectorizer.vectorize([edge], {1: frozenset({"Person"}),
+                                           2: frozenset({"Org"})})
+        assert not np.allclose(m1, m2)
+
+    def test_feature_sets_tag_endpoint_roles(self):
+        interner = FeatureInterner()
+        vectorizer = EdgeVectorizer([], _embedder())
+        edge = Edge(0, 1, 2, frozenset({"KNOWS"}), {})
+        labels = {1: frozenset({"Person"}), 2: frozenset({"Person"})}
+        (features,) = vectorizer.feature_sets([edge], labels, interner)
+        # label + src:Person + tgt:Person are three distinct features.
+        assert len(features) == 3
