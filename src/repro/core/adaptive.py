@@ -62,11 +62,18 @@ def estimate_distance_scale(
     sample_size: int,
     fraction: float,
     seed: int = 0,
+    pattern_ids: np.ndarray | None = None,
 ) -> tuple[float, int]:
     """Average pairwise Euclidean distance over a random sample.
 
     Samples ``max(sample_size, fraction * n)`` rows (all rows when fewer)
     and averages the full pairwise distance matrix over the sample.
+
+    When ``pattern_ids`` is given, ``vectors`` is a compact per-pattern
+    matrix and logical row ``i`` is ``vectors[pattern_ids[i]]``.  The same
+    RNG draws are made over the logical row count and the sampled rows are
+    gathered through the indirection, so the estimate is bit-identical to
+    running on the expanded matrix without ever materializing it.
 
     Returns:
         ``(mu, actual_sample_size)``.  ``mu`` is at least a tiny positive
@@ -74,16 +81,22 @@ def estimate_distance_scale(
         degenerate (all-identical) data.
     """
     vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
-    n = vectors.shape[0]
+    if pattern_ids is None:
+        n = vectors.shape[0]
+    else:
+        pattern_ids = np.asarray(pattern_ids, dtype=np.int64)
+        n = int(pattern_ids.size)
     if n == 0:
         return 1.0, 0
     target = min(n, max(int(sample_size), int(math.ceil(fraction * n))))
     rng = np.random.default_rng(seed)
     if target < n:
         rows = rng.choice(n, size=target, replace=False)
-        sample = vectors[rows]
+        sample = (
+            vectors[rows] if pattern_ids is None else vectors[pattern_ids[rows]]
+        )
     else:
-        sample = vectors
+        sample = vectors if pattern_ids is None else vectors[pattern_ids]
     if sample.shape[0] < 2:
         return 1.0, sample.shape[0]
     sq_norms = np.square(sample).sum(axis=1)
@@ -123,6 +136,7 @@ def choose_parameters(
     bucket_length: float | None = None,
     num_tables: int | None = None,
     alpha: float | None = None,
+    pattern_ids: np.ndarray | None = None,
 ) -> AdaptiveParameters:
     """Resolve (b, T, alpha) for a batch, honoring manual overrides.
 
@@ -134,10 +148,15 @@ def choose_parameters(
         seed: RNG seed for the sample.
         bucket_length / num_tables / alpha: Manual overrides; ``None``
             means adapt.
+        pattern_ids: When given, ``vectors`` is a compact per-pattern
+            matrix and the logical batch is ``vectors[pattern_ids]`` (see
+            :func:`estimate_distance_scale`); parameters come out
+            bit-identical to the expanded call.
     """
     mu, actual = estimate_distance_scale(
-        vectors, sample_size, sample_fraction, seed
+        vectors, sample_size, sample_fraction, seed, pattern_ids=pattern_ids
     )
+    count = vectors.shape[0] if pattern_ids is None else int(pattern_ids.size)
     resolved_alpha = label_alpha(num_labels) if alpha is None else float(alpha)
     b_base = 1.2 * mu
     resolved_b = (
@@ -146,7 +165,7 @@ def choose_parameters(
         else float(bucket_length)
     )
     resolved_t = (
-        choose_num_tables(b_base, resolved_alpha, vectors.shape[0], kind)
+        choose_num_tables(b_base, resolved_alpha, count, kind)
         if num_tables is None
         else int(num_tables)
     )

@@ -8,6 +8,23 @@ schema therefore forms the monotone chain S_1 <= S_2 <= ... of the paper.
 
 The engine is deliberately independent of :class:`PGHive` so it can be
 driven directly by streaming code (see ``examples/incremental_streaming``).
+
+Two execution modes exist, selected by ``PGHiveConfig.kernels``:
+
+* ``"vectorized"`` (default): each batch is columnized once
+  (:mod:`repro.core.columns`) and every expensive stage -- embedding
+  corpus construction, vectorization, LSH hashing, mu estimation,
+  refinement and cluster summarization -- runs once per *distinct
+  pattern* and expands to elements with fancy indexing.  A trained
+  embedder is also reused across batches whose deduplicated sentence
+  corpus is unchanged (stable-vocabulary streams skip Word2Vec
+  retraining entirely).
+* ``"reference"``: the original element-at-a-time loops, kept as the
+  executable specification and as the measurement baseline of
+  ``benchmarks/bench_hotpath.py``.
+
+Both modes produce byte-identical schemas for a fixed seed
+(``tests/test_hotpath_kernels.py`` enforces this).
 """
 
 from __future__ import annotations
@@ -18,23 +35,43 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.adaptive import choose_parameters
+from repro.core.columns import (
+    EdgeColumns,
+    NodeColumns,
+    dense_first_appearance,
+    edge_columns,
+    node_columns,
+    union_of,
+)
 from repro.core.config import LSHMethod, PGHiveConfig
 from repro.core.result import BatchReport
 from repro.core.type_extraction import (
     build_edge_clusters,
+    build_edge_clusters_from_columns,
     build_node_clusters,
+    build_node_clusters_from_columns,
     extract_edge_types,
     extract_node_types,
     resolve_edge_endpoints,
 )
-from repro.core.vectorize import EdgeVectorizer, FeatureInterner, NodeVectorizer
+from repro.core.vectorize import (
+    EdgeVectorizer,
+    EmbeddingCache,
+    FeatureInterner,
+    NodeVectorizer,
+)
 from repro.embeddings.embedder import LabelEmbedder
 from repro.graph.model import Edge, Node, canonical_label
-from repro.lsh.buckets import cluster_by_band_union, cluster_by_full_signature
+from repro.lsh.buckets import (
+    cluster_by_band_union,
+    cluster_by_band_union_reference,
+    cluster_by_full_signature,
+)
 from repro.lsh.elsh import EuclideanLSH
 from repro.lsh.minhash import MinHashLSH
 from repro.schema.merge import merge_schemas
 from repro.schema.model import SchemaGraph
+from repro.util.timing import StageTimer
 
 
 def _refine_by_labels(elements: Sequence, assignment: np.ndarray) -> np.ndarray:
@@ -45,6 +82,9 @@ def _refine_by_labels(elements: Sequence, assignment: np.ndarray) -> np.ndarray:
     survive into type extraction, where merging is union-only.  Unlabeled
     elements (empty token) keep their structural cluster, so the
     Jaccard-based merging of section 4.3 still sees them whole.
+
+    This is the element-at-a-time reference; the vectorized engine uses
+    :func:`_refine_by_label_ids` over interned label ids instead.
     """
     if assignment.size == 0:
         return assignment
@@ -58,6 +98,23 @@ def _refine_by_labels(elements: Sequence, assignment: np.ndarray) -> np.ndarray:
         key = (int(cluster_id), element.labels)
         out[index] = refined.setdefault(key, len(refined))
     return out
+
+
+def _refine_by_label_ids(
+    assignment: np.ndarray, label_ids: np.ndarray, num_label_sets: int
+) -> np.ndarray:
+    """Vectorized :func:`_refine_by_labels` over interned label-set ids.
+
+    Each (cluster id, label-set id) pair becomes one refined cluster,
+    numbered densely in first-appearance order -- exactly the
+    ``setdefault(key, len(refined))`` numbering of the reference loop,
+    because interned ids are in bijection with the label frozensets.
+    """
+    if assignment.size == 0:
+        return assignment
+    combined = assignment * np.int64(max(num_label_sets, 1)) + label_ids
+    refined, _ = dense_first_appearance(combined)
+    return refined
 
 
 class IncrementalDiscovery:
@@ -83,6 +140,12 @@ class IncrementalDiscovery:
         self.reports: list[BatchReport] = []
         self.parameters: dict[str, str] = {}
         self._batch_counter = 0
+        # Embedder reuse across batches (vectorized mode): key is the
+        # deduplicated, sorted sentence corpus; Word2Vec training is
+        # deterministic, so an unchanged corpus implies identical
+        # embeddings and retraining would be pure waste.
+        self._embedder_corpus_key: tuple | None = None
+        self._cached_embedder: LabelEmbedder | None = None
 
     def process_batch(
         self,
@@ -100,9 +163,11 @@ class IncrementalDiscovery:
                 nodes.
 
         Returns:
-            A :class:`BatchReport` with timings and cluster counts.
+            A :class:`BatchReport` with timings (total and per stage) and
+            cluster counts.
         """
         started = time.perf_counter()
+        stages = StageTimer()
         if endpoint_labels is None:
             endpoint_labels = {node.id: node.labels for node in nodes}
         memo_node_hits = memo_edge_hits = 0
@@ -110,45 +175,26 @@ class IncrementalDiscovery:
             nodes, edges, memo_node_hits, memo_edge_hits = (
                 self._absorb_known_patterns(nodes, edges, endpoint_labels)
             )
-        embedder = self._fit_embedder(nodes, edges, endpoint_labels)
-        # Nodes first: cluster, then extract node types so the edge stage
-        # can reuse them.  Clusters are refined by label token: Definition
-        # 3.2 makes distinct label sets distinct types, so a rare LSH
-        # collision between differently-labeled elements must not merge
-        # them (unlabeled elements keep their structural cluster).
-        node_assignment = _refine_by_labels(nodes, self._cluster_nodes(nodes, embedder))
-        node_clusters = build_node_clusters(nodes, node_assignment)
         batch_schema = SchemaGraph(f"batch{self._batch_counter}")
-        extract_node_types(
-            batch_schema, node_clusters, self.config.jaccard_threshold
-        )
-        # Hybrid step: endpoints whose labels are missing are typed by the
-        # node *type* they were extracted into, so edge vectors and edge-type
-        # merging still see structural endpoint identity at 0 % label
-        # availability.
-        effective_labels = self._effective_endpoint_labels(
-            batch_schema, nodes, endpoint_labels
-        )
-        edge_assignment = _refine_by_labels(
-            edges, self._cluster_edges(edges, effective_labels, embedder)
-        )
-        edge_clusters = build_edge_clusters(
-            edges, edge_assignment, effective_labels
-        )
-        extract_edge_types(
-            batch_schema,
-            edge_clusters,
-            self.config.jaccard_threshold,
-            self.config.endpoint_jaccard_threshold,
-        )
-        resolve_edge_endpoints(batch_schema)
-        merge_schemas(
-            self.schema,
-            batch_schema,
-            self.config.jaccard_threshold,
-            self.config.endpoint_jaccard_threshold,
-        )
-        resolve_edge_endpoints(self.schema)
+        embedder_reused = False
+        if self.config.kernels == "vectorized":
+            node_clusters, edge_clusters, embedder_reused = (
+                self._process_batch_vectorized(
+                    nodes, edges, endpoint_labels, batch_schema, stages
+                )
+            )
+        else:
+            node_clusters, edge_clusters = self._process_batch_reference(
+                nodes, edges, endpoint_labels, batch_schema, stages
+            )
+        with stages.stage("merge"):
+            merge_schemas(
+                self.schema,
+                batch_schema,
+                self.config.jaccard_threshold,
+                self.config.endpoint_jaccard_threshold,
+            )
+            resolve_edge_endpoints(self.schema)
         elapsed = time.perf_counter() - started
         report = BatchReport(
             index=self._batch_counter,
@@ -159,10 +205,121 @@ class IncrementalDiscovery:
             seconds=elapsed,
             memo_node_hits=memo_node_hits,
             memo_edge_hits=memo_edge_hits,
+            stage_seconds=dict(stages.seconds),
+            embedder_reused=embedder_reused,
         )
         self.reports.append(report)
         self._batch_counter += 1
         return report
+
+    # ------------------------------------------------------------------
+    # Batch bodies (vectorized kernels vs. reference loops)
+    # ------------------------------------------------------------------
+    def _process_batch_vectorized(
+        self,
+        nodes: Sequence[Node],
+        edges: Sequence[Edge],
+        endpoint_labels: dict[int, frozenset[str]],
+        batch_schema: SchemaGraph,
+        stages: StageTimer,
+    ) -> tuple[list, list, bool]:
+        """Columnized pipeline: every stage works per distinct pattern."""
+        with stages.stage("vectorize"):
+            ncols = node_columns(nodes)
+            ecols = edge_columns(edges, endpoint_labels)
+        with stages.stage("embed"):
+            embedder, embedder_reused = self._fit_embedder_columns(
+                ncols, ecols
+            )
+        # One embedding cache for both element kinds: endpoint label sets
+        # embedded during the node pass are free in the edge pass.
+        cache = EmbeddingCache(embedder, self.config.label_weight)
+        raw_nodes = self._cluster_nodes_columns(
+            ncols, len(nodes), embedder, cache, stages
+        )
+        with stages.stage("cluster"):
+            node_assignment = _refine_by_label_ids(
+                raw_nodes, ncols.label_ids, len(ncols.labels)
+            )
+        with stages.stage("extract"):
+            node_clusters = build_node_clusters_from_columns(
+                ncols, node_assignment
+            )
+            extract_node_types(
+                batch_schema, node_clusters, self.config.jaccard_threshold
+            )
+        overrides = self._endpoint_label_overrides(
+            batch_schema, nodes, endpoint_labels
+        )
+        ecols = ecols.with_endpoint_overrides(overrides)
+        raw_edges = self._cluster_edges_columns(
+            ecols, len(edges), embedder, cache, stages
+        )
+        with stages.stage("cluster"):
+            edge_assignment = _refine_by_label_ids(
+                raw_edges, ecols.label_ids, len(ecols.labels)
+            )
+        with stages.stage("extract"):
+            edge_clusters = build_edge_clusters_from_columns(
+                ecols, edge_assignment
+            )
+            extract_edge_types(
+                batch_schema,
+                edge_clusters,
+                self.config.jaccard_threshold,
+                self.config.endpoint_jaccard_threshold,
+            )
+            resolve_edge_endpoints(batch_schema)
+        return node_clusters, edge_clusters, embedder_reused
+
+    def _process_batch_reference(
+        self,
+        nodes: Sequence[Node],
+        edges: Sequence[Edge],
+        endpoint_labels: dict[int, frozenset[str]],
+        batch_schema: SchemaGraph,
+        stages: StageTimer,
+    ) -> tuple[list, list]:
+        """Element-at-a-time pipeline (the pre-kernel implementation)."""
+        with stages.stage("embed"):
+            embedder = self._fit_embedder(nodes, edges, endpoint_labels)
+        # Nodes first: cluster, then extract node types so the edge stage
+        # can reuse them.  Clusters are refined by label token: Definition
+        # 3.2 makes distinct label sets distinct types, so a rare LSH
+        # collision between differently-labeled elements must not merge
+        # them (unlabeled elements keep their structural cluster).
+        raw_nodes = self._cluster_nodes(nodes, embedder, stages)
+        with stages.stage("cluster"):
+            node_assignment = _refine_by_labels(nodes, raw_nodes)
+        with stages.stage("extract"):
+            node_clusters = build_node_clusters(nodes, node_assignment)
+            extract_node_types(
+                batch_schema, node_clusters, self.config.jaccard_threshold
+            )
+        # Hybrid step: endpoints whose labels are missing are typed by the
+        # node *type* they were extracted into, so edge vectors and
+        # edge-type merging still see structural endpoint identity at 0 %
+        # label availability.
+        effective_labels = self._effective_endpoint_labels(
+            batch_schema, nodes, endpoint_labels
+        )
+        raw_edges = self._cluster_edges(
+            edges, effective_labels, embedder, stages
+        )
+        with stages.stage("cluster"):
+            edge_assignment = _refine_by_labels(edges, raw_edges)
+        with stages.stage("extract"):
+            edge_clusters = build_edge_clusters(
+                edges, edge_assignment, effective_labels
+            )
+            extract_edge_types(
+                batch_schema,
+                edge_clusters,
+                self.config.jaccard_threshold,
+                self.config.endpoint_jaccard_threshold,
+            )
+            resolve_edge_endpoints(batch_schema)
+        return node_clusters, edge_clusters
 
     # ------------------------------------------------------------------
     # Pipeline stages
@@ -231,21 +388,22 @@ class IncrementalDiscovery:
                 remaining_edges.append(edge)
         return remaining_nodes, remaining_edges, node_hits, edge_hits
 
-    def _effective_endpoint_labels(
+    def _endpoint_label_overrides(
         self,
         batch_schema: SchemaGraph,
         nodes: Sequence[Node],
         endpoint_labels: dict[int, frozenset[str]],
     ) -> dict[int, frozenset[str]]:
-        """Endpoint labels with type-derived pseudo-labels for unlabeled nodes.
+        """Type-derived label overrides for this batch's unlabeled nodes.
 
         An unlabeled node that was merged into a *labeled* node type (the
         paper's Example 5: Alice joins the Person type) adopts that type's
         labels as its effective endpoint identity.  Unlabeled nodes in
         ABSTRACT types get the type's pseudo cluster token instead, so edges
         still see structural endpoint identity at 0 % label availability.
-        Endpoints outside this batch (possible for cross-batch edges) keep
-        whatever labels the stream reported for them.
+        Only changed entries are returned; endpoints outside this batch
+        (possible for cross-batch edges) keep whatever labels the stream
+        reported for them.
         """
         from repro.core.type_extraction import PSEUDO_PREFIX
 
@@ -260,10 +418,23 @@ class IncrementalDiscovery:
                 token_set = frozenset({token})
             for member in node_type.members:
                 node_token[member] = token_set
+        return {
+            node.id: node_token[node.id]
+            for node in nodes
+            if not node.labels and node.id in node_token
+        }
+
+    def _effective_endpoint_labels(
+        self,
+        batch_schema: SchemaGraph,
+        nodes: Sequence[Node],
+        endpoint_labels: dict[int, frozenset[str]],
+    ) -> dict[int, frozenset[str]]:
+        """Endpoint labels with type-derived pseudo-labels for unlabeled nodes."""
         effective = dict(endpoint_labels)
-        for node in nodes:
-            if not node.labels and node.id in node_token:
-                effective[node.id] = node_token[node.id]
+        effective.update(
+            self._endpoint_label_overrides(batch_schema, nodes, endpoint_labels)
+        )
         return effective
 
     def _fit_embedder(
@@ -310,57 +481,210 @@ class IncrementalDiscovery:
         embedder.fit_tokens([list(s) for s in sorted(sentences)])
         return embedder
 
+    def _fit_embedder_columns(
+        self, ncols: NodeColumns, ecols: EdgeColumns
+    ) -> tuple[LabelEmbedder, bool]:
+        """Columnized corpus build + cross-batch embedder reuse.
+
+        The sentence corpus is assembled from *distinct* (src, edge, tgt)
+        label-id triples and distinct node label ids -- the same
+        deduplicated, sorted corpus the reference builds one element at a
+        time.  If it matches the previous batch's corpus, the cached
+        trained embedder is returned (Word2Vec training is deterministic,
+        so the embeddings are identical to a fresh fit); otherwise a fresh
+        embedder is fitted and cached.
+
+        Returns:
+            ``(embedder, reused)``.
+        """
+        sentences: set[tuple[str, ...]] = set()
+        if len(ecols):
+            tokens = ecols.labels.tokens
+            width = max(len(tokens), 1)
+            combined = (
+                ecols.src_label_ids * np.int64(width) + ecols.label_ids
+            ) * np.int64(width) + ecols.tgt_label_ids
+            for value in np.unique(combined).tolist():
+                tgt_id = value % width
+                rest = value // width
+                edge_id = rest % width
+                src_id = rest // width
+                sentence = tuple(
+                    token
+                    for token in (
+                        tokens[src_id], tokens[edge_id], tokens[tgt_id]
+                    )
+                    if token
+                )
+                if sentence:
+                    sentences.add(sentence)
+        if len(ncols):
+            node_tokens = ncols.labels.tokens
+            for label_id in np.unique(ncols.label_ids).tolist():
+                token = node_tokens[label_id]
+                if token:
+                    sentences.add((token,))
+        corpus = sorted(sentences)
+        key = tuple(corpus)
+        if (
+            self._cached_embedder is not None
+            and self._embedder_corpus_key == key
+        ):
+            return self._cached_embedder, True
+        embedder = LabelEmbedder(self.config.word2vec)
+        embedder.fit_tokens([list(s) for s in corpus])
+        self._embedder_corpus_key = key
+        self._cached_embedder = embedder
+        return embedder, False
+
     def _cluster_nodes(
-        self, nodes: Sequence[Node], embedder: LabelEmbedder
+        self,
+        nodes: Sequence[Node],
+        embedder: LabelEmbedder,
+        stages: StageTimer,
     ) -> np.ndarray:
-        """LSH-cluster the batch's nodes; returns dense cluster ids."""
+        """Reference node clustering; returns dense cluster ids."""
         if not nodes:
             return np.empty(0, dtype=np.int64)
         property_keys = sorted({k for n in nodes for k in n.properties})
         num_labels = len({label for n in nodes for label in n.labels})
-        if self.config.method is LSHMethod.ELSH:
-            vectorizer = NodeVectorizer(
-                property_keys, embedder, self.config.label_weight
-            )
-            vectors = vectorizer.vectorize(nodes)
-            return self._elsh_assign(vectors, num_labels, kind="node")
         vectorizer = NodeVectorizer(
             property_keys, embedder, self.config.label_weight
         )
-        interner = FeatureInterner()
-        feature_sets = vectorizer.feature_sets(nodes, interner)
-        return self._minhash_assign(feature_sets, len(nodes), kind="node")
+        if self.config.method is LSHMethod.ELSH:
+            with stages.stage("vectorize"):
+                vectors = vectorizer.vectorize_reference(nodes)
+            with stages.stage("cluster"):
+                return self._elsh_assign(vectors, num_labels, kind="node")
+        with stages.stage("vectorize"):
+            interner = FeatureInterner()
+            feature_sets = vectorizer.feature_sets_reference(nodes, interner)
+        with stages.stage("cluster"):
+            return self._minhash_assign(feature_sets, len(nodes), kind="node")
+
+    def _cluster_nodes_columns(
+        self,
+        columns: NodeColumns,
+        count: int,
+        embedder: LabelEmbedder,
+        cache: EmbeddingCache,
+        stages: StageTimer,
+    ) -> np.ndarray:
+        """Batch node clustering over distinct patterns."""
+        if count == 0:
+            return np.empty(0, dtype=np.int64)
+        property_keys = sorted(union_of(columns.keys.sets))
+        num_labels = len(union_of(columns.labels.sets))
+        vectorizer = NodeVectorizer(
+            property_keys,
+            embedder,
+            self.config.label_weight,
+            embedding_cache=cache,
+        )
+        if self.config.method is LSHMethod.ELSH:
+            with stages.stage("vectorize"):
+                compact, pattern_ids = vectorizer.vectorize_patterns(columns)
+            with stages.stage("cluster"):
+                return self._elsh_assign(
+                    compact, num_labels, kind="node", pattern_ids=pattern_ids
+                )
+        with stages.stage("vectorize"):
+            interner = FeatureInterner()
+            compact_sets, pattern_ids = vectorizer.feature_sets_patterns(
+                columns, interner
+            )
+        with stages.stage("cluster"):
+            return self._minhash_assign(
+                compact_sets, count, kind="node", pattern_ids=pattern_ids
+            )
 
     def _cluster_edges(
         self,
         edges: Sequence[Edge],
         endpoint_labels: dict[int, frozenset[str]],
         embedder: LabelEmbedder,
+        stages: StageTimer,
     ) -> np.ndarray:
-        """LSH-cluster the batch's edges; returns dense cluster ids."""
+        """Reference edge clustering; returns dense cluster ids."""
         if not edges:
             return np.empty(0, dtype=np.int64)
         property_keys = sorted({k for e in edges for k in e.properties})
         num_labels = len({label for e in edges for label in e.labels})
-        if self.config.method is LSHMethod.ELSH:
-            vectorizer = EdgeVectorizer(
-                property_keys, embedder, self.config.label_weight
-            )
-            vectors = vectorizer.vectorize(edges, endpoint_labels)
-            return self._elsh_assign(vectors, num_labels, kind="edge")
         vectorizer = EdgeVectorizer(
             property_keys, embedder, self.config.label_weight
         )
-        interner = FeatureInterner()
-        feature_sets = vectorizer.feature_sets(
-            edges, endpoint_labels, interner
+        if self.config.method is LSHMethod.ELSH:
+            with stages.stage("vectorize"):
+                vectors = vectorizer.vectorize_reference(
+                    edges, endpoint_labels
+                )
+            with stages.stage("cluster"):
+                return self._elsh_assign(vectors, num_labels, kind="edge")
+        with stages.stage("vectorize"):
+            interner = FeatureInterner()
+            feature_sets = vectorizer.feature_sets_reference(
+                edges, endpoint_labels, interner
+            )
+        with stages.stage("cluster"):
+            return self._minhash_assign(feature_sets, len(edges), kind="edge")
+
+    def _cluster_edges_columns(
+        self,
+        columns: EdgeColumns,
+        count: int,
+        embedder: LabelEmbedder,
+        cache: EmbeddingCache,
+        stages: StageTimer,
+    ) -> np.ndarray:
+        """Batch edge clustering over distinct patterns."""
+        if count == 0:
+            return np.empty(0, dtype=np.int64)
+        property_keys = sorted(union_of(columns.keys.sets))
+        # Distinct labels over *edge* label sets only (the shared label
+        # space also holds endpoint label sets).
+        edge_label_sets = [
+            columns.labels.sets[i]
+            for i in np.unique(columns.label_ids).tolist()
+        ]
+        num_labels = len(union_of(edge_label_sets))
+        vectorizer = EdgeVectorizer(
+            property_keys,
+            embedder,
+            self.config.label_weight,
+            embedding_cache=cache,
         )
-        return self._minhash_assign(feature_sets, len(edges), kind="edge")
+        if self.config.method is LSHMethod.ELSH:
+            with stages.stage("vectorize"):
+                compact, pattern_ids = vectorizer.vectorize_patterns(columns)
+            with stages.stage("cluster"):
+                return self._elsh_assign(
+                    compact, num_labels, kind="edge", pattern_ids=pattern_ids
+                )
+        with stages.stage("vectorize"):
+            interner = FeatureInterner()
+            compact_sets, pattern_ids = vectorizer.feature_sets_patterns(
+                columns, interner
+            )
+        with stages.stage("cluster"):
+            return self._minhash_assign(
+                compact_sets, count, kind="edge", pattern_ids=pattern_ids
+            )
 
     def _elsh_assign(
-        self, vectors: np.ndarray, num_labels: int, kind: str
+        self,
+        vectors: np.ndarray,
+        num_labels: int,
+        kind: str,
+        pattern_ids: np.ndarray | None = None,
     ) -> np.ndarray:
-        """Adaptive ELSH clustering by full-signature grouping."""
+        """Adaptive ELSH clustering by full-signature grouping.
+
+        With ``pattern_ids``, ``vectors`` is the compact per-pattern matrix:
+        parameters, hashing and grouping all run on the handful of distinct
+        patterns and the group ids expand by fancy indexing.  Because
+        pattern ids are dense in first-appearance order, the expanded
+        assignment carries the exact numbering of the full-matrix path.
+        """
         params = choose_parameters(
             vectors,
             num_labels,
@@ -371,6 +695,7 @@ class IncrementalDiscovery:
             bucket_length=self.config.bucket_length,
             num_tables=self.config.num_tables,
             alpha=self.config.alpha,
+            pattern_ids=pattern_ids,
         )
         self.parameters[f"batch{self._batch_counter}/{kind}s"] = params.describe()
         lsh = EuclideanLSH(
@@ -379,12 +704,25 @@ class IncrementalDiscovery:
             num_tables=params.num_tables,
             seed=self.config.seed,
         )
-        return cluster_by_full_signature(lsh.signatures(vectors))
+        groups = cluster_by_full_signature(lsh.signatures(vectors))
+        if pattern_ids is None:
+            return groups
+        return groups[pattern_ids]
 
     def _minhash_assign(
-        self, feature_sets: list[set[int]], count: int, kind: str
+        self,
+        feature_sets: list[set[int]],
+        count: int,
+        kind: str,
+        pattern_ids: np.ndarray | None = None,
     ) -> np.ndarray:
-        """MinHash clustering with banding."""
+        """MinHash clustering with banding.
+
+        With ``pattern_ids``, ``feature_sets`` holds the distinct-pattern
+        sets: signatures and banding run per pattern and the cluster ids
+        expand by fancy indexing (identical rows band identically, so the
+        partition and its first-appearance numbering are unchanged).
+        """
         if self.config.num_tables is not None:
             num_hashes = self.config.num_tables
         else:
@@ -395,7 +733,16 @@ class IncrementalDiscovery:
             f"minhash T={num_hashes} r={self.config.minhash_rows_per_band}"
         )
         lsh = MinHashLSH(num_hashes=num_hashes, seed=self.config.seed)
-        signatures = lsh.signatures(feature_sets)
-        return cluster_by_band_union(
-            signatures, self.config.minhash_rows_per_band
-        )
+        if self.config.kernels == "vectorized":
+            signatures = lsh.signatures(feature_sets)
+            groups = cluster_by_band_union(
+                signatures, self.config.minhash_rows_per_band
+            )
+        else:
+            signatures = lsh.signatures_reference(feature_sets)
+            groups = cluster_by_band_union_reference(
+                signatures, self.config.minhash_rows_per_band
+            )
+        if pattern_ids is None:
+            return groups
+        return groups[pattern_ids]

@@ -14,6 +14,14 @@ class BatchReport:
     ``memo_node_hits``/``memo_edge_hits`` count elements absorbed by the
     DiscoPG-style known-pattern fast path (only nonzero when
     ``PGHiveConfig.memoize_patterns`` is on).
+
+    ``stage_seconds`` breaks ``seconds`` down by pipeline stage: ``embed``
+    (label-embedding fit or cache hit), ``vectorize`` (feature matrix /
+    feature-set construction), ``cluster`` (LSH parameterization, hashing
+    and bucketing), ``extract`` (cluster summaries + Algorithm 2) and
+    ``merge`` (folding the batch schema into the running schema).
+    ``embedder_reused`` is True when the batch skipped Word2Vec retraining
+    because its deduplicated sentence corpus matched the previous batch.
     """
 
     index: int
@@ -24,6 +32,8 @@ class BatchReport:
     seconds: float
     memo_node_hits: int = 0
     memo_edge_hits: int = 0
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    embedder_reused: bool = False
 
 
 @dataclass

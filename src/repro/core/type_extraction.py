@@ -21,9 +21,12 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.core.columns import EdgeColumns, NodeColumns
 
 from repro.graph.model import Edge, Node, canonical_label
 from repro.schema.merge import (
@@ -157,6 +160,161 @@ def _split_pseudo(
     real = frozenset(l for l in labels if not l.startswith(PSEUDO_PREFIX))
     pseudo = labels - real
     return real, pseudo
+
+
+def build_node_clusters_from_columns(
+    columns: "NodeColumns",
+    assignment: np.ndarray,
+    pseudo_tag: str = "",
+) -> list[CandidateCluster]:
+    """Batch kernel equivalent of :func:`build_node_clusters`.
+
+    Aggregates per distinct (cluster, label set) and (cluster, key set)
+    pair instead of per element: members come from one stable argsort,
+    label/key unions and property counts from ``np.unique`` over combined
+    id arrays.  Output-equivalent to the reference builder (same clusters,
+    same member order, same counters).
+    """
+    n = len(columns)
+    if n == 0:
+        return []
+    assignment = np.asarray(assignment, dtype=np.int64)
+    order = np.argsort(assignment, kind="stable")
+    sorted_assign = assignment[order]
+    boundaries = np.flatnonzero(np.diff(sorted_assign)) + 1
+    starts = np.concatenate(([0], boundaries))
+    cluster_ids = sorted_assign[starts].tolist()
+    member_groups = np.split(columns.ids[order], boundaries)
+
+    label_sets = columns.labels.sets
+    key_sets = columns.keys.sets
+    key_orders = columns.keys.orders
+    label_pairs = _distinct_pairs(
+        assignment, columns.label_ids, max(len(label_sets), 1)
+    )
+    keyset_pairs, keyset_counts = _distinct_pairs(
+        assignment, columns.keyset_ids, max(len(key_sets), 1),
+        with_counts=True,
+    )
+
+    clusters: dict[int, CandidateCluster] = {
+        cid: CandidateCluster(
+            kind="node", members=group.tolist()
+        )
+        for cid, group in zip(cluster_ids, member_groups)
+    }
+    for cid, label_id in label_pairs:
+        cluster = clusters[cid]
+        cluster.labels = cluster.labels | label_sets[label_id]
+    for (cid, keyset_id), count in zip(keyset_pairs, keyset_counts):
+        cluster = clusters[cid]
+        keys = key_sets[keyset_id]
+        if not keys <= cluster.property_keys:
+            cluster.property_keys = cluster.property_keys | keys
+        counts = cluster.property_counts
+        for key in key_orders[keyset_id]:
+            counts[key] += count
+    if pseudo_tag:
+        for cluster_id, cluster in clusters.items():
+            if not cluster.labels:
+                cluster.cluster_tokens = frozenset(
+                    {f"{PSEUDO_PREFIX}{pseudo_tag}{cluster_id}"}
+                )
+    return [clusters[cid] for cid in sorted(clusters)]
+
+
+def build_edge_clusters_from_columns(
+    columns: "EdgeColumns",
+    assignment: np.ndarray,
+) -> list[CandidateCluster]:
+    """Batch kernel equivalent of :func:`build_edge_clusters`.
+
+    Endpoint label sets (possibly containing ``~``-prefixed pseudo tokens)
+    are aggregated per distinct (cluster, endpoint label set) pair; the
+    real/pseudo split happens once per distinct label set.
+    """
+    m = len(columns)
+    if m == 0:
+        return []
+    assignment = np.asarray(assignment, dtype=np.int64)
+    order = np.argsort(assignment, kind="stable")
+    sorted_assign = assignment[order]
+    boundaries = np.flatnonzero(np.diff(sorted_assign)) + 1
+    starts = np.concatenate(([0], boundaries))
+    cluster_ids = sorted_assign[starts].tolist()
+    member_groups = np.split(columns.ids[order], boundaries)
+
+    label_sets = columns.labels.sets
+    key_sets = columns.keys.sets
+    key_orders = columns.keys.orders
+    num_labels = max(len(label_sets), 1)
+    label_pairs = _distinct_pairs(assignment, columns.label_ids, num_labels)
+    src_pairs = _distinct_pairs(assignment, columns.src_label_ids, num_labels)
+    tgt_pairs = _distinct_pairs(assignment, columns.tgt_label_ids, num_labels)
+    keyset_pairs, keyset_counts = _distinct_pairs(
+        assignment, columns.keyset_ids, max(len(key_sets), 1),
+        with_counts=True,
+    )
+    splits = [_split_pseudo(labels) for labels in label_sets]
+
+    clusters: dict[int, CandidateCluster] = {
+        cid: CandidateCluster(kind="edge", members=group.tolist())
+        for cid, group in zip(cluster_ids, member_groups)
+    }
+    for cid, label_id in label_pairs:
+        cluster = clusters[cid]
+        labels = label_sets[label_id]
+        if not labels <= cluster.labels:
+            cluster.labels = cluster.labels | labels
+    for (cid, keyset_id), count in zip(keyset_pairs, keyset_counts):
+        cluster = clusters[cid]
+        keys = key_sets[keyset_id]
+        if not keys <= cluster.property_keys:
+            cluster.property_keys = cluster.property_keys | keys
+        counts = cluster.property_counts
+        for key in key_orders[keyset_id]:
+            counts[key] += count
+    for cid, label_id in src_pairs:
+        cluster = clusters[cid]
+        real, pseudo = splits[label_id]
+        if not real <= cluster.source_labels:
+            cluster.source_labels = cluster.source_labels | real
+        if not pseudo <= cluster.source_tokens:
+            cluster.source_tokens = cluster.source_tokens | pseudo
+    for cid, label_id in tgt_pairs:
+        cluster = clusters[cid]
+        real, pseudo = splits[label_id]
+        if not real <= cluster.target_labels:
+            cluster.target_labels = cluster.target_labels | real
+        if not pseudo <= cluster.target_tokens:
+            cluster.target_tokens = cluster.target_tokens | pseudo
+    return [clusters[cid] for cid in sorted(clusters)]
+
+
+def _distinct_pairs(
+    assignment: np.ndarray,
+    value_ids: np.ndarray,
+    num_values: int,
+    with_counts: bool = False,
+):
+    """Distinct (cluster id, value id) pairs via one combined np.unique.
+
+    Returns a list of ``(cluster_id, value_id)`` int tuples (and the
+    occurrence count array when ``with_counts``).  Safe from overflow:
+    cluster ids and value ids are both bounded by the batch size.
+    """
+    combined = assignment * np.int64(num_values) + value_ids
+    if with_counts:
+        uniq, counts = np.unique(combined, return_counts=True)
+    else:
+        uniq = np.unique(combined)
+    pairs = [
+        (int(c), int(v))
+        for c, v in zip(uniq // num_values, uniq % num_values)
+    ]
+    if with_counts:
+        return pairs, counts.tolist()
+    return pairs
 
 
 def extract_types(

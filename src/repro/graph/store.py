@@ -93,19 +93,25 @@ class GraphStore:
         edges_by_batch: dict[int, list[Edge]] = defaultdict(list)
         for edge in self._graph.edges():
             edges_by_batch[assignment[edge.source]].append(edge)
+        nodes_by_batch: list[list[Node]] = [[] for _ in range(num_batches)]
+        labels_by_id: dict[int, frozenset[str]] = {}
+        for nid in node_ids:
+            node = self._graph.node(nid)
+            nodes_by_batch[assignment[nid]].append(node)
+            labels_by_id[nid] = node.labels
         for batch_index in range(num_batches):
-            nodes = [
-                self._graph.node(nid)
-                for nid in node_ids
-                if assignment[nid] == batch_index
-            ]
             edges = edges_by_batch.get(batch_index, [])
-            endpoint_labels = {
-                nid: self._graph.node(nid).labels
-                for edge in edges
-                for nid in (edge.source, edge.target)
-            }
-            yield GraphBatch(batch_index, nodes, edges, endpoint_labels)
+            # Endpoints are looked up once per distinct node id (an edge
+            # list mentions the same hub nodes over and over).
+            endpoint_labels: dict[int, frozenset[str]] = {}
+            for edge in edges:
+                for nid in (edge.source, edge.target):
+                    if nid not in endpoint_labels:
+                        endpoint_labels[nid] = labels_by_id[nid]
+            yield GraphBatch(
+                batch_index, nodes_by_batch[batch_index], edges,
+                endpoint_labels,
+            )
 
     # ------------------------------------------------------------------
     # Aggregations used by post-processing

@@ -63,7 +63,52 @@ def cluster_by_table_union(signatures: np.ndarray) -> np.ndarray:
 def cluster_by_band_union(
     signatures: np.ndarray, rows_per_band: int
 ) -> np.ndarray:
-    """Cluster ids by LSH banding (AND within band, OR across bands)."""
+    """Cluster ids by LSH banding (AND within band, OR across bands).
+
+    Batch kernel: each band's buckets come from ``np.unique`` over the band
+    slice (every row is anchored to the first row sharing its band value),
+    and the OR across bands is a single connected-components pass over the
+    resulting anchor edges.  Output-equivalent to
+    :func:`cluster_by_band_union_reference` -- the partition is the same
+    union closure and ids are renumbered in first-appearance order either
+    way.
+    """
+    if rows_per_band < 1:
+        raise ValueError("rows_per_band must be >= 1")
+    signatures = np.atleast_2d(signatures)
+    n, width = signatures.shape
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    num_bands = max(1, width // rows_per_band)
+    anchors = np.empty((num_bands, n), dtype=np.int64)
+    for band in range(num_bands):
+        start = band * rows_per_band
+        stop = start + rows_per_band if band < num_bands - 1 else width
+        _, first_index, inverse = np.unique(
+            signatures[:, start:stop],
+            axis=0,
+            return_index=True,
+            return_inverse=True,
+        )
+        anchors[band] = first_index[inverse]
+    from scipy.sparse import coo_matrix
+    from scipy.sparse.csgraph import connected_components
+
+    rows = np.tile(np.arange(n, dtype=np.int64), num_bands)
+    cols = anchors.ravel()
+    mask = rows != cols
+    graph = coo_matrix(
+        (np.ones(int(mask.sum()), dtype=np.int8), (rows[mask], cols[mask])),
+        shape=(n, n),
+    )
+    _, components = connected_components(graph, directed=False)
+    return _dense_first_appearance(components)
+
+
+def cluster_by_band_union_reference(
+    signatures: np.ndarray, rows_per_band: int
+) -> np.ndarray:
+    """Row-at-a-time reference for :func:`cluster_by_band_union`."""
     if rows_per_band < 1:
         raise ValueError("rows_per_band must be >= 1")
     signatures = np.atleast_2d(signatures)
@@ -88,6 +133,17 @@ def groups_from_assignment(assignment: np.ndarray) -> list[list[int]]:
     for index, cluster in enumerate(assignment.tolist()):
         groups.setdefault(int(cluster), []).append(index)
     return [groups[cid] for cid in sorted(groups)]
+
+
+def _dense_first_appearance(values: np.ndarray) -> np.ndarray:
+    """Dense ids for a label array, numbered in first-appearance order."""
+    _, first_index, inverse = np.unique(
+        values, return_index=True, return_inverse=True
+    )
+    appearance_order = np.argsort(first_index, kind="stable")
+    remap = np.empty_like(appearance_order)
+    remap[appearance_order] = np.arange(appearance_order.size)
+    return remap[inverse].astype(np.int64)
 
 
 def _renumber(uf: UnionFind, n: int) -> np.ndarray:

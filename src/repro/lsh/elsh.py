@@ -14,7 +14,22 @@ Euclidean distance ``d`` collide in one table is a decreasing function of
 
 from __future__ import annotations
 
+from functools import cache
+
 import numpy as np
+
+
+@cache
+def _norm_cdf():
+    """Cached scipy import: ``norm.cdf`` resolved once per process.
+
+    ``collision_probability`` used to re-run ``from scipy.stats import norm``
+    on every call; the import machinery made repeated probability sweeps
+    (tests, heatmap benchmarks) measurably slower.
+    """
+    from scipy.stats import norm
+
+    return norm.cdf
 
 
 class EuclideanLSH:
@@ -76,10 +91,8 @@ class EuclideanLSH:
             raise ValueError("distance must be non-negative")
         if distance == 0.0:
             return 1.0
-        from scipy.stats import norm
-
         ratio = distance / self.bucket_length
-        term1 = 1.0 - 2.0 * norm.cdf(-1.0 / ratio)
+        term1 = 1.0 - 2.0 * _norm_cdf()(-1.0 / ratio)
         term2 = (
             2.0 * ratio / np.sqrt(2.0 * np.pi)
             * (1.0 - np.exp(-1.0 / (2.0 * ratio**2)))

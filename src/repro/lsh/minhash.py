@@ -14,16 +14,28 @@ paper invokes in section 4.2.  All products of values below ``P`` fit in
 For clustering, signatures are cut into bands of ``rows_per_band``
 consecutive entries; sets sharing any full band land in the same candidate
 bucket (classic LSH banding: AND within a band, OR over bands).
+
+:meth:`MinHashLSH.signatures` is a batch kernel: it flattens all sets into
+one CSR-style ragged array, bit-mixes and hashes every feature in a single
+vectorized pass, and takes all ``n x T`` minima with
+``np.minimum.reduceat``.  :meth:`MinHashLSH.signatures_reference` keeps the
+set-at-a-time loop as the executable specification; both return bit-equal
+matrices (min-wise hashing is order- and duplicate-independent).
 """
 
 from __future__ import annotations
 
+from itertools import chain
 from typing import Iterable, Sequence
 
 import numpy as np
 
 _PRIME = (1 << 31) - 1  # Mersenne prime 2^31-1; products fit in uint64.
 _EMPTY_SENTINEL = _PRIME  # outside the hash range [0, P)
+
+_UINT64_MASK = 0xFFFFFFFFFFFFFFFF
+_MIX_MULT_1 = 0xBF58476D1CE4E5B9
+_MIX_MULT_2 = 0x94D049BB133111EB
 
 
 class MinHashLSH:
@@ -62,7 +74,50 @@ class MinHashLSH:
         return hashed.min(axis=1).astype(np.int64)
 
     def signatures(self, feature_sets: Sequence[Iterable[int]]) -> np.ndarray:
-        """Stacked (n, T) signature matrix for many sets."""
+        """Stacked (n, T) signature matrix for many sets (batch kernel).
+
+        All sets are flattened into one ragged array; the splitmix64 mix
+        and the universal hash run vectorized over every feature, and the
+        per-set minima come from ``np.minimum.reduceat`` over the segment
+        offsets.  Empty sets are excluded from the reduction (``reduceat``
+        mishandles zero-length segments) and filled with the sentinel row
+        afterwards.  An empty input yields a well-formed (0, T) matrix.
+        """
+        materialized = [
+            s if isinstance(s, (set, frozenset, list, tuple)) else list(s)
+            for s in feature_sets
+        ]
+        n = len(materialized)
+        if n == 0:
+            return np.empty((0, self.num_hashes), dtype=np.int64)
+        lengths = np.fromiter(
+            (len(s) for s in materialized), dtype=np.int64, count=n
+        )
+        total = int(lengths.sum())
+        out = np.full((n, self.num_hashes), _EMPTY_SENTINEL, dtype=np.int64)
+        if total == 0:
+            return out
+        flat = np.fromiter(
+            chain.from_iterable(materialized), dtype=np.uint64, count=total
+        )
+        mixed = _mix64_batch(flat) % np.uint64(_PRIME)
+        nonempty = lengths > 0
+        starts = np.zeros(int(nonempty.sum()), dtype=np.int64)
+        np.cumsum(lengths[nonempty][:-1], out=starts[1:])
+        # (T, F) hash table; products of values < P fit in uint64.
+        hashed = (
+            self._a[:, None] * mixed[None, :] + self._b[:, None]
+        ) % np.uint64(_PRIME)
+        minima = np.minimum.reduceat(hashed, starts, axis=1)
+        out[nonempty] = minima.T.astype(np.int64)
+        return out
+
+    def signatures_reference(
+        self, feature_sets: Sequence[Iterable[int]]
+    ) -> np.ndarray:
+        """Set-at-a-time reference implementation of :meth:`signatures`."""
+        if not feature_sets:
+            return np.empty((0, self.num_hashes), dtype=np.int64)
         return np.vstack([self.signature(s) for s in feature_sets])
 
     @staticmethod
@@ -75,9 +130,15 @@ class MinHashLSH:
 
 def _mix64(value: int) -> int:
     """splitmix64 finalizer: decorrelates structured (e.g. contiguous) ids."""
-    value = value & 0xFFFFFFFFFFFFFFFF
-    value = (value ^ (value >> 30)) * 0xBF58476D1CE4E5B9 & 0xFFFFFFFFFFFFFFFF
-    value = (value ^ (value >> 27)) * 0x94D049BB133111EB & 0xFFFFFFFFFFFFFFFF
-    return (value ^ (value >> 31)) & 0xFFFFFFFFFFFFFFFF
+    value = value & _UINT64_MASK
+    value = (value ^ (value >> 30)) * _MIX_MULT_1 & _UINT64_MASK
+    value = (value ^ (value >> 27)) * _MIX_MULT_2 & _UINT64_MASK
+    return (value ^ (value >> 31)) & _UINT64_MASK
 
 
+def _mix64_batch(values: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`_mix64` over a uint64 array (wraps mod 2^64)."""
+    values = values.astype(np.uint64, copy=True)
+    values = (values ^ (values >> np.uint64(30))) * np.uint64(_MIX_MULT_1)
+    values = (values ^ (values >> np.uint64(27))) * np.uint64(_MIX_MULT_2)
+    return values ^ (values >> np.uint64(31))

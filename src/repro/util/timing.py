@@ -1,8 +1,10 @@
-"""Wall-clock timing helper for the benchmark harness."""
+"""Wall-clock timing helpers for the pipeline and benchmark harness."""
 
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
+from typing import Iterator
 
 
 class Timer:
@@ -25,3 +27,31 @@ class Timer:
 
     def __exit__(self, *exc_info: object) -> None:
         self.elapsed = time.perf_counter() - self._start
+
+
+class StageTimer:
+    """Accumulates wall-clock seconds per named pipeline stage.
+
+    Re-entering a stage adds to its total, so a stage that runs once for
+    nodes and once for edges reports the combined time.
+
+    Example:
+        >>> stages = StageTimer()
+        >>> with stages.stage("embed"):
+        ...     _ = sum(range(1000))
+        >>> stages.seconds["embed"] >= 0.0
+        True
+    """
+
+    def __init__(self) -> None:
+        self.seconds: dict[str, float] = {}
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Context manager adding the block's elapsed time to ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.seconds[name] = self.seconds.get(name, 0.0) + elapsed

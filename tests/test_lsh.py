@@ -164,6 +164,36 @@ class TestMinHash:
                 mh.signature({1}), MinHashLSH(8).signature({1})
             )
 
+    def test_signatures_empty_input_returns_0xT(self):
+        """Regression: signatures([]) used to crash in np.vstack."""
+        mh = MinHashLSH(num_hashes=12, seed=1)
+        batch = mh.signatures([])
+        assert batch.shape == (0, 12)
+        assert batch.dtype == np.int64
+        reference = mh.signatures_reference([])
+        assert reference.shape == (0, 12)
+        assert reference.dtype == np.int64
+
+    def test_signatures_all_empty_sets(self):
+        mh = MinHashLSH(num_hashes=6, seed=2)
+        batch = mh.signatures([set(), set()])
+        assert np.array_equal(batch, mh.signatures_reference([set(), set()]))
+
+    @given(
+        st.lists(
+            st.sets(st.integers(0, 5_000), max_size=20),
+            max_size=25,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_batch_signatures_match_reference(self, sets):
+        """The CSR/reduceat batch kernel is bit-equal to the per-set loop."""
+        mh = MinHashLSH(num_hashes=9, seed=5)
+        batch = mh.signatures(sets)
+        reference = mh.signatures_reference(sets)
+        assert batch.dtype == reference.dtype
+        assert np.array_equal(batch, reference)
+
 
 class TestBuckets:
     def test_full_signature_groups_equal_rows(self):
