@@ -77,6 +77,9 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="PG-Schema strictness (pgschema format only)")
     discover.add_argument("--batches", type=int, default=1,
                           help="process incrementally in N batches")
+    discover.add_argument("--jobs", type=int, default=1,
+                          help="worker processes for incremental discovery "
+                               "(with --batches; 1 = sequential)")
     discover.add_argument("--scale", type=float, default=1.0,
                           help="scale factor for bundled datasets")
     discover.add_argument("--seed", type=int, default=7)
@@ -145,6 +148,7 @@ def _cmd_discover(args) -> int:
         infer_value_profiles=args.profiles,
         exact_cardinality_bounds=args.bounds,
         memoize_patterns=args.memoize,
+        jobs=args.jobs,
     )
     pipeline = PGHive(config)
     if args.batches > 1:
@@ -170,6 +174,14 @@ def _cmd_discover(args) -> int:
         f"{result.total_seconds:.2f}s",
         file=sys.stderr,
     )
+    stage_seconds = result.aggregate_stage_seconds()
+    if stage_seconds:
+        breakdown = " ".join(
+            f"{name}={seconds:.3f}s"
+            for name, seconds in sorted(stage_seconds.items())
+        )
+        label = "stages (worker compute)" if args.jobs > 1 else "stages"
+        print(f"-- {label}: {breakdown}", file=sys.stderr)
     return 0
 
 
@@ -243,10 +255,6 @@ def _cmd_evaluate(args) -> int:
     return 0
 
 
-if __name__ == "__main__":  # pragma: no cover
-    raise SystemExit(main())
-
-
 def _cmd_inspect(args) -> int:
     from repro.schema.report import render_schema_report
 
@@ -260,3 +268,7 @@ def _cmd_inspect(args) -> int:
         print("\nInferred type hierarchy:")
         print(render_hierarchy(result.schema, relations))
     return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -8,6 +8,7 @@ and cardinality inference (section 4.4), and the incremental engine
 """
 
 from repro.core.config import LSHMethod, PGHiveConfig
+from repro.core.parallel import ParallelDiscovery, ShardResult, combine_shard_results
 from repro.core.pipeline import PGHive
 from repro.core.result import DiscoveryResult
 from repro.core.adaptive import AdaptiveParameters, choose_parameters
@@ -30,8 +31,11 @@ __all__ = [
     "LSHMethod",
     "PGHive",
     "PGHiveConfig",
+    "ParallelDiscovery",
+    "ShardResult",
     "ValueProfile",
     "choose_parameters",
+    "combine_shard_results",
     "compute_cardinality_bounds",
     "infer_datatype",
     "infer_datatype_sampled",

@@ -63,6 +63,16 @@ class PGHiveConfig:
             kernels are tested against.  Both produce byte-identical
             schemas for a fixed seed; the reference path is the
             measurement baseline of ``benchmarks/bench_hotpath.py``.
+        jobs: Worker processes for incremental discovery.  ``1`` (default)
+            keeps the fully sequential engine (byte-identical to previous
+            releases); ``N > 1`` runs batch schemas in a process pool and
+            combines them through the order-independent merge tree of
+            :mod:`repro.core.parallel`.  The final schema does not depend
+            on the worker count or on worker completion order.
+        parallel_chunk: How many shards each pool task processes:
+            ``"auto"`` balances tasks across workers, or a positive
+            integer literal (e.g. ``"2"``).  Pure scheduling knob -- the
+            result is identical for every chunking.
         seed: Master RNG seed; every random component derives from it.
     """
 
@@ -85,6 +95,8 @@ class PGHiveConfig:
     datatype_sample_fraction: float = 0.1
     datatype_sample_minimum: int = 1000
     kernels: str = "vectorized"
+    jobs: int = 1
+    parallel_chunk: str = "auto"
     seed: int = 7
 
     def __post_init__(self) -> None:
@@ -104,3 +116,27 @@ class PGHiveConfig:
             raise ValueError("minhash_rows_per_band must be >= 1")
         if self.kernels not in ("vectorized", "reference"):
             raise ValueError("kernels must be 'vectorized' or 'reference'")
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if self.parallel_chunk != "auto":
+            try:
+                chunk = int(self.parallel_chunk)
+            except (TypeError, ValueError):
+                raise ValueError(
+                    "parallel_chunk must be 'auto' or a positive integer "
+                    f"literal, got {self.parallel_chunk!r}"
+                ) from None
+            if chunk < 1:
+                raise ValueError("parallel_chunk must be >= 1 when numeric")
+
+    def chunk_size(self, num_shards: int) -> int:
+        """Resolve ``parallel_chunk`` to shards per pool task.
+
+        ``"auto"`` splits the shards into about two tasks per worker so a
+        slow shard cannot strand the pool, while keeping per-task payload
+        overhead amortized.  Never affects the discovered schema.
+        """
+        if self.parallel_chunk != "auto":
+            return min(int(self.parallel_chunk), max(num_shards, 1))
+        tasks = max(self.jobs * 2, 1)
+        return max(1, -(-num_shards // tasks))

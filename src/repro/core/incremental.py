@@ -227,6 +227,24 @@ class IncrementalDiscovery:
         with stages.stage("vectorize"):
             ncols = node_columns(nodes)
             ecols = edge_columns(edges, endpoint_labels)
+        return self._process_batch_from_columns(
+            ncols, ecols, batch_schema, stages
+        )
+
+    def _process_batch_from_columns(
+        self,
+        ncols: NodeColumns,
+        ecols: EdgeColumns,
+        batch_schema: SchemaGraph,
+        stages: StageTimer,
+    ) -> tuple[list, list, bool]:
+        """Vectorized batch body over pre-built columns.
+
+        This is the worker payload contract of the parallel driver
+        (:mod:`repro.core.parallel`): everything downstream of
+        columnization needs only the compact integer-id arrays, never the
+        original :class:`Node`/:class:`Edge` objects.
+        """
         with stages.stage("embed"):
             embedder, embedder_reused = self._fit_embedder_columns(
                 ncols, ecols
@@ -235,7 +253,7 @@ class IncrementalDiscovery:
         # embedded during the node pass are free in the edge pass.
         cache = EmbeddingCache(embedder, self.config.label_weight)
         raw_nodes = self._cluster_nodes_columns(
-            ncols, len(nodes), embedder, cache, stages
+            ncols, len(ncols), embedder, cache, stages
         )
         with stages.stage("cluster"):
             node_assignment = _refine_by_label_ids(
@@ -248,12 +266,12 @@ class IncrementalDiscovery:
             extract_node_types(
                 batch_schema, node_clusters, self.config.jaccard_threshold
             )
-        overrides = self._endpoint_label_overrides(
-            batch_schema, nodes, endpoint_labels
+        overrides = self._endpoint_label_overrides_columns(
+            batch_schema, ncols
         )
         ecols = ecols.with_endpoint_overrides(overrides)
         raw_edges = self._cluster_edges_columns(
-            ecols, len(edges), embedder, cache, stages
+            ecols, len(ecols), embedder, cache, stages
         )
         with stages.stage("cluster"):
             edge_assignment = _refine_by_label_ids(
@@ -423,6 +441,82 @@ class IncrementalDiscovery:
             for node in nodes
             if not node.labels and node.id in node_token
         }
+
+    def _endpoint_label_overrides_columns(
+        self, batch_schema: SchemaGraph, ncols: NodeColumns
+    ) -> dict[int, frozenset[str]]:
+        """Columnized :meth:`_endpoint_label_overrides`.
+
+        Identical output: only unlabeled batch nodes (empty canonical
+        token) that were extracted into a node type receive an override,
+        in batch node order.
+        """
+        from repro.core.type_extraction import PSEUDO_PREFIX
+
+        batch_tag = f"b{self._batch_counter}"
+        node_token: dict[int, frozenset[str]] = {}
+        for node_type in batch_schema.node_types.values():
+            if node_type.labels:
+                token_set = node_type.labels
+            else:
+                token = f"{PSEUDO_PREFIX}{batch_tag}:{node_type.name}"
+                node_type.cluster_tokens.add(token)
+                token_set = frozenset({token})
+            for member in node_type.members:
+                node_token[member] = token_set
+        tokens = ncols.labels.tokens
+        return {
+            node_id: node_token[node_id]
+            for node_id, label_id in zip(
+                ncols.ids.tolist(), ncols.label_ids.tolist()
+            )
+            if not tokens[label_id] and node_id in node_token
+        }
+
+    def discover_batch_columns(
+        self,
+        ncols: NodeColumns,
+        ecols: EdgeColumns,
+        batch_index: int | None = None,
+    ) -> tuple[SchemaGraph, BatchReport]:
+        """Build one batch's schema from columnized arrays, without merging.
+
+        This is the unit of work the parallel driver ships to pool
+        workers: the caller (or the worker itself) columnizes a shard
+        once, and this method runs the vectorized pipeline on the compact
+        arrays, returning the *batch* schema and its report.  The running
+        schema is not touched -- shard schemas combine downstream through
+        the merge tree of :func:`repro.schema.merge.merge_schema_tree`.
+
+        Args:
+            ncols / ecols: Columnized shard (see :mod:`repro.core.columns`).
+            batch_index: Global shard index; keeps pseudo-label tags and
+                parameter keys identical to a sequential run over the
+                same batch sequence.  Defaults to the engine's internal
+                counter.
+        """
+        if batch_index is not None:
+            self._batch_counter = batch_index
+        started = time.perf_counter()
+        stages = StageTimer()
+        batch_schema = SchemaGraph(f"batch{self._batch_counter}")
+        node_clusters, edge_clusters, embedder_reused = (
+            self._process_batch_from_columns(
+                ncols, ecols, batch_schema, stages
+            )
+        )
+        report = BatchReport(
+            index=self._batch_counter,
+            num_nodes=len(ncols),
+            num_edges=len(ecols),
+            node_clusters=len(node_clusters),
+            edge_clusters=len(edge_clusters),
+            seconds=time.perf_counter() - started,
+            stage_seconds=dict(stages.seconds),
+            embedder_reused=embedder_reused,
+        )
+        self._batch_counter += 1
+        return batch_schema, report
 
     def _effective_endpoint_labels(
         self,

@@ -1,0 +1,282 @@
+"""Parallel sharded discovery: a multi-process batch pipeline.
+
+The incremental engine computes each batch schema *independently* of the
+running schema (when the memoization fast path is off), and the merge
+rules of :mod:`repro.schema.merge` are union-only (Lemmas 1-2).  Batch
+discovery therefore parallelizes embarrassingly: shard the store into
+batches, discover each shard's schema in a worker process, and combine
+the per-shard schemas through the canonical pairwise merge tree of
+:func:`repro.schema.merge.merge_schema_tree`.
+
+Payload contract
+----------------
+Workers never receive pickled :class:`~repro.graph.model.Node` /
+:class:`~repro.graph.model.Edge` objects.  Two payload modes exist:
+
+* **plan mode** (:meth:`ParallelDiscovery.discover_store`): the parent
+  warms the store's shard partition and forks; each worker receives only
+  a list of :class:`~repro.graph.store.ShardPlan` scalars and
+  materializes + columnizes its own shards against the fork-inherited
+  store.  Nothing graph-sized ever crosses the process pipe, and the
+  columnization work -- the dominant serial cost -- runs inside the
+  workers.
+* **columns mode** (:meth:`ParallelDiscovery.discover_batches`): for
+  stateful sources such as :class:`~repro.datasets.stream.GraphStream`,
+  the parent iterates the stream, columnizes each batch once, and ships
+  the compact integer-id arrays (:class:`~repro.core.columns.NodeColumns`
+  / :class:`~repro.core.columns.EdgeColumns`) to the pool.
+
+Determinism contract
+--------------------
+The final schema is a pure function of the shard sequence: workers
+return per-shard schemas individually, the driver sorts them by shard
+index and reduces them through the canonical index-ordered merge tree,
+so the result is independent of worker count, chunking, and completion
+order.  Each shard is discovered with its global batch index, keeping
+pseudo-label tags (``b{i}``) and parameter keys (``batch{i}/...``)
+identical to a sequential run over the same batch sequence; on labeled
+data the result is byte-identical to ``jobs=1``
+(``tests/test_parallel.py`` enforces both properties).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.columns import EdgeColumns, NodeColumns, edge_columns, node_columns
+from repro.core.config import PGHiveConfig
+from repro.core.incremental import IncrementalDiscovery
+from repro.core.result import BatchReport, DiscoveryResult
+from repro.core.type_extraction import resolve_edge_endpoints
+from repro.graph.store import GraphBatch, GraphStore, ShardPlan
+from repro.schema.merge import merge_schema_tree, merge_schemas
+from repro.schema.model import SchemaGraph
+
+__all__ = [
+    "ParallelDiscovery",
+    "ShardResult",
+    "combine_shard_results",
+    "fork_available",
+]
+
+
+@dataclass
+class ShardResult:
+    """One shard's independently discovered schema plus diagnostics."""
+
+    index: int
+    schema: SchemaGraph
+    report: BatchReport
+    parameters: dict[str, str] = field(default_factory=dict)
+
+
+def fork_available() -> bool:
+    """Whether the ``fork`` start method exists on this platform.
+
+    The plan-mode payload relies on copy-on-write inheritance of the
+    parent's store; without ``fork`` (e.g. Windows, or macOS policies
+    forcing ``spawn``) the driver falls back to sequential discovery.
+    """
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def combine_shard_results(
+    name: str,
+    results: Sequence[ShardResult],
+    config: PGHiveConfig,
+) -> SchemaGraph:
+    """Reduce per-shard schemas into the final schema (pure function).
+
+    Sorts by shard index, merges through the canonical pairwise tree,
+    then folds the tree result into a fresh named schema -- mirroring
+    the sequential engine's "merge batch into running schema" step -- and
+    resolves edge endpoint types once at the end.  Because the reduction
+    only depends on the *sorted* results, any permutation of ``results``
+    (worker completion order) yields the identical schema; the
+    order-invariance property test calls this directly.
+    """
+    ordered = sorted(results, key=lambda r: r.index)
+    tree = merge_schema_tree(
+        [r.schema for r in ordered],
+        config.jaccard_threshold,
+        config.endpoint_jaccard_threshold,
+    )
+    final = merge_schemas(
+        SchemaGraph(name),
+        tree,
+        config.jaccard_threshold,
+        config.endpoint_jaccard_threshold,
+    )
+    resolve_edge_endpoints(final)
+    return final
+
+
+# ----------------------------------------------------------------------
+# Worker side.  State shared by fork inheritance: the parent sets
+# ``_PARENT_STATE`` immediately before creating the pool, children
+# inherit the reference copy-on-write, and nothing graph-sized is ever
+# pickled.  (Pool tasks themselves carry only plans or column arrays.)
+# ----------------------------------------------------------------------
+_PARENT_STATE: tuple[GraphStore | None, PGHiveConfig] | None = None
+
+
+def _discover_plan_chunk(plans: Sequence[ShardPlan]) -> list[ShardResult]:
+    """Worker: materialize, columnize and discover a chunk of shards.
+
+    A chunk of *consecutive* shard indices shares one engine, so the
+    cross-batch embedder reuse of the sequential engine still applies
+    within the chunk (reuse never changes output, only cost).
+    """
+    store, config = _PARENT_STATE
+    engine = IncrementalDiscovery(config, name="shard")
+    results: list[ShardResult] = []
+    for plan in plans:
+        batch = store.materialize_shard(plan)
+        ncols = node_columns(batch.nodes)
+        ecols = edge_columns(batch.edges, batch.endpoint_labels)
+        results.append(_discover_one(engine, plan.index, ncols, ecols))
+    return results
+
+
+def _discover_columns_chunk(
+    payloads: Sequence[tuple[int, NodeColumns, EdgeColumns]],
+) -> list[ShardResult]:
+    """Worker: discover a chunk of pre-columnized shards."""
+    _, config = _PARENT_STATE
+    engine = IncrementalDiscovery(config, name="shard")
+    return [
+        _discover_one(engine, index, ncols, ecols)
+        for index, ncols, ecols in payloads
+    ]
+
+
+def _discover_one(
+    engine: IncrementalDiscovery,
+    index: int,
+    ncols: NodeColumns,
+    ecols: EdgeColumns,
+) -> ShardResult:
+    seen = len(engine.parameters)
+    schema, report = engine.discover_batch_columns(
+        ncols, ecols, batch_index=index
+    )
+    report.worker = os.getpid()
+    params = dict(list(engine.parameters.items())[seen:])
+    return ShardResult(index, schema, report, params)
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+class ParallelDiscovery:
+    """Multi-process batch discovery with an order-independent merge tree.
+
+    Drives ``config.jobs`` worker processes over the shards of a store
+    (plan mode) or an already-batched stream (columns mode), then
+    combines the per-shard schemas with :func:`combine_shard_results`.
+    Post-processing is *not* run here -- :class:`repro.core.pipeline.PGHive`
+    applies it to the combined schema exactly as in a sequential run.
+    """
+
+    def __init__(self, config: PGHiveConfig | None = None) -> None:
+        self.config = config or PGHiveConfig()
+
+    def discover_store(
+        self, store: GraphStore, num_batches: int
+    ) -> DiscoveryResult:
+        """Shard ``store`` into ``num_batches`` and discover in parallel."""
+        started = time.perf_counter()
+        plans = store.plan_shards(num_batches, seed=self.config.seed)
+        chunk = self.config.chunk_size(num_batches)
+        chunks = [
+            plans[i : i + chunk] for i in range(0, len(plans), chunk)
+        ]
+        shard_results = self._run_pool(_discover_plan_chunk, chunks, store)
+        return self._combine(store.graph.name, shard_results, started)
+
+    def discover_batches(
+        self,
+        batches: Iterable[GraphBatch],
+        name: str = "stream",
+        total: int | None = None,
+    ) -> DiscoveryResult:
+        """Discover pre-batched data (e.g. a :class:`GraphStream`).
+
+        The parent consumes the iterable -- stateful streams must be
+        generated in order -- columnizing each batch once and shipping
+        the compact arrays to the pool.
+        """
+        started = time.perf_counter()
+        payloads: list[tuple[int, NodeColumns, EdgeColumns]] = []
+        for index, batch in enumerate(batches):
+            payloads.append(
+                (
+                    index,
+                    node_columns(batch.nodes),
+                    edge_columns(batch.edges, batch.endpoint_labels),
+                )
+            )
+        chunk = self.config.chunk_size(
+            total if total is not None else len(payloads)
+        )
+        chunks = [
+            payloads[i : i + chunk]
+            for i in range(0, len(payloads), chunk)
+        ]
+        shard_results = self._run_pool(
+            _discover_columns_chunk, chunks, store=None
+        )
+        return self._combine(name, shard_results, started)
+
+    # ------------------------------------------------------------------
+    def _run_pool(self, worker, chunks, store) -> list[ShardResult]:
+        if not chunks:
+            return []
+        global _PARENT_STATE
+        context = multiprocessing.get_context("fork")
+        _PARENT_STATE = (store, self.config)
+        try:
+            workers = max(1, min(self.config.jobs, len(chunks)))
+            with ProcessPoolExecutor(
+                max_workers=workers, mp_context=context
+            ) as pool:
+                futures = [pool.submit(worker, chunk) for chunk in chunks]
+                results: list[ShardResult] = []
+                for future in futures:
+                    results.extend(future.result())
+        finally:
+            _PARENT_STATE = None
+        return results
+
+    def _combine(
+        self,
+        name: str,
+        shard_results: list[ShardResult],
+        started: float,
+    ) -> DiscoveryResult:
+        merge_started = time.perf_counter()
+        schema = combine_shard_results(name, shard_results, self.config)
+        merge_seconds = time.perf_counter() - merge_started
+        ordered = sorted(shard_results, key=lambda r: r.index)
+        parameters: dict[str, str] = {}
+        for shard in ordered:
+            parameters.update(shard.parameters)
+        workers = {r.report.worker for r in ordered if r.report.worker}
+        parameters["parallel/jobs"] = (
+            f"jobs={self.config.jobs} workers_used={len(workers)} "
+            f"shards={len(ordered)}"
+        )
+        parameters["parallel/merge_seconds"] = f"{merge_seconds:.6f}"
+        result = DiscoveryResult(
+            schema=schema,
+            batches=[r.report for r in ordered],
+            parameters=parameters,
+            discovery_seconds=time.perf_counter() - started,
+        )
+        result.refresh_assignments()
+        return result

@@ -61,6 +61,17 @@ class PGHive:
                 intermediate schemas are then always fully annotated.
         """
         started = time.perf_counter()
+        if self._parallel_eligible(num_batches, post_process_each_batch):
+            from repro.core.parallel import ParallelDiscovery
+
+            result = ParallelDiscovery(self.config).discover_store(
+                store, num_batches
+            )
+            if self.config.post_processing:
+                self._post_process(result.schema, store)
+            result.total_seconds = time.perf_counter() - started
+            result.refresh_assignments()
+            return result
         engine = IncrementalDiscovery(self.config, name=store.graph.name)
         discovery_seconds = 0.0
         for batch in store.batches(num_batches, seed=self.config.seed):
@@ -69,9 +80,9 @@ class PGHive:
             )
             discovery_seconds += report.seconds
             if post_process_each_batch and self.config.post_processing:
-                self._post_process(engine, store)
+                self._post_process(engine.schema, store)
         if self.config.post_processing and not post_process_each_batch:
-            self._post_process(engine, store)
+            self._post_process(engine.schema, store)
         result = DiscoveryResult(
             schema=engine.schema,
             batches=engine.reports,
@@ -82,18 +93,39 @@ class PGHive:
         result.refresh_assignments()
         return result
 
-    def _post_process(
-        self, engine: IncrementalDiscovery, store: GraphStore
-    ) -> None:
+    def _parallel_eligible(
+        self, num_batches: int, post_process_each_batch: bool
+    ) -> bool:
+        """Whether this run routes through the multi-process driver.
+
+        Parallel sharding requires independent batch schemas, so the
+        memoization fast path (which couples each batch to the running
+        schema) and per-batch post-processing force the sequential
+        engine, as does the reference-kernel mode (the worker payload is
+        columnized).  ``jobs=1`` always takes the sequential path, whose
+        output the parallel path matches byte for byte on labeled data.
+        """
+        from repro.core.parallel import fork_available
+
+        return (
+            self.config.jobs > 1
+            and num_batches > 1
+            and not post_process_each_batch
+            and not self.config.memoize_patterns
+            and self.config.kernels == "vectorized"
+            and fork_available()
+        )
+
+    def _post_process(self, schema, store: GraphStore) -> None:
         """Constraints, datatypes, cardinalities (section 4.4)."""
-        infer_property_constraints(engine.schema)
-        infer_datatypes(engine.schema, store, self.config)
-        compute_cardinalities(engine.schema, store)
+        infer_property_constraints(schema)
+        infer_datatypes(schema, store, self.config)
+        compute_cardinalities(schema, store)
         if self.config.exact_cardinality_bounds:
             from repro.core.cardinality_bounds import (
                 compute_cardinality_bounds,
             )
 
-            bounds = compute_cardinality_bounds(engine.schema, store)
+            bounds = compute_cardinality_bounds(schema, store)
             for name, edge_bounds in bounds.items():
-                engine.schema.edge_types[name].bounds = edge_bounds
+                schema.edge_types[name].bounds = edge_bounds

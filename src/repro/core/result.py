@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.schema.model import SchemaGraph
 
@@ -22,6 +23,10 @@ class BatchReport:
     ``merge`` (folding the batch schema into the running schema).
     ``embedder_reused`` is True when the batch skipped Word2Vec retraining
     because its deduplicated sentence corpus matched the previous batch.
+
+    ``worker`` records which pool worker produced the report (``None``
+    for the sequential engine); parallel runs aggregate the per-worker
+    reports into a single summary with :meth:`aggregate`.
     """
 
     index: int
@@ -34,6 +39,36 @@ class BatchReport:
     memo_edge_hits: int = 0
     stage_seconds: dict[str, float] = field(default_factory=dict)
     embedder_reused: bool = False
+    worker: int | None = None
+
+    @classmethod
+    def aggregate(
+        cls, reports: Sequence["BatchReport"], index: int = -1
+    ) -> "BatchReport":
+        """Combine per-shard (or per-worker) reports into one summary.
+
+        Element and cluster counts add up; ``seconds`` is the summed
+        worker compute time (CPU-style, so it can exceed the wall clock
+        of a parallel run), and ``stage_seconds`` accumulates stage-wise
+        via :meth:`repro.util.timing.StageTimer.add_seconds` semantics.
+        """
+        stages: dict[str, float] = {}
+        for report in reports:
+            for name, elapsed in report.stage_seconds.items():
+                stages[name] = stages.get(name, 0.0) + elapsed
+        return cls(
+            index=index,
+            num_nodes=sum(r.num_nodes for r in reports),
+            num_edges=sum(r.num_edges for r in reports),
+            node_clusters=sum(r.node_clusters for r in reports),
+            edge_clusters=sum(r.edge_clusters for r in reports),
+            seconds=sum(r.seconds for r in reports),
+            memo_node_hits=sum(r.memo_node_hits for r in reports),
+            memo_edge_hits=sum(r.memo_edge_hits for r in reports),
+            stage_seconds=stages,
+            embedder_reused=all(r.embedder_reused for r in reports)
+            if reports else False,
+        )
 
 
 @dataclass
@@ -70,6 +105,15 @@ class DiscoveryResult:
     def num_edge_types(self) -> int:
         """Number of discovered edge types."""
         return len(self.schema.edge_types)
+
+    def aggregate_stage_seconds(self) -> dict[str, float]:
+        """Stage-wise time summed over every batch report.
+
+        For sequential runs this is the per-stage breakdown of the whole
+        run; for parallel runs it is the total compute spent per stage
+        across all workers (which can exceed the wall clock).
+        """
+        return BatchReport.aggregate(self.batches).stage_seconds
 
     def refresh_assignments(self) -> None:
         """Rebuild the id -> type-name maps from the schema's members."""

@@ -17,9 +17,43 @@ from __future__ import annotations
 
 import random
 from collections import defaultdict
+from dataclasses import dataclass
 from typing import Any, Iterable, Iterator, Sequence
 
 from repro.graph.model import Edge, Node, PropertyGraph
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Self-contained recipe for one shard of a node-partitioned scan.
+
+    A plan is tiny (four scalars) and picklable, so a pool of workers can
+    each receive a plan and call :meth:`GraphStore.materialize_shard`
+    independently -- against a fork-inherited store or any store wrapping
+    the same graph -- and obtain exactly the batch that
+    :meth:`GraphStore.batches` would have yielded at ``index``.
+    """
+
+    index: int
+    num_shards: int
+    seed: int = 0
+    shuffle: bool = True
+
+
+class _Partition:
+    """Materialized node/edge partition shared by all shards of one plan."""
+
+    __slots__ = ("nodes_by_shard", "edges_by_shard", "labels_by_id")
+
+    def __init__(
+        self,
+        nodes_by_shard: list[list[Node]],
+        edges_by_shard: dict[int, list[Edge]],
+        labels_by_id: dict[int, frozenset[str]],
+    ) -> None:
+        self.nodes_by_shard = nodes_by_shard
+        self.edges_by_shard = edges_by_shard
+        self.labels_by_id = labels_by_id
 
 
 class GraphStore:
@@ -32,6 +66,9 @@ class GraphStore:
 
     def __init__(self, graph: PropertyGraph) -> None:
         self._graph = graph
+        self._partition_cache: tuple[
+            tuple[int, int, bool], _Partition
+        ] | None = None
 
     @property
     def graph(self) -> PropertyGraph:
@@ -82,36 +119,88 @@ class GraphStore:
         label information an edge needs for vectorization even when the other
         endpoint lives in an earlier or later batch.
         """
-        if num_batches < 1:
+        partition = self._partition(num_batches, seed, shuffle)
+        for batch_index in range(num_batches):
+            yield self._make_batch(partition, batch_index)
+
+    def plan_shards(
+        self,
+        num_shards: int,
+        seed: int = 0,
+        shuffle: bool = True,
+    ) -> list[ShardPlan]:
+        """Plans for materializing each batch of a sharded scan on demand.
+
+        ``materialize_shard(plan_shards(n)[k])`` is exactly the ``k``-th
+        batch of ``batches(n)``; shards can therefore be built in any
+        order, concurrently, and in separate processes.  Calling this in
+        the parent also warms the partition cache, so forked workers
+        inherit the assignment instead of recomputing it.
+        """
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self._partition(num_shards, seed, shuffle)
+        return [
+            ShardPlan(index, num_shards, seed, shuffle)
+            for index in range(num_shards)
+        ]
+
+    def materialize_shard(self, plan: ShardPlan) -> "GraphBatch":
+        """Build the single batch described by ``plan``."""
+        if not 0 <= plan.index < plan.num_shards:
+            raise ValueError(
+                f"shard index {plan.index} out of range for "
+                f"{plan.num_shards} shards"
+            )
+        partition = self._partition(plan.num_shards, plan.seed, plan.shuffle)
+        return self._make_batch(partition, plan.index)
+
+    def _partition(
+        self, num_shards: int, seed: int, shuffle: bool
+    ) -> _Partition:
+        """Assign nodes and edges to shards (cached for the last plan)."""
+        if num_shards < 1:
             raise ValueError("num_batches must be >= 1")
+        key = (num_shards, seed, shuffle)
+        cached = self._partition_cache
+        if cached is not None and cached[0] == key:
+            return cached[1]
         node_ids = [node.id for node in self._graph.nodes()]
         if shuffle:
             random.Random(seed).shuffle(node_ids)
         assignment: dict[int, int] = {}
         for index, node_id in enumerate(node_ids):
-            assignment[node_id] = index % num_batches
-        edges_by_batch: dict[int, list[Edge]] = defaultdict(list)
+            assignment[node_id] = index % num_shards
+        edges_by_shard: dict[int, list[Edge]] = defaultdict(list)
         for edge in self._graph.edges():
-            edges_by_batch[assignment[edge.source]].append(edge)
-        nodes_by_batch: list[list[Node]] = [[] for _ in range(num_batches)]
+            edges_by_shard[assignment[edge.source]].append(edge)
+        nodes_by_shard: list[list[Node]] = [[] for _ in range(num_shards)]
         labels_by_id: dict[int, frozenset[str]] = {}
         for nid in node_ids:
             node = self._graph.node(nid)
-            nodes_by_batch[assignment[nid]].append(node)
+            nodes_by_shard[assignment[nid]].append(node)
             labels_by_id[nid] = node.labels
-        for batch_index in range(num_batches):
-            edges = edges_by_batch.get(batch_index, [])
-            # Endpoints are looked up once per distinct node id (an edge
-            # list mentions the same hub nodes over and over).
-            endpoint_labels: dict[int, frozenset[str]] = {}
-            for edge in edges:
-                for nid in (edge.source, edge.target):
-                    if nid not in endpoint_labels:
-                        endpoint_labels[nid] = labels_by_id[nid]
-            yield GraphBatch(
-                batch_index, nodes_by_batch[batch_index], edges,
-                endpoint_labels,
-            )
+        partition = _Partition(nodes_by_shard, dict(edges_by_shard),
+                               labels_by_id)
+        self._partition_cache = (key, partition)
+        return partition
+
+    def _make_batch(
+        self, partition: _Partition, batch_index: int
+    ) -> "GraphBatch":
+        edges = partition.edges_by_shard.get(batch_index, [])
+        # Endpoints are looked up once per distinct node id (an edge
+        # list mentions the same hub nodes over and over).
+        labels_by_id = partition.labels_by_id
+        endpoint_labels: dict[int, frozenset[str]] = {}
+        for edge in edges:
+            for nid in (edge.source, edge.target):
+                if nid not in endpoint_labels:
+                    endpoint_labels[nid] = labels_by_id[nid]
+        return GraphBatch(
+            batch_index, partition.nodes_by_shard[batch_index], edges,
+            endpoint_labels,
+        )
 
     # ------------------------------------------------------------------
     # Aggregations used by post-processing

@@ -20,6 +20,8 @@ subsumed by S_{i+1}).
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.schema.model import EdgeType, NodeType, SchemaGraph
 from repro.util.similarity import jaccard
 
@@ -279,6 +281,43 @@ def merge_schemas(
             _add_edge_with_unique_name(base, edge_type)
             index.add(edge_type)
     return base
+
+
+def merge_schema_tree(
+    schemas: Sequence[SchemaGraph],
+    jaccard_threshold: float = 0.9,
+    endpoint_threshold: float = 0.5,
+) -> SchemaGraph:
+    """Combine batch schemas through a pairwise merge tree.
+
+    The schemas are reduced level by level -- ``(S1+S2), (S3+S4), ...`` --
+    until one remains, always pairing neighbours in input order.  Because
+    :func:`merge_schemas` is union-only (Lemmas 1-2 make the batch chain
+    monotone), every tree shape over the same input order yields the same
+    types; fixing the shape to this canonical bracketing additionally
+    pins down bookkeeping order (type insertion, abstract numbering), so
+    the output is a pure function of the input *sequence* -- independent
+    of which parallel worker finished first.
+
+    Mutates the input schemas (they become intermediate accumulators) and
+    returns the root.  An empty input yields a fresh empty schema.
+    """
+    level = [s for s in schemas if s is not None]
+    if not level:
+        return SchemaGraph("empty")
+    while len(level) > 1:
+        next_level: list[SchemaGraph] = []
+        for i in range(0, len(level) - 1, 2):
+            next_level.append(
+                merge_schemas(
+                    level[i], level[i + 1],
+                    jaccard_threshold, endpoint_threshold,
+                )
+            )
+        if len(level) % 2:
+            next_level.append(level[-1])
+        level = next_level
+    return level[0]
 
 
 def _merge_property_specs(into: NodeType | EdgeType, other: NodeType | EdgeType) -> None:

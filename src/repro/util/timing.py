@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Iterable, Iterator, Mapping
 
 
 class Timer:
@@ -55,3 +55,26 @@ class StageTimer:
         finally:
             elapsed = time.perf_counter() - start
             self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
+
+    def add_seconds(self, seconds: Mapping[str, float]) -> None:
+        """Fold another timer's per-stage totals into this one.
+
+        Used to aggregate stage timings measured in worker processes into
+        a single driver-side timer: each worker reports its own
+        ``seconds`` dict and the parent accumulates them here.
+        """
+        for name, elapsed in seconds.items():
+            self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
+
+    def merge(self, other: "StageTimer") -> "StageTimer":
+        """Accumulate ``other``'s stages into this timer (returns self)."""
+        self.add_seconds(other.seconds)
+        return self
+
+    @classmethod
+    def aggregate(cls, timings: Iterable[Mapping[str, float]]) -> "StageTimer":
+        """One timer holding the stage-wise sum of many timing dicts."""
+        total = cls()
+        for seconds in timings:
+            total.add_seconds(seconds)
+        return total

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.graph.builder import GraphBuilder
@@ -38,6 +40,17 @@ def figure1_graph() -> PropertyGraph:
 def figure1_store(figure1_graph) -> GraphStore:
     """Store over the Figure 1 graph."""
     return GraphStore(figure1_graph)
+
+
+@pytest.fixture
+def test_jobs() -> int:
+    """Worker count for the dedicated parallel-discovery tests.
+
+    CI exercises the multi-process path with ``PGHIVE_TEST_JOBS=2``; the
+    variable only feeds tests that request this fixture, so the rest of
+    the suite keeps its sequential expectations.
+    """
+    return int(os.environ.get("PGHIVE_TEST_JOBS", "2"))
 
 
 @pytest.fixture

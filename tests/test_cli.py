@@ -48,6 +48,23 @@ class TestCli:
             "discover", "POLE", "--scale", "0.15", "--batches", "3",
         ]) == 0
 
+    def test_discover_parallel_jobs(self, capsys, test_jobs):
+        """--jobs routes through the pool and matches the sequential
+        schema; the stage breakdown is reported on stderr."""
+        assert main([
+            "discover", "ldbc", "--scale", "0.5",
+            "--batches", "4", "--seed", "0",
+        ]) == 0
+        sequential = capsys.readouterr()
+        assert main([
+            "discover", "ldbc", "--scale", "0.5",
+            "--batches", "4", "--seed", "0",
+            "--jobs", str(test_jobs),
+        ]) == 0
+        parallel = capsys.readouterr()
+        assert parallel.out == sequential.out
+        assert "stages" in parallel.err and "embed=" in parallel.err
+
     def test_discover_unknown_input(self, capsys):
         with pytest.raises(SystemExit):
             main(["discover", "definitely-not-a-thing"])

@@ -62,6 +62,60 @@ class TestBatches:
         assert first == second
 
 
+class TestShardPlans:
+    def test_shards_reproduce_batches_exactly(self, figure1_store):
+        batches = list(figure1_store.batches(3, seed=5))
+        plans = figure1_store.plan_shards(3, seed=5)
+        for batch, plan in zip(batches, plans):
+            shard = figure1_store.materialize_shard(plan)
+            assert [n.id for n in shard.nodes] == [n.id for n in batch.nodes]
+            assert [e.id for e in shard.edges] == [e.id for e in batch.edges]
+            assert shard.endpoint_labels == batch.endpoint_labels
+            assert shard.index == batch.index
+
+    def test_shards_materialize_in_any_order(self, figure1_store):
+        plans = figure1_store.plan_shards(3, seed=5)
+        reversed_nodes = [
+            [n.id for n in figure1_store.materialize_shard(p).nodes]
+            for p in reversed(plans)
+        ]
+        forward_nodes = [
+            [n.id for n in figure1_store.materialize_shard(p).nodes]
+            for p in plans
+        ]
+        assert reversed_nodes == forward_nodes[::-1]
+
+    def test_plans_are_picklable_scalars(self, figure1_store):
+        import pickle
+
+        plans = figure1_store.plan_shards(2, seed=1)
+        restored = pickle.loads(pickle.dumps(plans))
+        assert restored == plans
+        shard = figure1_store.materialize_shard(restored[1])
+        assert shard.index == 1
+
+    def test_out_of_range_index_rejected(self, figure1_store):
+        from repro.graph.store import ShardPlan
+
+        with pytest.raises(ValueError):
+            figure1_store.materialize_shard(ShardPlan(3, 3))
+
+    def test_invalid_shard_count(self, figure1_store):
+        with pytest.raises(ValueError):
+            figure1_store.plan_shards(0)
+
+    def test_partition_cache_reused(self, figure1_store):
+        figure1_store.plan_shards(3, seed=5)
+        cached = figure1_store._partition_cache
+        figure1_store.materialize_shard(
+            figure1_store.plan_shards(3, seed=5)[0]
+        )
+        assert figure1_store._partition_cache is cached
+        # A different sharding replaces the (single-entry) cache.
+        figure1_store.plan_shards(2, seed=5)
+        assert figure1_store._partition_cache is not cached
+
+
 class TestDegreeExtremes:
     def test_fan_out(self):
         b = GraphBuilder()

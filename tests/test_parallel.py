@@ -1,0 +1,206 @@
+"""Tests for the multi-process sharded discovery driver.
+
+The determinism contract under test: the final schema is a pure function
+of the shard sequence -- independent of worker count, chunk size, and the
+order in which shard results arrive -- and on labeled data it is
+byte-identical to the sequential engine's output.
+"""
+
+import random
+
+import pytest
+
+from repro.core import (
+    ParallelDiscovery,
+    PGHive,
+    PGHiveConfig,
+    combine_shard_results,
+)
+from repro.core.columns import edge_columns, node_columns
+from repro.core.incremental import IncrementalDiscovery
+from repro.core.parallel import ShardResult, fork_available
+from repro.datasets import get_dataset
+from repro.datasets.registry import dataset_spec
+from repro.datasets.stream import GraphStream
+from repro.graph.store import GraphStore
+from repro.schema.serialize_pgschema import serialize_pg_schema
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="parallel driver requires fork"
+)
+
+NUM_BATCHES = 6
+
+
+@pytest.fixture(scope="module")
+def ldbc_graph():
+    return get_dataset("ldbc", scale=1, seed=0).graph
+
+
+@pytest.fixture(scope="module")
+def sequential_schema(ldbc_graph):
+    result = PGHive(PGHiveConfig()).discover_incremental(
+        GraphStore(ldbc_graph), num_batches=NUM_BATCHES
+    )
+    return serialize_pg_schema(result.schema)
+
+
+def _shard_results(graph, config):
+    """Discover every shard's schema independently (no pool)."""
+    store = GraphStore(graph)
+    engine = IncrementalDiscovery(config, name="shard")
+    results = []
+    for plan in store.plan_shards(NUM_BATCHES, seed=config.seed):
+        batch = store.materialize_shard(plan)
+        schema, report = engine.discover_batch_columns(
+            node_columns(batch.nodes),
+            edge_columns(batch.edges, batch.endpoint_labels),
+            batch_index=plan.index,
+        )
+        results.append(ShardResult(plan.index, schema, report))
+    return results
+
+
+class TestWorkerCountInvariance:
+    def test_env_jobs_matches_sequential(
+        self, ldbc_graph, sequential_schema, test_jobs
+    ):
+        """The CI-configured worker count (PGHIVE_TEST_JOBS) agrees."""
+        result = PGHive(PGHiveConfig(jobs=test_jobs)).discover_incremental(
+            GraphStore(ldbc_graph), num_batches=NUM_BATCHES
+        )
+        assert serialize_pg_schema(result.schema) == sequential_schema
+
+    @pytest.mark.parametrize("jobs", [2, 3])
+    def test_byte_identical_to_sequential(
+        self, ldbc_graph, sequential_schema, jobs
+    ):
+        result = PGHive(PGHiveConfig(jobs=jobs)).discover_incremental(
+            GraphStore(ldbc_graph), num_batches=NUM_BATCHES
+        )
+        assert serialize_pg_schema(result.schema) == sequential_schema
+
+    def test_assignments_match_sequential(self, ldbc_graph):
+        seq = PGHive(PGHiveConfig()).discover_incremental(
+            GraphStore(ldbc_graph), num_batches=NUM_BATCHES
+        )
+        par = PGHive(PGHiveConfig(jobs=2)).discover_incremental(
+            GraphStore(ldbc_graph), num_batches=NUM_BATCHES
+        )
+        assert par.node_assignment == seq.node_assignment
+        assert par.edge_assignment == seq.edge_assignment
+
+    def test_lsh_parameters_match_sequential(self, ldbc_graph):
+        seq = PGHive(PGHiveConfig()).discover_incremental(
+            GraphStore(ldbc_graph), num_batches=NUM_BATCHES
+        )
+        par = PGHive(PGHiveConfig(jobs=2)).discover_incremental(
+            GraphStore(ldbc_graph), num_batches=NUM_BATCHES
+        )
+        batch_params = {
+            k: v for k, v in par.parameters.items()
+            if not k.startswith("parallel/")
+        }
+        assert batch_params == seq.parameters
+
+    @pytest.mark.parametrize("chunk", ["1", "3", "auto"])
+    def test_chunk_size_invariance(
+        self, ldbc_graph, sequential_schema, chunk
+    ):
+        config = PGHiveConfig(jobs=2, parallel_chunk=chunk)
+        result = PGHive(config).discover_incremental(
+            GraphStore(ldbc_graph), num_batches=NUM_BATCHES
+        )
+        assert serialize_pg_schema(result.schema) == sequential_schema
+
+
+class TestMergeOrderInvariance:
+    def test_combine_is_permutation_invariant(self, ldbc_graph):
+        """Worker completion order cannot change the final schema."""
+        config = PGHiveConfig(post_processing=False)
+        results = _shard_results(ldbc_graph, config)
+        reference = serialize_pg_schema(
+            combine_shard_results("g", results, config)
+        )
+        rng = random.Random(11)
+        for _ in range(5):
+            shuffled = list(results)
+            rng.shuffle(shuffled)
+            combined = combine_shard_results("g", shuffled, config)
+            assert serialize_pg_schema(combined) == reference
+
+    def test_combine_matches_sequential_fold(self, ldbc_graph):
+        config = PGHiveConfig(post_processing=False)
+        combined = combine_shard_results(
+            ldbc_graph.name, _shard_results(ldbc_graph, config), config
+        )
+        seq = PGHive(config).discover_incremental(
+            GraphStore(ldbc_graph), num_batches=NUM_BATCHES
+        )
+        assert serialize_pg_schema(combined) == serialize_pg_schema(
+            seq.schema
+        )
+
+
+class TestStreamParallel:
+    def test_columns_mode_matches_sequential_engine(self):
+        spec = dataset_spec("ldbc")
+        config = PGHiveConfig(post_processing=False)
+        engine = IncrementalDiscovery(config, name="s")
+        for batch in GraphStream(spec, num_batches=5, seed=3).batches():
+            engine.process_batch(
+                batch.nodes, batch.edges, batch.endpoint_labels
+            )
+        stream = GraphStream(spec, num_batches=5, seed=3)
+        parallel = ParallelDiscovery(
+            PGHiveConfig(post_processing=False, jobs=2)
+        ).discover_batches(stream.batches(), name="s", total=5)
+        assert serialize_pg_schema(parallel.schema) == serialize_pg_schema(
+            engine.schema
+        )
+
+
+class TestReportsAndFallbacks:
+    def test_per_worker_reports(self, ldbc_graph):
+        result = PGHive(PGHiveConfig(jobs=2)).discover_incremental(
+            GraphStore(ldbc_graph), num_batches=NUM_BATCHES
+        )
+        assert [r.index for r in result.batches] == list(range(NUM_BATCHES))
+        assert all(r.worker is not None for r in result.batches)
+        aggregated = result.aggregate_stage_seconds()
+        assert {"embed", "vectorize", "cluster", "extract"} <= set(
+            aggregated
+        )
+        assert "parallel/jobs" in result.parameters
+        assert "parallel/merge_seconds" in result.parameters
+
+    def test_memoization_forces_sequential(self, ldbc_graph):
+        """The memo fast path couples batches; jobs must not change it."""
+        config = PGHiveConfig(jobs=2, memoize_patterns=True)
+        result = PGHive(config).discover_incremental(
+            GraphStore(ldbc_graph), num_batches=NUM_BATCHES
+        )
+        assert all(r.worker is None for r in result.batches)
+
+    def test_jobs1_takes_sequential_path(self, ldbc_graph):
+        result = PGHive(PGHiveConfig(jobs=1)).discover_incremental(
+            GraphStore(ldbc_graph), num_batches=NUM_BATCHES
+        )
+        assert all(r.worker is None for r in result.batches)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PGHiveConfig(jobs=0)
+        with pytest.raises(ValueError):
+            PGHiveConfig(parallel_chunk="sometimes")
+        with pytest.raises(ValueError):
+            PGHiveConfig(parallel_chunk="0")
+
+    def test_chunk_size_resolution(self):
+        config = PGHiveConfig(jobs=4)
+        # auto: about two tasks per worker
+        assert config.chunk_size(16) == 2
+        assert config.chunk_size(3) == 1
+        explicit = PGHiveConfig(jobs=4, parallel_chunk="3")
+        assert explicit.chunk_size(16) == 3
+        assert explicit.chunk_size(2) == 2

@@ -1,6 +1,8 @@
 """Tests for schema merging (section 4.6, Lemmas 1-2) and the index."""
 
+import copy
 from collections import Counter
+from functools import reduce
 
 import pytest
 from hypothesis import given, settings
@@ -12,6 +14,7 @@ from repro.schema.merge import (
     find_labeled_edge_host,
     merge_edge_types,
     merge_node_types,
+    merge_schema_tree,
     merge_schemas,
 )
 from repro.schema.model import DataType, EdgeType, NodeType, SchemaGraph
@@ -213,6 +216,211 @@ class TestMergeSchemas:
         merged_labels = {t.labels for t in base.node_types.values()}
         assert snapshot_labels <= merged_labels
         assert base.node_types["A"].property_keys >= {"k1", "k3"}
+
+
+def _nt_fingerprint(node_type: NodeType):
+    """Canonical content of a node type, ignoring name and member order."""
+    return (
+        node_type.labels,
+        node_type.property_keys,
+        frozenset(
+            (k, p.datatype) for k, p in node_type.properties.items()
+        ),
+        node_type.instance_count,
+        frozenset(node_type.property_counts.items()),
+        frozenset(node_type.members),
+        node_type.abstract,
+        frozenset(node_type.cluster_tokens),
+    )
+
+
+def _et_fingerprint(edge_type: EdgeType):
+    """Canonical content of an edge type, ignoring name and member order."""
+    return (
+        edge_type.labels,
+        edge_type.property_keys,
+        frozenset(
+            (k, p.datatype) for k, p in edge_type.properties.items()
+        ),
+        edge_type.source_labels,
+        edge_type.target_labels,
+        frozenset(edge_type.source_tokens),
+        frozenset(edge_type.target_tokens),
+        edge_type.max_out,
+        edge_type.max_in,
+        edge_type.instance_count,
+        frozenset(edge_type.property_counts.items()),
+        frozenset(edge_type.members),
+        edge_type.abstract,
+    )
+
+
+def _schema_fingerprint(schema: SchemaGraph):
+    """Canonical content of a whole schema, ignoring names and order."""
+    return (
+        frozenset(_nt_fingerprint(t) for t in schema.node_types.values()),
+        frozenset(_et_fingerprint(t) for t in schema.edge_types.values()),
+    )
+
+
+datatype_strategy = st.sampled_from(
+    [DataType.UNKNOWN, DataType.INTEGER, DataType.DATE]
+)
+
+
+@st.composite
+def node_types(draw, require_labels=False):
+    labels = draw(labels_strategy)
+    if require_labels and not labels:
+        labels = frozenset({draw(st.sampled_from(["A", "B", "C", "D"]))})
+    keys = draw(keys_strategy)
+    node_type = _node_type(
+        "nt", labels, keys, count=draw(st.integers(0, 5))
+    )
+    for key in keys:
+        node_type.properties[key].datatype = draw(datatype_strategy)
+    node_type.members = draw(
+        st.lists(st.integers(0, 99), max_size=4, unique=True)
+    )
+    return node_type
+
+
+@st.composite
+def edge_types(draw):
+    # Endpoint families are equal-or-disjoint so endpoint compatibility
+    # at threshold 0.5 is itself an equivalence relation -- the regime
+    # in which batch-schema merging is order-independent (fully labeled
+    # data keeps endpoint label sets per edge label disjoint or equal).
+    family = draw(st.sampled_from([("S1",), ("S2",), ("S3", "S4")]))
+    target = draw(st.sampled_from([("T1",), ("T2",)]))
+    label = draw(st.sampled_from(["E1", "E2", "E3"]))
+    edge_type = _edge_type(
+        "et", (label,), draw(keys_strategy), family, target
+    )
+    edge_type.instance_count = draw(st.integers(0, 5))
+    edge_type.members = draw(
+        st.lists(st.integers(0, 99), max_size=4, unique=True)
+    )
+    edge_type.max_out = draw(st.integers(0, 4))
+    edge_type.max_in = draw(st.integers(0, 4))
+    return edge_type
+
+
+@st.composite
+def batch_schemas(draw):
+    """A randomized batch schema: labeled node types plus edge types."""
+    schema = SchemaGraph(f"batch{draw(st.integers(0, 9))}")
+    drawn_nodes = draw(
+        st.lists(node_types(require_labels=True), max_size=3)
+    )
+    for i, node_type in enumerate(drawn_nodes):
+        node_type.name = f"n{i}"
+        schema.add_node_type(node_type)
+    drawn_edges = draw(st.lists(edge_types(), max_size=3))
+    for i, edge_type in enumerate(drawn_edges):
+        edge_type.name = f"e{i}"
+        schema.add_edge_type(edge_type)
+    return schema
+
+
+class TestMergeAlgebra:
+    """The type-level merges are commutative and associative monoids.
+
+    These are the algebraic facts that license the parallel driver's
+    merge tree: because type content (modulo name and member order) does
+    not depend on merge order, any bracketing of the batch sequence
+    yields the same schema.
+    """
+
+    @given(node_types(), node_types())
+    @settings(max_examples=80, deadline=None)
+    def test_merge_node_types_commutative(self, a, b):
+        ab = merge_node_types(copy.deepcopy(a), copy.deepcopy(b))
+        ba = merge_node_types(copy.deepcopy(b), copy.deepcopy(a))
+        assert _nt_fingerprint(ab) == _nt_fingerprint(ba)
+
+    @given(node_types(), node_types(), node_types())
+    @settings(max_examples=80, deadline=None)
+    def test_merge_node_types_associative(self, a, b, c):
+        left = merge_node_types(
+            merge_node_types(copy.deepcopy(a), copy.deepcopy(b)),
+            copy.deepcopy(c),
+        )
+        right = merge_node_types(
+            copy.deepcopy(a),
+            merge_node_types(copy.deepcopy(b), copy.deepcopy(c)),
+        )
+        assert _nt_fingerprint(left) == _nt_fingerprint(right)
+
+    @given(edge_types(), edge_types())
+    @settings(max_examples=80, deadline=None)
+    def test_merge_edge_types_commutative(self, a, b):
+        ab = merge_edge_types(copy.deepcopy(a), copy.deepcopy(b))
+        ba = merge_edge_types(copy.deepcopy(b), copy.deepcopy(a))
+        assert _et_fingerprint(ab) == _et_fingerprint(ba)
+
+    @given(edge_types(), edge_types(), edge_types())
+    @settings(max_examples=80, deadline=None)
+    def test_merge_edge_types_associative(self, a, b, c):
+        left = merge_edge_types(
+            merge_edge_types(copy.deepcopy(a), copy.deepcopy(b)),
+            copy.deepcopy(c),
+        )
+        right = merge_edge_types(
+            copy.deepcopy(a),
+            merge_edge_types(copy.deepcopy(b), copy.deepcopy(c)),
+        )
+        assert _et_fingerprint(left) == _et_fingerprint(right)
+
+
+class TestMergeSchemaTree:
+    @staticmethod
+    def _finalize(schema):
+        """The driver's closing step: fold into a fresh named schema.
+
+        A raw batch schema may still contain internally-mergeable edge
+        types (extraction keeps clusters apart that the schema-level
+        rules would unite); both the sequential engine's first fold and
+        the parallel driver's final fold collapse them, so equality is
+        stated after this normalization -- exactly what
+        ``combine_shard_results`` computes.
+        """
+        return merge_schemas(SchemaGraph("final"), schema)
+
+    @given(st.lists(batch_schemas(), min_size=1, max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_tree_equals_left_fold(self, schemas):
+        """Finalized tree == the sequential engine's running-schema fold."""
+        tree = self._finalize(
+            merge_schema_tree([copy.deepcopy(s) for s in schemas])
+        )
+        fold = reduce(
+            merge_schemas,
+            [copy.deepcopy(s) for s in schemas],
+            SchemaGraph("fold"),
+        )
+        assert _schema_fingerprint(tree) == _schema_fingerprint(fold)
+
+    @given(st.lists(batch_schemas(), min_size=2, max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_tree_shape_independence(self, schemas):
+        """Pairwise tree and serial fold of the same order agree, so any
+        bracketing does (both are extreme tree shapes)."""
+        tree = self._finalize(
+            merge_schema_tree([copy.deepcopy(s) for s in schemas])
+        )
+        serial = self._finalize(
+            reduce(merge_schemas, [copy.deepcopy(s) for s in schemas])
+        )
+        assert _schema_fingerprint(tree) == _schema_fingerprint(serial)
+
+    def test_empty_input(self):
+        assert merge_schema_tree([]).node_types == {}
+
+    def test_single_schema_passthrough(self):
+        schema = SchemaGraph("only")
+        schema.add_node_type(_node_type("A", ("A",), ("k",)))
+        assert merge_schema_tree([schema]) is schema
 
 
 class TestEdgeTypeIndex:
