@@ -20,11 +20,12 @@ import sys
 from pathlib import Path
 
 from repro.core.config import LSHMethod, PGHiveConfig
+from repro.core.parallel import ShardRecoveryError
 from repro.core.pipeline import PGHive
 from repro.datasets import get_dataset, inject_noise, list_datasets
 from repro.datasets.registry import dataset_spec
 from repro.evaluation.harness import ALL_METHODS, run_system
-from repro.graph.io import load_graph_jsonl, save_graph_jsonl
+from repro.graph.io import IngestReport, load_graph_jsonl, save_graph_jsonl
 from repro.graph.stats import compute_statistics
 from repro.graph.store import GraphStore
 from repro.schema.serialize_cypher import serialize_cypher
@@ -48,7 +49,17 @@ def main(argv: list[str] | None = None) -> int:
     if handler is None:
         parser.print_help()
         return 2
-    return handler(args)
+    try:
+        return handler(args)
+    except ShardRecoveryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except (FileNotFoundError, ValueError) as exc:
+        # Loader/config/persistence failures (malformed dumps, corrupt
+        # checkpoints, bad flag combinations) exit 1 with one clean line
+        # instead of a traceback; usage errors keep exiting 2.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -91,6 +102,24 @@ def _build_parser() -> argparse.ArgumentParser:
     discover.add_argument("--memoize", action="store_true",
                           help="enable the incremental memoization fast "
                                "path (with --batches)")
+    discover.add_argument("--on-error", choices=["raise", "skip", "collect"],
+                          default="raise",
+                          help="policy for malformed input records: stop "
+                               "at the first (raise), drop silently "
+                               "(skip), or drop and report each rejected "
+                               "line (collect)")
+    discover.add_argument("--checkpoint-dir",
+                          help="journal the running schema here every "
+                               "--checkpoint-every batches (sequential "
+                               "incremental runs)")
+    discover.add_argument("--checkpoint-every", type=int, default=1,
+                          help="batches between checkpoints")
+    discover.add_argument("--resume", action="store_true",
+                          help="continue from the checkpoint in "
+                               "--checkpoint-dir if one exists")
+    discover.add_argument("--strict-recovery", action="store_true",
+                          help="fail the run if any parallel shard cannot "
+                               "be recovered (default: degrade and report)")
 
     datasets = sub.add_parser("datasets", help="list bundled datasets")
     datasets.add_argument("--scale", type=float, default=1.0)
@@ -128,7 +157,12 @@ def _load_input(args) -> GraphStore:
     """Resolve the discover input: file path or bundled dataset name."""
     path = Path(args.input)
     if path.exists():
-        return GraphStore(load_graph_jsonl(path))
+        on_error = getattr(args, "on_error", "raise")
+        report = IngestReport() if on_error != "raise" else None
+        graph = load_graph_jsonl(path, on_error=on_error, report=report)
+        if report is not None and report.errors:
+            print(report.describe(), file=sys.stderr)
+        return GraphStore(graph)
     try:
         dataset = get_dataset(args.input, scale=args.scale, seed=args.seed)
     except KeyError:
@@ -149,10 +183,15 @@ def _cmd_discover(args) -> int:
         exact_cardinality_bounds=args.bounds,
         memoize_patterns=args.memoize,
         jobs=args.jobs,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        strict_recovery=args.strict_recovery,
     )
     pipeline = PGHive(config)
     if args.batches > 1:
-        result = pipeline.discover_incremental(store, args.batches)
+        result = pipeline.discover_incremental(
+            store, args.batches, resume=args.resume
+        )
     else:
         result = pipeline.discover(store)
     if args.format == "xsd":
@@ -182,6 +221,25 @@ def _cmd_discover(args) -> int:
         )
         label = "stages (worker compute)" if args.jobs > 1 else "stages"
         print(f"-- {label}: {breakdown}", file=sys.stderr)
+    if result.resumed_from:
+        print(
+            f"-- resumed from checkpoint at batch {result.resumed_from}",
+            file=sys.stderr,
+        )
+    if result.shard_failures:
+        print(
+            f"-- recovered from {len(result.shard_failures)} shard "
+            f"failure(s):",
+            file=sys.stderr,
+        )
+        for failure in result.shard_failures:
+            print(f"--   {failure.describe()}", file=sys.stderr)
+        if result.degraded_shards:
+            print(
+                f"-- WARNING: shards {result.degraded_shards} were "
+                f"dropped; the schema may be incomplete",
+                file=sys.stderr,
+            )
     return 0
 
 

@@ -8,9 +8,15 @@ and cardinality inference (section 4.4), and the incremental engine
 """
 
 from repro.core.config import LSHMethod, PGHiveConfig
-from repro.core.parallel import ParallelDiscovery, ShardResult, combine_shard_results
+from repro.core.faults import FaultInjector, FaultPlan, FaultSpec, InjectedFault
+from repro.core.parallel import (
+    ParallelDiscovery,
+    ShardRecoveryError,
+    ShardResult,
+    combine_shard_results,
+)
 from repro.core.pipeline import PGHive
-from repro.core.result import DiscoveryResult
+from repro.core.result import DiscoveryResult, ShardFailure
 from repro.core.adaptive import AdaptiveParameters, choose_parameters
 from repro.core.datatypes import (
     infer_datatype,
@@ -28,10 +34,16 @@ __all__ = [
     "AdaptiveParameters",
     "CardinalityBounds",
     "DiscoveryResult",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
     "LSHMethod",
     "PGHive",
     "PGHiveConfig",
     "ParallelDiscovery",
+    "ShardFailure",
+    "ShardRecoveryError",
     "ShardResult",
     "ValueProfile",
     "choose_parameters",

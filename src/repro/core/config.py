@@ -73,6 +73,35 @@ class PGHiveConfig:
             ``"auto"`` balances tasks across workers, or a positive
             integer literal (e.g. ``"2"``).  Pure scheduling knob -- the
             result is identical for every chunking.
+        shard_timeout: Wall-clock seconds a parallel pool task may run
+            before the driver declares it hung, kills the pool workers
+            and requeues the lost shards.  ``None`` (default) disables
+            the watchdog.
+        shard_retries: How many times a failing shard is retried in the
+            pool before the driver runs it in-process as a last resort.
+            Because shard discovery is pure, a retried or re-executed
+            shard merges to the identical schema (Lemmas 1-2).
+        shard_retry_backoff: Base seconds slept before requeueing a
+            failed shard; the wait grows linearly with the attempt
+            number.  Scheduling-only -- never affects the schema.
+        strict_recovery: When True, a shard that still fails after pool
+            retries *and* the in-process fallback raises
+            :class:`~repro.core.parallel.ShardRecoveryError` instead of
+            degrading the run to the surviving shards.
+        faults: Fault-injection plan string
+            (see :mod:`repro.core.faults`), e.g. ``"shard:2:kill"``.
+            ``None`` falls back to the ``PGHIVE_FAULTS`` environment
+            variable; empty disables injection.  Test/CI facility.
+        checkpoint_dir: Directory for incremental-run checkpoints.  When
+            set, the sequential engine journals the running schema plus a
+            batch-index manifest (atomic write-and-rename) after every
+            ``checkpoint_every`` batches, and
+            ``discover_incremental(..., resume=True)`` continues a killed
+            run from the last checkpoint to the identical final schema.
+            Checkpointing implies the sequential engine (``jobs`` is
+            ignored for the run; the parallel driver recovers through
+            retries instead).
+        checkpoint_every: Checkpoint cadence in batches (default 1).
         seed: Master RNG seed; every random component derives from it.
     """
 
@@ -97,6 +126,13 @@ class PGHiveConfig:
     kernels: str = "vectorized"
     jobs: int = 1
     parallel_chunk: str = "auto"
+    shard_timeout: float | None = None
+    shard_retries: int = 2
+    shard_retry_backoff: float = 0.05
+    strict_recovery: bool = False
+    faults: str | None = None
+    checkpoint_dir: str | None = None
+    checkpoint_every: int = 1
     seed: int = 7
 
     def __post_init__(self) -> None:
@@ -128,6 +164,18 @@ class PGHiveConfig:
                 ) from None
             if chunk < 1:
                 raise ValueError("parallel_chunk must be >= 1 when numeric")
+        if self.shard_timeout is not None and self.shard_timeout <= 0:
+            raise ValueError("shard_timeout must be positive when given")
+        if self.shard_retries < 0:
+            raise ValueError("shard_retries must be >= 0")
+        if self.shard_retry_backoff < 0:
+            raise ValueError("shard_retry_backoff must be >= 0")
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if self.faults:
+            from repro.core.faults import FaultPlan
+
+            FaultPlan.parse(self.faults)  # validate eagerly
 
     def chunk_size(self, num_shards: int) -> int:
         """Resolve ``parallel_chunk`` to shards per pool task.

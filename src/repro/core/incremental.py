@@ -30,7 +30,8 @@ Both modes produce byte-identical schemas for a fixed seed
 from __future__ import annotations
 
 import time
-from typing import Sequence
+from pathlib import Path
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -146,6 +147,101 @@ class IncrementalDiscovery:
         # embeddings and retraining would be pure waste.
         self._embedder_corpus_key: tuple | None = None
         self._cached_embedder: LabelEmbedder | None = None
+
+    # ------------------------------------------------------------------
+    # Checkpoint / resume
+    # ------------------------------------------------------------------
+    CHECKPOINT_FILENAME = "pghive-checkpoint.json"
+
+    @classmethod
+    def checkpoint_path(cls, directory: str | Path) -> Path:
+        """The checkpoint file inside ``directory``."""
+        return Path(directory) / cls.CHECKPOINT_FILENAME
+
+    def save_checkpoint(
+        self, directory: str | Path, context: dict[str, Any] | None = None
+    ) -> Path:
+        """Journal the engine's full resumable state into ``directory``.
+
+        Written atomically (one document, temp file + rename): the
+        running schema plus a manifest of how many batches completed,
+        the per-batch reports and LSH parameters, and an optional caller
+        ``context`` (e.g. the batch plan) that resume can validate
+        against.  The embedder cache is deliberately *not* persisted --
+        it is a pure-cost cache, and a resumed engine simply refits.
+
+        Returns:
+            The checkpoint file path.
+        """
+        from repro.schema.persist import save_checkpoint
+
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        manifest: dict[str, Any] = {
+            "next_batch": self._batch_counter,
+            "schema_name": self.schema.name,
+            "parameters": dict(self.parameters),
+            "reports": [report.to_dict() for report in self.reports],
+            "context": dict(context or {}),
+        }
+        path = self.checkpoint_path(directory)
+        save_checkpoint(path, self.schema, manifest)
+        return path
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        directory: str | Path,
+        config: PGHiveConfig | None = None,
+        expected_context: dict[str, Any] | None = None,
+    ) -> "IncrementalDiscovery":
+        """Rebuild an engine from :meth:`save_checkpoint` output.
+
+        The resumed engine continues exactly where the checkpointed one
+        stopped: its batch counter, parameter log and reports pick up at
+        ``next_batch``, so feeding it the remaining batches of the same
+        sequence produces a final schema identical to an uninterrupted
+        run (the kill-at-batch-i equivalence test enforces this).
+
+        Args:
+            directory: Directory holding the checkpoint.
+            config: Configuration for the resumed engine.
+            expected_context: When given, every key must match the
+                checkpoint's stored context -- a cheap guard against
+                resuming with a different batch plan, seed or input, which
+                would silently corrupt the schema chain.
+
+        Raises:
+            FileNotFoundError: No checkpoint in ``directory``.
+            SchemaPersistError: Corrupt checkpoint or context mismatch.
+        """
+        from repro.core.result import BatchReport
+        from repro.schema.persist import SchemaPersistError, load_checkpoint
+
+        path = cls.checkpoint_path(directory)
+        schema, manifest = load_checkpoint(path)
+        stored_context = manifest.get("context", {})
+        for key, expected in (expected_context or {}).items():
+            stored = stored_context.get(key)
+            if stored != expected:
+                raise SchemaPersistError(
+                    f"{path}: checkpoint context mismatch for {key!r}: "
+                    f"checkpoint has {stored!r}, this run expects "
+                    f"{expected!r}"
+                )
+        engine = cls(config, schema=schema)
+        engine._batch_counter = int(manifest.get("next_batch", 0))
+        engine.parameters = dict(manifest.get("parameters", {}))
+        engine.reports = [
+            BatchReport.from_dict(record)
+            for record in manifest.get("reports", ())
+        ]
+        return engine
+
+    @classmethod
+    def has_checkpoint(cls, directory: str | Path) -> bool:
+        """Whether ``directory`` holds a checkpoint file."""
+        return cls.checkpoint_path(directory).is_file()
 
     def process_batch(
         self,

@@ -1,4 +1,4 @@
-"""Parallel sharded discovery: a multi-process batch pipeline.
+"""Parallel sharded discovery: a fault-tolerant multi-process pipeline.
 
 The incremental engine computes each batch schema *independently* of the
 running schema (when the memoization fast path is off), and the merge
@@ -26,17 +26,49 @@ Workers never receive pickled :class:`~repro.graph.model.Node` /
   the compact integer-id arrays (:class:`~repro.core.columns.NodeColumns`
   / :class:`~repro.core.columns.EdgeColumns`) to the pool.
 
+Failure model and recovery
+--------------------------
+Because shard discovery is a *pure* function of the shard payload, any
+shard may be re-executed any number of times, anywhere, and merge to the
+identical schema -- re-execution is the entire recovery strategy:
+
+* a task that **raises** is split into single-shard tasks; a failing
+  single shard is retried up to ``config.shard_retries`` times with
+  linear backoff (``config.shard_retry_backoff``);
+* a **dead worker** (``BrokenProcessPool``: OOM kill, segfault, injected
+  ``kill`` fault) breaks the whole pool; the driver respawns the pool
+  and requeues only the shards whose results were lost;
+* a task exceeding ``config.shard_timeout`` seconds is declared **hung**;
+  the pool's processes are killed (a hung future cannot be cancelled),
+  the pool respawns, the timed-out shards are blamed and everything else
+  requeues untouched;
+* a shard that exhausts its pool retries is re-executed **in-process**
+  as a last resort (a poisoned shard may crash every worker yet still
+  succeed under the parent, e.g. when the failure is environmental);
+* a shard that *still* fails is dropped from the run -- the surviving
+  shards merge into a valid (if partial) schema -- unless
+  ``config.strict_recovery`` is set, in which case
+  :class:`ShardRecoveryError` propagates.
+
+Every failure event becomes a structured
+:class:`~repro.core.result.ShardFailure` on the
+:class:`~repro.core.result.DiscoveryResult`, and recovered runs stay
+byte-identical to a clean sequential run (``tests/test_recovery.py``
+drives each path through the deterministic fault harness of
+:mod:`repro.core.faults`).
+
 Determinism contract
 --------------------
-The final schema is a pure function of the shard sequence: workers
-return per-shard schemas individually, the driver sorts them by shard
-index and reduces them through the canonical index-ordered merge tree,
-so the result is independent of worker count, chunking, and completion
-order.  Each shard is discovered with its global batch index, keeping
-pseudo-label tags (``b{i}``) and parameter keys (``batch{i}/...``)
-identical to a sequential run over the same batch sequence; on labeled
-data the result is byte-identical to ``jobs=1``
-(``tests/test_parallel.py`` enforces both properties).
+The final schema is a pure function of the set of *successful* shard
+schemas: workers return per-shard schemas individually, the driver sorts
+them by shard index and reduces them through the canonical index-ordered
+merge tree, so the result is independent of worker count, chunking,
+completion order, and of how many attempts each shard needed.  Each
+shard is discovered with its global batch index, keeping pseudo-label
+tags (``b{i}``) and parameter keys (``batch{i}/...``) identical to a
+sequential run over the same batch sequence; on labeled data the result
+is byte-identical to ``jobs=1`` (``tests/test_parallel.py`` enforces
+both properties).
 """
 
 from __future__ import annotations
@@ -44,14 +76,17 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.core.columns import EdgeColumns, NodeColumns, edge_columns, node_columns
 from repro.core.config import PGHiveConfig
+from repro.core.faults import FaultInjector
 from repro.core.incremental import IncrementalDiscovery
-from repro.core.result import BatchReport, DiscoveryResult
+from repro.core.result import BatchReport, DiscoveryResult, ShardFailure
 from repro.core.type_extraction import resolve_edge_endpoints
 from repro.graph.store import GraphBatch, GraphStore, ShardPlan
 from repro.schema.merge import merge_schema_tree, merge_schemas
@@ -59,10 +94,30 @@ from repro.schema.model import SchemaGraph
 
 __all__ = [
     "ParallelDiscovery",
+    "ShardRecoveryError",
     "ShardResult",
     "combine_shard_results",
     "fork_available",
 ]
+
+
+class ShardRecoveryError(RuntimeError):
+    """Raised in strict mode when a shard fails beyond all recovery.
+
+    Carries the full failure history so callers can distinguish a
+    poisoned shard (every attempt failed the same way) from flaky
+    infrastructure (mixed kinds across attempts).
+    """
+
+    def __init__(self, failures: Sequence[ShardFailure]) -> None:
+        self.failures = list(failures)
+        unrecovered = sorted({
+            f.index for f in self.failures if f.recovered_by is None
+        })
+        super().__init__(
+            f"shards {unrecovered} failed after retries and in-process "
+            f"fallback ({len(self.failures)} failure events)"
+        )
 
 
 @dataclass
@@ -120,12 +175,21 @@ def combine_shard_results(
 # Worker side.  State shared by fork inheritance: the parent sets
 # ``_PARENT_STATE`` immediately before creating the pool, children
 # inherit the reference copy-on-write, and nothing graph-sized is ever
-# pickled.  (Pool tasks themselves carry only plans or column arrays.)
+# pickled.  (Pool tasks themselves carry only plans or column arrays,
+# plus the per-shard attempt numbers the fault injector keys on.)
 # ----------------------------------------------------------------------
 _PARENT_STATE: tuple[GraphStore | None, PGHiveConfig] | None = None
 
 
-def _discover_plan_chunk(plans: Sequence[ShardPlan]) -> list[ShardResult]:
+def _worker_injector(config: PGHiveConfig) -> FaultInjector | None:
+    return FaultInjector.from_spec(config.faults)
+
+
+def _discover_plan_chunk(
+    plans: Sequence[ShardPlan],
+    attempts: Sequence[int],
+    in_worker: bool = True,
+) -> list[ShardResult]:
     """Worker: materialize, columnize and discover a chunk of shards.
 
     A chunk of *consecutive* shard indices shares one engine, so the
@@ -133,9 +197,12 @@ def _discover_plan_chunk(plans: Sequence[ShardPlan]) -> list[ShardResult]:
     within the chunk (reuse never changes output, only cost).
     """
     store, config = _PARENT_STATE
+    injector = _worker_injector(config)
     engine = IncrementalDiscovery(config, name="shard")
     results: list[ShardResult] = []
-    for plan in plans:
+    for plan, attempt in zip(plans, attempts):
+        if injector is not None:
+            injector.fire("shard", plan.index, attempt, in_worker=in_worker)
         batch = store.materialize_shard(plan)
         ncols = node_columns(batch.nodes)
         ecols = edge_columns(batch.edges, batch.endpoint_labels)
@@ -145,14 +212,19 @@ def _discover_plan_chunk(plans: Sequence[ShardPlan]) -> list[ShardResult]:
 
 def _discover_columns_chunk(
     payloads: Sequence[tuple[int, NodeColumns, EdgeColumns]],
+    attempts: Sequence[int],
+    in_worker: bool = True,
 ) -> list[ShardResult]:
     """Worker: discover a chunk of pre-columnized shards."""
     _, config = _PARENT_STATE
+    injector = _worker_injector(config)
     engine = IncrementalDiscovery(config, name="shard")
-    return [
-        _discover_one(engine, index, ncols, ecols)
-        for index, ncols, ecols in payloads
-    ]
+    results: list[ShardResult] = []
+    for (index, ncols, ecols), attempt in zip(payloads, attempts):
+        if injector is not None:
+            injector.fire("shard", index, attempt, in_worker=in_worker)
+        results.append(_discover_one(engine, index, ncols, ecols))
+    return results
 
 
 def _discover_one(
@@ -170,17 +242,40 @@ def _discover_one(
     return ShardResult(index, schema, report, params)
 
 
+def _payload_index(payload) -> int:
+    """Global shard index of a task payload (plan or columns tuple)."""
+    if isinstance(payload, ShardPlan):
+        return payload.index
+    return payload[0]
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Kill a pool's worker processes and discard the executor.
+
+    A hung worker cannot be cancelled through the executor API, so the
+    timeout watchdog resorts to SIGKILL; the executor object is then
+    abandoned (broken) and the driver builds a fresh one.
+    """
+    for process in list(getattr(pool, "_processes", {}).values()):
+        try:
+            process.kill()
+        except Exception:  # pragma: no cover - already-dead races
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
 # ----------------------------------------------------------------------
 # Driver
 # ----------------------------------------------------------------------
 class ParallelDiscovery:
-    """Multi-process batch discovery with an order-independent merge tree.
+    """Multi-process batch discovery with retry, respawn, and fallback.
 
     Drives ``config.jobs`` worker processes over the shards of a store
     (plan mode) or an already-batched stream (columns mode), then
     combines the per-shard schemas with :func:`combine_shard_results`.
     Post-processing is *not* run here -- :class:`repro.core.pipeline.PGHive`
     applies it to the combined schema exactly as in a sequential run.
+    See the module docstring for the failure model.
     """
 
     def __init__(self, config: PGHiveConfig | None = None) -> None:
@@ -196,8 +291,10 @@ class ParallelDiscovery:
         chunks = [
             plans[i : i + chunk] for i in range(0, len(plans), chunk)
         ]
-        shard_results = self._run_pool(_discover_plan_chunk, chunks, store)
-        return self._combine(store.graph.name, shard_results, started)
+        shard_results, failures = self._run_pool(
+            _discover_plan_chunk, chunks, store
+        )
+        return self._combine(store.graph.name, shard_results, failures, started)
 
     def discover_batches(
         self,
@@ -209,7 +306,9 @@ class ParallelDiscovery:
 
         The parent consumes the iterable -- stateful streams must be
         generated in order -- columnizing each batch once and shipping
-        the compact arrays to the pool.
+        the compact arrays to the pool.  Because the parent keeps every
+        columnized payload for the duration of the run, lost or timed-out
+        shards can be re-shipped without re-reading the stream.
         """
         started = time.perf_counter()
         payloads: list[tuple[int, NodeColumns, EdgeColumns]] = []
@@ -228,35 +327,183 @@ class ParallelDiscovery:
             payloads[i : i + chunk]
             for i in range(0, len(payloads), chunk)
         ]
-        shard_results = self._run_pool(
+        shard_results, failures = self._run_pool(
             _discover_columns_chunk, chunks, store=None
         )
-        return self._combine(name, shard_results, started)
+        return self._combine(name, shard_results, failures, started)
 
     # ------------------------------------------------------------------
-    def _run_pool(self, worker, chunks, store) -> list[ShardResult]:
+    # Pool loop with recovery
+    # ------------------------------------------------------------------
+    def _run_pool(
+        self, worker, chunks, store
+    ) -> tuple[list[ShardResult], list[ShardFailure]]:
+        """Run the pool to completion, recovering from task failures.
+
+        Tasks start as the caller's chunks at attempt 0.  A failed task
+        of several shards is split into single-shard tasks at the *same*
+        attempt (re-running an innocent shard is free thanks to purity,
+        and the faulty one then fails alone and is blamed precisely); a
+        failed single shard is retried with backoff until its attempt
+        budget runs out, then handed to the in-process fallback.
+        """
         if not chunks:
-            return []
+            return [], []
         global _PARENT_STATE
         context = multiprocessing.get_context("fork")
         _PARENT_STATE = (store, self.config)
+        config = self.config
+        workers = max(1, min(config.jobs, len(chunks)))
+        timeout = config.shard_timeout
+        results: dict[int, ShardResult] = {}
+        failures: list[ShardFailure] = []
+        fallback: list[tuple[object, int]] = []
+        pending: deque[tuple[list, list[int]]] = deque(
+            (list(chunk), [0] * len(chunk)) for chunk in chunks
+        )
+        pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+        running: dict[object, tuple[list, list[int], float]] = {}
+
+        def collect(shards: list[ShardResult], attempts: list[int]) -> None:
+            for shard, attempt in zip(shards, attempts):
+                shard.report.attempts = attempt + 1
+                results[shard.index] = shard
+                if attempt > 0:
+                    self._mark_recovered(failures, shard.index, "retry")
+
+        def requeue(payloads: list, attempts: list[int], kind: str,
+                    error: str) -> None:
+            """Split / blame / retry / fall back after one task failure."""
+            if len(payloads) > 1:
+                # Blame is per-shard: rerun each alone at the same
+                # attempt so the faulty one fails in isolation next.
+                for payload, attempt in zip(payloads, attempts):
+                    pending.append(([payload], [attempt]))
+                return
+            payload, attempt = payloads[0], attempts[0]
+            index = _payload_index(payload)
+            failures.append(ShardFailure(index, attempt, kind, error))
+            if attempt + 1 <= config.shard_retries:
+                if config.shard_retry_backoff:
+                    time.sleep(config.shard_retry_backoff * (attempt + 1))
+                pending.append(([payload], [attempt + 1]))
+            else:
+                fallback.append((payload, attempt + 1))
+
         try:
-            workers = max(1, min(self.config.jobs, len(chunks)))
-            with ProcessPoolExecutor(
-                max_workers=workers, mp_context=context
-            ) as pool:
-                futures = [pool.submit(worker, chunk) for chunk in chunks]
-                results: list[ShardResult] = []
-                for future in futures:
-                    results.extend(future.result())
+            while pending or running:
+                while pending and len(running) < workers:
+                    payloads, attempts = pending.popleft()
+                    try:
+                        future = pool.submit(worker, payloads, attempts)
+                    except BrokenProcessPool:
+                        # The pool broke between iterations.  Put the
+                        # task back; drain the dead futures through the
+                        # wait() below, or respawn at once if none.
+                        pending.appendleft((payloads, attempts))
+                        if running:
+                            break
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        pool = ProcessPoolExecutor(
+                            max_workers=workers, mp_context=context
+                        )
+                        continue
+                    running[future] = (payloads, attempts, time.monotonic())
+                done, _ = wait(
+                    set(running),
+                    timeout=0.05 if timeout else None,
+                    return_when=FIRST_COMPLETED,
+                )
+                broken = False
+                for future in done:
+                    payloads, attempts, _started = running.pop(future)
+                    try:
+                        collect(future.result(), attempts)
+                    except BrokenProcessPool:
+                        broken = True
+                        requeue(payloads, attempts, "worker-lost",
+                                "worker process died")
+                    except Exception as exc:
+                        requeue(payloads, attempts, "error",
+                                f"{type(exc).__name__}: {exc}")
+                if broken:
+                    # Every other in-flight future died with the pool;
+                    # their work is lost, so they requeue through the
+                    # same blame path (splitting chunks keeps the
+                    # eventual blame per-shard precise).
+                    for payloads, attempts, _started in running.values():
+                        requeue(payloads, attempts, "worker-lost",
+                                "worker process died")
+                    running.clear()
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = ProcessPoolExecutor(
+                        max_workers=workers, mp_context=context
+                    )
+                elif timeout and running:
+                    now = time.monotonic()
+                    timed_out = [
+                        future
+                        for future, (_p, _a, started) in running.items()
+                        if now - started > timeout
+                    ]
+                    if timed_out:
+                        for future in timed_out:
+                            payloads, attempts, _started = running.pop(future)
+                            requeue(
+                                payloads, attempts, "timeout",
+                                f"exceeded shard_timeout={timeout:g}s",
+                            )
+                        # Innocent in-flight tasks are lost with the
+                        # killed pool but not blamed: they requeue whole
+                        # at their current attempts.
+                        for payloads, attempts, _started in running.values():
+                            pending.append((payloads, attempts))
+                        running.clear()
+                        _terminate_pool(pool)
+                        pool = ProcessPoolExecutor(
+                            max_workers=workers, mp_context=context
+                        )
+            # Last resort: poisoned shards run in the driver process,
+            # where a crashing worker environment cannot take them down.
+            for payload, attempt in sorted(
+                fallback, key=lambda item: _payload_index(item[0])
+            ):
+                index = _payload_index(payload)
+                try:
+                    shards = worker([payload], [attempt], in_worker=False)
+                except Exception as exc:
+                    failures.append(ShardFailure(
+                        index, attempt, "fallback-failed",
+                        f"{type(exc).__name__}: {exc}",
+                    ))
+                    continue
+                for shard in shards:
+                    shard.report.attempts = attempt + 1
+                    results[shard.index] = shard
+                self._mark_recovered(failures, index, "fallback")
         finally:
+            pool.shutdown(wait=False, cancel_futures=True)
             _PARENT_STATE = None
-        return results
+        failures.sort(key=lambda f: (f.index, f.attempt))
+        if config.strict_recovery and any(
+            f.recovered_by is None for f in failures
+        ):
+            raise ShardRecoveryError(failures)
+        return sorted(results.values(), key=lambda r: r.index), failures
+
+    @staticmethod
+    def _mark_recovered(
+        failures: list[ShardFailure], index: int, how: str
+    ) -> None:
+        for failure in failures:
+            if failure.index == index and failure.recovered_by is None:
+                failure.recovered_by = how
 
     def _combine(
         self,
         name: str,
         shard_results: list[ShardResult],
+        failures: list[ShardFailure],
         started: float,
     ) -> DiscoveryResult:
         merge_started = time.perf_counter()
@@ -272,11 +519,23 @@ class ParallelDiscovery:
             f"shards={len(ordered)}"
         )
         parameters["parallel/merge_seconds"] = f"{merge_seconds:.6f}"
+        if failures:
+            recovered = sorted({
+                f.index for f in failures if f.recovered_by is not None
+            })
+            dropped = sorted({
+                f.index for f in failures if f.recovered_by is None
+            })
+            parameters["parallel/recovery"] = (
+                f"failure_events={len(failures)} "
+                f"recovered_shards={recovered} degraded_shards={dropped}"
+            )
         result = DiscoveryResult(
             schema=schema,
             batches=[r.report for r in ordered],
             parameters=parameters,
             discovery_seconds=time.perf_counter() - started,
+            shard_failures=failures,
         )
         result.refresh_assignments()
         return result

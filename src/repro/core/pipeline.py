@@ -24,6 +24,7 @@ from __future__ import annotations
 import time
 
 from repro.core.config import PGHiveConfig
+from repro.core.faults import FaultInjector
 from repro.core.incremental import IncrementalDiscovery
 from repro.core.postprocess import (
     compute_cardinalities,
@@ -49,6 +50,7 @@ class PGHive:
         store: GraphStore,
         num_batches: int,
         post_process_each_batch: bool = False,
+        resume: bool = False,
     ) -> DiscoveryResult:
         """Run discovery over ``num_batches`` random batches of the store.
 
@@ -59,6 +61,15 @@ class PGHive:
                 every batch instead of only at the end (Algorithm 1's
                 ``postProcessing`` flag).  The final schema is identical;
                 intermediate schemas are then always fully annotated.
+            resume: Continue from the checkpoint in
+                ``config.checkpoint_dir`` if one exists (no-op when the
+                directory is unset or empty).  Batch partitioning is
+                deterministic for a fixed seed, so a run killed at batch
+                ``i`` and resumed here replays batches ``i..`` and ends
+                with a schema identical to an uninterrupted run.  The
+                checkpoint records the source name, batch count and seed;
+                resuming against a different plan raises
+                :class:`~repro.schema.persist.SchemaPersistError`.
         """
         started = time.perf_counter()
         if self._parallel_eligible(num_batches, post_process_each_batch):
@@ -72,16 +83,44 @@ class PGHive:
             result.total_seconds = time.perf_counter() - started
             result.refresh_assignments()
             return result
-        engine = IncrementalDiscovery(self.config, name=store.graph.name)
-        discovery_seconds = 0.0
-        for batch in store.batches(num_batches, seed=self.config.seed):
+        config = self.config
+        injector = FaultInjector.from_spec(config.faults)
+        checkpoint_dir = config.checkpoint_dir
+        context = {
+            "source": store.graph.name,
+            "num_batches": num_batches,
+            "seed": config.seed,
+        }
+        engine: IncrementalDiscovery | None = None
+        if (
+            checkpoint_dir
+            and resume
+            and IncrementalDiscovery.has_checkpoint(checkpoint_dir)
+        ):
+            engine = IncrementalDiscovery.from_checkpoint(
+                checkpoint_dir, config, expected_context=context
+            )
+        if engine is None:
+            engine = IncrementalDiscovery(config, name=store.graph.name)
+        resumed_from = engine._batch_counter
+        discovery_seconds = sum(r.seconds for r in engine.reports)
+        for batch in store.batches(num_batches, seed=config.seed):
+            if batch.index < resumed_from:
+                continue  # deterministic partition: already checkpointed
+            if injector is not None:
+                injector.fire("batch", batch.index)
             report = engine.process_batch(
                 batch.nodes, batch.edges, batch.endpoint_labels
             )
             discovery_seconds += report.seconds
-            if post_process_each_batch and self.config.post_processing:
+            if post_process_each_batch and config.post_processing:
                 self._post_process(engine.schema, store)
-        if self.config.post_processing and not post_process_each_batch:
+            if checkpoint_dir and (
+                (batch.index + 1) % config.checkpoint_every == 0
+                or batch.index + 1 == num_batches
+            ):
+                engine.save_checkpoint(checkpoint_dir, context=context)
+        if config.post_processing and not post_process_each_batch:
             self._post_process(engine.schema, store)
         result = DiscoveryResult(
             schema=engine.schema,
@@ -89,6 +128,7 @@ class PGHive:
             parameters=dict(engine.parameters),
             discovery_seconds=discovery_seconds,
             total_seconds=time.perf_counter() - started,
+            resumed_from=resumed_from,
         )
         result.refresh_assignments()
         return result
@@ -102,8 +142,11 @@ class PGHive:
         memoization fast path (which couples each batch to the running
         schema) and per-batch post-processing force the sequential
         engine, as does the reference-kernel mode (the worker payload is
-        columnized).  ``jobs=1`` always takes the sequential path, whose
-        output the parallel path matches byte for byte on labeled data.
+        columnized).  Checkpointed runs also stay sequential: the
+        journal tracks a linear batch frontier, while the parallel
+        driver recovers through retries and fallback instead.
+        ``jobs=1`` always takes the sequential path, whose output the
+        parallel path matches byte for byte on labeled data.
         """
         from repro.core.parallel import fork_available
 
@@ -112,6 +155,7 @@ class PGHive:
             and num_batches > 1
             and not post_process_each_batch
             and not self.config.memoize_patterns
+            and not self.config.checkpoint_dir
             and self.config.kernels == "vectorized"
             and fork_available()
         )

@@ -9,6 +9,43 @@ from repro.schema.model import SchemaGraph
 
 
 @dataclass
+class ShardFailure:
+    """One failed execution attempt of a parallel shard.
+
+    The driver appends a record per failure *event*, so a shard that
+    crashes twice and then succeeds contributes two records whose
+    ``recovered_by`` is filled in retroactively.
+
+    Attributes:
+        index: Shard (global batch) index.
+        attempt: 0-based execution attempt that failed.
+        kind: ``"error"`` (the task raised), ``"worker-lost"`` (its
+            process died / the pool broke), ``"timeout"`` (the task
+            exceeded ``PGHiveConfig.shard_timeout``) or
+            ``"fallback-failed"`` (the final in-process execution raised).
+        error: Human-readable cause.
+        recovered_by: ``"retry"`` when a later pool attempt succeeded,
+            ``"fallback"`` when the in-process re-execution did, ``None``
+            while unresolved or when the shard was ultimately dropped
+            (non-strict degraded run).
+    """
+
+    index: int
+    attempt: int
+    kind: str
+    error: str
+    recovered_by: str | None = None
+
+    def describe(self) -> str:
+        """One-line summary for logs and the CLI footer."""
+        outcome = self.recovered_by or "unrecovered"
+        return (
+            f"shard {self.index} attempt {self.attempt}: "
+            f"{self.kind} ({self.error}) -> {outcome}"
+        )
+
+
+@dataclass
 class BatchReport:
     """Per-batch diagnostics of an incremental run.
 
@@ -27,6 +64,11 @@ class BatchReport:
     ``worker`` records which pool worker produced the report (``None``
     for the sequential engine); parallel runs aggregate the per-worker
     reports into a single summary with :meth:`aggregate`.
+
+    ``attempts`` counts how many executions the batch needed: 1 for a
+    clean run, more when the fault-tolerant parallel driver retried or
+    re-executed the shard (the schema is identical either way, the
+    attempts only cost time).
     """
 
     index: int
@@ -40,6 +82,42 @@ class BatchReport:
     stage_seconds: dict[str, float] = field(default_factory=dict)
     embedder_reused: bool = False
     worker: int | None = None
+    attempts: int = 1
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (used by run checkpoints)."""
+        return {
+            "index": self.index,
+            "num_nodes": self.num_nodes,
+            "num_edges": self.num_edges,
+            "node_clusters": self.node_clusters,
+            "edge_clusters": self.edge_clusters,
+            "seconds": self.seconds,
+            "memo_node_hits": self.memo_node_hits,
+            "memo_edge_hits": self.memo_edge_hits,
+            "stage_seconds": dict(self.stage_seconds),
+            "embedder_reused": self.embedder_reused,
+            "worker": self.worker,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "BatchReport":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            index=int(record["index"]),
+            num_nodes=int(record["num_nodes"]),
+            num_edges=int(record["num_edges"]),
+            node_clusters=int(record["node_clusters"]),
+            edge_clusters=int(record["edge_clusters"]),
+            seconds=float(record["seconds"]),
+            memo_node_hits=int(record.get("memo_node_hits", 0)),
+            memo_edge_hits=int(record.get("memo_edge_hits", 0)),
+            stage_seconds=dict(record.get("stage_seconds", {})),
+            embedder_reused=bool(record.get("embedder_reused", False)),
+            worker=record.get("worker"),
+            attempts=int(record.get("attempts", 1)),
+        )
 
     @classmethod
     def aggregate(
@@ -86,6 +164,13 @@ class DiscoveryResult:
             optional post-processing unless it ran inside the pipeline).
         discovery_seconds: Time until type discovery only (the quantity
             Figure 5 plots), i.e. load + preprocess + cluster + extract.
+        shard_failures: Structured record of every shard failure event a
+            fault-tolerant parallel run observed (empty for clean runs).
+            A recovered run's ``schema`` is byte-identical to a clean
+            one; entries with ``recovered_by is None`` mark shards whose
+            contribution is missing (non-strict degraded run).
+        resumed_from: First batch index actually processed by this run
+            (nonzero when the run resumed from a checkpoint).
     """
 
     schema: SchemaGraph
@@ -95,6 +180,15 @@ class DiscoveryResult:
     parameters: dict[str, str] = field(default_factory=dict)
     total_seconds: float = 0.0
     discovery_seconds: float = 0.0
+    shard_failures: list[ShardFailure] = field(default_factory=list)
+    resumed_from: int = 0
+
+    @property
+    def degraded_shards(self) -> list[int]:
+        """Shard indices that never produced a schema (sorted, unique)."""
+        return sorted({
+            f.index for f in self.shard_failures if f.recovered_by is None
+        })
 
     @property
     def num_node_types(self) -> int:

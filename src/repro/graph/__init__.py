@@ -20,6 +20,8 @@ from repro.graph.patterns import (
 )
 from repro.graph.stats import GraphStatistics, compute_statistics
 from repro.graph.io import (
+    IngestError,
+    IngestReport,
     load_graph_apoc_jsonl,
     load_graph_csv,
     load_graph_jsonl,
@@ -39,6 +41,8 @@ __all__ = [
     "GraphBuilder",
     "GraphStatistics",
     "GraphStore",
+    "IngestError",
+    "IngestReport",
     "Node",
     "NodePattern",
     "PropertyGraph",

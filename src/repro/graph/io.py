@@ -5,16 +5,117 @@ JSONL is the native interchange format (one record per line, explicit
 layout used by several of the paper's dataset distributions: a node file
 with ``id``/``labels`` columns and an edge file with ``start``/``end``/
 ``type`` columns, property columns alongside.
+
+Real dumps are dirty -- truncated lines, duplicate ids, dangling edge
+endpoints -- so every loader takes an ``on_error`` policy:
+
+* ``"raise"`` (default): the first malformed record raises
+  :class:`ValueError` with ``path:line`` context, matching the strict
+  historical behaviour;
+* ``"skip"``: malformed records are dropped and loading continues (an
+  optional :class:`IngestReport` still records what was dropped);
+* ``"collect"``: like ``"skip"``, but a caller-supplied
+  :class:`IngestReport` is mandatory so no rejection is ever silently
+  lost -- each :class:`IngestError` carries the file path, 1-based line
+  number and a human-readable reason.
+
+A record rejected under ``skip``/``collect`` never partially mutates the
+graph: parsing and validation happen before insertion, and the model's
+own integrity errors (duplicate ids, unknown endpoints) are caught and
+converted into :class:`IngestError` entries.
 """
 
 from __future__ import annotations
 
 import csv
 import json
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
 from repro.graph.model import Edge, Node, PropertyGraph
+
+_ON_ERROR_POLICIES = ("raise", "skip", "collect")
+
+
+@dataclass
+class IngestError:
+    """One rejected input record.
+
+    Attributes:
+        path: File the record came from.
+        line: 1-based physical line number within that file.
+        reason: Human-readable cause of the rejection.
+    """
+
+    path: str
+    line: int
+    reason: str
+
+    def describe(self) -> str:
+        """``path:line: reason`` -- the compiler-style one-liner."""
+        return f"{self.path}:{self.line}: {self.reason}"
+
+
+@dataclass
+class IngestReport:
+    """Outcome of a lenient (``skip``/``collect``) graph load.
+
+    Attributes:
+        errors: Every rejected record, in file order.
+        nodes_loaded: Nodes successfully added to the graph.
+        edges_loaded: Edges successfully added to the graph.
+    """
+
+    errors: list[IngestError] = field(default_factory=list)
+    nodes_loaded: int = 0
+    edges_loaded: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when no record was rejected."""
+        return not self.errors
+
+    def describe(self) -> str:
+        """Multi-line summary: counts first, then one line per error."""
+        lines = [
+            f"loaded {self.nodes_loaded} nodes, {self.edges_loaded} edges; "
+            f"rejected {len(self.errors)} records"
+        ]
+        lines.extend(error.describe() for error in self.errors)
+        return "\n".join(lines)
+
+
+class _ErrorPolicy:
+    """Shared rejection handling for the loaders."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        on_error: str,
+        report: IngestReport | None,
+    ) -> None:
+        if on_error not in _ON_ERROR_POLICIES:
+            raise ValueError(
+                f"on_error must be one of {_ON_ERROR_POLICIES}, "
+                f"got {on_error!r}"
+            )
+        if on_error == "collect" and report is None:
+            raise ValueError(
+                "on_error='collect' requires an IngestReport to collect into"
+            )
+        self.path = Path(path)
+        self.on_error = on_error
+        self.report = report
+
+    def reject(self, line: int, reason: str) -> None:
+        """Record one bad record; raise when the policy is strict."""
+        if self.report is not None:
+            self.report.errors.append(
+                IngestError(str(self.path), line, reason)
+            )
+        if self.on_error == "raise":
+            raise ValueError(f"{self.path}:{line}: {reason}")
 
 
 def save_graph_jsonl(graph: PropertyGraph, path: str | Path) -> None:
@@ -41,34 +142,116 @@ def save_graph_jsonl(graph: PropertyGraph, path: str | Path) -> None:
             handle.write(json.dumps(record, default=str) + "\n")
 
 
-def load_graph_jsonl(path: str | Path, name: str | None = None) -> PropertyGraph:
-    """Read a graph previously written by :func:`save_graph_jsonl`."""
+def _record_int(
+    record: dict[str, Any],
+    key: str,
+    kind: str,
+    policy: _ErrorPolicy,
+    line_number: int,
+) -> int | None:
+    """Fetch an integer field, rejecting missing/non-integer values."""
+    if key not in record:
+        policy.reject(line_number, f"{kind} record missing {key!r}")
+        return None
+    value = record[key]
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        policy.reject(
+            line_number, f"non-integer {kind} {key} {value!r}"
+        )
+        return None
+
+
+def load_graph_jsonl(
+    path: str | Path,
+    name: str | None = None,
+    on_error: str = "raise",
+    report: IngestReport | None = None,
+) -> PropertyGraph:
+    """Read a graph previously written by :func:`save_graph_jsonl`.
+
+    Args:
+        path: JSONL file to read.
+        name: Graph name (defaults to the file stem).
+        on_error: ``"raise"`` | ``"skip"`` | ``"collect"`` (see module
+            docstring).
+        report: Sink for :class:`IngestError` records and load counts;
+            required when ``on_error="collect"``.
+
+    Raises:
+        ValueError: A malformed record under ``on_error="raise"`` (the
+            message carries ``path:line``), or an invalid policy.
+        FileNotFoundError: The file does not exist.
+    """
     path = Path(path)
+    policy = _ErrorPolicy(path, on_error, report)
     graph = PropertyGraph(name or path.stem)
     with path.open("r", encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:
                 continue
-            record = json.loads(line)
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                policy.reject(line_number, f"invalid JSON: {exc.msg}")
+                continue
+            if not isinstance(record, dict):
+                policy.reject(line_number, "record is not a JSON object")
+                continue
             kind = record.get("kind")
             if kind == "node":
-                graph.add_node(Node(
-                    id=int(record["id"]),
-                    labels=frozenset(record.get("labels", ())),
-                    properties=dict(record.get("properties", {})),
-                ))
+                node_id = _record_int(
+                    record, "id", "node", policy, line_number
+                )
+                if node_id is None:
+                    continue
+                try:
+                    node = Node(
+                        id=node_id,
+                        labels=frozenset(record.get("labels", ())),
+                        properties=dict(record.get("properties", {})),
+                    )
+                except (TypeError, ValueError):
+                    policy.reject(line_number, "malformed node record")
+                    continue
+                try:
+                    graph.add_node(node)
+                except ValueError as exc:
+                    policy.reject(line_number, str(exc))
+                    continue
+                if report is not None:
+                    report.nodes_loaded += 1
             elif kind == "edge":
-                graph.add_edge(Edge(
-                    id=int(record["id"]),
-                    source=int(record["source"]),
-                    target=int(record["target"]),
-                    labels=frozenset(record.get("labels", ())),
-                    properties=dict(record.get("properties", {})),
-                ))
+                fields = [
+                    _record_int(record, key, "edge", policy, line_number)
+                    for key in ("id", "source", "target")
+                ]
+                if any(value is None for value in fields):
+                    continue
+                edge_id, source, target = fields
+                try:
+                    edge = Edge(
+                        id=edge_id,
+                        source=source,
+                        target=target,
+                        labels=frozenset(record.get("labels", ())),
+                        properties=dict(record.get("properties", {})),
+                    )
+                except (TypeError, ValueError):
+                    policy.reject(line_number, "malformed edge record")
+                    continue
+                try:
+                    graph.add_edge(edge)
+                except ValueError as exc:
+                    policy.reject(line_number, str(exc))
+                    continue
+                if report is not None:
+                    report.edges_loaded += 1
             else:
-                raise ValueError(
-                    f"{path}:{line_number}: unknown record kind {kind!r}"
+                policy.reject(
+                    line_number, f"unknown record kind {kind!r}"
                 )
     return graph
 
@@ -103,33 +286,108 @@ def save_graph_csv(graph: PropertyGraph, nodes_path: str | Path,
             writer.writerow(row)
 
 
-def load_graph_csv(nodes_path: str | Path, edges_path: str | Path,
-                   name: str = "graph") -> PropertyGraph:
-    """Read a graph previously written by :func:`save_graph_csv`."""
+def _row_ints(
+    row: list[str],
+    count: int,
+    kind: str,
+    policy: _ErrorPolicy,
+    line_number: int,
+) -> list[int] | None:
+    """Parse the leading ``count`` id cells of a CSV row as integers."""
+    if len(row) <= count:
+        policy.reject(line_number, f"truncated {kind} row")
+        return None
+    values: list[int] = []
+    for cell in row[:count]:
+        try:
+            values.append(int(cell))
+        except ValueError:
+            policy.reject(
+                line_number, f"non-integer {kind} id cell {cell!r}"
+            )
+            return None
+    return values
+
+
+def load_graph_csv(
+    nodes_path: str | Path,
+    edges_path: str | Path,
+    name: str = "graph",
+    on_error: str = "raise",
+    report: IngestReport | None = None,
+) -> PropertyGraph:
+    """Read a graph previously written by :func:`save_graph_csv`.
+
+    Accepts the same ``on_error`` / ``report`` policy as
+    :func:`load_graph_jsonl`; rejected rows are reported against the
+    file they came from (node or edge CSV) with their physical line
+    number.
+    """
     graph = PropertyGraph(name)
+    node_policy = _ErrorPolicy(nodes_path, on_error, report)
     with Path(nodes_path).open("r", encoding="utf-8", newline="") as handle:
         reader = csv.reader(handle)
         header = next(reader)
         keys = header[2:]
         for row in reader:
+            line_number = reader.line_num
+            if not row:
+                continue
+            ids = _row_ints(row, 1, "node", node_policy, line_number)
+            if ids is None:
+                continue
             labels = frozenset(part for part in row[1].split(";") if part)
-            properties = _decode_cells(keys, row[2:])
-            graph.add_node(Node(int(row[0]), labels, properties))
+            try:
+                properties = _decode_cells(keys, row[2:])
+            except json.JSONDecodeError as exc:
+                node_policy.reject(
+                    line_number, f"invalid JSON property cell: {exc.msg}"
+                )
+                continue
+            try:
+                graph.add_node(Node(ids[0], labels, properties))
+            except ValueError as exc:
+                node_policy.reject(line_number, str(exc))
+                continue
+            if report is not None:
+                report.nodes_loaded += 1
+    edge_policy = _ErrorPolicy(edges_path, on_error, report)
     with Path(edges_path).open("r", encoding="utf-8", newline="") as handle:
         reader = csv.reader(handle)
         header = next(reader)
         keys = header[4:]
         for row in reader:
+            line_number = reader.line_num
+            if not row:
+                continue
+            ids = _row_ints(row, 3, "edge", edge_policy, line_number)
+            if ids is None:
+                continue
             labels = frozenset(part for part in row[3].split(";") if part)
-            properties = _decode_cells(keys, row[4:])
-            graph.add_edge(Edge(
-                int(row[0]), int(row[1]), int(row[2]), labels, properties,
-            ))
+            try:
+                properties = _decode_cells(keys, row[4:])
+            except json.JSONDecodeError as exc:
+                edge_policy.reject(
+                    line_number, f"invalid JSON property cell: {exc.msg}"
+                )
+                continue
+            try:
+                graph.add_edge(Edge(
+                    ids[0], ids[1], ids[2], labels, properties,
+                ))
+            except ValueError as exc:
+                edge_policy.reject(line_number, str(exc))
+                continue
+            if report is not None:
+                report.edges_loaded += 1
     return graph
 
 
 def load_graph_apoc_jsonl(
-    path: str | Path, name: str | None = None
+    path: str | Path,
+    name: str | None = None,
+    on_error: str = "raise",
+    report: IngestReport | None = None,
 ) -> PropertyGraph:
     """Read a Neo4j ``apoc.export.json`` JSONL dump.
 
@@ -138,8 +396,12 @@ def load_graph_apoc_jsonl(
     ``"type": "relationship"`` records whose ``start``/``end`` are nested
     node references and whose relationship type is the ``label`` field.
     Node ids in the dump are strings; they are remapped to dense ints.
+
+    Accepts the same ``on_error`` / ``report`` policy as
+    :func:`load_graph_jsonl`.
     """
     path = Path(path)
+    policy = _ErrorPolicy(path, on_error, report)
     graph = PropertyGraph(name or path.stem)
     node_ids: dict[str, int] = {}
     next_edge_id = 0
@@ -148,31 +410,60 @@ def load_graph_apoc_jsonl(
             line = line.strip()
             if not line:
                 continue
-            record = json.loads(line)
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                policy.reject(line_number, f"invalid JSON: {exc.msg}")
+                continue
+            if not isinstance(record, dict):
+                policy.reject(line_number, "record is not a JSON object")
+                continue
             kind = record.get("type")
             if kind == "node":
+                if "id" not in record:
+                    policy.reject(line_number, "node record missing 'id'")
+                    continue
                 raw_id = str(record["id"])
                 node_id = node_ids.setdefault(raw_id, len(node_ids))
-                graph.add_node(Node(
-                    id=node_id,
-                    labels=frozenset(record.get("labels", ())),
-                    properties=dict(record.get("properties", {})),
-                ))
+                try:
+                    graph.add_node(Node(
+                        id=node_id,
+                        labels=frozenset(record.get("labels", ())),
+                        properties=dict(record.get("properties", {})),
+                    ))
+                except (TypeError, ValueError) as exc:
+                    policy.reject(line_number, str(exc))
+                    continue
+                if report is not None:
+                    report.nodes_loaded += 1
             elif kind == "relationship":
-                source = node_ids[str(record["start"]["id"])]
-                target = node_ids[str(record["end"]["id"])]
+                try:
+                    source = node_ids[str(record["start"]["id"])]
+                    target = node_ids[str(record["end"]["id"])]
+                except (KeyError, TypeError):
+                    policy.reject(
+                        line_number,
+                        "relationship references an unknown node",
+                    )
+                    continue
                 label = record.get("label")
-                graph.add_edge(Edge(
-                    id=next_edge_id,
-                    source=source,
-                    target=target,
-                    labels=frozenset([label] if label else ()),
-                    properties=dict(record.get("properties", {})),
-                ))
+                try:
+                    graph.add_edge(Edge(
+                        id=next_edge_id,
+                        source=source,
+                        target=target,
+                        labels=frozenset([label] if label else ()),
+                        properties=dict(record.get("properties", {})),
+                    ))
+                except (TypeError, ValueError) as exc:
+                    policy.reject(line_number, str(exc))
+                    continue
                 next_edge_id += 1
+                if report is not None:
+                    report.edges_loaded += 1
             else:
-                raise ValueError(
-                    f"{path}:{line_number}: unknown APOC record type {kind!r}"
+                policy.reject(
+                    line_number, f"unknown APOC record type {kind!r}"
                 )
     return graph
 

@@ -7,11 +7,28 @@ round-trips a :class:`~repro.schema.model.SchemaGraph` through a stable
 JSON document, including the bookkeeping the incremental engine needs
 (instance counts, per-property occurrence counters, cluster tokens) --
 with or without the raw member id lists.
+
+Two failure-hardening facilities live here as well:
+
+* every decode error -- truncated or corrupt JSON, missing required
+  fields, unknown format versions -- surfaces as a single
+  :class:`SchemaPersistError` with the file path in the message, so a
+  nightly job distinguishes "yesterday's schema is damaged" from its own
+  bugs with one except clause;
+* :func:`save_checkpoint` / :func:`load_checkpoint` journal a *run in
+  progress* (the running schema plus a manifest of completed batches) as
+  one JSON document written atomically (temp file + ``os.replace``), so
+  a crash at any instant leaves either the previous checkpoint or the
+  new one, never a torn mix.  The monotone merge (Lemmas 1-2) is what
+  makes resuming from such a snapshot safe: re-processing the remaining
+  batches merges to the identical final schema.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from collections import Counter
 from pathlib import Path
 from typing import Any
@@ -27,6 +44,17 @@ from repro.schema.model import (
 )
 
 _FORMAT_VERSION = 1
+_CHECKPOINT_VERSION = 1
+
+
+class SchemaPersistError(ValueError):
+    """A persisted schema or checkpoint could not be decoded.
+
+    Raised for corrupt/truncated JSON, documents missing required
+    fields, and format versions newer than this code understands.
+    Subclasses ``ValueError`` so pre-existing callers that caught the
+    old ad-hoc errors keep working.
+    """
 
 
 def schema_to_dict(
@@ -48,35 +76,146 @@ def schema_to_dict(
 
 
 def schema_from_dict(data: dict[str, Any]) -> SchemaGraph:
-    """Rebuild a schema graph from :func:`schema_to_dict` output."""
+    """Rebuild a schema graph from :func:`schema_to_dict` output.
+
+    Raises:
+        SchemaPersistError: If the document is not a schema dict, names
+            an unsupported format version, or is missing required fields.
+    """
+    if not isinstance(data, dict):
+        raise SchemaPersistError(
+            f"schema document must be a JSON object, got {type(data).__name__}"
+        )
     version = data.get("format_version")
     if version != _FORMAT_VERSION:
-        raise ValueError(
-            f"unsupported schema format version {version!r}"
+        raise SchemaPersistError(
+            f"unsupported schema format version {version!r} "
+            f"(this build reads version {_FORMAT_VERSION})"
         )
     schema = SchemaGraph(data.get("name", "schema"))
-    for record in data.get("node_types", ()):
-        schema.add_node_type(_node_type_from_dict(record))
-    for record in data.get("edge_types", ()):
-        schema.add_edge_type(_edge_type_from_dict(record))
+    try:
+        for record in data.get("node_types", ()):
+            schema.add_node_type(_node_type_from_dict(record))
+        for record in data.get("edge_types", ()):
+            schema.add_edge_type(_edge_type_from_dict(record))
+    except (KeyError, TypeError, AttributeError) as exc:
+        raise SchemaPersistError(
+            f"malformed schema document: {exc!r}"
+        ) from exc
     return schema
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` via a same-directory temp file + rename.
+
+    ``os.replace`` is atomic on POSIX, so a reader (or a crash) observes
+    either the full old file or the full new one.
+    """
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
 
 
 def save_schema(
     schema: SchemaGraph, path: str | Path, include_members: bool = True
 ) -> None:
-    """Write a schema to a JSON file."""
-    Path(path).write_text(
+    """Write a schema to a JSON file (atomic write-and-rename)."""
+    _atomic_write_text(
+        Path(path),
         json.dumps(schema_to_dict(schema, include_members), indent=2),
-        encoding="utf-8",
     )
 
 
 def load_schema(path: str | Path) -> SchemaGraph:
-    """Read a schema previously written by :func:`save_schema`."""
-    return schema_from_dict(
-        json.loads(Path(path).read_text(encoding="utf-8"))
-    )
+    """Read a schema previously written by :func:`save_schema`.
+
+    Raises:
+        SchemaPersistError: Corrupt/truncated JSON or an unreadable
+            document (the message carries the file path).
+        FileNotFoundError: The file does not exist.
+    """
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise SchemaPersistError(
+            f"{path}: corrupt or truncated schema JSON: {exc}"
+        ) from exc
+    try:
+        return schema_from_dict(data)
+    except SchemaPersistError as exc:
+        raise SchemaPersistError(f"{path}: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# Run checkpoints (schema + manifest in one atomic document)
+# ---------------------------------------------------------------------------
+
+def save_checkpoint(
+    path: str | Path, schema: SchemaGraph, manifest: dict[str, Any]
+) -> None:
+    """Journal a running schema plus its batch manifest atomically.
+
+    The two halves travel in one document on purpose: separate files
+    could be replaced at different instants, and a crash in between
+    would leave a schema ahead of its manifest -- resuming from that
+    would re-merge batches and double-count instances.  One
+    ``os.replace`` keeps schema and manifest consistent by construction.
+    """
+    document = {
+        "checkpoint_version": _CHECKPOINT_VERSION,
+        "manifest": manifest,
+        "schema": schema_to_dict(schema, include_members=True),
+    }
+    _atomic_write_text(Path(path), json.dumps(document))
+
+
+def load_checkpoint(
+    path: str | Path,
+) -> tuple[SchemaGraph, dict[str, Any]]:
+    """Read a checkpoint written by :func:`save_checkpoint`.
+
+    Returns:
+        ``(schema, manifest)``.
+
+    Raises:
+        SchemaPersistError: Corrupt/truncated JSON, an unsupported
+            checkpoint version, or a malformed embedded schema.
+        FileNotFoundError: The file does not exist.
+    """
+    path = Path(path)
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise SchemaPersistError(
+            f"{path}: corrupt or truncated checkpoint JSON: {exc}"
+        ) from exc
+    if not isinstance(document, dict):
+        raise SchemaPersistError(f"{path}: checkpoint must be a JSON object")
+    version = document.get("checkpoint_version")
+    if version != _CHECKPOINT_VERSION:
+        raise SchemaPersistError(
+            f"{path}: unsupported checkpoint version {version!r} "
+            f"(this build reads version {_CHECKPOINT_VERSION})"
+        )
+    manifest = document.get("manifest")
+    if not isinstance(manifest, dict):
+        raise SchemaPersistError(f"{path}: checkpoint manifest missing")
+    try:
+        schema = schema_from_dict(document.get("schema"))
+    except SchemaPersistError as exc:
+        raise SchemaPersistError(f"{path}: {exc}") from exc
+    return schema, manifest
 
 
 # ---------------------------------------------------------------------------

@@ -121,3 +121,83 @@ class TestCli:
         out = capsys.readouterr().out
         lines = [l for l in out.splitlines() if l.startswith("SchemI")]
         assert lines and "-" in lines[0]
+
+
+class TestCliFailureHandling:
+    def test_corrupt_jsonl_exits_1_with_clean_error(self, tmp_path, capsys):
+        path = tmp_path / "broken.jsonl"
+        path.write_text(
+            '{"kind": "node", "id": 0}\n{"kind": "wormhole"}\n',
+            encoding="utf-8",
+        )
+        assert main(["discover", str(path)]) == 1
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert "broken.jsonl:2" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_on_error_collect_loads_and_reports(
+        self, tmp_path, capsys, figure1_graph
+    ):
+        path = tmp_path / "dirty.jsonl"
+        save_graph_jsonl(figure1_graph, path)
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"kind": "wormhole"}\n')
+        assert main([
+            "discover", str(path), "--on-error", "collect",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "Person" in captured.out
+        assert "rejected 1 records" in captured.err
+        assert "unknown record kind" in captured.err
+
+    def test_on_error_skip_loads_silently(
+        self, tmp_path, capsys, figure1_graph
+    ):
+        path = tmp_path / "dirty.jsonl"
+        save_graph_jsonl(figure1_graph, path)
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write("not json\n")
+        assert main([
+            "discover", str(path), "--on-error", "skip",
+        ]) == 0
+
+    def test_bad_fault_plan_in_env_is_reported(self, monkeypatch, capsys):
+        monkeypatch.setenv("PGHIVE_FAULTS", "garbage")
+        assert main(["discover", "POLE", "--scale", "0.15"]) == 1
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert "fault spec" in captured.err
+
+    def test_empty_fault_plan_in_env_is_noop(self, monkeypatch, capsys):
+        monkeypatch.setenv("PGHIVE_FAULTS", "")
+        assert main(["discover", "POLE", "--scale", "0.15"]) == 0
+        capsys.readouterr()
+
+    def test_checkpoint_dir_and_resume_flags(self, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        args = [
+            "discover", "POLE", "--scale", "0.15", "--batches", "3",
+            "--checkpoint-dir", str(ckpt),
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr()
+        assert (ckpt / "pghive-checkpoint.json").is_file()
+        assert main(args + ["--resume"]) == 0
+        second = capsys.readouterr()
+        assert second.out == first.out
+        assert "resumed from checkpoint at batch 3" in second.err
+
+    def test_corrupt_checkpoint_exits_1(self, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        ckpt.mkdir()
+        (ckpt / "pghive-checkpoint.json").write_text(
+            "{broken", encoding="utf-8"
+        )
+        assert main([
+            "discover", "POLE", "--scale", "0.15", "--batches", "3",
+            "--checkpoint-dir", str(ckpt), "--resume",
+        ]) == 1
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert "corrupt or truncated" in captured.err

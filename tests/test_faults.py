@@ -1,0 +1,146 @@
+"""Tests for the deterministic fault-injection harness."""
+
+import pytest
+
+from repro.core.config import PGHiveConfig
+from repro.core.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+)
+
+
+class TestFaultPlanParsing:
+    def test_parse_minimal(self):
+        plan = FaultPlan.parse("shard:2:raise")
+        assert len(plan.specs) == 1
+        spec = plan.specs[0]
+        assert spec.site == "shard"
+        assert spec.index == 2
+        assert spec.mode == "raise"
+        assert spec.times == 1
+        assert spec.probability == 1.0
+
+    def test_parse_full_and_wildcard(self):
+        plan = FaultPlan.parse("shard:*:hang:3:0.5:0.25,batch:1:kill")
+        first, second = plan.specs
+        assert first.index is None
+        assert first.times == 3
+        assert first.seconds == 0.5
+        assert first.probability == 0.25
+        assert second.site == "batch"
+        assert second.mode == "kill"
+
+    def test_serialize_roundtrip(self):
+        text = "shard:*:hang:3:0.5:0.25,batch:1:kill:2:3600:1"
+        plan = FaultPlan.parse(text)
+        assert FaultPlan.parse(plan.serialize()) == plan
+
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan.parse(None)
+        assert not FaultPlan.parse("")
+        assert FaultPlan.parse("shard:0:raise")
+
+    @pytest.mark.parametrize("text", [
+        "shard",                  # too few fields
+        "shard:0",                # still too few
+        "shard:zero:raise",       # non-integer index
+        "shard:0:explode",        # unknown mode
+        "shard:0:raise:0",        # times < 1
+        "shard:0:raise:1:-1",     # negative seconds
+        "shard:0:raise:1:0:2",    # probability out of range
+    ])
+    def test_malformed_specs_rejected(self, text):
+        with pytest.raises(ValueError):
+            FaultPlan.parse(text)
+
+    def test_matching_prefers_first_spec(self):
+        plan = FaultPlan.parse("shard:1:raise,shard:*:hang")
+        assert plan.matching("shard", 1).mode == "raise"
+        assert plan.matching("shard", 5).mode == "hang"
+        assert plan.matching("batch", 1) is None
+
+
+class TestFaultInjector:
+    def test_raise_fires_within_times_budget(self):
+        injector = FaultInjector(FaultPlan.parse("shard:3:raise:2"))
+        with pytest.raises(InjectedFault):
+            injector.fire("shard", 3, attempt=0)
+        with pytest.raises(InjectedFault):
+            injector.fire("shard", 3, attempt=1)
+        injector.fire("shard", 3, attempt=2)  # budget exhausted
+        injector.fire("shard", 0, attempt=0)  # different index untouched
+
+    def test_internal_counter_tracks_attempts(self):
+        injector = FaultInjector(FaultPlan.parse("batch:1:raise"))
+        with pytest.raises(InjectedFault):
+            injector.fire("batch", 1)
+        injector.fire("batch", 1)  # second call counts as attempt 1
+
+    def test_kill_is_noop_outside_worker(self):
+        injector = FaultInjector(FaultPlan.parse("shard:0:kill:99"))
+        injector.fire("shard", 0, attempt=0, in_worker=False)
+
+    def test_hang_sleeps_given_seconds(self):
+        injector = FaultInjector(FaultPlan.parse("shard:0:hang:1:0"))
+        injector.fire("shard", 0, attempt=0)  # returns immediately
+
+    def test_probability_is_deterministic_per_seed(self):
+        plan = FaultPlan.parse("shard:*:raise:1:0:0.5")
+
+        def outcomes(seed):
+            injector = FaultInjector(plan, seed=seed)
+            fired = []
+            for index in range(32):
+                try:
+                    injector.fire("shard", index, attempt=0)
+                    fired.append(False)
+                except InjectedFault:
+                    fired.append(True)
+            return fired
+
+        assert outcomes(7) == outcomes(7)
+        assert any(outcomes(7)) and not all(outcomes(7))
+
+    def test_probability_zero_never_fires(self):
+        injector = FaultInjector(FaultPlan.parse("shard:*:raise:1:0:0"))
+        for index in range(8):
+            injector.fire("shard", index, attempt=0)
+
+    def test_from_spec_none_without_plan(self, monkeypatch):
+        monkeypatch.delenv("PGHIVE_FAULTS", raising=False)
+        assert FaultInjector.from_spec(None) is None
+        assert FaultInjector.from_spec("") is None
+
+    def test_from_spec_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("PGHIVE_FAULTS", "shard:1:raise")
+        monkeypatch.setenv("PGHIVE_FAULTS_SEED", "13")
+        injector = FaultInjector.from_spec(None)
+        assert injector is not None
+        assert injector.seed == 13
+        explicit = FaultInjector.from_spec("batch:0:raise")
+        assert explicit.plan.specs[0].site == "batch"
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec("shard", 0, "explode")
+        with pytest.raises(ValueError):
+            FaultSpec("shard", 0, "raise", times=0)
+
+
+class TestConfigIntegration:
+    def test_config_validates_fault_plan_eagerly(self):
+        PGHiveConfig(faults="shard:0:raise")  # valid
+        with pytest.raises(ValueError):
+            PGHiveConfig(faults="shard:0:explode")
+
+    def test_config_recovery_knob_validation(self):
+        with pytest.raises(ValueError):
+            PGHiveConfig(shard_timeout=0)
+        with pytest.raises(ValueError):
+            PGHiveConfig(shard_retries=-1)
+        with pytest.raises(ValueError):
+            PGHiveConfig(shard_retry_backoff=-0.1)
+        with pytest.raises(ValueError):
+            PGHiveConfig(checkpoint_every=0)

@@ -3,6 +3,8 @@
 import pytest
 
 from repro.graph.io import (
+    IngestReport,
+    load_graph_apoc_jsonl,
     load_graph_csv,
     load_graph_jsonl,
     save_graph_csv,
@@ -49,6 +51,77 @@ class TestJsonl:
             load_graph_jsonl(path)
 
 
+DIRTY_JSONL = "\n".join([
+    '{"kind": "node", "id": 0, "labels": ["Person"], '
+    '"properties": {"name": "Ada"}}',                       # line 1 ok
+    '{"kind": "node", "id": 1, "labels": ["Person"]}',      # line 2 ok
+    '{"kind": "node", "id": 0, "labels": ["Dup"]}',         # 3: duplicate id
+    '{"kind": "node", "id": "abc"}',                        # 4: non-int id
+    "this is not json",                                     # 5: bad JSON
+    '{"kind": "hyperedge", "id": 9}',                       # 6: unknown kind
+    '{"kind": "edge", "id": 0, "source": 0, "target": 1, '
+    '"labels": ["KNOWS"]}',                                 # line 7 ok
+    '{"kind": "edge", "id": 1, "source": 0, "target": 42}',  # 8: no endpoint
+    '{"kind": "edge", "id": 2, "source": 1}',               # 9: missing field
+]) + "\n"
+
+
+class TestJsonlErrorPolicies:
+    def test_raise_is_default_with_line_context(self, tmp_path):
+        path = tmp_path / "dirty.jsonl"
+        path.write_text(DIRTY_JSONL, encoding="utf-8")
+        with pytest.raises(ValueError, match=r"dirty\.jsonl:3: duplicate"):
+            load_graph_jsonl(path)
+
+    def test_skip_drops_bad_records(self, tmp_path):
+        path = tmp_path / "dirty.jsonl"
+        path.write_text(DIRTY_JSONL, encoding="utf-8")
+        graph = load_graph_jsonl(path, on_error="skip")
+        assert graph.num_nodes == 2
+        assert graph.num_edges == 1
+        assert graph.node(0).properties["name"] == "Ada"
+
+    def test_collect_reports_every_rejected_line(self, tmp_path):
+        path = tmp_path / "dirty.jsonl"
+        path.write_text(DIRTY_JSONL, encoding="utf-8")
+        report = IngestReport()
+        graph = load_graph_jsonl(path, on_error="collect", report=report)
+        assert graph.num_nodes == 2 and graph.num_edges == 1
+        assert report.nodes_loaded == 2
+        assert report.edges_loaded == 1
+        assert [e.line for e in report.errors] == [3, 4, 5, 6, 8, 9]
+        reasons = {e.line: e.reason for e in report.errors}
+        assert "duplicate node id 0" in reasons[3]
+        assert "non-integer node id 'abc'" in reasons[4]
+        assert "invalid JSON" in reasons[5]
+        assert "unknown record kind" in reasons[6]
+        assert "unknown" in reasons[8]  # model's unknown-endpoint error
+        assert "missing 'target'" in reasons[9]
+        assert not report.ok
+        assert str(path) + ":3:" in report.describe()
+
+    def test_collect_requires_report(self, tmp_path, figure1_graph):
+        path = tmp_path / "g.jsonl"
+        save_graph_jsonl(figure1_graph, path)
+        with pytest.raises(ValueError, match="requires an IngestReport"):
+            load_graph_jsonl(path, on_error="collect")
+
+    def test_invalid_policy_rejected(self, tmp_path, figure1_graph):
+        path = tmp_path / "g.jsonl"
+        save_graph_jsonl(figure1_graph, path)
+        with pytest.raises(ValueError, match="on_error"):
+            load_graph_jsonl(path, on_error="ignore")
+
+    def test_clean_file_reports_ok(self, tmp_path, figure1_graph):
+        path = tmp_path / "g.jsonl"
+        save_graph_jsonl(figure1_graph, path)
+        report = IngestReport()
+        loaded = load_graph_jsonl(path, on_error="collect", report=report)
+        assert report.ok
+        assert report.nodes_loaded == loaded.num_nodes
+        assert report.edges_loaded == loaded.num_edges
+
+
 class TestCsv:
     def test_round_trip(self, figure1_graph, tmp_path):
         nodes_path = tmp_path / "nodes.csv"
@@ -76,3 +149,66 @@ class TestCsv:
         save_graph_csv(b.build(), nodes_path, edges_path)
         loaded = load_graph_csv(nodes_path, edges_path)
         assert loaded.node(0).labels == frozenset({"Person", "Student"})
+
+
+class TestCsvErrorPolicies:
+    def _dirty_files(self, tmp_path, figure1_graph):
+        nodes_path = tmp_path / "nodes.csv"
+        edges_path = tmp_path / "edges.csv"
+        save_graph_csv(figure1_graph, nodes_path, edges_path)
+        # Corrupt the node file: a non-integer id row and a duplicate.
+        with nodes_path.open("a", encoding="utf-8", newline="") as handle:
+            handle.write("not-a-number,Person\n")
+            handle.write("0,Duplicate\n")
+        # Corrupt the edge file: a dangling endpoint.
+        with edges_path.open("a", encoding="utf-8", newline="") as handle:
+            handle.write("999,0,424242,KNOWS\n")
+        return nodes_path, edges_path
+
+    def test_raise_names_file_and_line(self, tmp_path, figure1_graph):
+        nodes_path, edges_path = self._dirty_files(tmp_path, figure1_graph)
+        bad_line = len(nodes_path.read_text().splitlines()) - 1
+        with pytest.raises(
+            ValueError, match=rf"nodes\.csv:{bad_line}: non-integer"
+        ):
+            load_graph_csv(nodes_path, edges_path)
+
+    def test_collect_reports_both_files(self, tmp_path, figure1_graph):
+        nodes_path, edges_path = self._dirty_files(tmp_path, figure1_graph)
+        report = IngestReport()
+        graph = load_graph_csv(
+            nodes_path, edges_path, on_error="collect", report=report
+        )
+        assert graph.num_nodes == figure1_graph.num_nodes
+        assert graph.num_edges == figure1_graph.num_edges
+        assert len(report.errors) == 3
+        paths = {e.path for e in report.errors}
+        assert str(nodes_path) in paths and str(edges_path) in paths
+        reasons = " ".join(e.reason for e in report.errors)
+        assert "non-integer" in reasons
+        assert "duplicate node id 0" in reasons
+
+
+class TestApocErrorPolicies:
+    def test_skip_drops_dangling_relationship(self, tmp_path):
+        path = tmp_path / "dump.jsonl"
+        path.write_text("\n".join([
+            '{"type": "node", "id": "a", "labels": ["Person"], '
+            '"properties": {}}',
+            '{"type": "relationship", "label": "KNOWS", '
+            '"start": {"id": "a"}, "end": {"id": "ghost"}}',
+        ]) + "\n", encoding="utf-8")
+        report = IngestReport()
+        graph = load_graph_apoc_jsonl(
+            path, on_error="collect", report=report
+        )
+        assert graph.num_nodes == 1 and graph.num_edges == 0
+        assert len(report.errors) == 1
+        assert report.errors[0].line == 2
+        assert "unknown node" in report.errors[0].reason
+
+    def test_raise_remains_default(self, tmp_path):
+        path = tmp_path / "dump.jsonl"
+        path.write_text('{"type": "mystery"}\n', encoding="utf-8")
+        with pytest.raises(ValueError, match="unknown APOC record type"):
+            load_graph_apoc_jsonl(path)

@@ -8,7 +8,10 @@ from repro.datasets import get_dataset
 from repro.graph.store import GraphStore
 from repro.schema.diff import diff_schemas
 from repro.schema.persist import (
+    SchemaPersistError,
+    load_checkpoint,
     load_schema,
+    save_checkpoint,
     save_schema,
     schema_from_dict,
     schema_to_dict,
@@ -70,6 +73,107 @@ class TestRoundTrip:
     def test_unknown_version_rejected(self):
         with pytest.raises(ValueError, match="format version"):
             schema_from_dict({"format_version": 999})
+
+
+class TestPersistErrors:
+    """Every decode failure surfaces as one SchemaPersistError."""
+
+    def test_corrupt_json_names_the_file(self, tmp_path):
+        path = tmp_path / "schema.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(SchemaPersistError, match="corrupt or truncated"):
+            load_schema(path)
+        with pytest.raises(SchemaPersistError, match="schema.json"):
+            load_schema(path)
+
+    def test_truncated_file_rejected(self, discovered_schema, tmp_path):
+        path = tmp_path / "schema.json"
+        save_schema(discovered_schema, path)
+        text = path.read_text(encoding="utf-8")
+        path.write_text(text[: len(text) // 2], encoding="utf-8")
+        with pytest.raises(SchemaPersistError):
+            load_schema(path)
+
+    def test_future_version_rejected_via_file(
+        self, discovered_schema, tmp_path
+    ):
+        import json
+
+        path = tmp_path / "schema.json"
+        save_schema(discovered_schema, path)
+        data = json.loads(path.read_text(encoding="utf-8"))
+        data["format_version"] = 999
+        path.write_text(json.dumps(data), encoding="utf-8")
+        with pytest.raises(SchemaPersistError, match="format version"):
+            load_schema(path)
+
+    def test_non_object_document_rejected(self):
+        with pytest.raises(SchemaPersistError, match="JSON object"):
+            schema_from_dict([1, 2, 3])
+
+    def test_malformed_type_record_rejected(self):
+        with pytest.raises(SchemaPersistError, match="malformed"):
+            schema_from_dict({
+                "format_version": 1,
+                "node_types": [{"labels": ["Person"]}],  # missing name
+            })
+
+    def test_persist_error_is_a_value_error(self):
+        assert issubclass(SchemaPersistError, ValueError)
+
+    def test_missing_file_stays_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_schema(tmp_path / "absent.json")
+
+    def test_atomic_save_leaves_no_temp_files(
+        self, discovered_schema, tmp_path
+    ):
+        path = tmp_path / "schema.json"
+        save_schema(discovered_schema, path)
+        save_schema(discovered_schema, path)  # overwrite in place
+        assert [p.name for p in tmp_path.iterdir()] == ["schema.json"]
+
+
+class TestCheckpoints:
+    def test_round_trip(self, discovered_schema, tmp_path):
+        path = tmp_path / "ckpt.json"
+        manifest = {"next_batch": 3, "context": {"seed": 7}}
+        save_checkpoint(path, discovered_schema, manifest)
+        schema, loaded_manifest = load_checkpoint(path)
+        assert loaded_manifest == manifest
+        assert diff_schemas(discovered_schema, schema).is_empty
+
+    def test_corrupt_checkpoint_rejected(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text("garbage", encoding="utf-8")
+        with pytest.raises(SchemaPersistError, match="corrupt or truncated"):
+            load_checkpoint(path)
+
+    def test_future_checkpoint_version_rejected(
+        self, discovered_schema, tmp_path
+    ):
+        import json
+
+        path = tmp_path / "ckpt.json"
+        save_checkpoint(path, discovered_schema, {"next_batch": 1})
+        data = json.loads(path.read_text(encoding="utf-8"))
+        data["checkpoint_version"] = 999
+        path.write_text(json.dumps(data), encoding="utf-8")
+        with pytest.raises(
+            SchemaPersistError, match="checkpoint version"
+        ):
+            load_checkpoint(path)
+
+    def test_missing_manifest_rejected(self, tmp_path):
+        import json
+
+        path = tmp_path / "ckpt.json"
+        path.write_text(
+            json.dumps({"checkpoint_version": 1, "schema": {}}),
+            encoding="utf-8",
+        )
+        with pytest.raises(SchemaPersistError, match="manifest"):
+            load_checkpoint(path)
 
 
 class TestResume:
