@@ -1,0 +1,67 @@
+"""``pghive-lint``: AST static analysis enforcing the repo's invariants.
+
+The repo's core guarantees -- parallel sharded discovery is
+byte-identical to sequential output, fault-recovered runs reproduce
+clean runs exactly, and every knob is reachable from the documented
+surface -- are example-tested but easy to break silently: one unseeded
+RNG, one set iteration feeding serialized output, one unpicklable field
+on a shard payload.  This package encodes those invariants as static
+rules that run in CI (``python -m repro.analysis`` or the
+``pghive-lint`` console script) next to ``mypy --strict``.
+
+Rule families (see ``docs/API.md`` for the full catalogue):
+
+* determinism -- ``wall-clock``, ``unseeded-rng``,
+  ``unsorted-iteration``, ``id-keyed-dict``, ``env-read``;
+* fork/pickle safety -- ``payload-pickle``, ``worker-closure``;
+* surface consistency -- ``config-cli-surface``, ``env-var-docs``,
+  ``init-exports``;
+* hygiene -- ``bare-except``, ``mutable-default``, ``assert-ban``,
+  ``missing-annotations``.
+
+Findings are suppressed per line with a justified directive::
+
+    risky_line()  # pghive-lint: disable=rule-name -- why it is safe
+
+Unused or unjustified suppressions are themselves findings, so the
+suppression inventory can never rot.
+"""
+
+from __future__ import annotations
+
+# Importing the rule modules registers every rule exactly once.
+from repro.analysis import (  # noqa: F401  (registration side effects)
+    rules_determinism,
+    rules_forksafety,
+    rules_hygiene,
+    rules_surface,
+)
+from repro.analysis.engine import LintRun, lint_paths
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import (
+    FileRule,
+    ProjectRule,
+    Rule,
+    all_rules,
+    get_rule,
+)
+
+__all__ = [
+    "FileRule",
+    "Finding",
+    "LintRun",
+    "ProjectRule",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "main",
+]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Console-script entry point (``pghive-lint``)."""
+    from repro.analysis.__main__ import main as _main
+
+    return _main(argv)

@@ -1,0 +1,114 @@
+"""CLI for ``pghive-lint`` (``python -m repro.analysis``).
+
+Exit codes: 0 -- no findings; 1 -- findings; 2 -- usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.analysis.engine import lint_paths
+from repro.analysis.findings import Severity, render_json, render_text
+from repro.analysis.registry import FileRule, all_rules, get_rule
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pghive-lint",
+        description=(
+            "AST static analysis enforcing PG-HIVE's determinism, "
+            "fork-safety and config-surface invariants"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--rule", action="append", default=None, metavar="NAME",
+        help="run only the named rule (repeatable)",
+    )
+    parser.add_argument(
+        "--min-severity", choices=["warning", "error"], default="warning",
+        help="report findings at or above this severity "
+             "(default: warning, i.e. everything)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines: list[str] = []
+    for rule in all_rules():
+        scope = "project-wide"
+        if isinstance(rule, FileRule):
+            scope = ", ".join(rule.dirs) if rule.dirs else "all modules"
+            if rule.exempt:
+                scope += f" (except {', '.join(rule.exempt)})"
+        lines.append(
+            f"{rule.name} [{rule.severity.name.lower()}] ({scope})\n"
+            f"    {rule.description}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    try:
+        return _run(argv)
+    except BrokenPipeError:  # e.g. `pghive-lint --list-rules | head`
+        # Point stdout at devnull so the interpreter's exit-time flush
+        # does not hit the closed pipe again.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+def _run(argv: list[str] | None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+    rules = None
+    if args.rule:
+        try:
+            rules = [get_rule(name) for name in args.rule]
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+    try:
+        findings = lint_paths(
+            args.paths,
+            rules=rules,
+            min_severity=Severity.parse(args.min_severity),
+        )
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(render_json(findings))
+    elif findings:
+        print(render_text(findings))
+    if findings:
+        count = len(findings)
+        print(
+            f"pghive-lint: {count} finding{'s' if count != 1 else ''}",
+            file=sys.stderr,
+        )
+        return 1
+    if args.format != "json":
+        print("pghive-lint: no findings", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

@@ -1,0 +1,150 @@
+"""Shared AST helpers for the lint rules.
+
+The central abstraction is *dotted-origin resolution*: every module gets
+an import table mapping local aliases to their fully qualified origin
+(``np`` -> ``numpy``, ``datetime`` -> ``datetime.datetime`` after a
+``from datetime import datetime``), and :func:`resolve_dotted` expands a
+``Name``/``Attribute`` chain against it.  Rules then match canonical
+dotted names (``time.time``, ``numpy.random.default_rng``) regardless of
+how the module spelled the import.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+__all__ = [
+    "build_import_table",
+    "build_parent_map",
+    "call_positional_args",
+    "dotted_name",
+    "is_docstring",
+    "iter_function_defs",
+    "resolve_dotted",
+    "string_constants",
+]
+
+
+def build_import_table(tree: ast.Module) -> dict[str, str]:
+    """Map each imported local alias to its fully qualified origin."""
+    table: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                origin = alias.name if alias.asname else local
+                table[local] = origin
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None or node.level:
+                continue  # relative imports are not used in this tree
+            for alias in node.names:
+                local = alias.asname or alias.name
+                table[local] = f"{node.module}.{alias.name}"
+    return table
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """The literal dotted text of a Name/Attribute chain, or ``None``."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+def resolve_dotted(node: ast.AST, imports: dict[str, str]) -> str | None:
+    """Fully qualified dotted name of an expression, or ``None``.
+
+    ``np.random.default_rng`` resolves to ``numpy.random.default_rng``
+    when the module did ``import numpy as np``.  Unimported names
+    resolve to themselves (builtins stay bare: ``id``, ``list``).
+    """
+    literal = dotted_name(node)
+    if literal is None:
+        return None
+    head, _, rest = literal.partition(".")
+    origin = imports.get(head, head)
+    return f"{origin}.{rest}" if rest else origin
+
+
+def build_parent_map(tree: ast.Module) -> dict[ast.AST, ast.AST]:
+    """Child -> parent links for context-sensitive checks."""
+    parents: dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def iter_function_defs(
+    tree: ast.Module,
+) -> Iterator[tuple[ast.FunctionDef | ast.AsyncFunctionDef, bool]]:
+    """Every function definition with whether it is a direct class method."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            for child in node.body:
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield child, True
+    in_class = {
+        child
+        for node in ast.walk(tree)
+        if isinstance(node, ast.ClassDef)
+        for child in node.body
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node not in in_class:
+                yield node, False
+
+
+def call_positional_args(node: ast.Call) -> list[ast.expr]:
+    return list(node.args)
+
+
+def _docstring_nodes(tree: ast.Module) -> set[ast.Constant]:
+    """The Constant nodes that are docstrings of the module/classes/defs."""
+    out: set[ast.Constant] = set()
+    scopes: list[ast.AST] = [tree]
+    scopes.extend(
+        node for node in ast.walk(tree)
+        if isinstance(node, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef))
+    )
+    for scope in scopes:
+        body = getattr(scope, "body", [])
+        if (
+            body
+            and isinstance(body[0], ast.Expr)
+            and isinstance(body[0].value, ast.Constant)
+            and isinstance(body[0].value.value, str)
+        ):
+            out.add(body[0].value)
+    return out
+
+
+def is_docstring(node: ast.Constant, tree: ast.Module) -> bool:
+    return node in _docstring_nodes(tree)
+
+
+def string_constants(
+    tree: ast.Module, include_docstrings: bool = False
+) -> Iterator[tuple[int, str]]:
+    """Every string literal in the module as ``(line, text)`` pairs.
+
+    Covers plain constants and the literal fragments of f-strings.
+    Docstrings are excluded by default: rules about *operative*
+    references (env vars, flag names) should not fire on prose.
+    """
+    docstrings = set() if include_docstrings else _docstring_nodes(tree)
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Constant)
+            and isinstance(node.value, str)
+            and node not in docstrings
+        ):
+            yield node.lineno, node.value

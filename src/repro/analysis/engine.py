@@ -1,0 +1,181 @@
+"""The ``pghive-lint`` driver: walk targets, run rules, apply suppressions.
+
+The engine parses every ``*.py`` under the target paths once, hands each
+module to the applicable :class:`~repro.analysis.registry.FileRule`\\ s,
+hands the whole target to every
+:class:`~repro.analysis.registry.ProjectRule`, filters findings through
+the module's suppression directives, and finally audits the directives
+themselves (unused or unexplained suppressions are findings too).
+
+Everything is deterministic: files are visited in sorted order and the
+final report is sorted by path, line, and rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.findings import Finding, Severity, sort_findings
+from repro.analysis.registry import (
+    FileRule,
+    ModuleContext,
+    ProjectContext,
+    ProjectRule,
+    Rule,
+    all_rules,
+)
+from repro.analysis.suppress import SuppressionSet, collect_suppressions
+
+__all__ = ["LintRun", "lint_paths"]
+
+SYNTAX_ERROR = "syntax-error"
+
+
+class LintRun:
+    """One lint invocation over a set of targets."""
+
+    def __init__(
+        self,
+        rules: Sequence[Rule] | None = None,
+        min_severity: Severity = Severity.WARNING,
+    ) -> None:
+        self.rules = list(rules) if rules is not None else all_rules()
+        self.min_severity = min_severity
+
+    def run(self, paths: Iterable[str | Path]) -> list[Finding]:
+        modules, parse_failures = _load_modules(paths)
+        project = ProjectContext(
+            root=_common_root(modules), modules=modules
+        )
+        suppressions = {
+            module.relpath: collect_suppressions(module.path, module.source)
+            for module in modules
+        }
+        findings: list[Finding] = list(parse_failures)
+        for module in modules:
+            for rule in self.rules:
+                if isinstance(rule, FileRule) and rule.applies_to(module):
+                    findings.extend(rule.check(module))
+        for rule in self.rules:
+            if isinstance(rule, ProjectRule):
+                findings.extend(rule.check(project))
+        findings = self._apply_suppressions(findings, modules, suppressions)
+        active = {rule.name for rule in self.rules}
+        audit_scope = None if active == {r.name for r in all_rules()} \
+            else active
+        for suppression_set in suppressions.values():
+            findings.extend(suppression_set.audit(audit_scope))
+        findings = [
+            f for f in findings if f.severity >= self.min_severity
+        ]
+        return sort_findings(findings)
+
+    def _apply_suppressions(
+        self,
+        findings: list[Finding],
+        modules: list[ModuleContext],
+        suppressions: dict[str, SuppressionSet],
+    ) -> list[Finding]:
+        by_path = {str(module.path): module.relpath for module in modules}
+        kept: list[Finding] = []
+        for finding in findings:
+            relpath = by_path.get(finding.path)
+            if relpath is not None and suppressions[relpath].is_suppressed(
+                finding.rule, finding.line
+            ):
+                continue
+            kept.append(finding)
+        return kept
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    rules: Sequence[Rule] | None = None,
+    min_severity: Severity = Severity.WARNING,
+) -> list[Finding]:
+    """Lint files/directories and return the sorted findings."""
+    return LintRun(rules=rules, min_severity=min_severity).run(paths)
+
+
+# ----------------------------------------------------------------------
+# Target resolution
+# ----------------------------------------------------------------------
+def _load_modules(
+    paths: Iterable[str | Path],
+) -> tuple[list[ModuleContext], list[Finding]]:
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            root = _descend_into_package(path)
+            files.extend(sorted(root.rglob("*.py")))
+        elif path.is_file():
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"lint target does not exist: {path}")
+
+    modules: list[ModuleContext] = []
+    failures: list[Finding] = []
+    seen: set[Path] = set()
+    for file in files:
+        resolved = file.resolve()
+        if resolved in seen:
+            continue
+        seen.add(resolved)
+        source = file.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(file))
+        except SyntaxError as exc:
+            failures.append(Finding(
+                path=str(file),
+                line=exc.lineno or 1,
+                rule=SYNTAX_ERROR,
+                message=f"cannot parse: {exc.msg}",
+                severity=Severity.ERROR,
+            ))
+            continue
+        modules.append(ModuleContext(
+            path=file,
+            relpath=_package_relpath(file),
+            tree=tree,
+            source=source,
+        ))
+    modules.sort(key=lambda m: m.relpath)
+    return modules, failures
+
+
+def _descend_into_package(root: Path) -> Path:
+    """Resolve ``src`` or repo roots down to the ``repro`` package.
+
+    Linting ``src`` or the repo checkout behaves identically to linting
+    ``src/repro``: directory-scoped rules key on package-relative paths
+    like ``core/config.py``.
+    """
+    for candidate in (root / "repro", root / "src" / "repro"):
+        if (candidate / "__init__.py").is_file():
+            return candidate
+    return root
+
+
+def _package_relpath(file: Path) -> str:
+    """Path of ``file`` relative to its outermost package directory."""
+    resolved = file.resolve()
+    top = resolved.parent
+    while (top.parent / "__init__.py").is_file():
+        top = top.parent
+    if (top / "__init__.py").is_file():
+        return resolved.relative_to(top).as_posix()
+    return resolved.relative_to(resolved.parent).as_posix()
+
+
+def _common_root(modules: list[ModuleContext]) -> Path:
+    if not modules:
+        return Path.cwd()
+    parents = [module.path.resolve().parent for module in modules]
+    common = parents[0]
+    for parent in parents[1:]:
+        while not parent.is_relative_to(common):
+            common = common.parent
+    return common

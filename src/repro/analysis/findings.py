@@ -1,0 +1,81 @@
+"""Finding and severity model for ``pghive-lint``.
+
+A :class:`Finding` is one rule violation at one source location.  The
+canonical text rendering is ``path:line: RULE message`` (column added
+when known), matching compiler conventions so editors and CI annotate
+the right line.  ``--format=json`` emits the same records as a JSON
+array for machine consumers.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+
+
+class Severity(enum.IntEnum):
+    """How bad a finding is.
+
+    ``ERROR`` findings break an invariant the repo guarantees (byte-
+    identical parallel output, seeded replay, shard pickling) and fail
+    the build.  ``WARNING`` findings are hygiene hazards that default to
+    failing too (the CI gate runs with warnings as errors) but can be
+    filtered with ``--min-severity=error``.
+    """
+
+    WARNING = 1
+    ERROR = 2
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls[text.upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {text!r}; expected one of "
+                f"{[s.name.lower() for s in cls]}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+    severity: Severity = Severity.ERROR
+    column: int = field(default=0, compare=False)
+
+    def render(self) -> str:
+        location = f"{self.path}:{self.line}"
+        if self.column:
+            location = f"{location}:{self.column}"
+        return f"{location}: {self.rule} [{self.severity.name.lower()}] {self.message}"
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "rule": self.rule,
+            "severity": self.severity.name.lower(),
+            "message": self.message,
+        }
+
+
+def sort_findings(findings: list[Finding]) -> list[Finding]:
+    """Deterministic report order: path, then line, then rule name."""
+    return sorted(findings, key=lambda f: (f.path, f.line, f.rule, f.message))
+
+
+def render_text(findings: list[Finding]) -> str:
+    return "\n".join(f.render() for f in sort_findings(findings))
+
+
+def render_json(findings: list[Finding]) -> str:
+    return json.dumps(
+        [f.as_dict() for f in sort_findings(findings)], indent=2
+    )

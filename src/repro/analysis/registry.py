@@ -1,0 +1,187 @@
+"""Rule model and registry for ``pghive-lint``.
+
+Two rule shapes exist:
+
+* :class:`FileRule` -- checks one parsed module at a time (an
+  :class:`ast.Module` plus its source).  Most determinism and hygiene
+  rules are file rules; they can restrict themselves to package
+  subdirectories via :attr:`FileRule.dirs`.
+* :class:`ProjectRule` -- checks the whole lint target at once, for
+  cross-file surface invariants (config fields vs. CLI flags, env vars
+  vs. docs, ``__init__`` re-exports).
+
+Rules self-register through the :func:`register` decorator so the CLI,
+the engine, and the docs generator all see one canonical rule list.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Type, TypeVar
+
+from repro.analysis.findings import Finding, Severity
+
+__all__ = [
+    "FileRule",
+    "ModuleContext",
+    "ProjectContext",
+    "ProjectRule",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "register",
+]
+
+
+@dataclass
+class ModuleContext:
+    """One parsed source module handed to file rules."""
+
+    path: Path
+    relpath: str  # posix, relative to the lint target root (e.g. "core/config.py")
+    tree: ast.Module
+    source: str
+
+    @property
+    def package_relpath(self) -> str:
+        """Path relative to the ``repro`` package when linting the repo.
+
+        When the lint target *is* the package (the normal case),
+        ``relpath`` already is package-relative; fixture projects mirror
+        the same layout, so the two coincide.
+        """
+        return self.relpath
+
+
+@dataclass
+class ProjectContext:
+    """The whole lint target, for cross-file rules."""
+
+    root: Path
+    modules: list[ModuleContext] = field(default_factory=list)
+
+    def module(self, suffix: str) -> ModuleContext | None:
+        """The unique module whose relpath equals or ends with ``suffix``."""
+        matches = [
+            m for m in self.modules
+            if m.relpath == suffix or m.relpath.endswith("/" + suffix)
+        ]
+        if not matches:
+            return None
+        # Prefer the shallowest match so "cli.py" finds the package-level
+        # CLI, not some nested helper of the same name.
+        return min(matches, key=lambda m: (m.relpath.count("/"), m.relpath))
+
+    def doc_text(self, relative: str) -> str | None:
+        """Read a docs file (e.g. ``docs/API.md``) near the lint root.
+
+        Looks in the root itself, then up to three parents, so linting
+        ``src/repro`` inside the repo finds the repo-level ``docs/``
+        while fixture projects can keep theirs next to the sources.
+        """
+        base = self.root
+        for _ in range(4):
+            candidate = base / relative
+            if candidate.is_file():
+                return candidate.read_text(encoding="utf-8")
+            if base.parent == base:
+                break
+            base = base.parent
+        return None
+
+
+class Rule:
+    """Base class: one named invariant check."""
+
+    name: str = ""
+    severity: Severity = Severity.ERROR
+    description: str = ""
+    rationale: str = ""
+
+
+class FileRule(Rule):
+    """A rule that inspects one module at a time."""
+
+    #: Restrict to these package-relative directory prefixes (posix, with
+    #: trailing slash), or ``None`` for every module.
+    dirs: tuple[str, ...] | None = None
+    #: Package-relative module paths exempt from this rule.
+    exempt: tuple[str, ...] = ()
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        rel = module.package_relpath
+        if rel in self.exempt:
+            return False
+        if self.dirs is None:
+            return True
+        return any(rel.startswith(prefix) for prefix in self.dirs)
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, module: ModuleContext, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            path=str(module.path),
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0),
+            rule=self.name,
+            message=message,
+            severity=self.severity,
+        )
+
+
+class ProjectRule(Rule):
+    """A rule that inspects the whole lint target at once."""
+
+    def check(self, project: ProjectContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self,
+        project: ProjectContext,
+        message: str,
+        *,
+        path: Path | None = None,
+        line: int = 1,
+    ) -> Finding:
+        return Finding(
+            path=str(path if path is not None else project.root),
+            line=line,
+            rule=self.name,
+            message=message,
+            severity=self.severity,
+        )
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+R = TypeVar("R", bound=Rule)
+
+
+def register(cls: Type[R]) -> Type[R]:
+    """Class decorator: instantiate the rule and add it to the registry."""
+    rule = cls()
+    if not rule.name:
+        raise ValueError(f"rule class {cls.__name__} has no name")
+    if rule.name in _REGISTRY:
+        raise ValueError(f"duplicate rule name {rule.name!r}")
+    _REGISTRY[rule.name] = rule
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, sorted by name (deterministic output)."""
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def get_rule(name: str) -> Rule:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown rule {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None

@@ -1,0 +1,161 @@
+"""Hygiene rules: hazards that undermine the other invariants sideways.
+
+* ``bare-except`` -- ``except:`` swallows ``KeyboardInterrupt`` /
+  ``SystemExit`` and hides the shard-failure classification the
+  recovery runtime depends on; always catch a concrete type.
+* ``mutable-default`` -- a mutable default argument is shared across
+  calls *and across pool workers after fork*, a classic way for state
+  to leak between shards.
+* ``assert-ban`` -- ``assert`` disappears under ``python -O``; a
+  load-bearing check in ``core/`` or ``schema/`` must be an explicit
+  ``raise`` so optimized runs keep the same behaviour.
+* ``missing-annotations`` -- the local enforcement arm of the
+  ``mypy --strict`` CI gate: every function is fully annotated, so
+  strict mode has something to check and the payload/pickle analysis
+  has types to read.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.astutil import build_import_table, resolve_dotted
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import FileRule, ModuleContext, register
+
+
+@register
+class BareExceptRule(FileRule):
+    name = "bare-except"
+    description = "except: without an exception type is banned"
+    rationale = (
+        "a bare except swallows KeyboardInterrupt/SystemExit and "
+        "misclassifies shard failures the recovery runtime needs to "
+        "see; catch the concrete exception (or Exception, explicitly)"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    module, node,
+                    "bare except:; name the exception type being handled",
+                )
+
+
+@register
+class MutableDefaultRule(FileRule):
+    name = "mutable-default"
+    description = "mutable default arguments ([], {}, set()) are banned"
+    rationale = (
+        "a mutable default is evaluated once and shared by every call "
+        "-- and by every fork-inherited worker -- so per-shard state "
+        "leaks across shards; default to None and allocate inside"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        imports = build_import_table(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default, imports):
+                    name = getattr(node, "name", "<lambda>")
+                    yield self.finding(
+                        module, default,
+                        f"mutable default argument in {name!r}; use "
+                        f"None and allocate per call",
+                    )
+
+    @staticmethod
+    def _is_mutable(node: ast.expr, imports: dict[str, str]) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            origin = resolve_dotted(node.func, imports)
+            return origin in (
+                "list", "dict", "set", "bytearray",
+                "collections.defaultdict", "collections.Counter",
+                "collections.deque", "collections.OrderedDict",
+            )
+        return False
+
+
+@register
+class AssertBanRule(FileRule):
+    name = "assert-ban"
+    description = (
+        "assert statements in core/ and schema/ are banned (stripped "
+        "under python -O)"
+    )
+    rationale = (
+        "python -O removes assert statements, so a load-bearing check "
+        "silently vanishes in optimized deployments; raise an explicit "
+        "exception with a message instead"
+    )
+    dirs = ("core/", "schema/")
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assert):
+                yield self.finding(
+                    module, node,
+                    "assert statement vanishes under python -O; raise "
+                    "an explicit exception with a message",
+                )
+
+
+@register
+class MissingAnnotationsRule(FileRule):
+    name = "missing-annotations"
+    severity = Severity.WARNING
+    description = (
+        "every function needs a return annotation and annotations on "
+        "all parameters (self/cls excluded)"
+    )
+    rationale = (
+        "the CI typing gate runs mypy --strict over src/repro; an "
+        "unannotated def is invisible to it, and the payload "
+        "pickle-safety analysis reads the same annotations"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.returns is None:
+                yield self.finding(
+                    module, node,
+                    f"function {node.name!r} has no return annotation",
+                )
+            args = node.args
+            positional = args.posonlyargs + args.args
+            for index, arg in enumerate(positional):
+                if index == 0 and arg.arg in ("self", "cls"):
+                    continue
+                if arg.annotation is None:
+                    yield self.finding(
+                        module, arg,
+                        f"parameter {arg.arg!r} of {node.name!r} has no "
+                        f"annotation",
+                    )
+            for arg in args.kwonlyargs:
+                if arg.annotation is None:
+                    yield self.finding(
+                        module, arg,
+                        f"parameter {arg.arg!r} of {node.name!r} has no "
+                        f"annotation",
+                    )
+            for arg in (args.vararg, args.kwarg):
+                if arg is not None and arg.annotation is None:
+                    yield self.finding(
+                        module, arg,
+                        f"parameter {arg.arg!r} of {node.name!r} has no "
+                        f"annotation",
+                    )

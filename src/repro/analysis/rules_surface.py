@@ -1,0 +1,251 @@
+"""Surface-consistency rules.
+
+These project-level rules keep the three public surfaces of the repo --
+the :class:`~repro.core.config.PGHiveConfig` dataclass, the ``pghive``
+CLI, and ``docs/API.md`` -- from drifting apart:
+
+* ``config-cli-surface`` -- every ``PGHiveConfig`` field must be
+  reachable from the CLI (same-named ``--flag``, a registered alias, or
+  an explicit allowlist entry explaining why it is library-only);
+* ``env-var-docs`` -- every ``PGHIVE_*`` environment variable referenced
+  in code must be documented in ``docs/API.md``;
+* ``init-exports`` -- every name in a package ``__init__``'s ``__all__``
+  must actually be bound in that module and be mentioned in
+  ``docs/API.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.astutil import string_constants
+from repro.analysis.findings import Finding
+from repro.analysis.registry import ProjectContext, ProjectRule, register
+
+#: Config fields exposed under a differently spelled CLI flag.
+CLI_FLAG_ALIASES = {
+    "memoize_patterns": "--memoize",
+    "infer_value_profiles": "--profiles",
+    "exact_cardinality_bounds": "--bounds",
+}
+
+#: Config fields deliberately *not* exposed as CLI flags, with the
+#: reason.  Every entry here is an audited decision, not an oversight.
+CLI_FLAG_ALLOWLIST = {
+    "word2vec": "nested hyperparameter dataclass; library-level tuning",
+    "label_weight": "algorithm hyperparameter (section 4.1); paper value",
+    "jaccard_threshold": "theta of Algorithm 2; paper value, library-level",
+    "endpoint_jaccard_threshold": "Definition 3.3 merge threshold; "
+                                  "library-level",
+    "bucket_length": "manual ELSH override; the adaptive strategy is the "
+                     "supported surface",
+    "num_tables": "manual ELSH override; adaptive by default",
+    "alpha": "manual label-diversity override; adaptive by default",
+    "adaptive_sample_size": "mu-estimation internals (section 4.2)",
+    "adaptive_sample_fraction": "mu-estimation internals (section 4.2)",
+    "minhash_rows_per_band": "MinHash banding internals",
+    "post_processing": "disabling constraint inference is a library-level "
+                       "escape hatch only",
+    "infer_datatypes_by_sampling": "sampled-datatype mode is driven by the "
+                                   "evaluation harness, not operators",
+    "datatype_sample_fraction": "parameter of the sampled-datatype mode",
+    "datatype_sample_minimum": "parameter of the sampled-datatype mode",
+    "shard_retry_backoff": "scheduling-only knob; never affects output",
+}
+
+_ENV_VAR = re.compile(r"PGHIVE_[A-Z][A-Z0-9_]*")
+
+
+def _api_doc(project: ProjectContext) -> str | None:
+    return project.doc_text("docs/API.md")
+
+
+@register
+class ConfigCliSurfaceRule(ProjectRule):
+    name = "config-cli-surface"
+    description = (
+        "every PGHiveConfig field needs a matching CLI flag, a "
+        "registered alias, or an allowlist entry"
+    )
+    rationale = (
+        "config knobs that silently never reach the CLI create two "
+        "classes of users; the allowlist makes library-only knobs an "
+        "explicit, reviewed decision"
+    )
+
+    def check(self, project: ProjectContext) -> Iterator[Finding]:
+        config = project.module("core/config.py")
+        cli = project.module("cli.py")
+        if config is None or cli is None:
+            return  # partial lint targets skip the cross-file check
+        flags = {
+            text
+            for _line, text in string_constants(cli.tree)
+            if text.startswith("--")
+        }
+        for node in ast.walk(config.tree):
+            if not (isinstance(node, ast.ClassDef)
+                    and node.name == "PGHiveConfig"):
+                continue
+            for stmt in node.body:
+                if not (isinstance(stmt, ast.AnnAssign)
+                        and isinstance(stmt.target, ast.Name)):
+                    continue
+                field = stmt.target.id
+                flag = "--" + field.replace("_", "-")
+                alias = CLI_FLAG_ALIASES.get(field)
+                if flag in flags or (alias is not None and alias in flags):
+                    continue
+                if field in CLI_FLAG_ALLOWLIST:
+                    continue
+                yield self.finding(
+                    project,
+                    f"PGHiveConfig.{field} has no CLI flag ({flag}), no "
+                    f"alias in CLI_FLAG_ALIASES, and no "
+                    f"CLI_FLAG_ALLOWLIST entry; wire it into cli.py or "
+                    f"allowlist it with a reason",
+                    path=config.path,
+                    line=stmt.lineno,
+                )
+
+
+@register
+class EnvVarDocsRule(ProjectRule):
+    name = "env-var-docs"
+    description = (
+        "every PGHIVE_* environment variable referenced in code must be "
+        "documented in docs/API.md"
+    )
+    rationale = (
+        "undocumented env vars are invisible config surface: a run's "
+        "behaviour stops being reproducible from its documented inputs"
+    )
+
+    def check(self, project: ProjectContext) -> Iterator[Finding]:
+        references: dict[str, tuple[str, int]] = {}
+        for module in project.modules:
+            for line, text in string_constants(module.tree):
+                for var in _ENV_VAR.findall(text):
+                    references.setdefault(var, (str(module.path), line))
+        if not references:
+            return
+        doc = _api_doc(project)
+        for var in sorted(references):
+            path, line = references[var]
+            if doc is None:
+                yield Finding(
+                    path=path, line=line, rule=self.name,
+                    message=(
+                        f"environment variable {var} is referenced but "
+                        f"docs/API.md was not found to document it"
+                    ),
+                    severity=self.severity,
+                )
+            elif var not in doc:
+                yield Finding(
+                    path=path, line=line, rule=self.name,
+                    message=(
+                        f"environment variable {var} is not documented "
+                        f"in docs/API.md; add it to the environment "
+                        f"variables section"
+                    ),
+                    severity=self.severity,
+                )
+
+
+@register
+class InitExportsRule(ProjectRule):
+    name = "init-exports"
+    description = (
+        "every __all__ re-export must exist in its module and be "
+        "mentioned in docs/API.md"
+    )
+    rationale = (
+        "a stale __all__ entry breaks star-imports and the documented "
+        "API contract; an undocumented one is public surface nobody "
+        "can discover"
+    )
+
+    def check(self, project: ProjectContext) -> Iterator[Finding]:
+        doc = _api_doc(project)
+        for module in project.modules:
+            if not module.relpath.endswith("__init__.py"):
+                continue
+            exported = self._exported_names(module.tree)
+            if exported is None:
+                continue
+            bound = self._bound_names(module.tree)
+            for name, line in exported:
+                if name not in bound:
+                    yield Finding(
+                        path=str(module.path), line=line, rule=self.name,
+                        message=(
+                            f"__all__ lists {name!r} but the module "
+                            f"neither defines nor imports it"
+                        ),
+                        severity=self.severity,
+                    )
+                elif doc is not None and not \
+                        re.search(rf"\b{re.escape(name)}\b", doc):
+                    yield Finding(
+                        path=str(module.path), line=line, rule=self.name,
+                        message=(
+                            f"public re-export {name!r} is not mentioned "
+                            f"in docs/API.md; document it (or stop "
+                            f"exporting it)"
+                        ),
+                        severity=self.severity,
+                    )
+
+    @staticmethod
+    def _exported_names(
+        tree: ast.Module,
+    ) -> list[tuple[str, int]] | None:
+        for node in tree.body:
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            if not any(
+                isinstance(t, ast.Name) and t.id == "__all__"
+                for t in targets
+            ):
+                continue
+            if not isinstance(value, (ast.List, ast.Tuple)):
+                return None
+            names: list[tuple[str, int]] = []
+            for elt in value.elts:
+                if isinstance(elt, ast.Constant) and isinstance(
+                    elt.value, str
+                ):
+                    names.append((elt.value, elt.lineno))
+            return names
+        return None
+
+    @staticmethod
+    def _bound_names(tree: ast.Module) -> set[str]:
+        bound: set[str] = set()
+        for node in tree.body:
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                for alias in node.names:
+                    bound.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                   ast.ClassDef)):
+                bound.add(node.name)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        bound.add(target.id)
+                    elif isinstance(target, ast.Tuple):
+                        for elt in target.elts:
+                            if isinstance(elt, ast.Name):
+                                bound.add(elt.id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                bound.add(node.target.id)
+        return bound

@@ -1,0 +1,172 @@
+"""Suppression comments for ``pghive-lint``.
+
+Syntax (in a ``#`` comment, anywhere on the line)::
+
+    # pghive-lint: disable=rule-name -- why this is safe here
+    # pghive-lint: disable=rule-a,rule-b -- shared justification
+    # pghive-lint: disable-file=rule-name -- whole-module justification
+
+A ``disable`` directive silences findings of the named rules on its own
+line and, when the comment stands alone, on the next code line.  A
+``disable-file`` directive silences the rules for the whole module.
+
+Suppressions are themselves linted: a directive that silences nothing
+is reported as ``unused-suppression``, and one without a ``--
+justification`` trailer is reported as ``unexplained-suppression`` --
+the CI gate requires zero of both, so every suppression in the tree is
+live and explained.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.findings import Finding, Severity
+
+__all__ = [
+    "Suppression",
+    "SuppressionSet",
+    "UNEXPLAINED_SUPPRESSION",
+    "UNUSED_SUPPRESSION",
+    "collect_suppressions",
+]
+
+UNUSED_SUPPRESSION = "unused-suppression"
+UNEXPLAINED_SUPPRESSION = "unexplained-suppression"
+
+_DIRECTIVE = re.compile(
+    r"#\s*pghive-lint:\s*(?P<kind>disable-file|disable)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_,\s-]+?)"
+    r"(?:\s+--\s*(?P<reason>.*))?\s*$"
+)
+
+
+@dataclass
+class Suppression:
+    """One parsed directive."""
+
+    path: Path
+    line: int
+    rules: tuple[str, ...]
+    file_wide: bool
+    reason: str
+    #: Lines the directive covers (empty for file-wide).
+    covered_lines: tuple[int, ...] = ()
+    used: bool = field(default=False, compare=False)
+
+    def matches(self, rule: str, line: int) -> bool:
+        if rule not in self.rules:
+            return False
+        return self.file_wide or line in self.covered_lines
+
+
+@dataclass
+class SuppressionSet:
+    """All directives of one module, with usage tracking."""
+
+    suppressions: list[Suppression] = field(default_factory=list)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        hit = False
+        for suppression in self.suppressions:
+            if suppression.matches(rule, line):
+                suppression.used = True
+                hit = True
+        return hit
+
+    def audit(self, active_rules: set[str] | None = None) -> list[Finding]:
+        """Findings about the suppressions themselves.
+
+        When ``active_rules`` is given (a ``--rule`` filtered run), only
+        directives mentioning an active rule are audited -- a full run
+        audits everything.
+        """
+        findings: list[Finding] = []
+        for sup in self.suppressions:
+            if active_rules is not None and not (
+                set(sup.rules) & active_rules
+            ):
+                continue
+            if not sup.reason:
+                findings.append(Finding(
+                    path=str(sup.path),
+                    line=sup.line,
+                    rule=UNEXPLAINED_SUPPRESSION,
+                    message=(
+                        "suppression has no justification; append "
+                        "' -- <reason>' explaining why the rule is safe "
+                        "to silence here"
+                    ),
+                    severity=Severity.ERROR,
+                ))
+            if not sup.used:
+                findings.append(Finding(
+                    path=str(sup.path),
+                    line=sup.line,
+                    rule=UNUSED_SUPPRESSION,
+                    message=(
+                        f"suppression of {', '.join(sup.rules)} matches no "
+                        f"finding; delete the stale directive"
+                    ),
+                    severity=Severity.ERROR,
+                ))
+        return findings
+
+
+def collect_suppressions(path: Path, source: str) -> SuppressionSet:
+    """Parse every directive comment in ``source``."""
+    comments: list[tuple[int, str, bool]] = []  # (line, text, alone)
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError):  # pragma: no cover - engine
+        return SuppressionSet()                 # rejects unparsable files
+    code_lines: set[int] = set()
+    for tok in tokens:
+        if tok.type == tokenize.COMMENT:
+            alone = tok.line[: tok.start[1]].strip() == ""
+            comments.append((tok.start[0], tok.string, alone))
+        elif tok.type not in (
+            tokenize.NL,
+            tokenize.NEWLINE,
+            tokenize.INDENT,
+            tokenize.DEDENT,
+            tokenize.ENDMARKER,
+        ):
+            code_lines.add(tok.start[0])
+
+    out = SuppressionSet()
+    for line, text, alone in comments:
+        match = _DIRECTIVE.search(text)
+        if match is None:
+            continue
+        rules = tuple(
+            part.strip() for part in match.group("rules").split(",")
+            if part.strip()
+        )
+        if not rules:
+            continue
+        file_wide = match.group("kind") == "disable-file"
+        covered: tuple[int, ...] = ()
+        if not file_wide:
+            if alone:
+                covered = (line, _next_code_line(line, code_lines))
+            else:
+                covered = (line,)
+        out.suppressions.append(Suppression(
+            path=path,
+            line=line,
+            rules=rules,
+            file_wide=file_wide,
+            reason=(match.group("reason") or "").strip(),
+            covered_lines=covered,
+        ))
+    return out
+
+
+def _next_code_line(after: int, code_lines: set[int]) -> int:
+    following = [line for line in code_lines if line > after]
+    return min(following) if following else after

@@ -120,7 +120,8 @@ class GMMSchema:
             bic = model.bic(sample)
             if bic < best_bic:
                 best_model, best_bic = model, bic
-        assert best_model is not None  # scan always fits at least k=1
+        if best_model is None:  # unreachable: the scan always fits k=1
+            raise RuntimeError("BIC scan fitted no model")
         return best_model.predict(features)
 
     def _scan_cap(self, sample: np.ndarray) -> int:

@@ -36,6 +36,7 @@ from __future__ import annotations
 import time
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import Mapping
 
 from repro.baselines.errors import UnsupportedDataError
 from repro.core.datatypes import infer_value_type, join_types
@@ -66,15 +67,15 @@ class SchemIConfig:
 class _Candidate:
     """Accumulator for one candidate type during the fold."""
 
-    labels: frozenset
-    property_counts: Counter = field(default_factory=Counter)
+    labels: frozenset[str]
+    property_counts: Counter[str] = field(default_factory=Counter)
     members: list[int] = field(default_factory=list)
-    source_labels: frozenset = frozenset()
-    target_labels: frozenset = frozenset()
-    endpoint_key: tuple = ()
-    datatypes: dict = field(default_factory=dict)
+    source_labels: frozenset[str] = frozenset()
+    target_labels: frozenset[str] = frozenset()
+    endpoint_key: tuple[str, ...] = ()
+    datatypes: dict[str, DataType] = field(default_factory=dict)
 
-    def observe_properties(self, properties) -> None:
+    def observe_properties(self, properties: Mapping[str, object]) -> None:
         """Fold one instance's properties: counts plus datatype joins."""
         for key, value in properties.items():
             self.property_counts[key] += 1
@@ -147,7 +148,7 @@ class SchemI:
         the accuracy gaps against PG-HIVE's endpoint-aware edge types).
         """
         candidates: list[_Candidate] = []
-        by_key: dict[frozenset, _Candidate] = {}
+        by_key: dict[frozenset[str], _Candidate] = {}
         for edge in store.scan_edges():
             if not edge.labels:
                 raise UnsupportedDataError(
@@ -172,7 +173,7 @@ class SchemI:
 
 
 def _find_candidate(
-    candidates: list[_Candidate], labels: frozenset
+    candidates: list[_Candidate], labels: frozenset[str]
 ) -> _Candidate | None:
     """Linear scan for an exact label-set match (the original's fold)."""
     for candidate in candidates:

@@ -91,6 +91,23 @@ def _build_parser() -> argparse.ArgumentParser:
     discover.add_argument("--jobs", type=int, default=1,
                           help="worker processes for incremental discovery "
                                "(with --batches; 1 = sequential)")
+    discover.add_argument("--kernels", choices=["vectorized", "reference"],
+                          default="vectorized",
+                          help="hot-path implementation: batch numpy "
+                               "kernels (default) or the pure-python "
+                               "reference loops")
+    discover.add_argument("--parallel-chunk", default="auto",
+                          help="shards per pool task ('auto' or a "
+                               "positive integer; with --jobs > 1)")
+    discover.add_argument("--shard-timeout", type=float, default=None,
+                          help="seconds before a parallel shard task is "
+                               "declared hung and re-queued")
+    discover.add_argument("--shard-retries", type=int, default=2,
+                          help="retries per failing shard before the "
+                               "in-process fallback")
+    discover.add_argument("--faults",
+                          help="fault-injection spec for recovery drills, "
+                               "e.g. 'shard:2:raise' (see core.faults)")
     discover.add_argument("--scale", type=float, default=1.0,
                           help="scale factor for bundled datasets")
     discover.add_argument("--seed", type=int, default=7)
@@ -153,7 +170,7 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _load_input(args) -> GraphStore:
+def _load_input(args: argparse.Namespace) -> GraphStore:
     """Resolve the discover input: file path or bundled dataset name."""
     path = Path(args.input)
     if path.exists():
@@ -174,7 +191,7 @@ def _load_input(args) -> GraphStore:
     return GraphStore(dataset.graph)
 
 
-def _cmd_discover(args) -> int:
+def _cmd_discover(args: argparse.Namespace) -> int:
     store = _load_input(args)
     config = PGHiveConfig(
         method=LSHMethod(args.method),
@@ -182,7 +199,12 @@ def _cmd_discover(args) -> int:
         infer_value_profiles=args.profiles,
         exact_cardinality_bounds=args.bounds,
         memoize_patterns=args.memoize,
+        kernels=args.kernels,
         jobs=args.jobs,
+        parallel_chunk=args.parallel_chunk,
+        shard_timeout=args.shard_timeout,
+        shard_retries=args.shard_retries,
+        faults=args.faults,
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=args.checkpoint_every,
         strict_recovery=args.strict_recovery,
@@ -243,7 +265,7 @@ def _cmd_discover(args) -> int:
     return 0
 
 
-def _cmd_datasets(args) -> int:
+def _cmd_datasets(args: argparse.Namespace) -> int:
     rows = []
     for name in list_datasets():
         dataset = get_dataset(name, scale=args.scale, seed=args.seed)
@@ -263,7 +285,7 @@ def _cmd_datasets(args) -> int:
     return 0
 
 
-def _cmd_generate(args) -> int:
+def _cmd_generate(args: argparse.Namespace) -> int:
     dataset = get_dataset(args.name, scale=args.scale, seed=args.seed)
     if args.noise > 0 or args.label_availability < 1.0:
         dataset = inject_noise(
@@ -280,7 +302,7 @@ def _cmd_generate(args) -> int:
     return 0
 
 
-def _cmd_evaluate(args) -> int:
+def _cmd_evaluate(args: argparse.Namespace) -> int:
     clean = get_dataset(args.name, scale=args.scale, seed=args.seed)
     noisy = inject_noise(
         clean,
@@ -313,7 +335,7 @@ def _cmd_evaluate(args) -> int:
     return 0
 
 
-def _cmd_inspect(args) -> int:
+def _cmd_inspect(args: argparse.Namespace) -> int:
     from repro.schema.report import render_schema_report
 
     store = _load_input(args)

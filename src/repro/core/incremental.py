@@ -640,10 +640,10 @@ class IncrementalDiscovery:
         distinct triple preserves the co-occurrence structure at a fraction
         of the cost.
         """
-        token_cache: dict[frozenset, str] = {}
+        token_cache: dict[frozenset[str], str] = {}
         empty: frozenset[str] = frozenset()
 
-        def token_of(labels: frozenset) -> str:
+        def token_of(labels: frozenset[str]) -> str:
             cached = token_cache.get(labels)
             if cached is None:
                 cached = canonical_label(labels)

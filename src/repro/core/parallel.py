@@ -80,7 +80,7 @@ from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from repro.core.columns import EdgeColumns, NodeColumns, edge_columns, node_columns
 from repro.core.config import PGHiveConfig
@@ -91,6 +91,10 @@ from repro.core.type_extraction import resolve_edge_endpoints
 from repro.graph.store import GraphBatch, GraphStore, ShardPlan
 from repro.schema.merge import merge_schema_tree, merge_schemas
 from repro.schema.model import SchemaGraph
+
+# One unit of pool work: a shard recipe (plan mode) or a pre-columnized
+# batch of (index, node columns, edge columns) (columns mode).
+Payload = ShardPlan | tuple[int, NodeColumns, EdgeColumns]
 
 __all__ = [
     "ParallelDiscovery",
@@ -242,7 +246,7 @@ def _discover_one(
     return ShardResult(index, schema, report, params)
 
 
-def _payload_index(payload) -> int:
+def _payload_index(payload: Payload) -> int:
     """Global shard index of a task payload (plan or columns tuple)."""
     if isinstance(payload, ShardPlan):
         return payload.index
@@ -336,7 +340,11 @@ class ParallelDiscovery:
     # Pool loop with recovery
     # ------------------------------------------------------------------
     def _run_pool(
-        self, worker, chunks, store
+        self,
+        worker: Callable[..., list[ShardResult]],
+        chunks: Sequence[list[ShardPlan]]
+        | Sequence[list[tuple[int, NodeColumns, EdgeColumns]]],
+        store: GraphStore | None,
     ) -> tuple[list[ShardResult], list[ShardFailure]]:
         """Run the pool to completion, recovering from task failures.
 
@@ -371,7 +379,7 @@ class ParallelDiscovery:
                 if attempt > 0:
                     self._mark_recovered(failures, shard.index, "retry")
 
-        def requeue(payloads: list, attempts: list[int], kind: str,
+        def requeue(payloads: list[Payload], attempts: list[int], kind: str,
                     error: str) -> None:
             """Split / blame / retry / fall back after one task failure."""
             if len(payloads) > 1:

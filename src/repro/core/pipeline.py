@@ -33,6 +33,7 @@ from repro.core.postprocess import (
 )
 from repro.core.result import DiscoveryResult
 from repro.graph.store import GraphStore
+from repro.schema.model import SchemaGraph
 
 
 class PGHive:
@@ -160,7 +161,7 @@ class PGHive:
             and fork_available()
         )
 
-    def _post_process(self, schema, store: GraphStore) -> None:
+    def _post_process(self, schema: SchemaGraph, store: GraphStore) -> None:
         """Constraints, datatypes, cardinalities (section 4.4)."""
         infer_property_constraints(schema)
         infer_datatypes(schema, store, self.config)

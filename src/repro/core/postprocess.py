@@ -16,10 +16,11 @@ Three optional enrichment passes over a discovered schema:
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Iterable, Iterator
 
 from repro.core.config import PGHiveConfig
 from repro.core.datatypes import infer_datatype, infer_datatype_sampled
+from repro.graph.model import Edge, Node
 from repro.graph.store import GraphStore
 from repro.schema.model import (
     Cardinality,
@@ -80,7 +81,9 @@ def compute_cardinalities(schema: SchemaGraph, store: GraphStore) -> None:
         )
 
 
-def _collect_values(elements, keys) -> dict[str, list[Any]]:
+def _collect_values(
+    elements: Iterable[Node] | Iterable[Edge], keys: Iterable[str]
+) -> dict[str, list[Any]]:
     """Property key -> list of observed values over the given elements."""
     values: dict[str, list[Any]] = {key: [] for key in keys}
     for element in elements:
@@ -116,7 +119,7 @@ def _assign_datatypes(
             spec.profile = profile_values(values, datatype=spec.datatype)
 
 
-def _all_types(schema: SchemaGraph):
+def _all_types(schema: SchemaGraph) -> Iterator[NodeType | EdgeType]:
     """Iterate node types then edge types."""
     yield from schema.node_types.values()
     yield from schema.edge_types.values()

@@ -84,7 +84,7 @@ class BatchReport:
     worker: int | None = None
     attempts: int = 1
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, object]:
         """JSON-serializable form (used by run checkpoints)."""
         return {
             "index": self.index,
@@ -102,7 +102,7 @@ class BatchReport:
         }
 
     @classmethod
-    def from_dict(cls, record: dict) -> "BatchReport":
+    def from_dict(cls, record: dict[str, object]) -> "BatchReport":
         """Inverse of :meth:`to_dict`."""
         return cls(
             index=int(record["index"]),

@@ -53,7 +53,7 @@ class CandidateCluster:
     labels: frozenset[str] = frozenset()
     property_keys: frozenset[str] = frozenset()
     members: list[int] = field(default_factory=list)
-    property_counts: Counter = field(default_factory=Counter)
+    property_counts: Counter[str] = field(default_factory=Counter)
     source_labels: frozenset[str] = frozenset()
     target_labels: frozenset[str] = frozenset()
     cluster_tokens: frozenset[str] = frozenset()
@@ -119,9 +119,9 @@ def build_edge_clusters(
     """
     clusters: dict[int, CandidateCluster] = {}
     empty: frozenset[str] = frozenset()
-    split_cache: dict[frozenset, tuple[frozenset, frozenset]] = {}
+    split_cache: dict[frozenset[str], tuple[frozenset[str], frozenset[str]]] = {}
 
-    def split(labels: frozenset) -> tuple[frozenset, frozenset]:
+    def split(labels: frozenset[str]) -> tuple[frozenset[str], frozenset[str]]:
         cached = split_cache.get(labels)
         if cached is None:
             cached = _split_pseudo(labels)
@@ -296,7 +296,7 @@ def _distinct_pairs(
     value_ids: np.ndarray,
     num_values: int,
     with_counts: bool = False,
-):
+) -> list[tuple[int, int]] | tuple[list[tuple[int, int]], list[int]]:
     """Distinct (cluster id, value id) pairs via one combined np.unique.
 
     Returns a list of ``(cluster_id, value_id)`` int tuples (and the

@@ -44,9 +44,9 @@ class ValueProfile:
     """
 
     is_enum: bool = False
-    enum_values: tuple = ()
-    minimum: Any = None
-    maximum: Any = None
+    enum_values: tuple[str | bool | int, ...] = ()
+    minimum: int | float | str | None = None
+    maximum: int | float | str | None = None
     distinct_count: int = 0
     observation_count: int = 0
 
@@ -87,7 +87,7 @@ def profile_values(
         and len(distinct) <= max(1, int(enum_ratio * len(values)))
         and datatype in (DataType.STRING, DataType.BOOLEAN, DataType.INTEGER)
     )
-    enum_values: tuple = ()
+    enum_values: tuple[str | bool | int, ...] = ()
     if is_enum:
         enum_values = tuple(sorted(distinct, key=repr))
     minimum = maximum = None
@@ -113,7 +113,7 @@ def profile_values(
     )
 
 
-def _freeze(value: Any):
+def _freeze(value: Any) -> Any:
     """Hashable stand-in for a value (lists/dicts become their repr)."""
     try:
         hash(value)

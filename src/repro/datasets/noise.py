@@ -16,6 +16,7 @@ every element's true type.
 from __future__ import annotations
 
 import random
+from typing import Mapping
 
 from repro.datasets.synthetic import GeneratedDataset, GroundTruth
 from repro.graph.model import Edge, Node, PropertyGraph
@@ -76,8 +77,8 @@ def _maybe_strip_labels(
 
 
 def _drop_properties(
-    properties, noise: float, rng: random.Random
-) -> dict:
+    properties: Mapping[str, object], noise: float, rng: random.Random
+) -> dict[str, object]:
     """Remove each property independently with probability ``noise``."""
     if noise <= 0.0:
         return dict(properties)

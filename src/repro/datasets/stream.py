@@ -22,7 +22,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Iterator
 
-from repro.datasets.spec import DatasetSpec
+from repro.datasets.spec import DatasetSpec, EdgeTypeSpec, NodeTypeSpec
 from repro.datasets.synthetic import (
     GroundTruth,
     _make_properties,
@@ -149,13 +149,13 @@ class GraphStream:
         return batch
 
     # ------------------------------------------------------------------
-    def _active_node_types(self, batch_index: int):
+    def _active_node_types(self, batch_index: int) -> list[NodeTypeSpec]:
         return [
             t for t in self.spec.node_types
             if self.drift.get(t.name, 0) <= batch_index
         ]
 
-    def _active_edge_types(self, batch_index: int):
+    def _active_edge_types(self, batch_index: int) -> list[EdgeTypeSpec]:
         return [
             t for t in self.spec.edge_types
             if self.drift.get(t.name, 0) <= batch_index

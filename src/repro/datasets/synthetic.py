@@ -18,8 +18,14 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import Sequence
 
-from repro.datasets.spec import DatasetSpec, EdgeTypeSpec, NodeTypeSpec
+from repro.datasets.spec import (
+    DatasetSpec,
+    EdgeTypeSpec,
+    NodeTypeSpec,
+    PropertyGen,
+)
 from repro.datasets.values import generate_value
 from repro.graph.builder import GraphBuilder
 from repro.graph.model import PropertyGraph
@@ -96,7 +102,9 @@ def _pick_variant(type_spec: NodeTypeSpec, rng: random.Random) -> tuple[str, ...
     return rng.choices(variants, weights=weights, k=1)[0].labels
 
 
-def _make_properties(property_specs, rng: random.Random) -> dict:
+def _make_properties(
+    property_specs: Sequence[PropertyGen], rng: random.Random
+) -> dict[str, object]:
     """Generate the present properties of one element."""
     properties = {}
     for prop in property_specs:

@@ -107,7 +107,7 @@ class LabelEmbedder:
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, object]:
         """Serializable snapshot of the fitted embedder."""
         if self._model is None:
             raise RuntimeError("embedder has not been fitted")
@@ -119,7 +119,7 @@ class LabelEmbedder:
         }
 
     @classmethod
-    def from_dict(cls, data: dict) -> "LabelEmbedder":
+    def from_dict(cls, data: dict[str, object]) -> "LabelEmbedder":
         """Rebuild a fitted embedder from :meth:`to_dict` output."""
         from repro.embeddings.vocab import Vocabulary
         from repro.embeddings.word2vec import Word2Vec

@@ -29,7 +29,7 @@ class F1Result:
 
     macro_f1: float
     micro_f1: float
-    per_type_f1: dict
+    per_type_f1: dict[Hashable, float]
     num_clusters: int
     num_elements: int
 
@@ -70,9 +70,9 @@ def majority_f1(
         for member in members:
             predicted[member] = majority
     # Per-type precision/recall/F1.
-    true_positive: Counter = Counter()
-    predicted_count: Counter = Counter()
-    actual_count: Counter = Counter()
+    true_positive: Counter[Hashable] = Counter()
+    predicted_count: Counter[Hashable] = Counter()
+    actual_count: Counter[Hashable] = Counter()
     for element_id, true_type in truth.items():
         actual_count[true_type] += 1
         predicted_type = predicted.get(element_id)
@@ -81,7 +81,7 @@ def majority_f1(
         predicted_count[predicted_type] += 1
         if predicted_type == true_type:
             true_positive[true_type] += 1
-    per_type: dict = {}
+    per_type: dict[Hashable, float] = {}
     for type_name in actual_count:
         tp = true_positive[type_name]
         precision = tp / predicted_count[type_name] if predicted_count[type_name] else 0.0

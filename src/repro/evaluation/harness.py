@@ -58,10 +58,12 @@ class ExperimentGrid:
     scale: float = 1.0
     seed: int = 1
     noise_seed: int = 2
-    pghive_config: dict = field(default_factory=dict)
+    pghive_config: dict[str, object] = field(default_factory=dict)
 
 
-def make_system(method: str, config_overrides: dict | None = None):
+def make_system(
+    method: str, config_overrides: dict[str, object] | None = None
+) -> PGHive | GMMSchema | SchemI:
     """Instantiate a discovery system by method name."""
     overrides = dict(config_overrides or {})
     if method == METHOD_ELSH:
@@ -80,7 +82,7 @@ def run_system(
     dataset: GeneratedDataset,
     noise: float = 0.0,
     label_availability: float = 1.0,
-    config_overrides: dict | None = None,
+    config_overrides: dict[str, object] | None = None,
 ) -> Measurement:
     """Run one system on one (possibly noisy) dataset configuration."""
     system = make_system(method, config_overrides)

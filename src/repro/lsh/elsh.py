@@ -15,12 +15,13 @@ Euclidean distance ``d`` collide in one table is a decreasing function of
 from __future__ import annotations
 
 from functools import cache
+from typing import Any, Callable
 
 import numpy as np
 
 
 @cache
-def _norm_cdf():
+def _norm_cdf() -> Callable[..., Any]:
     """Cached scipy import: ``norm.cdf`` resolved once per process.
 
     ``collision_probability`` used to re-run ``from scipy.stats import norm``

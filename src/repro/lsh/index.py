@@ -166,7 +166,7 @@ class MinHashIndex:
         scored.sort(key=lambda pair: (-pair[1], repr(pair[0])))
         return scored[:k]
 
-    def _band_keys(self, features: frozenset) -> list[tuple]:
+    def _band_keys(self, features: frozenset[int]) -> list[tuple[int, ...]]:
         signature = self._lsh.signature(features)
         keys = []
         width = self._rows_per_band

@@ -8,7 +8,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.schema.model import SchemaGraph
+from repro.schema.model import EdgeType, NodeType, SchemaGraph
+
+TypeMap = dict[str, NodeType] | dict[str, EdgeType]
+# labels -> (type names carrying them, union of their property keys)
+LabelGroup = tuple[list[str], frozenset[str]]
 
 
 @dataclass
@@ -81,7 +85,14 @@ def diff_schemas(old: SchemaGraph, new: SchemaGraph) -> SchemaDiff:
     return diff
 
 
-def _diff_kind(old_types, new_types, added, removed, prop_add, prop_del):
+def _diff_kind(
+    old_types: TypeMap,
+    new_types: TypeMap,
+    added: list[str],
+    removed: list[str],
+    prop_add: dict[str, set[str]],
+    prop_del: dict[str, set[str]],
+) -> None:
     """Shared node/edge diff logic.
 
     Several types may share a label set (endpoint-aware edge types, e.g.
@@ -135,9 +146,9 @@ def _diff_kind(old_types, new_types, added, removed, prop_add, prop_del):
             removed.append(old_type.name)
 
 
-def _label_groups(types) -> dict:
+def _label_groups(types: TypeMap) -> dict[frozenset[str], LabelGroup]:
     """labels -> (type names, union of property keys) for labeled types."""
-    groups: dict = {}
+    groups: dict[frozenset[str], LabelGroup] = {}
     for type_record in types.values():
         if not type_record.labels:
             continue
@@ -149,7 +160,9 @@ def _label_groups(types) -> dict:
     return groups
 
 
-def _covering_group(groups: dict, labels: frozenset):
+def _covering_group(
+    groups: dict[frozenset[str], LabelGroup], labels: frozenset[str]
+) -> LabelGroup | None:
     """A label group whose labels subsume ``labels``, if any."""
     for other_labels, group in groups.items():
         if labels <= other_labels:

@@ -12,7 +12,14 @@ from __future__ import annotations
 import enum
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:
+    # Both modules import this one; under ``from __future__ import
+    # annotations`` the names below stay lazy strings at runtime, so the
+    # cycle never materializes.
+    from repro.core.cardinality_bounds import CardinalityBounds
+    from repro.core.value_profiles import ValueProfile
 
 
 class DataType(enum.Enum):
@@ -78,7 +85,7 @@ class PropertySpec:
     key: str
     datatype: DataType = DataType.UNKNOWN
     status: PropertyStatus = PropertyStatus.OPTIONAL
-    profile: object | None = None  # repro.core.value_profiles.ValueProfile
+    profile: ValueProfile | None = None
 
     def render(self) -> str:
         """PG-Schema-style rendering, e.g. ``OPTIONAL age INT``."""
@@ -115,7 +122,7 @@ class NodeType:
     abstract: bool = False
     properties: dict[str, PropertySpec] = field(default_factory=dict)
     instance_count: int = 0
-    property_counts: Counter = field(default_factory=Counter)
+    property_counts: Counter[str] = field(default_factory=Counter)
     members: list[int] = field(default_factory=list)
     cluster_tokens: set[str] = field(default_factory=set)
 
@@ -169,11 +176,11 @@ class EdgeType:
     source_types: set[str] = field(default_factory=set)
     target_types: set[str] = field(default_factory=set)
     cardinality: Cardinality = Cardinality.UNKNOWN
-    bounds: object | None = None  # repro.core.cardinality_bounds.CardinalityBounds
+    bounds: CardinalityBounds | None = None
     max_out: int = 0
     max_in: int = 0
     instance_count: int = 0
-    property_counts: Counter = field(default_factory=Counter)
+    property_counts: Counter[str] = field(default_factory=Counter)
     members: list[int] = field(default_factory=list)
     source_tokens: set[str] = field(default_factory=set)
     target_tokens: set[str] = field(default_factory=set)

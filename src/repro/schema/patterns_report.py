@@ -52,7 +52,7 @@ def pattern_breakdown(
 def _breakdown_for(
     node_type: NodeType, store: GraphStore
 ) -> TypePatternBreakdown:
-    counts: Counter = Counter()
+    counts: Counter[frozenset[str]] = Counter()
     full = 0
     type_keys = node_type.property_keys
     for member in node_type.members:

@@ -1,0 +1,11 @@
+"""Fixture package root.
+
+``__all__`` plants two init-exports violations: ``ghost_export`` is
+never bound, and ``undocumented_thing`` is bound but absent from the
+fixture ``docs/API.md``.
+"""
+
+documented_thing = 1
+undocumented_thing = 2
+
+__all__ = ["documented_thing", "ghost_export", "undocumented_thing"]

@@ -1,0 +1,9 @@
+"""Fixture CLI: exposes ``--seed`` and nothing else."""
+
+import argparse
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="fixture")
+    parser.add_argument("--seed", type=int, default=7)
+    return parser

@@ -1,0 +1,19 @@
+"""Fixture: one of each unseeded-RNG shape."""
+
+import random
+
+import numpy as np
+
+
+def draw() -> float:
+    rng = random.Random()
+    return rng.random()
+
+
+def global_draw() -> float:
+    return random.random()
+
+
+def np_draw() -> float:
+    gen = np.random.default_rng()
+    return float(gen.random())

@@ -1,0 +1,13 @@
+"""Fixture: wall-clock read, env read outside the sanctioned modules,
+and a reference to an environment variable the docs never mention."""
+
+import os
+import time
+
+
+def stamp() -> float:
+    return time.time()
+
+
+def env_mode() -> str:
+    return os.environ.get("PGHIVE_UNDOCUMENTED", "off")

@@ -1,0 +1,18 @@
+"""Fixture config: ``secret_knob`` has no CLI flag, alias, or allowlist
+entry, so ``config-cli-surface`` must flag it.  The ``os.environ`` read
+is legal here -- ``core/config.py`` is a sanctioned env-read module --
+and ``PGHIVE_DOCUMENTED`` appears in the fixture docs.
+"""
+
+import os
+from dataclasses import dataclass
+
+
+@dataclass
+class PGHiveConfig:
+    seed: int = 7
+    secret_knob: float = 0.5
+
+    @staticmethod
+    def from_environment() -> "PGHiveConfig":
+        return PGHiveConfig(seed=int(os.environ.get("PGHIVE_DOCUMENTED", "7")))

@@ -1,0 +1,15 @@
+"""Fixture: hash-order leak, id()-keyed dict, load-bearing assert."""
+
+
+def leak_order(labels: frozenset) -> list:
+    pool = set(labels)
+    return list(pool)
+
+
+def id_key(element: object, table: dict) -> None:
+    table[id(element)] = element
+
+
+def checked(count: int) -> int:
+    assert count >= 0
+    return count

@@ -1,0 +1,17 @@
+"""Fixture: bare except, mutable default argument, unannotated def."""
+
+
+def swallow() -> int:
+    try:
+        return 1
+    except:  # noqa: E722 -- the planted violation
+        return 0
+
+
+def accumulate(item: int, bucket: list = []) -> list:
+    bucket.append(item)
+    return bucket
+
+
+def untyped(value):
+    return value

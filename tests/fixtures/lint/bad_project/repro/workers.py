@@ -1,0 +1,23 @@
+"""Fixture: a payload type smuggling parent state, a lambda handed to a
+pool, and a worker function that takes the parent store as a parameter.
+
+Never imported -- only parsed -- so the dangling names are fine.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+
+@dataclass
+class ShardPlan:
+    index: int
+    store: GraphStore  # noqa: F821 -- deliberately unresolvable
+
+
+def run(pool: ProcessPoolExecutor) -> None:
+    pool.submit(lambda: None)
+
+
+def shard_worker(store: GraphStore, index: int) -> int:  # noqa: F821
+    """Worker: fixture worker smuggling parent state through a param."""
+    return index

@@ -1,0 +1,16 @@
+"""Fixture: a justified suppression, an unexplained one, a stale one."""
+
+import time
+
+
+def justified() -> float:
+    return time.time()  # pghive-lint: disable=wall-clock -- operator log only
+
+
+def unexplained() -> float:
+    # pghive-lint: disable=wall-clock
+    return time.time()
+
+
+def stale(count: int) -> int:  # pghive-lint: disable=id-keyed-dict -- nothing here
+    return count

@@ -1,0 +1,217 @@
+"""Tests for ``pghive-lint`` (:mod:`repro.analysis`).
+
+Three layers:
+
+* fixture projects under ``tests/fixtures/lint/`` plant exactly one (or
+  a handful of) violations per rule; each rule must fire on its plant;
+* the suppression machinery is exercised end to end: justified
+  directives silence findings, unexplained and stale directives are
+  themselves findings, ``disable-file`` covers a whole module, and a
+  ``--rule``-filtered run never audits unrelated directives;
+* the meta-test: the repo's own ``src/repro`` tree lints clean, which
+  is the invariant the CI ``static-analysis`` job enforces.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Severity, all_rules, get_rule, lint_paths, main
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "lint"
+BAD_PROJECT = FIXTURES / "bad_project"
+SUPPRESSED_PROJECT = FIXTURES / "suppressed_project"
+SRC_REPRO = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+#: rule name -> fixture module (posix suffix) where its plant lives.
+PLANTED = {
+    "assert-ban": "core/ordering.py",
+    "bare-except": "hygiene.py",
+    "config-cli-surface": "core/config.py",
+    "env-read": "core/clock.py",
+    "env-var-docs": "core/clock.py",
+    "id-keyed-dict": "core/ordering.py",
+    "init-exports": "__init__.py",
+    "missing-annotations": "hygiene.py",
+    "mutable-default": "hygiene.py",
+    "payload-pickle": "workers.py",
+    "unseeded-rng": "core/chaos.py",
+    "unsorted-iteration": "core/ordering.py",
+    "wall-clock": "core/clock.py",
+    "worker-closure": "workers.py",
+}
+
+
+@pytest.fixture(scope="module")
+def bad_findings():
+    return lint_paths([BAD_PROJECT])
+
+
+def _by_rule(findings):
+    grouped: dict[str, list] = {}
+    for finding in findings:
+        grouped.setdefault(finding.rule, []).append(finding)
+    return grouped
+
+
+# ----------------------------------------------------------------------
+# Every rule fires on its planted violation
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "rule,suffix", sorted(PLANTED.items()), ids=sorted(PLANTED)
+)
+def test_rule_fires_on_planted_violation(bad_findings, rule, suffix):
+    hits = [f for f in bad_findings if f.rule == rule]
+    assert hits, f"rule {rule!r} produced no findings on the bad fixture"
+    paths = {Path(f.path).as_posix() for f in hits}
+    assert any(p.endswith(suffix) for p in paths), (
+        f"{rule!r} fired, but not in the fixture module {suffix} "
+        f"(got {sorted(paths)})"
+    )
+
+
+def test_planted_table_covers_every_registered_rule():
+    # A new rule must come with a fixture plant; this keeps the two in
+    # lockstep (the suppression audit pseudo-rules are engine-level).
+    assert set(PLANTED) == {rule.name for rule in all_rules()}
+
+
+def test_ghost_export_and_undocumented_export_are_distinct(bad_findings):
+    messages = [f.message for f in bad_findings if f.rule == "init-exports"]
+    assert any("ghost_export" in m and "neither defines" in m
+               for m in messages)
+    assert any("undocumented_thing" in m and "not mentioned" in m
+               for m in messages)
+
+
+def test_sanctioned_env_read_in_config_is_not_flagged(bad_findings):
+    # core/config.py reads os.environ too, but it is an exempt module.
+    env_paths = {
+        Path(f.path).as_posix()
+        for f in bad_findings if f.rule == "env-read"
+    }
+    assert not any(p.endswith("core/config.py") for p in env_paths)
+
+
+def test_documented_env_var_is_not_flagged(bad_findings):
+    messages = [f.message for f in bad_findings if f.rule == "env-var-docs"]
+    assert all("PGHIVE_DOCUMENTED" not in m for m in messages)
+    assert any("PGHIVE_UNDOCUMENTED" in m for m in messages)
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+def test_suppressions_silence_and_are_audited():
+    grouped = _by_rule(lint_paths([SUPPRESSED_PROJECT]))
+    # Both wall-clock reads carry directives: neither may surface.
+    assert "wall-clock" not in grouped
+    # The directive without a reason is itself a finding...
+    assert len(grouped["unexplained-suppression"]) == 1
+    # ...as is the directive that suppresses nothing.
+    [stale] = grouped["unused-suppression"]
+    assert "id-keyed-dict" in stale.message
+    # disable-file covers every def in file_wide.py.
+    assert "missing-annotations" not in grouped
+
+
+def test_rule_filter_skips_unrelated_suppression_audit():
+    # bare-except is unrelated to every directive in the fixture; a
+    # filtered run must not cry "unused" about directives it never
+    # evaluated.
+    findings = lint_paths(
+        [SUPPRESSED_PROJECT], rules=[get_rule("bare-except")]
+    )
+    assert findings == []
+
+
+def test_rule_filter_still_audits_its_own_directives():
+    grouped = _by_rule(lint_paths(
+        [SUPPRESSED_PROJECT], rules=[get_rule("wall-clock")]
+    ))
+    assert "wall-clock" not in grouped  # still suppressed
+    assert "unexplained-suppression" in grouped  # still audited
+    assert "unused-suppression" not in grouped  # id-keyed-dict not active
+
+
+# ----------------------------------------------------------------------
+# Engine behaviour
+# ----------------------------------------------------------------------
+def test_findings_are_sorted_and_deterministic(bad_findings):
+    assert bad_findings == lint_paths([BAD_PROJECT])
+    keys = [(f.path, f.line, f.rule, f.message) for f in bad_findings]
+    assert keys == sorted(keys)
+
+
+def test_min_severity_drops_warnings():
+    errors = lint_paths([BAD_PROJECT], min_severity=Severity.ERROR)
+    assert errors
+    assert all(f.severity is Severity.ERROR for f in errors)
+    assert not any(f.rule == "missing-annotations" for f in errors)
+
+
+def test_single_file_target():
+    findings = lint_paths([BAD_PROJECT / "repro" / "hygiene.py"])
+    assert {f.rule for f in findings} >= {"bare-except", "mutable-default"}
+
+
+def test_missing_target_raises():
+    with pytest.raises(FileNotFoundError):
+        lint_paths([FIXTURES / "does_not_exist"])
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_cli_findings_exit_one_text_format(capsys):
+    assert main([str(BAD_PROJECT)]) == 1
+    captured = capsys.readouterr()
+    assert "wall-clock" in captured.out
+    assert "findings" in captured.err
+
+
+def test_cli_json_format(capsys):
+    assert main([str(BAD_PROJECT), "--format", "json"]) == 1
+    captured = capsys.readouterr()
+    records = json.loads(captured.out)
+    assert records
+    assert {"path", "line", "rule", "message", "severity"} <= set(records[0])
+    assert {r["rule"] for r in records} >= {"wall-clock", "payload-pickle"}
+
+
+def test_cli_rule_filter(capsys):
+    assert main([str(BAD_PROJECT), "--rule", "bare-except"]) == 1
+    captured = capsys.readouterr()
+    lines = [l for l in captured.out.splitlines() if l.strip()]
+    assert lines and all("bare-except" in l for l in lines)
+
+
+def test_cli_unknown_rule_is_usage_error(capsys):
+    assert main([str(BAD_PROJECT), "--rule", "no-such-rule"]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_cli_missing_path_is_usage_error(capsys):
+    assert main([str(FIXTURES / "nope")]) == 2
+
+
+def test_cli_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in all_rules():
+        assert rule.name in out
+
+
+# ----------------------------------------------------------------------
+# Meta: the repo's own sources lint clean
+# ----------------------------------------------------------------------
+def test_repo_source_tree_is_clean():
+    assert lint_paths([SRC_REPRO]) == []
+
+
+def test_repo_source_tree_clean_via_cli(capsys):
+    assert main([str(SRC_REPRO)]) == 0
+    assert "no findings" in capsys.readouterr().err
