@@ -13,7 +13,10 @@ host the calibration documents the ceiling.
 
 The payload also records the worker payload cost: what actually crosses
 the process pipe (shard plans out, per-shard schemas back), pickled and
-timed.
+timed.  A second stage table compares section 4.4 post-processing as
+the serial engine runs it (store-backed member scans) against the
+sharded fold the pool uses (``attach_partial_stats`` in each worker,
+one store-free ``apply_partial_stats`` at the driver), byte-compared.
 
 Usage:
 
@@ -40,6 +43,13 @@ from repro.core.config import PGHiveConfig
 from repro.core.incremental import IncrementalDiscovery
 from repro.core.parallel import ShardResult, combine_shard_results
 from repro.core.pipeline import PGHive
+from repro.core.postprocess import (
+    apply_partial_stats,
+    attach_partial_stats,
+    compute_cardinalities,
+    infer_datatypes,
+    infer_property_constraints,
+)
 from repro.datasets import get_dataset
 from repro.graph.store import GraphStore
 from repro.schema import serialize_pg_schema
@@ -128,6 +138,66 @@ def _measure_serial_components(graph, config) -> dict:
     }
 
 
+def _measure_postprocess(graph, config) -> dict:
+    """Time section 4.4 post-processing: store passes vs. the sharded fold.
+
+    Discovers the same shard set twice.  The serial reference combines
+    plain shard schemas and then runs ``infer_property_constraints`` /
+    ``infer_datatypes`` / ``compute_cardinalities`` against the store --
+    one full member scan per pass.  The sharded path instead runs
+    ``attach_partial_stats`` inside each shard (the one pass a pool
+    worker folds into the schema it ships back) and finishes with the
+    store-free ``apply_partial_stats`` on the merged schema.  Both
+    results are byte-compared.
+    """
+    store = GraphStore(graph)
+    plans = store.plan_shards(NUM_BATCHES, seed=config.seed)
+
+    def _discover_shards(attach: bool) -> tuple[list[ShardResult], float]:
+        engine = IncrementalDiscovery(config, name="shard")
+        attach_seconds = 0.0
+        results = []
+        for plan in plans:
+            batch = store.materialize_shard(plan)
+            schema, report = engine.discover_batch_columns(
+                node_columns(batch.nodes),
+                edge_columns(batch.edges, batch.endpoint_labels),
+                batch_index=plan.index,
+            )
+            if attach:
+                started = time.perf_counter()
+                attach_partial_stats(schema, batch.nodes, batch.edges)
+                attach_seconds += time.perf_counter() - started
+            results.append(ShardResult(plan.index, schema, report))
+        return results, attach_seconds
+
+    plain, _ = _discover_shards(attach=False)
+    serial_schema = combine_shard_results(graph.name, plain, config)
+    started = time.perf_counter()
+    infer_property_constraints(serial_schema)
+    infer_datatypes(serial_schema, store, config)
+    compute_cardinalities(serial_schema, store)
+    serial_seconds = time.perf_counter() - started
+
+    with_stats, attach_seconds = _discover_shards(attach=True)
+    sharded_schema = combine_shard_results(graph.name, with_stats, config)
+    started = time.perf_counter()
+    applied = apply_partial_stats(sharded_schema, config)
+    apply_seconds = time.perf_counter() - started
+    sharded_seconds = attach_seconds + apply_seconds
+    return {
+        "serial_store_seconds": round(serial_seconds, 6),
+        "sharded_attach_seconds": round(attach_seconds, 6),
+        "sharded_apply_seconds": round(apply_seconds, 6),
+        "sharded_total_seconds": round(sharded_seconds, 6),
+        "partial_path_engaged": applied,
+        "schemas_identical": (
+            serialize_pg_schema(sharded_schema)
+            == serialize_pg_schema(serial_schema)
+        ),
+    }
+
+
 def _amdahl(serial_fraction: float, workers: int) -> float:
     return 1.0 / (serial_fraction + (1.0 - serial_fraction) / workers)
 
@@ -146,6 +216,9 @@ def run_parallel_bench(
         graph = get_dataset("LDBC", scale=scale, seed=0).graph
         config = PGHiveConfig(post_processing=False)
         serial = _measure_serial_components(graph, config)
+        postprocess = _measure_postprocess(
+            graph, PGHiveConfig(infer_value_profiles=True)
+        )
         serial_seconds = (
             serial["partition_seconds"] + serial["merge_tree_seconds"]
         )
@@ -177,6 +250,7 @@ def run_parallel_bench(
             "sequential_seconds": round(sequential_seconds, 6),
             "serial_components": serial,
             "serial_fraction": round(serial_fraction, 4),
+            "postprocess": postprocess,
             "jobs": {
                 str(jobs): {
                     "wall_seconds": round(timings[jobs], 6),
@@ -200,7 +274,10 @@ def run_parallel_bench(
             "schemas.  measured_speedup is bounded above by the host's "
             "effective_parallelism (CPU-quota calibration below); "
             "amdahl_projected_speedup applies the measured serial "
-            "fraction (partition + merge tree) to ideal cores."
+            "fraction (partition + merge tree) to ideal cores.  Each "
+            "run's postprocess block compares the serial store-backed "
+            "section 4.4 passes against the sharded partial-stats fold "
+            "(attach in workers + one apply at the driver)."
         ),
         "scale_multiplier": multiplier,
         "repeats": repeats,
@@ -231,6 +308,10 @@ def run_parallel_bench(
             entry["schemas_identical"]
             for run in runs
             for entry in run["jobs"].values()
+        ) and all(
+            run["postprocess"]["schemas_identical"]
+            and run["postprocess"]["partial_path_engaged"]
+            for run in runs
         ),
     }
 
@@ -255,6 +336,24 @@ def _print_table(payload: dict) -> None:
         rows,
         f"Parallel sharded discovery (LDBC, {NUM_BATCHES} batches; "
         f"host delivers ~{effective:g} effective cores)",
+    ))
+    post_rows = []
+    for run in payload["runs"]:
+        post = run["postprocess"]
+        post_rows.append([
+            f"{run['scale']:g}",
+            f"{post['serial_store_seconds'] * 1000:.0f}",
+            f"{post['sharded_attach_seconds'] * 1000:.0f}",
+            f"{post['sharded_apply_seconds'] * 1000:.0f}",
+            "yes" if post["partial_path_engaged"] else "NO",
+            "yes" if post["schemas_identical"] else "NO",
+        ])
+    print(render_table(
+        ["scale", "store ms", "attach ms", "apply ms",
+         "partial", "identical"],
+        post_rows,
+        "Post-processing stage: serial store passes vs. sharded "
+        "partial-stats fold (attach runs inside the pool workers)",
     ))
 
 

@@ -126,9 +126,10 @@ def _build_parser() -> argparse.ArgumentParser:
                                "(skip), or drop and report each rejected "
                                "line (collect)")
     discover.add_argument("--checkpoint-dir",
-                          help="journal the running schema here every "
-                               "--checkpoint-every batches (sequential "
-                               "incremental runs)")
+                          help="journal run state here: the running "
+                               "schema every --checkpoint-every batches "
+                               "(sequential runs) or one entry per "
+                               "completed shard (--jobs > 1)")
     discover.add_argument("--checkpoint-every", type=int, default=1,
                           help="batches between checkpoints")
     discover.add_argument("--resume", action="store_true",
@@ -243,9 +244,21 @@ def _cmd_discover(args: argparse.Namespace) -> int:
         )
         label = "stages (worker compute)" if args.jobs > 1 else "stages"
         print(f"-- {label}: {breakdown}", file=sys.stderr)
+    if result.parallel_fallback and args.jobs > 1:
+        print(
+            f"-- note: --jobs {args.jobs} ignored "
+            f"({result.parallel_fallback}); ran sequentially",
+            file=sys.stderr,
+        )
     if result.resumed_from:
         print(
             f"-- resumed from checkpoint at batch {result.resumed_from}",
+            file=sys.stderr,
+        )
+    if result.resumed_shards:
+        print(
+            f"-- resumed {len(result.resumed_shards)} shard(s) from the "
+            f"parallel journal",
             file=sys.stderr,
         )
     if result.shard_failures:

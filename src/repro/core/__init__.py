@@ -16,6 +16,12 @@ from repro.core.parallel import (
     combine_shard_results,
 )
 from repro.core.pipeline import PGHive
+from repro.core.postprocess import (
+    TypeStats,
+    apply_partial_stats,
+    attach_partial_stats,
+    sharded_postprocess_enabled,
+)
 from repro.core.result import DiscoveryResult, ShardFailure
 from repro.core.adaptive import AdaptiveParameters, choose_parameters
 from repro.core.datatypes import (
@@ -28,7 +34,11 @@ from repro.core.cardinality_bounds import (
     CardinalityBounds,
     compute_cardinality_bounds,
 )
-from repro.core.value_profiles import ValueProfile, profile_values
+from repro.core.value_profiles import (
+    PropertyPartial,
+    ValueProfile,
+    profile_values,
+)
 
 __all__ = [
     "AdaptiveParameters",
@@ -42,10 +52,14 @@ __all__ = [
     "PGHive",
     "PGHiveConfig",
     "ParallelDiscovery",
+    "PropertyPartial",
     "ShardFailure",
     "ShardRecoveryError",
     "ShardResult",
+    "TypeStats",
     "ValueProfile",
+    "apply_partial_stats",
+    "attach_partial_stats",
     "choose_parameters",
     "combine_shard_results",
     "compute_cardinality_bounds",
@@ -54,4 +68,5 @@ __all__ = [
     "infer_value_type",
     "is_value_compatible",
     "profile_values",
+    "sharded_postprocess_enabled",
 ]

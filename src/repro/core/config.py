@@ -98,9 +98,11 @@ class PGHiveConfig:
             ``checkpoint_every`` batches, and
             ``discover_incremental(..., resume=True)`` continues a killed
             run from the last checkpoint to the identical final schema.
-            Checkpointing implies the sequential engine (``jobs`` is
-            ignored for the run; the parallel driver recovers through
-            retries instead).
+            With ``jobs > 1`` the parallel driver instead journals each
+            completed shard under ``checkpoint_dir/shards/`` (one atomic
+            JSON document per shard) and ``resume=True`` reloads the
+            completed shards and recomputes only the missing ones --
+            shard discovery is pure, so the resumed schema is identical.
         checkpoint_every: Checkpoint cadence in batches (default 1).
         seed: Master RNG seed; every random component derives from it.
     """

@@ -1,7 +1,9 @@
 """Property datatype inference (paper section 4.4).
 
 A priority-based scheme: INTEGER before FLOAT before BOOLEAN before
-DATE/TIMESTAMP (via ISO-format regexes) before the STRING fallback.  The
+DATE/TIMESTAMP (format regexes plus calendar-range validation, so
+impossible literals like ``2024-13-45`` stay STRING) before the STRING
+fallback.  The
 type of a *property* is the most specific type compatible with all of its
 observed values, computed by joining per-value types in a small
 generalization lattice (INTEGER < FLOAT < STRING; BOOLEAN < STRING;
@@ -23,11 +25,64 @@ from repro.schema.model import DataType
 _INT_RE = re.compile(r"^[+-]?\d+$")
 _FLOAT_RE = re.compile(r"^[+-]?(\d+\.\d*|\.\d+|\d+)([eE][+-]?\d+)?$")
 _BOOL_LITERALS = {"true", "false"}
-# ISO dates plus the DD/MM/YYYY form of the paper's Example 7.
-_DATE_RE = re.compile(r"^(\d{4}-\d{2}-\d{2}|\d{2}/\d{2}/\d{4})$")
+# ISO dates plus the DD/MM/YYYY form of the paper's Example 7.  The
+# regexes only check shape; the component ranges (month 1-12, day valid
+# for the month including leap years, hour/minute/second in range) are
+# validated afterwards so that "2024-13-45" or "99/99/9999" fall back to
+# STRING instead of declaring a DATE the instance does not satisfy.
+_DATE_ISO_RE = re.compile(r"^(\d{4})-(\d{2})-(\d{2})$")
+_DATE_DMY_RE = re.compile(r"^(\d{2})/(\d{2})/(\d{4})$")
 _TIMESTAMP_RE = re.compile(
-    r"^\d{4}-\d{2}-\d{2}[T ]\d{2}:\d{2}(:\d{2}(\.\d+)?)?(Z|[+-]\d{2}:?\d{2})?$"
+    r"^(\d{4})-(\d{2})-(\d{2})[T ](\d{2}):(\d{2})(?::(\d{2})(?:\.\d+)?)?"
+    r"(?:Z|[+-](\d{2}):?(\d{2}))?$"
 )
+
+_DAYS_IN_MONTH = (31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31)
+
+
+def _is_leap_year(year: int) -> bool:
+    return year % 4 == 0 and (year % 100 != 0 or year % 400 == 0)
+
+
+def _valid_calendar_date(year: int, month: int, day: int) -> bool:
+    """Whether (year, month, day) names a real calendar date."""
+    if not 1 <= month <= 12:
+        return False
+    days = _DAYS_IN_MONTH[month - 1]
+    if month == 2 and _is_leap_year(year):
+        days = 29
+    return 1 <= day <= days
+
+
+def _is_date(text: str) -> bool:
+    """Shape *and* calendar validity of a date literal."""
+    match = _DATE_ISO_RE.match(text)
+    if match is not None:
+        return _valid_calendar_date(
+            int(match[1]), int(match[2]), int(match[3])
+        )
+    match = _DATE_DMY_RE.match(text)
+    if match is not None:
+        return _valid_calendar_date(
+            int(match[3]), int(match[2]), int(match[1])
+        )
+    return False
+
+
+def _is_timestamp(text: str) -> bool:
+    """Shape and component validity of a timestamp literal."""
+    match = _TIMESTAMP_RE.match(text)
+    if match is None:
+        return False
+    if not _valid_calendar_date(int(match[1]), int(match[2]), int(match[3])):
+        return False
+    hour, minute = int(match[4]), int(match[5])
+    second = int(match[6]) if match[6] else 0
+    if hour > 23 or minute > 59 or second > 59:
+        return False
+    if match[7] and (int(match[7]) > 23 or int(match[8]) > 59):
+        return False
+    return True
 
 # Generalization lattice: child -> parent (STRING is the top element).
 # LIST (Neo4j array properties) sits directly under STRING: joining a list
@@ -66,9 +121,9 @@ def infer_value_type(value: Any) -> DataType:
             return DataType.FLOAT
         if text.lower() in _BOOL_LITERALS:
             return DataType.BOOLEAN
-        if _DATE_RE.match(text):
+        if _is_date(text):
             return DataType.DATE
-        if _TIMESTAMP_RE.match(text):
+        if _is_timestamp(text):
             return DataType.TIMESTAMP
         return DataType.STRING
     return DataType.STRING

@@ -80,17 +80,32 @@ from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
 from repro.core.columns import EdgeColumns, NodeColumns, edge_columns, node_columns
 from repro.core.config import PGHiveConfig
 from repro.core.faults import FaultInjector
 from repro.core.incremental import IncrementalDiscovery
+from repro.core.postprocess import (
+    attach_partial_stats,
+    schema_stats_from_dict,
+    schema_stats_to_dict,
+    sharded_postprocess_enabled,
+)
 from repro.core.result import BatchReport, DiscoveryResult, ShardFailure
 from repro.core.type_extraction import resolve_edge_endpoints
 from repro.graph.store import GraphBatch, GraphStore, ShardPlan
 from repro.schema.merge import merge_schema_tree, merge_schemas
 from repro.schema.model import SchemaGraph
+from repro.schema.persist import (
+    SchemaPersistError,
+    clear_shard_journal,
+    load_shard_journal,
+    save_shard_journal_entry,
+    schema_from_dict,
+    schema_to_dict,
+)
 
 # One unit of pool work: a shard recipe (plan mode) or a pre-columnized
 # batch of (index, node columns, edge columns) (columns mode).
@@ -203,6 +218,7 @@ def _discover_plan_chunk(
     store, config = _PARENT_STATE
     injector = _worker_injector(config)
     engine = IncrementalDiscovery(config, name="shard")
+    compute_stats = sharded_postprocess_enabled(config)
     results: list[ShardResult] = []
     for plan, attempt in zip(plans, attempts):
         if injector is not None:
@@ -210,7 +226,13 @@ def _discover_plan_chunk(
         batch = store.materialize_shard(plan)
         ncols = node_columns(batch.nodes)
         ecols = edge_columns(batch.edges, batch.endpoint_labels)
-        results.append(_discover_one(engine, plan.index, ncols, ecols))
+        shard = _discover_one(engine, plan.index, ncols, ecols)
+        if compute_stats:
+            # Post-processing runs sharded: the worker has the
+            # materialized elements in hand, so it folds the per-type
+            # partial statistics here and ships them with the schema.
+            attach_partial_stats(shard.schema, batch.nodes, batch.edges)
+        results.append(shard)
     return results
 
 
@@ -269,6 +291,70 @@ def _terminate_pool(pool: ProcessPoolExecutor) -> None:
 
 
 # ----------------------------------------------------------------------
+# Shard journal (parallel-path checkpointing)
+# ----------------------------------------------------------------------
+class _ShardJournal:
+    """Journals completed shards under ``<checkpoint_dir>/shards/``.
+
+    Each entry is one atomic JSON document (shard schema with members,
+    partial post-processing stats, batch report, parameters) plus the
+    run context ``{source, num_batches, seed}``.  A resumed run loads
+    every entry whose context matches, skips those shards in the pool,
+    and merges journaled and fresh results identically -- shard purity
+    guarantees a journaled shard equals its recomputation byte for byte.
+    Entries that cannot be used (corrupt files, foreign versions, a
+    different run context) are recomputed and reported, never fatal.
+    """
+
+    def __init__(self, directory: str, context: dict[str, object]) -> None:
+        self.directory = Path(directory)
+        self.context = dict(context)
+        self.skipped: list[str] = []
+
+    def reset(self) -> None:
+        """Drop all entries (fresh run: never mix two runs' shards)."""
+        clear_shard_journal(self.directory)
+
+    def record(self, shard: ShardResult) -> None:
+        """Atomically journal one completed shard."""
+        document: dict[str, object] = {
+            "context": self.context,
+            "schema": schema_to_dict(shard.schema, include_members=True),
+            "stats": schema_stats_to_dict(shard.schema),
+            "report": shard.report.to_dict(),
+            "parameters": dict(shard.parameters),
+        }
+        save_shard_journal_entry(self.directory, shard.index, document)
+
+    def load(self) -> dict[int, ShardResult]:
+        """Rebuild ShardResults from every usable journaled entry."""
+        entries, self.skipped = load_shard_journal(self.directory)
+        results: dict[int, ShardResult] = {}
+        for index in sorted(entries):
+            document = entries[index]
+            if document.get("context") != self.context:
+                self.skipped.append(
+                    f"shard-{index:05d}.json: context mismatch"
+                )
+                continue
+            try:
+                schema = schema_from_dict(document.get("schema", {}))
+            except SchemaPersistError:
+                self.skipped.append(
+                    f"shard-{index:05d}.json: malformed schema"
+                )
+                continue
+            schema_stats_from_dict(schema, document.get("stats"))
+            report = BatchReport.from_dict(document.get("report", {}))
+            parameters = {
+                str(key): str(value)
+                for key, value in document.get("parameters", {}).items()
+            }
+            results[index] = ShardResult(index, schema, report, parameters)
+        return results
+
+
+# ----------------------------------------------------------------------
 # Driver
 # ----------------------------------------------------------------------
 class ParallelDiscovery:
@@ -277,28 +363,69 @@ class ParallelDiscovery:
     Drives ``config.jobs`` worker processes over the shards of a store
     (plan mode) or an already-batched stream (columns mode), then
     combines the per-shard schemas with :func:`combine_shard_results`.
-    Post-processing is *not* run here -- :class:`repro.core.pipeline.PGHive`
-    applies it to the combined schema exactly as in a sequential run.
-    See the module docstring for the failure model.
+    In plan mode the workers also fold the post-processing statistics
+    (datatype joins, value-profile partials, per-node degree maps) into
+    :class:`~repro.core.postprocess.TypeStats` riding on the shard
+    types; :class:`repro.core.pipeline.PGHive` consumes the merged stats
+    with :func:`~repro.core.postprocess.apply_partial_stats` -- or falls
+    back to the serial store-backed passes (columns mode, sampling
+    mode).  See the module docstring for the failure model.
     """
 
     def __init__(self, config: PGHiveConfig | None = None) -> None:
         self.config = config or PGHiveConfig()
 
     def discover_store(
-        self, store: GraphStore, num_batches: int
+        self, store: GraphStore, num_batches: int, resume: bool = False
     ) -> DiscoveryResult:
-        """Shard ``store`` into ``num_batches`` and discover in parallel."""
+        """Shard ``store`` into ``num_batches`` and discover in parallel.
+
+        When ``config.checkpoint_dir`` is set, every completed shard is
+        journaled atomically under ``<checkpoint_dir>/shards/``; with
+        ``resume=True``, shards already journaled by a crashed run with
+        the same context (source, batch count, seed) are loaded instead
+        of recomputed, and the merged schema is byte-identical to an
+        uninterrupted run.  A non-resume run clears the journal first.
+        """
         started = time.perf_counter()
+        journal: _ShardJournal | None = None
+        preloaded: dict[int, ShardResult] = {}
+        if self.config.checkpoint_dir:
+            journal = _ShardJournal(
+                self.config.checkpoint_dir,
+                {
+                    "source": store.graph.name,
+                    "num_batches": num_batches,
+                    "seed": self.config.seed,
+                },
+            )
+            if resume:
+                preloaded = journal.load()
+            else:
+                journal.reset()
         plans = store.plan_shards(num_batches, seed=self.config.seed)
+        todo = [plan for plan in plans if plan.index not in preloaded]
         chunk = self.config.chunk_size(num_batches)
-        chunks = [
-            plans[i : i + chunk] for i in range(0, len(plans), chunk)
-        ]
+        chunks = [todo[i : i + chunk] for i in range(0, len(todo), chunk)]
         shard_results, failures = self._run_pool(
-            _discover_plan_chunk, chunks, store
+            _discover_plan_chunk, chunks, store, journal=journal
         )
-        return self._combine(store.graph.name, shard_results, failures, started)
+        all_results = [preloaded[index] for index in sorted(preloaded)]
+        all_results += shard_results
+        result = self._combine(
+            store.graph.name, all_results, failures, started
+        )
+        if preloaded:
+            result.resumed_shards = sorted(preloaded)
+            result.parameters["parallel/journal"] = (
+                f"dir={self.config.checkpoint_dir} "
+                f"resumed_shards={sorted(preloaded)}"
+            )
+        if journal is not None and journal.skipped:
+            result.parameters["parallel/journal_skipped"] = (
+                " ".join(journal.skipped)
+            )
+        return result
 
     def discover_batches(
         self,
@@ -345,6 +472,7 @@ class ParallelDiscovery:
         chunks: Sequence[list[ShardPlan]]
         | Sequence[list[tuple[int, NodeColumns, EdgeColumns]]],
         store: GraphStore | None,
+        journal: _ShardJournal | None = None,
     ) -> tuple[list[ShardResult], list[ShardFailure]]:
         """Run the pool to completion, recovering from task failures.
 
@@ -376,6 +504,8 @@ class ParallelDiscovery:
             for shard, attempt in zip(shards, attempts):
                 shard.report.attempts = attempt + 1
                 results[shard.index] = shard
+                if journal is not None:
+                    journal.record(shard)
                 if attempt > 0:
                     self._mark_recovered(failures, shard.index, "retry")
 
@@ -488,6 +618,8 @@ class ParallelDiscovery:
                 for shard in shards:
                     shard.report.attempts = attempt + 1
                     results[shard.index] = shard
+                    if journal is not None:
+                        journal.record(shard)
                 self._mark_recovered(failures, index, "fallback")
         finally:
             pool.shutdown(wait=False, cancel_futures=True)

@@ -27,6 +27,8 @@ from repro.core.config import PGHiveConfig
 from repro.core.faults import FaultInjector
 from repro.core.incremental import IncrementalDiscovery
 from repro.core.postprocess import (
+    apply_partial_stats,
+    clear_partial_stats,
     compute_cardinalities,
     infer_datatypes,
     infer_property_constraints,
@@ -73,14 +75,34 @@ class PGHive:
                 :class:`~repro.schema.persist.SchemaPersistError`.
         """
         started = time.perf_counter()
-        if self._parallel_eligible(num_batches, post_process_each_batch):
+        fallback_reason = self._parallel_fallback_reason(
+            num_batches, post_process_each_batch
+        )
+        if (
+            self.config.jobs > 1
+            and num_batches > 1
+            and fallback_reason is None
+        ):
             from repro.core.parallel import ParallelDiscovery
 
             result = ParallelDiscovery(self.config).discover_store(
-                store, num_batches
+                store, num_batches, resume=resume
             )
             if self.config.post_processing:
-                self._post_process(result.schema, store)
+                # The shard workers already folded the post-processing
+                # statistics; applying them here reproduces the serial
+                # passes without re-reading the store.  Configurations
+                # the partial fold cannot express (sampling mode, or a
+                # journal written with stats off) fall back to the
+                # store-backed passes -- the schema is identical either
+                # way.
+                if not apply_partial_stats(result.schema, self.config):
+                    clear_partial_stats(result.schema)
+                    self._post_process(result.schema, store)
+                elif self.config.exact_cardinality_bounds:
+                    self._apply_exact_bounds(result.schema, store)
+            else:
+                clear_partial_stats(result.schema)
             result.total_seconds = time.perf_counter() - started
             result.refresh_assignments()
             return result
@@ -130,36 +152,43 @@ class PGHive:
             discovery_seconds=discovery_seconds,
             total_seconds=time.perf_counter() - started,
             resumed_from=resumed_from,
+            parallel_fallback=fallback_reason,
         )
         result.refresh_assignments()
         return result
 
-    def _parallel_eligible(
+    def _parallel_fallback_reason(
         self, num_batches: int, post_process_each_batch: bool
-    ) -> bool:
-        """Whether this run routes through the multi-process driver.
+    ) -> str | None:
+        """Why a ``jobs > 1`` request cannot use the multi-process driver.
 
-        Parallel sharding requires independent batch schemas, so the
-        memoization fast path (which couples each batch to the running
-        schema) and per-batch post-processing force the sequential
-        engine, as does the reference-kernel mode (the worker payload is
-        columnized).  Checkpointed runs also stay sequential: the
-        journal tracks a linear batch frontier, while the parallel
-        driver recovers through retries and fallback instead.
-        ``jobs=1`` always takes the sequential path, whose output the
-        parallel path matches byte for byte on labeled data.
+        Returns ``None`` when parallel execution is possible (or when
+        parallelism was never requested: ``jobs=1`` always takes the
+        sequential path, whose output the parallel path matches byte for
+        byte on labeled data).  Parallel sharding requires independent
+        batch schemas, so the memoization fast path (which couples each
+        batch to the running schema) and per-batch post-processing force
+        the sequential engine, as does the reference-kernel mode (the
+        worker payload is columnized).  Checkpointed parallel runs
+        journal completed shards under ``checkpoint_dir/shards/`` and
+        resume mid-pool, so ``checkpoint_dir`` no longer forces the
+        sequential engine.
         """
         from repro.core.parallel import fork_available
 
-        return (
-            self.config.jobs > 1
-            and num_batches > 1
-            and not post_process_each_batch
-            and not self.config.memoize_patterns
-            and not self.config.checkpoint_dir
-            and self.config.kernels == "vectorized"
-            and fork_available()
-        )
+        if self.config.jobs <= 1:
+            return None
+        if num_batches <= 1:
+            return "a single batch cannot be sharded"
+        if post_process_each_batch:
+            return "per-batch post-processing couples batches sequentially"
+        if self.config.memoize_patterns:
+            return "pattern memoization couples batches to the running schema"
+        if self.config.kernels != "vectorized":
+            return "reference kernels only run on the sequential engine"
+        if not fork_available():
+            return "fork start method unavailable on this platform"
+        return None
 
     def _post_process(self, schema: SchemaGraph, store: GraphStore) -> None:
         """Constraints, datatypes, cardinalities (section 4.4)."""
@@ -167,10 +196,14 @@ class PGHive:
         infer_datatypes(schema, store, self.config)
         compute_cardinalities(schema, store)
         if self.config.exact_cardinality_bounds:
-            from repro.core.cardinality_bounds import (
-                compute_cardinality_bounds,
-            )
+            self._apply_exact_bounds(schema, store)
 
-            bounds = compute_cardinality_bounds(schema, store)
-            for name, edge_bounds in bounds.items():
-                schema.edge_types[name].bounds = edge_bounds
+    def _apply_exact_bounds(
+        self, schema: SchemaGraph, store: GraphStore
+    ) -> None:
+        """Exact per-endpoint cardinality bounds (store-backed pass)."""
+        from repro.core.cardinality_bounds import compute_cardinality_bounds
+
+        bounds = compute_cardinality_bounds(schema, store)
+        for name, edge_bounds in bounds.items():
+            schema.edge_types[name].bounds = edge_bounds

@@ -12,14 +12,48 @@ Three optional enrichment passes over a discovered schema:
   paper's sampled mode (10 % of values, at least 1000).
 * :func:`compute_cardinalities` -- classify each edge type from its degree
   extremes: max out-degree and max in-degree over its member edges.
+
+Sharded post-processing
+-----------------------
+The datatype and cardinality passes normally need the store (they pull
+values and degrees back out by member id), which forces them to run
+serially in the driver even for a parallel run.  :class:`TypeStats` moves
+them into the shard workers as *mergeable partial statistics*:
+
+* each worker calls :func:`attach_partial_stats` on its shard schema,
+  recording per-property :class:`~repro.core.value_profiles.PropertyPartial`
+  folds (datatype lattice join, value-profile ingredients) and -- for
+  edge types -- **per-node degree count maps**;
+* the stats ride on the types through the ordinary schema merge tree
+  (:func:`repro.schema.merge.merge_node_types` /
+  :func:`~repro.schema.merge.merge_edge_types` fold them whenever types
+  merge), overlapping the post-processing reduction with the schema
+  reduction;
+* the driver calls :func:`apply_partial_stats` on the combined schema,
+  which reproduces the serial passes byte for byte without touching the
+  store, then clears the stats.
+
+Degree maps are merged by **summing counts per node id** before taking
+the max.  Shards partition edges by *source* node, so per-shard
+out-degrees happen to be complete, but a node's incoming edges span
+shards: taking a max of per-shard maxima would undercount ``max_in``.
+Summing per node is exact in both directions.
+
+The one mode that cannot shard is ``infer_datatypes_by_sampling``: its
+seeded sample is drawn from the merged type's full value sequence, which
+no per-shard statistic can reproduce, so
+:func:`sharded_postprocess_enabled` gates workers off and the driver
+falls back to the serial passes.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 from repro.core.config import PGHiveConfig
 from repro.core.datatypes import infer_datatype, infer_datatype_sampled
+from repro.core.value_profiles import PropertyPartial
 from repro.graph.model import Edge, Node
 from repro.graph.store import GraphStore
 from repro.schema.model import (
@@ -123,3 +157,221 @@ def _all_types(schema: SchemaGraph) -> Iterator[NodeType | EdgeType]:
     """Iterate node types then edge types."""
     yield from schema.node_types.values()
     yield from schema.edge_types.values()
+
+
+# ---------------------------------------------------------------------------
+# Sharded post-processing (mergeable partial statistics)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class TypeStats:
+    """Mergeable post-processing statistics of one (shard-local) type.
+
+    Attributes:
+        properties: Property key -> partial value statistics.
+        out_degrees / in_degrees: Node id -> number of member edges
+            leaving / arriving at that node (edge types only; empty for
+            node types).  Merged by summing counts per node id -- never
+            by taking a max of per-shard maxima, which would undercount
+            whenever one node's edges span shards.
+    """
+
+    properties: dict[str, PropertyPartial] = field(default_factory=dict)
+    out_degrees: dict[int, int] = field(default_factory=dict)
+    in_degrees: dict[int, int] = field(default_factory=dict)
+
+    def merge(self, other: "TypeStats") -> "TypeStats":
+        """Fold another shard's stats into this one (returns self)."""
+        for key, partial in other.properties.items():
+            mine = self.properties.get(key)
+            if mine is None:
+                self.properties[key] = partial
+            else:
+                mine.merge(partial)
+        for node_id, count in other.out_degrees.items():
+            self.out_degrees[node_id] = (
+                self.out_degrees.get(node_id, 0) + count
+            )
+        for node_id, count in other.in_degrees.items():
+            self.in_degrees[node_id] = self.in_degrees.get(node_id, 0) + count
+        return self
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form (used by the parallel shard journal)."""
+        return {
+            "properties": {
+                key: self.properties[key].to_dict()
+                for key in sorted(self.properties)
+            },
+            "out_degrees": {
+                str(node_id): self.out_degrees[node_id]
+                for node_id in sorted(self.out_degrees)
+            },
+            "in_degrees": {
+                str(node_id): self.in_degrees[node_id]
+                for node_id in sorted(self.in_degrees)
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict[str, Any]) -> "TypeStats":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            properties={
+                key: PropertyPartial.from_dict(partial)
+                for key, partial in record.get("properties", {}).items()
+            },
+            out_degrees={
+                int(node_id): int(count)
+                for node_id, count in record.get("out_degrees", {}).items()
+            },
+            in_degrees={
+                int(node_id): int(count)
+                for node_id, count in record.get("in_degrees", {}).items()
+            },
+        )
+
+
+def sharded_postprocess_enabled(config: PGHiveConfig) -> bool:
+    """Whether shard workers should compute partial post-processing stats.
+
+    The sampling mode draws one seeded sample from each merged type's
+    full value sequence -- a global computation no per-shard fold can
+    reproduce -- so it keeps the serial store-backed passes.
+    """
+    return config.post_processing and not config.infer_datatypes_by_sampling
+
+
+def attach_partial_stats(
+    schema: SchemaGraph,
+    nodes: Sequence[Node],
+    edges: Sequence[Edge],
+) -> None:
+    """Compute and attach :class:`TypeStats` for every type in place.
+
+    Runs in the shard worker against the materialized batch elements the
+    schema's member ids refer to.  One pass per member, mirroring what
+    the serial :func:`infer_datatypes` / :func:`compute_cardinalities`
+    would observe for the same members.
+    """
+    node_by_id = {node.id: node for node in nodes}
+    edge_by_id = {edge.id: edge for edge in edges}
+    for node_type in schema.node_types.values():
+        stats = TypeStats()
+        keys = node_type.property_keys
+        for member in node_type.members:
+            _observe_properties(stats, node_by_id[member].properties, keys)
+        node_type.stats = stats
+    for edge_type in schema.edge_types.values():
+        stats = TypeStats()
+        keys = edge_type.property_keys
+        for member in edge_type.members:
+            edge = edge_by_id[member]
+            _observe_properties(stats, edge.properties, keys)
+            stats.out_degrees[edge.source] = (
+                stats.out_degrees.get(edge.source, 0) + 1
+            )
+            stats.in_degrees[edge.target] = (
+                stats.in_degrees.get(edge.target, 0) + 1
+            )
+        edge_type.stats = stats
+
+
+def _observe_properties(
+    stats: TypeStats,
+    properties: Mapping[str, Any],
+    keys: frozenset[str],
+) -> None:
+    """Fold one element's properties (restricted to the type's keys)."""
+    for key, value in properties.items():
+        if key not in keys:
+            continue
+        partial = stats.properties.get(key)
+        if partial is None:
+            partial = PropertyPartial()
+            stats.properties[key] = partial
+        partial.observe(value)
+
+
+def apply_partial_stats(
+    schema: SchemaGraph, config: PGHiveConfig | None = None
+) -> bool:
+    """Run post-processing from merged partial stats; True on success.
+
+    Reproduces the serial :func:`infer_property_constraints` /
+    :func:`infer_datatypes` / :func:`compute_cardinalities` sequence
+    byte for byte without a store, then clears the consumed stats.
+    Returns False -- leaving the schema untouched -- when any type lacks
+    stats (sequential shards, columns mode, a journal written with
+    post-processing off) or when the config demands the global sampling
+    mode; the caller then falls back to the store-backed passes.
+    """
+    config = config or PGHiveConfig()
+    if config.infer_datatypes_by_sampling:
+        return False
+    types = list(_all_types(schema))
+    if any(t.stats is None for t in types):
+        return False
+    infer_property_constraints(schema)
+    for type_record in types:
+        stats = type_record.stats
+        if stats is None:  # unreachable; narrows the type for mypy
+            return False
+        for key, spec in type_record.properties.items():
+            partial = stats.properties.get(key)
+            if partial is None or partial.observations == 0:
+                continue
+            spec.datatype = partial.datatype
+            if config.infer_value_profiles:
+                spec.profile = partial.to_profile()
+    for edge_type in schema.edge_types.values():
+        stats = edge_type.stats
+        if stats is None:  # unreachable; narrows the type for mypy
+            return False
+        max_out = max(stats.out_degrees.values(), default=0)
+        max_in = max(stats.in_degrees.values(), default=0)
+        edge_type.max_out = max(edge_type.max_out, max_out)
+        edge_type.max_in = max(edge_type.max_in, max_in)
+        edge_type.cardinality = Cardinality.from_degrees(
+            edge_type.max_out, edge_type.max_in
+        )
+    clear_partial_stats(schema)
+    return True
+
+
+def clear_partial_stats(schema: SchemaGraph) -> None:
+    """Drop any attached partial stats (finished schemas carry none)."""
+    for type_record in _all_types(schema):
+        type_record.stats = None
+
+
+def schema_stats_to_dict(schema: SchemaGraph) -> dict[str, Any]:
+    """Per-type stats of a shard schema as a JSON-serializable dict."""
+    return {
+        "node_types": {
+            name: node_type.stats.to_dict()
+            for name, node_type in sorted(schema.node_types.items())
+            if node_type.stats is not None
+        },
+        "edge_types": {
+            name: edge_type.stats.to_dict()
+            for name, edge_type in sorted(schema.edge_types.items())
+            if edge_type.stats is not None
+        },
+    }
+
+
+def schema_stats_from_dict(
+    schema: SchemaGraph, record: dict[str, Any] | None
+) -> None:
+    """Re-attach journaled stats onto a reloaded shard schema in place."""
+    if not record:
+        return
+    for name, stats in record.get("node_types", {}).items():
+        node_type = schema.node_types.get(name)
+        if node_type is not None:
+            node_type.stats = TypeStats.from_dict(stats)
+    for name, stats in record.get("edge_types", {}).items():
+        edge_type = schema.edge_types.get(name)
+        if edge_type is not None:
+            edge_type.stats = TypeStats.from_dict(stats)

@@ -170,7 +170,13 @@ class DiscoveryResult:
             one; entries with ``recovered_by is None`` mark shards whose
             contribution is missing (non-strict degraded run).
         resumed_from: First batch index actually processed by this run
-            (nonzero when the run resumed from a checkpoint).
+            (nonzero when a sequential run resumed from a checkpoint).
+        resumed_shards: Shard indices restored from the parallel shard
+            journal instead of recomputed (empty for clean and
+            sequential runs).
+        parallel_fallback: Human-readable reason why a ``jobs > 1``
+            request ran on the sequential engine anyway (``None`` when
+            parallel ran, or when parallelism was never requested).
     """
 
     schema: SchemaGraph
@@ -182,6 +188,8 @@ class DiscoveryResult:
     discovery_seconds: float = 0.0
     shard_failures: list[ShardFailure] = field(default_factory=list)
     resumed_from: int = 0
+    resumed_shards: list[int] = field(default_factory=list)
+    parallel_fallback: str | None = None
 
     @property
     def degraded_shards(self) -> list[int]:

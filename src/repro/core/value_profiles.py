@@ -14,14 +14,23 @@ implements both:
 Profiles attach to :class:`~repro.schema.model.PropertySpec` and render in
 the STRICT PG-Schema output, e.g. ``status STRING /* enum {open, closed}
 */`` or ``age INT /* range 0..120 */``.
+
+:class:`PropertyPartial` is the *mergeable* form of the same statistics:
+parallel shard workers accumulate one partial per (type, property key),
+the schema merge tree folds them with :meth:`PropertyPartial.merge`, and
+:meth:`PropertyPartial.to_profile` reconstructs the exact profile a
+serial :func:`profile_values` scan over the concatenated values would
+produce.  Every constituent statistic is an associative, commutative
+fold (count sum, set union, canonical min/max), so the result is
+independent of shard count and merge order.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Sequence
 
-from repro.core.datatypes import infer_datatype
+from repro.core.datatypes import infer_datatype, infer_value_type, join_types
 from repro.schema.model import DataType
 
 _DEFAULT_ENUM_CAP = 12
@@ -44,7 +53,7 @@ class ValueProfile:
     """
 
     is_enum: bool = False
-    enum_values: tuple[str | bool | int, ...] = ()
+    enum_values: tuple[bool | int | float | str | None, ...] = ()
     minimum: int | float | str | None = None
     maximum: int | float | str | None = None
     distinct_count: int = 0
@@ -87,7 +96,7 @@ def profile_values(
         and len(distinct) <= max(1, int(enum_ratio * len(values)))
         and datatype in (DataType.STRING, DataType.BOOLEAN, DataType.INTEGER)
     )
-    enum_values: tuple[str | bool | int, ...] = ()
+    enum_values: tuple[bool | int | float | str | None, ...] = ()
     if is_enum:
         enum_values = tuple(sorted(distinct, key=repr))
     minimum = maximum = None
@@ -95,11 +104,15 @@ def profile_values(
         numeric = [v for v in values if isinstance(v, (int, float))
                    and not isinstance(v, bool)]
         numeric += [
-            _parse_number(v) for v in values if isinstance(v, str)
+            number
+            for number in (
+                _parse_number(v) for v in values if isinstance(v, str)
+            )
+            if number is not None
         ]
-        numeric = [v for v in numeric if v is not None]
         if numeric:
-            minimum, maximum = min(numeric), max(numeric)
+            minimum = min(numeric, key=_numeric_sort_key)
+            maximum = max(numeric, key=_numeric_sort_key)
     elif datatype in _TEMPORAL:
         temporal = sorted(str(v) for v in values)
         minimum, maximum = temporal[0], temporal[-1]
@@ -113,13 +126,174 @@ def profile_values(
     )
 
 
-def _freeze(value: Any) -> Any:
-    """Hashable stand-in for a value (lists/dicts become their repr)."""
-    try:
-        hash(value)
+@dataclass
+class PropertyPartial:
+    """Mergeable per-shard statistics of one property's values.
+
+    A worker observes each value exactly once; the driver folds partials
+    from different shards with :meth:`merge`.  All fields are commutative
+    monoid folds, so any merge order over any sharding of the same value
+    multiset reaches the same state:
+
+    * ``datatype`` -- shard-local lattice join
+      (:func:`~repro.core.datatypes.join_types` is associative and
+      commutative, so per-shard joins fold exactly);
+    * ``observations`` / ``distinct`` -- count sum and union of frozen
+      values (the enum-candidate sketch);
+    * ``numeric_min`` / ``numeric_max`` -- bounds over native numbers and
+      numeric strings under the canonical :func:`_numeric_sort_key`
+      order (tie between an equal int and float resolves the same way
+      everywhere);
+    * ``text_min`` / ``text_max`` -- lexicographic bounds over ``str(v)``
+      of *all* values, consulted only when the final datatype turns out
+      temporal (temporal datatypes only arise from all-string values, so
+      these equal the serial temporal bounds).
+    """
+
+    datatype: DataType = DataType.UNKNOWN
+    observations: int = 0
+    distinct: set[bool | int | float | str | None] = field(
+        default_factory=set
+    )
+    numeric_min: int | float | None = None
+    numeric_max: int | float | None = None
+    text_min: str | None = None
+    text_max: str | None = None
+
+    def observe(self, value: Any) -> None:
+        """Fold one observed value into the partial."""
+        self.datatype = join_types(self.datatype, infer_value_type(value))
+        self.observations += 1
+        self.distinct.add(_freeze(value))
+        number: int | float | None = None
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            number = value
+        elif isinstance(value, str):
+            number = _parse_number(value)
+        if number is not None:
+            if (
+                self.numeric_min is None
+                or _numeric_sort_key(number) < _numeric_sort_key(self.numeric_min)
+            ):
+                self.numeric_min = number
+            if (
+                self.numeric_max is None
+                or _numeric_sort_key(number) > _numeric_sort_key(self.numeric_max)
+            ):
+                self.numeric_max = number
+        text = str(value)
+        if self.text_min is None or text < self.text_min:
+            self.text_min = text
+        if self.text_max is None or text > self.text_max:
+            self.text_max = text
+
+    def merge(self, other: "PropertyPartial") -> "PropertyPartial":
+        """Fold another shard's partial into this one (returns self)."""
+        self.datatype = join_types(self.datatype, other.datatype)
+        self.observations += other.observations
+        self.distinct |= other.distinct
+        for number in (other.numeric_min, other.numeric_max):
+            if number is None:
+                continue
+            if (
+                self.numeric_min is None
+                or _numeric_sort_key(number) < _numeric_sort_key(self.numeric_min)
+            ):
+                self.numeric_min = number
+            if (
+                self.numeric_max is None
+                or _numeric_sort_key(number) > _numeric_sort_key(self.numeric_max)
+            ):
+                self.numeric_max = number
+        for text in (other.text_min, other.text_max):
+            if text is None:
+                continue
+            if self.text_min is None or text < self.text_min:
+                self.text_min = text
+            if self.text_max is None or text > self.text_max:
+                self.text_max = text
+        return self
+
+    def to_profile(
+        self,
+        enum_cap: int = _DEFAULT_ENUM_CAP,
+        enum_ratio: float = _DEFAULT_ENUM_RATIO,
+    ) -> ValueProfile:
+        """The profile a serial scan over the same values would produce."""
+        is_enum = (
+            len(self.distinct) <= enum_cap
+            and len(self.distinct)
+            <= max(1, int(enum_ratio * self.observations))
+            and self.datatype
+            in (DataType.STRING, DataType.BOOLEAN, DataType.INTEGER)
+        )
+        enum_values: tuple[bool | int | float | str | None, ...] = ()
+        if is_enum:
+            enum_values = tuple(sorted(self.distinct, key=repr))
+        minimum: int | float | str | None = None
+        maximum: int | float | str | None = None
+        if self.datatype in _NUMERIC:
+            minimum, maximum = self.numeric_min, self.numeric_max
+        elif self.datatype in _TEMPORAL:
+            minimum, maximum = self.text_min, self.text_max
+        return ValueProfile(
+            is_enum=is_enum,
+            enum_values=enum_values,
+            minimum=minimum,
+            maximum=maximum,
+            distinct_count=len(self.distinct),
+            observation_count=self.observations,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form (used by the parallel shard journal)."""
+        return {
+            "datatype": self.datatype.name,
+            "observations": self.observations,
+            "distinct": sorted(self.distinct, key=repr),
+            "numeric_min": self.numeric_min,
+            "numeric_max": self.numeric_max,
+            "text_min": self.text_min,
+            "text_max": self.text_max,
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict[str, Any]) -> "PropertyPartial":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            datatype=DataType[str(record.get("datatype", "UNKNOWN"))],
+            observations=int(record.get("observations", 0)),
+            distinct=set(record.get("distinct", ())),
+            numeric_min=record.get("numeric_min"),
+            numeric_max=record.get("numeric_max"),
+            text_min=record.get("text_min"),
+            text_max=record.get("text_max"),
+        )
+
+
+def _numeric_sort_key(value: int | float) -> tuple[int | float, bool]:
+    """Total order over mixed int/float numbers, ties broken by kind.
+
+    ``1`` and ``1.0`` compare equal but render differently (``1`` vs
+    ``1.0``), so a plain ``min()``/``max()`` would depend on scan order.
+    The tuple key makes the choice canonical -- the minimum prefers the
+    int, the maximum the float -- which keeps bounds associative under
+    partial merging and identical between serial and sharded scans.
+    """
+    return (value, isinstance(value, float))
+
+
+def _freeze(value: Any) -> bool | int | float | str | None:
+    """Canonical hashable stand-in for a value.
+
+    Primitive scalars are kept as-is; everything else (lists, dicts, but
+    also hashable composites such as tuples) becomes its ``repr``, so
+    serial scans and merged shard partials agree on the frozen form --
+    and on enum ordering, which sorts by ``repr`` -- byte for byte.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
         return value
-    except TypeError:
-        return repr(value)
+    return repr(value)
 
 
 def _parse_number(text: str) -> float | None:

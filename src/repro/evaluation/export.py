@@ -54,6 +54,8 @@ def measurements_from_csv(path: str | Path) -> list[Measurement]:
         "edge_f1": _optional_float, "edge_f1_macro": _optional_float,
         "seconds": float,
         "num_node_types": int, "num_edge_types": int,
+        "shard_failure_events": int, "degraded_shards": int,
+        "ingest_errors": int,
     }
     measurements: list[Measurement] = []
     with Path(path).open("r", encoding="utf-8", newline="") as handle:

@@ -19,6 +19,7 @@ from repro.core.pipeline import PGHive
 from repro.core.result import DiscoveryResult
 from repro.datasets import GeneratedDataset, get_dataset, inject_noise
 from repro.evaluation.f1star import majority_f1
+from repro.graph.io import IngestReport
 from repro.graph.store import GraphStore
 
 METHOD_ELSH = "PG-HIVE-ELSH"
@@ -31,7 +32,16 @@ ALL_METHODS = (METHOD_ELSH, METHOD_MINHASH, METHOD_GMM, METHOD_SCHEMI)
 
 @dataclass(frozen=True, slots=True)
 class Measurement:
-    """One (dataset, method, noise, availability) observation."""
+    """One (dataset, method, noise, availability) observation.
+
+    ``shard_failure_events`` counts the failure records a fault-tolerant
+    parallel run accumulated (0 for clean and sequential runs);
+    ``degraded_shards`` counts shards that never contributed a schema, so
+    a nonzero value flags a potentially incomplete measurement.
+    ``ingest_errors`` carries the rejected-line count of the run's
+    :class:`~repro.graph.io.IngestReport` when the caller loaded the
+    dataset from disk (0 when ingestion was clean or synthetic).
+    """
 
     dataset: str
     method: str
@@ -45,6 +55,9 @@ class Measurement:
     seconds: float = 0.0
     num_node_types: int = 0
     num_edge_types: int = 0
+    shard_failure_events: int = 0
+    degraded_shards: int = 0
+    ingest_errors: int = 0
 
 
 @dataclass
@@ -83,10 +96,17 @@ def run_system(
     noise: float = 0.0,
     label_availability: float = 1.0,
     config_overrides: dict[str, object] | None = None,
+    ingest_report: IngestReport | None = None,
 ) -> Measurement:
-    """Run one system on one (possibly noisy) dataset configuration."""
+    """Run one system on one (possibly noisy) dataset configuration.
+
+    Pass the :class:`~repro.graph.io.IngestReport` of a lenient disk load
+    as ``ingest_report`` to surface its rejected-record count in the
+    measurement (synthetic datasets have none).
+    """
     system = make_system(method, config_overrides)
     store = GraphStore(dataset.graph)
+    ingest_errors = len(ingest_report.errors) if ingest_report else 0
     started = time.perf_counter()
     try:
         result: DiscoveryResult = system.discover(store)
@@ -97,6 +117,7 @@ def run_system(
             noise=noise,
             label_availability=label_availability,
             skipped=True,
+            ingest_errors=ingest_errors,
         )
     elapsed = time.perf_counter() - started
     node_scores = majority_f1(result.node_assignment, dataset.truth.node_types)
@@ -121,6 +142,9 @@ def run_system(
         seconds=elapsed,
         num_node_types=len(result.schema.node_types),
         num_edge_types=len(result.schema.edge_types),
+        shard_failure_events=len(result.shard_failures),
+        degraded_shards=len(result.degraded_shards),
+        ingest_errors=ingest_errors,
     )
 
 

@@ -41,6 +41,7 @@ def merge_node_types(into: NodeType, other: NodeType) -> NodeType:
     into.property_counts.update(other.property_counts)
     into.members.extend(other.members)
     into.cluster_tokens |= other.cluster_tokens
+    _merge_stats(into, other)
     return into
 
 
@@ -60,7 +61,29 @@ def merge_edge_types(into: EdgeType, other: EdgeType) -> EdgeType:
     into.instance_count += other.instance_count
     into.property_counts.update(other.property_counts)
     into.members.extend(other.members)
+    _merge_stats(into, other)
     return into
+
+
+def _merge_stats(
+    into: NodeType | EdgeType, other: NodeType | EdgeType
+) -> None:
+    """Fold ``other``'s partial post-processing stats into ``into``.
+
+    Shard workers attach :class:`~repro.core.postprocess.TypeStats` to
+    their types; folding them here means the post-processing reduction
+    rides the same merge tree as the schemas themselves.  Every
+    constituent fold (datatype lattice join, count sums, set unions,
+    canonical bounds) is associative and commutative, so the merged
+    stats are independent of the bracketing -- exactly like the merged
+    schema.  Sequential runs carry no stats and skip this entirely.
+    """
+    if other.stats is None:
+        return
+    if into.stats is None:
+        into.stats = other.stats
+    else:
+        into.stats.merge(other.stats)
 
 
 def endpoints_compatible(

@@ -15,10 +15,11 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable
 
 if TYPE_CHECKING:
-    # Both modules import this one; under ``from __future__ import
+    # These modules import this one; under ``from __future__ import
     # annotations`` the names below stay lazy strings at runtime, so the
     # cycle never materializes.
     from repro.core.cardinality_bounds import CardinalityBounds
+    from repro.core.postprocess import TypeStats
     from repro.core.value_profiles import ValueProfile
 
 
@@ -115,6 +116,11 @@ class NodeType:
         cluster_tokens: Internal pseudo-labels identifying the LSH node
             clusters this type came from.  Used to resolve edge endpoints
             when real labels are missing; never serialized.
+        stats: Mergeable partial post-processing statistics attached by
+            parallel shard workers (:class:`~repro.core.postprocess.TypeStats`);
+            folded through the schema merge tree and consumed -- then
+            cleared -- by :func:`~repro.core.postprocess.apply_partial_stats`.
+            ``None`` on the sequential path and in finished schemas.
     """
 
     name: str
@@ -125,6 +131,7 @@ class NodeType:
     property_counts: Counter[str] = field(default_factory=Counter)
     members: list[int] = field(default_factory=list)
     cluster_tokens: set[str] = field(default_factory=set)
+    stats: TypeStats | None = None
 
     @property
     def property_keys(self) -> frozenset[str]:
@@ -165,6 +172,9 @@ class EdgeType:
         source_tokens / target_tokens: Internal pseudo-labels of the node
             clusters seen at the endpoints when real labels were missing.
             Used for endpoint-compatibility checks; never serialized.
+        stats: Mergeable partial post-processing statistics (property
+            partials plus per-node degree count maps) attached by parallel
+            shard workers; see :attr:`NodeType.stats`.
     """
 
     name: str
@@ -184,6 +194,7 @@ class EdgeType:
     members: list[int] = field(default_factory=list)
     source_tokens: set[str] = field(default_factory=set)
     target_tokens: set[str] = field(default_factory=set)
+    stats: TypeStats | None = None
 
     @property
     def property_keys(self) -> frozenset[str]:

@@ -22,12 +22,18 @@ Two failure-hardening facilities live here as well:
   new one, never a torn mix.  The monotone merge (Lemmas 1-2) is what
   makes resuming from such a snapshot safe: re-processing the remaining
   batches merges to the identical final schema.
+* :func:`save_shard_journal_entry` / :func:`load_shard_journal` /
+  :func:`clear_shard_journal` do the same for the *parallel* driver,
+  one atomic document per completed shard under
+  ``<checkpoint_dir>/shards/``, so a crashed ``jobs > 1`` run resumes
+  mid-pool from its completed shards.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import re
 import tempfile
 from collections import Counter
 from pathlib import Path
@@ -45,6 +51,9 @@ from repro.schema.model import (
 
 _FORMAT_VERSION = 1
 _CHECKPOINT_VERSION = 1
+_SHARD_JOURNAL_VERSION = 1
+
+_ABSTRACT_NAME_RE = re.compile(r"^ABSTRACT_[A-Z]+_(\d+)$")
 
 
 class SchemaPersistError(ValueError):
@@ -102,6 +111,16 @@ def schema_from_dict(data: dict[str, Any]) -> SchemaGraph:
         raise SchemaPersistError(
             f"malformed schema document: {exc!r}"
         ) from exc
+    # Restore the abstract-name counter so future merges into the
+    # reloaded schema never re-issue an ABSTRACT_*_n name already taken
+    # (a resumed unlabeled run would otherwise hit a duplicate-name
+    # error on its next merge).
+    counter = 0
+    for name in list(schema.node_types) + list(schema.edge_types):
+        match = _ABSTRACT_NAME_RE.match(name)
+        if match is not None:
+            counter = max(counter, int(match.group(1)))
+    schema._abstract_counter = counter
     return schema
 
 
@@ -216,6 +235,97 @@ def load_checkpoint(
     except SchemaPersistError as exc:
         raise SchemaPersistError(f"{path}: {exc}") from exc
     return schema, manifest
+
+
+# ---------------------------------------------------------------------------
+# Parallel shard journal (one atomic document per completed shard)
+# ---------------------------------------------------------------------------
+#
+# The sequential checkpoint above journals a linear batch frontier; a
+# parallel run completes shards in arbitrary order, so it journals each
+# completed shard as its own atomic document instead.  A driver crash at
+# any instant leaves a set of whole entries (never a torn one); resuming
+# re-runs only the shards without an entry, and shard purity makes the
+# merged result byte-identical either way.  The entry *content* (shard
+# schema, partial stats, report, context) is assembled by
+# :mod:`repro.core.parallel`, which owns those types; this module only
+# guarantees atomicity, versioning, and tolerant enumeration.
+
+def shard_journal_dir(directory: str | Path) -> Path:
+    """Where a checkpoint directory keeps its parallel shard entries."""
+    return Path(directory) / "shards"
+
+
+def save_shard_journal_entry(
+    directory: str | Path, index: int, document: dict[str, Any]
+) -> Path:
+    """Atomically journal one completed parallel shard; returns the path.
+
+    The entry lands as ``shards/shard-<index>.json`` under the checkpoint
+    directory, via the same temp-file + ``os.replace`` protocol as the
+    sequential checkpoint, so readers never observe a torn entry.
+    """
+    journal = shard_journal_dir(directory)
+    journal.mkdir(parents=True, exist_ok=True)
+    path = journal / f"shard-{index:05d}.json"
+    payload = dict(document)
+    payload["journal_version"] = _SHARD_JOURNAL_VERSION
+    payload["index"] = index
+    _atomic_write_text(path, json.dumps(payload))
+    return path
+
+
+def load_shard_journal(
+    directory: str | Path,
+) -> tuple[dict[int, dict[str, Any]], list[str]]:
+    """Read every readable shard journal entry under a checkpoint dir.
+
+    Returns:
+        ``(entries, skipped)`` -- shard index -> decoded entry document,
+        plus the file names that could not be used (corrupt JSON, foreign
+        journal versions, missing index).  Unusable entries are *skipped*
+        rather than fatal: the resuming driver simply recomputes those
+        shards, which is always safe, and surfaces the names.
+    """
+    journal = shard_journal_dir(directory)
+    entries: dict[int, dict[str, Any]] = {}
+    skipped: list[str] = []
+    if not journal.is_dir():
+        return entries, skipped
+    for path in sorted(journal.glob("shard-*.json")):
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            skipped.append(path.name)
+            continue
+        if (
+            not isinstance(document, dict)
+            or document.get("journal_version") != _SHARD_JOURNAL_VERSION
+            or not isinstance(document.get("index"), int)
+        ):
+            skipped.append(path.name)
+            continue
+        entries[int(document["index"])] = document
+    return entries, skipped
+
+
+def clear_shard_journal(directory: str | Path) -> int:
+    """Delete all shard journal entries; returns how many were removed.
+
+    A fresh (non-resume) parallel run clears the journal first so a later
+    resume can never mix entries from two different runs.
+    """
+    journal = shard_journal_dir(directory)
+    if not journal.is_dir():
+        return 0
+    removed = 0
+    for path in sorted(journal.glob("shard-*.json")):
+        try:
+            path.unlink()
+        except OSError:
+            continue
+        removed += 1
+    return removed
 
 
 # ---------------------------------------------------------------------------

@@ -113,6 +113,36 @@ class TestCli:
         ]) == 0
         assert "type Person {" in capsys.readouterr().out
 
+    def test_discover_jobs_with_single_batch_notes_fallback(self, capsys):
+        """--jobs with one batch cannot shard; the footer says so instead
+        of silently running sequentially."""
+        assert main([
+            "discover", "POLE", "--scale", "0.15", "--jobs", "2",
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "--jobs 2 ignored" in err
+        assert "ran sequentially" in err
+
+    def test_discover_parallel_checkpoint_and_resume(
+        self, tmp_path, capsys, test_jobs
+    ):
+        """--jobs with --checkpoint-dir journals shards; --resume reports
+        how many it restored."""
+        ckpt = tmp_path / "ckpt"
+        args = [
+            "discover", "ldbc", "--scale", "0.5",
+            "--batches", "4", "--seed", "0",
+            "--jobs", str(test_jobs), "--checkpoint-dir", str(ckpt),
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr()
+        assert "ignored" not in first.err
+        assert len(list((ckpt / "shards").glob("shard-*.json"))) == 4
+        assert main(args + ["--resume"]) == 0
+        second = capsys.readouterr()
+        assert "resumed 4 shard(s) from the parallel journal" in second.err
+        assert second.out == first.out
+
     def test_evaluate_unlabeled_marks_baselines_skipped(self, capsys):
         assert main([
             "evaluate", "POLE", "--scale", "0.15",

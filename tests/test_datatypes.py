@@ -47,6 +47,63 @@ class TestValueTypes:
         assert infer_value_type(2.0) is DataType.INTEGER
 
 
+class TestCalendarValidation:
+    """Shape-matching alone typed ``99/99/9999`` as DATE; the component
+    ranges must be validated after the regex match."""
+
+    @pytest.mark.parametrize("text", [
+        "99/99/9999",
+        "2024-13-45",
+        "2024-00-10",   # month 0
+        "2024-01-00",   # day 0
+        "2024-01-32",   # day past any month
+        "2024-04-31",   # April has 30 days
+        "31/04/2024",   # DD/MM form of the same
+        "00/01/2024",   # day 0, DMY
+        "2023-02-29",   # not a leap year
+        "1900-02-29",   # century non-leap year
+    ])
+    def test_invalid_dates_fall_back_to_string(self, text):
+        assert infer_value_type(text) is DataType.STRING
+
+    @pytest.mark.parametrize("text", [
+        "2024-02-29",   # leap year
+        "29/02/2024",   # DD/MM leap day
+        "2000-02-29",   # divisible-by-400 leap year
+        "2024-12-31",
+        "01/01/1970",
+        "19/12/1999",   # day > 12 disambiguates DD/MM
+    ])
+    def test_valid_dates_still_infer_date(self, text):
+        assert infer_value_type(text) is DataType.DATE
+
+    @pytest.mark.parametrize("text", [
+        "2024-02-30T25:99",       # invalid date AND time components
+        "2024-01-31T24:00",       # hour 24
+        "2024-01-31T10:60",       # minute 60
+        "2024-01-31T10:30:61",    # second 61
+        "2024-13-01T10:00",       # invalid month under valid time
+        "2023-02-29 10:30",       # non-leap date part
+        "2024-01-31T10:30+25:00", # offset hour out of range
+        "2024-01-31T10:30+05:61", # offset minute out of range
+    ])
+    def test_invalid_timestamps_fall_back_to_string(self, text):
+        assert infer_value_type(text) is DataType.STRING
+
+    @pytest.mark.parametrize("text", [
+        "2024-02-29T23:59:59",
+        "2024-02-29T23:59:59.999+05:30",
+        "2024-01-31 10:30",
+        "2024-12-31T00:00Z",
+    ])
+    def test_valid_timestamps_still_infer_timestamp(self, text):
+        assert infer_value_type(text) is DataType.TIMESTAMP
+
+    def test_invalid_dates_join_to_string_in_columns(self):
+        values = ["2024-01-15", "99/99/9999"]
+        assert infer_datatype(values) is DataType.STRING
+
+
 class TestJoin:
     def test_int_float_joins_to_float(self):
         assert join_types(DataType.INTEGER, DataType.FLOAT) is DataType.FLOAT

@@ -9,6 +9,8 @@ byte-identical to the sequential engine's output.
 import random
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core import (
     ParallelDiscovery,
@@ -19,6 +21,12 @@ from repro.core import (
 from repro.core.columns import edge_columns, node_columns
 from repro.core.incremental import IncrementalDiscovery
 from repro.core.parallel import ShardResult, fork_available
+from repro.core.postprocess import (
+    TypeStats,
+    apply_partial_stats,
+    attach_partial_stats,
+    sharded_postprocess_enabled,
+)
 from repro.datasets import get_dataset
 from repro.datasets.registry import dataset_spec
 from repro.datasets.stream import GraphStream
@@ -158,6 +166,175 @@ class TestStreamParallel:
         assert serialize_pg_schema(parallel.schema) == serialize_pg_schema(
             engine.schema
         )
+
+
+def _postprocessed_shards(graph, config, num_batches):
+    """Discover + attach partial post-processing stats per shard."""
+    store = GraphStore(graph)
+    engine = IncrementalDiscovery(config, name="shard")
+    results = []
+    for plan in store.plan_shards(num_batches, seed=config.seed):
+        batch = store.materialize_shard(plan)
+        schema, report = engine.discover_batch_columns(
+            node_columns(batch.nodes),
+            edge_columns(batch.edges, batch.endpoint_labels),
+            batch_index=plan.index,
+        )
+        attach_partial_stats(schema, batch.nodes, batch.edges)
+        results.append(ShardResult(plan.index, schema, report))
+    return results
+
+
+class TestShardedPostprocess:
+    """Sharded post-processing must equal the serial store-backed passes
+    byte for byte, for any shard count and any merge order."""
+
+    def _serial_schema(self, graph, config, num_batches):
+        result = PGHive(config).discover_incremental(
+            GraphStore(graph), num_batches=num_batches
+        )
+        return serialize_pg_schema(result.schema)
+
+    @pytest.mark.parametrize("num_batches", [2, 3, 5])
+    def test_partial_stats_match_serial_for_any_shard_count(
+        self, ldbc_graph, num_batches
+    ):
+        config = PGHiveConfig(infer_value_profiles=True)
+        results = _postprocessed_shards(ldbc_graph, config, num_batches)
+        combined = combine_shard_results(
+            ldbc_graph.name, results, config
+        )
+        # The partial path must actually engage, not silently fall back.
+        assert apply_partial_stats(combined, config)
+        assert serialize_pg_schema(combined) == self._serial_schema(
+            ldbc_graph, config, num_batches
+        )
+
+    def test_partial_stats_permutation_invariant(self, ldbc_graph):
+        config = PGHiveConfig(infer_value_profiles=True)
+        reference = self._serial_schema(ldbc_graph, config, NUM_BATCHES)
+        rng = random.Random(7)
+        for _ in range(4):
+            # Re-discover fresh shards each round: combine mutates them.
+            shuffled = _postprocessed_shards(
+                ldbc_graph, config, NUM_BATCHES
+            )
+            rng.shuffle(shuffled)
+            combined = combine_shard_results(
+                ldbc_graph.name, shuffled, config
+            )
+            assert apply_partial_stats(combined, config)
+            assert serialize_pg_schema(combined) == reference
+
+    def test_parallel_profiles_match_sequential(self, ldbc_graph):
+        seq = PGHive(
+            PGHiveConfig(infer_value_profiles=True)
+        ).discover_incremental(
+            GraphStore(ldbc_graph), num_batches=NUM_BATCHES
+        )
+        par = PGHive(
+            PGHiveConfig(jobs=2, infer_value_profiles=True)
+        ).discover_incremental(
+            GraphStore(ldbc_graph), num_batches=NUM_BATCHES
+        )
+        assert serialize_pg_schema(par.schema) == serialize_pg_schema(
+            seq.schema
+        )
+
+    def test_sampling_mode_falls_back_to_serial_passes(self, ldbc_graph):
+        """Sampled datatype inference cannot shard; the parallel run must
+        still match the sequential one via the store-backed fallback."""
+        seq = PGHive(
+            PGHiveConfig(infer_datatypes_by_sampling=True)
+        ).discover_incremental(
+            GraphStore(ldbc_graph), num_batches=NUM_BATCHES
+        )
+        par = PGHive(
+            PGHiveConfig(jobs=2, infer_datatypes_by_sampling=True)
+        ).discover_incremental(
+            GraphStore(ldbc_graph), num_batches=NUM_BATCHES
+        )
+        assert serialize_pg_schema(par.schema) == serialize_pg_schema(
+            seq.schema
+        )
+
+    def test_sampling_mode_disables_worker_stats(self):
+        assert not sharded_postprocess_enabled(
+            PGHiveConfig(infer_datatypes_by_sampling=True)
+        )
+        assert not sharded_postprocess_enabled(
+            PGHiveConfig(post_processing=False)
+        )
+        assert sharded_postprocess_enabled(PGHiveConfig())
+
+    def test_final_schema_carries_no_stats(self, ldbc_graph):
+        result = PGHive(PGHiveConfig(jobs=2)).discover_incremental(
+            GraphStore(ldbc_graph), num_batches=NUM_BATCHES
+        )
+        for node_type in result.schema.node_types.values():
+            assert node_type.stats is None
+        for edge_type in result.schema.edge_types.values():
+            assert edge_type.stats is None
+
+
+class TestDegreeMerge:
+    """Summed per-node degree maps must equal whole-store extremes."""
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 15), st.integers(0, 15)),
+            min_size=1,
+            max_size=60,
+        ),
+        st.integers(1, 6),
+        st.integers(0, 1000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_summed_maps_match_store_extremes(
+        self, endpoints, num_shards, seed
+    ):
+        """Random edge multiset, random split: merging per-shard count
+        maps by summation reproduces ``degree_extremes`` exactly."""
+        from repro.graph.builder import GraphBuilder
+
+        builder = GraphBuilder()
+        node_ids = {}
+        for source, target in endpoints:
+            for raw in (source, target):
+                if raw not in node_ids:
+                    node_ids[raw] = builder.node(["N"], {})
+        edge_ids = [
+            builder.edge(node_ids[s], node_ids[t], ["E"], {})
+            for s, t in endpoints
+        ]
+        store = GraphStore(builder.build())
+        rng = random.Random(seed)
+        shards = [TypeStats() for _ in range(num_shards)]
+        for edge_id in edge_ids:
+            edge = store.graph.edge(edge_id)
+            stats = rng.choice(shards)
+            stats.out_degrees[edge.source] = (
+                stats.out_degrees.get(edge.source, 0) + 1
+            )
+            stats.in_degrees[edge.target] = (
+                stats.in_degrees.get(edge.target, 0) + 1
+            )
+        rng.shuffle(shards)
+        merged = shards[0]
+        for other in shards[1:]:
+            merged.merge(other)
+        max_out = max(merged.out_degrees.values(), default=0)
+        max_in = max(merged.in_degrees.values(), default=0)
+        assert (max_out, max_in) == store.degree_extremes(edge_ids)
+
+    def test_max_of_maxes_would_undercount(self):
+        """The regression the summed merge prevents: one node's incoming
+        edges split across shards."""
+        a, b = TypeStats(), TypeStats()
+        a.in_degrees[7] = 2
+        b.in_degrees[7] = 3
+        a.merge(b)
+        assert a.in_degrees[7] == 5  # not max(2, 3)
 
 
 class TestReportsAndFallbacks:

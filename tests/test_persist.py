@@ -9,12 +9,16 @@ from repro.graph.store import GraphStore
 from repro.schema.diff import diff_schemas
 from repro.schema.persist import (
     SchemaPersistError,
+    clear_shard_journal,
     load_checkpoint,
     load_schema,
+    load_shard_journal,
     save_checkpoint,
     save_schema,
+    save_shard_journal_entry,
     schema_from_dict,
     schema_to_dict,
+    shard_journal_dir,
 )
 
 
@@ -174,6 +178,89 @@ class TestCheckpoints:
         )
         with pytest.raises(SchemaPersistError, match="manifest"):
             load_checkpoint(path)
+
+
+class TestShardJournal:
+    """The parallel path's per-shard journal primitives."""
+
+    def test_round_trip(self, tmp_path):
+        entry = {"context": {"seed": 1}, "schema": {"name": "s"}}
+        path = save_shard_journal_entry(tmp_path, 3, entry)
+        assert path == shard_journal_dir(tmp_path) / "shard-00003.json"
+        entries, skipped = load_shard_journal(tmp_path)
+        assert skipped == []
+        assert set(entries) == {3}
+        assert entries[3]["context"] == {"seed": 1}
+        assert entries[3]["index"] == 3
+
+    def test_multiple_entries_enumerate_sorted(self, tmp_path):
+        for index in (4, 0, 2):
+            save_shard_journal_entry(tmp_path, index, {"i": index})
+        entries, skipped = load_shard_journal(tmp_path)
+        assert sorted(entries) == [0, 2, 4]
+        assert skipped == []
+
+    def test_corrupt_entry_skipped_not_fatal(self, tmp_path):
+        save_shard_journal_entry(tmp_path, 0, {})
+        bad = shard_journal_dir(tmp_path) / "shard-00001.json"
+        bad.write_text("{torn", encoding="utf-8")
+        entries, skipped = load_shard_journal(tmp_path)
+        assert set(entries) == {0}
+        assert skipped == ["shard-00001.json"]
+
+    def test_foreign_version_skipped(self, tmp_path):
+        import json
+
+        save_shard_journal_entry(tmp_path, 0, {})
+        alien = shard_journal_dir(tmp_path) / "shard-00009.json"
+        alien.write_text(
+            json.dumps({"journal_version": 999, "index": 9}),
+            encoding="utf-8",
+        )
+        entries, skipped = load_shard_journal(tmp_path)
+        assert set(entries) == {0}
+        assert skipped == ["shard-00009.json"]
+
+    def test_clear_removes_all_entries(self, tmp_path):
+        for index in range(3):
+            save_shard_journal_entry(tmp_path, index, {})
+        assert clear_shard_journal(tmp_path) == 3
+        entries, _ = load_shard_journal(tmp_path)
+        assert entries == {}
+        assert clear_shard_journal(tmp_path) == 0
+
+    def test_missing_directory_is_empty_journal(self, tmp_path):
+        entries, skipped = load_shard_journal(tmp_path / "never")
+        assert entries == {} and skipped == []
+        assert clear_shard_journal(tmp_path / "never") == 0
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        save_shard_journal_entry(tmp_path, 0, {"a": 1})
+        save_shard_journal_entry(tmp_path, 0, {"a": 2})  # overwrite
+        names = [p.name for p in shard_journal_dir(tmp_path).iterdir()]
+        assert names == ["shard-00000.json"]
+
+
+class TestAbstractCounterRestore:
+    """Reloading a schema with ABSTRACT types must restore the name
+    counter, or a resumed run could mint a duplicate ABSTRACT name."""
+
+    def test_counter_restored_from_names(self):
+        schema = schema_from_dict({
+            "format_version": 1,
+            "node_types": [
+                {"name": "ABSTRACT_NODE_2", "labels": [], "abstract": True},
+            ],
+            "edge_types": [
+                {"name": "ABSTRACT_EDGE_5", "labels": [], "abstract": True},
+            ],
+        })
+        assert schema.next_abstract_name("NODE") == "ABSTRACT_NODE_6"
+
+    def test_counter_zero_without_abstract_types(self, discovered_schema):
+        rebuilt = schema_from_dict(schema_to_dict(discovered_schema))
+        fresh = rebuilt.next_abstract_name("NODE")
+        assert fresh == "ABSTRACT_NODE_1"
 
 
 class TestResume:

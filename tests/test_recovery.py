@@ -326,14 +326,38 @@ class TestCheckpointResume:
         assert resumed.resumed_from == NUM_BATCHES
         assert serialize_pg_schema(resumed.schema) == sequential_schema
 
-    def test_checkpoint_forces_sequential_engine(self, tmp_path, ldbc_graph):
-        config = PGHiveConfig(
-            jobs=2, checkpoint_dir=str(tmp_path / "ckpt")
+    @needs_fork
+    def test_checkpoint_no_longer_forces_sequential_engine(
+        self, tmp_path, ldbc_graph, sequential_schema
+    ):
+        """jobs > 1 with a checkpoint_dir used to silently fall back to
+        the sequential engine; it now journals shards and stays parallel."""
+        ckpt = tmp_path / "ckpt"
+        config = PGHiveConfig(jobs=2, checkpoint_dir=str(ckpt))
+        result = PGHive(config).discover_incremental(
+            GraphStore(ldbc_graph), num_batches=NUM_BATCHES
         )
+        assert result.parallel_fallback is None
+        assert all(r.worker is not None for r in result.batches)
+        assert serialize_pg_schema(result.schema) == sequential_schema
+        journaled = sorted((ckpt / "shards").glob("shard-*.json"))
+        assert len(journaled) == NUM_BATCHES
+
+    def test_forced_sequential_fallback_is_reported(self, ldbc_graph):
+        """When parallelism genuinely cannot run, the result says why."""
+        config = PGHiveConfig(jobs=2, memoize_patterns=True)
         result = PGHive(config).discover_incremental(
             GraphStore(ldbc_graph), num_batches=NUM_BATCHES
         )
         assert all(r.worker is None for r in result.batches)
+        assert result.parallel_fallback is not None
+        assert "memoization" in result.parallel_fallback
+
+    def test_clean_parallel_run_reports_no_fallback(self, ldbc_graph):
+        result = PGHive(PGHiveConfig(jobs=1)).discover_incremental(
+            GraphStore(ldbc_graph), num_batches=NUM_BATCHES
+        )
+        assert result.parallel_fallback is None
 
     def test_stream_engine_checkpoint_roundtrip(self, tmp_path):
         """GraphStream sources checkpoint at the engine level: resume
@@ -370,3 +394,107 @@ class TestCheckpointResume:
             reference.schema
         )
         assert len(resumed.reports) == len(reference.reports)
+
+
+@needs_fork
+class TestParallelJournalResume:
+    """Crash-resume for the parallel path via the shard journal."""
+
+    def test_killed_pool_resumes_from_journal(
+        self, tmp_path, ldbc_graph, sequential_schema
+    ):
+        """A jobs>1 run that dies mid-pool leaves its completed shards
+        journaled; a resume recomputes only the missing ones and ends
+        byte-identical to a clean run."""
+        ckpt = tmp_path / "ckpt"
+        store = GraphStore(ldbc_graph)
+        crashing = PGHiveConfig(
+            jobs=2, parallel_chunk="1", checkpoint_dir=str(ckpt),
+            faults="shard:2:raise:99", shard_retries=0,
+            shard_retry_backoff=0.0, strict_recovery=True,
+        )
+        with pytest.raises(ShardRecoveryError):
+            PGHive(crashing).discover_incremental(
+                store, num_batches=NUM_BATCHES
+            )
+        journaled = sorted((ckpt / "shards").glob("shard-*.json"))
+        assert journaled, "completed shards must be journaled pre-crash"
+        assert not any("shard-00002" in p.name for p in journaled)
+        resumed = PGHive(PGHiveConfig(
+            jobs=2, parallel_chunk="1", checkpoint_dir=str(ckpt)
+        )).discover_incremental(
+            store, num_batches=NUM_BATCHES, resume=True
+        )
+        assert resumed.resumed_shards
+        assert 2 not in resumed.resumed_shards
+        assert "parallel/journal" in resumed.parameters
+        assert serialize_pg_schema(resumed.schema) == sequential_schema
+
+    def test_completed_parallel_run_resumes_from_journal_alone(
+        self, tmp_path, ldbc_graph, sequential_schema
+    ):
+        """Resuming a finished parallel run recomputes nothing."""
+        ckpt = tmp_path / "ckpt"
+        store = GraphStore(ldbc_graph)
+        config = PGHiveConfig(jobs=2, checkpoint_dir=str(ckpt))
+        PGHive(config).discover_incremental(store, num_batches=NUM_BATCHES)
+        resumed = PGHive(
+            PGHiveConfig(jobs=2, checkpoint_dir=str(ckpt))
+        ).discover_incremental(
+            store, num_batches=NUM_BATCHES, resume=True
+        )
+        assert resumed.resumed_shards == list(range(NUM_BATCHES))
+        assert serialize_pg_schema(resumed.schema) == sequential_schema
+
+    def test_fresh_run_clears_stale_journal(self, tmp_path, ldbc_graph):
+        ckpt = tmp_path / "ckpt"
+        store = GraphStore(ldbc_graph)
+        config = PGHiveConfig(jobs=2, checkpoint_dir=str(ckpt))
+        PGHive(config).discover_incremental(store, num_batches=NUM_BATCHES)
+        (ckpt / "shards" / "shard-99999.json").write_text(
+            "{not json", encoding="utf-8"
+        )
+        result = PGHive(
+            PGHiveConfig(jobs=2, checkpoint_dir=str(ckpt))
+        ).discover_incremental(store, num_batches=NUM_BATCHES)
+        assert result.resumed_shards == []
+        journaled = sorted((ckpt / "shards").glob("shard-*.json"))
+        assert len(journaled) == NUM_BATCHES
+
+    def test_mismatched_context_is_recomputed_not_fatal(
+        self, tmp_path, ldbc_graph, sequential_schema
+    ):
+        """A journal written under a different seed is ignored shard by
+        shard; the resume recomputes everything and stays correct."""
+        ckpt = tmp_path / "ckpt"
+        store = GraphStore(ldbc_graph)
+        PGHive(PGHiveConfig(
+            jobs=2, checkpoint_dir=str(ckpt), seed=99
+        )).discover_incremental(store, num_batches=NUM_BATCHES)
+        resumed = PGHive(PGHiveConfig(
+            jobs=2, checkpoint_dir=str(ckpt)
+        )).discover_incremental(
+            store, num_batches=NUM_BATCHES, resume=True
+        )
+        assert resumed.resumed_shards == []
+        assert "parallel/journal_skipped" in resumed.parameters
+        assert serialize_pg_schema(resumed.schema) == sequential_schema
+
+    def test_corrupt_journal_entry_is_recomputed(
+        self, tmp_path, ldbc_graph, sequential_schema
+    ):
+        ckpt = tmp_path / "ckpt"
+        store = GraphStore(ldbc_graph)
+        config = PGHiveConfig(jobs=2, checkpoint_dir=str(ckpt))
+        PGHive(config).discover_incremental(store, num_batches=NUM_BATCHES)
+        (ckpt / "shards" / "shard-00001.json").write_text(
+            "{truncated", encoding="utf-8"
+        )
+        resumed = PGHive(
+            PGHiveConfig(jobs=2, checkpoint_dir=str(ckpt))
+        ).discover_incremental(
+            store, num_batches=NUM_BATCHES, resume=True
+        )
+        assert 1 not in resumed.resumed_shards
+        assert "parallel/journal_skipped" in resumed.parameters
+        assert serialize_pg_schema(resumed.schema) == sequential_schema

@@ -66,6 +66,7 @@ def _sample_measurements():
             label_availability=1.0, node_f1=0.98, edge_f1=0.91,
             node_f1_macro=0.95, edge_f1_macro=0.89, seconds=0.12,
             num_node_types=11, num_edge_types=17,
+            shard_failure_events=3, degraded_shards=1, ingest_errors=2,
         ),
         Measurement(
             dataset="POLE", method="SchemI", noise=0.2,
@@ -107,3 +108,48 @@ class TestExport:
         loaded = measurements_from_csv(path)
         assert loaded[1].skipped is True
         assert loaded[0].skipped is False
+
+    def test_csv_preserves_fault_and_ingest_counters(self, tmp_path):
+        """ShardFailure / IngestReport data survives the CSV round trip."""
+        path = tmp_path / "m.csv"
+        measurements_to_csv(_sample_measurements(), path)
+        loaded = measurements_from_csv(path)
+        assert loaded[0].shard_failure_events == 3
+        assert loaded[0].degraded_shards == 1
+        assert loaded[0].ingest_errors == 2
+        assert loaded[1].shard_failure_events == 0
+
+
+class TestMeasurementDiagnostics:
+    def test_run_system_populates_shard_failure_counts(self):
+        """A degraded parallel run surfaces its failure counters."""
+        from repro.datasets import get_dataset
+        from repro.evaluation.harness import run_system
+
+        dataset = get_dataset("ldbc", scale=0.5, seed=0)
+        measurement = run_system(
+            "PG-HIVE-ELSH",
+            dataset,
+            config_overrides={},
+        )
+        assert measurement.shard_failure_events == 0
+        assert measurement.degraded_shards == 0
+        assert measurement.ingest_errors == 0
+
+    def test_run_system_reports_ingest_errors(self):
+        from repro.datasets import get_dataset
+        from repro.evaluation.harness import run_system
+        from repro.graph.io import IngestError, IngestReport
+
+        dataset = get_dataset("POLE", scale=0.15, seed=0)
+        report = IngestReport(
+            errors=[
+                IngestError(path="g.jsonl", line=3, reason="bad record")
+            ],
+            nodes_loaded=10,
+            edges_loaded=4,
+        )
+        measurement = run_system(
+            "PG-HIVE-ELSH", dataset, ingest_report=report
+        )
+        assert measurement.ingest_errors == 1

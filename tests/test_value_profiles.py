@@ -1,12 +1,18 @@
 """Tests for value profiling: enumerations and bounded ranges."""
 
+import random
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.config import PGHiveConfig
 from repro.core.pipeline import PGHive
-from repro.core.value_profiles import ValueProfile, profile_values
+from repro.core.value_profiles import (
+    PropertyPartial,
+    ValueProfile,
+    profile_values,
+)
 from repro.graph.builder import GraphBuilder
 from repro.graph.store import GraphStore
 from repro.schema.model import DataType
@@ -79,6 +85,77 @@ class TestRanges:
         assert profile.minimum <= min(values)
         assert profile.maximum >= max(values)
         assert profile.observation_count == len(values)
+
+
+_VALUE = st.one_of(
+    st.integers(-50, 50),
+    st.floats(-50, 50, allow_nan=False),
+    st.booleans(),
+    st.sampled_from(["open", "closed", "2024-01-15", "id-7", ""]),
+    st.none(),
+)
+
+
+def _sharded_partial(values, chunks, rng):
+    """Observe ``values`` split into ``chunks`` partials, merge shuffled."""
+    partials = [PropertyPartial() for _ in range(chunks)]
+    for value in values:
+        rng.choice(partials).observe(value)
+    rng.shuffle(partials)
+    merged = partials[0]
+    for other in partials[1:]:
+        merged.merge(other)
+    return merged
+
+
+class TestPropertyPartial:
+    """The mergeable partial must reconstruct a serial scan exactly."""
+
+    @given(
+        st.lists(_VALUE, min_size=1, max_size=40),
+        st.integers(1, 5),
+        st.integers(0, 1000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_sharded_partial_matches_serial_profile(
+        self, values, chunks, seed
+    ):
+        """Any sharding and merge order yields the serial profile."""
+        rng = random.Random(seed)
+        merged = _sharded_partial(values, chunks, rng)
+        assert merged.to_profile() == profile_values(values)
+
+    @given(
+        st.lists(_VALUE, min_size=1, max_size=40),
+        st.integers(1, 5),
+        st.integers(0, 1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_journal_round_trip_preserves_state(self, values, chunks, seed):
+        rng = random.Random(seed)
+        merged = _sharded_partial(values, chunks, rng)
+        rebuilt = PropertyPartial.from_dict(merged.to_dict())
+        assert rebuilt.to_profile() == merged.to_profile()
+        assert rebuilt.datatype is merged.datatype
+        assert rebuilt.observations == merged.observations
+
+    def test_int_float_tie_is_order_independent(self):
+        """1 and 1.0 compare equal; the canonical key must pick the same
+        bound regardless of observation order."""
+        forward, backward = PropertyPartial(), PropertyPartial()
+        for value in (1, 1.0, 2.5):
+            forward.observe(value)
+        for value in (2.5, 1.0, 1):
+            backward.observe(value)
+        assert forward.to_profile() == backward.to_profile()
+        assert forward.to_profile() == profile_values([1, 1.0, 2.5])
+        assert forward.to_profile() == profile_values([2.5, 1.0, 1])
+
+    def test_observe_matches_single_value_profile(self):
+        partial = PropertyPartial()
+        partial.observe("open")
+        assert partial.datatype is DataType.STRING
+        assert partial.observations == 1
 
 
 class TestPipelineIntegration:
