@@ -47,6 +47,11 @@ from repro.analysis.registry import (
 #: stay statically pickle-checked.
 POOL_PAYLOAD_TYPES = (
     "ShardPlan",
+    "StreamShardPlan",
+    "ColumnsHandle",
+    "SlabRef",
+    "ArrayRef",
+    "AbsorptionEntry",
     "NodeColumns",
     "EdgeColumns",
     "ShardResult",

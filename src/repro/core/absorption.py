@@ -1,0 +1,398 @@
+"""Merge-aware pattern memoization for the parallel shard path.
+
+The sequential engine's ``memoize_patterns`` fast path absorbs elements
+whose (label set, property-key set) pattern already exists in the
+*running* schema, skipping vectorization and clustering
+(:meth:`repro.core.incremental.IncrementalDiscovery._absorb_known_patterns`).
+That coupling -- every batch consults the schema built from all earlier
+batches -- is what historically forced memoized runs onto the sequential
+engine.
+
+This module decouples it with a two-phase protocol:
+
+1. The driver discovers one *seed* shard first (or reloads it from the
+   resume journal) and freezes its schema into a :class:`MemoSnapshot` --
+   an immutable table of absorbable patterns that is cheap to ship to
+   forked workers.
+2. Every other shard worker runs :func:`absorb_batch` against the
+   snapshot *before* columnization.  Absorbed elements never enter the
+   shard's LSH pipeline; they are summarized into
+   :class:`AbsorptionEntry` records (count, members, property counts,
+   optional partial stats) that ride back with the shard result.
+3. After the order-independent merge tree combines the shard schemas,
+   the driver calls :func:`replay_absorption` to fold every entry into
+   its merged host type -- before partial post-processing stats are
+   consumed, so constraints and cardinalities see the absorbed members.
+
+The snapshot is a *subset* of the running schema the sequential path
+would have consulted, so parallel absorption is strictly more
+conservative: anything it absorbs the sequential path would have
+absorbed too.  The reverse does not hold, which is why memoized parallel
+runs are specified as type-equivalent -- identical type sets, instance
+counts, constraints and F1 -- rather than byte-identical to the
+sequential memoized engine (``tests/test_memoization.py`` pins exactly
+that contract).
+
+Host lookup during replay is monotone for nodes (labeled node types only
+merge with identical label sets, so the exact-label host always exists)
+but not for edges: merging unions endpoint label sets, which can push a
+Jaccard endpoint comparison *below* threshold after growth.  The replay
+therefore resolves edge hosts through a fallback chain -- endpoint-
+compatible superset first, then any superset, then any same-label type.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+# repro.schema must finish loading before repro.core.datatypes starts
+# (schema/__init__ -> validate -> datatypes), so the schema imports come
+# before repro.core.postprocess, whose chain reaches datatypes first.
+from repro.schema.merge import endpoints_compatible
+from repro.schema.model import EdgeType, NodeType, SchemaGraph
+
+from repro.core.postprocess import TypeStats, _observe_properties
+from repro.graph.model import Edge, Node
+from repro.util.similarity import jaccard
+
+__all__ = [
+    "AbsorptionEntry",
+    "MemoEdgePattern",
+    "MemoNodePattern",
+    "MemoSnapshot",
+    "absorb_batch",
+    "replay_absorption",
+    "snapshot_from_schema",
+]
+
+
+@dataclass(frozen=True)
+class MemoNodePattern:
+    """Absorbable node pattern: an exact label set and its known keys."""
+
+    labels: frozenset[str]
+    property_keys: frozenset[str]
+
+
+@dataclass(frozen=True)
+class MemoEdgePattern:
+    """Absorbable edge pattern: labels, keys, and the endpoint pair."""
+
+    labels: frozenset[str]
+    property_keys: frozenset[str]
+    source_labels: frozenset[str]
+    target_labels: frozenset[str]
+    source_tokens: frozenset[str]
+    target_tokens: frozenset[str]
+
+
+@dataclass
+class MemoSnapshot:
+    """Frozen absorption table built from the seed shard's schema.
+
+    ``nodes`` maps an exact label set to its pattern (mirroring the
+    sequential path's ``{type.labels: type}`` lookup); ``edges`` maps an
+    edge label set to the same-label patterns in schema insertion order,
+    because sequential absorption tries candidates in that order and the
+    first match wins.
+    """
+
+    nodes: dict[frozenset[str], MemoNodePattern] = field(default_factory=dict)
+    edges: dict[frozenset[str], tuple[MemoEdgePattern, ...]] = field(
+        default_factory=dict
+    )
+
+
+def snapshot_from_schema(schema: SchemaGraph) -> MemoSnapshot:
+    """Freeze a schema's labeled types into an absorption table."""
+    snapshot = MemoSnapshot()
+    for node_type in schema.node_types.values():
+        if node_type.labels:
+            snapshot.nodes[node_type.labels] = MemoNodePattern(
+                labels=node_type.labels,
+                property_keys=node_type.property_keys,
+            )
+    grouped: dict[frozenset[str], list[MemoEdgePattern]] = {}
+    for edge_type in schema.edge_types.values():
+        if not edge_type.labels:
+            continue
+        grouped.setdefault(edge_type.labels, []).append(
+            MemoEdgePattern(
+                labels=edge_type.labels,
+                property_keys=edge_type.property_keys,
+                source_labels=edge_type.source_labels,
+                target_labels=edge_type.target_labels,
+                source_tokens=frozenset(edge_type.source_tokens),
+                target_tokens=frozenset(edge_type.target_tokens),
+            )
+        )
+    snapshot.edges = {labels: tuple(patterns) for labels, patterns in grouped.items()}
+    return snapshot
+
+
+@dataclass
+class AbsorptionEntry:
+    """Aggregated absorptions against one snapshot pattern in one shard.
+
+    Carries everything the driver needs to replay the absorption into
+    the merged schema: the pattern identity for host lookup, the member
+    bookkeeping the host must gain, and (when sharded post-processing is
+    active) the partial statistics of the absorbed elements.
+    """
+
+    kind: str  # "node" | "edge"
+    labels: frozenset[str]
+    property_keys: frozenset[str]
+    count: int = 0
+    members: list[int] = field(default_factory=list)
+    property_counts: Counter[str] = field(default_factory=Counter)
+    source_labels: frozenset[str] = frozenset()
+    target_labels: frozenset[str] = frozenset()
+    source_tokens: frozenset[str] = frozenset()
+    target_tokens: frozenset[str] = frozenset()
+    stats: TypeStats | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form (used by the parallel shard journal)."""
+        return {
+            "kind": self.kind,
+            "labels": sorted(self.labels),
+            "property_keys": sorted(self.property_keys),
+            "count": self.count,
+            "members": list(self.members),
+            "property_counts": {
+                key: self.property_counts[key]
+                for key in sorted(self.property_counts)
+            },
+            "source_labels": sorted(self.source_labels),
+            "target_labels": sorted(self.target_labels),
+            "source_tokens": sorted(self.source_tokens),
+            "target_tokens": sorted(self.target_tokens),
+            "stats": None if self.stats is None else self.stats.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict[str, Any]) -> "AbsorptionEntry":
+        """Inverse of :meth:`to_dict`."""
+        stats_record = record.get("stats")
+        return cls(
+            kind=str(record["kind"]),
+            labels=frozenset(record.get("labels", [])),
+            property_keys=frozenset(record.get("property_keys", [])),
+            count=int(record.get("count", 0)),
+            members=[int(member) for member in record.get("members", [])],
+            property_counts=Counter(
+                {
+                    str(key): int(count)
+                    for key, count in record.get("property_counts", {}).items()
+                }
+            ),
+            source_labels=frozenset(record.get("source_labels", [])),
+            target_labels=frozenset(record.get("target_labels", [])),
+            source_tokens=frozenset(record.get("source_tokens", [])),
+            target_tokens=frozenset(record.get("target_tokens", [])),
+            stats=(
+                None if stats_record is None
+                else TypeStats.from_dict(stats_record)
+            ),
+        )
+
+
+def _sides_compatible(
+    pattern: MemoEdgePattern,
+    probe_source: frozenset[str],
+    probe_target: frozenset[str],
+    threshold: float,
+) -> bool:
+    """The :func:`~repro.schema.merge.endpoints_compatible` check against a
+    snapshot pattern and a bare endpoint-label probe (probes carry no
+    cluster tokens, exactly like the sequential path's probe edge type)."""
+    pattern_src = pattern.source_labels | pattern.source_tokens
+    pattern_tgt = pattern.target_labels | pattern.target_tokens
+    source_ok = (
+        not pattern_src or not probe_source
+        or jaccard(pattern_src, probe_source) >= threshold
+    )
+    target_ok = (
+        not pattern_tgt or not probe_target
+        or jaccard(pattern_tgt, probe_target) >= threshold
+    )
+    return source_ok and target_ok
+
+
+def absorb_batch(
+    snapshot: MemoSnapshot,
+    nodes: Sequence[Node],
+    edges: Sequence[Edge],
+    endpoint_labels: Mapping[int, frozenset[str]],
+    threshold: float,
+    compute_stats: bool,
+) -> tuple[list[AbsorptionEntry], list[Node], list[Edge]]:
+    """Absorb known-pattern elements of one batch against the snapshot.
+
+    Mirrors the sequential
+    :meth:`~repro.core.incremental.IncrementalDiscovery._absorb_known_patterns`
+    conditions exactly (exact node label set + key subset; labeled edges
+    with key subset, endpoint-label subsets and Jaccard-compatible
+    endpoints; first matching pattern wins), but aggregates the hits into
+    :class:`AbsorptionEntry` records instead of mutating a schema.
+
+    Returns:
+        ``(entries, remaining_nodes, remaining_edges)`` -- entries in
+        first-hit order, and the elements the shard pipeline still has
+        to discover.
+    """
+    entries: dict[tuple[str, frozenset[str], int], AbsorptionEntry] = {}
+    remaining_nodes: list[Node] = []
+    remaining_edges: list[Edge] = []
+    empty: frozenset[str] = frozenset()
+    for node in nodes:
+        pattern = snapshot.nodes.get(node.labels)
+        if pattern is None or not node.property_keys <= pattern.property_keys:
+            remaining_nodes.append(node)
+            continue
+        key = ("node", node.labels, 0)
+        entry = entries.get(key)
+        if entry is None:
+            entry = AbsorptionEntry(
+                kind="node",
+                labels=pattern.labels,
+                property_keys=pattern.property_keys,
+                stats=TypeStats() if compute_stats else None,
+            )
+            entries[key] = entry
+        entry.count += 1
+        entry.members.append(node.id)
+        entry.property_counts.update(node.properties.keys())
+        if entry.stats is not None:
+            _observe_properties(
+                entry.stats, node.properties, pattern.property_keys
+            )
+    for edge in edges:
+        matched = False
+        if edge.labels:
+            candidates = snapshot.edges.get(edge.labels, ())
+            probe_source = endpoint_labels.get(edge.source, empty)
+            probe_target = endpoint_labels.get(edge.target, empty)
+            for position, pattern in enumerate(candidates):
+                if not (
+                    edge.property_keys <= pattern.property_keys
+                    and probe_source <= pattern.source_labels
+                    and probe_target <= pattern.target_labels
+                    and _sides_compatible(
+                        pattern, probe_source, probe_target, threshold
+                    )
+                ):
+                    continue
+                key = ("edge", edge.labels, position)
+                entry = entries.get(key)
+                if entry is None:
+                    entry = AbsorptionEntry(
+                        kind="edge",
+                        labels=pattern.labels,
+                        property_keys=pattern.property_keys,
+                        source_labels=pattern.source_labels,
+                        target_labels=pattern.target_labels,
+                        source_tokens=pattern.source_tokens,
+                        target_tokens=pattern.target_tokens,
+                        stats=TypeStats() if compute_stats else None,
+                    )
+                    entries[key] = entry
+                entry.count += 1
+                entry.members.append(edge.id)
+                entry.property_counts.update(edge.properties.keys())
+                if entry.stats is not None:
+                    _observe_properties(
+                        entry.stats, edge.properties, pattern.property_keys
+                    )
+                    entry.stats.out_degrees[edge.source] = (
+                        entry.stats.out_degrees.get(edge.source, 0) + 1
+                    )
+                    entry.stats.in_degrees[edge.target] = (
+                        entry.stats.in_degrees.get(edge.target, 0) + 1
+                    )
+                matched = True
+                break
+        if not matched:
+            remaining_edges.append(edge)
+    return list(entries.values()), remaining_nodes, remaining_edges
+
+
+def _find_edge_host(
+    schema: SchemaGraph, entry: AbsorptionEntry, threshold: float
+) -> EdgeType | None:
+    """Resolve the merged host for an absorbed edge entry.
+
+    Merging unions endpoint labels, so the snapshot pattern's exact
+    endpoint pair may no longer pass the Jaccard check against its own
+    (grown) descendant.  Superset containment *is* preserved by merging,
+    hence the chain: endpoint-compatible superset > any superset > any
+    same-label type.
+    """
+    candidates = schema.edge_types_for_labels(entry.labels)
+    if not candidates:
+        return None
+    probe = EdgeType(
+        "?",
+        entry.labels,
+        source_labels=entry.source_labels,
+        target_labels=entry.target_labels,
+        source_tokens=set(entry.source_tokens),
+        target_tokens=set(entry.target_tokens),
+    )
+    supersets = [
+        candidate
+        for candidate in candidates
+        if entry.property_keys <= candidate.property_keys
+        and entry.source_labels <= candidate.source_labels
+        and entry.target_labels <= candidate.target_labels
+    ]
+    for candidate in supersets:
+        if endpoints_compatible(candidate, probe, threshold):
+            return candidate
+    if supersets:
+        return supersets[0]
+    return candidates[0]
+
+
+def replay_absorption(
+    schema: SchemaGraph,
+    shard_entries: Sequence[Sequence[AbsorptionEntry]],
+    threshold: float,
+) -> int:
+    """Fold shards' absorption entries into the merged schema in place.
+
+    Runs at the driver after the merge tree, *before* partial
+    post-processing stats are applied, so constraints / datatypes /
+    cardinalities account for the absorbed members.  ``shard_entries``
+    must be ordered by shard index for a deterministic result.
+
+    Returns:
+        The total number of absorbed elements replayed.
+    """
+    node_hosts: dict[frozenset[str], NodeType] = {}
+    for node_type in schema.node_types.values():
+        if node_type.labels:
+            node_hosts[node_type.labels] = node_type
+    replayed = 0
+    for entries in shard_entries:
+        for entry in entries:
+            host: NodeType | EdgeType | None
+            if entry.kind == "node":
+                host = node_hosts.get(entry.labels)
+            else:
+                host = _find_edge_host(schema, entry, threshold)
+            if host is None:
+                continue
+            host.instance_count += entry.count
+            host.property_counts.update(entry.property_counts)
+            host.members.extend(entry.members)
+            if entry.stats is not None:
+                if host.stats is None:
+                    host.stats = entry.stats
+                else:
+                    host.stats.merge(entry.stats)
+            replayed += entry.count
+    return replayed

@@ -1,30 +1,47 @@
 """Parallel sharded discovery: a fault-tolerant multi-process pipeline.
 
 The incremental engine computes each batch schema *independently* of the
-running schema (when the memoization fast path is off), and the merge
-rules of :mod:`repro.schema.merge` are union-only (Lemmas 1-2).  Batch
-discovery therefore parallelizes embarrassingly: shard the store into
-batches, discover each shard's schema in a worker process, and combine
-the per-shard schemas through the canonical pairwise merge tree of
-:func:`repro.schema.merge.merge_schema_tree`.
+running schema (the memoization fast path is decoupled separately, see
+below), and the merge rules of :mod:`repro.schema.merge` are union-only
+(Lemmas 1-2).  Batch discovery therefore parallelizes embarrassingly:
+shard the source into batches, discover each shard's schema in a worker
+process, and combine the per-shard schemas through the canonical
+pairwise merge tree of :func:`repro.schema.merge.merge_schema_tree`.
 
-Payload contract
-----------------
+Payload contract and shard transport
+------------------------------------
 Workers never receive pickled :class:`~repro.graph.model.Node` /
-:class:`~repro.graph.model.Edge` objects.  Two payload modes exist:
+:class:`~repro.graph.model.Edge` objects.  Three payload modes exist:
 
 * **plan mode** (:meth:`ParallelDiscovery.discover_store`): the parent
-  warms the store's shard partition and forks; each worker receives only
-  a list of :class:`~repro.graph.store.ShardPlan` scalars and
-  materializes + columnizes its own shards against the fork-inherited
-  store.  Nothing graph-sized ever crosses the process pipe, and the
-  columnization work -- the dominant serial cost -- runs inside the
-  workers.
+  computes the shard partition -- the node half serially (one seeded
+  shuffle), the O(edges) bucketing half *on the worker pool* via
+  :meth:`~repro.graph.store.GraphStore.bucket_edge_range` slices whose
+  per-shard buckets concatenate to the byte-identical single-pass
+  assignment -- installs it into the store, and forks; each worker
+  receives only :class:`~repro.graph.store.ShardPlan` scalars and
+  materializes + columnizes its shards against the fork-inherited store.
+* **stream mode** (:meth:`ParallelDiscovery.discover_stream`): for a
+  seeded :class:`~repro.datasets.stream.GraphStream`, workers receive
+  :class:`~repro.datasets.stream.StreamShardPlan` scalars and *replay*
+  the stream's deterministic generation themselves, so batch generation
+  and columnization both ride the pool.
 * **columns mode** (:meth:`ParallelDiscovery.discover_batches`): for
-  stateful sources such as :class:`~repro.datasets.stream.GraphStream`,
-  the parent iterates the stream, columnizes each batch once, and ships
-  the compact integer-id arrays (:class:`~repro.core.columns.NodeColumns`
-  / :class:`~repro.core.columns.EdgeColumns`) to the pool.
+  arbitrary pre-batched data the parent columnizes each batch once and
+  ships the compact integer-id arrays.
+
+How results (and columns-mode payloads) cross the pool boundary is the
+``config.shard_transport`` knob (:mod:`repro.core.transport`): under
+``shm``/``memmap`` the driver pre-reserves one segment name per task,
+workers publish their pickled shard results into that segment and return
+only a tiny :class:`~repro.core.transport.SlabRef` through the pipe, and
+columns-mode arrays travel as :class:`ColumnsHandle` offsets into one
+shared slab that workers attach read-only.  ``pickle`` keeps the
+classic everything-through-the-pipe behavior.  The driver-owned
+:class:`~repro.core.transport.SegmentRegistry` tracks every name from
+reservation to unlink, so no exit path -- success, raise, dead worker,
+timeout SIGKILL, injected attach/unlink fault -- can leak a segment.
+Transport never affects the discovered schema.
 
 Failure model and recovery
 --------------------------
@@ -39,42 +56,50 @@ identical schema -- re-execution is the entire recovery strategy:
   ``kill`` fault) breaks the whole pool; the driver respawns the pool
   and requeues only the shards whose results were lost;
 * a task exceeding ``config.shard_timeout`` seconds is declared **hung**;
-  the pool's processes are killed (a hung future cannot be cancelled),
-  the pool respawns, the timed-out shards are blamed and everything else
-  requeues untouched;
+  the pool's processes are killed, the pool respawns, the timed-out
+  shards are blamed and everything else requeues untouched;
+* with ``config.shard_memory_limit_mb`` set, workers check their RSS
+  between pipeline stages and raise :class:`ShardMemoryError` *before*
+  the kernel OOM killer fires; the failure surfaces as a structured
+  ``ShardFailure(kind="memory")`` and retries/falls back normally (the
+  in-process fallback is unguarded -- the driver has the parent's
+  headroom);
 * a shard that exhausts its pool retries is re-executed **in-process**
-  as a last resort (a poisoned shard may crash every worker yet still
-  succeed under the parent, e.g. when the failure is environmental);
-* a shard that *still* fails is dropped from the run -- the surviving
-  shards merge into a valid (if partial) schema -- unless
-  ``config.strict_recovery`` is set, in which case
-  :class:`ShardRecoveryError` propagates.
+  as a last resort; a shard that *still* fails is dropped from the run
+  unless ``config.strict_recovery`` raises :class:`ShardRecoveryError`.
 
-Every failure event becomes a structured
-:class:`~repro.core.result.ShardFailure` on the
-:class:`~repro.core.result.DiscoveryResult`, and recovered runs stay
-byte-identical to a clean sequential run (``tests/test_recovery.py``
-drives each path through the deterministic fault harness of
-:mod:`repro.core.faults`).
+Memoization (two-phase absorption)
+----------------------------------
+``config.memoize_patterns`` historically forced sequential discovery
+because absorption consults the *running* schema.  The pool path
+decouples it: the lowest shard is discovered first (or loaded from the
+resume journal) and its schema frozen into a
+:class:`~repro.core.absorption.MemoSnapshot`; every other worker absorbs
+known-pattern elements against the snapshot before columnization and
+ships :class:`~repro.core.absorption.AbsorptionEntry` summaries with its
+result; the driver replays the entries into the merged schema
+(:func:`~repro.core.absorption.replay_absorption`) before partial
+post-processing stats are applied.  Memoized parallel runs are
+type-equivalent (identical type sets, instance counts, constraints) to
+sequential memoized runs; see :mod:`repro.core.absorption`.
 
 Determinism contract
 --------------------
 The final schema is a pure function of the set of *successful* shard
-schemas: workers return per-shard schemas individually, the driver sorts
-them by shard index and reduces them through the canonical index-ordered
-merge tree, so the result is independent of worker count, chunking,
-completion order, and of how many attempts each shard needed.  Each
-shard is discovered with its global batch index, keeping pseudo-label
-tags (``b{i}``) and parameter keys (``batch{i}/...``) identical to a
-sequential run over the same batch sequence; on labeled data the result
-is byte-identical to ``jobs=1`` (``tests/test_parallel.py`` enforces
-both properties).
+schemas: the driver sorts them by shard index and reduces them through
+the canonical index-ordered merge tree, so the result is independent of
+worker count, chunking, completion order, transport, and of how many
+attempts each shard needed.  On labeled data the result is
+byte-identical to ``jobs=1`` for every transport
+(``tests/test_parallel.py`` enforces both properties).
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
+import resource
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -83,7 +108,23 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
-from repro.core.columns import EdgeColumns, NodeColumns, edge_columns, node_columns
+import numpy
+
+from repro.core.absorption import (
+    AbsorptionEntry,
+    MemoSnapshot,
+    absorb_batch,
+    replay_absorption,
+    snapshot_from_schema,
+)
+from repro.core.columns import (
+    EdgeColumns,
+    NodeColumns,
+    edge_columns,
+    key_space_from_orders,
+    label_space_from_sets,
+    node_columns,
+)
 from repro.core.config import PGHiveConfig
 from repro.core.faults import FaultInjector
 from repro.core.incremental import IncrementalDiscovery
@@ -94,7 +135,17 @@ from repro.core.postprocess import (
     sharded_postprocess_enabled,
 )
 from repro.core.result import BatchReport, DiscoveryResult, ShardFailure
+from repro.core.transport import (
+    ArrayRef,
+    SegmentRegistry,
+    Slab,
+    SlabRef,
+    attach_slab,
+    publish_result_bytes,
+    resolve_transport,
+)
 from repro.core.type_extraction import resolve_edge_endpoints
+from repro.datasets.stream import GraphStream, StreamShardPlan
 from repro.graph.store import GraphBatch, GraphStore, ShardPlan
 from repro.schema.merge import merge_schema_tree, merge_schemas
 from repro.schema.model import SchemaGraph
@@ -107,17 +158,54 @@ from repro.schema.persist import (
     schema_to_dict,
 )
 
-# One unit of pool work: a shard recipe (plan mode) or a pre-columnized
-# batch of (index, node columns, edge columns) (columns mode).
-Payload = ShardPlan | tuple[int, NodeColumns, EdgeColumns]
-
 __all__ = [
+    "ColumnsHandle",
     "ParallelDiscovery",
+    "ShardMemoryError",
     "ShardRecoveryError",
     "ShardResult",
     "combine_shard_results",
     "fork_available",
 ]
+
+
+@dataclass(frozen=True)
+class ColumnsHandle:
+    """Zero-copy handle to one pre-columnized batch inside a shared slab.
+
+    Ships only offsets/dtypes plus the interner states (label sets and
+    first-seen key orders) needed to rebuild byte-identical
+    :class:`~repro.core.columns.NodeColumns` /
+    :class:`~repro.core.columns.EdgeColumns` from read-only views of the
+    attached slab.
+    """
+
+    index: int
+    slab: SlabRef
+    node_ids: ArrayRef
+    node_label_ids: ArrayRef
+    node_keyset_ids: ArrayRef
+    edge_ids: ArrayRef
+    edge_source: ArrayRef
+    edge_target: ArrayRef
+    edge_label_ids: ArrayRef
+    edge_src_label_ids: ArrayRef
+    edge_tgt_label_ids: ArrayRef
+    edge_keyset_ids: ArrayRef
+    node_label_sets: tuple[frozenset[str], ...]
+    node_key_orders: tuple[tuple[str, ...], ...]
+    edge_label_sets: tuple[frozenset[str], ...]
+    edge_key_orders: tuple[tuple[str, ...], ...]
+
+
+# One unit of pool work: a shard recipe (plan/stream mode), a slab handle,
+# or a pre-columnized batch tuple (columns mode, pickle transport).
+Payload = (
+    ShardPlan
+    | StreamShardPlan
+    | ColumnsHandle
+    | tuple[int, NodeColumns, EdgeColumns]
+)
 
 
 class ShardRecoveryError(RuntimeError):
@@ -139,6 +227,15 @@ class ShardRecoveryError(RuntimeError):
         )
 
 
+class ShardMemoryError(RuntimeError):
+    """A worker's resident set exceeded ``config.shard_memory_limit_mb``.
+
+    Raised between pipeline stages inside pool workers only; surfaces at
+    the driver as a ``ShardFailure(kind="memory")`` and flows through
+    the ordinary retry / in-process-fallback machinery.
+    """
+
+
 @dataclass
 class ShardResult:
     """One shard's independently discovered schema plus diagnostics."""
@@ -147,6 +244,7 @@ class ShardResult:
     schema: SchemaGraph
     report: BatchReport
     parameters: dict[str, str] = field(default_factory=dict)
+    absorption: list[AbsorptionEntry] = field(default_factory=list)
 
 
 def fork_available() -> bool:
@@ -194,63 +292,244 @@ def combine_shard_results(
 # Worker side.  State shared by fork inheritance: the parent sets
 # ``_PARENT_STATE`` immediately before creating the pool, children
 # inherit the reference copy-on-write, and nothing graph-sized is ever
-# pickled.  (Pool tasks themselves carry only plans or column arrays,
-# plus the per-shard attempt numbers the fault injector keys on.)
+# pickled.  (Pool tasks themselves carry only plans, slab handles or
+# column arrays, plus the per-shard attempt numbers the fault injector
+# keys on, plus the driver-reserved result segment name.)
 # ----------------------------------------------------------------------
-_PARENT_STATE: tuple[GraphStore | None, PGHiveConfig] | None = None
+@dataclass
+class _ParentState:
+    """Everything a forked worker inherits from the driver."""
+
+    source: GraphStore | GraphStream | None
+    config: PGHiveConfig
+    snapshot: MemoSnapshot | None = None
+    transport: str = "pickle"
+    scratch_dir: str | None = None
+
+
+_PARENT_STATE: _ParentState | None = None
+
+#: (store, sorted node ids, shard-of-sorted lookup, num shards) for the
+#: short-lived partition pool; same fork-inheritance protocol as above.
+_PARTITION_STATE: (
+    tuple[GraphStore, numpy.ndarray, numpy.ndarray, int] | None
+) = None
+
+#: Below this edge count the pool-parallel bucketing pass costs more in
+#: fork + concatenate overhead than the serial numpy pass it replaces.
+_PARALLEL_PARTITION_MIN_EDGES = 8192
 
 
 def _worker_injector(config: PGHiveConfig) -> FaultInjector | None:
     return FaultInjector.from_spec(config.faults)
 
 
+def _current_rss_mb() -> float:
+    """Resident set size of this process in MiB."""
+    try:
+        with open("/proc/self/status", "r", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return float(line.split()[1]) / 1024.0
+    except (OSError, ValueError, IndexError):
+        pass
+    usage = resource.getrusage(resource.RUSAGE_SELF)
+    return usage.ru_maxrss / 1024.0
+
+
+def _check_memory(
+    config: PGHiveConfig, in_worker: bool, stage: str, index: int
+) -> None:
+    """Raise :class:`ShardMemoryError` when the worker RSS is over budget.
+
+    Only armed inside pool workers: the in-process fallback runs in the
+    driver, whose resident set includes the whole parent store, so a
+    budget sized for workers would spuriously kill the recovery path.
+    """
+    limit = config.shard_memory_limit_mb
+    if limit is None or not in_worker:
+        return
+    rss = _current_rss_mb()
+    if rss > limit:
+        raise ShardMemoryError(
+            f"shard {index}: worker rss {rss:.1f} MiB exceeds "
+            f"shard_memory_limit_mb={limit:g} after {stage}"
+        )
+
+
+def _ship_results(
+    results: list[ShardResult], reserved: str | None
+) -> list[ShardResult] | SlabRef:
+    """Return results directly, or publish them into the reserved segment.
+
+    With a zero-copy transport the driver pre-reserved a segment name for
+    this task; the worker serializes its results once into that segment
+    and returns only the tiny ref through the pipe.
+    """
+    if reserved is None:
+        return results
+    state = _PARENT_STATE
+    if state is None:
+        raise RuntimeError("worker has no inherited parent state")
+    data = pickle.dumps(results, protocol=pickle.HIGHEST_PROTOCOL)
+    return publish_result_bytes(
+        state.transport, state.scratch_dir, reserved, data
+    )
+
+
+def _materialize_plan(
+    source: GraphStore | GraphStream | None,
+    plan: ShardPlan | StreamShardPlan,
+) -> GraphBatch:
+    """Dispatch a shard recipe to its source's materializer."""
+    if isinstance(plan, ShardPlan) and isinstance(source, GraphStore):
+        return source.materialize_shard(plan)
+    if isinstance(plan, StreamShardPlan) and isinstance(source, GraphStream):
+        return source.materialize_shard(plan)
+    raise RuntimeError(
+        f"payload {type(plan).__name__} does not match inherited source "
+        f"{type(source).__name__}"
+    )
+
+
 def _discover_plan_chunk(
-    plans: Sequence[ShardPlan],
+    plans: Sequence[ShardPlan | StreamShardPlan],
     attempts: Sequence[int],
+    reserved: str | None = None,
     in_worker: bool = True,
-) -> list[ShardResult]:
+) -> list[ShardResult] | SlabRef:
     """Worker: materialize, columnize and discover a chunk of shards.
 
     A chunk of *consecutive* shard indices shares one engine, so the
     cross-batch embedder reuse of the sequential engine still applies
-    within the chunk (reuse never changes output, only cost).
+    within the chunk (reuse never changes output, only cost); for stream
+    plans the consecutive order also keeps the seeded replay cursor
+    ascending, so a chunk costs one stream pass in total.
     """
-    store, config = _PARENT_STATE
+    state = _PARENT_STATE
+    if state is None:
+        raise RuntimeError("worker has no inherited parent state")
+    source, config = state.source, state.config
     injector = _worker_injector(config)
     engine = IncrementalDiscovery(config, name="shard")
     compute_stats = sharded_postprocess_enabled(config)
+    snapshot = state.snapshot
     results: list[ShardResult] = []
     for plan, attempt in zip(plans, attempts):
         if injector is not None:
             injector.fire("shard", plan.index, attempt, in_worker=in_worker)
-        batch = store.materialize_shard(plan)
-        ncols = node_columns(batch.nodes)
-        ecols = edge_columns(batch.edges, batch.endpoint_labels)
+        batch = _materialize_plan(source, plan)
+        _check_memory(config, in_worker, "materialization", plan.index)
+        nodes, edges = batch.nodes, batch.edges
+        entries: list[AbsorptionEntry] = []
+        absorbed_nodes = absorbed_edges = 0
+        if snapshot is not None:
+            entries, nodes, edges = absorb_batch(
+                snapshot,
+                nodes,
+                edges,
+                batch.endpoint_labels,
+                config.endpoint_jaccard_threshold,
+                compute_stats,
+            )
+            absorbed_nodes = len(batch.nodes) - len(nodes)
+            absorbed_edges = len(batch.edges) - len(edges)
+        ncols = node_columns(nodes)
+        ecols = edge_columns(edges, batch.endpoint_labels)
+        _check_memory(config, in_worker, "columnization", plan.index)
         shard = _discover_one(engine, plan.index, ncols, ecols)
+        _check_memory(config, in_worker, "discovery", plan.index)
+        if snapshot is not None:
+            shard.absorption = entries
+            shard.report.num_nodes += absorbed_nodes
+            shard.report.num_edges += absorbed_edges
+            shard.report.memo_node_hits = absorbed_nodes
+            shard.report.memo_edge_hits = absorbed_edges
         if compute_stats:
             # Post-processing runs sharded: the worker has the
             # materialized elements in hand, so it folds the per-type
             # partial statistics here and ships them with the schema.
-            attach_partial_stats(shard.schema, batch.nodes, batch.edges)
+            # Absorbed elements carry their stats in the entries.
+            attach_partial_stats(shard.schema, nodes, edges)
         results.append(shard)
-    return results
+    return _ship_results(results, reserved)
+
+
+def _columns_from_handle(
+    handle: ColumnsHandle, slab: Slab
+) -> tuple[NodeColumns, EdgeColumns]:
+    """Rebuild byte-identical columns from read-only slab views."""
+    node_labels = label_space_from_sets(handle.node_label_sets)
+    node_keys = key_space_from_orders(handle.node_key_orders)
+    edge_labels = label_space_from_sets(handle.edge_label_sets)
+    edge_keys = key_space_from_orders(handle.edge_key_orders)
+    ncols = NodeColumns(
+        ids=slab.array(handle.node_ids),
+        label_ids=slab.array(handle.node_label_ids),
+        keyset_ids=slab.array(handle.node_keyset_ids),
+        labels=node_labels,
+        keys=node_keys,
+    )
+    ecols = EdgeColumns(
+        ids=slab.array(handle.edge_ids),
+        source=slab.array(handle.edge_source),
+        target=slab.array(handle.edge_target),
+        label_ids=slab.array(handle.edge_label_ids),
+        src_label_ids=slab.array(handle.edge_src_label_ids),
+        tgt_label_ids=slab.array(handle.edge_tgt_label_ids),
+        keyset_ids=slab.array(handle.edge_keyset_ids),
+        labels=edge_labels,
+        keys=edge_keys,
+    )
+    return ncols, ecols
 
 
 def _discover_columns_chunk(
-    payloads: Sequence[tuple[int, NodeColumns, EdgeColumns]],
+    payloads: Sequence[ColumnsHandle | tuple[int, NodeColumns, EdgeColumns]],
     attempts: Sequence[int],
+    reserved: str | None = None,
     in_worker: bool = True,
-) -> list[ShardResult]:
-    """Worker: discover a chunk of pre-columnized shards."""
-    _, config = _PARENT_STATE
+) -> list[ShardResult] | SlabRef:
+    """Worker: discover a chunk of pre-columnized shards.
+
+    Under a zero-copy transport the payloads are :class:`ColumnsHandle`
+    offsets into one shared slab; the worker attaches the slab once per
+    chunk, reads the arrays as zero-copy views and detaches when done.
+    """
+    state = _PARENT_STATE
+    if state is None:
+        raise RuntimeError("worker has no inherited parent state")
+    config = state.config
     injector = _worker_injector(config)
     engine = IncrementalDiscovery(config, name="shard")
     results: list[ShardResult] = []
-    for (index, ncols, ecols), attempt in zip(payloads, attempts):
-        if injector is not None:
-            injector.fire("shard", index, attempt, in_worker=in_worker)
-        results.append(_discover_one(engine, index, ncols, ecols))
-    return results
+    slabs: dict[str, Slab] = {}
+    try:
+        for payload, attempt in zip(payloads, attempts):
+            index = _payload_index(payload)
+            if injector is not None:
+                injector.fire("shard", index, attempt, in_worker=in_worker)
+            if isinstance(payload, ColumnsHandle):
+                slab = slabs.get(payload.slab.name)
+                if slab is None:
+                    slab = attach_slab(
+                        payload.slab, injector, index, attempt,
+                        in_worker=in_worker,
+                    )
+                    slabs[payload.slab.name] = slab
+                ncols, ecols = _columns_from_handle(payload, slab)
+            else:
+                _, ncols, ecols = payload
+            _check_memory(config, in_worker, "attach", index)
+            results.append(_discover_one(engine, index, ncols, ecols))
+            _check_memory(config, in_worker, "discovery", index)
+        return _ship_results(results, reserved)
+    finally:
+        # The last iteration's column views still alias the slab buffer;
+        # drop them so close() can release the mapping cleanly.
+        ncols = ecols = None  # type: ignore[assignment]
+        for name in sorted(slabs):
+            slabs[name].close()
 
 
 def _discover_one(
@@ -268,9 +547,20 @@ def _discover_one(
     return ShardResult(index, schema, report, params)
 
 
+def _bucket_edges_task(start: int, stop: int) -> list[numpy.ndarray]:
+    """Worker: bucket one slice of the edge sequence by source shard."""
+    state = _PARTITION_STATE
+    if state is None:
+        raise RuntimeError("worker has no inherited partition state")
+    store, sorted_ids, shard_of_sorted, num_shards = state
+    return store.bucket_edge_range(
+        start, stop, sorted_ids, shard_of_sorted, num_shards
+    )
+
+
 def _payload_index(payload: Payload) -> int:
-    """Global shard index of a task payload (plan or columns tuple)."""
-    if isinstance(payload, ShardPlan):
+    """Global shard index of a task payload."""
+    if isinstance(payload, (ShardPlan, StreamShardPlan, ColumnsHandle)):
         return payload.index
     return payload[0]
 
@@ -297,13 +587,15 @@ class _ShardJournal:
     """Journals completed shards under ``<checkpoint_dir>/shards/``.
 
     Each entry is one atomic JSON document (shard schema with members,
-    partial post-processing stats, batch report, parameters) plus the
-    run context ``{source, num_batches, seed}``.  A resumed run loads
-    every entry whose context matches, skips those shards in the pool,
-    and merges journaled and fresh results identically -- shard purity
-    guarantees a journaled shard equals its recomputation byte for byte.
-    Entries that cannot be used (corrupt files, foreign versions, a
-    different run context) are recomputed and reported, never fatal.
+    partial post-processing stats, absorption entries, batch report,
+    parameters) plus the run context ``{source, num_batches, seed}``
+    (``memoize`` is part of the context when enabled, so memoized and
+    plain journals never cross-match).  A resumed run loads every entry
+    whose context matches, skips those shards in the pool, and merges
+    journaled and fresh results identically -- shard purity guarantees a
+    journaled shard equals its recomputation byte for byte.  Entries
+    that cannot be used (corrupt files, foreign versions, a different
+    run context) are recomputed and reported, never fatal.
     """
 
     def __init__(self, directory: str, context: dict[str, object]) -> None:
@@ -323,6 +615,9 @@ class _ShardJournal:
             "stats": schema_stats_to_dict(shard.schema),
             "report": shard.report.to_dict(),
             "parameters": dict(shard.parameters),
+            "absorption": [
+                entry.to_dict() for entry in shard.absorption
+            ],
         }
         save_shard_journal_entry(self.directory, shard.index, document)
 
@@ -344,13 +639,25 @@ class _ShardJournal:
                     f"shard-{index:05d}.json: malformed schema"
                 )
                 continue
+            try:
+                absorption = [
+                    AbsorptionEntry.from_dict(record)
+                    for record in document.get("absorption", [])
+                ]
+            except Exception:
+                self.skipped.append(
+                    f"shard-{index:05d}.json: malformed absorption"
+                )
+                continue
             schema_stats_from_dict(schema, document.get("stats"))
             report = BatchReport.from_dict(document.get("report", {}))
             parameters = {
                 str(key): str(value)
                 for key, value in document.get("parameters", {}).items()
             }
-            results[index] = ShardResult(index, schema, report, parameters)
+            results[index] = ShardResult(
+                index, schema, report, parameters, absorption
+            )
         return results
 
 
@@ -361,70 +668,184 @@ class ParallelDiscovery:
     """Multi-process batch discovery with retry, respawn, and fallback.
 
     Drives ``config.jobs`` worker processes over the shards of a store
-    (plan mode) or an already-batched stream (columns mode), then
-    combines the per-shard schemas with :func:`combine_shard_results`.
-    In plan mode the workers also fold the post-processing statistics
-    (datatype joins, value-profile partials, per-node degree maps) into
+    (plan mode), a seeded stream (stream mode) or an already-batched
+    iterable (columns mode), then combines the per-shard schemas with
+    :func:`combine_shard_results`.  In plan and stream mode the workers
+    also fold the post-processing statistics (datatype joins,
+    value-profile partials, per-node degree maps) into
     :class:`~repro.core.postprocess.TypeStats` riding on the shard
     types; :class:`repro.core.pipeline.PGHive` consumes the merged stats
     with :func:`~repro.core.postprocess.apply_partial_stats` -- or falls
     back to the serial store-backed passes (columns mode, sampling
-    mode).  See the module docstring for the failure model.
+    mode).  See the module docstring for the failure model, the shard
+    transport, and the two-phase memoization protocol.
     """
 
     def __init__(self, config: PGHiveConfig | None = None) -> None:
         self.config = config or PGHiveConfig()
+
+    def _journal_context(
+        self, source_name: str, num_batches: int, seed_value: int
+    ) -> dict[str, object]:
+        context: dict[str, object] = {
+            "source": source_name,
+            "num_batches": num_batches,
+            "seed": seed_value,
+        }
+        if self.config.memoize_patterns:
+            # Memoized and plain runs journal different shard schemas;
+            # the asymmetric key keeps their journals from cross-matching.
+            context["memoize"] = True
+        return context
+
+    def _prepare_journal(
+        self, context: dict[str, object], resume: bool
+    ) -> tuple["_ShardJournal | None", dict[int, ShardResult]]:
+        if not self.config.checkpoint_dir:
+            return None, {}
+        journal = _ShardJournal(self.config.checkpoint_dir, context)
+        if resume:
+            return journal, journal.load()
+        journal.reset()
+        return journal, {}
+
+    def _make_registry(self, transport: str) -> SegmentRegistry | None:
+        if transport == "pickle":
+            return None
+        return SegmentRegistry(
+            transport,
+            self.config.checkpoint_dir,
+            _worker_injector(self.config),
+        )
 
     def discover_store(
         self, store: GraphStore, num_batches: int, resume: bool = False
     ) -> DiscoveryResult:
         """Shard ``store`` into ``num_batches`` and discover in parallel.
 
+        The shard partition itself is computed with the pool: the parent
+        runs the node half (one seeded shuffle plus an argsort), workers
+        bucket slices of the edge sequence by source shard, and the
+        parent concatenates the per-shard buckets -- byte-identical to
+        the single-pass assignment, enforced by
+        ``tests/test_graph_store.py``.
+
         When ``config.checkpoint_dir`` is set, every completed shard is
         journaled atomically under ``<checkpoint_dir>/shards/``; with
         ``resume=True``, shards already journaled by a crashed run with
-        the same context (source, batch count, seed) are loaded instead
-        of recomputed, and the merged schema is byte-identical to an
-        uninterrupted run.  A non-resume run clears the journal first.
+        the same context (source, batch count, seed, memoization) are
+        loaded instead of recomputed, and the merged schema is
+        byte-identical to an uninterrupted run.  A non-resume run clears
+        the journal first.
         """
         started = time.perf_counter()
-        journal: _ShardJournal | None = None
-        preloaded: dict[int, ShardResult] = {}
-        if self.config.checkpoint_dir:
-            journal = _ShardJournal(
-                self.config.checkpoint_dir,
-                {
-                    "source": store.graph.name,
-                    "num_batches": num_batches,
-                    "seed": self.config.seed,
-                },
-            )
-            if resume:
-                preloaded = journal.load()
-            else:
-                journal.reset()
-        plans = store.plan_shards(num_batches, seed=self.config.seed)
-        todo = [plan for plan in plans if plan.index not in preloaded]
-        chunk = self.config.chunk_size(num_batches)
-        chunks = [todo[i : i + chunk] for i in range(0, len(todo), chunk)]
-        shard_results, failures = self._run_pool(
-            _discover_plan_chunk, chunks, store, journal=journal
+        config = self.config
+        transport = resolve_transport(config.shard_transport)
+        journal, preloaded = self._prepare_journal(
+            self._journal_context(
+                store.graph.name, num_batches, config.seed
+            ),
+            resume,
         )
+        partition_started = time.perf_counter()
+        nodes_by_shard, sorted_ids, shard_of_sorted = store.partition_tables(
+            num_batches, seed=config.seed
+        )
+        edges_by_shard, partition_mode = self._partition_edges(
+            store, sorted_ids, shard_of_sorted, num_batches
+        )
+        store.install_partition(
+            num_batches, config.seed, True, nodes_by_shard, edges_by_shard
+        )
+        partition_seconds = time.perf_counter() - partition_started
+        plans = store.plan_shards(num_batches, seed=config.seed)
+        todo = [plan for plan in plans if plan.index not in preloaded]
+        registry = self._make_registry(transport)
+        try:
+            state = _ParentState(
+                store,
+                config,
+                None,
+                transport,
+                registry.directory if registry is not None else None,
+            )
+            shard_results, failures = self._run_phases(
+                plans, todo, preloaded, state, journal, registry
+            )
+        finally:
+            if registry is not None:
+                registry.close()
         all_results = [preloaded[index] for index in sorted(preloaded)]
         all_results += shard_results
+        extra = {
+            "parallel/transport": (
+                f"requested={config.shard_transport} used={transport}"
+            ),
+            "parallel/partition": (
+                f"mode={partition_mode} seconds={partition_seconds:.6f}"
+            ),
+        }
         result = self._combine(
-            store.graph.name, all_results, failures, started
+            store.graph.name, all_results, failures, started, extra
         )
-        if preloaded:
-            result.resumed_shards = sorted(preloaded)
-            result.parameters["parallel/journal"] = (
-                f"dir={self.config.checkpoint_dir} "
-                f"resumed_shards={sorted(preloaded)}"
+        self._note_resume(result, journal, preloaded)
+        return result
+
+    def discover_stream(
+        self, stream: GraphStream, resume: bool = False
+    ) -> DiscoveryResult:
+        """Discover a seeded stream with per-worker replay.
+
+        The parent never consumes the live stream: workers receive
+        :class:`~repro.datasets.stream.StreamShardPlan` scalars and
+        replay a pristine fork-inherited replica up to their batch, so
+        *generation* and columnization both run on the pool and nothing
+        batch-sized crosses the pipe on the way out.  Because replay is
+        seeded, every shard is byte-identical to the batch the live
+        stream would have emitted, and the usual purity/recovery
+        arguments apply unchanged -- including journal resume: with
+        ``config.checkpoint_dir`` and ``resume=True``, journaled stream
+        shards are reloaded and only the missing ones are replayed.
+        """
+        started = time.perf_counter()
+        config = self.config
+        transport = resolve_transport(config.shard_transport)
+        journal, preloaded = self._prepare_journal(
+            self._journal_context(
+                stream.graph.name, stream.num_batches, stream.seed
+            ),
+            resume,
+        )
+        plans = stream.plan_shards()
+        todo = [plan for plan in plans if plan.index not in preloaded]
+        chunk = config.chunk_size(stream.num_batches)
+        chunks = [todo[i : i + chunk] for i in range(0, len(todo), chunk)]
+        registry = self._make_registry(transport)
+        try:
+            state = _ParentState(
+                stream,
+                config,
+                None,
+                transport,
+                registry.directory if registry is not None else None,
             )
-        if journal is not None and journal.skipped:
-            result.parameters["parallel/journal_skipped"] = (
-                " ".join(journal.skipped)
+            shard_results, failures = self._run_pool(
+                _discover_plan_chunk, chunks, state, journal, registry
             )
+        finally:
+            if registry is not None:
+                registry.close()
+        all_results = [preloaded[index] for index in sorted(preloaded)]
+        all_results += shard_results
+        extra = {
+            "parallel/transport": (
+                f"requested={config.shard_transport} used={transport}"
+            ),
+        }
+        result = self._combine(
+            stream.graph.name, all_results, failures, started, extra
+        )
+        self._note_resume(result, journal, preloaded)
         return result
 
     def discover_batches(
@@ -433,46 +854,241 @@ class ParallelDiscovery:
         name: str = "stream",
         total: int | None = None,
     ) -> DiscoveryResult:
-        """Discover pre-batched data (e.g. a :class:`GraphStream`).
+        """Discover pre-batched data from an arbitrary iterable.
 
-        The parent consumes the iterable -- stateful streams must be
-        generated in order -- columnizing each batch once and shipping
-        the compact arrays to the pool.  Because the parent keeps every
-        columnized payload for the duration of the run, lost or timed-out
-        shards can be re-shipped without re-reading the stream.
+        The parent consumes the iterable -- stateful sources must be
+        generated in order -- columnizing each batch once.  Under a
+        zero-copy transport the column arrays are packed into one shared
+        slab and workers receive only :class:`ColumnsHandle` offsets;
+        under ``pickle`` the arrays ship through the pipe as before.
+        Because the parent keeps every payload for the duration of the
+        run, lost or timed-out shards can be re-shipped without
+        re-reading the source.
         """
         started = time.perf_counter()
-        payloads: list[tuple[int, NodeColumns, EdgeColumns]] = []
+        config = self.config
+        transport = resolve_transport(config.shard_transport)
+        columnized: list[tuple[int, NodeColumns, EdgeColumns]] = []
         for index, batch in enumerate(batches):
-            payloads.append(
+            columnized.append(
                 (
                     index,
                     node_columns(batch.nodes),
                     edge_columns(batch.edges, batch.endpoint_labels),
                 )
             )
-        chunk = self.config.chunk_size(
-            total if total is not None else len(payloads)
+        chunk = config.chunk_size(
+            total if total is not None else len(columnized)
         )
-        chunks = [
-            payloads[i : i + chunk]
-            for i in range(0, len(payloads), chunk)
+        registry = self._make_registry(transport)
+        try:
+            payloads: list[Payload]
+            if registry is not None and columnized:
+                payloads = self._handles_for_columns(columnized, registry)
+            else:
+                payloads = list(columnized)
+            chunks = [
+                payloads[i : i + chunk]
+                for i in range(0, len(payloads), chunk)
+            ]
+            state = _ParentState(
+                None,
+                config,
+                None,
+                transport,
+                registry.directory if registry is not None else None,
+            )
+            shard_results, failures = self._run_pool(
+                _discover_columns_chunk, chunks, state, registry=registry
+            )
+        finally:
+            if registry is not None:
+                registry.close()
+        extra = {
+            "parallel/transport": (
+                f"requested={config.shard_transport} used={transport}"
+            ),
+        }
+        return self._combine(name, shard_results, failures, started, extra)
+
+    @staticmethod
+    def _handles_for_columns(
+        columnized: Sequence[tuple[int, NodeColumns, EdgeColumns]],
+        registry: SegmentRegistry,
+    ) -> list[Payload]:
+        """Pack every batch's arrays into one slab of handles."""
+        arrays: list[numpy.ndarray] = []
+        for _index, ncols, ecols in columnized:
+            arrays.extend(
+                (
+                    ncols.ids, ncols.label_ids, ncols.keyset_ids,
+                    ecols.ids, ecols.source, ecols.target, ecols.label_ids,
+                    ecols.src_label_ids, ecols.tgt_label_ids,
+                    ecols.keyset_ids,
+                )
+            )
+        slab, refs = registry.publish_arrays(arrays)
+        payloads: list[Payload] = []
+        for position, (index, ncols, ecols) in enumerate(columnized):
+            r = refs[position * 10 : (position + 1) * 10]
+            payloads.append(
+                ColumnsHandle(
+                    index, slab,
+                    r[0], r[1], r[2], r[3], r[4], r[5], r[6], r[7], r[8],
+                    r[9],
+                    node_label_sets=tuple(ncols.labels.sets),
+                    node_key_orders=tuple(ncols.keys.orders),
+                    edge_label_sets=tuple(ecols.labels.sets),
+                    edge_key_orders=tuple(ecols.keys.orders),
+                )
+            )
+        return payloads
+
+    @staticmethod
+    def _note_resume(
+        result: DiscoveryResult,
+        journal: "_ShardJournal | None",
+        preloaded: dict[int, ShardResult],
+    ) -> None:
+        if preloaded and journal is not None:
+            result.resumed_shards = sorted(preloaded)
+            result.parameters["parallel/journal"] = (
+                f"dir={journal.directory} "
+                f"resumed_shards={sorted(preloaded)}"
+            )
+        if journal is not None and journal.skipped:
+            result.parameters["parallel/journal_skipped"] = (
+                " ".join(journal.skipped)
+            )
+
+    # ------------------------------------------------------------------
+    # Parallel partitioning
+    # ------------------------------------------------------------------
+    def _partition_edges(
+        self,
+        store: GraphStore,
+        sorted_ids: numpy.ndarray,
+        shard_of_sorted: numpy.ndarray,
+        num_shards: int,
+    ) -> tuple[list[numpy.ndarray], str]:
+        """Bucket all edges by source shard, on the pool when worthwhile.
+
+        Splits the edge sequence into about two slices per worker, has a
+        short-lived pool bucket each slice
+        (:func:`_bucket_edges_task`), and concatenates every slice's
+        bucket ``s`` in slice order -- byte-identical to the serial pass
+        because the per-slice stable sort preserves in-slice edge order.
+        Small graphs (or ``jobs=1``) keep the serial numpy pass; any
+        pool failure falls back to it too, since partitioning must never
+        be less reliable than the dict pass it replaced.
+        """
+        global _PARTITION_STATE
+        num_edges = store.count_edges()
+        jobs = self.config.jobs
+        if jobs <= 1 or num_edges < _PARALLEL_PARTITION_MIN_EDGES:
+            return (
+                store.bucket_edge_range(
+                    0, num_edges, sorted_ids, shard_of_sorted, num_shards
+                ),
+                "serial",
+            )
+        slices: list[tuple[int, int]] = []
+        step = max(1, -(-num_edges // (jobs * 2)))
+        for start in range(0, num_edges, step):
+            slices.append((start, min(start + step, num_edges)))
+        workers = min(jobs, len(slices))
+        _PARTITION_STATE = (store, sorted_ids, shard_of_sorted, num_shards)
+        try:
+            context = multiprocessing.get_context("fork")
+            with ProcessPoolExecutor(
+                max_workers=workers, mp_context=context
+            ) as pool:
+                futures = [
+                    pool.submit(_bucket_edges_task, start, stop)
+                    for start, stop in slices
+                ]
+                chunk_buckets = [future.result() for future in futures]
+        except Exception:
+            return (
+                store.bucket_edge_range(
+                    0, num_edges, sorted_ids, shard_of_sorted, num_shards
+                ),
+                "serial-fallback",
+            )
+        finally:
+            _PARTITION_STATE = None
+        merged = [
+            numpy.concatenate(
+                [buckets[shard] for buckets in chunk_buckets]
+            )
+            for shard in range(num_shards)
         ]
-        shard_results, failures = self._run_pool(
-            _discover_columns_chunk, chunks, store=None
+        return merged, f"parallel workers={workers} slices={len(slices)}"
+
+    # ------------------------------------------------------------------
+    # Two-phase memoization
+    # ------------------------------------------------------------------
+    def _run_phases(
+        self,
+        plans: Sequence[ShardPlan],
+        todo: list[ShardPlan],
+        preloaded: dict[int, ShardResult],
+        state: _ParentState,
+        journal: "_ShardJournal | None",
+        registry: SegmentRegistry | None,
+    ) -> tuple[list[ShardResult], list[ShardFailure]]:
+        """Run the pool, optionally with the two-phase absorption snapshot.
+
+        Without memoization this is a single pool pass.  With it, the
+        lowest shard runs alone first (or comes from the resume
+        journal); its schema freezes into the
+        :class:`~repro.core.absorption.MemoSnapshot` every other worker
+        absorbs against.  If the seed shard fails beyond recovery the
+        remaining shards simply run unmemoized -- the result is still
+        deterministic and complete.
+        """
+        config = self.config
+        chunk = config.chunk_size(len(plans))
+        if not config.memoize_patterns:
+            chunks = [todo[i : i + chunk] for i in range(0, len(todo), chunk)]
+            return self._run_pool(
+                _discover_plan_chunk, chunks, state, journal, registry
+            )
+        seed_index = min(plan.index for plan in plans)
+        results: list[ShardResult] = []
+        failures: list[ShardFailure] = []
+        snapshot: MemoSnapshot | None = None
+        if seed_index in preloaded:
+            snapshot = snapshot_from_schema(preloaded[seed_index].schema)
+        else:
+            seed_plan = next(
+                plan for plan in todo if plan.index == seed_index
+            )
+            seed_results, seed_failures = self._run_pool(
+                _discover_plan_chunk, [[seed_plan]], state, journal, registry
+            )
+            results += seed_results
+            failures += seed_failures
+            if seed_results:
+                snapshot = snapshot_from_schema(seed_results[0].schema)
+        rest = [plan for plan in todo if plan.index != seed_index]
+        chunks = [rest[i : i + chunk] for i in range(0, len(rest), chunk)]
+        state.snapshot = snapshot
+        rest_results, rest_failures = self._run_pool(
+            _discover_plan_chunk, chunks, state, journal, registry
         )
-        return self._combine(name, shard_results, failures, started)
+        return results + rest_results, failures + rest_failures
 
     # ------------------------------------------------------------------
     # Pool loop with recovery
     # ------------------------------------------------------------------
     def _run_pool(
         self,
-        worker: Callable[..., list[ShardResult]],
-        chunks: Sequence[list[ShardPlan]]
-        | Sequence[list[tuple[int, NodeColumns, EdgeColumns]]],
-        store: GraphStore | None,
-        journal: _ShardJournal | None = None,
+        worker: Callable[..., "list[ShardResult] | SlabRef"],
+        chunks: Sequence[list[Payload]],
+        state: _ParentState,
+        journal: "_ShardJournal | None" = None,
+        registry: SegmentRegistry | None = None,
     ) -> tuple[list[ShardResult], list[ShardFailure]]:
         """Run the pool to completion, recovering from task failures.
 
@@ -482,23 +1098,34 @@ class ParallelDiscovery:
         and the faulty one then fails alone and is blamed precisely); a
         failed single shard is retried with backoff until its attempt
         budget runs out, then handed to the in-process fallback.
+
+        With a registry, every submit reserves a result segment name;
+        the name is released on any path that abandons the task (error,
+        dead worker, timeout), so crashed workers -- even ones SIGKILLed
+        mid-publish -- cannot leak segments past the run's final sweep.
         """
         if not chunks:
             return [], []
         global _PARENT_STATE
         context = multiprocessing.get_context("fork")
-        _PARENT_STATE = (store, self.config)
+        _PARENT_STATE = state
         config = self.config
         workers = max(1, min(config.jobs, len(chunks)))
         timeout = config.shard_timeout
         results: dict[int, ShardResult] = {}
         failures: list[ShardFailure] = []
-        fallback: list[tuple[object, int]] = []
-        pending: deque[tuple[list, list[int]]] = deque(
+        fallback: list[tuple[Payload, int]] = []
+        pending: deque[tuple[list[Payload], list[int]]] = deque(
             (list(chunk), [0] * len(chunk)) for chunk in chunks
         )
         pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
-        running: dict[object, tuple[list, list[int], float]] = {}
+        running: dict[
+            object, tuple[list[Payload], list[int], float, str | None]
+        ] = {}
+
+        def release(reserved: str | None) -> None:
+            if registry is not None and reserved is not None:
+                registry.release(reserved)
 
         def collect(shards: list[ShardResult], attempts: list[int]) -> None:
             for shard, attempt in zip(shards, attempts):
@@ -532,12 +1159,18 @@ class ParallelDiscovery:
             while pending or running:
                 while pending and len(running) < workers:
                     payloads, attempts = pending.popleft()
+                    reserved = (
+                        registry.reserve() if registry is not None else None
+                    )
                     try:
-                        future = pool.submit(worker, payloads, attempts)
+                        future = pool.submit(
+                            worker, payloads, attempts, reserved
+                        )
                     except BrokenProcessPool:
                         # The pool broke between iterations.  Put the
                         # task back; drain the dead futures through the
                         # wait() below, or respawn at once if none.
+                        release(reserved)
                         pending.appendleft((payloads, attempts))
                         if running:
                             break
@@ -546,7 +1179,9 @@ class ParallelDiscovery:
                             max_workers=workers, mp_context=context
                         )
                         continue
-                    running[future] = (payloads, attempts, time.monotonic())
+                    running[future] = (
+                        payloads, attempts, time.monotonic(), reserved
+                    )
                 done, _ = wait(
                     set(running),
                     timeout=0.05 if timeout else None,
@@ -554,14 +1189,32 @@ class ParallelDiscovery:
                 )
                 broken = False
                 for future in done:
-                    payloads, attempts, _started = running.pop(future)
+                    payloads, attempts, _started, reserved = (
+                        running.pop(future)
+                    )
                     try:
-                        collect(future.result(), attempts)
+                        value = future.result()  # type: ignore[attr-defined]
+                        if isinstance(value, SlabRef):
+                            if registry is None:
+                                raise RuntimeError(
+                                    "worker returned a slab ref without a "
+                                    "registry"
+                                )
+                            raw = registry.consume_bytes(
+                                value, index=_payload_index(payloads[0])
+                            )
+                            value = pickle.loads(raw)
+                        collect(value, attempts)
                     except BrokenProcessPool:
+                        release(reserved)
                         broken = True
                         requeue(payloads, attempts, "worker-lost",
                                 "worker process died")
+                    except ShardMemoryError as exc:
+                        release(reserved)
+                        requeue(payloads, attempts, "memory", str(exc))
                     except Exception as exc:
+                        release(reserved)
                         requeue(payloads, attempts, "error",
                                 f"{type(exc).__name__}: {exc}")
                 if broken:
@@ -569,7 +1222,10 @@ class ParallelDiscovery:
                     # their work is lost, so they requeue through the
                     # same blame path (splitting chunks keeps the
                     # eventual blame per-shard precise).
-                    for payloads, attempts, _started in running.values():
+                    for payloads, attempts, _started, reserved in (
+                        running.values()
+                    ):
+                        release(reserved)
                         requeue(payloads, attempts, "worker-lost",
                                 "worker process died")
                     running.clear()
@@ -581,20 +1237,29 @@ class ParallelDiscovery:
                     now = time.monotonic()
                     timed_out = [
                         future
-                        for future, (_p, _a, started) in running.items()
-                        if now - started > timeout
+                        for future, (_p, _a, task_started, _r) in (
+                            running.items()
+                        )
+                        if now - task_started > timeout
                     ]
                     if timed_out:
                         for future in timed_out:
-                            payloads, attempts, _started = running.pop(future)
+                            payloads, attempts, _started, reserved = (
+                                running.pop(future)
+                            )
+                            release(reserved)
                             requeue(
                                 payloads, attempts, "timeout",
                                 f"exceeded shard_timeout={timeout:g}s",
                             )
                         # Innocent in-flight tasks are lost with the
                         # killed pool but not blamed: they requeue whole
-                        # at their current attempts.
-                        for payloads, attempts, _started in running.values():
+                        # at their current attempts (with fresh result
+                        # segments on resubmission).
+                        for payloads, attempts, _started, reserved in (
+                            running.values()
+                        ):
+                            release(reserved)
                             pending.append((payloads, attempts))
                         running.clear()
                         _terminate_pool(pool)
@@ -602,19 +1267,26 @@ class ParallelDiscovery:
                             max_workers=workers, mp_context=context
                         )
             # Last resort: poisoned shards run in the driver process,
-            # where a crashing worker environment cannot take them down.
+            # where a crashing worker environment cannot take them down
+            # (and where the RSS guard is deliberately unarmed).
             for payload, attempt in sorted(
                 fallback, key=lambda item: _payload_index(item[0])
             ):
                 index = _payload_index(payload)
                 try:
-                    shards = worker([payload], [attempt], in_worker=False)
+                    shards = worker(
+                        [payload], [attempt], None, in_worker=False
+                    )
                 except Exception as exc:
                     failures.append(ShardFailure(
                         index, attempt, "fallback-failed",
                         f"{type(exc).__name__}: {exc}",
                     ))
                     continue
+                if isinstance(shards, SlabRef):  # pragma: no cover
+                    raise RuntimeError(
+                        "in-process fallback must not publish segments"
+                    )
                 for shard in shards:
                     shard.report.attempts = attempt + 1
                     results[shard.index] = shard
@@ -645,11 +1317,22 @@ class ParallelDiscovery:
         shard_results: list[ShardResult],
         failures: list[ShardFailure],
         started: float,
+        extra_parameters: dict[str, str] | None = None,
     ) -> DiscoveryResult:
         merge_started = time.perf_counter()
         schema = combine_shard_results(name, shard_results, self.config)
-        merge_seconds = time.perf_counter() - merge_started
         ordered = sorted(shard_results, key=lambda r: r.index)
+        absorbed = 0
+        if any(shard.absorption for shard in ordered):
+            # Replay the memoized absorptions into the merged schema
+            # before partial post-processing stats are consumed, so
+            # constraints and cardinalities see the absorbed members.
+            absorbed = replay_absorption(
+                schema,
+                [shard.absorption for shard in ordered],
+                self.config.endpoint_jaccard_threshold,
+            )
+        merge_seconds = time.perf_counter() - merge_started
         parameters: dict[str, str] = {}
         for shard in ordered:
             parameters.update(shard.parameters)
@@ -659,6 +1342,8 @@ class ParallelDiscovery:
             f"shards={len(ordered)}"
         )
         parameters["parallel/merge_seconds"] = f"{merge_seconds:.6f}"
+        if absorbed:
+            parameters["parallel/absorbed"] = f"elements={absorbed}"
         if failures:
             recovered = sorted({
                 f.index for f in failures if f.recovered_by is not None
@@ -670,6 +1355,8 @@ class ParallelDiscovery:
                 f"failure_events={len(failures)} "
                 f"recovered_shards={recovered} degraded_shards={dropped}"
             )
+        if extra_parameters:
+            parameters.update(extra_parameters)
         result = DiscoveryResult(
             schema=schema,
             batches=[r.report for r in ordered],

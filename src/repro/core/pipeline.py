@@ -34,6 +34,7 @@ from repro.core.postprocess import (
     infer_property_constraints,
 )
 from repro.core.result import DiscoveryResult
+from repro.datasets.stream import GraphStream
 from repro.graph.store import GraphStore
 from repro.schema.model import SchemaGraph
 
@@ -50,16 +51,21 @@ class PGHive:
 
     def discover_incremental(
         self,
-        store: GraphStore,
+        store: GraphStore | GraphStream,
         num_batches: int,
         post_process_each_batch: bool = False,
         resume: bool = False,
     ) -> DiscoveryResult:
-        """Run discovery over ``num_batches`` random batches of the store.
+        """Run discovery over ``num_batches`` batches of the source.
 
         Args:
-            store: The graph store to discover.
+            store: The graph store to discover, or a seeded
+                :class:`~repro.datasets.stream.GraphStream` whose
+                batches are discovered as they are generated (with
+                ``jobs > 1`` the workers *replay* the seeded generation
+                themselves, so the live stream is never consumed).
             num_batches: How many batches to stream (1 = static run).
+                For a stream this must equal ``stream.num_batches``.
             post_process_each_batch: Run the post-processing passes after
                 every batch instead of only at the end (Algorithm 1's
                 ``postProcessing`` flag).  The final schema is identical;
@@ -74,6 +80,10 @@ class PGHive:
                 resuming against a different plan raises
                 :class:`~repro.schema.persist.SchemaPersistError`.
         """
+        if isinstance(store, GraphStream):
+            return self._discover_stream(
+                store, num_batches, post_process_each_batch, resume
+            )
         started = time.perf_counter()
         fallback_reason = self._parallel_fallback_reason(
             num_batches, post_process_each_batch
@@ -157,8 +167,127 @@ class PGHive:
         result.refresh_assignments()
         return result
 
+    def _discover_stream(
+        self,
+        stream: GraphStream,
+        num_batches: int,
+        post_process_each_batch: bool,
+        resume: bool,
+    ) -> DiscoveryResult:
+        """Discover a seeded stream, batch by batch or on the pool.
+
+        The stream's batching is fixed at construction, so
+        ``num_batches`` must equal ``stream.num_batches``.  With
+        ``jobs > 1`` the parallel driver ships only
+        :class:`~repro.datasets.stream.StreamShardPlan` scalars and the
+        workers replay the seeded generation themselves; the live
+        stream stays pristine and is drained afterwards only if a
+        store-backed post-processing pass needs the accumulated graph.
+        """
+        if num_batches != stream.num_batches:
+            raise ValueError(
+                f"a stream is pre-batched: num_batches must equal "
+                f"stream.num_batches ({stream.num_batches}), "
+                f"got {num_batches}"
+            )
+        started = time.perf_counter()
+        config = self.config
+        fallback_reason = self._parallel_fallback_reason(
+            num_batches, post_process_each_batch, streaming=True
+        )
+        if config.jobs > 1 and fallback_reason is None:
+            from repro.core.parallel import ParallelDiscovery
+
+            result = ParallelDiscovery(config).discover_stream(
+                stream, resume=resume
+            )
+            backing: GraphStore | None = None
+            if config.post_processing:
+                if not apply_partial_stats(result.schema, config):
+                    clear_partial_stats(result.schema)
+                    backing = self._stream_store(stream)
+                    self._post_process(result.schema, backing)
+                elif config.exact_cardinality_bounds:
+                    backing = self._stream_store(stream)
+                    self._apply_exact_bounds(result.schema, backing)
+            else:
+                clear_partial_stats(result.schema)
+            result.total_seconds = time.perf_counter() - started
+            result.refresh_assignments()
+            return result
+        injector = FaultInjector.from_spec(config.faults)
+        checkpoint_dir = config.checkpoint_dir
+        context = {
+            "source": stream.graph.name,
+            "num_batches": num_batches,
+            "seed": stream.seed,
+        }
+        engine: IncrementalDiscovery | None = None
+        if (
+            checkpoint_dir
+            and resume
+            and IncrementalDiscovery.has_checkpoint(checkpoint_dir)
+        ):
+            engine = IncrementalDiscovery.from_checkpoint(
+                checkpoint_dir, config, expected_context=context
+            )
+        if engine is None:
+            engine = IncrementalDiscovery(config, name=stream.graph.name)
+        resumed_from = engine._batch_counter
+        discovery_seconds = sum(r.seconds for r in engine.reports)
+        for batch in stream.batches():
+            # Skip *after* generating: the generator's side effects keep
+            # the stream RNG and population on track for later batches.
+            if batch.index < resumed_from:
+                continue
+            if injector is not None:
+                injector.fire("batch", batch.index)
+            report = engine.process_batch(
+                batch.nodes, batch.edges, batch.endpoint_labels
+            )
+            discovery_seconds += report.seconds
+            if post_process_each_batch and config.post_processing:
+                self._post_process(engine.schema, GraphStore(stream.graph))
+            if checkpoint_dir and (
+                (batch.index + 1) % config.checkpoint_every == 0
+                or batch.index + 1 == num_batches
+            ):
+                engine.save_checkpoint(checkpoint_dir, context=context)
+        if config.post_processing and not post_process_each_batch:
+            self._post_process(engine.schema, GraphStore(stream.graph))
+        result = DiscoveryResult(
+            schema=engine.schema,
+            batches=engine.reports,
+            parameters=dict(engine.parameters),
+            discovery_seconds=discovery_seconds,
+            total_seconds=time.perf_counter() - started,
+            resumed_from=resumed_from,
+            parallel_fallback=fallback_reason,
+        )
+        result.refresh_assignments()
+        return result
+
+    @staticmethod
+    def _stream_store(stream: GraphStream) -> GraphStore:
+        """Store over a stream's accumulated graph, draining it if needed.
+
+        Only valid on a stream whose live generator has not been
+        partially consumed: either pristine (the parallel path never
+        touches it -- workers replay seeded replicas) or fully drained.
+        Draining a pristine stream here advances its RNG exactly as a
+        sequential pass would, so the accumulated graph matches what the
+        workers replayed.
+        """
+        if not stream.graph.num_nodes:
+            for _ in stream.batches():
+                pass
+        return GraphStore(stream.graph)
+
     def _parallel_fallback_reason(
-        self, num_batches: int, post_process_each_batch: bool
+        self,
+        num_batches: int,
+        post_process_each_batch: bool,
+        streaming: bool = False,
     ) -> str | None:
         """Why a ``jobs > 1`` request cannot use the multi-process driver.
 
@@ -166,13 +295,16 @@ class PGHive:
         parallelism was never requested: ``jobs=1`` always takes the
         sequential path, whose output the parallel path matches byte for
         byte on labeled data).  Parallel sharding requires independent
-        batch schemas, so the memoization fast path (which couples each
-        batch to the running schema) and per-batch post-processing force
-        the sequential engine, as does the reference-kernel mode (the
-        worker payload is columnized).  Checkpointed parallel runs
-        journal completed shards under ``checkpoint_dir/shards/`` and
-        resume mid-pool, so ``checkpoint_dir`` no longer forces the
-        sequential engine.
+        batch schemas, so per-batch post-processing forces the
+        sequential engine, as does the reference-kernel mode (the worker
+        payload is columnized).  Pattern memoization no longer forces it
+        for stores: the pool decouples it through the two-phase snapshot
+        protocol of :mod:`repro.core.absorption` (stream batches still
+        couple to the running schema, so memoized streams stay
+        sequential).  Checkpointed parallel runs journal completed
+        shards under ``checkpoint_dir/shards/`` and resume mid-pool, so
+        ``checkpoint_dir`` no longer forces the sequential engine
+        either.
         """
         from repro.core.parallel import fork_available
 
@@ -182,8 +314,11 @@ class PGHive:
             return "a single batch cannot be sharded"
         if post_process_each_batch:
             return "per-batch post-processing couples batches sequentially"
-        if self.config.memoize_patterns:
-            return "pattern memoization couples batches to the running schema"
+        if streaming and self.config.memoize_patterns:
+            return (
+                "pattern memoization couples stream batches to the "
+                "running schema"
+            )
         if self.config.kernels != "vectorized":
             return "reference kernels only run on the sequential engine"
         if not fork_available():

@@ -21,8 +21,10 @@ class ShardFailure:
         attempt: 0-based execution attempt that failed.
         kind: ``"error"`` (the task raised), ``"worker-lost"`` (its
             process died / the pool broke), ``"timeout"`` (the task
-            exceeded ``PGHiveConfig.shard_timeout``) or
-            ``"fallback-failed"`` (the final in-process execution raised).
+            exceeded ``PGHiveConfig.shard_timeout``), ``"memory"`` (the
+            worker's RSS crossed ``PGHiveConfig.shard_memory_limit_mb``
+            between pipeline stages) or ``"fallback-failed"`` (the final
+            in-process execution raised).
         error: Human-readable cause.
         recovered_by: ``"retry"`` when a later pool attempt succeeded,
             ``"fallback"`` when the in-process re-execution did, ``None``

@@ -98,7 +98,7 @@ def profile_values(
     )
     enum_values: tuple[bool | int | float | str | None, ...] = ()
     if is_enum:
-        enum_values = tuple(sorted(distinct, key=repr))
+        enum_values = _thaw_sorted(distinct)
     minimum = maximum = None
     if datatype in _NUMERIC:
         numeric = [v for v in values if isinstance(v, (int, float))
@@ -152,7 +152,7 @@ class PropertyPartial:
 
     datatype: DataType = DataType.UNKNOWN
     observations: int = 0
-    distinct: set[bool | int | float | str | None] = field(
+    distinct: set[tuple[str, bool | int | float | str | None]] = field(
         default_factory=set
     )
     numeric_min: int | float | None = None
@@ -229,7 +229,7 @@ class PropertyPartial:
         )
         enum_values: tuple[bool | int | float | str | None, ...] = ()
         if is_enum:
-            enum_values = tuple(sorted(self.distinct, key=repr))
+            enum_values = _thaw_sorted(self.distinct)
         minimum: int | float | str | None = None
         maximum: int | float | str | None = None
         if self.datatype in _NUMERIC:
@@ -250,7 +250,13 @@ class PropertyPartial:
         return {
             "datatype": self.datatype.name,
             "observations": self.observations,
-            "distinct": sorted(self.distinct, key=repr),
+            "distinct": [
+                list(item)
+                for item in sorted(
+                    self.distinct,
+                    key=lambda item: (item[0], repr(item[1])),
+                )
+            ],
             "numeric_min": self.numeric_min,
             "numeric_max": self.numeric_max,
             "text_min": self.text_min,
@@ -263,7 +269,10 @@ class PropertyPartial:
         return cls(
             datatype=DataType[str(record.get("datatype", "UNKNOWN"))],
             observations=int(record.get("observations", 0)),
-            distinct=set(record.get("distinct", ())),
+            distinct={
+                (str(tag), value)
+                for tag, value in record.get("distinct", ())
+            },
             numeric_min=record.get("numeric_min"),
             numeric_max=record.get("numeric_max"),
             text_min=record.get("text_min"),
@@ -283,17 +292,37 @@ def _numeric_sort_key(value: int | float) -> tuple[int | float, bool]:
     return (value, isinstance(value, float))
 
 
-def _freeze(value: Any) -> bool | int | float | str | None:
-    """Canonical hashable stand-in for a value.
+def _freeze(value: Any) -> tuple[str, bool | int | float | str | None]:
+    """Canonical hashable stand-in for a value, tagged with its type.
 
-    Primitive scalars are kept as-is; everything else (lists, dicts, but
-    also hashable composites such as tuples) becomes its ``repr``, so
-    serial scans and merged shard partials agree on the frozen form --
-    and on enum ordering, which sorts by ``repr`` -- byte for byte.
+    Cross-type equality (``0 == False``, ``1 == True``, ``1 == 1.0``)
+    would otherwise let a plain set keep whichever representative was
+    inserted first, making the distinct set -- and the enum members built
+    from it -- depend on scan order. Tagging every frozen form with the
+    value's type name keeps such values distinct, so serial scans and
+    merged shard partials agree on the frozen set byte for byte.
+    Non-primitive values (lists, dicts, hashable composites) freeze to
+    their ``repr`` under a dedicated tag.
     """
     if value is None or isinstance(value, (bool, int, float, str)):
-        return value
-    return repr(value)
+        return (type(value).__name__, value)
+    return ("repr", repr(value))
+
+
+def _thaw_sorted(
+    distinct: set[tuple[str, bool | int | float | str | None]],
+) -> tuple[bool | int | float | str | None, ...]:
+    """Deterministic enum ordering over a set of frozen values.
+
+    Sorts by the ``repr`` of the original value (matching the rendered
+    form), with the type tag breaking exact-repr ties.
+    """
+    return tuple(
+        value
+        for _tag, value in sorted(
+            distinct, key=lambda item: (repr(item[1]), item[0])
+        )
+    )
 
 
 def _parse_number(text: str) -> float | None:

@@ -93,6 +93,11 @@ class GraphStream:
         self._next_node_id = 0
         self._next_edge_id = 0
 
+    @property
+    def seed(self) -> int:
+        """The stream's RNG seed (identifies the replayable sequence)."""
+        return self._seed
+
     def __iter__(self) -> Iterator[GraphBatch]:
         return self.batches()
 

@@ -150,6 +150,94 @@ class TestMergeOrderInvariance:
         )
 
 
+class TestTransportInvariance:
+    """The shard transport moves bytes, never schema content."""
+
+    @pytest.mark.parametrize("transport", ["pickle", "shm", "memmap"])
+    def test_byte_identical_to_sequential(
+        self, ldbc_graph, sequential_schema, transport
+    ):
+        config = PGHiveConfig(jobs=2, shard_transport=transport)
+        result = PGHive(config).discover_incremental(
+            GraphStore(ldbc_graph), num_batches=NUM_BATCHES
+        )
+        assert serialize_pg_schema(result.schema) == sequential_schema
+        used = result.parameters["parallel/transport"]
+        assert used.startswith(f"requested={transport}")
+
+    def test_env_transport_matches_sequential(
+        self, ldbc_graph, sequential_schema, test_jobs, test_transport
+    ):
+        """The CI-configured transport (PGHIVE_TEST_TRANSPORT) agrees."""
+        config = PGHiveConfig(jobs=test_jobs, shard_transport=test_transport)
+        result = PGHive(config).discover_incremental(
+            GraphStore(ldbc_graph), num_batches=NUM_BATCHES
+        )
+        assert serialize_pg_schema(result.schema) == sequential_schema
+
+    @pytest.mark.parametrize("transport", ["shm", "memmap"])
+    def test_columns_mode_ships_handles(self, transport):
+        """Zero-copy columns mode equals the pickled-arrays mode."""
+        spec = dataset_spec("ldbc")
+        reference = ParallelDiscovery(
+            PGHiveConfig(post_processing=False, jobs=2,
+                         shard_transport="pickle")
+        ).discover_batches(
+            GraphStream(spec, num_batches=5, seed=3).batches(),
+            name="s", total=5,
+        )
+        result = ParallelDiscovery(
+            PGHiveConfig(post_processing=False, jobs=2,
+                         shard_transport=transport)
+        ).discover_batches(
+            GraphStream(spec, num_batches=5, seed=3).batches(),
+            name="s", total=5,
+        )
+        assert serialize_pg_schema(result.schema) == serialize_pg_schema(
+            reference.schema
+        )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PGHiveConfig(shard_transport="carrier-pigeon")
+        with pytest.raises(ValueError):
+            PGHiveConfig(shard_memory_limit_mb=0)
+
+
+class TestMemoryGuard:
+    def test_over_budget_shards_fail_and_fall_back(self, ldbc_graph):
+        """An absurdly small budget fails every pool attempt with
+        kind="memory"; the unguarded in-process fallback still recovers
+        the run to the exact sequential schema."""
+        sequential = PGHive(PGHiveConfig()).discover_incremental(
+            GraphStore(ldbc_graph), num_batches=2
+        )
+        config = PGHiveConfig(
+            jobs=2,
+            shard_memory_limit_mb=0.5,
+            shard_retries=0,
+            shard_retry_backoff=0.0,
+        )
+        result = PGHive(config).discover_incremental(
+            GraphStore(ldbc_graph), num_batches=2
+        )
+        assert result.shard_failures
+        assert {f.kind for f in result.shard_failures} == {"memory"}
+        assert all(
+            f.recovered_by == "fallback" for f in result.shard_failures
+        )
+        assert serialize_pg_schema(result.schema) == serialize_pg_schema(
+            sequential.schema
+        )
+
+    def test_generous_budget_never_trips(self, ldbc_graph):
+        config = PGHiveConfig(jobs=2, shard_memory_limit_mb=16384.0)
+        result = PGHive(config).discover_incremental(
+            GraphStore(ldbc_graph), num_batches=NUM_BATCHES
+        )
+        assert not result.shard_failures
+
+
 class TestStreamParallel:
     def test_columns_mode_matches_sequential_engine(self):
         spec = dataset_spec("ldbc")
@@ -166,6 +254,126 @@ class TestStreamParallel:
         assert serialize_pg_schema(parallel.schema) == serialize_pg_schema(
             engine.schema
         )
+
+    @pytest.mark.parametrize("transport", ["pickle", "shm", "memmap"])
+    def test_stream_pipeline_matches_sequential(self, transport):
+        """Seeded replay on the pool equals consuming the live stream."""
+        spec = dataset_spec("ldbc")
+        seq = PGHive(PGHiveConfig(jobs=1)).discover_incremental(
+            GraphStream(spec, num_batches=5, seed=3), num_batches=5
+        )
+        par = PGHive(
+            PGHiveConfig(jobs=2, shard_transport=transport)
+        ).discover_incremental(
+            GraphStream(spec, num_batches=5, seed=3), num_batches=5
+        )
+        assert par.parallel_fallback is None
+        assert all(r.worker is not None for r in par.batches)
+        assert serialize_pg_schema(par.schema) == serialize_pg_schema(
+            seq.schema
+        )
+
+    def test_stream_batch_count_is_validated(self):
+        spec = dataset_spec("ldbc")
+        with pytest.raises(ValueError):
+            PGHive(PGHiveConfig(jobs=2)).discover_incremental(
+                GraphStream(spec, num_batches=5, seed=3), num_batches=4
+            )
+
+    def test_memoized_stream_stays_sequential(self):
+        """Stream memoization still couples batches to the running
+        schema, so it keeps the sequential engine."""
+        spec = dataset_spec("ldbc")
+        result = PGHive(
+            PGHiveConfig(jobs=2, memoize_patterns=True)
+        ).discover_incremental(
+            GraphStream(spec, num_batches=3, seed=3), num_batches=3
+        )
+        assert result.parallel_fallback is not None
+        assert all(r.worker is None for r in result.batches)
+
+
+class TestMemoizedPool:
+    """Two-phase absorption: memoized pooled runs are type-equivalent to
+    memoized sequential runs (same types, counts, members, constraints)."""
+
+    @pytest.fixture(scope="class")
+    def memo_sequential(self, ldbc_graph):
+        return PGHive(
+            PGHiveConfig(jobs=1, memoize_patterns=True)
+        ).discover_incremental(
+            GraphStore(ldbc_graph), num_batches=NUM_BATCHES
+        )
+
+    @pytest.fixture(scope="class")
+    def memo_parallel(self, ldbc_graph):
+        return PGHive(
+            PGHiveConfig(jobs=2, memoize_patterns=True)
+        ).discover_incremental(
+            GraphStore(ldbc_graph), num_batches=NUM_BATCHES
+        )
+
+    def test_type_sets_match(self, memo_sequential, memo_parallel):
+        assert set(memo_parallel.schema.node_types) == set(
+            memo_sequential.schema.node_types
+        )
+        assert set(memo_parallel.schema.edge_types) == set(
+            memo_sequential.schema.edge_types
+        )
+
+    def test_counts_and_members_match(self, memo_sequential, memo_parallel):
+        for kind in ("node_types", "edge_types"):
+            for name, seq_type in getattr(
+                memo_sequential.schema, kind
+            ).items():
+                par_type = getattr(memo_parallel.schema, kind)[name]
+                assert par_type.instance_count == seq_type.instance_count
+                assert sorted(par_type.members) == sorted(seq_type.members)
+
+    def test_constraints_and_cardinalities_match(
+        self, memo_sequential, memo_parallel
+    ):
+        for kind in ("node_types", "edge_types"):
+            for name, seq_type in getattr(
+                memo_sequential.schema, kind
+            ).items():
+                par_type = getattr(memo_parallel.schema, kind)[name]
+                seq_props = {
+                    key: (spec.status, spec.datatype)
+                    for key, spec in seq_type.properties.items()
+                }
+                par_props = {
+                    key: (spec.status, spec.datatype)
+                    for key, spec in par_type.properties.items()
+                }
+                assert par_props == seq_props
+        for name, seq_type in memo_sequential.schema.edge_types.items():
+            par_type = memo_parallel.schema.edge_types[name]
+            assert par_type.cardinality == seq_type.cardinality
+
+    def test_absorption_actually_engages(self, memo_parallel):
+        hits = sum(
+            r.memo_node_hits + r.memo_edge_hits
+            for r in memo_parallel.batches
+        )
+        assert hits > 0
+        assert "parallel/absorbed" in memo_parallel.parameters
+
+    def test_hit_rate_comparable_to_sequential(
+        self, memo_sequential, memo_parallel
+    ):
+        """The snapshot freezes after one shard, so the pooled hit count
+        cannot exceed the sequential one -- but it must stay in the same
+        ballpark (the point of shipping absorption summaries at all)."""
+        seq_hits = sum(
+            r.memo_node_hits + r.memo_edge_hits
+            for r in memo_sequential.batches
+        )
+        par_hits = sum(
+            r.memo_node_hits + r.memo_edge_hits
+            for r in memo_parallel.batches
+        )
+        assert 0 < par_hits <= seq_hits
 
 
 def _postprocessed_shards(graph, config, num_batches):
@@ -351,13 +559,13 @@ class TestReportsAndFallbacks:
         assert "parallel/jobs" in result.parameters
         assert "parallel/merge_seconds" in result.parameters
 
-    def test_memoization_forces_sequential(self, ldbc_graph):
-        """The memo fast path couples batches; jobs must not change it."""
+    def test_memoization_rides_the_pool(self, ldbc_graph):
+        """The memo fast path no longer forces the sequential engine."""
         config = PGHiveConfig(jobs=2, memoize_patterns=True)
         result = PGHive(config).discover_incremental(
             GraphStore(ldbc_graph), num_batches=NUM_BATCHES
         )
-        assert all(r.worker is None for r in result.batches)
+        assert all(r.worker is not None for r in result.batches)
 
     def test_jobs1_takes_sequential_path(self, ldbc_graph):
         result = PGHive(PGHiveConfig(jobs=1)).discover_incremental(

@@ -199,6 +199,86 @@ class TestStreamRecovery:
 
 
 @needs_fork
+class TestTransportFaults:
+    """Segment lifecycle under injected transport faults.
+
+    The autouse leak fixture in ``conftest.py`` additionally asserts
+    that none of these crash scenarios orphans a ``/dev/shm`` segment
+    or memmap scratch directory."""
+
+    @pytest.mark.parametrize("transport", ["shm", "memmap"])
+    def test_worker_attach_failure_retries_clean(self, transport):
+        """A worker that dies attaching the columns slab is retried; the
+        slab stays valid for every other task and the retry."""
+        spec = dataset_spec("ldbc")
+        config = PGHiveConfig(post_processing=False)
+        engine = IncrementalDiscovery(config, name="s")
+        for batch in GraphStream(spec, num_batches=4, seed=3).batches():
+            engine.process_batch(
+                batch.nodes, batch.edges, batch.endpoint_labels
+            )
+        result = ParallelDiscovery(PGHiveConfig(
+            post_processing=False, jobs=2, parallel_chunk="1",
+            shard_transport=transport, faults="attach:1:raise",
+            shard_retry_backoff=0.0,
+        )).discover_batches(
+            GraphStream(spec, num_batches=4, seed=3).batches(),
+            name="s", total=4,
+        )
+        assert serialize_pg_schema(result.schema) == serialize_pg_schema(
+            engine.schema
+        )
+        events = [f for f in result.shard_failures if f.index == 1]
+        assert events and all(f.recovered_by == "retry" for f in events)
+
+    @pytest.mark.parametrize("transport", ["shm", "memmap"])
+    def test_driver_unlink_failure_requeues_clean(
+        self, ldbc_graph, sequential_schema, transport
+    ):
+        """A fault while the driver consumes a result segment releases
+        the segment and re-runs the shard with a fresh one."""
+        config = PGHiveConfig(
+            jobs=2, parallel_chunk="1", shard_transport=transport,
+            faults="unlink:0:raise", shard_retry_backoff=0.0,
+        )
+        result = PGHive(config).discover_incremental(
+            GraphStore(ldbc_graph), num_batches=NUM_BATCHES
+        )
+        assert serialize_pg_schema(result.schema) == sequential_schema
+        events = [f for f in result.shard_failures if f.index == 0]
+        assert events and all(f.recovered_by is not None for f in events)
+
+    def test_sigkilled_worker_leaks_no_segments(
+        self, ldbc_graph, sequential_schema
+    ):
+        """A worker SIGKILLed mid-shard abandons its reserved result
+        segment; the driver must reclaim it while recovering the run."""
+        config = PGHiveConfig(
+            jobs=2, parallel_chunk="1", shard_transport="shm",
+            faults="shard:1:kill", shard_retry_backoff=0.0,
+        )
+        result = PGHive(config).discover_incremental(
+            GraphStore(ldbc_graph), num_batches=NUM_BATCHES
+        )
+        assert serialize_pg_schema(result.schema) == sequential_schema
+        assert {f.kind for f in result.shard_failures} == {"worker-lost"}
+
+    def test_timeout_kill_leaks_no_segments(
+        self, ldbc_graph, sequential_schema
+    ):
+        config = PGHiveConfig(
+            jobs=2, parallel_chunk="1", shard_transport="shm",
+            faults="shard:1:hang:1:30", shard_timeout=1.0,
+            shard_retry_backoff=0.0,
+        )
+        result = PGHive(config).discover_incremental(
+            GraphStore(ldbc_graph), num_batches=NUM_BATCHES
+        )
+        assert serialize_pg_schema(result.schema) == sequential_schema
+        assert any(f.kind == "timeout" for f in result.shard_failures)
+
+
+@needs_fork
 @fault_sweep
 class TestFaultStressSweep:
     """CI-only sweep (PGHIVE_TEST_FAULTS=1): wider fault surfaces."""
@@ -345,13 +425,13 @@ class TestCheckpointResume:
 
     def test_forced_sequential_fallback_is_reported(self, ldbc_graph):
         """When parallelism genuinely cannot run, the result says why."""
-        config = PGHiveConfig(jobs=2, memoize_patterns=True)
+        config = PGHiveConfig(jobs=2, kernels="reference")
         result = PGHive(config).discover_incremental(
             GraphStore(ldbc_graph), num_batches=NUM_BATCHES
         )
         assert all(r.worker is None for r in result.batches)
         assert result.parallel_fallback is not None
-        assert "memoization" in result.parallel_fallback
+        assert "reference kernels" in result.parallel_fallback
 
     def test_clean_parallel_run_reports_no_fallback(self, ldbc_graph):
         result = PGHive(PGHiveConfig(jobs=1)).discover_incremental(
@@ -498,3 +578,57 @@ class TestParallelJournalResume:
         assert 1 not in resumed.resumed_shards
         assert "parallel/journal_skipped" in resumed.parameters
         assert serialize_pg_schema(resumed.schema) == sequential_schema
+
+    def test_killed_stream_pool_resumes_from_journal(self, tmp_path):
+        """End-to-end resumable stream pipelines: a crashed parallel
+        stream run leaves completed shards journaled; the resume replays
+        only the missing batches (seeded replay makes the recomputation
+        byte-identical) and matches a sequential stream run."""
+        spec = dataset_spec("ldbc")
+        reference = PGHive(PGHiveConfig(jobs=1)).discover_incremental(
+            GraphStream(spec, num_batches=4, seed=3), num_batches=4
+        )
+        ckpt = tmp_path / "ckpt"
+        crashing = PGHiveConfig(
+            jobs=2, parallel_chunk="1", checkpoint_dir=str(ckpt),
+            faults="shard:2:raise:99", shard_retries=0,
+            shard_retry_backoff=0.0, strict_recovery=True,
+        )
+        with pytest.raises(ShardRecoveryError):
+            PGHive(crashing).discover_incremental(
+                GraphStream(spec, num_batches=4, seed=3), num_batches=4
+            )
+        journaled = sorted((ckpt / "shards").glob("shard-*.json"))
+        assert journaled, "completed stream shards must be journaled"
+        assert not any("shard-00002" in p.name for p in journaled)
+        resumed = PGHive(PGHiveConfig(
+            jobs=2, parallel_chunk="1", checkpoint_dir=str(ckpt)
+        )).discover_incremental(
+            GraphStream(spec, num_batches=4, seed=3), num_batches=4,
+            resume=True,
+        )
+        assert resumed.resumed_shards
+        assert 2 not in resumed.resumed_shards
+        assert serialize_pg_schema(resumed.schema) == serialize_pg_schema(
+            reference.schema
+        )
+
+    def test_completed_stream_run_resumes_from_journal_alone(
+        self, tmp_path
+    ):
+        spec = dataset_spec("ldbc")
+        ckpt = tmp_path / "ckpt"
+        config = PGHiveConfig(jobs=2, checkpoint_dir=str(ckpt))
+        first = PGHive(config).discover_incremental(
+            GraphStream(spec, num_batches=4, seed=3), num_batches=4
+        )
+        resumed = PGHive(
+            PGHiveConfig(jobs=2, checkpoint_dir=str(ckpt))
+        ).discover_incremental(
+            GraphStream(spec, num_batches=4, seed=3), num_batches=4,
+            resume=True,
+        )
+        assert resumed.resumed_shards == [0, 1, 2, 3]
+        assert serialize_pg_schema(resumed.schema) == serialize_pg_schema(
+            first.schema
+        )

@@ -1,0 +1,217 @@
+"""Unit tests for the zero-copy shard transport.
+
+The lifecycle invariant under test: every segment a
+:class:`SegmentRegistry` hands out -- published, reserved-then-created,
+or reserved-and-abandoned -- is reclaimed by the time ``close()``
+returns, on success and on every failure path.
+"""
+
+import os
+import pickle
+
+import numpy
+import pytest
+
+from repro.core.faults import FaultInjector, InjectedFault
+from repro.core.transport import (
+    SEGMENT_PREFIX,
+    TRANSPORTS,
+    ArrayRef,
+    SegmentRegistry,
+    Slab,
+    SlabRef,
+    attach_slab,
+    publish_result_bytes,
+    resolve_transport,
+    shm_available,
+)
+
+needs_shm = pytest.mark.skipif(
+    not shm_available(), reason="host has no usable /dev/shm"
+)
+
+ZERO_COPY = ["shm", "memmap"] if shm_available() else ["memmap"]
+
+
+def _registry(transport, tmp_path, injector=None):
+    return SegmentRegistry(transport, str(tmp_path), injector)
+
+
+class TestResolveTransport:
+    def test_known_transports_resolve(self):
+        assert resolve_transport("pickle") == "pickle"
+        assert resolve_transport("memmap") == "memmap"
+        assert resolve_transport("shm") in ("shm", "memmap")
+
+    def test_unknown_transport_raises(self):
+        with pytest.raises(ValueError):
+            resolve_transport("carrier-pigeon")
+
+    def test_transport_tuple_is_the_config_surface(self):
+        assert TRANSPORTS == ("pickle", "shm", "memmap")
+
+
+class TestBytesRoundtrip:
+    @pytest.mark.parametrize("transport", ZERO_COPY)
+    def test_publish_consume_roundtrip(self, transport, tmp_path):
+        payload = pickle.dumps({"answer": 42, "blob": b"\x00" * 4096})
+        with _registry(transport, tmp_path) as registry:
+            ref = registry.publish_bytes(payload)
+            assert ref.transport == transport
+            assert ref.size == len(payload)
+            assert registry.consume_bytes(ref) == payload
+
+    @pytest.mark.parametrize("transport", ZERO_COPY)
+    def test_empty_payload_roundtrip(self, transport, tmp_path):
+        with _registry(transport, tmp_path) as registry:
+            ref = registry.publish_bytes(b"")
+            assert registry.consume_bytes(ref) == b""
+
+    @pytest.mark.parametrize("transport", ZERO_COPY)
+    def test_worker_published_result_roundtrip(self, transport, tmp_path):
+        """The reserve-in-driver / publish-in-worker handshake."""
+        data = b"shard result bytes" * 100
+        with _registry(transport, tmp_path) as registry:
+            name = registry.reserve()
+            ref = publish_result_bytes(
+                transport, registry.directory, name, data
+            )
+            assert ref.name == name
+            assert registry.consume_bytes(ref) == data
+
+
+class TestArraySlabs:
+    @pytest.mark.parametrize("transport", ZERO_COPY)
+    def test_arrays_roundtrip_byte_identical(self, transport, tmp_path):
+        arrays = [
+            numpy.arange(17, dtype=numpy.int64),
+            numpy.array([], dtype=numpy.int64),
+            numpy.linspace(0.0, 1.0, 9),
+            numpy.arange(5, dtype=numpy.int32),
+        ]
+        with _registry(transport, tmp_path) as registry:
+            slab_ref, refs = registry.publish_arrays(arrays)
+            slab = attach_slab(slab_ref, in_worker=False)
+            try:
+                for original, ref in zip(arrays, refs):
+                    view = slab.array(ref)
+                    assert view.dtype == original.dtype
+                    numpy.testing.assert_array_equal(view, original)
+            finally:
+                view = None  # drop the last live view before detaching
+                slab.close()
+
+    @pytest.mark.parametrize("transport", ZERO_COPY)
+    def test_views_are_read_only(self, transport, tmp_path):
+        with _registry(transport, tmp_path) as registry:
+            slab_ref, refs = registry.publish_arrays(
+                [numpy.arange(4, dtype=numpy.int64)]
+            )
+            slab = attach_slab(slab_ref, in_worker=False)
+            try:
+                view = slab.array(refs[0])
+                with pytest.raises(ValueError):
+                    view[0] = 99
+            finally:
+                view = None  # drop the live view before detaching
+                slab.close()
+
+    @pytest.mark.parametrize("transport", ZERO_COPY)
+    def test_offsets_are_aligned(self, transport, tmp_path):
+        with _registry(transport, tmp_path) as registry:
+            _slab, refs = registry.publish_arrays(
+                [
+                    numpy.arange(3, dtype=numpy.int8),
+                    numpy.arange(3, dtype=numpy.float64),
+                ]
+            )
+            assert all(ref.offset % 16 == 0 for ref in refs)
+
+
+class TestLifecycle:
+    def _litter(self, tmp_path):
+        litter = []
+        if os.path.isdir("/dev/shm"):
+            litter += [
+                n for n in os.listdir("/dev/shm")
+                if n.startswith(SEGMENT_PREFIX)
+            ]
+        for root, dirs, files in os.walk(tmp_path):
+            litter += [os.path.join(root, f) for f in files]
+        return litter
+
+    @pytest.mark.parametrize("transport", ZERO_COPY)
+    def test_close_sweeps_unconsumed_segments(self, transport, tmp_path):
+        registry = _registry(transport, tmp_path)
+        registry.publish_bytes(b"never consumed")
+        registry.publish_arrays([numpy.arange(8)])
+        registry.close()
+        assert self._litter(tmp_path) == []
+
+    @pytest.mark.parametrize("transport", ZERO_COPY)
+    def test_reserved_but_never_created_names_are_fine(
+        self, transport, tmp_path
+    ):
+        """A worker killed between reservation and creation leaves only
+        a tracked name; the sweep must tolerate its absence."""
+        registry = _registry(transport, tmp_path)
+        registry.reserve()
+        registry.reserve()
+        registry.close()
+        assert self._litter(tmp_path) == []
+
+    @pytest.mark.parametrize("transport", ZERO_COPY)
+    def test_release_reclaims_a_published_segment(
+        self, transport, tmp_path
+    ):
+        registry = _registry(transport, tmp_path)
+        ref = registry.publish_bytes(b"abandoned result")
+        registry.release(ref.name)
+        if transport == "shm":
+            with pytest.raises(FileNotFoundError):
+                Slab(ref)
+        registry.close()
+        assert self._litter(tmp_path) == []
+
+    @pytest.mark.parametrize("transport", ZERO_COPY)
+    def test_close_is_idempotent(self, transport, tmp_path):
+        registry = _registry(transport, tmp_path)
+        registry.publish_bytes(b"x")
+        registry.close()
+        registry.close()
+
+    @pytest.mark.parametrize("transport", ZERO_COPY)
+    def test_injected_unlink_fault_keeps_segment_tracked(
+        self, transport, tmp_path
+    ):
+        """consume_bytes raising loses the result, never the segment:
+        the final sweep still reclaims it."""
+        injector = FaultInjector.from_spec("unlink:0:raise")
+        registry = _registry(transport, tmp_path, injector)
+        ref = registry.publish_bytes(b"doomed")
+        with pytest.raises(InjectedFault):
+            registry.consume_bytes(ref, index=0)
+        registry.close()
+        assert self._litter(tmp_path) == []
+
+    def test_registry_rejects_pickle(self, tmp_path):
+        with pytest.raises(ValueError):
+            SegmentRegistry("pickle", str(tmp_path))
+
+
+class TestAttachFaults:
+    @pytest.mark.parametrize("transport", ZERO_COPY)
+    def test_attach_fires_fault_site(self, transport, tmp_path):
+        injector = FaultInjector.from_spec("attach:3:raise")
+        with _registry(transport, tmp_path) as registry:
+            ref = registry.publish_bytes(b"payload")
+            with pytest.raises(InjectedFault):
+                attach_slab(ref, injector, index=3, in_worker=False)
+            # Other indices attach fine; the segment is untouched.
+            slab = attach_slab(ref, injector, index=4, in_worker=False)
+            assert slab.read_bytes() == b"payload"
+            slab.close()
+
+    def test_memmap_ref_requires_directory(self):
+        with pytest.raises(ValueError):
+            Slab(SlabRef("memmap", "nope", 3, None))
