@@ -14,6 +14,7 @@ Rule families (see ``docs/API.md`` for the full catalogue):
 * determinism -- ``wall-clock``, ``unseeded-rng``,
   ``unsorted-iteration``, ``id-keyed-dict``, ``env-read``;
 * fork/pickle safety -- ``payload-pickle``, ``worker-closure``;
+* resource lifecycle -- ``slab-lifecycle``;
 * surface consistency -- ``config-cli-surface``, ``env-var-docs``,
   ``init-exports``;
 * hygiene -- ``bare-except``, ``mutable-default``, ``assert-ban``,
@@ -34,6 +35,7 @@ from repro.analysis import (  # noqa: F401  (registration side effects)
     rules_determinism,
     rules_forksafety,
     rules_hygiene,
+    rules_lifecycle,
     rules_surface,
 )
 from repro.analysis.engine import LintRun, lint_paths

@@ -16,7 +16,9 @@ Subcommands:
 from __future__ import annotations
 
 import argparse
+import shutil
 import sys
+import tempfile
 from pathlib import Path
 
 from repro.core.config import LSHMethod, PGHiveConfig
@@ -25,9 +27,19 @@ from repro.core.pipeline import PGHive
 from repro.datasets import get_dataset, inject_noise, list_datasets
 from repro.datasets.registry import dataset_spec
 from repro.evaluation.harness import ALL_METHODS, run_system
+from repro.graph.diskstore import (
+    DiskGraphStore,
+    ingest_jsonl_slabs,
+    is_slab_directory,
+    write_graph_to_slabs,
+)
 from repro.graph.io import IngestReport, load_graph_jsonl, save_graph_jsonl
 from repro.graph.stats import compute_statistics
-from repro.graph.store import GraphStore
+from repro.graph.store import BaseGraphStore, GraphStore
+
+#: Ephemeral slab directories created for ``--store disk`` runs without
+#: ``--store-dir``; removed in :func:`main`'s cleanup.
+_EPHEMERAL_STORE_DIRS: list[str] = []
 from repro.schema.serialize_cypher import serialize_cypher
 from repro.schema.serialize_graphql import serialize_graphql
 from repro.schema.serialize_pgschema import serialize_pg_schema
@@ -60,6 +72,9 @@ def main(argv: list[str] | None = None) -> int:
         # instead of a traceback; usage errors keep exiting 2.
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        while _EPHEMERAL_STORE_DIRS:
+            shutil.rmtree(_EPHEMERAL_STORE_DIRS.pop(), ignore_errors=True)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -152,6 +167,20 @@ def _build_parser() -> argparse.ArgumentParser:
     discover.add_argument("--strict-recovery", action="store_true",
                           help="fail the run if any parallel shard cannot "
                                "be recovered (default: degrade and report)")
+    discover.add_argument("--store", choices=["memory", "disk"],
+                          default="memory",
+                          help="graph storage backend: in-memory objects "
+                               "(default) or out-of-core memory-mapped "
+                               "slab files whose schema is byte-identical "
+                               "while the driver stays small")
+    discover.add_argument("--store-dir",
+                          help="slab directory for --store disk (also "
+                               "accepted directly as the input argument); "
+                               "default: an ephemeral temp directory "
+                               "removed when the run finishes")
+    discover.add_argument("--slab-bytes", type=int, default=4 << 20,
+                          help="slab ingest commit granularity in bytes "
+                               "(--store disk; default 4 MiB, min 4096)")
 
     datasets = sub.add_parser("datasets", help="list bundled datasets")
     datasets.add_argument("--scale", type=float, default=1.0)
@@ -185,12 +214,49 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _load_input(args: argparse.Namespace) -> GraphStore:
-    """Resolve the discover input: file path or bundled dataset name."""
+def _store_directory(args: argparse.Namespace) -> str:
+    """Resolve (or create) the slab directory for a ``--store disk`` run."""
+    store_dir: str | None = getattr(args, "store_dir", None)
+    if store_dir is not None:
+        return store_dir
+    ephemeral = tempfile.mkdtemp(prefix="pghive-store-")
+    _EPHEMERAL_STORE_DIRS.append(ephemeral)
+    return ephemeral
+
+
+def _load_input(args: argparse.Namespace) -> BaseGraphStore:
+    """Resolve the discover input: file path or bundled dataset name.
+
+    With ``--store disk`` a JSONL input streams straight into slab files
+    in bounded chunks (the graph never materializes in driver memory), a
+    slab directory opens as-is, and a bundled dataset is generated and
+    written through to slabs.
+    """
     path = Path(args.input)
+    backend = getattr(args, "store", "memory")
+    on_error = getattr(args, "on_error", "raise")
+    if path.is_dir() and is_slab_directory(path):
+        if backend != "disk":
+            print(
+                f"error: {args.input!r} is a slab directory; "
+                f"pass --store disk to discover it",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+        return DiskGraphStore(path)
     if path.exists():
-        on_error = getattr(args, "on_error", "raise")
         report = IngestReport() if on_error != "raise" else None
+        if backend == "disk":
+            store = ingest_jsonl_slabs(
+                path,
+                _store_directory(args),
+                slab_bytes=getattr(args, "slab_bytes", 4 << 20),
+                on_error=on_error,
+                report=report,
+            )
+            if report is not None and report.errors:
+                print(report.describe(), file=sys.stderr)
+            return store
         graph = load_graph_jsonl(path, on_error=on_error, report=report)
         if report is not None and report.errors:
             print(report.describe(), file=sys.stderr)
@@ -203,6 +269,8 @@ def _load_input(args: argparse.Namespace) -> GraphStore:
             file=sys.stderr,
         )
         raise SystemExit(2)
+    if backend == "disk":
+        return write_graph_to_slabs(dataset.graph, _store_directory(args))
     return GraphStore(dataset.graph)
 
 
@@ -225,6 +293,9 @@ def _cmd_discover(args: argparse.Namespace) -> int:
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=args.checkpoint_every,
         strict_recovery=args.strict_recovery,
+        store=args.store,
+        store_dir=args.store_dir,
+        slab_bytes=args.slab_bytes,
     )
     pipeline = PGHive(config)
     if args.batches > 1:

@@ -229,6 +229,7 @@ def absorb_batch(
     endpoint_labels: Mapping[int, frozenset[str]],
     threshold: float,
     compute_stats: bool,
+    track_values: bool = True,
 ) -> tuple[list[AbsorptionEntry], list[Node], list[Edge]]:
     """Absorb known-pattern elements of one batch against the snapshot.
 
@@ -268,7 +269,8 @@ def absorb_batch(
         entry.property_counts.update(node.properties.keys())
         if entry.stats is not None:
             _observe_properties(
-                entry.stats, node.properties, pattern.property_keys
+                entry.stats, node.properties, pattern.property_keys,
+                track_values,
             )
     for edge in edges:
         matched = False
@@ -305,7 +307,8 @@ def absorb_batch(
                 entry.property_counts.update(edge.properties.keys())
                 if entry.stats is not None:
                     _observe_properties(
-                        entry.stats, edge.properties, pattern.property_keys
+                        entry.stats, edge.properties, pattern.property_keys,
+                        track_values,
                     )
                     entry.stats.out_degrees[edge.source] = (
                         entry.stats.out_degrees.get(edge.source, 0) + 1

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.graph.store import GraphStore
+from repro.graph.store import BaseGraphStore
 from repro.schema.model import EdgeType, SchemaGraph
 
 
@@ -48,7 +48,7 @@ def _bound(value: int | None) -> str:
 
 
 def compute_cardinality_bounds(
-    schema: SchemaGraph, store: GraphStore
+    schema: SchemaGraph, store: BaseGraphStore
 ) -> dict[str, CardinalityBounds]:
     """Exact interval cardinalities for every edge type of a schema.
 
@@ -67,7 +67,7 @@ def compute_cardinality_bounds(
 
 
 def _bounds_for_edge_type(
-    schema: SchemaGraph, store: GraphStore, edge_type: EdgeType
+    schema: SchemaGraph, store: BaseGraphStore, edge_type: EdgeType
 ) -> CardinalityBounds:
     """Participation analysis for one edge type."""
     participating_sources: set[int] = set()
@@ -75,7 +75,7 @@ def _bounds_for_edge_type(
     out_degree: dict[int, int] = {}
     in_degree: dict[int, int] = {}
     for edge_id in edge_type.members:
-        edge = store.graph.edge(edge_id)
+        edge = store.edge(edge_id)
         participating_sources.add(edge.source)
         participating_targets.add(edge.target)
         out_degree[edge.source] = out_degree.get(edge.source, 0) + 1

@@ -24,7 +24,7 @@ loops they replace; ``tests/test_hotpath_kernels.py`` enforces this.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -245,6 +245,113 @@ def edge_columns(
         keyset_ids[i] = keys.intern(edge.properties)
     return EdgeColumns(
         ids, source, target, label_ids, src_label_ids, tgt_label_ids,
+        keyset_ids, labels, keys,
+    )
+
+
+def node_columns_from_arrays(
+    ids: np.ndarray,
+    label_gids: np.ndarray,
+    keyset_gids: np.ndarray,
+    label_sets: Sequence[frozenset[str]],
+    key_order_at: Callable[[int], tuple[str, ...]],
+) -> NodeColumns:
+    """Columnize a node batch from pre-interned id arrays (no objects).
+
+    The disk backend stores every node as ``(id, global label-set id,
+    global key-set id)`` against store-wide interner tables.  This
+    constructor remaps those *global* ids to the per-batch dense ids the
+    reference loop would have assigned -- first appearance within the
+    batch, in row order -- and re-interns the actual sets in that order,
+    so the result is byte-identical to
+    ``node_columns([store.node(i) for i in ids])`` without materializing
+    a single :class:`~repro.graph.model.Node`.
+
+    ``key_order_at`` maps a batch *position* to that row's property-key
+    iteration order.  The reference :class:`KeySpace` records the key
+    order of the first row carrying each key set, and two rows with the
+    same key *set* may order their dicts differently -- so the order
+    must come from the batch's own representative row, not from a
+    store-wide table.  It is called once per distinct key set.
+    """
+    ids = np.ascontiguousarray(ids, dtype=np.int64)
+    label_gids = np.asarray(label_gids, dtype=np.int64)
+    keyset_gids = np.asarray(keyset_gids, dtype=np.int64)
+    label_ids, label_reps = dense_first_appearance(label_gids)
+    labels = LabelSpace()
+    for row in label_reps.tolist():
+        labels.intern(label_sets[int(label_gids[row])])
+    keyset_ids, key_reps = dense_first_appearance(keyset_gids)
+    keys = KeySpace()
+    for row in key_reps.tolist():
+        keys.intern({key: None for key in key_order_at(int(row))})
+    return NodeColumns(ids, label_ids, keyset_ids, labels, keys)
+
+
+def edge_columns_from_arrays(
+    ids: np.ndarray,
+    source: np.ndarray,
+    target: np.ndarray,
+    label_gids: np.ndarray,
+    src_label_gids: np.ndarray,
+    tgt_label_gids: np.ndarray,
+    keyset_gids: np.ndarray,
+    edge_label_sets: Sequence[frozenset[str]],
+    node_label_sets: Sequence[frozenset[str]],
+    key_order_at: Callable[[int], tuple[str, ...]],
+) -> EdgeColumns:
+    """Columnize an edge batch from pre-interned id arrays (no objects).
+
+    The reference loop interns, per row, the edge's label set followed
+    by the source and target endpoint label sets into *one* shared
+    :class:`LabelSpace` -- identical sets collapse to one dense id even
+    when one comes from the edge table and another from the node table.
+    To replay that order the three global-id columns are interleaved
+    row-major (edge, src, tgt), with node-table ids offset past the edge
+    table so equal integers never alias across tables; the dense pass
+    then yields first-appearance representatives whose *actual* label
+    sets are interned through a shared space, restoring the cross-table
+    collapse byte-for-byte.
+
+    ``key_order_at`` maps a batch position to that edge row's own
+    property-key order, for the same reason as in
+    :func:`node_columns_from_arrays`.
+    """
+    ids = np.ascontiguousarray(ids, dtype=np.int64)
+    source = np.ascontiguousarray(source, dtype=np.int64)
+    target = np.ascontiguousarray(target, dtype=np.int64)
+    label_gids = np.asarray(label_gids, dtype=np.int64)
+    src_label_gids = np.asarray(src_label_gids, dtype=np.int64)
+    tgt_label_gids = np.asarray(tgt_label_gids, dtype=np.int64)
+    keyset_gids = np.asarray(keyset_gids, dtype=np.int64)
+    offset = np.int64(len(edge_label_sets))
+    rows = int(ids.size)
+    interleaved = np.empty(rows * 3, dtype=np.int64)
+    interleaved[0::3] = label_gids
+    interleaved[1::3] = src_label_gids + offset
+    interleaved[2::3] = tgt_label_gids + offset
+    dense, reps = dense_first_appearance(interleaved)
+    labels = LabelSpace()
+    mapping = np.empty(reps.size, dtype=np.int64)
+    for dense_id, position in enumerate(reps.tolist()):
+        tagged = int(interleaved[position])
+        if tagged < int(offset):
+            label_set = edge_label_sets[tagged]
+        else:
+            label_set = node_label_sets[tagged - int(offset)]
+        mapping[dense_id] = labels.intern(label_set)
+    label_ids = mapping[dense[0::3]] if rows else dense
+    src_label_ids = mapping[dense[1::3]] if rows else dense
+    tgt_label_ids = mapping[dense[2::3]] if rows else dense
+    keyset_ids, key_reps = dense_first_appearance(keyset_gids)
+    keys = KeySpace()
+    for row in key_reps.tolist():
+        keys.intern({key: None for key in key_order_at(int(row))})
+    return EdgeColumns(
+        ids, source, target,
+        np.ascontiguousarray(label_ids, dtype=np.int64),
+        np.ascontiguousarray(src_label_ids, dtype=np.int64),
+        np.ascontiguousarray(tgt_label_ids, dtype=np.int64),
         keyset_ids, labels, keys,
     )
 

@@ -124,6 +124,25 @@ class PGHiveConfig:
             completed shards and recomputes only the missing ones --
             shard discovery is pure, so the resumed schema is identical.
         checkpoint_every: Checkpoint cadence in batches (default 1).
+        store: Which graph storage backend discovery reads from.
+            ``"memory"`` (default) keeps every node and edge as Python
+            objects in a :class:`~repro.graph.store.GraphStore`;
+            ``"disk"`` ingests into append-only memory-mapped slab
+            files and discovers through a
+            :class:`~repro.graph.diskstore.DiskGraphStore`, keeping the
+            driver's resident set at O(slab headers + merged schema)
+            while workers map the slabs read-only.  The discovered
+            schema is byte-identical between backends for every mode.
+        store_dir: Slab directory for the disk backend.  ``None``
+            (default) uses an ephemeral temp directory that is removed
+            when the run finishes; pass a path to keep the slabs for
+            later resume/re-discovery.  Ignored by the memory backend.
+        slab_bytes: Commit granularity of slab ingest in bytes (default
+            4 MiB, minimum 4 KiB): the ingest sink flushes and commits
+            a durable manifest whenever this much property-heap data is
+            buffered.  Smaller values bound ingest memory tighter and
+            checkpoint more often; the stored bytes are identical
+            regardless.  Ignored by the memory backend.
         seed: Master RNG seed; every random component derives from it.
     """
 
@@ -157,6 +176,9 @@ class PGHiveConfig:
     faults: str | None = None
     checkpoint_dir: str | None = None
     checkpoint_every: int = 1
+    store: str = "memory"
+    store_dir: str | None = None
+    slab_bytes: int = 4 << 20
     seed: int = 7
 
     def __post_init__(self) -> None:
@@ -208,6 +230,12 @@ class PGHiveConfig:
             )
         if self.checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
+        if self.store not in ("memory", "disk"):
+            raise ValueError(
+                f"store must be 'memory' or 'disk', got {self.store!r}"
+            )
+        if self.slab_bytes < 4096:
+            raise ValueError("slab_bytes must be >= 4096")
         if self.faults:
             from repro.core.faults import FaultPlan
 

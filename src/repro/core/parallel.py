@@ -146,7 +146,7 @@ from repro.core.transport import (
 )
 from repro.core.type_extraction import resolve_edge_endpoints
 from repro.datasets.stream import GraphStream, StreamShardPlan
-from repro.graph.store import GraphBatch, GraphStore, ShardPlan
+from repro.graph.store import BaseGraphStore, GraphBatch, ShardPlan
 from repro.schema.merge import merge_schema_tree, merge_schemas
 from repro.schema.model import SchemaGraph
 from repro.schema.persist import (
@@ -300,7 +300,7 @@ def combine_shard_results(
 class _ParentState:
     """Everything a forked worker inherits from the driver."""
 
-    source: GraphStore | GraphStream | None
+    source: BaseGraphStore | GraphStream | None
     config: PGHiveConfig
     snapshot: MemoSnapshot | None = None
     transport: str = "pickle"
@@ -312,7 +312,7 @@ _PARENT_STATE: _ParentState | None = None
 #: (store, sorted node ids, shard-of-sorted lookup, num shards) for the
 #: short-lived partition pool; same fork-inheritance protocol as above.
 _PARTITION_STATE: (
-    tuple[GraphStore, numpy.ndarray, numpy.ndarray, int] | None
+    tuple[BaseGraphStore, numpy.ndarray, numpy.ndarray, int] | None
 ) = None
 
 #: Below this edge count the pool-parallel bucketing pass costs more in
@@ -378,11 +378,11 @@ def _ship_results(
 
 
 def _materialize_plan(
-    source: GraphStore | GraphStream | None,
+    source: BaseGraphStore | GraphStream | None,
     plan: ShardPlan | StreamShardPlan,
 ) -> GraphBatch:
     """Dispatch a shard recipe to its source's materializer."""
-    if isinstance(plan, ShardPlan) and isinstance(source, GraphStore):
+    if isinstance(plan, ShardPlan) and isinstance(source, BaseGraphStore):
         return source.materialize_shard(plan)
     if isinstance(plan, StreamShardPlan) and isinstance(source, GraphStream):
         return source.materialize_shard(plan)
@@ -414,10 +414,27 @@ def _discover_plan_chunk(
     engine = IncrementalDiscovery(config, name="shard")
     compute_stats = sharded_postprocess_enabled(config)
     snapshot = state.snapshot
+    columnizer = getattr(source, "columnize_shard", None)
     results: list[ShardResult] = []
     for plan, attempt in zip(plans, attempts):
         if injector is not None:
             injector.fire("shard", plan.index, attempt, in_worker=in_worker)
+        if (
+            columnizer is not None
+            and isinstance(plan, ShardPlan)
+            and snapshot is None
+            and not compute_stats
+        ):
+            # Out-of-core fast path: the disk backend columnizes a shard
+            # straight from its mapped slab columns, byte-identical to
+            # materializing objects first but without ever holding them.
+            # Memoized absorption and sharded stats still need the
+            # object form, so they take the materializing path below.
+            ncols, ecols = columnizer(plan)
+            _check_memory(config, in_worker, "columnization", plan.index)
+            results.append(_discover_one(engine, plan.index, ncols, ecols))
+            _check_memory(config, in_worker, "discovery", plan.index)
+            continue
         batch = _materialize_plan(source, plan)
         _check_memory(config, in_worker, "materialization", plan.index)
         nodes, edges = batch.nodes, batch.edges
@@ -431,6 +448,7 @@ def _discover_plan_chunk(
                 batch.endpoint_labels,
                 config.endpoint_jaccard_threshold,
                 compute_stats,
+                track_values=config.infer_value_profiles,
             )
             absorbed_nodes = len(batch.nodes) - len(nodes)
             absorbed_edges = len(batch.edges) - len(edges)
@@ -450,7 +468,14 @@ def _discover_plan_chunk(
             # materialized elements in hand, so it folds the per-type
             # partial statistics here and ships them with the schema.
             # Absorbed elements carry their stats in the entries.
-            attach_partial_stats(shard.schema, nodes, edges)
+            # Value retention follows the profile flag: without
+            # profiles the driver only reads datatypes, counts and
+            # degrees, so shipping the distinct-value sketch home
+            # would cost O(data) driver memory for nothing.
+            attach_partial_stats(
+                shard.schema, nodes, edges,
+                track_values=config.infer_value_profiles,
+            )
         results.append(shard)
     return _ship_results(results, reserved)
 
@@ -685,7 +710,11 @@ class ParallelDiscovery:
         self.config = config or PGHiveConfig()
 
     def _journal_context(
-        self, source_name: str, num_batches: int, seed_value: int
+        self,
+        source_name: str,
+        num_batches: int,
+        seed_value: int,
+        fingerprint: dict[str, str] | None = None,
     ) -> dict[str, object]:
         context: dict[str, object] = {
             "source": source_name,
@@ -696,6 +725,16 @@ class ParallelDiscovery:
             # Memoized and plain runs journal different shard schemas;
             # the asymmetric key keeps their journals from cross-matching.
             context["memoize"] = True
+        if self.config.infer_value_profiles:
+            # Profile-less runs journal datatype-only partial stats; a
+            # profile run must never resume from them (its profiles
+            # would come out empty), so the key is asymmetric too.
+            context["profiles"] = True
+        if fingerprint is not None:
+            # Durable stores stamp their on-disk state (row counts and
+            # heap sizes) into the journal key: a journal written against
+            # one slab generation never resumes against another.
+            context["store"] = fingerprint
         return context
 
     def _prepare_journal(
@@ -719,7 +758,7 @@ class ParallelDiscovery:
         )
 
     def discover_store(
-        self, store: GraphStore, num_batches: int, resume: bool = False
+        self, store: BaseGraphStore, num_batches: int, resume: bool = False
     ) -> DiscoveryResult:
         """Shard ``store`` into ``num_batches`` and discover in parallel.
 
@@ -743,7 +782,8 @@ class ParallelDiscovery:
         transport = resolve_transport(config.shard_transport)
         journal, preloaded = self._prepare_journal(
             self._journal_context(
-                store.graph.name, num_batches, config.seed
+                store.name, num_batches, config.seed,
+                fingerprint=store.journal_fingerprint(),
             ),
             resume,
         )
@@ -786,7 +826,7 @@ class ParallelDiscovery:
             ),
         }
         result = self._combine(
-            store.graph.name, all_results, failures, started, extra
+            store.name, all_results, failures, started, extra
         )
         self._note_resume(result, journal, preloaded)
         return result
@@ -966,7 +1006,7 @@ class ParallelDiscovery:
     # ------------------------------------------------------------------
     def _partition_edges(
         self,
-        store: GraphStore,
+        store: BaseGraphStore,
         sorted_ids: numpy.ndarray,
         shard_of_sorted: numpy.ndarray,
         num_shards: int,

@@ -35,7 +35,7 @@ from repro.core.postprocess import (
 )
 from repro.core.result import DiscoveryResult
 from repro.datasets.stream import GraphStream
-from repro.graph.store import GraphStore
+from repro.graph.store import BaseGraphStore, GraphStore
 from repro.schema.model import SchemaGraph
 
 
@@ -45,13 +45,13 @@ class PGHive:
     def __init__(self, config: PGHiveConfig | None = None) -> None:
         self.config = config or PGHiveConfig()
 
-    def discover(self, store: GraphStore) -> DiscoveryResult:
+    def discover(self, store: BaseGraphStore) -> DiscoveryResult:
         """Run static discovery over an entire graph store."""
         return self.discover_incremental(store, num_batches=1)
 
     def discover_incremental(
         self,
-        store: GraphStore | GraphStream,
+        store: BaseGraphStore | GraphStream,
         num_batches: int,
         post_process_each_batch: bool = False,
         resume: bool = False,
@@ -119,11 +119,17 @@ class PGHive:
         config = self.config
         injector = FaultInjector.from_spec(config.faults)
         checkpoint_dir = config.checkpoint_dir
-        context = {
-            "source": store.graph.name,
+        context: dict[str, object] = {
+            "source": store.name,
             "num_batches": num_batches,
             "seed": config.seed,
         }
+        fingerprint = store.journal_fingerprint()
+        if fingerprint is not None:
+            # Durable stores key the checkpoint to their on-disk state,
+            # so a resume never replays against a different slab
+            # generation (appends change the fingerprint).
+            context["store"] = fingerprint
         engine: IncrementalDiscovery | None = None
         if (
             checkpoint_dir
@@ -134,7 +140,7 @@ class PGHive:
                 checkpoint_dir, config, expected_context=context
             )
         if engine is None:
-            engine = IncrementalDiscovery(config, name=store.graph.name)
+            engine = IncrementalDiscovery(config, name=store.name)
         resumed_from = engine._batch_counter
         discovery_seconds = sum(r.seconds for r in engine.reports)
         for batch in store.batches(num_batches, seed=config.seed):
@@ -325,7 +331,9 @@ class PGHive:
             return "fork start method unavailable on this platform"
         return None
 
-    def _post_process(self, schema: SchemaGraph, store: GraphStore) -> None:
+    def _post_process(
+        self, schema: SchemaGraph, store: BaseGraphStore
+    ) -> None:
         """Constraints, datatypes, cardinalities (section 4.4)."""
         infer_property_constraints(schema)
         infer_datatypes(schema, store, self.config)
@@ -334,7 +342,7 @@ class PGHive:
             self._apply_exact_bounds(schema, store)
 
     def _apply_exact_bounds(
-        self, schema: SchemaGraph, store: GraphStore
+        self, schema: SchemaGraph, store: BaseGraphStore
     ) -> None:
         """Exact per-endpoint cardinality bounds (store-backed pass)."""
         from repro.core.cardinality_bounds import compute_cardinality_bounds

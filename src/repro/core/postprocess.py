@@ -55,7 +55,7 @@ from repro.core.config import PGHiveConfig
 from repro.core.datatypes import infer_datatype, infer_datatype_sampled
 from repro.core.value_profiles import PropertyPartial
 from repro.graph.model import Edge, Node
-from repro.graph.store import GraphStore
+from repro.graph.store import BaseGraphStore
 from repro.schema.model import (
     Cardinality,
     EdgeType,
@@ -81,7 +81,7 @@ def infer_property_constraints(schema: SchemaGraph) -> None:
 
 def infer_datatypes(
     schema: SchemaGraph,
-    store: GraphStore,
+    store: BaseGraphStore,
     config: PGHiveConfig | None = None,
 ) -> None:
     """Assign datatypes to every property of every type in place.
@@ -92,19 +92,19 @@ def infer_datatypes(
     config = config or PGHiveConfig()
     for node_type in schema.node_types.values():
         values_by_key = _collect_values(
-            (store.graph.node(nid) for nid in node_type.members),
+            (store.node(nid) for nid in node_type.members),
             node_type.property_keys,
         )
         _assign_datatypes(node_type, values_by_key, config)
     for edge_type in schema.edge_types.values():
         values_by_key = _collect_values(
-            (store.graph.edge(eid) for eid in edge_type.members),
+            (store.edge(eid) for eid in edge_type.members),
             edge_type.property_keys,
         )
         _assign_datatypes(edge_type, values_by_key, config)
 
 
-def compute_cardinalities(schema: SchemaGraph, store: GraphStore) -> None:
+def compute_cardinalities(schema: SchemaGraph, store: BaseGraphStore) -> None:
     """Classify every edge type's cardinality from degree extremes."""
     for edge_type in schema.edge_types.values():
         max_out, max_in = store.degree_extremes(edge_type.members)
@@ -246,6 +246,7 @@ def attach_partial_stats(
     schema: SchemaGraph,
     nodes: Sequence[Node],
     edges: Sequence[Edge],
+    track_values: bool = True,
 ) -> None:
     """Compute and attach :class:`TypeStats` for every type in place.
 
@@ -253,6 +254,13 @@ def attach_partial_stats(
     schema's member ids refer to.  One pass per member, mirroring what
     the serial :func:`infer_datatypes` / :func:`compute_cardinalities`
     would observe for the same members.
+
+    ``track_values=False`` (the worker passes
+    ``config.infer_value_profiles``) folds only datatypes, counts and
+    degree maps: without profiles the driver never reads the
+    distinct-value sketch or the bounds, and retaining them would ship
+    every distinct property value back through the merge -- unbounded
+    driver memory on an out-of-core run.
     """
     node_by_id = {node.id: node for node in nodes}
     edge_by_id = {edge.id: edge for edge in edges}
@@ -260,14 +268,16 @@ def attach_partial_stats(
         stats = TypeStats()
         keys = node_type.property_keys
         for member in node_type.members:
-            _observe_properties(stats, node_by_id[member].properties, keys)
+            _observe_properties(
+                stats, node_by_id[member].properties, keys, track_values
+            )
         node_type.stats = stats
     for edge_type in schema.edge_types.values():
         stats = TypeStats()
         keys = edge_type.property_keys
         for member in edge_type.members:
             edge = edge_by_id[member]
-            _observe_properties(stats, edge.properties, keys)
+            _observe_properties(stats, edge.properties, keys, track_values)
             stats.out_degrees[edge.source] = (
                 stats.out_degrees.get(edge.source, 0) + 1
             )
@@ -281,8 +291,13 @@ def _observe_properties(
     stats: TypeStats,
     properties: Mapping[str, Any],
     keys: frozenset[str],
+    track_values: bool = True,
 ) -> None:
-    """Fold one element's properties (restricted to the type's keys)."""
+    """Fold one element's properties (restricted to the type's keys).
+
+    ``track_values=False`` keeps only the datatype lattice and the
+    observation count (see :meth:`PropertyPartial.observe_datatype`).
+    """
     for key, value in properties.items():
         if key not in keys:
             continue
@@ -290,7 +305,10 @@ def _observe_properties(
         if partial is None:
             partial = PropertyPartial()
             stats.properties[key] = partial
-        partial.observe(value)
+        if track_values:
+            partial.observe(value)
+        else:
+            partial.observe_datatype(value)
 
 
 def apply_partial_stats(

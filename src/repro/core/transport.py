@@ -117,12 +117,19 @@ class SlabRef:
     """Pipe-sized handle to one shared segment.
 
     Attributes:
-        transport: ``"shm"`` or ``"memmap"`` (pickle payloads never
-            carry a ref).
+        transport: ``"shm"``, ``"memmap"`` or ``"file"`` (pickle
+            payloads never carry a ref).
         name: Segment name (shm) or file name inside ``directory``.
         size: Logical payload size in bytes (shm rounds segments up to a
             page, so readers slice to this).
-        directory: The memmap scratch directory; ``None`` for shm.
+        directory: The memmap scratch (or ``"file"`` owner) directory;
+            ``None`` for shm.
+
+    The ``"file"`` transport is the store-owned flavour: the ref points
+    at a plain file managed by its creator (the disk store's partition
+    spill), attachable exactly like a memmap segment but *never* tracked
+    or unlinked by a :class:`SegmentRegistry` -- lifetime belongs to the
+    store, so a ref can be attached by any number of pool runs.
     """
 
     transport: str
@@ -159,9 +166,11 @@ class Slab:
         if ref.transport == "shm":
             self._shm = shared_memory.SharedMemory(name=ref.name)
             self._buffer = self._shm.buf
-        elif ref.transport == "memmap":
+        elif ref.transport in ("memmap", "file"):
             if ref.directory is None:
-                raise ValueError("memmap SlabRef carries no directory")
+                raise ValueError(
+                    f"{ref.transport} SlabRef carries no directory"
+                )
             path = os.path.join(ref.directory, ref.name)
             if ref.size == 0:
                 self._buffer = b""

@@ -160,6 +160,20 @@ class PropertyPartial:
     text_min: str | None = None
     text_max: str | None = None
 
+    def observe_datatype(self, value: Any) -> None:
+        """Fold only the datatype lattice and the observation count.
+
+        The bounded-memory form used when value profiles are disabled:
+        retaining the distinct-value sketch and the min/max bounds would
+        make the driver-side stats merge O(data) -- the whole value
+        multiset rides the shard schemas home -- for statistics
+        :func:`~repro.core.postprocess.apply_partial_stats` then never
+        reads.  Datatype and count are all the profile-less passes
+        consume, and both stay exact.
+        """
+        self.datatype = join_types(self.datatype, infer_value_type(value))
+        self.observations += 1
+
     def observe(self, value: Any) -> None:
         """Fold one observed value into the partial."""
         self.datatype = join_types(self.datatype, infer_value_type(value))

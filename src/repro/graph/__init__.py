@@ -3,14 +3,25 @@
 This subpackage implements the property graph data model of the paper
 (Definition 3.1): a directed multigraph whose nodes and edges carry label
 sets and key-value properties.  It replaces the Neo4j storage layer used by
-the original PG-HIVE implementation with an in-memory :class:`GraphStore`
-that exposes the same contract the algorithm needs -- streaming batches of
-(labels, properties, endpoints) records.
+the original PG-HIVE implementation with two interchangeable backends
+behind the :class:`BaseGraphStore` contract -- the in-memory
+:class:`GraphStore` and the out-of-core :class:`DiskGraphStore`, whose
+memory-mapped slab files let ingest and discovery run without ever holding
+the graph in RAM.  Both stream the same batches of (labels, properties,
+endpoints) records, byte-identically.
 """
 
 from repro.graph.model import Edge, Node, PropertyGraph
 from repro.graph.builder import GraphBuilder
-from repro.graph.store import GraphStore
+from repro.graph.store import BaseGraphStore, GraphStore
+from repro.graph.slab import SlabCorruptionError, SlabReader, SlabWriter
+from repro.graph.diskstore import (
+    DiskGraphStore,
+    SlabIngestSink,
+    ingest_jsonl_slabs,
+    is_slab_directory,
+    write_graph_to_slabs,
+)
 from repro.graph.patterns import (
     EdgePattern,
     NodePattern,
@@ -20,6 +31,7 @@ from repro.graph.patterns import (
 )
 from repro.graph.stats import GraphStatistics, compute_statistics
 from repro.graph.io import (
+    GraphSink,
     IngestError,
     IngestReport,
     load_graph_apoc_jsonl,
@@ -27,6 +39,7 @@ from repro.graph.io import (
     load_graph_jsonl,
     save_graph_csv,
     save_graph_jsonl,
+    stream_graph_jsonl,
 )
 from repro.graph.query import Traversal, match_edges, match_nodes, match_pattern
 
@@ -36,9 +49,12 @@ from repro.graph.query import Traversal, match_edges, match_nodes, match_pattern
 # plan_pattern``.
 
 __all__ = [
+    "BaseGraphStore",
+    "DiskGraphStore",
     "Edge",
     "EdgePattern",
     "GraphBuilder",
+    "GraphSink",
     "GraphStatistics",
     "GraphStore",
     "IngestError",
@@ -46,10 +62,16 @@ __all__ = [
     "Node",
     "NodePattern",
     "PropertyGraph",
+    "SlabCorruptionError",
+    "SlabIngestSink",
+    "SlabReader",
+    "SlabWriter",
     "compute_statistics",
     "edge_pattern_of",
     "extract_patterns",
     "Traversal",
+    "ingest_jsonl_slabs",
+    "is_slab_directory",
     "load_graph_apoc_jsonl",
     "load_graph_csv",
     "load_graph_jsonl",
@@ -59,4 +81,6 @@ __all__ = [
     "node_pattern_of",
     "save_graph_csv",
     "save_graph_jsonl",
+    "stream_graph_jsonl",
+    "write_graph_to_slabs",
 ]

@@ -31,11 +31,41 @@ import csv
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable, Protocol, Sequence
 
 from repro.graph.model import Edge, Node, PropertyGraph
 
 _ON_ERROR_POLICIES = ("raise", "skip", "collect")
+
+#: Rows buffered before a chunk is handed to the sink in one call.
+DEFAULT_CHUNK_ROWS = 2048
+
+#: Approximate payload bytes buffered before a chunk flushes early.
+#: Rows with fat properties (documents, blobs) would otherwise pin
+#: ``DEFAULT_CHUNK_ROWS`` of them in memory at once, defeating the disk
+#: backend's bounded-memory ingest; the byte cap keeps peak chunk size
+#: independent of row width while small rows still batch by count.
+DEFAULT_CHUNK_BYTES = 2 << 20
+
+
+class GraphSink(Protocol):
+    """Chunk-oriented insertion target of the streaming loaders.
+
+    :class:`~repro.graph.model.PropertyGraph` satisfies this protocol
+    directly (bulk :meth:`add_nodes` / :meth:`add_edges`), as does the
+    disk backend's slab ingest sink -- the loaders never know whether
+    rows land in RAM or on disk.  Each call inserts the accepted rows
+    in order and returns ``(position, reason)`` pairs for rejected
+    ones.
+    """
+
+    def add_nodes(self, nodes: Sequence[Node]) -> list[tuple[int, str]]:
+        """Insert a node chunk; return per-position rejects."""
+        ...
+
+    def add_edges(self, edges: Sequence[Edge]) -> list[tuple[int, str]]:
+        """Insert an edge chunk; return per-position rejects."""
+        ...
 
 
 @dataclass
@@ -107,15 +137,121 @@ class _ErrorPolicy:
         self.path = Path(path)
         self.on_error = on_error
         self.report = report
+        #: Invoked before any reject is recorded.  The chunked ingest
+        #: path points this at its flush so buffered earlier rows land
+        #: (and report *their* rejects) first -- keeping error order and
+        #: raise-mode behaviour identical to per-record insertion.  The
+        #: hook may re-enter ``reject``; flushes clear their buffers
+        #: before reporting, so re-entry is a no-op.
+        self.flush_hook: Callable[[], None] | None = None
 
     def reject(self, line: int, reason: str) -> None:
         """Record one bad record; raise when the policy is strict."""
+        if self.flush_hook is not None:
+            self.flush_hook()
         if self.report is not None:
             self.report.errors.append(
                 IngestError(str(self.path), line, reason)
             )
         if self.on_error == "raise":
             raise ValueError(f"{self.path}:{line}: {reason}")
+
+
+class _ChunkedInserter:
+    """Buffers parsed elements and hands kind-homogeneous chunks to a sink.
+
+    The per-record ``graph.add_node`` / ``try``/``except`` round-trip
+    of the original loaders dominated ingest time; this batches rows
+    into ``chunk_rows``-sized chunks and lets the sink validate in one
+    locals-bound loop.  A chunk flushes when full and whenever the
+    record kind flips (nodes vs. edges), so insertion order -- and
+    therefore integrity validation -- still follows file order exactly.
+    Insert-time rejects are reported against the buffered line numbers;
+    under ``on_error="raise"`` the first reject raises only once its
+    chunk flushes, with the same message the per-record path produced.
+    """
+
+    def __init__(
+        self,
+        sink: GraphSink,
+        policy: _ErrorPolicy,
+        report: IngestReport | None,
+        chunk_rows: int,
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    ) -> None:
+        if chunk_rows < 1:
+            raise ValueError("chunk_rows must be >= 1")
+        if chunk_bytes < 1:
+            raise ValueError("chunk_bytes must be >= 1")
+        self._sink = sink
+        self._policy = policy
+        self._report = report
+        self._chunk_rows = chunk_rows
+        self._chunk_bytes = chunk_bytes
+        self._weight = 0
+        self._lines: list[int] = []
+        self._nodes: list[Node] = []
+        self._edges: list[Edge] = []
+        policy.flush_hook = self.flush
+
+    def push_node(self, line_number: int, node: Node, weight: int = 0) -> bool:
+        """Buffer one node; returns True when this filled a chunk.
+
+        ``weight`` is the row's approximate payload size (the loaders
+        pass the raw record length); a chunk flushes early once the
+        accumulated weight reaches the byte cap.
+        """
+        if self._edges:
+            self.flush()
+        self._lines.append(line_number)
+        self._nodes.append(node)
+        self._weight += weight
+        if (
+            len(self._lines) >= self._chunk_rows
+            or self._weight >= self._chunk_bytes
+        ):
+            self.flush()
+            return True
+        return False
+
+    def push_edge(self, line_number: int, edge: Edge, weight: int = 0) -> bool:
+        """Buffer one edge; returns True when this filled a chunk."""
+        if self._nodes:
+            self.flush()
+        self._lines.append(line_number)
+        self._edges.append(edge)
+        self._weight += weight
+        if (
+            len(self._lines) >= self._chunk_rows
+            or self._weight >= self._chunk_bytes
+        ):
+            self.flush()
+            return True
+        return False
+
+    def flush(self) -> None:
+        """Hand the buffered chunk to the sink and report its rejects."""
+        lines = self._lines
+        if not lines:
+            return
+        if self._nodes:
+            chunk: Sequence[Node] | Sequence[Edge] = self._nodes
+            rejects = self._sink.add_nodes(self._nodes)
+            self._nodes = []
+        else:
+            chunk = self._edges
+            rejects = self._sink.add_edges(self._edges)
+            self._edges = []
+        self._lines = []
+        self._weight = 0
+        if self._report is not None:
+            loaded = len(chunk) - len(rejects)
+            if isinstance(chunk[0], Node):
+                self._report.nodes_loaded += loaded
+            else:
+                self._report.edges_loaded += loaded
+        for position, reason in rejects:
+            self._policy.reject(lines[position], reason)
 
 
 def save_graph_jsonl(graph: PropertyGraph, path: str | Path) -> None:
@@ -163,21 +299,40 @@ def _record_int(
         return None
 
 
-def load_graph_jsonl(
+def stream_graph_jsonl(
     path: str | Path,
-    name: str | None = None,
+    sink: GraphSink,
     on_error: str = "raise",
     report: IngestReport | None = None,
-) -> PropertyGraph:
-    """Read a graph previously written by :func:`save_graph_jsonl`.
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    start_line: int = 0,
+    on_progress: Callable[[int], None] | None = None,
+) -> int:
+    """Stream a JSONL graph file into a :class:`GraphSink` in chunks.
+
+    The workhorse behind :func:`load_graph_jsonl` and the disk
+    backend's out-of-core ingest: rows are parsed one line at a time,
+    buffered into ``chunk_rows``-sized chunks, and handed to the sink
+    in file order -- peak memory is one chunk, never the file.
 
     Args:
         path: JSONL file to read.
-        name: Graph name (defaults to the file stem).
+        sink: Insertion target (a :class:`PropertyGraph` or a slab
+            ingest sink).
         on_error: ``"raise"`` | ``"skip"`` | ``"collect"`` (see module
             docstring).
-        report: Sink for :class:`IngestError` records and load counts;
-            required when ``on_error="collect"``.
+        report: Sink for :class:`IngestError` records and load counts.
+        chunk_rows: Rows buffered per sink call.
+        start_line: Skip (without parsing) all lines up to and
+            including this 1-based number -- how a resumed ingest fast
+            forwards to its last committed position.
+        on_progress: Called with the last fully processed line number
+            after each full-chunk flush; everything up to that line has
+            reached the sink, which is the disk backend's commit hook.
+
+    Returns:
+        The last 1-based line number processed (``start_line`` for an
+        empty or fully skipped file).
 
     Raises:
         ValueError: A malformed record under ``on_error="raise"`` (the
@@ -186,9 +341,13 @@ def load_graph_jsonl(
     """
     path = Path(path)
     policy = _ErrorPolicy(path, on_error, report)
-    graph = PropertyGraph(name or path.stem)
+    inserter = _ChunkedInserter(sink, policy, report, chunk_rows)
+    last_line = start_line
     with path.open("r", encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, start=1):
+            if line_number <= start_line:
+                continue
+            last_line = line_number
             line = line.strip()
             if not line:
                 continue
@@ -201,6 +360,7 @@ def load_graph_jsonl(
                 policy.reject(line_number, "record is not a JSON object")
                 continue
             kind = record.get("kind")
+            flushed = False
             if kind == "node":
                 node_id = _record_int(
                     record, "id", "node", policy, line_number
@@ -216,13 +376,7 @@ def load_graph_jsonl(
                 except (TypeError, ValueError):
                     policy.reject(line_number, "malformed node record")
                     continue
-                try:
-                    graph.add_node(node)
-                except ValueError as exc:
-                    policy.reject(line_number, str(exc))
-                    continue
-                if report is not None:
-                    report.nodes_loaded += 1
+                flushed = inserter.push_node(line_number, node, len(line))
             elif kind == "edge":
                 fields = [
                     _record_int(record, key, "edge", policy, line_number)
@@ -242,17 +396,46 @@ def load_graph_jsonl(
                 except (TypeError, ValueError):
                     policy.reject(line_number, "malformed edge record")
                     continue
-                try:
-                    graph.add_edge(edge)
-                except ValueError as exc:
-                    policy.reject(line_number, str(exc))
-                    continue
-                if report is not None:
-                    report.edges_loaded += 1
+                flushed = inserter.push_edge(line_number, edge, len(line))
             else:
                 policy.reject(
                     line_number, f"unknown record kind {kind!r}"
                 )
+            if flushed and on_progress is not None:
+                on_progress(line_number)
+    inserter.flush()
+    return last_line
+
+
+def load_graph_jsonl(
+    path: str | Path,
+    name: str | None = None,
+    on_error: str = "raise",
+    report: IngestReport | None = None,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+) -> PropertyGraph:
+    """Read a graph previously written by :func:`save_graph_jsonl`.
+
+    Args:
+        path: JSONL file to read.
+        name: Graph name (defaults to the file stem).
+        on_error: ``"raise"`` | ``"skip"`` | ``"collect"`` (see module
+            docstring).
+        report: Sink for :class:`IngestError` records and load counts;
+            required when ``on_error="collect"``.
+        chunk_rows: Rows handed to the graph per bulk insert.
+
+    Raises:
+        ValueError: A malformed record under ``on_error="raise"`` (the
+            message carries ``path:line``), or an invalid policy.
+        FileNotFoundError: The file does not exist.
+    """
+    path = Path(path)
+    graph = PropertyGraph(name or path.stem)
+    stream_graph_jsonl(
+        path, graph, on_error=on_error, report=report,
+        chunk_rows=chunk_rows,
+    )
     return graph
 
 
@@ -315,6 +498,7 @@ def load_graph_csv(
     name: str = "graph",
     on_error: str = "raise",
     report: IngestReport | None = None,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
 ) -> PropertyGraph:
     """Read a graph previously written by :func:`save_graph_csv`.
 
@@ -325,6 +509,7 @@ def load_graph_csv(
     """
     graph = PropertyGraph(name)
     node_policy = _ErrorPolicy(nodes_path, on_error, report)
+    node_inserter = _ChunkedInserter(graph, node_policy, report, chunk_rows)
     with Path(nodes_path).open("r", encoding="utf-8", newline="") as handle:
         reader = csv.reader(handle)
         header = next(reader)
@@ -344,14 +529,12 @@ def load_graph_csv(
                     line_number, f"invalid JSON property cell: {exc.msg}"
                 )
                 continue
-            try:
-                graph.add_node(Node(ids[0], labels, properties))
-            except ValueError as exc:
-                node_policy.reject(line_number, str(exc))
-                continue
-            if report is not None:
-                report.nodes_loaded += 1
+            node_inserter.push_node(
+                line_number, Node(ids[0], labels, properties)
+            )
+    node_inserter.flush()
     edge_policy = _ErrorPolicy(edges_path, on_error, report)
+    edge_inserter = _ChunkedInserter(graph, edge_policy, report, chunk_rows)
     with Path(edges_path).open("r", encoding="utf-8", newline="") as handle:
         reader = csv.reader(handle)
         header = next(reader)
@@ -371,15 +554,10 @@ def load_graph_csv(
                     line_number, f"invalid JSON property cell: {exc.msg}"
                 )
                 continue
-            try:
-                graph.add_edge(Edge(
-                    ids[0], ids[1], ids[2], labels, properties,
-                ))
-            except ValueError as exc:
-                edge_policy.reject(line_number, str(exc))
-                continue
-            if report is not None:
-                report.edges_loaded += 1
+            edge_inserter.push_edge(line_number, Edge(
+                ids[0], ids[1], ids[2], labels, properties,
+            ))
+    edge_inserter.flush()
     return graph
 
 
@@ -388,6 +566,7 @@ def load_graph_apoc_jsonl(
     name: str | None = None,
     on_error: str = "raise",
     report: IngestReport | None = None,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
 ) -> PropertyGraph:
     """Read a Neo4j ``apoc.export.json`` JSONL dump.
 
@@ -396,6 +575,9 @@ def load_graph_apoc_jsonl(
     ``"type": "relationship"`` records whose ``start``/``end`` are nested
     node references and whose relationship type is the ``label`` field.
     Node ids in the dump are strings; they are remapped to dense ints.
+    Edge ids are dense too, and a rejected relationship does not consume
+    one -- the next accepted relationship takes its id, exactly as when
+    rows were inserted one at a time.
 
     Accepts the same ``on_error`` / ``report`` policy as
     :func:`load_graph_jsonl`.
@@ -405,6 +587,69 @@ def load_graph_apoc_jsonl(
     graph = PropertyGraph(name or path.stem)
     node_ids: dict[str, int] = {}
     next_edge_id = 0
+    node_lines: list[int] = []
+    node_buffer: list[Node] = []
+    rel_lines: list[int] = []
+    rel_buffer: list[tuple[int, int, frozenset[str], dict[str, Any]]] = []
+
+    def flush_nodes() -> None:
+        if not node_buffer:
+            return
+        lines = node_lines[:]
+        chunk = node_buffer[:]
+        node_lines.clear()
+        node_buffer.clear()
+        rejects = graph.add_nodes(chunk)
+        if report is not None:
+            report.nodes_loaded += len(chunk) - len(rejects)
+        for position, reason in rejects:
+            policy.reject(lines[position], reason)
+
+    def flush_relationships() -> None:
+        # Relationships validate against the graph, so every node that
+        # preceded them in the file must land first.
+        nonlocal next_edge_id
+        flush_nodes()
+        if not rel_buffer:
+            return
+        lines = rel_lines[:]
+        pending = rel_buffer[:]
+        rel_lines.clear()
+        rel_buffer.clear()
+        edges: list[Edge] = []
+        edge_lines: list[int] = []
+        for line_number, parts in zip(lines, pending):
+            source, target, labels, properties = parts
+            # Pre-validate endpoints so a rejected relationship never
+            # consumes an edge id (messages match PropertyGraph.add_edge).
+            if not graph.has_node(source):
+                policy.reject(
+                    line_number,
+                    f"edge {next_edge_id}: unknown source {source}",
+                )
+                continue
+            if not graph.has_node(target):
+                policy.reject(
+                    line_number,
+                    f"edge {next_edge_id}: unknown target {target}",
+                )
+                continue
+            edges.append(Edge(
+                id=next_edge_id,
+                source=source,
+                target=target,
+                labels=labels,
+                properties=properties,
+            ))
+            edge_lines.append(line_number)
+            next_edge_id += 1
+        rejects = graph.add_edges(edges)
+        if report is not None:
+            report.edges_loaded += len(edges) - len(rejects)
+        for position, reason in rejects:
+            policy.reject(edge_lines[position], reason)
+
+    policy.flush_hook = flush_relationships
     with path.open("r", encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, start=1):
             line = line.strip()
@@ -426,16 +671,20 @@ def load_graph_apoc_jsonl(
                 raw_id = str(record["id"])
                 node_id = node_ids.setdefault(raw_id, len(node_ids))
                 try:
-                    graph.add_node(Node(
+                    node = Node(
                         id=node_id,
                         labels=frozenset(record.get("labels", ())),
                         properties=dict(record.get("properties", {})),
-                    ))
+                    )
                 except (TypeError, ValueError) as exc:
                     policy.reject(line_number, str(exc))
                     continue
-                if report is not None:
-                    report.nodes_loaded += 1
+                if rel_buffer:
+                    flush_relationships()
+                node_lines.append(line_number)
+                node_buffer.append(node)
+                if len(node_buffer) >= chunk_rows:
+                    flush_nodes()
             elif kind == "relationship":
                 try:
                     source = node_ids[str(record["start"]["id"])]
@@ -448,23 +697,20 @@ def load_graph_apoc_jsonl(
                     continue
                 label = record.get("label")
                 try:
-                    graph.add_edge(Edge(
-                        id=next_edge_id,
-                        source=source,
-                        target=target,
-                        labels=frozenset([label] if label else ()),
-                        properties=dict(record.get("properties", {})),
-                    ))
+                    labels = frozenset([label] if label else ())
+                    properties = dict(record.get("properties", {}))
                 except (TypeError, ValueError) as exc:
                     policy.reject(line_number, str(exc))
                     continue
-                next_edge_id += 1
-                if report is not None:
-                    report.edges_loaded += 1
+                rel_lines.append(line_number)
+                rel_buffer.append((source, target, labels, properties))
+                if len(rel_buffer) >= chunk_rows:
+                    flush_relationships()
             else:
                 policy.reject(
                     line_number, f"unknown APOC record type {kind!r}"
                 )
+    flush_relationships()
     return graph
 
 

@@ -160,6 +160,62 @@ class PropertyGraph:
         self._out[edge.source].append(edge.id)
         self._in[edge.target].append(edge.id)
 
+    def add_nodes(self, nodes: Iterable[Node]) -> list[tuple[int, str]]:
+        """Bulk node insert: collects rejects instead of raising.
+
+        The chunked ingest path of :mod:`repro.graph.io` hands whole
+        chunks to the graph in one call -- one method dispatch and one
+        locals-bound loop per chunk instead of a ``try``/``except``
+        round-trip per record.  Returns ``(position, reason)`` pairs for
+        records that violate integrity (same reasons as
+        :meth:`add_node` raises); accepted records are inserted in
+        order.
+        """
+        rejects: list[tuple[int, str]] = []
+        nodes_map = self._nodes
+        out_map = self._out
+        in_map = self._in
+        for position, node in enumerate(nodes):
+            node_id = node.id
+            if node_id in nodes_map:
+                rejects.append((position, f"duplicate node id {node_id}"))
+                continue
+            nodes_map[node_id] = node
+            out_map[node_id] = []
+            in_map[node_id] = []
+        return rejects
+
+    def add_edges(self, edges: Iterable[Edge]) -> list[tuple[int, str]]:
+        """Bulk edge insert: collects rejects instead of raising.
+
+        Counterpart of :meth:`add_nodes` for edges; integrity checks
+        (duplicate id, unknown endpoints) match :meth:`add_edge`.
+        """
+        rejects: list[tuple[int, str]] = []
+        nodes_map = self._nodes
+        edges_map = self._edges
+        out_map = self._out
+        in_map = self._in
+        for position, edge in enumerate(edges):
+            edge_id = edge.id
+            if edge_id in edges_map:
+                rejects.append((position, f"duplicate edge id {edge_id}"))
+                continue
+            if edge.source not in nodes_map:
+                rejects.append(
+                    (position, f"edge {edge_id}: unknown source {edge.source}")
+                )
+                continue
+            if edge.target not in nodes_map:
+                rejects.append(
+                    (position, f"edge {edge_id}: unknown target {edge.target}")
+                )
+                continue
+            edges_map[edge_id] = edge
+            out_map[edge.source].append(edge_id)
+            in_map[edge.target].append(edge_id)
+        return rejects
+
     def remove_edge(self, edge_id: int) -> Edge:
         """Delete an edge; returns the removed record."""
         edge = self._edges.pop(edge_id)

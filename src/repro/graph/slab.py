@@ -1,0 +1,716 @@
+"""Append-only columnar slab files: the on-disk graph representation.
+
+One slab directory holds one property graph as per-kind column files
+plus a JSON manifest that is the *only* commit point:
+
+* ``nodes-ids.i64`` / ``edges-ids.i64`` -- element ids, int64 per row;
+* ``edges-src.i64`` / ``edges-tgt.i64`` -- edge endpoints;
+* ``*-labels.i64`` -- per-row dense id into the kind's interned label
+  sets (stored in the manifest, first-seen order);
+* ``*-keys.i64`` -- per-row dense id into the interned property-key
+  orders (first-seen key order retained, which byte-identical MinHash
+  feature interning depends on);
+* ``*-props.dat`` + ``*-propend.i64`` -- a pickle heap of per-row
+  property dicts and the int64 *end* offset of each row's pickle, so
+  row ``r`` occupies ``[propend[r-1], propend[r])``.
+
+Column files are append-only.  Writers buffer rows and flush whole
+column chunks once ``slab_bytes`` of property payload accumulates; the
+manifest is rewritten atomically (temp file + ``os.replace``) only at
+:meth:`SlabWriter.commit`.  Crash consistency follows from that split:
+
+* a reader trusts nothing past the manifest's durable row counts, so a
+  crash mid-append is invisible;
+* a writer reopening the directory physically truncates every column
+  file back to the durable lengths before appending, so a torn tail
+  can never be concatenated with new rows;
+* the manifest also records per-source ingest progress
+  (``sources[key] -> last fully committed line number``), which is what
+  lets a killed ingest resume exactly where the last commit left off.
+
+The layout is deliberately dumb -- no compression, no btree -- because
+discovery only ever needs sequential scans, vectorized slices, and
+id-sorted point lookups, all of which mmap + numpy already serve.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+import pickle
+from pathlib import Path
+from typing import Any, Iterator, Mapping, Sequence
+
+import numpy
+
+from repro.graph.model import Edge, Node
+
+MANIFEST_NAME = "manifest.json"
+SLAB_VERSION = 1
+DEFAULT_SLAB_BYTES = 4 << 20
+
+NODE_KIND = "nodes"
+EDGE_KIND = "edges"
+
+_INT_COLUMNS: dict[str, tuple[str, ...]] = {
+    NODE_KIND: ("ids", "labels", "keys", "propend"),
+    EDGE_KIND: ("ids", "src", "tgt", "labels", "keys", "propend"),
+}
+
+
+class SlabCorruptionError(RuntimeError):
+    """A slab directory's files are shorter than its manifest promises."""
+
+
+def _column_path(directory: Path, kind: str, column: str) -> Path:
+    """Path of one int64 column file."""
+    return directory / f"{kind}-{column}.i64"
+
+
+def _heap_path(directory: Path, kind: str) -> Path:
+    """Path of the pickled-properties heap file."""
+    return directory / f"{kind}-props.dat"
+
+
+def _write_manifest(directory: Path, manifest: dict[str, Any]) -> None:
+    """Atomically replace the manifest (temp file + rename)."""
+    tmp = directory / (MANIFEST_NAME + ".tmp")
+    payload = json.dumps(manifest, sort_keys=True)
+    with tmp.open("w", encoding="utf-8") as handle:
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, directory / MANIFEST_NAME)
+
+
+def read_manifest(directory: str | Path) -> dict[str, Any]:
+    """Load a slab directory's manifest.
+
+    Raises:
+        FileNotFoundError: No manifest -- not a slab directory.
+        SlabCorruptionError: Manifest exists but is not valid slab JSON.
+    """
+    path = Path(directory) / MANIFEST_NAME
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except json.JSONDecodeError as exc:
+        raise SlabCorruptionError(
+            f"{path}: manifest is not valid JSON: {exc.msg}"
+        ) from exc
+    if not isinstance(manifest, dict) or "kinds" not in manifest:
+        raise SlabCorruptionError(f"{path}: manifest missing 'kinds'")
+    return manifest
+
+
+def _empty_manifest(name: str) -> dict[str, Any]:
+    """Fresh manifest for an empty graph."""
+    return {
+        "version": SLAB_VERSION,
+        "name": name,
+        "kinds": {
+            kind: {
+                "rows": 0,
+                "props_bytes": 0,
+                "label_sets": [],
+                "key_orders": [],
+            }
+            for kind in (NODE_KIND, EDGE_KIND)
+        },
+        "sources": {},
+    }
+
+
+class _KindState:
+    """Writer-side state for one element kind (nodes or edges)."""
+
+    __slots__ = (
+        "kind", "rows", "props_bytes", "label_sets", "label_ids",
+        "key_orders", "key_ids", "ids_seen", "buffers", "prop_buffer",
+    )
+
+    def __init__(self, kind: str, entry: Mapping[str, Any]) -> None:
+        self.kind = kind
+        self.rows = int(entry["rows"])
+        self.props_bytes = int(entry["props_bytes"])
+        self.label_sets: list[frozenset[str]] = [
+            frozenset(labels) for labels in entry["label_sets"]
+        ]
+        self.label_ids: dict[frozenset[str], int] = {
+            labels: index for index, labels in enumerate(self.label_sets)
+        }
+        self.key_orders: list[tuple[str, ...]] = [
+            tuple(order) for order in entry["key_orders"]
+        ]
+        self.key_ids: dict[frozenset[str], int] = {
+            frozenset(order): index
+            for index, order in enumerate(self.key_orders)
+        }
+        self.ids_seen: set[int] = set()
+        self.buffers: dict[str, list[int]] = {
+            column: [] for column in _INT_COLUMNS[kind]
+        }
+        self.prop_buffer = bytearray()
+
+    def intern_labels(self, labels: frozenset[str]) -> int:
+        """Dense id for a label set (first-seen assignment)."""
+        existing = self.label_ids.get(labels)
+        if existing is not None:
+            return existing
+        new_id = len(self.label_sets)
+        self.label_ids[labels] = new_id
+        self.label_sets.append(labels)
+        return new_id
+
+    def intern_keys(self, properties: Mapping[str, Any]) -> int:
+        """Dense id for a property-key set (first-seen order retained)."""
+        keys = frozenset(properties)
+        existing = self.key_ids.get(keys)
+        if existing is not None:
+            return existing
+        new_id = len(self.key_orders)
+        self.key_ids[keys] = new_id
+        self.key_orders.append(tuple(properties))
+        return new_id
+
+    def manifest_entry(self) -> dict[str, Any]:
+        """Durable description of this kind for the manifest."""
+        return {
+            "rows": self.rows,
+            "props_bytes": self.props_bytes,
+            "label_sets": [sorted(labels) for labels in self.label_sets],
+            "key_orders": [list(order) for order in self.key_orders],
+        }
+
+
+class SlabWriter:
+    """Appends nodes and edges to a slab directory.
+
+    Opening an existing directory resumes from its manifest: column
+    files are truncated back to the durable lengths (discarding any torn
+    tail from a crash) and the id sets needed for duplicate/endpoint
+    validation are rebuilt from the id columns.  ``with`` usage commits
+    on clean exit and leaves the last durable state on an exception.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        name: str | None = None,
+        slab_bytes: int = DEFAULT_SLAB_BYTES,
+    ) -> None:
+        if slab_bytes < 4096:
+            raise ValueError("slab_bytes must be >= 4096")
+        self._directory = Path(directory)
+        self._directory.mkdir(parents=True, exist_ok=True)
+        self._slab_bytes = slab_bytes
+        manifest_path = self._directory / MANIFEST_NAME
+        if manifest_path.exists():
+            manifest = read_manifest(self._directory)
+            if name is not None:
+                manifest["name"] = name
+        else:
+            manifest = _empty_manifest(name or self._directory.name)
+        self._sources: dict[str, int] = {
+            str(key): int(value)
+            for key, value in manifest.get("sources", {}).items()
+        }
+        self._name = str(manifest["name"])
+        self._kinds = {
+            kind: _KindState(kind, manifest["kinds"][kind])
+            for kind in (NODE_KIND, EDGE_KIND)
+        }
+        self._uncommitted = 0
+        self._closed = False
+        self._recover()
+        self._load_id_sets()
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def _recover(self) -> None:
+        """Truncate every column file back to the durable manifest state."""
+        for kind, state in self._kinds.items():
+            for column in _INT_COLUMNS[kind]:
+                self._truncate(
+                    _column_path(self._directory, kind, column),
+                    state.rows * 8,
+                )
+            self._truncate(
+                _heap_path(self._directory, kind), state.props_bytes
+            )
+
+    def _truncate(self, path: Path, durable: int) -> None:
+        """Cut one file to its durable byte length (create if absent)."""
+        if not path.exists():
+            if durable:
+                raise SlabCorruptionError(
+                    f"{path}: missing but manifest records {durable} bytes"
+                )
+            path.touch()
+            return
+        actual = path.stat().st_size
+        if actual < durable:
+            raise SlabCorruptionError(
+                f"{path}: {actual} bytes on disk, manifest records {durable}"
+            )
+        if actual > durable:
+            with path.open("r+b") as handle:
+                handle.truncate(durable)
+
+    def _load_id_sets(self) -> None:
+        """Rebuild duplicate/endpoint validation sets from the id columns."""
+        for kind, state in self._kinds.items():
+            if state.rows:
+                ids = numpy.fromfile(
+                    _column_path(self._directory, kind, "ids"),
+                    dtype=numpy.int64,
+                    count=state.rows,
+                )
+                state.ids_seen = set(ids.tolist())
+
+    # ------------------------------------------------------------------
+    # Appends
+    # ------------------------------------------------------------------
+    def add_nodes(self, nodes: Sequence[Node]) -> list[tuple[int, str]]:
+        """Append a chunk of nodes; returns ``(position, reason)`` rejects."""
+        state = self._kinds[NODE_KIND]
+        rejects: list[tuple[int, str]] = []
+        buffers = state.buffers
+        ids_buf = buffers["ids"]
+        labels_buf = buffers["labels"]
+        keys_buf = buffers["keys"]
+        end_buf = buffers["propend"]
+        heap = state.prop_buffer
+        base = state.props_bytes
+        before = len(heap)
+        seen = state.ids_seen
+        for position, node in enumerate(nodes):
+            node_id = node.id
+            if node_id in seen:
+                rejects.append((position, f"duplicate node id {node_id}"))
+                continue
+            seen.add(node_id)
+            ids_buf.append(node_id)
+            labels_buf.append(state.intern_labels(node.labels))
+            keys_buf.append(state.intern_keys(node.properties))
+            heap += pickle.dumps(dict(node.properties), protocol=5)
+            end_buf.append(base + len(heap))
+        self._uncommitted += len(heap) - before
+        self._maybe_flush()
+        return rejects
+
+    def add_edges(self, edges: Sequence[Edge]) -> list[tuple[int, str]]:
+        """Append a chunk of edges; returns ``(position, reason)`` rejects.
+
+        Endpoint validation matches :class:`~repro.graph.model.PropertyGraph`
+        exactly (same reject messages), against every node committed or
+        buffered so far -- nodes must precede the edges that use them,
+        which both the JSONL layout and the CSV loader guarantee.
+        """
+        state = self._kinds[EDGE_KIND]
+        node_ids = self._kinds[NODE_KIND].ids_seen
+        rejects: list[tuple[int, str]] = []
+        buffers = state.buffers
+        ids_buf = buffers["ids"]
+        src_buf = buffers["src"]
+        tgt_buf = buffers["tgt"]
+        labels_buf = buffers["labels"]
+        keys_buf = buffers["keys"]
+        end_buf = buffers["propend"]
+        heap = state.prop_buffer
+        base = state.props_bytes
+        before = len(heap)
+        seen = state.ids_seen
+        for position, edge in enumerate(edges):
+            edge_id = edge.id
+            if edge_id in seen:
+                rejects.append((position, f"duplicate edge id {edge_id}"))
+                continue
+            if edge.source not in node_ids:
+                rejects.append(
+                    (position, f"edge {edge_id}: unknown source {edge.source}")
+                )
+                continue
+            if edge.target not in node_ids:
+                rejects.append(
+                    (position, f"edge {edge_id}: unknown target {edge.target}")
+                )
+                continue
+            seen.add(edge_id)
+            ids_buf.append(edge_id)
+            src_buf.append(edge.source)
+            tgt_buf.append(edge.target)
+            labels_buf.append(state.intern_labels(edge.labels))
+            keys_buf.append(state.intern_keys(edge.properties))
+            heap += pickle.dumps(dict(edge.properties), protocol=5)
+            end_buf.append(base + len(heap))
+        self._uncommitted += len(heap) - before
+        self._maybe_flush()
+        return rejects
+
+    # ------------------------------------------------------------------
+    # Flush / commit
+    # ------------------------------------------------------------------
+    @property
+    def uncommitted_bytes(self) -> int:
+        """Property-heap bytes appended since the last :meth:`commit`."""
+        return self._uncommitted
+
+    @property
+    def name(self) -> str:
+        """Graph name recorded in the manifest."""
+        return self._name
+
+    @property
+    def directory(self) -> Path:
+        """The slab directory."""
+        return self._directory
+
+    def counts(self) -> tuple[int, int]:
+        """(nodes, edges) appended so far, including buffered rows."""
+        node_state = self._kinds[NODE_KIND]
+        edge_state = self._kinds[EDGE_KIND]
+        return (
+            node_state.rows + len(node_state.buffers["ids"]),
+            edge_state.rows + len(edge_state.buffers["ids"]),
+        )
+
+    def source_progress(self, key: str) -> int:
+        """Last committed progress marker for one ingest source (0 if new)."""
+        return self._sources.get(key, 0)
+
+    def _maybe_flush(self) -> None:
+        """Flush buffered rows once enough property payload accumulates."""
+        for state in self._kinds.values():
+            if len(state.prop_buffer) >= self._slab_bytes:
+                self._flush_kind(state)
+
+    def _flush_kind(self, state: _KindState) -> None:
+        """Append one kind's buffered rows to its column files."""
+        added = len(state.buffers["ids"])
+        if not added:
+            return
+        for column in _INT_COLUMNS[state.kind]:
+            values = state.buffers[column]
+            path = _column_path(self._directory, state.kind, column)
+            with path.open("ab") as handle:
+                handle.write(
+                    numpy.asarray(values, dtype=numpy.int64).tobytes()
+                )
+                handle.flush()
+                os.fsync(handle.fileno())
+            values.clear()
+        heap_path = _heap_path(self._directory, state.kind)
+        with heap_path.open("ab") as handle:
+            # memoryview avoids duplicating the whole pending heap just
+            # to write it -- the buffer can be many megabytes.
+            handle.write(memoryview(state.prop_buffer))
+            handle.flush()
+            os.fsync(handle.fileno())
+        state.props_bytes += len(state.prop_buffer)
+        state.prop_buffer.clear()
+        state.rows += added
+
+    def commit(self, sources: Mapping[str, int] | None = None) -> None:
+        """Flush all buffers and atomically publish the new durable state.
+
+        Args:
+            sources: Optional per-source progress markers to merge into
+                the manifest (``key -> last fully processed line``); a
+                resumed ingest reads them back via
+                :meth:`source_progress`.
+        """
+        for state in self._kinds.values():
+            self._flush_kind(state)
+        if sources:
+            for key, value in sources.items():
+                self._sources[str(key)] = int(value)
+        manifest = {
+            "version": SLAB_VERSION,
+            "name": self._name,
+            "kinds": {
+                kind: state.manifest_entry()
+                for kind, state in self._kinds.items()
+            },
+            "sources": dict(self._sources),
+        }
+        _write_manifest(self._directory, manifest)
+        self._uncommitted = 0
+
+    def reset(self) -> None:
+        """Discard all rows and start the directory over (fresh manifest)."""
+        for kind in (NODE_KIND, EDGE_KIND):
+            for column in _INT_COLUMNS[kind]:
+                _column_path(self._directory, kind, column).unlink(
+                    missing_ok=True
+                )
+            _heap_path(self._directory, kind).unlink(missing_ok=True)
+        manifest = _empty_manifest(self._name)
+        _write_manifest(self._directory, manifest)
+        self._sources = {}
+        self._kinds = {
+            kind: _KindState(kind, manifest["kinds"][kind])
+            for kind in (NODE_KIND, EDGE_KIND)
+        }
+        self._uncommitted = 0
+        self._recover()
+
+    def close(self) -> None:
+        """Drop buffered (uncommitted) rows without publishing them."""
+        self._closed = True
+
+    def __enter__(self) -> "SlabWriter":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        if exc_type is None:
+            self.commit()
+        self.close()
+
+
+class _KindView:
+    """Reader-side mmap view of one kind's columns."""
+
+    __slots__ = (
+        "rows", "label_sets", "key_orders", "_columns", "_heap",
+        "_handles",
+    )
+
+    def __init__(
+        self, directory: Path, kind: str, entry: Mapping[str, Any]
+    ) -> None:
+        self.rows = int(entry["rows"])
+        self.label_sets: tuple[frozenset[str], ...] = tuple(
+            frozenset(labels) for labels in entry["label_sets"]
+        )
+        self.key_orders: tuple[tuple[str, ...], ...] = tuple(
+            tuple(order) for order in entry["key_orders"]
+        )
+        self._handles: list[tuple[Any, mmap.mmap]] = []
+        self._columns: dict[str, numpy.ndarray] = {}
+        props_bytes = int(entry["props_bytes"])
+        for column in _INT_COLUMNS[kind]:
+            path = _column_path(directory, kind, column)
+            self._columns[column] = self._map_array(path, self.rows)
+        self._heap = self._map_bytes(_heap_path(directory, kind), props_bytes)
+
+    def _map_array(self, path: Path, rows: int) -> numpy.ndarray:
+        """Memory-map one int64 column, logically truncated to ``rows``."""
+        if rows == 0:
+            return numpy.empty(0, dtype=numpy.int64)
+        mapped = self._map(path, rows * 8)
+        return numpy.frombuffer(mapped, dtype=numpy.int64, count=rows)
+
+    def _map_bytes(self, path: Path, length: int) -> "mmap.mmap | bytes":
+        """Memory-map the property heap (empty heap maps to ``b""``)."""
+        if length == 0:
+            return b""
+        return self._map(path, length)
+
+    def _map(self, path: Path, length: int) -> mmap.mmap:
+        """Open + mmap one file read-only, tracking the handle pair."""
+        handle = path.open("rb")
+        try:
+            if os.fstat(handle.fileno()).st_size < length:
+                raise SlabCorruptionError(
+                    f"{path}: shorter than the manifest's {length} bytes"
+                )
+            mapped = mmap.mmap(
+                handle.fileno(), 0, access=mmap.ACCESS_READ
+            )
+        except BaseException:
+            handle.close()
+            raise
+        self._handles.append((handle, mapped))
+        return mapped
+
+    def column(self, name: str) -> numpy.ndarray:
+        """One int64 column as a read-only array."""
+        return self._columns[name]
+
+    def properties_at(self, row: int) -> dict[str, Any]:
+        """Unpickle one row's property dict from the heap."""
+        ends = self._columns["propend"]
+        start = int(ends[row - 1]) if row else 0
+        payload = bytes(self._heap[start : int(ends[row])])
+        result: dict[str, Any] = pickle.loads(payload)
+        return result
+
+    def close(self) -> None:
+        """Release every mmap and file handle."""
+        self._columns = {}
+        self._heap = b""
+        for handle, mapped in self._handles:
+            try:
+                mapped.close()
+            except BufferError:  # pragma: no cover - exported view alive
+                pass
+            handle.close()
+        self._handles = []
+
+
+class SlabReader:
+    """Read-only mmap view of a slab directory at its last commit.
+
+    Every column is exposed as a numpy array over the mapped bytes,
+    logically truncated to the manifest's durable row counts, so rows
+    appended (but not committed) after the reader opened are invisible.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self._directory = Path(directory)
+        manifest = read_manifest(self._directory)
+        self._name = str(manifest["name"])
+        self._sources: dict[str, int] = {
+            str(key): int(value)
+            for key, value in manifest.get("sources", {}).items()
+        }
+        self._kinds = {
+            kind: _KindView(self._directory, kind, manifest["kinds"][kind])
+            for kind in (NODE_KIND, EDGE_KIND)
+        }
+        self._fingerprint = ":".join(
+            f"{kind}={manifest['kinds'][kind]['rows']}"
+            f"/{manifest['kinds'][kind]['props_bytes']}"
+            for kind in (NODE_KIND, EDGE_KIND)
+        )
+
+    @property
+    def name(self) -> str:
+        """Graph name recorded in the manifest."""
+        return self._name
+
+    @property
+    def fingerprint(self) -> str:
+        """Compact marker of the durable state this reader is pinned to."""
+        return self._fingerprint
+
+    @property
+    def directory(self) -> Path:
+        """The slab directory."""
+        return self._directory
+
+    @property
+    def node_count(self) -> int:
+        """Durable node rows."""
+        return self._kinds[NODE_KIND].rows
+
+    @property
+    def edge_count(self) -> int:
+        """Durable edge rows."""
+        return self._kinds[EDGE_KIND].rows
+
+    @property
+    def node_ids(self) -> numpy.ndarray:
+        """Node ids in insertion order."""
+        return self._kinds[NODE_KIND].column("ids")
+
+    @property
+    def node_label_ids(self) -> numpy.ndarray:
+        """Per-node dense label-set ids (into :attr:`node_label_sets`)."""
+        return self._kinds[NODE_KIND].column("labels")
+
+    @property
+    def node_keyset_ids(self) -> numpy.ndarray:
+        """Per-node dense key-set ids (into :attr:`node_key_orders`)."""
+        return self._kinds[NODE_KIND].column("keys")
+
+    @property
+    def node_label_sets(self) -> tuple[frozenset[str], ...]:
+        """Interned node label sets in first-seen order."""
+        return self._kinds[NODE_KIND].label_sets
+
+    @property
+    def node_key_orders(self) -> tuple[tuple[str, ...], ...]:
+        """Interned node property-key orders in first-seen order."""
+        return self._kinds[NODE_KIND].key_orders
+
+    @property
+    def edge_ids(self) -> numpy.ndarray:
+        """Edge ids in insertion order."""
+        return self._kinds[EDGE_KIND].column("ids")
+
+    @property
+    def edge_sources(self) -> numpy.ndarray:
+        """Edge source node ids in insertion order."""
+        return self._kinds[EDGE_KIND].column("src")
+
+    @property
+    def edge_targets(self) -> numpy.ndarray:
+        """Edge target node ids in insertion order."""
+        return self._kinds[EDGE_KIND].column("tgt")
+
+    @property
+    def edge_label_ids(self) -> numpy.ndarray:
+        """Per-edge dense label-set ids (into :attr:`edge_label_sets`)."""
+        return self._kinds[EDGE_KIND].column("labels")
+
+    @property
+    def edge_keyset_ids(self) -> numpy.ndarray:
+        """Per-edge dense key-set ids (into :attr:`edge_key_orders`)."""
+        return self._kinds[EDGE_KIND].column("keys")
+
+    @property
+    def edge_label_sets(self) -> tuple[frozenset[str], ...]:
+        """Interned edge label sets in first-seen order."""
+        return self._kinds[EDGE_KIND].label_sets
+
+    @property
+    def edge_key_orders(self) -> tuple[tuple[str, ...], ...]:
+        """Interned edge property-key orders in first-seen order."""
+        return self._kinds[EDGE_KIND].key_orders
+
+    def source_progress(self, key: str) -> int:
+        """Committed ingest progress marker for one source (0 if unseen)."""
+        return self._sources.get(key, 0)
+
+    def node_properties_at(self, row: int) -> dict[str, Any]:
+        """One node row's property dict, original key order preserved."""
+        return self._kinds[NODE_KIND].properties_at(row)
+
+    def edge_properties_at(self, row: int) -> dict[str, Any]:
+        """One edge row's property dict, original key order preserved."""
+        return self._kinds[EDGE_KIND].properties_at(row)
+
+    def node_at(self, row: int) -> Node:
+        """Materialize the node stored at ``row``."""
+        view = self._kinds[NODE_KIND]
+        return Node(
+            id=int(view.column("ids")[row]),
+            labels=view.label_sets[int(view.column("labels")[row])],
+            properties=view.properties_at(row),
+        )
+
+    def edge_at(self, row: int) -> Edge:
+        """Materialize the edge stored at ``row``."""
+        view = self._kinds[EDGE_KIND]
+        return Edge(
+            id=int(view.column("ids")[row]),
+            source=int(view.column("src")[row]),
+            target=int(view.column("tgt")[row]),
+            labels=view.label_sets[int(view.column("labels")[row])],
+            properties=view.properties_at(row),
+        )
+
+    def iter_nodes(self) -> Iterator[Node]:
+        """Stream every node in insertion order."""
+        for row in range(self.node_count):
+            yield self.node_at(row)
+
+    def iter_edges(self) -> Iterator[Edge]:
+        """Stream every edge in insertion order."""
+        for row in range(self.edge_count):
+            yield self.edge_at(row)
+
+    def close(self) -> None:
+        """Release every mmap held by this reader."""
+        for view in self._kinds.values():
+            view.close()
+
+    def __enter__(self) -> "SlabReader":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()

@@ -16,6 +16,7 @@ All randomness is seeded so experiments are reproducible.
 from __future__ import annotations
 
 import random
+from abc import ABC, abstractmethod
 from collections import defaultdict
 from dataclasses import dataclass
 from itertools import islice
@@ -81,12 +82,185 @@ class _ArrayPartition:
         self.edges_by_shard_ids = edges_by_shard_ids
 
 
-class GraphStore:
+class BaseGraphStore(ABC):
+    """The store contract every discovery mode runs against.
+
+    Two backends implement it: :class:`GraphStore` (the historical
+    in-memory facade over a :class:`PropertyGraph`) and
+    :class:`repro.graph.diskstore.DiskGraphStore` (memory-mapped column
+    slabs for graphs bigger than RAM).  The algorithmic layers --
+    vectorization, clustering, the parallel driver, post-processing --
+    depend only on this interface, and the contract is *byte-identity*:
+    for the same logical graph both backends must partition, shuffle,
+    sample and materialize exactly the same elements in exactly the same
+    order, so discovery output never depends on where the bytes live.
+
+    Everything deterministic about sharding lives here: the partition
+    semantics (insertion-ordered ids, ``random.Random(seed).shuffle``,
+    round-robin assignment, edges following their source node) are part
+    of the interface, not an implementation detail.
+    """
+
+    # ------------------------------------------------------------------
+    # Identity and scans
+    # ------------------------------------------------------------------
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Name of the stored graph."""
+
+    @abstractmethod
+    def scan_nodes(self) -> Iterator[Node]:
+        """Stream all nodes in insertion order."""
+
+    @abstractmethod
+    def scan_edges(self) -> Iterator[Edge]:
+        """Stream all edges in insertion order."""
+
+    @abstractmethod
+    def count_nodes(self) -> int:
+        """Total number of nodes."""
+
+    @abstractmethod
+    def count_edges(self) -> int:
+        """Total number of edges."""
+
+    @abstractmethod
+    def node(self, node_id: int) -> Node:
+        """Point lookup of a node (``KeyError`` when absent)."""
+
+    @abstractmethod
+    def edge(self, edge_id: int) -> Edge:
+        """Point lookup of an edge (``KeyError`` when absent)."""
+
+    def endpoints(self, edge: Edge) -> tuple[Node, Node]:
+        """Source and target node of an edge."""
+        return self.node(edge.source), self.node(edge.target)
+
+    # ------------------------------------------------------------------
+    # Sharded scans
+    # ------------------------------------------------------------------
+    def batches(
+        self,
+        num_batches: int,
+        seed: int = 0,
+        shuffle: bool = True,
+    ) -> Iterator["GraphBatch"]:
+        """Split the graph into ``num_batches`` node-partitioned batches.
+
+        Mirrors the paper's evaluation setup ("we randomly separate the
+        graph into 10 batches").  Nodes are partitioned; an edge is
+        assigned to the batch of its source node, and the batch record
+        carries the endpoint label information an edge needs for
+        vectorization even when the other endpoint lives in an earlier
+        or later batch.
+        """
+        for plan in self.plan_shards(num_batches, seed, shuffle):
+            yield self.materialize_shard(plan)
+
+    @abstractmethod
+    def plan_shards(
+        self,
+        num_shards: int,
+        seed: int = 0,
+        shuffle: bool = True,
+    ) -> list[ShardPlan]:
+        """Plans for materializing each batch of a sharded scan on demand."""
+
+    @abstractmethod
+    def materialize_shard(self, plan: ShardPlan) -> "GraphBatch":
+        """Build the single batch described by ``plan``."""
+
+    @abstractmethod
+    def partition_tables(
+        self, num_shards: int, seed: int = 0, shuffle: bool = True
+    ) -> tuple[list[numpy.ndarray], numpy.ndarray, numpy.ndarray]:
+        """Parent-side half of the parallel partition pass."""
+
+    @abstractmethod
+    def bucket_edge_range(
+        self,
+        start: int,
+        stop: int,
+        sorted_ids: numpy.ndarray,
+        shard_of_sorted: numpy.ndarray,
+        num_shards: int,
+    ) -> list[numpy.ndarray]:
+        """Bucket the edges at positions ``[start, stop)`` by shard."""
+
+    @abstractmethod
+    def materialize_index_shard(
+        self,
+        index: int,
+        node_ids: numpy.ndarray,
+        edge_ids: numpy.ndarray,
+    ) -> "GraphBatch":
+        """Build a batch from explicit id arrays (parallel plan mode)."""
+
+    @abstractmethod
+    def install_partition(
+        self,
+        num_shards: int,
+        seed: int,
+        shuffle: bool,
+        nodes_by_shard_ids: Sequence[numpy.ndarray],
+        edges_by_shard_ids: Sequence[numpy.ndarray],
+    ) -> None:
+        """Install an externally computed partition into the cache."""
+
+    # ------------------------------------------------------------------
+    # Aggregations and sampling
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def degree_extremes(self, edge_ids: Iterable[int]) -> tuple[int, int]:
+        """Max out-degree and max in-degree over a set of edges."""
+
+    @abstractmethod
+    def sample_nodes(self, size: int, seed: int = 0) -> list[Node]:
+        """Uniform random sample of at most ``size`` nodes."""
+
+    def journal_fingerprint(self) -> dict[str, str] | None:
+        """Durable-state marker for checkpoint/journal context.
+
+        ``None`` for ephemeral in-memory stores; persistent backends
+        return something that changes whenever the stored graph does, so
+        a resumed run can refuse a journal written against different
+        data.
+        """
+        return None
+
+    def sample_property_values(
+        self,
+        elements: Sequence[Node] | Sequence[Edge],
+        key: str,
+        fraction: float,
+        minimum: int,
+        seed: int = 0,
+    ) -> list[Any]:
+        """Sample values of one property key over a set of elements.
+
+        Implements the paper's sampled datatype inference: take
+        ``fraction`` of the available values but at least ``minimum``
+        (or all of them when fewer exist).
+        """
+        values = [
+            element.properties[key]
+            for element in elements
+            if key in element.properties
+        ]
+        target = max(minimum, int(round(fraction * len(values))))
+        if target >= len(values):
+            return values
+        return random.Random(seed).sample(values, target)
+
+
+class GraphStore(BaseGraphStore):
     """Query facade over a :class:`PropertyGraph`.
 
     The algorithmic layers (vectorization, clustering, post-processing)
-    depend only on this class, never on the concrete graph, so a real
-    database driver could be swapped in by implementing the same methods.
+    depend only on the :class:`BaseGraphStore` contract, never on the
+    concrete graph, so a real database driver could be swapped in by
+    implementing the same methods.
     """
 
     def __init__(self, graph: PropertyGraph) -> None:
@@ -99,6 +273,11 @@ class GraphStore:
     def graph(self) -> PropertyGraph:
         """The wrapped graph."""
         return self._graph
+
+    @property
+    def name(self) -> str:
+        """Name of the wrapped graph."""
+        return self._graph.name
 
     # ------------------------------------------------------------------
     # Streaming scans (the "single query" of section 4.1)
@@ -123,6 +302,10 @@ class GraphStore:
         """Point lookup of a node."""
         return self._graph.node(node_id)
 
+    def edge(self, edge_id: int) -> Edge:
+        """Point lookup of an edge."""
+        return self._graph.edge(edge_id)
+
     def endpoints(self, edge: Edge) -> tuple[Node, Node]:
         """Source and target node of an edge."""
         return self._graph.endpoints(edge.id)
@@ -138,11 +321,8 @@ class GraphStore:
     ) -> Iterator["GraphBatch"]:
         """Split the graph into ``num_batches`` node-partitioned batches.
 
-        Mirrors the paper's evaluation setup ("we randomly separate the graph
-        into 10 batches").  Nodes are partitioned; an edge is assigned to the
-        batch of its source node, and the batch record carries the endpoint
-        label information an edge needs for vectorization even when the other
-        endpoint lives in an earlier or later batch.
+        See :meth:`BaseGraphStore.batches`; this override materializes
+        straight from the cached partition.
         """
         partition = self._partition(num_batches, seed, shuffle)
         for batch_index in range(num_batches):
@@ -400,30 +580,6 @@ class GraphStore:
         if size >= len(nodes):
             return nodes
         return random.Random(seed).sample(nodes, size)
-
-    def sample_property_values(
-        self,
-        elements: Sequence[Node] | Sequence[Edge],
-        key: str,
-        fraction: float,
-        minimum: int,
-        seed: int = 0,
-    ) -> list[Any]:
-        """Sample values of one property key over a set of elements.
-
-        Implements the paper's sampled datatype inference: take ``fraction``
-        of the available values but at least ``minimum`` (or all of them when
-        fewer exist).
-        """
-        values = [
-            element.properties[key]
-            for element in elements
-            if key in element.properties
-        ]
-        target = max(minimum, int(round(fraction * len(values))))
-        if target >= len(values):
-            return values
-        return random.Random(seed).sample(values, target)
 
 
 class GraphBatch:

@@ -15,7 +15,7 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass
 
-from repro.graph.store import GraphStore
+from repro.graph.store import BaseGraphStore
 from repro.schema.model import NodeType, SchemaGraph
 from repro.util.tables import render_table
 
@@ -40,7 +40,7 @@ class TypePatternBreakdown:
 
 
 def pattern_breakdown(
-    schema: SchemaGraph, store: GraphStore
+    schema: SchemaGraph, store: BaseGraphStore
 ) -> dict[str, TypePatternBreakdown]:
     """Breakdowns for every node type (requires member ids)."""
     breakdowns: dict[str, TypePatternBreakdown] = {}
@@ -50,13 +50,13 @@ def pattern_breakdown(
 
 
 def _breakdown_for(
-    node_type: NodeType, store: GraphStore
+    node_type: NodeType, store: BaseGraphStore
 ) -> TypePatternBreakdown:
     counts: Counter[frozenset[str]] = Counter()
     full = 0
     type_keys = node_type.property_keys
     for member in node_type.members:
-        node = store.graph.node(member)
+        node = store.node(member)
         keys = node.property_keys
         counts[(node.labels, keys)] += 1
         if keys == type_keys:

@@ -8,7 +8,7 @@ import pytest
 
 from repro.graph.builder import GraphBuilder
 from repro.graph.model import PropertyGraph
-from repro.graph.store import GraphStore
+from repro.graph.store import BaseGraphStore, GraphStore
 
 
 @pytest.fixture
@@ -37,9 +37,24 @@ def figure1_graph() -> PropertyGraph:
 
 
 @pytest.fixture
-def figure1_store(figure1_graph) -> GraphStore:
-    """Store over the Figure 1 graph."""
-    return GraphStore(figure1_graph)
+def figure1_store(figure1_graph, tmp_path_factory) -> BaseGraphStore:
+    """Store over the Figure 1 graph.
+
+    CI's out-of-core leg re-runs the suite with
+    ``PGHIVE_TEST_STORE=disk``, swapping in a slab-backed
+    :class:`~repro.graph.diskstore.DiskGraphStore`; the backends are
+    byte-identical, so every consumer keeps its expectations.
+    """
+    if os.environ.get("PGHIVE_TEST_STORE", "memory") == "disk":
+        from repro.graph.diskstore import write_graph_to_slabs
+
+        store = write_graph_to_slabs(
+            figure1_graph, tmp_path_factory.mktemp("slabs")
+        )
+        yield store
+        store.close()
+    else:
+        yield GraphStore(figure1_graph)
 
 
 @pytest.fixture

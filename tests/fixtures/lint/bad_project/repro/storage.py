@@ -1,0 +1,39 @@
+"""Planted ``slab-lifecycle`` violations: handles with no owner."""
+
+from __future__ import annotations
+
+import mmap
+from multiprocessing import shared_memory
+
+
+def leak_mapping(fileno: int) -> bytes:
+    mapped = mmap.mmap(fileno, 0, access=mmap.ACCESS_READ)  # leaked
+    return bytes(mapped[:16])
+
+
+def leak_segment(name: str) -> int:
+    segment = shared_memory.SharedMemory(name=name)  # leaked
+    return segment.size
+
+
+class SegmentHolder:
+    """Keeps a segment forever: the class defines no ``close()``."""
+
+    def __init__(self, name: str) -> None:
+        self.segment = shared_memory.SharedMemory(name=name)
+
+
+def context_managed(fileno: int) -> bytes:
+    with mmap.mmap(fileno, 0, access=mmap.ACCESS_READ) as mapped:
+        return bytes(mapped[:16])
+
+
+def closed_in_scope(name: str) -> int:
+    segment = shared_memory.SharedMemory(name=name)
+    size = int(segment.size)
+    segment.close()
+    return size
+
+
+def returned_to_caller(name: str) -> shared_memory.SharedMemory:
+    return shared_memory.SharedMemory(name=name)

@@ -38,6 +38,7 @@ PLANTED = {
     "missing-annotations": "hygiene.py",
     "mutable-default": "hygiene.py",
     "payload-pickle": "workers.py",
+    "slab-lifecycle": "storage.py",
     "unseeded-rng": "core/chaos.py",
     "unsorted-iteration": "core/ordering.py",
     "wall-clock": "core/clock.py",
@@ -94,6 +95,14 @@ def test_sanctioned_env_read_in_config_is_not_flagged(bad_findings):
         for f in bad_findings if f.rule == "env-read"
     }
     assert not any(p.endswith("core/config.py") for p in env_paths)
+
+
+def test_managed_handle_lifecycles_are_not_flagged(bad_findings):
+    # storage.py also opens handles via with/close()/return: only the
+    # three ownerless sites may fire.
+    hits = [f for f in bad_findings if f.rule == "slab-lifecycle"]
+    assert len(hits) == 3
+    assert all(Path(f.path).as_posix().endswith("storage.py") for f in hits)
 
 
 def test_documented_env_var_is_not_flagged(bad_findings):

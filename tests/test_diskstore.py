@@ -1,0 +1,482 @@
+"""Out-of-core slab backend: disk/memory equivalence and recovery.
+
+The contract under test: :class:`~repro.graph.diskstore.DiskGraphStore`
+is observationally identical to the in-memory
+:class:`~repro.graph.store.GraphStore` -- every scan, lookup, partition,
+shard materialization and discovery mode produces byte-identical output
+-- while holding only mmap views instead of the graph.  The recovery
+half: a kill during slab ingest or during discovery resumes to the same
+bytes an uninterrupted run produces.
+"""
+
+import json
+import os
+
+import numpy
+import pytest
+
+from repro.core import PGHive, PGHiveConfig
+from repro.core.columns import edge_columns, node_columns
+from repro.core.faults import InjectedFault
+from repro.core.incremental import IncrementalDiscovery
+from repro.core.parallel import ShardRecoveryError, fork_available
+from repro.datasets import get_dataset
+from repro.graph.builder import GraphBuilder
+from repro.graph.model import Node
+from repro.graph.diskstore import (
+    DiskGraphStore,
+    SlabIngestSink,
+    ingest_jsonl_slabs,
+    is_slab_directory,
+    write_graph_to_slabs,
+)
+from repro.graph.io import (
+    IngestReport,
+    load_graph_jsonl,
+    save_graph_jsonl,
+    stream_graph_jsonl,
+)
+from repro.graph.slab import SlabWriter
+from repro.graph.store import GraphStore
+from repro.schema.serialize_pgschema import serialize_pg_schema
+
+NUM_BATCHES = 4
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="kill tests require fork"
+)
+
+
+@pytest.fixture(scope="module")
+def ldbc_graph():
+    return get_dataset("ldbc", scale=1, seed=0).graph
+
+
+@pytest.fixture(scope="module")
+def memory_store(ldbc_graph):
+    return GraphStore(ldbc_graph)
+
+
+@pytest.fixture(scope="module")
+def disk_store(ldbc_graph, tmp_path_factory):
+    store = write_graph_to_slabs(
+        ldbc_graph, tmp_path_factory.mktemp("ldbc-slabs")
+    )
+    yield store
+    store.close()
+
+
+@pytest.fixture(scope="module")
+def sequential_schema(memory_store):
+    result = PGHive(PGHiveConfig()).discover_incremental(
+        memory_store, num_batches=NUM_BATCHES
+    )
+    return serialize_pg_schema(result.schema)
+
+
+def _nodes_equal(a, b):
+    assert a.id == b.id
+    assert a.labels == b.labels
+    assert dict(a.properties) == dict(b.properties)
+    assert list(a.properties) == list(b.properties)  # key order too
+
+
+def _edges_equal(a, b):
+    assert a.id == b.id
+    assert (a.source, a.target) == (b.source, b.target)
+    assert a.labels == b.labels
+    assert dict(a.properties) == dict(b.properties)
+    assert list(a.properties) == list(b.properties)
+
+
+def _batches_equal(a, b):
+    assert [n.id for n in a.nodes] == [n.id for n in b.nodes]
+    assert [e.id for e in a.edges] == [e.id for e in b.edges]
+    for x, y in zip(a.nodes, b.nodes):
+        _nodes_equal(x, y)
+    for x, y in zip(a.edges, b.edges):
+        _edges_equal(x, y)
+    assert a.endpoint_labels == b.endpoint_labels
+
+
+class TestStoreContractEquivalence:
+    def test_identity_and_counts(self, memory_store, disk_store):
+        assert disk_store.name == memory_store.name
+        assert disk_store.count_nodes() == memory_store.count_nodes()
+        assert disk_store.count_edges() == memory_store.count_edges()
+        assert is_slab_directory(disk_store.directory)
+
+    def test_scans_preserve_insertion_order(self, memory_store, disk_store):
+        for a, b in zip(memory_store.scan_nodes(), disk_store.scan_nodes()):
+            _nodes_equal(a, b)
+        for a, b in zip(memory_store.scan_edges(), disk_store.scan_edges()):
+            _edges_equal(a, b)
+
+    def test_point_lookups(self, memory_store, disk_store):
+        for node in list(memory_store.scan_nodes())[:50]:
+            _nodes_equal(node, disk_store.node(node.id))
+        for edge in list(memory_store.scan_edges())[:50]:
+            _edges_equal(edge, disk_store.edge(edge.id))
+            src, tgt = memory_store.endpoints(edge)
+            dsrc, dtgt = disk_store.endpoints(disk_store.edge(edge.id))
+            _nodes_equal(src, dsrc)
+            _nodes_equal(tgt, dtgt)
+
+    def test_missing_ids_raise(self, disk_store):
+        with pytest.raises(KeyError):
+            disk_store.node(10**9)
+        with pytest.raises(KeyError):
+            disk_store.edge(10**9)
+
+    @pytest.mark.parametrize("num_shards,seed,shuffle", [
+        (1, 0, True), (3, 0, True), (3, 42, True), (4, 7, False),
+    ])
+    def test_partition_tables_identical(
+        self, memory_store, disk_store, num_shards, seed, shuffle
+    ):
+        mem = memory_store.partition_tables(num_shards, seed, shuffle)
+        dsk = disk_store.partition_tables(num_shards, seed, shuffle)
+        for a, b in zip(mem[0], dsk[0]):
+            numpy.testing.assert_array_equal(a, b)
+        numpy.testing.assert_array_equal(mem[1], dsk[1])
+        numpy.testing.assert_array_equal(mem[2], dsk[2])
+
+    def test_bucket_edge_range_identical(self, memory_store, disk_store):
+        num_shards = 3
+        _, sorted_ids, shard_of = memory_store.partition_tables(
+            num_shards, seed=0, shuffle=True
+        )
+        total = memory_store.count_edges()
+        for start, stop in [(0, total), (0, total // 2), (total // 3, total)]:
+            mem = memory_store.bucket_edge_range(
+                start, stop, sorted_ids, shard_of, num_shards
+            )
+            dsk = disk_store.bucket_edge_range(
+                start, stop, sorted_ids, shard_of, num_shards
+            )
+            for a, b in zip(mem, dsk):
+                numpy.testing.assert_array_equal(a, b)
+
+    def test_batches_identical(self, memory_store, disk_store):
+        for a, b in zip(
+            memory_store.batches(3, seed=1), disk_store.batches(3, seed=1)
+        ):
+            _batches_equal(a, b)
+
+    def test_shard_plans_materialize_identically(
+        self, memory_store, disk_store
+    ):
+        mem_plans = memory_store.plan_shards(4, seed=9)
+        dsk_plans = disk_store.plan_shards(4, seed=9)
+        for mp, dp in zip(mem_plans, dsk_plans):
+            _batches_equal(
+                memory_store.materialize_shard(mp),
+                disk_store.materialize_shard(dp),
+            )
+
+    def test_degree_extremes_identical(self, memory_store, disk_store):
+        edge_ids = [e.id for e in memory_store.scan_edges()][:400]
+        assert disk_store.degree_extremes(edge_ids) == \
+            memory_store.degree_extremes(edge_ids)
+
+    @pytest.mark.parametrize("size", [10, 10**6])
+    def test_sample_nodes_identical(self, memory_store, disk_store, size):
+        mem = memory_store.sample_nodes(size, seed=3)
+        dsk = disk_store.sample_nodes(size, seed=3)
+        assert len(mem) == len(dsk)
+        for a, b in zip(mem, dsk):
+            _nodes_equal(a, b)
+
+    def test_fingerprint_tracks_durable_state(self, disk_store, tmp_path):
+        assert disk_store.journal_fingerprint() is not None
+        builder = GraphBuilder("tiny")
+        builder.node(["A"], {"x": 1})
+        store = write_graph_to_slabs(builder.build(), tmp_path / "tiny")
+        before = store.journal_fingerprint()
+        with SlabWriter(tmp_path / "tiny") as writer:
+            writer.add_nodes(
+                [Node(id=99, labels=frozenset({"B"}), properties={"y": 2})]
+            )
+            writer.commit()
+        store.refresh()
+        assert store.journal_fingerprint() != before
+        store.close()
+
+    def test_memory_store_has_no_fingerprint(self, memory_store):
+        assert memory_store.journal_fingerprint() is None
+
+
+class TestColumnizeShard:
+    def test_columnize_matches_materialized_batch(
+        self, memory_store, disk_store
+    ):
+        for plan in disk_store.plan_shards(3, seed=5):
+            batch = memory_store.materialize_shard(
+                memory_store.plan_shards(3, seed=5)[plan.index]
+            )
+            ref_n = node_columns(batch.nodes)
+            ref_e = edge_columns(batch.edges, batch.endpoint_labels)
+            got_n, got_e = disk_store.columnize_shard(plan)
+            numpy.testing.assert_array_equal(got_n.ids, ref_n.ids)
+            numpy.testing.assert_array_equal(got_n.label_ids, ref_n.label_ids)
+            numpy.testing.assert_array_equal(
+                got_n.keyset_ids, ref_n.keyset_ids
+            )
+            assert got_n.labels.sets == ref_n.labels.sets
+            assert got_n.labels.tokens == ref_n.labels.tokens
+            assert got_n.keys.sets == ref_n.keys.sets
+            assert got_n.keys.orders == ref_n.keys.orders
+            numpy.testing.assert_array_equal(got_e.ids, ref_e.ids)
+            numpy.testing.assert_array_equal(
+                got_e.label_ids, ref_e.label_ids
+            )
+            numpy.testing.assert_array_equal(
+                got_e.keyset_ids, ref_e.keyset_ids
+            )
+            numpy.testing.assert_array_equal(got_e.source, ref_e.source)
+            numpy.testing.assert_array_equal(got_e.target, ref_e.target)
+            numpy.testing.assert_array_equal(
+                got_e.src_label_ids, ref_e.src_label_ids
+            )
+            numpy.testing.assert_array_equal(
+                got_e.tgt_label_ids, ref_e.tgt_label_ids
+            )
+            assert got_e.labels.sets == ref_e.labels.sets
+            assert got_e.labels.tokens == ref_e.labels.tokens
+            assert got_e.keys.sets == ref_e.keys.sets
+            assert got_e.keys.orders == ref_e.keys.orders
+
+    def test_key_order_follows_shard_representative_row(self, tmp_path):
+        """Two rows share a key *set* but not a key *order*: each shard's
+        interner must record its own first row's order, exactly as the
+        per-batch :func:`node_columns` path does."""
+        builder = GraphBuilder("order")
+        builder.node(["P"], {"a": 1, "b": 2})
+        builder.node(["P"], {"b": 3, "a": 4})  # same set, reversed order
+        graph = builder.build()
+        store = write_graph_to_slabs(graph, tmp_path / "order")
+        memory = GraphStore(graph)
+        for plan_m, plan_d in zip(
+            memory.plan_shards(2, seed=0), store.plan_shards(2, seed=0)
+        ):
+            batch = memory.materialize_shard(plan_m)
+            ncols, _ = store.columnize_shard(plan_d)
+            assert ncols.keys.orders == node_columns(batch.nodes).keys.orders
+        store.close()
+
+
+class TestDiscoveryByteIdentity:
+    def test_sequential_discover(self, memory_store, disk_store):
+        mem = PGHive().discover(memory_store)
+        dsk = PGHive().discover(disk_store)
+        assert serialize_pg_schema(dsk.schema) == \
+            serialize_pg_schema(mem.schema)
+
+    def test_incremental_discover(self, disk_store, sequential_schema):
+        result = PGHive(PGHiveConfig()).discover_incremental(
+            disk_store, num_batches=NUM_BATCHES
+        )
+        assert serialize_pg_schema(result.schema) == sequential_schema
+
+    @needs_fork
+    def test_parallel_discover(self, disk_store, sequential_schema):
+        result = PGHive(PGHiveConfig(jobs=2)).discover_incremental(
+            disk_store, num_batches=NUM_BATCHES
+        )
+        assert serialize_pg_schema(result.schema) == sequential_schema
+
+    def test_postprocessed_modes(self, memory_store, disk_store):
+        config = PGHiveConfig(
+            infer_value_profiles=True, exact_cardinality_bounds=True
+        )
+        mem = PGHive(config).discover(memory_store)
+        dsk = PGHive(config).discover(disk_store)
+        assert serialize_pg_schema(dsk.schema) == \
+            serialize_pg_schema(mem.schema)
+
+
+class TestIngest:
+    def test_jsonl_ingest_equals_memory_load(self, ldbc_graph, tmp_path):
+        path = tmp_path / "g.jsonl"
+        save_graph_jsonl(ldbc_graph, path)
+        store = ingest_jsonl_slabs(path, tmp_path / "slabs")
+        loaded = load_graph_jsonl(path)
+        assert store.count_nodes() == loaded.num_nodes
+        assert store.count_edges() == loaded.num_edges
+        for node, other in zip(loaded.nodes(), store.scan_nodes()):
+            _nodes_equal(node, other)
+        for edge, other in zip(loaded.edges(), store.scan_edges()):
+            _edges_equal(edge, other)
+        store.close()
+
+    def test_collect_report_matches_memory_loader(self, tmp_path):
+        lines = [
+            json.dumps({"kind": "node", "id": 0, "labels": ["P"]}),
+            json.dumps({"kind": "node", "id": 0, "labels": ["Dup"]}),
+            "not json",
+            json.dumps({"kind": "edge", "id": 0, "source": 0, "target": 9}),
+        ]
+        path = tmp_path / "dirty.jsonl"
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        mem_report = IngestReport()
+        load_graph_jsonl(path, on_error="collect", report=mem_report)
+        dsk_report = IngestReport()
+        store = ingest_jsonl_slabs(
+            path, tmp_path / "slabs", on_error="collect", report=dsk_report
+        )
+        assert [(e.line, e.reason) for e in dsk_report.errors] == \
+            [(e.line, e.reason) for e in mem_report.errors]
+        assert store.count_nodes() == 1
+        assert store.count_edges() == 0
+        store.close()
+
+    def test_raise_policy_reports_same_first_error(self, tmp_path):
+        lines = [
+            json.dumps({"kind": "node", "id": 0}),
+            json.dumps({"kind": "node", "id": 0}),
+            "not json",
+        ]
+        path = tmp_path / "dirty.jsonl"
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(ValueError, match=r"dirty\.jsonl:2: duplicate"):
+            load_graph_jsonl(path)
+        with pytest.raises(ValueError, match=r"dirty\.jsonl:2: duplicate"):
+            ingest_jsonl_slabs(path, tmp_path / "slabs")
+
+    def test_reingest_without_resume_resets(self, figure1_graph, tmp_path):
+        path = tmp_path / "g.jsonl"
+        save_graph_jsonl(figure1_graph, path)
+        first = ingest_jsonl_slabs(path, tmp_path / "slabs")
+        first.close()
+        again = ingest_jsonl_slabs(path, tmp_path / "slabs")
+        assert again.count_nodes() == figure1_graph.num_nodes
+        assert again.count_edges() == figure1_graph.num_edges
+        again.close()
+
+
+class TestKillRecovery:
+    @needs_fork
+    def test_kill_during_ingest_resumes_byte_identical(
+        self, ldbc_graph, tmp_path
+    ):
+        """SIGKILL-equivalent death mid-ingest: the child commits a slab
+        prefix and dies without cleanup; a resumed ingest completes to
+        the same bytes (and schema) as an uninterrupted one."""
+        path = tmp_path / "g.jsonl"
+        save_graph_jsonl(ldbc_graph, path)
+        slab_dir = tmp_path / "slabs"
+        pid = os.fork()
+        if pid == 0:  # pragma: no cover - child dies deliberately
+            writer = SlabWriter(path.parent / "slabs", name=path.stem,
+                                slab_bytes=4096)
+            sink = SlabIngestSink(writer, str(path), 4096)
+
+            def die_after_commit(line_number: int) -> None:
+                sink.chunk_done(line_number)
+                if writer.source_progress(str(path)):
+                    os._exit(137)
+
+            stream_graph_jsonl(path, sink, on_progress=die_after_commit)
+            os._exit(1)  # should have died mid-stream
+        _, status = os.waitpid(pid, 0)
+        assert os.waitstatus_to_exitcode(status) == 137
+        probe = SlabWriter(slab_dir, name=path.stem)
+        progress = probe.source_progress(str(path))
+        probe.close()
+        assert 0 < progress  # a durable prefix exists...
+        resumed = ingest_jsonl_slabs(path, slab_dir, resume=True)
+        clean = ingest_jsonl_slabs(path, tmp_path / "clean")
+        assert resumed.reader.fingerprint != ""
+        for a, b in zip(clean.scan_nodes(), resumed.scan_nodes()):
+            _nodes_equal(a, b)
+        for a, b in zip(clean.scan_edges(), resumed.scan_edges()):
+            _edges_equal(a, b)
+        assert serialize_pg_schema(PGHive().discover(resumed).schema) == \
+            serialize_pg_schema(PGHive().discover(clean).schema)
+        resumed.close()
+        clean.close()
+
+    def test_crash_at_batch_then_resume_on_disk(
+        self, disk_store, sequential_schema, tmp_path
+    ):
+        ckpt = tmp_path / "ckpt"
+        crashing = PGHiveConfig(
+            checkpoint_dir=str(ckpt), faults="batch:2:raise"
+        )
+        with pytest.raises(InjectedFault):
+            PGHive(crashing).discover_incremental(
+                disk_store, num_batches=NUM_BATCHES
+            )
+        assert IncrementalDiscovery.has_checkpoint(ckpt)
+        resumed = PGHive(
+            PGHiveConfig(checkpoint_dir=str(ckpt))
+        ).discover_incremental(
+            disk_store, num_batches=NUM_BATCHES, resume=True
+        )
+        assert resumed.resumed_from == 2
+        assert serialize_pg_schema(resumed.schema) == sequential_schema
+
+    @needs_fork
+    def test_killed_worker_recovers_on_disk(
+        self, disk_store, sequential_schema
+    ):
+        config = PGHiveConfig(
+            jobs=2, parallel_chunk="1", faults="shard:1:kill",
+            shard_retry_backoff=0.0,
+        )
+        result = PGHive(config).discover_incremental(
+            disk_store, num_batches=NUM_BATCHES
+        )
+        assert serialize_pg_schema(result.schema) == sequential_schema
+
+    @needs_fork
+    def test_parallel_crash_then_resume_on_disk(
+        self, disk_store, sequential_schema, tmp_path
+    ):
+        """A jobs>1 run over slabs dies mid-pool; resume recomputes only
+        the missing shards, byte-identical to a clean run."""
+        ckpt = tmp_path / "ckpt"
+        crashing = PGHiveConfig(
+            jobs=2, parallel_chunk="1", checkpoint_dir=str(ckpt),
+            faults="shard:2:raise:99", shard_retries=0,
+            shard_retry_backoff=0.0, strict_recovery=True,
+        )
+        with pytest.raises(ShardRecoveryError):
+            PGHive(crashing).discover_incremental(
+                disk_store, num_batches=NUM_BATCHES
+            )
+        assert sorted((ckpt / "shards").glob("shard-*.json"))
+        resumed = PGHive(PGHiveConfig(
+            jobs=2, parallel_chunk="1", checkpoint_dir=str(ckpt)
+        )).discover_incremental(
+            disk_store, num_batches=NUM_BATCHES, resume=True
+        )
+        assert resumed.resumed_shards
+        assert 2 not in resumed.resumed_shards
+        assert serialize_pg_schema(resumed.schema) == sequential_schema
+
+    @needs_fork
+    def test_slab_generation_change_invalidates_journal(
+        self, ldbc_graph, tmp_path
+    ):
+        """The shard journal records the slab fingerprint: appending to
+        the store between runs makes every journaled shard stale."""
+        ckpt = tmp_path / "ckpt"
+        store = write_graph_to_slabs(ldbc_graph, tmp_path / "slabs")
+        config = PGHiveConfig(jobs=2, checkpoint_dir=str(ckpt))
+        PGHive(config).discover_incremental(store, num_batches=NUM_BATCHES)
+        same = PGHive(config).discover_incremental(
+            store, num_batches=NUM_BATCHES, resume=True
+        )
+        assert same.resumed_shards == list(range(NUM_BATCHES))
+        with SlabWriter(tmp_path / "slabs") as writer:
+            writer.add_nodes([Node(
+                id=10**6, labels=frozenset({"Zz"}), properties={"q": 1},
+            )])
+            writer.commit()
+        store.refresh()
+        stale = PGHive(config).discover_incremental(
+            store, num_batches=NUM_BATCHES, resume=True
+        )
+        assert stale.resumed_shards == []
+        store.close()

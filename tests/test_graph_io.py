@@ -50,6 +50,41 @@ class TestJsonl:
         with pytest.raises(ValueError, match="unknown record kind"):
             load_graph_jsonl(path)
 
+    def test_wide_rows_flush_chunks_by_bytes(self, tmp_path):
+        """Fat properties must cap peak chunk size, not buffer 2048 rows."""
+        import json as jsonlib
+
+        from repro.graph.io import DEFAULT_CHUNK_BYTES, stream_graph_jsonl
+
+        blob = "x" * (DEFAULT_CHUNK_BYTES // 4)
+        path = tmp_path / "wide.jsonl"
+        with path.open("w", encoding="utf-8") as handle:
+            for i in range(16):
+                handle.write(jsonlib.dumps({
+                    "kind": "node", "id": i, "labels": ["Doc"],
+                    "properties": {"body": blob},
+                }) + "\n")
+
+        class Recorder:
+            def __init__(self):
+                self.chunks = []
+
+            def add_nodes(self, nodes):
+                self.chunks.append(len(nodes))
+                return []
+
+            def add_edges(self, edges):
+                self.chunks.append(len(edges))
+                return []
+
+        sink = Recorder()
+        stream_graph_jsonl(path, sink)
+        assert sum(sink.chunks) == 16
+        # Each row is ~DEFAULT_CHUNK_BYTES/4 of payload, so chunks flush
+        # every few rows instead of holding all 16 documents at once.
+        assert max(sink.chunks) <= 4
+        assert len(sink.chunks) >= 4
+
 
 DIRTY_JSONL = "\n".join([
     '{"kind": "node", "id": 0, "labels": ["Person"], '

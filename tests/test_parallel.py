@@ -376,7 +376,7 @@ class TestMemoizedPool:
         assert 0 < par_hits <= seq_hits
 
 
-def _postprocessed_shards(graph, config, num_batches):
+def _postprocessed_shards(graph, config, num_batches, track_values=True):
     """Discover + attach partial post-processing stats per shard."""
     store = GraphStore(graph)
     engine = IncrementalDiscovery(config, name="shard")
@@ -388,7 +388,9 @@ def _postprocessed_shards(graph, config, num_batches):
             edge_columns(batch.edges, batch.endpoint_labels),
             batch_index=plan.index,
         )
-        attach_partial_stats(schema, batch.nodes, batch.edges)
+        attach_partial_stats(
+            schema, batch.nodes, batch.edges, track_values=track_values
+        )
         results.append(ShardResult(plan.index, schema, report))
     return results
 
@@ -416,6 +418,35 @@ class TestShardedPostprocess:
         assert apply_partial_stats(combined, config)
         assert serialize_pg_schema(combined) == self._serial_schema(
             ldbc_graph, config, num_batches
+        )
+
+    def test_datatype_only_stats_retain_no_values(self, ldbc_graph):
+        """Without profiles, workers must not ship values to the driver.
+
+        The datatype-only fold keeps the merged schema byte-identical to
+        the serial run while every partial's distinct-value sketch and
+        bounds stay empty -- the invariant behind the out-of-core
+        bounded-memory claim (driver stats stay O(schema), not O(data)).
+        """
+        config = PGHiveConfig()
+        assert not config.infer_value_profiles
+        results = _postprocessed_shards(
+            ldbc_graph, config, NUM_BATCHES, track_values=False
+        )
+        for shard in results:
+            for schema_types in (
+                shard.schema.node_types, shard.schema.edge_types
+            ):
+                for type_record in schema_types.values():
+                    for partial in type_record.stats.properties.values():
+                        assert partial.distinct == set()
+                        assert partial.numeric_min is None
+                        assert partial.text_min is None
+                        assert partial.observations > 0
+        combined = combine_shard_results(ldbc_graph.name, results, config)
+        assert apply_partial_stats(combined, config)
+        assert serialize_pg_schema(combined) == self._serial_schema(
+            ldbc_graph, config, NUM_BATCHES
         )
 
     def test_partial_stats_permutation_invariant(self, ldbc_graph):

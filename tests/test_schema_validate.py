@@ -97,8 +97,10 @@ class TestValidation:
         report = validate_graph(graph, person_schema)
         assert report.violation_rate == pytest.approx(1 / 3)
 
-    def test_discovered_schema_validates_its_own_graph(self, figure1_store):
+    def test_discovered_schema_validates_its_own_graph(
+        self, figure1_store, figure1_graph
+    ):
         """Round trip: a schema discovered from G validates G in STRICT."""
         result = PGHive().discover(figure1_store)
-        report = validate_graph(figure1_store.graph, result.schema)
+        report = validate_graph(figure1_graph, result.schema)
         assert report.is_valid, [v.detail for v in report.violations]
