@@ -6,7 +6,9 @@ CLI, and ``docs/API.md`` -- from drifting apart:
 
 * ``config-cli-surface`` -- every ``PGHiveConfig`` field must be
   reachable from the CLI (same-named ``--flag``, a registered alias, or
-  an explicit allowlist entry explaining why it is library-only);
+  an explicit allowlist entry explaining why it is library-only), and
+  every CLI subcommand registered with ``add_parser`` must be mentioned
+  in ``docs/API.md``;
 * ``env-var-docs`` -- every ``PGHIVE_*`` environment variable referenced
   in code must be documented in ``docs/API.md``;
 * ``init-exports`` -- every name in a package ``__init__``'s ``__all__``
@@ -67,12 +69,14 @@ class ConfigCliSurfaceRule(ProjectRule):
     name = "config-cli-surface"
     description = (
         "every PGHiveConfig field needs a matching CLI flag, a "
-        "registered alias, or an allowlist entry"
+        "registered alias, or an allowlist entry; every CLI subcommand "
+        "must be documented in docs/API.md"
     )
     rationale = (
         "config knobs that silently never reach the CLI create two "
         "classes of users; the allowlist makes library-only knobs an "
-        "explicit, reviewed decision"
+        "explicit, reviewed decision; an undocumented subcommand is "
+        "operator surface nobody can discover"
     )
 
     def check(self, project: ProjectContext) -> Iterator[Finding]:
@@ -109,6 +113,35 @@ class ConfigCliSurfaceRule(ProjectRule):
                     path=config.path,
                     line=stmt.lineno,
                 )
+        doc = _api_doc(project)
+        if doc is None:
+            return
+        for line, name in self._subcommands(cli.tree):
+            if not re.search(rf"\b{re.escape(name)}\b", doc):
+                yield self.finding(
+                    project,
+                    f"CLI subcommand {name!r} is not documented in "
+                    f"docs/API.md; add it to the command-line section "
+                    f"(or remove the subcommand)",
+                    path=cli.path,
+                    line=line,
+                )
+
+    @staticmethod
+    def _subcommands(tree: ast.Module) -> list[tuple[int, str]]:
+        """``(line, name)`` of every ``*.add_parser("name", ...)`` call."""
+        commands: list[tuple[int, str]] = []
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "add_parser"
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                commands.append((node.lineno, node.args[0].value))
+        return commands
 
 
 @register

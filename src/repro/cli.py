@@ -10,7 +10,11 @@ Subcommands:
   with noise);
 * ``evaluate`` -- run the method grid on one dataset and print F1* rows;
 * ``inspect`` -- discover a graph's schema and print the operator-facing
-  summary report (per-type statistics, constraints, cardinalities).
+  summary report (per-type statistics, constraints, cardinalities);
+* ``verify-store`` -- scrub a slab directory's checksums and report a
+  per-file verdict (exit 1 if anything is corrupt);
+* ``repair`` -- roll a damaged slab directory back to its newest fully
+  verified generation so it can be discovered (and resumed) again.
 """
 
 from __future__ import annotations
@@ -29,11 +33,14 @@ from repro.datasets.registry import dataset_spec
 from repro.evaluation.harness import ALL_METHODS, run_system
 from repro.graph.diskstore import (
     DiskGraphStore,
+    SlabIngestError,
     ingest_jsonl_slabs,
     is_slab_directory,
     write_graph_to_slabs,
 )
 from repro.graph.io import IngestReport, load_graph_jsonl, save_graph_jsonl
+from repro.graph.scrub import repair_slab_directory, scrub_slab_directory
+from repro.graph.slab import SlabCorruptionError
 from repro.graph.stats import compute_statistics
 from repro.graph.store import BaseGraphStore, GraphStore
 
@@ -57,6 +64,8 @@ def main(argv: list[str] | None = None) -> int:
         "generate": _cmd_generate,
         "evaluate": _cmd_evaluate,
         "inspect": _cmd_inspect,
+        "verify-store": _cmd_verify_store,
+        "repair": _cmd_repair,
     }.get(args.command)
     if handler is None:
         parser.print_help()
@@ -64,6 +73,12 @@ def main(argv: list[str] | None = None) -> int:
     try:
         return handler(args)
     except ShardRecoveryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except (SlabCorruptionError, SlabIngestError) as exc:
+        # Detected storage corruption / a failed ingest: one structured
+        # line (these exceptions name the file and what to do next)
+        # instead of a traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 1
     except (FileNotFoundError, ValueError) as exc:
@@ -181,6 +196,13 @@ def _build_parser() -> argparse.ArgumentParser:
     discover.add_argument("--slab-bytes", type=int, default=4 << 20,
                           help="slab ingest commit granularity in bytes "
                                "(--store disk; default 4 MiB, min 4096)")
+    discover.add_argument("--corrupt-slab-policy",
+                          choices=["raise", "skip"], default="raise",
+                          help="what to do when the disk backend detects "
+                               "slab corruption mid-run: fail immediately "
+                               "(default) or quarantine the damaged "
+                               "shards and finish degraded with the "
+                               "damage enumerated")
 
     datasets = sub.add_parser("datasets", help="list bundled datasets")
     datasets.add_argument("--scale", type=float, default=1.0)
@@ -211,6 +233,20 @@ def _build_parser() -> argparse.ArgumentParser:
     inspect.add_argument("--max-types", type=int, default=40)
     inspect.add_argument("--hierarchy", action="store_true",
                          help="also print the inferred subtype hierarchy")
+
+    verify_store = sub.add_parser(
+        "verify-store",
+        help="scrub a slab directory: verify every checksum and report "
+             "a per-file verdict (exit 1 on corruption)",
+    )
+    verify_store.add_argument("directory", help="slab directory to scrub")
+
+    repair = sub.add_parser(
+        "repair",
+        help="roll a damaged slab directory back to its newest fully "
+             "verified generation (exit 1 if unrepairable)",
+    )
+    repair.add_argument("directory", help="slab directory to repair")
     return parser
 
 
@@ -296,6 +332,7 @@ def _cmd_discover(args: argparse.Namespace) -> int:
         store=args.store,
         store_dir=args.store_dir,
         slab_bytes=args.slab_bytes,
+        corrupt_slab_policy=args.corrupt_slab_policy,
     )
     pipeline = PGHive(config)
     if args.batches > 1:
@@ -448,6 +485,18 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
         print("\nInferred type hierarchy:")
         print(render_hierarchy(result.schema, relations))
     return 0
+
+
+def _cmd_verify_store(args: argparse.Namespace) -> int:
+    report = scrub_slab_directory(args.directory)
+    print(report.describe())
+    return 0 if report.clean else 1
+
+
+def _cmd_repair(args: argparse.Namespace) -> int:
+    report = repair_slab_directory(args.directory)
+    print(report.describe())
+    return 0 if report.repaired else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

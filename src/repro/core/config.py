@@ -143,6 +143,19 @@ class PGHiveConfig:
             buffered.  Smaller values bound ingest memory tighter and
             checkpoint more often; the stored bytes are identical
             regardless.  Ignored by the memory backend.
+        corrupt_slab_policy: What discovery does when the disk backend
+            detects slab corruption (a checksum/truncation failure
+            raised as :class:`~repro.graph.slab.SlabCorruptionError`).
+            ``"raise"`` (default) fails the run immediately -- corrupt
+            storage is never silently read.  ``"skip"`` quarantines the
+            affected shards instead: they are recorded as
+            ``ShardFailure(kind="corruption")`` in
+            ``DiscoveryResult.shard_failures`` (no retries, no in-process
+            fallback -- corruption is deterministic) and discovery
+            completes on the surviving shards.  ``strict_recovery=True``
+            still turns any quarantined shard into a hard
+            ``ShardRecoveryError`` at the end.  Ignored by the memory
+            backend.
         seed: Master RNG seed; every random component derives from it.
     """
 
@@ -179,6 +192,7 @@ class PGHiveConfig:
     store: str = "memory"
     store_dir: str | None = None
     slab_bytes: int = 4 << 20
+    corrupt_slab_policy: str = "raise"
     seed: int = 7
 
     def __post_init__(self) -> None:
@@ -236,6 +250,11 @@ class PGHiveConfig:
             )
         if self.slab_bytes < 4096:
             raise ValueError("slab_bytes must be >= 4096")
+        if self.corrupt_slab_policy not in ("raise", "skip"):
+            raise ValueError(
+                f"corrupt_slab_policy must be 'raise' or 'skip', "
+                f"got {self.corrupt_slab_policy!r}"
+            )
         if self.faults:
             from repro.core.faults import FaultPlan
 

@@ -28,6 +28,21 @@ configuration and environment variables unchanged::
     batch:4:raise            # sequential batch 4 raises (crash simulation)
     shard:*:raise:1:0:0.25   # every shard's first attempt fails w.p. 0.25
 
+Two modes exist specifically for the storage fault sites of the slab
+layer (:mod:`repro.graph.slab`): ``enospc`` raises ``OSError(ENOSPC)``
+at the instrumented write (simulating a full disk mid-flush), and
+``corrupt`` silently corrupts the bytes the site just wrote (a torn
+column write, a bit-flipped heap page, a partially renamed manifest)
+-- the write *appears* to succeed, which is exactly the failure class
+checksums exist to catch.  Sites that perform corruption consult
+:meth:`FaultInjector.corrupts` instead of :meth:`FaultInjector.fire`
+because the damage is site-specific::
+
+    slab-enospc:0:enospc             # first slab flush hits ENOSPC
+    slab-torn-write:1:corrupt        # second flush tears its heap write
+    slab-bitflip:0:corrupt           # first commit flips a durable byte
+    manifest-partial-rename:1:corrupt  # second manifest lands truncated
+
 The environment variable ``PGHIVE_FAULTS`` (and the companion
 ``PGHIVE_FAULTS_SEED``) activates a plan process-wide; the
 ``PGHiveConfig.faults`` knob scopes one to a single run and is inherited
@@ -37,6 +52,7 @@ by forked pool workers.  With neither set, the injector resolves to
 
 from __future__ import annotations
 
+import errno
 import os
 import random
 import time
@@ -54,7 +70,7 @@ __all__ = [
 #: distinguishable from a genuine segfault in post-mortem logs.
 KILL_EXIT_CODE = 87
 
-_MODES = ("raise", "hang", "kill")
+_MODES = ("raise", "hang", "kill", "enospc", "corrupt")
 
 
 class InjectedFault(RuntimeError):
@@ -71,7 +87,10 @@ class FaultSpec:
             new call sites need no harness changes.
         index: Which shard/batch misbehaves; ``None`` matches every index
             (the ``*`` wildcard in the string form).
-        mode: ``"raise"``, ``"hang"`` or ``"kill"``.
+        mode: ``"raise"``, ``"hang"``, ``"kill"``, ``"enospc"`` (the
+            site raises ``OSError(ENOSPC)``, as a full disk would) or
+            ``"corrupt"`` (the site silently damages the bytes it just
+            wrote; consulted through :meth:`FaultInjector.corrupts`).
         times: How many attempts are affected.  Attempt numbers start at
             0, so ``times=1`` fails the first execution and lets every
             retry succeed; a large value makes the site *poisoned* (only
@@ -159,9 +178,22 @@ class FaultPlan:
         """Inverse of :meth:`parse`."""
         return ",".join(spec.serialize() for spec in self.specs)
 
-    def matching(self, site: str, index: int) -> FaultSpec | None:
-        """First spec targeting ``(site, index)``, or ``None``."""
+    def matching(
+        self,
+        site: str,
+        index: int,
+        corrupting: bool = False,
+    ) -> FaultSpec | None:
+        """First spec targeting ``(site, index)``, or ``None``.
+
+        ``corrupting`` selects between the two injector entry points:
+        :meth:`FaultInjector.fire` only sees non-``corrupt`` specs and
+        :meth:`FaultInjector.corrupts` only sees ``corrupt`` ones, so a
+        plan mixing both kinds never cross-counts attempts.
+        """
         for spec in self.specs:
+            if (spec.mode == "corrupt") is not corrupting:
+                continue
             if spec.matches(site, index):
                 return spec
         return None
@@ -181,7 +213,9 @@ class FaultInjector:
 
     plan: FaultPlan
     seed: int = 0
-    _counters: dict[tuple[str, int], int] = field(default_factory=dict)
+    _counters: dict[tuple[str, int, bool], int] = field(
+        default_factory=dict
+    )
 
     @classmethod
     def from_spec(
@@ -226,24 +260,67 @@ class FaultInjector:
         spec = self.plan.matching(site, index)
         if spec is None:
             return
+        attempt = self._armed(spec, site, index, attempt)
         if attempt is None:
-            key = (site, index)
-            attempt = self._counters.get(key, 0)
-            self._counters[key] = attempt + 1
-        if attempt >= spec.times:
             return
-        if spec.probability < 1.0:
-            # Keyed RNG: the draw depends only on (seed, site, index,
-            # attempt), never on call order across sites or processes.
-            rng = random.Random(f"{self.seed}:{site}:{index}:{attempt}")
-            if rng.random() >= spec.probability:
-                return
         if spec.mode == "raise":
             raise InjectedFault(
                 f"injected fault: {site}[{index}] attempt {attempt}"
+            )
+        if spec.mode == "enospc":
+            raise OSError(
+                errno.ENOSPC,
+                f"injected fault: no space left on device at "
+                f"{site}[{index}]",
             )
         if spec.mode == "hang":
             time.sleep(spec.seconds)
             return
         if spec.mode == "kill" and in_worker:
             os._exit(KILL_EXIT_CODE)
+
+    def corrupts(
+        self, site: str, index: int, attempt: int | None = None
+    ) -> bool:
+        """Whether a ``corrupt``-mode fault fires for this execution.
+
+        The storage call sites own the actual damage (tearing a write,
+        flipping a byte, truncating a rename target) because it is
+        site-specific; this method only answers the deterministic
+        "does it happen now" question with the same attempt/probability
+        bookkeeping as :meth:`fire`.
+        """
+        spec = self.plan.matching(site, index, corrupting=True)
+        if spec is None:
+            return False
+        return self._armed(spec, site, index, attempt) is not None
+
+    def _armed(
+        self,
+        spec: FaultSpec,
+        site: str,
+        index: int,
+        attempt: int | None,
+    ) -> int | None:
+        """Shared attempt-budget and probability gate for one match.
+
+        Returns the resolved attempt number when the fault fires, or
+        ``None`` when this execution is past the budget / lost the
+        probability draw.
+        """
+        if attempt is None:
+            # The corrupting dimension is part of the key: a plan mixing
+            # corrupt and non-corrupt specs at one site must not have
+            # corrupts() calls consume fire()'s attempt budget.
+            key = (site, index, spec.mode == "corrupt")
+            attempt = self._counters.get(key, 0)
+            self._counters[key] = attempt + 1
+        if attempt >= spec.times:
+            return None
+        if spec.probability < 1.0:
+            # Keyed RNG: the draw depends only on (seed, site, index,
+            # attempt), never on call order across sites or processes.
+            rng = random.Random(f"{self.seed}:{site}:{index}:{attempt}")
+            if rng.random() >= spec.probability:
+                return None
+        return attempt

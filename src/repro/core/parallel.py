@@ -146,6 +146,7 @@ from repro.core.transport import (
 )
 from repro.core.type_extraction import resolve_edge_endpoints
 from repro.datasets.stream import GraphStream, StreamShardPlan
+from repro.graph.slab import SlabCorruptionError
 from repro.graph.store import BaseGraphStore, GraphBatch, ShardPlan
 from repro.schema.merge import merge_schema_tree, merge_schemas
 from repro.schema.model import SchemaGraph
@@ -1195,6 +1196,32 @@ class ParallelDiscovery:
             else:
                 fallback.append((payload, attempt + 1))
 
+        def quarantine(
+            payloads: list[Payload],
+            attempts: list[int],
+            exc: SlabCorruptionError,
+        ) -> None:
+            """Handle detected slab corruption per ``corrupt_slab_policy``.
+
+            ``raise`` makes corruption fatal immediately.  ``skip``
+            splits multi-shard chunks for precise blame (the re-run of
+            an innocent shard is pure and cheap), then records the
+            corrupt shard as a degraded ``"corruption"`` failure with
+            *no* retries and no in-process fallback -- unlike a flaky
+            worker, corrupt bytes fail deterministically, so re-reading
+            them anywhere only repeats the error.
+            """
+            if config.corrupt_slab_policy != "skip":
+                raise exc
+            if len(payloads) > 1:
+                for payload, attempt in zip(payloads, attempts):
+                    pending.append(([payload], [attempt]))
+                return
+            failures.append(ShardFailure(
+                _payload_index(payloads[0]), attempts[0], "corruption",
+                str(exc),
+            ))
+
         try:
             while pending or running:
                 while pending and len(running) < workers:
@@ -1253,6 +1280,9 @@ class ParallelDiscovery:
                     except ShardMemoryError as exc:
                         release(reserved)
                         requeue(payloads, attempts, "memory", str(exc))
+                    except SlabCorruptionError as exc:
+                        release(reserved)
+                        quarantine(payloads, attempts, exc)
                     except Exception as exc:
                         release(reserved)
                         requeue(payloads, attempts, "error",

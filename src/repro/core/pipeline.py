@@ -22,6 +22,7 @@ Example:
 from __future__ import annotations
 
 import time
+from typing import Iterator
 
 from repro.core.config import PGHiveConfig
 from repro.core.faults import FaultInjector
@@ -33,10 +34,38 @@ from repro.core.postprocess import (
     infer_datatypes,
     infer_property_constraints,
 )
-from repro.core.result import DiscoveryResult
+from repro.core.result import DiscoveryResult, ShardFailure
 from repro.datasets.stream import GraphStream
-from repro.graph.store import BaseGraphStore, GraphStore
+from repro.graph.slab import SlabCorruptionError
+from repro.graph.store import BaseGraphStore, GraphBatch, GraphStore
 from repro.schema.model import SchemaGraph
+
+
+def _iter_batches(
+    store: BaseGraphStore,
+    num_batches: int,
+    config: PGHiveConfig,
+    failures: list[ShardFailure],
+) -> Iterator[GraphBatch]:
+    """Stream the store's batches, honouring ``corrupt_slab_policy``.
+
+    With ``"skip"`` each batch is planned and materialized individually
+    so a :class:`~repro.graph.slab.SlabCorruptionError` quarantines only
+    the damaged shard (appended to ``failures`` as a ``"corruption"``
+    record) while the surviving batches still stream.  The default
+    ``"raise"`` policy takes the plain path and lets corruption
+    propagate -- corrupt storage is never silently read either way.
+    """
+    if config.corrupt_slab_policy != "skip":
+        yield from store.batches(num_batches, seed=config.seed)
+        return
+    for plan in store.plan_shards(num_batches, seed=config.seed):
+        try:
+            yield store.materialize_shard(plan)
+        except SlabCorruptionError as exc:
+            failures.append(
+                ShardFailure(plan.index, 0, "corruption", str(exc))
+            )
 
 
 class PGHive:
@@ -143,7 +172,10 @@ class PGHive:
             engine = IncrementalDiscovery(config, name=store.name)
         resumed_from = engine._batch_counter
         discovery_seconds = sum(r.seconds for r in engine.reports)
-        for batch in store.batches(num_batches, seed=config.seed):
+        shard_failures: list[ShardFailure] = []
+        for batch in _iter_batches(
+            store, num_batches, config, shard_failures
+        ):
             if batch.index < resumed_from:
                 continue  # deterministic partition: already checkpointed
             if injector is not None:
@@ -161,6 +193,10 @@ class PGHive:
                 engine.save_checkpoint(checkpoint_dir, context=context)
         if config.post_processing and not post_process_each_batch:
             self._post_process(engine.schema, store)
+        if config.strict_recovery and shard_failures:
+            from repro.core.parallel import ShardRecoveryError
+
+            raise ShardRecoveryError(shard_failures)
         result = DiscoveryResult(
             schema=engine.schema,
             batches=engine.reports,
@@ -169,6 +205,7 @@ class PGHive:
             total_seconds=time.perf_counter() - started,
             resumed_from=resumed_from,
             parallel_fallback=fallback_reason,
+            shard_failures=shard_failures,
         )
         result.refresh_assignments()
         return result

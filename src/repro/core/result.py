@@ -23,8 +23,12 @@ class ShardFailure:
             process died / the pool broke), ``"timeout"`` (the task
             exceeded ``PGHiveConfig.shard_timeout``), ``"memory"`` (the
             worker's RSS crossed ``PGHiveConfig.shard_memory_limit_mb``
-            between pipeline stages) or ``"fallback-failed"`` (the final
-            in-process execution raised).
+            between pipeline stages), ``"fallback-failed"`` (the final
+            in-process execution raised) or ``"corruption"`` (the disk
+            backend detected slab corruption while materializing the
+            shard and ``corrupt_slab_policy="skip"`` quarantined it --
+            never retried, never run in-process, because corrupt bytes
+            fail deterministically).
         error: Human-readable cause.
         recovered_by: ``"retry"`` when a later pool attempt succeeded,
             ``"fallback"`` when the in-process re-execution did, ``None``

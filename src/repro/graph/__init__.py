@@ -15,8 +15,16 @@ from repro.graph.model import Edge, Node, PropertyGraph
 from repro.graph.builder import GraphBuilder
 from repro.graph.store import BaseGraphStore, GraphStore
 from repro.graph.slab import SlabCorruptionError, SlabReader, SlabWriter
+from repro.graph.scrub import (
+    FileVerdict,
+    RepairReport,
+    ScrubReport,
+    repair_slab_directory,
+    scrub_slab_directory,
+)
 from repro.graph.diskstore import (
     DiskGraphStore,
+    SlabIngestError,
     SlabIngestSink,
     ingest_jsonl_slabs,
     is_slab_directory,
@@ -53,6 +61,7 @@ __all__ = [
     "DiskGraphStore",
     "Edge",
     "EdgePattern",
+    "FileVerdict",
     "GraphBuilder",
     "GraphSink",
     "GraphStatistics",
@@ -62,7 +71,10 @@ __all__ = [
     "Node",
     "NodePattern",
     "PropertyGraph",
+    "RepairReport",
+    "ScrubReport",
     "SlabCorruptionError",
+    "SlabIngestError",
     "SlabIngestSink",
     "SlabReader",
     "SlabWriter",
@@ -79,8 +91,10 @@ __all__ = [
     "match_nodes",
     "match_pattern",
     "node_pattern_of",
+    "repair_slab_directory",
     "save_graph_csv",
     "save_graph_jsonl",
+    "scrub_slab_directory",
     "stream_graph_jsonl",
     "write_graph_to_slabs",
 ]

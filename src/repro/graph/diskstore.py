@@ -44,8 +44,10 @@ from repro.graph.io import IngestReport, stream_graph_jsonl
 from repro.graph.model import Edge, Node, PropertyGraph
 from repro.graph.slab import (
     DEFAULT_SLAB_BYTES,
+    SlabCorruptionError,
     SlabReader,
     SlabWriter,
+    read_manifest,
 )
 from repro.graph.store import BaseGraphStore, GraphBatch, ShardPlan
 
@@ -97,12 +99,46 @@ class _SpilledPartition:
             self._slab = None
 
 
-class DiskGraphStore(BaseGraphStore):
-    """Store contract implementation over an on-disk slab directory."""
+class SlabIngestError(RuntimeError):
+    """A streaming ingest died mid-write, but the directory is resumable.
 
-    def __init__(self, directory: str | Path) -> None:
+    Raised in place of the raw ``OSError`` (ENOSPC, I/O error, ...) so
+    callers learn the one fact that matters: the slab directory is
+    intact at its last committed manifest generation, and re-running the
+    ingest with ``resume=True`` continues from there.
+
+    Attributes:
+        directory: The slab directory left at its last commit.
+        source: The ingest source key (the input file path).
+        committed_line: Last fully committed line of that source.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        directory: str | Path,
+        source: str,
+        committed_line: int,
+    ) -> None:
+        super().__init__(message)
+        self.directory = str(directory)
+        self.source = source
+        self.committed_line = committed_line
+
+
+class DiskGraphStore(BaseGraphStore):
+    """Store contract implementation over an on-disk slab directory.
+
+    ``verify=True`` (the default) runs the slab reader's open-time
+    checksum pass; pass ``verify=False`` only when the directory was
+    just verified out of band (e.g. straight after a scrub).
+    """
+
+    def __init__(self, directory: str | Path, verify: bool = True) -> None:
         self._directory = Path(directory)
-        self._reader = SlabReader(self._directory)
+        self._verify = verify
+        self._reader = SlabReader(self._directory, verify=verify)
         self._partition_cache: tuple[
             tuple[int, int, bool], _SpilledPartition
         ] | None = None
@@ -134,7 +170,7 @@ class DiskGraphStore(BaseGraphStore):
     def refresh(self) -> None:
         """Re-open at the latest commit (picks up appended segments)."""
         self.close()
-        self._reader = SlabReader(self._directory)
+        self._reader = SlabReader(self._directory, verify=self._verify)
 
     def close(self) -> None:
         """Release every mapping held by this process."""
@@ -619,6 +655,7 @@ def ingest_jsonl_slabs(
     report: IngestReport | None = None,
     chunk_rows: int = INGEST_CHUNK_ROWS,
     resume: bool = False,
+    faults: str | None = None,
 ) -> DiskGraphStore:
     """Stream a JSONL graph file straight into a slab directory.
 
@@ -630,11 +667,22 @@ def ingest_jsonl_slabs(
 
     Accepts the loader ``on_error`` / ``report`` policy of
     :func:`repro.graph.io.load_graph_jsonl`; a resumed ingest reports
-    only the resumed portion.
+    only the resumed portion.  ``faults`` is a
+    :class:`repro.core.faults.FaultPlan` spec for the writer's storage
+    fault sites (tests/CI only).
+
+    Raises:
+        SlabIngestError: An ``OSError`` (ENOSPC, I/O error, ...) hit the
+            write path.  The directory is left at its last committed
+            manifest generation; rerun with ``resume=True`` to continue
+            from :attr:`SlabIngestError.committed_line`.
     """
     path = Path(path)
     writer = SlabWriter(
-        directory, name=name or path.stem, slab_bytes=slab_bytes
+        directory,
+        name=name or path.stem,
+        slab_bytes=slab_bytes,
+        faults=faults,
     )
     source_key = str(path)
     if resume:
@@ -644,18 +692,39 @@ def ingest_jsonl_slabs(
             writer.reset()
         start_line = 0
     sink = SlabIngestSink(writer, source_key, slab_bytes)
-    last_line = stream_graph_jsonl(
-        path,
-        sink,
-        on_error=on_error,
-        report=report,
-        chunk_rows=chunk_rows,
-        start_line=start_line,
-        on_progress=sink.chunk_done,
-    )
-    sink.finish(max(last_line, start_line))
+    try:
+        last_line = stream_graph_jsonl(
+            path,
+            sink,
+            on_error=on_error,
+            report=report,
+            chunk_rows=chunk_rows,
+            start_line=start_line,
+            on_progress=sink.chunk_done,
+        )
+        sink.finish(max(last_line, start_line))
+    except OSError as exc:
+        writer.close()
+        committed = _committed_progress(Path(directory), source_key)
+        raise SlabIngestError(
+            f"{path}: ingest failed mid-write ({exc}); {directory} is "
+            f"intact at its last commit (line {committed} of this "
+            f"source) -- rerun with resume=True to continue",
+            directory=directory,
+            source=source_key,
+            committed_line=committed,
+        ) from exc
     writer.close()
     return DiskGraphStore(directory)
+
+
+def _committed_progress(directory: Path, source_key: str) -> int:
+    """Durable line marker for one source (0 when unreadable/absent)."""
+    try:
+        manifest = read_manifest(directory)
+    except (FileNotFoundError, SlabCorruptionError):
+        return 0
+    return int(manifest.get("sources", {}).get(source_key, 0))
 
 
 def is_slab_directory(path: str | Path) -> bool:
@@ -665,6 +734,7 @@ def is_slab_directory(path: str | Path) -> bool:
 
 __all__ = [
     "DiskGraphStore",
+    "SlabIngestError",
     "SlabIngestSink",
     "ingest_jsonl_slabs",
     "is_slab_directory",

@@ -1,0 +1,387 @@
+"""Offline scrub and repair for slab directories.
+
+The integrity layer in :mod:`repro.graph.slab` *detects* corruption at
+read time; this module is the operator's tool for dealing with it out
+of band:
+
+* :func:`scrub_slab_directory` walks one directory and produces a
+  :class:`ScrubReport` -- a per-file verdict (``ok`` / ``checksum`` /
+  ``truncated`` / ``missing`` / ``unverified``) against the manifest's
+  recorded CRC-32 checksums, plus the manifest's own verdict.  Scrubbing
+  never writes; it is safe on a live directory between commits.
+* :func:`repair_slab_directory` restores a damaged directory to its
+  newest *fully verified* state: it falls back to ``manifest.json.bak``
+  when the live manifest is unreadable, then walks the manifest's
+  generation history (current state first, then newest to oldest)
+  until every file prefix verifies, and physically truncates files and
+  interner lists back to that generation.  Because slab files and
+  interners are append-only, truncation exactly reconstructs the old
+  state and the stored prefix checksums prove it -- a subsequent
+  resumed ingest continues from the restored ``sources`` markers and
+  produces byte-identical slabs.
+
+Both entry points are surfaced on the command line as
+``pghive verify-store`` and ``pghive repair``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.graph.slab import (
+    MANIFEST_BACKUP_NAME,
+    MANIFEST_NAME,
+    SLAB_VERSION,
+    EDGE_KIND,
+    NODE_KIND,
+    SlabCorruptionError,
+    checksum_file_prefix,
+    manifest_file_lengths,
+    parse_manifest_file,
+    _write_manifest,
+)
+
+__all__ = [
+    "FileVerdict",
+    "RepairReport",
+    "ScrubReport",
+    "repair_slab_directory",
+    "scrub_slab_directory",
+]
+
+
+@dataclass(frozen=True)
+class FileVerdict:
+    """Scrub outcome for one data file.
+
+    Attributes:
+        file: File name relative to the slab directory.
+        expected_bytes: Durable length the manifest commits to.
+        status: ``"ok"``, ``"checksum"``, ``"truncated"``, ``"missing"``
+            or ``"unverified"`` (no stored checksum -- a pre-integrity
+            directory).
+        detail: Human-readable elaboration for non-``ok`` statuses.
+    """
+
+    file: str
+    expected_bytes: int
+    status: str
+    detail: str = ""
+
+    def describe(self) -> str:
+        """One ``file: status`` report line."""
+        base = f"{self.file}: {self.status} ({self.expected_bytes} bytes)"
+        return f"{base} -- {self.detail}" if self.detail else base
+
+
+@dataclass(frozen=True)
+class ScrubReport:
+    """Full verdict for one slab directory.
+
+    Attributes:
+        directory: The scrubbed directory.
+        manifest_status: ``"ok"``, ``"corrupt"`` (live manifest
+            unreadable but the backup parsed; verdicts below are against
+            the backup) or ``"unreadable"`` (neither document parsed;
+            no per-file verdicts are possible).
+        manifest_detail: Elaboration for non-``ok`` manifest statuses.
+        generations: How many rollback generations the manifest retains.
+        verdicts: Per-file verdicts, sorted by file name.
+    """
+
+    directory: str
+    manifest_status: str
+    manifest_detail: str
+    generations: int
+    verdicts: tuple[FileVerdict, ...]
+
+    @property
+    def clean(self) -> bool:
+        """True when the manifest and every verifiable file check out."""
+        return self.manifest_status == "ok" and all(
+            verdict.status in ("ok", "unverified")
+            for verdict in self.verdicts
+        )
+
+    def describe(self) -> str:
+        """Multi-line operator report."""
+        lines = [
+            f"{self.directory}: manifest {self.manifest_status}"
+            + (f" -- {self.manifest_detail}" if self.manifest_detail else "")
+            + f" ({self.generations} rollback generations)"
+        ]
+        lines.extend(
+            "  " + verdict.describe() for verdict in self.verdicts
+        )
+        lines.append("verdict: " + ("clean" if self.clean else "corrupt"))
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class RepairReport:
+    """Outcome of :func:`repair_slab_directory`.
+
+    Attributes:
+        directory: The repaired directory.
+        repaired: True when the directory was left in a fully verified,
+            discoverable state (including "nothing to do").
+        restored: Which state won -- ``"current"``, ``"generation -N"``
+            or ``""`` when repair failed.
+        actions: Ordered log of everything the repair did or rejected.
+        detail: Failure description when ``repaired`` is False.
+    """
+
+    directory: str
+    repaired: bool
+    restored: str = ""
+    actions: tuple[str, ...] = ()
+    detail: str = ""
+
+    def describe(self) -> str:
+        """Multi-line operator report."""
+        lines = [f"{self.directory}: repair"]
+        lines.extend("  " + action for action in self.actions)
+        if self.repaired:
+            lines.append(f"repaired: restored {self.restored}")
+        else:
+            lines.append(f"not repaired: {self.detail}")
+        return "\n".join(lines)
+
+
+def _current_candidate(manifest: Mapping[str, Any]) -> dict[str, Any]:
+    """The manifest's own durable state in generation-record form."""
+    return {
+        "kinds": {
+            kind: {
+                "rows": int(manifest["kinds"][kind]["rows"]),
+                "props_bytes": int(manifest["kinds"][kind]["props_bytes"]),
+                "label_sets": len(manifest["kinds"][kind]["label_sets"]),
+                "key_orders": len(manifest["kinds"][kind]["key_orders"]),
+            }
+            for kind in (NODE_KIND, EDGE_KIND)
+        },
+        "checksums": manifest.get("checksums", {}),
+        "sources": manifest.get("sources", {}),
+    }
+
+
+def _verify_candidate(
+    directory: Path, candidate: Mapping[str, Any]
+) -> str | None:
+    """``None`` when every file prefix verifies, else a failure reason."""
+    checksums = candidate.get("checksums") or {}
+    for file_name, length in sorted(
+        manifest_file_lengths(candidate).items()
+    ):
+        stored = checksums.get(file_name)
+        try:
+            actual = checksum_file_prefix(directory / file_name, length)
+        except SlabCorruptionError as exc:
+            return str(exc)
+        if stored is not None and actual != int(stored):
+            return (
+                f"{file_name}: checksum mismatch over {length} bytes "
+                f"(stored {int(stored)}, computed {actual})"
+            )
+    return None
+
+
+def _load_any_manifest(
+    directory: Path,
+) -> tuple[dict[str, Any] | None, bool, str]:
+    """Load the live manifest, falling back to the backup.
+
+    Returns ``(manifest, from_backup, detail)`` where ``manifest`` is
+    ``None`` when neither document parses; ``detail`` describes the
+    live-manifest failure (and the backup failure, when both are bad).
+
+    Raises:
+        FileNotFoundError: Neither a manifest nor a backup exists --
+            this is not a slab directory.
+    """
+    live = directory / MANIFEST_NAME
+    backup = directory / MANIFEST_BACKUP_NAME
+    if not live.exists() and not backup.exists():
+        raise FileNotFoundError(f"{live}: not a slab directory")
+    try:
+        return parse_manifest_file(live), False, ""
+    except (FileNotFoundError, SlabCorruptionError) as exc:
+        detail = str(exc)
+    if backup.exists():
+        try:
+            return parse_manifest_file(backup), True, detail
+        except SlabCorruptionError as exc:
+            detail = f"{detail}; backup also corrupt: {exc}"
+    else:
+        detail = f"{detail}; no backup manifest"
+    return None, False, detail
+
+
+def scrub_slab_directory(directory: str | Path) -> ScrubReport:
+    """Verify one slab directory without modifying it.
+
+    Raises:
+        FileNotFoundError: The directory holds no manifest (and no
+            backup) -- it is not a slab directory.
+    """
+    root = Path(directory)
+    manifest, from_backup, detail = _load_any_manifest(root)
+    if manifest is None:
+        return ScrubReport(
+            directory=str(root),
+            manifest_status="unreadable",
+            manifest_detail=detail,
+            generations=0,
+            verdicts=(),
+        )
+    checksums = manifest.get("checksums") or {}
+    verdicts: list[FileVerdict] = []
+    for file_name, length in sorted(
+        manifest_file_lengths(manifest).items()
+    ):
+        stored = checksums.get(file_name)
+        try:
+            actual = checksum_file_prefix(root / file_name, length)
+        except SlabCorruptionError as exc:
+            verdicts.append(FileVerdict(
+                file=file_name,
+                expected_bytes=length,
+                status=exc.kind,
+                detail=str(exc),
+            ))
+            continue
+        if stored is None:
+            verdicts.append(FileVerdict(
+                file=file_name,
+                expected_bytes=length,
+                status="unverified",
+                detail="no stored checksum (pre-integrity directory)",
+            ))
+        elif actual != int(stored):
+            verdicts.append(FileVerdict(
+                file=file_name,
+                expected_bytes=length,
+                status="checksum",
+                detail=f"stored {int(stored)}, computed {actual}",
+            ))
+        else:
+            verdicts.append(FileVerdict(
+                file=file_name, expected_bytes=length, status="ok"
+            ))
+    return ScrubReport(
+        directory=str(root),
+        manifest_status="corrupt" if from_backup else "ok",
+        manifest_detail=detail,
+        generations=len(manifest.get("generations", [])),
+        verdicts=tuple(verdicts),
+    )
+
+
+def repair_slab_directory(directory: str | Path) -> RepairReport:
+    """Restore a slab directory to its newest fully verified state.
+
+    Raises:
+        FileNotFoundError: The directory holds no manifest (and no
+            backup) -- it is not a slab directory.
+    """
+    root = Path(directory)
+    actions: list[str] = []
+    manifest, from_backup, detail = _load_any_manifest(root)
+    if manifest is None:
+        return RepairReport(
+            directory=str(root),
+            repaired=False,
+            actions=tuple(actions),
+            detail=f"no parseable manifest: {detail}",
+        )
+    if from_backup:
+        actions.append(
+            f"live manifest rejected ({detail}); "
+            f"using {MANIFEST_BACKUP_NAME}"
+        )
+    generations = [
+        dict(generation)
+        for generation in manifest.get("generations", [])
+    ]
+    candidates: list[tuple[str, int, dict[str, Any]]] = [
+        ("current", len(generations), _current_candidate(manifest))
+    ]
+    for offset in range(len(generations) - 1, -1, -1):
+        age = len(generations) - offset
+        candidates.append(
+            (f"generation -{age}", offset, generations[offset])
+        )
+    chosen: tuple[str, int, dict[str, Any]] | None = None
+    for label, keep, candidate in candidates:
+        failure = _verify_candidate(root, candidate)
+        if failure is None:
+            chosen = (label, keep, candidate)
+            break
+        actions.append(f"rejected {label}: {failure}")
+    if chosen is None:
+        return RepairReport(
+            directory=str(root),
+            repaired=False,
+            actions=tuple(actions),
+            detail="no fully verified generation to roll back to",
+        )
+    label, keep, candidate = chosen
+    truncated = False
+    for file_name, length in sorted(
+        manifest_file_lengths(candidate).items()
+    ):
+        path = root / file_name
+        if not path.exists():
+            # Only reachable for zero-length files (anything longer
+            # would have failed verification above).
+            path.touch()
+            continue
+        if path.stat().st_size > length:
+            with path.open("r+b") as handle:
+                handle.truncate(length)
+            actions.append(f"truncated {file_name} to {length} bytes")
+            truncated = True
+    if from_backup or truncated or label != "current":
+        new_manifest: dict[str, Any] = {
+            "version": SLAB_VERSION,
+            "name": str(manifest.get("name", root.name)),
+            "kinds": {
+                kind: {
+                    "rows": int(candidate["kinds"][kind]["rows"]),
+                    "props_bytes": int(
+                        candidate["kinds"][kind]["props_bytes"]
+                    ),
+                    "label_sets": manifest["kinds"][kind]["label_sets"][
+                        : int(candidate["kinds"][kind]["label_sets"])
+                    ],
+                    "key_orders": manifest["kinds"][kind]["key_orders"][
+                        : int(candidate["kinds"][kind]["key_orders"])
+                    ],
+                }
+                for kind in (NODE_KIND, EDGE_KIND)
+            },
+            "sources": {
+                str(key): int(value)
+                for key, value in candidate.get("sources", {}).items()
+            },
+            "checksums": {
+                str(key): int(value)
+                for key, value in (candidate.get("checksums") or {}).items()
+            },
+            "generations": generations[:keep],
+        }
+        _write_manifest(root, new_manifest)
+        actions.append(f"rewrote manifest at {label}")
+    for stray in (MANIFEST_NAME + ".tmp", MANIFEST_BACKUP_NAME + ".tmp"):
+        stray_path = root / stray
+        if stray_path.exists():
+            stray_path.unlink()
+            actions.append(f"removed stray {stray}")
+    return RepairReport(
+        directory=str(root),
+        repaired=True,
+        restored=label,
+        actions=tuple(actions),
+    )

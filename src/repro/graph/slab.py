@@ -31,6 +31,36 @@ manifest is rewritten atomically (temp file + ``os.replace``) only at
 The layout is deliberately dumb -- no compression, no btree -- because
 discovery only ever needs sequential scans, vectorized slices, and
 id-sorted point lookups, all of which mmap + numpy already serve.
+
+Crash consistency alone does not protect against *silent* storage
+faults -- a torn write the kernel acknowledged, a bit flip on the
+medium, a rename that lost its target.  The integrity layer closes that
+gap end to end:
+
+* every column file and property heap carries a running CRC-32 over its
+  durable prefix, recorded in the manifest at each commit (append-only
+  files make the checksum incrementally maintainable -- no rehash of
+  old bytes, ever);
+* the manifest itself embeds a self-checksum (``manifest_crc``) and the
+  previous manifest is preserved as ``manifest.json.bak`` before each
+  replace, so a torn manifest rename is both detectable and repairable;
+* :class:`SlabReader` verifies every checksum on open (and re-checks
+  byte lengths on every map-in), raising a structured
+  :class:`SlabCorruptionError` naming the file, the slab column and the
+  corruption kind -- corrupted data is never silently read;
+* each commit appends a *generation* record (row counts, byte lengths,
+  interner sizes, checksums, source markers) to a bounded history, so
+  the offline scrubber (:mod:`repro.graph.scrub`) can truncate a
+  damaged directory back to its newest fully-verified generation;
+* the write paths are instrumented with deterministic storage fault
+  sites (``slab-torn-write``, ``slab-bitflip``, ``slab-enospc``,
+  ``manifest-partial-rename``) so every failure mode above is
+  reproducible in tests and CI (:mod:`repro.core.faults`).
+
+The checksum is ``zlib.crc32`` (the stdlib's C-speed CRC-32); the
+Castagnoli variant would need a native wheel this repo deliberately
+does not depend on, and the two are equivalent detectors for random
+corruption.
 """
 
 from __future__ import annotations
@@ -39,16 +69,34 @@ import json
 import mmap
 import os
 import pickle
+import zlib
 from pathlib import Path
-from typing import Any, Iterator, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Iterator, Mapping, Sequence
 
 import numpy
 
 from repro.graph.model import Edge, Node
+from repro.util.diskio import fsync_directory
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    # Runtime import is deferred to SlabWriter.__init__: core.faults
+    # lives under repro.core, whose package __init__ imports the
+    # parallel driver, which imports this module -- a cycle at import
+    # time but not at construction time.
+    from repro.core.faults import FaultInjector
 
 MANIFEST_NAME = "manifest.json"
-SLAB_VERSION = 1
+MANIFEST_BACKUP_NAME = "manifest.json.bak"
+SLAB_VERSION = 2
 DEFAULT_SLAB_BYTES = 4 << 20
+
+#: How many previous commit snapshots the manifest retains for
+#: :func:`repro.graph.scrub.repair_slab_directory` to roll back to.
+GENERATION_HISTORY = 8
+
+#: Read granularity for checksum verification -- bounds scrub/open
+#: memory at one chunk regardless of file size.
+_CRC_CHUNK = 1 << 20
 
 NODE_KIND = "nodes"
 EDGE_KIND = "edges"
@@ -60,7 +108,50 @@ _INT_COLUMNS: dict[str, tuple[str, ...]] = {
 
 
 class SlabCorruptionError(RuntimeError):
-    """A slab directory's files are shorter than its manifest promises."""
+    """A slab directory's on-disk state contradicts its manifest.
+
+    Structured so callers can pinpoint and report the damage:
+
+    Attributes:
+        path: Filesystem path of the offending file (``None`` when the
+            corruption is not attributable to a single file).
+        slab: Which slab the damage hit -- a column identifier such as
+            ``"nodes-props"`` or ``"edges-ids"``, or ``"manifest"``.
+        kind: ``"checksum"`` (stored CRC does not match the bytes),
+            ``"truncated"`` (file shorter than the manifest's durable
+            length), ``"missing"`` (file absent but rows recorded),
+            ``"manifest"`` (the manifest document itself is unreadable)
+            or ``"heap-decode"`` (a property pickle failed to decode at
+            read time).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: str | Path | None = None,
+        slab: str | None = None,
+        kind: str = "corrupt",
+    ) -> None:
+        super().__init__(message)
+        self.path = None if path is None else str(path)
+        self.slab = slab
+        self.kind = kind
+
+    def __reduce__(self) -> tuple[Any, ...]:
+        # Preserve the structured fields across the process-pool
+        # boundary (default exception pickling only keeps ``args``).
+        return (
+            _rebuild_corruption_error,
+            (str(self), self.path, self.slab, self.kind),
+        )
+
+
+def _rebuild_corruption_error(
+    message: str, path: str | None, slab: str | None, kind: str
+) -> "SlabCorruptionError":
+    """Unpickle helper for :class:`SlabCorruptionError`."""
+    return SlabCorruptionError(message, path=path, slab=slab, kind=kind)
 
 
 def _column_path(directory: Path, kind: str, column: str) -> Path:
@@ -73,40 +164,191 @@ def _heap_path(directory: Path, kind: str) -> Path:
     return directory / f"{kind}-props.dat"
 
 
-def _write_manifest(directory: Path, manifest: dict[str, Any]) -> None:
-    """Atomically replace the manifest (temp file + rename)."""
-    tmp = directory / (MANIFEST_NAME + ".tmp")
+def manifest_checksum(manifest: Mapping[str, Any]) -> int:
+    """Self-checksum of a manifest document (``manifest_crc`` excluded).
+
+    Computed over the canonical (sorted-keys) JSON encoding of every
+    other field, so any byte of a torn or bit-flipped manifest document
+    fails verification in :func:`read_manifest`.
+    """
+    body = {
+        key: value
+        for key, value in manifest.items()
+        if key != "manifest_crc"
+    }
+    return zlib.crc32(json.dumps(body, sort_keys=True).encode("utf-8"))
+
+
+def manifest_file_lengths(manifest: Mapping[str, Any]) -> dict[str, int]:
+    """Durable byte length of every data file a manifest commits to."""
+    lengths: dict[str, int] = {}
+    for kind in (NODE_KIND, EDGE_KIND):
+        entry = manifest["kinds"][kind]
+        for column in _INT_COLUMNS[kind]:
+            lengths[f"{kind}-{column}.i64"] = int(entry["rows"]) * 8
+        lengths[f"{kind}-props.dat"] = int(entry["props_bytes"])
+    return lengths
+
+
+def checksum_file_prefix(path: Path, length: int) -> int:
+    """CRC-32 of a file's first ``length`` bytes, read in bounded chunks.
+
+    Because slab files are append-only, the checksum of any *older*
+    generation's durable prefix is also verifiable from the current
+    file -- this is what makes repair-by-truncation sound.
+
+    Raises:
+        SlabCorruptionError: The file is missing or shorter than
+            ``length`` (kinds ``"missing"`` / ``"truncated"``).
+    """
+    if length == 0:
+        return 0
+    crc = 0
+    remaining = length
+    try:
+        with path.open("rb") as handle:
+            while remaining:
+                chunk = handle.read(min(remaining, _CRC_CHUNK))
+                if not chunk:
+                    raise SlabCorruptionError(
+                        f"{path}: shorter than the expected {length} bytes",
+                        path=path,
+                        slab=path.stem,
+                        kind="truncated",
+                    )
+                crc = zlib.crc32(chunk, crc)
+                remaining -= len(chunk)
+    except FileNotFoundError as exc:
+        raise SlabCorruptionError(
+            f"{path}: missing but the manifest records {length} bytes",
+            path=path,
+            slab=path.stem,
+            kind="missing",
+        ) from exc
+    return crc
+
+
+def verify_manifest_files(
+    directory: Path, manifest: Mapping[str, Any]
+) -> None:
+    """Check every durable file prefix against the manifest checksums.
+
+    Pre-integrity (v1) manifests carry no ``checksums`` mapping; they
+    are accepted as-is -- the first commit by an integrity-aware writer
+    upgrades them.
+
+    Raises:
+        SlabCorruptionError: A file is missing, shorter than its durable
+            length, or its bytes do not match the recorded CRC.
+    """
+    checksums = manifest.get("checksums")
+    if checksums is None:
+        return
+    for file_name, length in sorted(manifest_file_lengths(manifest).items()):
+        stored = checksums.get(file_name)
+        if stored is None:
+            continue
+        path = directory / file_name
+        actual = checksum_file_prefix(path, length)
+        if actual != int(stored):
+            raise SlabCorruptionError(
+                f"{path}: checksum mismatch over the durable {length} "
+                f"bytes (stored {int(stored)}, computed {actual})",
+                path=path,
+                slab=path.stem,
+                kind="checksum",
+            )
+
+
+def _write_manifest(
+    directory: Path,
+    manifest: dict[str, Any],
+    injector: "FaultInjector | None" = None,
+    seq: int = 0,
+) -> None:
+    """Atomically replace the manifest (temp + rename + parent fsync).
+
+    The previous manifest is first preserved as ``manifest.json.bak``,
+    so even a corrupted replacement leaves one verifiable document for
+    :func:`repro.graph.scrub.repair_slab_directory` to fall back on.
+    ``seq`` is the writer's commit ordinal, used to address the
+    ``manifest-partial-rename`` fault site.
+    """
+    manifest["manifest_crc"] = manifest_checksum(manifest)
     payload = json.dumps(manifest, sort_keys=True)
+    final = directory / MANIFEST_NAME
+    if final.exists():
+        backup_tmp = directory / (MANIFEST_BACKUP_NAME + ".tmp")
+        with backup_tmp.open("wb") as handle:
+            handle.write(final.read_bytes())
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(backup_tmp, directory / MANIFEST_BACKUP_NAME)
+    if injector is not None and injector.corrupts(
+        "manifest-partial-rename", seq
+    ):
+        # Injected fault: the rename "landed" but only half the document
+        # reached the target -- the reader must reject it by checksum
+        # and repair must fall back to the backup.
+        final.write_text(payload[: len(payload) // 2], encoding="utf-8")
+        return
+    tmp = directory / (MANIFEST_NAME + ".tmp")
     with tmp.open("w", encoding="utf-8") as handle:
         handle.write(payload)
         handle.flush()
         os.fsync(handle.fileno())
-    os.replace(tmp, directory / MANIFEST_NAME)
+    os.replace(tmp, final)
+    fsync_directory(directory)
 
 
 def read_manifest(directory: str | Path) -> dict[str, Any]:
-    """Load a slab directory's manifest.
+    """Load a slab directory's manifest, verifying its self-checksum.
 
     Raises:
         FileNotFoundError: No manifest -- not a slab directory.
-        SlabCorruptionError: Manifest exists but is not valid slab JSON.
+        SlabCorruptionError: Manifest exists but is not valid slab JSON,
+            or its ``manifest_crc`` does not match the document.
     """
-    path = Path(directory) / MANIFEST_NAME
+    return parse_manifest_file(Path(directory) / MANIFEST_NAME)
+
+
+def parse_manifest_file(path: Path) -> dict[str, Any]:
+    """Parse and self-verify one manifest document at an explicit path.
+
+    Used by :func:`read_manifest` for the live manifest and by the
+    scrubber for ``manifest.json.bak``.
+    """
     try:
         with path.open("r", encoding="utf-8") as handle:
             manifest = json.load(handle)
     except json.JSONDecodeError as exc:
         raise SlabCorruptionError(
-            f"{path}: manifest is not valid JSON: {exc.msg}"
+            f"{path}: manifest is not valid JSON: {exc.msg}",
+            path=path,
+            slab="manifest",
+            kind="manifest",
         ) from exc
     if not isinstance(manifest, dict) or "kinds" not in manifest:
-        raise SlabCorruptionError(f"{path}: manifest missing 'kinds'")
+        raise SlabCorruptionError(
+            f"{path}: manifest missing 'kinds'",
+            path=path,
+            slab="manifest",
+            kind="manifest",
+        )
+    stored = manifest.get("manifest_crc")
+    if stored is not None and int(stored) != manifest_checksum(manifest):
+        raise SlabCorruptionError(
+            f"{path}: manifest self-checksum mismatch",
+            path=path,
+            slab="manifest",
+            kind="checksum",
+        )
     return manifest
 
 
 def _empty_manifest(name: str) -> dict[str, Any]:
     """Fresh manifest for an empty graph."""
-    return {
+    manifest: dict[str, Any] = {
         "version": SLAB_VERSION,
         "name": name,
         "kinds": {
@@ -119,7 +361,13 @@ def _empty_manifest(name: str) -> dict[str, Any]:
             for kind in (NODE_KIND, EDGE_KIND)
         },
         "sources": {},
+        "generations": [],
     }
+    manifest["checksums"] = {
+        file_name: 0
+        for file_name in sorted(manifest_file_lengths(manifest))
+    }
+    return manifest
 
 
 class _KindState:
@@ -199,12 +447,20 @@ class SlabWriter:
         directory: str | Path,
         name: str | None = None,
         slab_bytes: int = DEFAULT_SLAB_BYTES,
+        faults: str | None = None,
     ) -> None:
         if slab_bytes < 4096:
             raise ValueError("slab_bytes must be >= 4096")
+        # Deferred import: repro.core's package __init__ pulls in the
+        # parallel driver, which imports this module (see module head).
+        from repro.core.faults import FaultInjector
+
         self._directory = Path(directory)
         self._directory.mkdir(parents=True, exist_ok=True)
         self._slab_bytes = slab_bytes
+        self._injector = FaultInjector.from_spec(faults)
+        self._flush_seq = 0
+        self._commit_seq = 0
         manifest_path = self._directory / MANIFEST_NAME
         if manifest_path.exists():
             manifest = read_manifest(self._directory)
@@ -225,6 +481,28 @@ class SlabWriter:
         self._closed = False
         self._recover()
         self._load_id_sets()
+        stored_crcs = manifest.get("checksums")
+        if stored_crcs is not None:
+            self._crcs: dict[str, int] = {
+                str(key): int(value) for key, value in stored_crcs.items()
+            }
+        else:
+            # v1 directory: seed the running checksums from the durable
+            # bytes once; every later commit maintains them
+            # incrementally from the appended chunks.
+            self._crcs = {
+                file_name: checksum_file_prefix(
+                    self._directory / file_name, length
+                )
+                for file_name, length in sorted(
+                    manifest_file_lengths(manifest).items()
+                )
+            }
+        self._generations: list[dict[str, Any]] = [
+            dict(generation)
+            for generation in manifest.get("generations", [])
+        ]
+        self._last_snapshot = self._snapshot()
 
     # ------------------------------------------------------------------
     # Recovery
@@ -246,14 +524,21 @@ class SlabWriter:
         if not path.exists():
             if durable:
                 raise SlabCorruptionError(
-                    f"{path}: missing but manifest records {durable} bytes"
+                    f"{path}: missing but manifest records {durable} bytes",
+                    path=path,
+                    slab=path.stem,
+                    kind="missing",
                 )
             path.touch()
             return
         actual = path.stat().st_size
         if actual < durable:
             raise SlabCorruptionError(
-                f"{path}: {actual} bytes on disk, manifest records {durable}"
+                f"{path}: {actual} bytes on disk, manifest records "
+                f"{durable}",
+                path=path,
+                slab=path.stem,
+                kind="truncated",
             )
         if actual > durable:
             with path.open("r+b") as handle:
@@ -388,20 +673,38 @@ class SlabWriter:
                 self._flush_kind(state)
 
     def _flush_kind(self, state: _KindState) -> None:
-        """Append one kind's buffered rows to its column files."""
+        """Append one kind's buffered rows to its column files.
+
+        This is the instrumented write path: ``slab-enospc`` fires after
+        the column appends (leaving a torn, recoverable tail) and
+        ``slab-torn-write`` shears the freshly appended heap bytes after
+        the kernel acknowledged them.  The running checksums always
+        cover the *intended* bytes, so torn writes are caught at the
+        next open.
+        """
         added = len(state.buffers["ids"])
         if not added:
             return
+        seq = self._flush_seq
+        self._flush_seq += 1
+        chunks = {
+            column: numpy.asarray(
+                state.buffers[column], dtype=numpy.int64
+            ).tobytes()
+            for column in _INT_COLUMNS[state.kind]
+        }
         for column in _INT_COLUMNS[state.kind]:
-            values = state.buffers[column]
             path = _column_path(self._directory, state.kind, column)
             with path.open("ab") as handle:
-                handle.write(
-                    numpy.asarray(values, dtype=numpy.int64).tobytes()
-                )
+                handle.write(chunks[column])
                 handle.flush()
                 os.fsync(handle.fileno())
-            values.clear()
+        if self._injector is not None:
+            # Columns are already appended past the manifest state here,
+            # so an injected ENOSPC leaves exactly the torn tail that
+            # reopen-recovery must truncate away.
+            self._injector.fire("slab-enospc", seq)
+        pending = len(state.prop_buffer)
         heap_path = _heap_path(self._directory, state.kind)
         with heap_path.open("ab") as handle:
             # memoryview avoids duplicating the whole pending heap just
@@ -409,12 +712,79 @@ class SlabWriter:
             handle.write(memoryview(state.prop_buffer))
             handle.flush()
             os.fsync(handle.fileno())
-        state.props_bytes += len(state.prop_buffer)
+        if self._injector is not None and self._injector.corrupts(
+            "slab-torn-write", seq
+        ):
+            # Injected fault: only half the acknowledged heap append
+            # reached the medium.
+            with heap_path.open("r+b") as handle:
+                handle.truncate(state.props_bytes + pending // 2)
+        for column in _INT_COLUMNS[state.kind]:
+            file_name = f"{state.kind}-{column}.i64"
+            self._crcs[file_name] = zlib.crc32(
+                chunks[column], self._crcs.get(file_name, 0)
+            )
+            state.buffers[column].clear()
+        self._crcs[heap_path.name] = zlib.crc32(
+            memoryview(state.prop_buffer),
+            self._crcs.get(heap_path.name, 0),
+        )
+        state.props_bytes += pending
         state.prop_buffer.clear()
         state.rows += added
 
+    def _snapshot(self) -> dict[str, Any]:
+        """Generation record of the current durable state.
+
+        Stores counts (not contents) for the interner lists: slab files
+        and interners are append-only, so truncating both back to these
+        counts reconstructs the generation exactly, and the stored
+        checksums verify the rollback (prefix CRCs of append-only files
+        never change).
+        """
+        return {
+            "kinds": {
+                kind: {
+                    "rows": state.rows,
+                    "props_bytes": state.props_bytes,
+                    "label_sets": len(state.label_sets),
+                    "key_orders": len(state.key_orders),
+                }
+                for kind, state in sorted(self._kinds.items())
+            },
+            "checksums": dict(self._crcs),
+            "sources": dict(self._sources),
+        }
+
+    def _flip_durable_byte(self) -> None:
+        """Injected medium fault: XOR the last durable payload byte."""
+        node_state = self._kinds[NODE_KIND]
+        edge_state = self._kinds[EDGE_KIND]
+        candidates = (
+            (_heap_path(self._directory, NODE_KIND), node_state.props_bytes),
+            (_heap_path(self._directory, EDGE_KIND), edge_state.props_bytes),
+            (
+                _column_path(self._directory, NODE_KIND, "ids"),
+                node_state.rows * 8,
+            ),
+        )
+        for path, durable in candidates:
+            if durable <= 0:
+                continue
+            with path.open("r+b") as handle:
+                handle.seek(durable - 1)
+                byte = handle.read(1)
+                handle.seek(durable - 1)
+                handle.write(bytes((byte[0] ^ 0xFF,)))
+            return
+
     def commit(self, sources: Mapping[str, int] | None = None) -> None:
         """Flush all buffers and atomically publish the new durable state.
+
+        Each commit that changes the durable state also archives the
+        *previous* state as a generation record (bounded to
+        ``GENERATION_HISTORY``), giving the offline scrubber verified
+        rollback points.
 
         Args:
             sources: Optional per-source progress markers to merge into
@@ -427,6 +797,12 @@ class SlabWriter:
         if sources:
             for key, value in sources.items():
                 self._sources[str(key)] = int(value)
+        snapshot = self._snapshot()
+        if snapshot != self._last_snapshot:
+            self._generations.append(self._last_snapshot)
+            if len(self._generations) > GENERATION_HISTORY:
+                del self._generations[:-GENERATION_HISTORY]
+            self._last_snapshot = snapshot
         manifest = {
             "version": SLAB_VERSION,
             "name": self._name,
@@ -435,9 +811,19 @@ class SlabWriter:
                 for kind, state in self._kinds.items()
             },
             "sources": dict(self._sources),
+            "checksums": dict(self._crcs),
+            "generations": [
+                dict(generation) for generation in self._generations
+            ],
         }
-        _write_manifest(self._directory, manifest)
+        seq = self._commit_seq
+        self._commit_seq += 1
+        _write_manifest(self._directory, manifest, self._injector, seq)
         self._uncommitted = 0
+        if self._injector is not None and self._injector.corrupts(
+            "slab-bitflip", seq
+        ):
+            self._flip_durable_byte()
 
     def reset(self) -> None:
         """Discard all rows and start the directory over (fresh manifest)."""
@@ -448,14 +834,22 @@ class SlabWriter:
                 )
             _heap_path(self._directory, kind).unlink(missing_ok=True)
         manifest = _empty_manifest(self._name)
-        _write_manifest(self._directory, manifest)
+        seq = self._commit_seq
+        self._commit_seq += 1
+        _write_manifest(self._directory, manifest, self._injector, seq)
         self._sources = {}
         self._kinds = {
             kind: _KindState(kind, manifest["kinds"][kind])
             for kind in (NODE_KIND, EDGE_KIND)
         }
+        self._crcs = {
+            str(key): int(value)
+            for key, value in manifest["checksums"].items()
+        }
+        self._generations = []
         self._uncommitted = 0
         self._recover()
+        self._last_snapshot = self._snapshot()
 
     def close(self) -> None:
         """Drop buffered (uncommitted) rows without publishing them."""
@@ -474,13 +868,14 @@ class _KindView:
     """Reader-side mmap view of one kind's columns."""
 
     __slots__ = (
-        "rows", "label_sets", "key_orders", "_columns", "_heap",
-        "_handles",
+        "kind", "rows", "label_sets", "key_orders", "_columns", "_heap",
+        "_heap_path", "_handles",
     )
 
     def __init__(
         self, directory: Path, kind: str, entry: Mapping[str, Any]
     ) -> None:
+        self.kind = kind
         self.rows = int(entry["rows"])
         self.label_sets: tuple[frozenset[str], ...] = tuple(
             frozenset(labels) for labels in entry["label_sets"]
@@ -494,7 +889,8 @@ class _KindView:
         for column in _INT_COLUMNS[kind]:
             path = _column_path(directory, kind, column)
             self._columns[column] = self._map_array(path, self.rows)
-        self._heap = self._map_bytes(_heap_path(directory, kind), props_bytes)
+        self._heap_path = _heap_path(directory, kind)
+        self._heap = self._map_bytes(self._heap_path, props_bytes)
 
     def _map_array(self, path: Path, rows: int) -> numpy.ndarray:
         """Memory-map one int64 column, logically truncated to ``rows``."""
@@ -515,7 +911,10 @@ class _KindView:
         try:
             if os.fstat(handle.fileno()).st_size < length:
                 raise SlabCorruptionError(
-                    f"{path}: shorter than the manifest's {length} bytes"
+                    f"{path}: shorter than the manifest's {length} bytes",
+                    path=path,
+                    slab=path.stem,
+                    kind="truncated",
                 )
             mapped = mmap.mmap(
                 handle.fileno(), 0, access=mmap.ACCESS_READ
@@ -531,11 +930,36 @@ class _KindView:
         return self._columns[name]
 
     def properties_at(self, row: int) -> dict[str, Any]:
-        """Unpickle one row's property dict from the heap."""
+        """Unpickle one row's property dict from the heap.
+
+        Raises:
+            SlabCorruptionError: The pickle bytes fail to decode or
+                decode to something other than a dict (kind
+                ``"heap-decode"``) -- the last line of defence against
+                damage that appeared *after* the open-time checksum
+                pass (the mmap reflects later file writes).
+        """
         ends = self._columns["propend"]
         start = int(ends[row - 1]) if row else 0
         payload = bytes(self._heap[start : int(ends[row])])
-        result: dict[str, Any] = pickle.loads(payload)
+        try:
+            result: dict[str, Any] = pickle.loads(payload)
+        except Exception as exc:
+            raise SlabCorruptionError(
+                f"{self._heap_path}: property pickle for {self.kind} row "
+                f"{row} failed to decode: {exc}",
+                path=self._heap_path,
+                slab=f"{self.kind}-props",
+                kind="heap-decode",
+            ) from exc
+        if not isinstance(result, dict):
+            raise SlabCorruptionError(
+                f"{self._heap_path}: property pickle for {self.kind} row "
+                f"{row} decoded to {type(result).__name__}, not dict",
+                path=self._heap_path,
+                slab=f"{self.kind}-props",
+                kind="heap-decode",
+            )
         return result
 
     def close(self) -> None:
@@ -557,11 +981,21 @@ class SlabReader:
     Every column is exposed as a numpy array over the mapped bytes,
     logically truncated to the manifest's durable row counts, so rows
     appended (but not committed) after the reader opened are invisible.
+
+    With ``verify=True`` (the default) every durable file prefix is
+    checked against the manifest's CRC-32 record before any mapping is
+    handed out -- a torn write, bit flip or partial rename surfaces as a
+    structured :class:`SlabCorruptionError` instead of silently wrong
+    data.  ``verify=False`` skips the scan (one full read of the
+    directory) for callers that just verified it out of band, e.g. the
+    scrubber re-opening a directory it scrubbed.
     """
 
-    def __init__(self, directory: str | Path) -> None:
+    def __init__(self, directory: str | Path, verify: bool = True) -> None:
         self._directory = Path(directory)
         manifest = read_manifest(self._directory)
+        if verify:
+            verify_manifest_files(self._directory, manifest)
         self._name = str(manifest["name"])
         self._sources: dict[str, int] = {
             str(key): int(value)

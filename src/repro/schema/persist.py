@@ -39,6 +39,7 @@ from collections import Counter
 from pathlib import Path
 from typing import Any
 
+from repro.util.diskio import fsync_directory
 from repro.schema.model import (
     Cardinality,
     DataType,
@@ -128,7 +129,10 @@ def _atomic_write_text(path: Path, text: str) -> None:
     """Write ``text`` to ``path`` via a same-directory temp file + rename.
 
     ``os.replace`` is atomic on POSIX, so a reader (or a crash) observes
-    either the full old file or the full new one.
+    either the full old file or the full new one.  The temp file is
+    fsynced before the rename and the parent directory after it --
+    without the directory fsync the rename itself can revert (or, for a
+    first write, vanish) on power loss despite the data being durable.
     """
     fd, tmp_name = tempfile.mkstemp(
         dir=path.parent, prefix=path.name, suffix=".tmp"
@@ -136,7 +140,10 @@ def _atomic_write_text(path: Path, text: str) -> None:
     try:
         with os.fdopen(fd, "w", encoding="utf-8") as handle:
             handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp_name, path)
+        fsync_directory(path.parent)
     except BaseException:
         try:
             os.unlink(tmp_name)

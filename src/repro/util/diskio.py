@@ -1,0 +1,43 @@
+"""Durable filesystem primitives shared by the persistence layers.
+
+The atomic-rename protocol (temp file + ``os.replace``) used by the
+schema checkpoints (:mod:`repro.schema.persist`) and the slab manifest
+(:mod:`repro.graph.slab`) guarantees a reader never observes a torn
+file -- but ``os.replace`` alone does not guarantee the *rename itself*
+survives a power loss.  POSIX requires an explicit ``fsync`` of the
+parent directory to make the new directory entry durable; without it a
+checkpoint or manifest can silently revert (or vanish, for a first
+write) after a crash, despite the file content having been fsynced.
+
+:func:`fsync_directory` is that missing step, factored out so every
+rename-based commit point in the repo uses the identical sequence:
+write temp, fsync temp, ``os.replace``, fsync parent directory.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+__all__ = ["fsync_directory"]
+
+
+def fsync_directory(directory: str | Path) -> None:
+    """Flush a directory's entry table to stable storage.
+
+    Called after ``os.replace`` to make the rename durable.  Errors are
+    propagated: a failed directory fsync means the commit protocol's
+    durability guarantee does not hold, which callers treat exactly like
+    a failed data write.  On filesystems that do not support fsync on
+    directory handles (some network mounts), ``EINVAL`` is tolerated --
+    the rename is then as durable as that filesystem can make it.
+    """
+    fd = os.open(os.fspath(directory), os.O_RDONLY | os.O_DIRECTORY)
+    try:
+        try:
+            os.fsync(fd)
+        except OSError as exc:
+            if exc.errno != 22:  # EINVAL: fsync unsupported on dir handles
+                raise
+    finally:
+        os.close(fd)

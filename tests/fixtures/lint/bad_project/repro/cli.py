@@ -1,4 +1,4 @@
-"""Fixture CLI: exposes ``--seed`` and nothing else."""
+"""Fixture CLI: exposes ``--seed`` plus an undocumented subcommand."""
 
 import argparse
 
@@ -6,4 +6,6 @@ import argparse
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="fixture")
     parser.add_argument("--seed", type=int, default=7)
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("ghost-command", help="not mentioned in docs/API.md")
     return parser

@@ -105,6 +105,15 @@ def test_managed_handle_lifecycles_are_not_flagged(bad_findings):
     assert all(Path(f.path).as_posix().endswith("storage.py") for f in hits)
 
 
+def test_undocumented_subcommand_is_flagged(bad_findings):
+    messages = [
+        f.message for f in bad_findings if f.rule == "config-cli-surface"
+    ]
+    assert any(
+        "ghost-command" in m and "not documented" in m for m in messages
+    )
+
+
 def test_documented_env_var_is_not_flagged(bad_findings):
     messages = [f.message for f in bad_findings if f.rule == "env-var-docs"]
     assert all("PGHIVE_DOCUMENTED" not in m for m in messages)

@@ -218,6 +218,64 @@ class TestCliFailureHandling:
         assert second.out == first.out
         assert "resumed from checkpoint at batch 3" in second.err
 
+    def test_verify_store_clean_and_corrupt(self, tmp_path, capsys):
+        """verify-store exits 0 on a clean directory and 1 with a report
+        pinpointing the exact corrupted file; repair restores it."""
+        from repro.datasets import get_dataset
+        from repro.graph.diskstore import write_graph_to_slabs
+
+        slab_dir = tmp_path / "slabs"
+        graph = get_dataset("POLE", scale=0.15, seed=0).graph
+        write_graph_to_slabs(graph, slab_dir).close()
+        assert main(["verify-store", str(slab_dir)]) == 0
+        assert "verdict: clean" in capsys.readouterr().out
+        heap = slab_dir / "nodes-props.dat"
+        with heap.open("r+b") as handle:
+            handle.seek(-1, 2)
+            byte = handle.read(1)
+            handle.seek(-1, 2)
+            handle.write(bytes((byte[0] ^ 0xFF,)))
+        assert main(["verify-store", str(slab_dir)]) == 1
+        out = capsys.readouterr().out
+        assert "nodes-props.dat: checksum" in out
+        assert "verdict: corrupt" in out
+        assert main(["repair", str(slab_dir)]) == 0
+        assert "repaired: restored" in capsys.readouterr().out
+        assert main(["verify-store", str(slab_dir)]) == 0
+        capsys.readouterr()
+        assert main([
+            "discover", str(slab_dir), "--store", "disk", "--batches", "2",
+        ]) == 0
+        capsys.readouterr()
+
+    def test_verify_store_on_non_slab_directory_exits_1(
+        self, tmp_path, capsys
+    ):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["verify-store", str(empty)]) == 1
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_discover_corrupt_slab_policy_flag(self, tmp_path, capsys):
+        """--corrupt-slab-policy is accepted and forwarded; on a clean
+        store both policies produce the same schema."""
+        from repro.datasets import get_dataset
+        from repro.graph.diskstore import write_graph_to_slabs
+
+        slab_dir = tmp_path / "slabs"
+        graph = get_dataset("POLE", scale=0.15, seed=0).graph
+        write_graph_to_slabs(graph, slab_dir).close()
+        assert main([
+            "discover", str(slab_dir), "--store", "disk",
+            "--batches", "2", "--corrupt-slab-policy", "skip",
+        ]) == 0
+        skip_out = capsys.readouterr().out
+        assert main([
+            "discover", str(slab_dir), "--store", "disk",
+            "--batches", "2", "--corrupt-slab-policy", "raise",
+        ]) == 0
+        assert capsys.readouterr().out == skip_out
+
     def test_corrupt_checkpoint_exits_1(self, tmp_path, capsys):
         ckpt = tmp_path / "ckpt"
         ckpt.mkdir()

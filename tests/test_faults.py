@@ -1,5 +1,7 @@
 """Tests for the deterministic fault-injection harness."""
 
+import errno
+
 import pytest
 
 from repro.core.config import PGHiveConfig
@@ -108,6 +110,40 @@ class TestFaultInjector:
         for index in range(8):
             injector.fire("shard", index, attempt=0)
 
+    def test_enospc_raises_oserror_with_errno(self):
+        injector = FaultInjector(FaultPlan.parse("slab-enospc:0:enospc"))
+        with pytest.raises(OSError) as info:
+            injector.fire("slab-enospc", 0, attempt=0)
+        assert info.value.errno == errno.ENOSPC
+        injector.fire("slab-enospc", 0, attempt=1)  # budget exhausted
+
+    def test_corrupts_answers_with_attempt_budget(self):
+        injector = FaultInjector(FaultPlan.parse("slab-bitflip:1:corrupt"))
+        assert not injector.corrupts("slab-bitflip", 0)
+        assert injector.corrupts("slab-bitflip", 1)
+        assert not injector.corrupts("slab-bitflip", 1)  # budget spent
+
+    def test_corrupt_and_fire_never_cross_count(self):
+        # A plan mixing both kinds at one site: fire() must only see the
+        # raise spec and corrupts() only the corrupt spec, with separate
+        # attempt counters.
+        plan = FaultPlan.parse(
+            "slab-bitflip:0:corrupt,slab-bitflip:0:raise"
+        )
+        injector = FaultInjector(plan)
+        assert plan.matching("slab-bitflip", 0).mode == "raise"
+        assert plan.matching(
+            "slab-bitflip", 0, corrupting=True
+        ).mode == "corrupt"
+        assert injector.corrupts("slab-bitflip", 0)
+        with pytest.raises(InjectedFault):
+            injector.fire("slab-bitflip", 0)
+        assert not injector.corrupts("slab-bitflip", 0)
+
+    def test_fire_ignores_corrupt_specs(self):
+        injector = FaultInjector(FaultPlan.parse("slab-torn-write:*:corrupt"))
+        injector.fire("slab-torn-write", 0, attempt=0)  # no-op
+
     def test_from_spec_none_without_plan(self, monkeypatch):
         monkeypatch.delenv("PGHIVE_FAULTS", raising=False)
         assert FaultInjector.from_spec(None) is None
@@ -134,6 +170,12 @@ class TestConfigIntegration:
         PGHiveConfig(faults="shard:0:raise")  # valid
         with pytest.raises(ValueError):
             PGHiveConfig(faults="shard:0:explode")
+
+    def test_config_corrupt_slab_policy_validation(self):
+        PGHiveConfig(corrupt_slab_policy="raise")
+        PGHiveConfig(corrupt_slab_policy="skip")
+        with pytest.raises(ValueError):
+            PGHiveConfig(corrupt_slab_policy="ignore")
 
     def test_config_recovery_knob_validation(self):
         with pytest.raises(ValueError):
