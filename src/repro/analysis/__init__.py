@@ -18,7 +18,10 @@ Rule families (see ``docs/API.md`` for the full catalogue):
 * surface consistency -- ``config-cli-surface``, ``env-var-docs``,
   ``init-exports``;
 * hygiene -- ``bare-except``, ``mutable-default``, ``assert-ban``,
-  ``missing-annotations``.
+  ``missing-annotations``;
+* whole-program (interprocedural effect analysis over the call graph)
+  -- ``worker-reachability``, ``merge-purity``,
+  ``global-mutation-race``, ``exception-surface``.
 
 Findings are suppressed per line with a justified directive::
 
@@ -35,9 +38,11 @@ from repro.analysis import (  # noqa: F401  (registration side effects)
     rules_determinism,
     rules_forksafety,
     rules_hygiene,
+    rules_interproc,
     rules_lifecycle,
     rules_surface,
 )
+from repro.analysis.cache import LintCache
 from repro.analysis.engine import LintRun, lint_paths
 from repro.analysis.findings import Finding, Severity
 from repro.analysis.registry import (
@@ -51,6 +56,7 @@ from repro.analysis.registry import (
 __all__ = [
     "FileRule",
     "Finding",
+    "LintCache",
     "LintRun",
     "ProjectRule",
     "Rule",

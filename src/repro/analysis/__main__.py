@@ -1,6 +1,8 @@
 """CLI for ``pghive-lint`` (``python -m repro.analysis``).
 
-Exit codes: 0 -- no findings; 1 -- findings; 2 -- usage error.
+Exit codes: 0 -- no findings; 1 -- findings; 2 -- usage error or an
+internal engine error (the two failure modes scripts must distinguish
+from "the tree is dirty").
 """
 
 from __future__ import annotations
@@ -8,9 +10,15 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import traceback
 
 from repro.analysis.engine import lint_paths
-from repro.analysis.findings import Severity, render_json, render_text
+from repro.analysis.findings import (
+    Severity,
+    render_json,
+    render_sarif,
+    render_text,
+)
 from repro.analysis.registry import FileRule, all_rules, get_rule
 
 
@@ -27,7 +35,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="files or directories to lint (default: src/repro)",
     )
     parser.add_argument(
-        "--format", choices=["text", "json"], default="text",
+        "--format", choices=["text", "json", "sarif"], default="text",
         help="report format (default: text)",
     )
     parser.add_argument(
@@ -38,6 +46,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--min-severity", choices=["warning", "error"], default="warning",
         help="report findings at or above this severity "
              "(default: warning, i.e. everything)",
+    )
+    parser.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help=(
+            "directory for the content-hash result cache; entries are "
+            "keyed by file SHA-256 and the rule-set version, so edits "
+            "and rule changes invalidate automatically"
+        ),
     )
     parser.add_argument(
         "--list-rules", action="store_true",
@@ -70,6 +86,19 @@ def main(argv: list[str] | None = None) -> int:
         # does not hit the closed pipe again.
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 0
+    except SystemExit:
+        raise
+    except Exception:  # noqa: BLE001 - the CLI boundary
+        # An engine bug is not a lint finding: report it loudly and use
+        # a distinct exit code so CI never mistakes a crashed run for a
+        # clean (0) or merely dirty (1) tree.
+        traceback.print_exc()
+        print(
+            "pghive-lint: internal error (this is a bug in the linter, "
+            "not a finding)",
+            file=sys.stderr,
+        )
+        return 2
 
 
 def _run(argv: list[str] | None) -> int:
@@ -90,12 +119,19 @@ def _run(argv: list[str] | None) -> int:
             args.paths,
             rules=rules,
             min_severity=Severity.parse(args.min_severity),
+            cache_dir=args.cache,
         )
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if args.format == "json":
         print(render_json(findings))
+    elif args.format == "sarif":
+        active = rules if rules is not None else all_rules()
+        print(render_sarif(
+            findings,
+            {rule.name: rule.description for rule in active},
+        ))
     elif findings:
         print(render_text(findings))
     if findings:
@@ -105,7 +141,7 @@ def _run(argv: list[str] | None) -> int:
             file=sys.stderr,
         )
         return 1
-    if args.format != "json":
+    if args.format == "text":
         print("pghive-lint: no findings", file=sys.stderr)
     return 0
 

@@ -1,0 +1,122 @@
+"""Content-hash result cache for lint runs (``--cache DIR``).
+
+Two layers, both keyed so stale results are structurally impossible:
+
+* **per-file**: file-rule findings for one module, keyed by the SHA-256
+  of its source bytes plus the rule-set version.  Editing the file
+  changes the key; the stale entry is simply never read again.
+* **whole-run**: the final finding list for one invocation, keyed by
+  every target file's digest plus the active rule names, the severity
+  floor, and the rule-set version.  Project rules (including the
+  interprocedural fixpoint) are whole-program by nature, so they only
+  cache at this granularity -- any file change misses and re-runs them.
+
+The rule-set version is the SHA-256 over the sources of every module in
+:mod:`repro.analysis` itself, so changing a rule, the engine, or the
+call-graph resolution invalidates everything without manual version
+bumps.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+__all__ = ["LintCache", "ruleset_version"]
+
+_VERSION_CACHE: dict[Path, str] = {}
+
+
+def ruleset_version() -> str:
+    """Digest of the analysis package's own sources.
+
+    Any change to a rule, the engine, the call-graph builder or the
+    effect tables produces a new version and invalidates every cache
+    entry written under the old one.
+    """
+    package_dir = Path(__file__).resolve().parent
+    cached = _VERSION_CACHE.get(package_dir)
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256()
+    for source in sorted(package_dir.glob("*.py")):
+        digest.update(source.name.encode("utf-8"))
+        digest.update(source.read_bytes())
+    version = digest.hexdigest()
+    _VERSION_CACHE[package_dir] = version
+    return version
+
+
+def _file_digest(path: Path) -> str:
+    return hashlib.sha256(path.read_bytes()).hexdigest()
+
+
+class LintCache:
+    """Filesystem-backed cache below one directory."""
+
+    def __init__(self, directory: Path) -> None:
+        self.directory = directory
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.version = ruleset_version()
+        self.hits = 0
+        self.misses = 0
+
+    # -- keys ----------------------------------------------------------
+    def _entry_path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def file_key(self, path: Path, rule_names: tuple[str, ...]) -> str:
+        digest = hashlib.sha256()
+        digest.update(self.version.encode("utf-8"))
+        # The path participates too: findings embed it, so two identical
+        # files at different locations must not share an entry.
+        digest.update(str(path).encode("utf-8"))
+        digest.update(_file_digest(path).encode("utf-8"))
+        digest.update("\x00".join(rule_names).encode("utf-8"))
+        return "file-" + digest.hexdigest()
+
+    def run_key(
+        self,
+        paths: list[Path],
+        rule_names: tuple[str, ...],
+        min_severity: int,
+    ) -> str:
+        digest = hashlib.sha256()
+        digest.update(self.version.encode("utf-8"))
+        digest.update(str(min_severity).encode("utf-8"))
+        digest.update("\x00".join(rule_names).encode("utf-8"))
+        for path in sorted(paths):
+            digest.update(str(path).encode("utf-8"))
+            digest.update(_file_digest(path).encode("utf-8"))
+        return "run-" + digest.hexdigest()
+
+    # -- storage -------------------------------------------------------
+    def load(self, key: str) -> list[Finding] | None:
+        entry = self._entry_path(key)
+        try:
+            payload = json.loads(entry.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if not isinstance(payload, list):
+            self.misses += 1
+            return None
+        try:
+            findings = [Finding.from_dict(record) for record in payload]
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return findings
+
+    def store(self, key: str, findings: list[Finding]) -> None:
+        entry = self._entry_path(key)
+        tmp = entry.with_suffix(".tmp")
+        tmp.write_text(
+            json.dumps([f.as_dict() for f in findings]),
+            encoding="utf-8",
+        )
+        tmp.replace(entry)

@@ -17,6 +17,7 @@ import ast
 from pathlib import Path
 from typing import Iterable, Sequence
 
+from repro.analysis.cache import LintCache
 from repro.analysis.findings import Finding, Severity, sort_findings
 from repro.analysis.registry import (
     FileRule,
@@ -40,12 +41,25 @@ class LintRun:
         self,
         rules: Sequence[Rule] | None = None,
         min_severity: Severity = Severity.WARNING,
+        cache: LintCache | None = None,
     ) -> None:
         self.rules = list(rules) if rules is not None else all_rules()
         self.min_severity = min_severity
+        self.cache = cache
 
     def run(self, paths: Iterable[str | Path]) -> list[Finding]:
         modules, parse_failures = _load_modules(paths)
+        rule_names = tuple(sorted(rule.name for rule in self.rules))
+        run_key: str | None = None
+        if self.cache is not None and not parse_failures:
+            run_key = self.cache.run_key(
+                [module.path for module in modules],
+                rule_names,
+                int(self.min_severity),
+            )
+            cached = self.cache.load(run_key)
+            if cached is not None:
+                return cached
         project = ProjectContext(
             root=_common_root(modules), modules=modules
         )
@@ -55,9 +69,7 @@ class LintRun:
         }
         findings: list[Finding] = list(parse_failures)
         for module in modules:
-            for rule in self.rules:
-                if isinstance(rule, FileRule) and rule.applies_to(module):
-                    findings.extend(rule.check(module))
+            findings.extend(self._file_findings(module))
         for rule in self.rules:
             if isinstance(rule, ProjectRule):
                 findings.extend(rule.check(project))
@@ -70,7 +82,39 @@ class LintRun:
         findings = [
             f for f in findings if f.severity >= self.min_severity
         ]
-        return sort_findings(findings)
+        result = sort_findings(findings)
+        if self.cache is not None and run_key is not None:
+            self.cache.store(run_key, result)
+        return result
+
+    def _file_findings(self, module: ModuleContext) -> list[Finding]:
+        """File-rule findings for one module, through the per-file cache.
+
+        Cached pre-suppression and pre-severity-filter: both are
+        re-derived from the same (content-hashed) source, so a hit can
+        never serve stale suppression state.
+        """
+        file_rules = [
+            rule for rule in self.rules
+            if isinstance(rule, FileRule) and rule.applies_to(module)
+        ]
+        if not file_rules:
+            return []
+        key: str | None = None
+        if self.cache is not None:
+            key = self.cache.file_key(
+                module.path,
+                tuple(sorted(rule.name for rule in file_rules)),
+            )
+            cached = self.cache.load(key)
+            if cached is not None:
+                return cached
+        findings: list[Finding] = []
+        for rule in file_rules:
+            findings.extend(rule.check(module))
+        if self.cache is not None and key is not None:
+            self.cache.store(key, findings)
+        return findings
 
     def _apply_suppressions(
         self,
@@ -94,9 +138,13 @@ def lint_paths(
     paths: Iterable[str | Path],
     rules: Sequence[Rule] | None = None,
     min_severity: Severity = Severity.WARNING,
+    cache_dir: str | Path | None = None,
 ) -> list[Finding]:
     """Lint files/directories and return the sorted findings."""
-    return LintRun(rules=rules, min_severity=min_severity).run(paths)
+    cache = LintCache(Path(cache_dir)) if cache_dir is not None else None
+    return LintRun(
+        rules=rules, min_severity=min_severity, cache=cache
+    ).run(paths)
 
 
 # ----------------------------------------------------------------------

@@ -12,6 +12,7 @@ from __future__ import annotations
 import enum
 import json
 from dataclasses import dataclass, field
+from typing import Mapping
 
 
 class Severity(enum.IntEnum):
@@ -48,6 +49,9 @@ class Finding:
     message: str
     severity: Severity = Severity.ERROR
     column: int = field(default=0, compare=False)
+    #: Witness call chain (root -> ... -> effect site) for findings
+    #: produced by the interprocedural rules; empty for file rules.
+    trace: tuple[str, ...] = field(default=(), compare=False)
 
     def render(self) -> str:
         location = f"{self.path}:{self.line}"
@@ -56,7 +60,7 @@ class Finding:
         return f"{location}: {self.rule} [{self.severity.name.lower()}] {self.message}"
 
     def as_dict(self) -> dict[str, object]:
-        return {
+        record: dict[str, object] = {
             "path": self.path,
             "line": self.line,
             "column": self.column,
@@ -64,6 +68,24 @@ class Finding:
             "severity": self.severity.name.lower(),
             "message": self.message,
         }
+        if self.trace:
+            record["trace"] = list(self.trace)
+        return record
+
+    @classmethod
+    def from_dict(cls, record: dict[str, object]) -> "Finding":
+        """Inverse of :meth:`as_dict` (used by the result cache)."""
+        return cls(
+            path=str(record["path"]),
+            line=int(record["line"]),  # type: ignore[arg-type]
+            column=int(record.get("column", 0)),  # type: ignore[arg-type]
+            rule=str(record["rule"]),
+            message=str(record["message"]),
+            severity=Severity.parse(str(record["severity"])),
+            trace=tuple(
+                str(hop) for hop in record.get("trace", ())  # type: ignore[union-attr]
+            ),
+        )
 
 
 def sort_findings(findings: list[Finding]) -> list[Finding]:
@@ -79,3 +101,80 @@ def render_json(findings: list[Finding]) -> str:
     return json.dumps(
         [f.as_dict() for f in sort_findings(findings)], indent=2
     )
+
+
+def render_sarif(
+    findings: list[Finding],
+    rule_descriptions: Mapping[str, str] | None = None,
+) -> str:
+    """Render findings as a SARIF 2.1.0 log (one run, one driver).
+
+    CI uploads this as an artifact so findings annotate pull requests;
+    ``rule_descriptions`` (rule name -> one-line description) populates
+    the driver's rule metadata when available.
+    """
+    descriptions = dict(rule_descriptions or {})
+    ordered = sort_findings(findings)
+    rule_names = sorted({f.rule for f in ordered} | set(descriptions))
+    rule_index = {name: i for i, name in enumerate(rule_names)}
+    rules = [
+        {
+            "id": name,
+            "shortDescription": {
+                "text": descriptions.get(name, name)
+            },
+        }
+        for name in rule_names
+    ]
+    results: list[dict[str, object]] = []
+    for finding in ordered:
+        result: dict[str, object] = {
+            "ruleId": finding.rule,
+            "ruleIndex": rule_index[finding.rule],
+            "level": (
+                "error"
+                if finding.severity is Severity.ERROR
+                else "warning"
+            ),
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.path},
+                        "region": {
+                            "startLine": max(finding.line, 1),
+                            **(
+                                {"startColumn": finding.column}
+                                if finding.column
+                                else {}
+                            ),
+                        },
+                    }
+                }
+            ],
+        }
+        if finding.trace:
+            result["properties"] = {"trace": list(finding.trace)}
+        results.append(result)
+    log = {
+        "version": "2.1.0",
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "pghive-lint",
+                        "informationUri": (
+                            "https://github.com/pg-hive/repro"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2)

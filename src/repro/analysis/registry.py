@@ -61,6 +61,10 @@ class ProjectContext:
 
     root: Path
     modules: list[ModuleContext] = field(default_factory=list)
+    #: Scratch space shared by project rules within one engine run; the
+    #: interprocedural rules park the call graph and effect summaries
+    #: here so the whole-program analysis is built once, not per rule.
+    cache: dict[str, object] = field(default_factory=dict)
 
     def module(self, suffix: str) -> ModuleContext | None:
         """The unique module whose relpath equals or ends with ``suffix``."""

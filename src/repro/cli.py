@@ -26,6 +26,7 @@ import tempfile
 from pathlib import Path
 
 from repro.core.config import LSHMethod, PGHiveConfig
+from repro.core.faults import InjectedFault
 from repro.core.parallel import ShardRecoveryError
 from repro.core.pipeline import PGHive
 from repro.datasets import get_dataset, inject_noise, list_datasets
@@ -85,6 +86,26 @@ def main(argv: list[str] | None = None) -> int:
         # Loader/config/persistence failures (malformed dumps, corrupt
         # checkpoints, bad flag combinations) exit 1 with one clean line
         # instead of a traceback; usage errors keep exiting 2.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except InjectedFault as exc:
+        # A driver-side injected fault (fault-injection harness in
+        # "raise" mode) is an expected failure: report it structurally
+        # (the message already names the site/attempt) so recovery
+        # scripts can assert on it.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except (KeyError, IndexError) as exc:
+        # Registry lookups raise KeyError for unknown dataset names and
+        # the embedding table raises IndexError on out-of-range rows;
+        # both carry a human-readable message in args[0].
+        detail = exc.args[0] if exc.args else exc
+        print(f"error: {detail}", file=sys.stderr)
+        return 1
+    except (RuntimeError, OSError) as exc:
+        # Residual library-level failures (e.g. a baseline's model scan
+        # finding no candidate, injected ENOSPC): one structured line,
+        # never a traceback, per the CLI's exception-surface invariant.
         print(f"error: {exc}", file=sys.stderr)
         return 1
     finally:

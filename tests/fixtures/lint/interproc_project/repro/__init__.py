@@ -1,0 +1,1 @@
+"""Fixture package for the whole-program (interprocedural) rules."""

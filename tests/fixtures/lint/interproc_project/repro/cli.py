@@ -1,0 +1,21 @@
+"""Fixture CLI: a deep raise escapes ``main`` past a wrong handler.
+
+Never imported -- only parsed.  ``RuntimeError`` from ``_run`` escapes
+(the handler only catches ``ValueError``); the ``SystemExit`` raise is
+on the sanctioned escape list and must *not* be flagged.
+"""
+
+from __future__ import annotations
+
+
+def _run(argv: list[str] | None) -> int:
+    del argv
+    raise RuntimeError("fixture failure")  # plant: escapes main
+
+
+def main(argv: list[str] | None = None) -> int:
+    try:
+        return _run(argv)
+    except ValueError:
+        return 1
+    raise SystemExit(2)  # sanctioned escape: never a finding

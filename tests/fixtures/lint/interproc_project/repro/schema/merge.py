@@ -1,0 +1,41 @@
+"""Fixture merge fold: impure two hops down, and mutates the config.
+
+Never imported -- only parsed.  ``merge_schemas`` reaches a filesystem
+write via ``_audit_merge -> _note``; ``merge_schema_tree`` mutates its
+``config`` parameter, which the purity rule flags wherever it happens
+in the reachable set.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def _note(line: str) -> None:
+    with open("/tmp/merge-fixture.log", "a", encoding="utf-8") as fh:
+        fh.write(line)  # plant: fs write inside the fold
+
+
+def _audit_merge(schema: Any) -> None:
+    del schema
+    _note("merged\n")
+
+
+def _merge_stats(left: Any, right: Any) -> Any:
+    del right
+    return left
+
+
+def merge_schemas(left: Any, right: Any) -> Any:
+    """Merge root: reaches the fs write via _audit_merge -> _note."""
+    _audit_merge(left)
+    return _merge_stats(left, right)
+
+
+def merge_schema_tree(schemas: list[Any], config: Any) -> Any:
+    """Merge root: mutates the shared config (the purity breach)."""
+    config.threshold = 0.5  # plant: config-parameter mutation
+    merged = schemas[0]
+    for item in schemas[1:]:
+        merged = merge_schemas(merged, item)
+    return merged

@@ -24,9 +24,18 @@ from repro.analysis import Severity, all_rules, get_rule, lint_paths, main
 FIXTURES = Path(__file__).resolve().parent / "fixtures" / "lint"
 BAD_PROJECT = FIXTURES / "bad_project"
 SUPPRESSED_PROJECT = FIXTURES / "suppressed_project"
+INTERPROC_PROJECT = FIXTURES / "interproc_project"
 SRC_REPRO = Path(__file__).resolve().parents[1] / "src" / "repro"
 
-#: rule name -> fixture module (posix suffix) where its plant lives.
+#: whole-program rule name -> fixture module (posix suffix) of its plant.
+INTERPROC_PLANTED = {
+    "exception-surface": "cli.py",
+    "global-mutation-race": "core/parallel.py",
+    "merge-purity": "schema/merge.py",
+    "worker-reachability": "core/parallel.py",
+}
+
+#: file-rule name -> fixture module (posix suffix) where its plant lives.
 PLANTED = {
     "assert-ban": "core/ordering.py",
     "bare-except": "hygiene.py",
@@ -49,6 +58,12 @@ PLANTED = {
 @pytest.fixture(scope="module")
 def bad_findings():
     return lint_paths([BAD_PROJECT])
+
+
+@pytest.fixture(scope="module")
+def interproc_findings():
+    rules = [get_rule(name) for name in sorted(INTERPROC_PLANTED)]
+    return lint_paths([INTERPROC_PROJECT], rules=rules)
 
 
 def _by_rule(findings):
@@ -77,7 +92,9 @@ def test_rule_fires_on_planted_violation(bad_findings, rule, suffix):
 def test_planted_table_covers_every_registered_rule():
     # A new rule must come with a fixture plant; this keeps the two in
     # lockstep (the suppression audit pseudo-rules are engine-level).
-    assert set(PLANTED) == {rule.name for rule in all_rules()}
+    registered = {rule.name for rule in all_rules()}
+    assert set(PLANTED) | set(INTERPROC_PLANTED) == registered
+    assert not set(PLANTED) & set(INTERPROC_PLANTED)
 
 
 def test_ghost_export_and_undocumented_export_are_distinct(bad_findings):
@@ -118,6 +135,108 @@ def test_documented_env_var_is_not_flagged(bad_findings):
     messages = [f.message for f in bad_findings if f.rule == "env-var-docs"]
     assert all("PGHIVE_DOCUMENTED" not in m for m in messages)
     assert any("PGHIVE_UNDOCUMENTED" in m for m in messages)
+
+
+# ----------------------------------------------------------------------
+# Whole-program rules (interprocedural effect analysis)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "rule,suffix",
+    sorted(INTERPROC_PLANTED.items()),
+    ids=sorted(INTERPROC_PLANTED),
+)
+def test_interproc_rule_fires_on_planted_violation(
+    interproc_findings, rule, suffix
+):
+    hits = [f for f in interproc_findings if f.rule == rule]
+    assert hits, f"rule {rule!r} produced no findings on the fixture"
+    paths = {Path(f.path).as_posix() for f in hits}
+    assert any(p.endswith(suffix) for p in paths), (
+        f"{rule!r} fired, but not in the fixture module {suffix} "
+        f"(got {sorted(paths)})"
+    )
+
+
+def test_transitive_effect_carries_multi_hop_witness_chain(
+    interproc_findings,
+):
+    # The wall-clock read sits two calls below the root; the finding
+    # must name the full path root -> _audit -> _stamp, not just the
+    # leaf.
+    [hit] = [
+        f for f in interproc_findings
+        if f.rule == "worker-reachability" and "wall-clock" in f.message
+    ]
+    assert hit.trace == ("_discover_one", "_audit", "_stamp")
+    assert "_discover_one -> _audit -> _stamp" in hit.message
+
+
+def test_effect_propagates_through_recursive_cycle(interproc_findings):
+    # _walk calls itself; the fixpoint must converge and still surface
+    # the env read hiding inside the cycle.
+    hits = [
+        f for f in interproc_findings
+        if f.rule == "worker-reachability"
+        and "environment read" in f.message
+    ]
+    assert hits
+    assert any("_walk" in f.trace for f in hits)
+
+
+def test_class_attribute_dispatch_resolves_to_kernel(interproc_findings):
+    # kernel.impl() resolves through the Kernel.impl = _rng_kernel
+    # class-attribute binding to the unseeded RNG.
+    hits = [
+        f for f in interproc_findings
+        if f.rule == "worker-reachability" and "unseeded RNG" in f.message
+    ]
+    assert hits
+    assert any(f.trace[-1] == "_rng_kernel" for f in hits)
+
+
+def test_dynamic_call_degrades_to_conservative_finding(
+    interproc_findings,
+):
+    # getattr(payload, payload.name) cannot be resolved statically; the
+    # analysis must flag the call rather than silently assume purity.
+    assert any(
+        f.rule == "worker-reachability"
+        and "statically unresolvable" in f.message
+        for f in interproc_findings
+    )
+
+
+def test_merge_fold_config_mutation_is_flagged(interproc_findings):
+    assert any(
+        f.rule == "merge-purity"
+        and "mutates the shared config parameter" in f.message
+        for f in interproc_findings
+    )
+
+
+def test_pure_merge_root_produces_no_findings(interproc_findings):
+    # combine_shard_results is deliberately clean: a finding naming it
+    # as the root would be a precision regression.
+    assert not any(
+        "combine_shard_results" in f.message for f in interproc_findings
+    )
+
+
+def test_sanctioned_systemexit_escape_is_not_flagged(interproc_findings):
+    surface = [
+        f for f in interproc_findings if f.rule == "exception-surface"
+    ]
+    assert surface
+    assert all("SystemExit" not in f.message for f in surface)
+    assert any("RuntimeError" in f.message for f in surface)
+
+
+def test_interproc_rules_are_vacuous_without_roots(bad_findings):
+    # bad_project defines none of the root functions: the whole-program
+    # rules must not invent findings there.
+    assert not any(
+        f.rule in INTERPROC_PLANTED for f in bad_findings
+    )
 
 
 # ----------------------------------------------------------------------
@@ -182,6 +301,67 @@ def test_missing_target_raises():
 
 
 # ----------------------------------------------------------------------
+# Result cache (--cache)
+# ----------------------------------------------------------------------
+def _write_project(root: Path, body: str) -> Path:
+    package = root / "repro"
+    package.mkdir(parents=True, exist_ok=True)
+    (package / "__init__.py").write_text('"""Fixture."""\n')
+    module = package / "timed.py"
+    module.write_text(body)
+    return module
+
+
+DIRTY = '"""Fixture."""\nimport time\n\n\ndef now() -> float:\n    return time.time()\n'
+CLEAN = '"""Fixture."""\n\n\ndef now() -> float:\n    return 0.0\n'
+
+
+def test_cache_round_trip_is_deterministic(tmp_path):
+    _write_project(tmp_path / "proj", DIRTY)
+    cache_dir = tmp_path / "cache"
+    cold = lint_paths([tmp_path / "proj"], cache_dir=cache_dir)
+    assert any(f.rule == "wall-clock" for f in cold)
+    assert list(cache_dir.glob("*.json")), "cache wrote no entries"
+    warm = lint_paths([tmp_path / "proj"], cache_dir=cache_dir)
+    assert warm == cold
+
+
+def test_cache_invalidated_by_file_edit(tmp_path):
+    module = _write_project(tmp_path / "proj", DIRTY)
+    cache_dir = tmp_path / "cache"
+    dirty = lint_paths([tmp_path / "proj"], cache_dir=cache_dir)
+    assert any(f.rule == "wall-clock" for f in dirty)
+    # Removing the violation must change the content hash and miss the
+    # cache: a served stale entry would still report wall-clock here.
+    module.write_text(CLEAN)
+    assert lint_paths([tmp_path / "proj"], cache_dir=cache_dir) == []
+    # And back again: the original entry is still valid and still dirty.
+    module.write_text(DIRTY)
+    assert lint_paths([tmp_path / "proj"], cache_dir=cache_dir) == dirty
+
+
+def test_cache_keys_include_ruleset_version(tmp_path):
+    from repro.analysis.cache import LintCache
+
+    module = _write_project(tmp_path / "proj", DIRTY)
+    old = LintCache(tmp_path / "cache")
+    new = LintCache(tmp_path / "cache")
+    new.version = "different-ruleset"
+    rules = ("wall-clock",)
+    assert old.file_key(module, rules) != new.file_key(module, rules)
+    assert old.run_key([module], rules, 1) != new.run_key([module], rules, 1)
+
+
+def test_cache_tolerates_corrupt_entries(tmp_path):
+    _write_project(tmp_path / "proj", DIRTY)
+    cache_dir = tmp_path / "cache"
+    expected = lint_paths([tmp_path / "proj"], cache_dir=cache_dir)
+    for entry in cache_dir.glob("*.json"):
+        entry.write_text("{not json")
+    assert lint_paths([tmp_path / "proj"], cache_dir=cache_dir) == expected
+
+
+# ----------------------------------------------------------------------
 # CLI
 # ----------------------------------------------------------------------
 def test_cli_findings_exit_one_text_format(capsys):
@@ -198,6 +378,46 @@ def test_cli_json_format(capsys):
     assert records
     assert {"path", "line", "rule", "message", "severity"} <= set(records[0])
     assert {r["rule"] for r in records} >= {"wall-clock", "payload-pickle"}
+
+
+def test_cli_sarif_format(capsys):
+    assert main([str(BAD_PROJECT), "--format", "sarif"]) == 1
+    captured = capsys.readouterr()
+    report = json.loads(captured.out)
+    assert report["version"] == "2.1.0"
+    [run] = report["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "pghive-lint"
+    catalogued = {rule["id"] for rule in driver["rules"]}
+    results = run["results"]
+    assert results
+    for result in results:
+        assert result["ruleId"] in catalogued
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"]
+        assert location["region"]["startLine"] >= 1
+
+
+def test_cli_sarif_carries_witness_trace(capsys):
+    code = main([
+        str(INTERPROC_PROJECT), "--format", "sarif",
+        "--rule", "worker-reachability",
+    ])
+    assert code == 1
+    report = json.loads(capsys.readouterr().out)
+    results = report["runs"][0]["results"]
+    traces = [
+        r["properties"]["trace"] for r in results
+        if "properties" in r and "trace" in r["properties"]
+    ]
+    assert any(len(trace) >= 3 for trace in traces)
+
+
+def test_cli_sarif_clean_tree_is_valid_and_exits_zero(tmp_path, capsys):
+    _write_project(tmp_path / "proj", CLEAN)
+    assert main([str(tmp_path / "proj"), "--format", "sarif"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["runs"][0]["results"] == []
 
 
 def test_cli_rule_filter(capsys):

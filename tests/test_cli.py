@@ -289,3 +289,60 @@ class TestCliFailureHandling:
         captured = capsys.readouterr()
         assert captured.err.startswith("error:")
         assert "corrupt or truncated" in captured.err
+
+
+class TestLintCliExitCodes:
+    """``pghive-lint`` exit-code contract: 0 clean, 1 findings, 2 crash.
+
+    Scripts (and the CI gate) branch on these; a crashed linter must
+    never masquerade as a clean or merely dirty tree.
+    """
+
+    def _project(self, root, body):
+        package = root / "repro"
+        package.mkdir(parents=True)
+        (package / "__init__.py").write_text('"""Fixture."""\n')
+        (package / "mod.py").write_text(body)
+        return root
+
+    def test_clean_tree_exits_0(self, tmp_path, capsys):
+        from repro.analysis import main as lint_main
+
+        target = self._project(
+            tmp_path, '"""Fixture."""\n\n\ndef f() -> int:\n    return 1\n'
+        )
+        assert lint_main([str(target)]) == 0
+        assert "no findings" in capsys.readouterr().err
+
+    def test_findings_exit_1(self, tmp_path, capsys):
+        from repro.analysis import main as lint_main
+
+        target = self._project(
+            tmp_path,
+            '"""Fixture."""\nimport time\n\n\n'
+            'def f() -> float:\n    return time.time()\n',
+        )
+        assert lint_main([str(target)]) == 1
+        assert "wall-clock" in capsys.readouterr().out
+
+    def test_usage_error_exits_2(self, capsys):
+        from repro.analysis import main as lint_main
+
+        assert lint_main(["--rule", "no-such-rule", "."]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_internal_error_exits_2(self, tmp_path, capsys, monkeypatch):
+        import repro.analysis.__main__ as lint_cli
+
+        target = self._project(
+            tmp_path, '"""Fixture."""\n\n\ndef f() -> int:\n    return 1\n'
+        )
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("engine bug")
+
+        monkeypatch.setattr(lint_cli, "lint_paths", explode)
+        assert lint_cli.main([str(target)]) == 2
+        captured = capsys.readouterr()
+        assert "internal error" in captured.err
+        assert "RuntimeError" in captured.err
