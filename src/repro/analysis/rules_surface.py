@@ -31,6 +31,10 @@ CLI_FLAG_ALIASES = {
     "memoize_patterns": "--memoize",
     "infer_value_profiles": "--profiles",
     "exact_cardinality_bounds": "--bounds",
+    "server_host": "--host",
+    "server_port": "--port",
+    "server_workers": "--workers",
+    "server_queue_depth": "--queue-depth",
 }
 
 #: Config fields deliberately *not* exposed as CLI flags, with the

@@ -14,7 +14,12 @@ Subcommands:
 * ``verify-store`` -- scrub a slab directory's checksums and report a
   per-file verdict (exit 1 if anything is corrupt);
 * ``repair`` -- roll a damaged slab directory back to its newest fully
-  verified generation so it can be discovered (and resumed) again.
+  verified generation so it can be discovered (and resumed) again;
+* ``validate`` -- check a graph against a saved schema (STRICT/LOOSE)
+  and print the violation report (exit 1 on STRICT violations);
+* ``serve`` -- run the discovery daemon: named incremental sessions
+  over HTTP with async batch ingestion, live schema snapshots and bulk
+  admission validation (see ``docs/API.md``).
 """
 
 from __future__ import annotations
@@ -67,6 +72,8 @@ def main(argv: list[str] | None = None) -> int:
         "inspect": _cmd_inspect,
         "verify-store": _cmd_verify_store,
         "repair": _cmd_repair,
+        "validate": _cmd_validate,
+        "serve": _cmd_serve,
     }.get(args.command)
     if handler is None:
         parser.print_help()
@@ -131,8 +138,10 @@ def _build_parser() -> argparse.ArgumentParser:
                           default="elsh")
     discover.add_argument(
         "--format",
-        choices=["pgschema", "xsd", "cypher", "graphql"],
+        choices=["pgschema", "xsd", "cypher", "graphql", "json"],
         default="pgschema",
+        help="output serialization; 'json' writes the persistable "
+             "schema document `pghive validate` and the daemon load",
     )
     discover.add_argument("--mode", choices=["STRICT", "LOOSE"],
                           default="STRICT",
@@ -268,6 +277,68 @@ def _build_parser() -> argparse.ArgumentParser:
              "verified generation (exit 1 if unrepairable)",
     )
     repair.add_argument("directory", help="slab directory to repair")
+
+    validate = sub.add_parser(
+        "validate",
+        help="check a graph against a saved schema and report violations "
+             "(exit 1 on STRICT violations)",
+    )
+    validate.add_argument(
+        "input",
+        help="graph to check: JSONL path, slab directory (--store disk) "
+             "or bundled dataset name",
+    )
+    validate.add_argument(
+        "schema", help="schema JSON written by `pghive discover --format "
+                       "json` or repro.schema.persist.save_schema"
+    )
+    validate.add_argument("--mode", choices=["STRICT", "LOOSE"],
+                          default="STRICT",
+                          help="PG-Schema conformance strictness")
+    validate.add_argument("--engine", choices=["columns", "reference"],
+                          default="columns",
+                          help="bulk columnar checker (default) or the "
+                               "per-element reference loop; reports are "
+                               "identical")
+    validate.add_argument("--max-violations", type=int, default=20,
+                          help="print at most this many violations")
+    validate.add_argument("--scale", type=float, default=1.0,
+                          help="scale factor for bundled datasets")
+    validate.add_argument("--seed", type=int, default=7)
+    validate.add_argument("--store", choices=["memory", "disk"],
+                          default="memory",
+                          help="graph storage backend of the input")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the discovery daemon (named incremental sessions, "
+             "async ingestion, live schemas, bulk validation over HTTP)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (loopback by default; the "
+                            "daemon has no authentication layer)")
+    serve.add_argument("--port", type=int, default=8850,
+                       help="TCP port; 0 binds an ephemeral port and "
+                            "prints it")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="shared ingestion worker threads; batches of "
+                            "one session always process in POST order")
+    serve.add_argument("--queue-depth", type=int, default=8,
+                       help="max queued-or-running batches per session "
+                            "before posts get 503")
+    serve.add_argument("--method", choices=["elsh", "minhash"],
+                       default="elsh")
+    serve.add_argument("--kernels", choices=["vectorized", "reference"],
+                       default="vectorized")
+    serve.add_argument("--profiles", action="store_true",
+                       help="infer value profiles (enums, ranges)")
+    serve.add_argument("--checkpoint-dir",
+                       help="journal every session's running schema here "
+                            "(under sessions/<name>/) and restore all "
+                            "sessions on daemon start")
+    serve.add_argument("--checkpoint-every", type=int, default=1,
+                       help="batches between session checkpoints")
+    serve.add_argument("--seed", type=int, default=7)
     return parser
 
 
@@ -368,6 +439,14 @@ def _cmd_discover(args: argparse.Namespace) -> int:
         rendered = serialize_cypher(result.schema)
     elif args.format == "graphql":
         rendered = serialize_graphql(result.schema)
+    elif args.format == "json":
+        import json as _json
+
+        from repro.schema.persist import schema_to_dict
+
+        rendered = _json.dumps(
+            schema_to_dict(result.schema, include_members=False), indent=2
+        )
     else:
         rendered = serialize_pg_schema(result.schema, args.mode)
     if args.output:
@@ -518,6 +597,81 @@ def _cmd_repair(args: argparse.Namespace) -> int:
     report = repair_slab_directory(args.directory)
     print(report.describe())
     return 0 if report.repaired else 1
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.schema.persist import load_schema
+    from repro.schema.validate import (
+        ValidationMode,
+        validate_batch,
+        validate_elements,
+    )
+
+    store = _load_input(args)
+    schema = load_schema(args.schema)
+    mode = ValidationMode(args.mode)
+    nodes = list(store.scan_nodes())
+    edges = list(store.scan_edges())
+    endpoint_labels = {node.id: node.labels for node in nodes}
+    if args.engine == "reference":
+        report = validate_elements(
+            nodes, edges, schema, mode, endpoint_labels
+        )
+    else:
+        report = validate_batch(nodes, edges, schema, mode, endpoint_labels)
+    verdict = "conforms" if report.is_valid else "violates"
+    print(
+        f"{store.name}: {verdict} {schema.name!r} in {mode.value} mode "
+        f"({report.checked} elements checked, "
+        f"{report.violating_elements} violating, "
+        f"{report.violation_count} violations, "
+        f"rate {report.violation_rate:.3f})"
+    )
+    shown = report.violations[: max(args.max_violations, 0)]
+    for violation in shown:
+        print(
+            f"  {violation.element_kind} {violation.element_id} "
+            f"[{violation.rule}] {violation.detail}"
+        )
+    remaining = report.violation_count - len(shown)
+    if remaining > 0:
+        print(f"  ... and {remaining} more (see --max-violations)")
+    if mode is ValidationMode.STRICT and not report.is_valid:
+        return 1
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.server import SchemaServer
+
+    config = PGHiveConfig(
+        method=LSHMethod(args.method),
+        seed=args.seed,
+        kernels=args.kernels,
+        infer_value_profiles=args.profiles,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        server_host=args.host,
+        server_port=args.port,
+        server_workers=args.workers,
+        server_queue_depth=args.queue_depth,
+    )
+    server = SchemaServer(config)
+    print(
+        f"pghive serve: listening on http://{server.host}:{server.port} "
+        f"({config.server_workers} workers, queue depth "
+        f"{config.server_queue_depth})",
+        file=sys.stderr,
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        print("pghive serve: stopped", file=sys.stderr)
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

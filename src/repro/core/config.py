@@ -156,6 +156,19 @@ class PGHiveConfig:
             still turns any quarantined shard into a hard
             ``ShardRecoveryError`` at the end.  Ignored by the memory
             backend.
+        server_host: Bind address of the discovery daemon
+            (``pghive serve``).  Default ``127.0.0.1`` -- loopback only;
+            the daemon has no authentication layer.
+        server_port: TCP port of the discovery daemon (default 8850).
+            ``0`` binds an ephemeral port (useful for tests; the chosen
+            port is printed on startup).
+        server_workers: Background ingestion threads shared by every
+            discovery session of the daemon (default 2).  Batches of one
+            session are always processed in POST order regardless of the
+            worker count.
+        server_queue_depth: Maximum queued-or-running batches per session
+            (default 8).  Posting beyond the limit returns HTTP 503 --
+            the daemon sheds load instead of buffering unboundedly.
         seed: Master RNG seed; every random component derives from it.
     """
 
@@ -193,6 +206,10 @@ class PGHiveConfig:
     store_dir: str | None = None
     slab_bytes: int = 4 << 20
     corrupt_slab_policy: str = "raise"
+    server_host: str = "127.0.0.1"
+    server_port: int = 8850
+    server_workers: int = 2
+    server_queue_depth: int = 8
     seed: int = 7
 
     def __post_init__(self) -> None:
@@ -255,6 +272,14 @@ class PGHiveConfig:
                 f"corrupt_slab_policy must be 'raise' or 'skip', "
                 f"got {self.corrupt_slab_policy!r}"
             )
+        if not self.server_host:
+            raise ValueError("server_host must be non-empty")
+        if not 0 <= self.server_port <= 65535:
+            raise ValueError("server_port must be in [0, 65535]")
+        if self.server_workers < 1:
+            raise ValueError("server_workers must be >= 1")
+        if self.server_queue_depth < 1:
+            raise ValueError("server_queue_depth must be >= 1")
         if self.faults:
             from repro.core.faults import FaultPlan
 

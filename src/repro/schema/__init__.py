@@ -22,7 +22,15 @@ from repro.schema.serialize_pgschema import serialize_pg_schema
 from repro.schema.serialize_xsd import serialize_xsd
 from repro.schema.serialize_cypher import serialize_cypher
 from repro.schema.serialize_graphql import serialize_graphql
-from repro.schema.validate import ValidationMode, ValidationReport, validate_graph
+from repro.schema.validate import (
+    ValidationMode,
+    ValidationReport,
+    Violation,
+    validate_batch,
+    validate_columns,
+    validate_elements,
+    validate_graph,
+)
 from repro.schema.diff import SchemaDiff, diff_schemas
 from repro.schema.align import (
     AliasCandidate,
@@ -59,6 +67,7 @@ __all__ = [
     "SubtypeRelation",
     "ValidationMode",
     "ValidationReport",
+    "Violation",
     "apply_alignment",
     "diff_schemas",
     "merge_edge_types",
@@ -78,5 +87,8 @@ __all__ = [
     "serialize_pg_schema",
     "serialize_xsd",
     "summarize_schema",
+    "validate_batch",
+    "validate_columns",
+    "validate_elements",
     "validate_graph",
 ]

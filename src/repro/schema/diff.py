@@ -163,8 +163,21 @@ def _label_groups(types: TypeMap) -> dict[frozenset[str], LabelGroup]:
 def _covering_group(
     groups: dict[frozenset[str], LabelGroup], labels: frozenset[str]
 ) -> LabelGroup | None:
-    """A label group whose labels subsume ``labels``, if any."""
-    for other_labels, group in groups.items():
-        if labels <= other_labels:
-            return group
-    return None
+    """The *smallest* label group whose labels subsume ``labels``, if any.
+
+    The smallest superset is the closest surviving approximation of the
+    group being matched; equal-size supersets tie-break on sorted label
+    tuples so the result never depends on dict-insertion order.
+    """
+    covering = [
+        (other_labels, group)
+        for other_labels, group in groups.items()
+        if labels <= other_labels
+    ]
+    if not covering:
+        return None
+    best = min(
+        covering,
+        key=lambda item: (len(item[0]), tuple(sorted(item[0]))),
+    )
+    return best[1]

@@ -1,0 +1,21 @@
+"""Discovery-as-a-service: the schema API daemon.
+
+Long-lived HTTP service exposing named incremental discovery sessions:
+asynchronous batch ingestion (ticketed), live merged-schema snapshots in
+three formats, and a columnar bulk admission validator -- the
+"validation processes" the paper motivates constraint inference with,
+made reachable over the wire.  See ``docs/API.md`` for the endpoint
+reference and ``DESIGN.md`` ("Service architecture") for the
+concurrency model.
+"""
+
+from repro.server.app import SchemaServer, SchemaService
+from repro.server.models import ApiError
+from repro.server.session import SessionManager
+
+__all__ = [
+    "ApiError",
+    "SchemaServer",
+    "SchemaService",
+    "SessionManager",
+]

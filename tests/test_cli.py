@@ -291,6 +291,66 @@ class TestCliFailureHandling:
         assert "corrupt or truncated" in captured.err
 
 
+class TestValidateCommand:
+    def _saved_schema(self, tmp_path, capsys):
+        path = tmp_path / "schema.json"
+        assert main([
+            "discover", "POLE", "--scale", "0.15",
+            "--format", "json", "--output", str(path),
+        ]) == 0
+        capsys.readouterr()
+        return path
+
+    def test_conforming_graph_exits_0(self, tmp_path, capsys):
+        schema = self._saved_schema(tmp_path, capsys)
+        assert main([
+            "validate", "POLE", "--scale", "0.15", str(schema),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "conforms" in out
+        assert "rate 0.000" in out
+
+    def test_strict_violations_exit_1(self, tmp_path, capsys):
+        schema = self._saved_schema(tmp_path, capsys)
+        graph = tmp_path / "g.jsonl"
+        assert main([
+            "generate", "POLE", str(graph),
+            "--scale", "0.15", "--noise", "0.5", "--seed", "5",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["validate", str(graph), str(schema)]) == 1
+        out = capsys.readouterr().out
+        assert "violates" in out
+        assert "[mandatory]" in out
+        # LOOSE mode tolerates missing properties -> exit 0.
+        assert main([
+            "validate", str(graph), str(schema), "--mode", "LOOSE",
+        ]) == 0
+        capsys.readouterr()
+
+    def test_engines_report_identically(self, tmp_path, capsys):
+        schema = self._saved_schema(tmp_path, capsys)
+        graph = tmp_path / "g.jsonl"
+        assert main([
+            "generate", "POLE", str(graph),
+            "--scale", "0.15", "--noise", "0.3", "--seed", "9",
+        ]) == 0
+        capsys.readouterr()
+        main(["validate", str(graph), str(schema), "--max-violations", "0"])
+        columns_out = capsys.readouterr().out
+        main([
+            "validate", str(graph), str(schema),
+            "--max-violations", "0", "--engine", "reference",
+        ])
+        assert capsys.readouterr().out == columns_out
+
+    def test_missing_schema_file_exits_1(self, capsys):
+        assert main([
+            "validate", "POLE", "--scale", "0.15", "/nope/schema.json",
+        ]) == 1
+        assert capsys.readouterr().err.startswith("error:")
+
+
 class TestLintCliExitCodes:
     """``pghive-lint`` exit-code contract: 0 clean, 1 findings, 2 crash.
 

@@ -77,3 +77,55 @@ class TestDiff:
         diff = diff_schemas(old, new)
         assert diff.added_node_types == []
         assert diff.removed_node_types == []
+
+
+class TestCoveringGroupSelection:
+    """With several subsuming label groups, the smallest superset wins.
+
+    Regression: ``_covering_group`` used to return the *first* subsuming
+    group in dict-insertion order, so the diff (and monotonicity) depended
+    on the order types happened to be enumerated.
+    """
+
+    def test_smallest_superset_preferred(self):
+        old = _schema([("P", {"Person"}, {"name", "age"})])
+        # The wide group (inserted first) lacks 'age'; the tight one has it.
+        new = _schema([
+            ("PSW", {"Person", "Student", "Worker"}, {"name"}),
+            ("PS", {"Person", "Student"}, {"name", "age"}),
+        ])
+        diff = diff_schemas(old, new)
+        assert diff.node_property_removals == {}
+        assert diff.is_monotone_extension
+
+    def test_insertion_order_independent(self):
+        old = _schema([("P", {"Person"}, {"name", "age"})])
+        forward = _schema([
+            ("PSW", {"Person", "Student", "Worker"}, {"name"}),
+            ("PS", {"Person", "Student"}, {"name", "age"}),
+        ])
+        backward = _schema([
+            ("PS", {"Person", "Student"}, {"name", "age"}),
+            ("PSW", {"Person", "Student", "Worker"}, {"name"}),
+        ])
+        a = diff_schemas(old, forward)
+        b = diff_schemas(old, backward)
+        assert a.node_property_removals == b.node_property_removals
+        assert a.is_monotone_extension == b.is_monotone_extension
+
+    def test_equal_size_tie_breaks_on_sorted_labels(self):
+        old = _schema([("P", {"Person"}, {"name"})])
+        # Two same-size supersets; {'Person', 'Student'} sorts before
+        # {'Person', 'Worker'} so it must win either insertion order.
+        forward = _schema([
+            ("PS", {"Person", "Student"}, {"name", "age"}),
+            ("PW", {"Person", "Worker"}, {"name"}),
+        ])
+        backward = _schema([
+            ("PW", {"Person", "Worker"}, {"name"}),
+            ("PS", {"Person", "Student"}, {"name", "age"}),
+        ])
+        a = diff_schemas(old, forward)
+        b = diff_schemas(old, backward)
+        assert a.node_property_additions == {"PS": {"age"}}
+        assert b.node_property_additions == {"PS": {"age"}}

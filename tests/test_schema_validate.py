@@ -97,6 +97,51 @@ class TestValidation:
         report = validate_graph(graph, person_schema)
         assert report.violation_rate == pytest.approx(1 / 3)
 
+    def test_violation_rate_counts_elements_not_violations(
+        self, person_schema
+    ):
+        """An element breaking several rules contributes once to the rate.
+
+        Regression: the rate used to divide raw violation count by checked
+        elements and could exceed 1.0.
+        """
+        # Missing mandatory 'name' AND a datatype clash on 'age': two
+        # violations on one element, out of three checked.
+        graph = _graph({"age": "not a number"})
+        report = validate_graph(graph, person_schema)
+        assert report.violation_count == 2
+        assert report.violating_elements == 1
+        assert report.violation_rate == pytest.approx(1 / 3)
+        assert 0.0 <= report.violation_rate <= 1.0
+
+    def test_edge_exact_label_match_outranks_superset(self):
+        """STRICT edge failures are reported against the exact-label type.
+
+        Regression: edge candidates ranked only by label overlap, so a
+        superset type inserted earlier could shadow the exact match and
+        the report showed the less-informative candidate's failures.
+        """
+        schema = SchemaGraph()
+        superset = EdgeType("KNOWS_LIKES", frozenset({"KNOWS", "LIKES"}))
+        weight = superset.ensure_property("weight")
+        weight.status = PropertyStatus.MANDATORY
+        schema.add_edge_type(superset)  # inserted first
+        exact = EdgeType("KNOWS", frozenset({"KNOWS"}))
+        since = exact.ensure_property("since")
+        since.status = PropertyStatus.MANDATORY
+        schema.add_edge_type(exact)
+        b = GraphBuilder()
+        p = b.node([], {})
+        q = b.node([], {})
+        b.edge(p, q, ["KNOWS"], {})  # fails both candidates, 1 rule each
+        report = validate_graph(b.build(), schema)
+        edge_violations = [
+            v for v in report.violations if v.element_kind == "edge"
+        ]
+        assert len(edge_violations) == 1
+        assert "'since'" in edge_violations[0].detail
+        assert "'KNOWS'" in edge_violations[0].detail
+
     def test_discovered_schema_validates_its_own_graph(
         self, figure1_store, figure1_graph
     ):
